@@ -1,0 +1,329 @@
+//! The cycle engine: Equations (1)–(4) with per-cycle cost accounting.
+
+use crate::{ApBackend, ApCosts, ApError, Routing, RoutingKind};
+use memcim_automata::{ApMatrices, HomogeneousAutomaton};
+use memcim_bits::BitVec;
+use memcim_units::{Joules, Seconds};
+
+/// A report event or run summary cost line.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApReport {
+    /// Symbol cycles executed.
+    pub cycles: u64,
+    /// Total pipeline latency.
+    pub latency: Seconds,
+    /// Total dynamic energy (STE + routing arrays, discharge-proportional).
+    pub energy: Joules,
+}
+
+impl ApReport {
+    /// Average energy per input symbol.
+    pub fn energy_per_symbol(&self) -> Joules {
+        if self.cycles == 0 {
+            Joules::ZERO
+        } else {
+            Joules::new(self.energy.as_joules() / self.cycles as f64)
+        }
+    }
+}
+
+/// The outcome of one input run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApRun {
+    /// Anchored acceptance after the final symbol.
+    pub accepted: bool,
+    /// `(position, state)` report events — every accept-state activation.
+    pub accept_events: Vec<(usize, usize)>,
+    /// Input length processed.
+    pub symbols: u64,
+    /// Cost summary.
+    pub report: ApReport,
+}
+
+/// A homogeneous automaton mapped onto AP hardware.
+///
+/// Construction programs the STE and routing arrays (a one-time
+/// configuration cost, reported by
+/// [`configuration_cost`](Self::configuration_cost)); each
+/// [`run`](Self::run) then streams input symbols through the three-step
+/// pipeline of the paper's Fig. 6, accumulating latency and energy from
+/// the backend's calibrated cost model.
+///
+/// See the [crate-level example](crate).
+#[derive(Debug, Clone)]
+pub struct AutomataProcessor {
+    matrices: ApMatrices,
+    routing: Routing,
+    backend: ApBackend,
+    costs: ApCosts,
+}
+
+impl AutomataProcessor {
+    /// Maps an automaton onto a backend with the chosen routing fabric.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApError::EmptyAutomaton`] for a stateless automaton,
+    /// [`ApError::CapacityExceeded`] when the automaton exceeds the
+    /// device's STE capacity, and [`ApError::RoutingInfeasible`] when
+    /// hierarchical routing runs out of global wires.
+    pub fn compile(
+        automaton: &HomogeneousAutomaton,
+        backend: ApBackend,
+        routing: RoutingKind,
+    ) -> Result<Self, ApError> {
+        let n = automaton.state_count();
+        if n == 0 {
+            return Err(ApError::EmptyAutomaton);
+        }
+        if n > backend.capacity {
+            return Err(ApError::CapacityExceeded { states: n, capacity: backend.capacity });
+        }
+        let matrices = automaton.to_matrices();
+        let routing = Routing::compile(&matrices.r, routing)?;
+        let costs = backend.costs(n, routing.resources().config_bits);
+        Ok(Self { matrices, routing, backend, costs })
+    }
+
+    /// The backend in use.
+    pub fn backend(&self) -> &ApBackend {
+        &self.backend
+    }
+
+    /// Number of STEs occupied.
+    pub fn state_count(&self) -> usize {
+        self.matrices.state_count()
+    }
+
+    /// The derived per-cycle cost model.
+    pub fn costs(&self) -> &ApCosts {
+        &self.costs
+    }
+
+    /// Routing fabric resource usage.
+    pub fn routing_resources(&self) -> crate::RoutingResources {
+        self.routing.resources()
+    }
+
+    /// One-time cost of programming the STE array and routing switches.
+    pub fn configuration_cost(&self) -> ApReport {
+        let ste_bits = self.matrices.v.count_ones();
+        let routing_bits = self.matrices.r.count_ones();
+        let bits = (ste_bits + routing_bits) as f64;
+        // Rows are programmed in parallel across columns: 256 STE rows
+        // plus the routing rows.
+        let rows = 256 + self.routing.resources().config_bits / self.state_count().max(1);
+        ApReport {
+            cycles: rows as u64,
+            latency: self.costs.config_latency_per_row * rows as f64,
+            energy: Joules::new(self.costs.config_energy_per_bit.as_joules() * bits),
+        }
+    }
+
+    /// Streams an input through the processor.
+    pub fn run(&mut self, input: &[u8]) -> ApRun {
+        let n = self.state_count();
+        let mut active = BitVec::new(n);
+        let mut accept_events = Vec::new();
+        let mut energy = 0.0;
+        let mut last_accepting = false;
+        for (pos, &byte) in input.iter().enumerate() {
+            // Step 1 — input symbol processing (Equation 1): one STE-array
+            // evaluate. Discharge-proportional energy: columns whose bit
+            // line falls are the ones that match the symbol.
+            let s = self.matrices.v.row(byte as usize);
+            energy += s.count_ones() as f64 * self.costs.ste_energy_per_column.as_joules();
+
+            // Step 2 — active state processing (Equations 2 and 3).
+            let mut f = self.routing.follow(&active);
+            energy += f.count_ones() as f64 * self.costs.routing_energy_per_column.as_joules();
+            if pos == 0 {
+                f.or_assign(&self.matrices.start_of_input);
+            }
+            f.or_assign(&self.matrices.all_input);
+            f.and_assign(s);
+            active = f;
+
+            // Step 3 — output identification (Equation 4).
+            last_accepting = false;
+            for state in active.ones() {
+                if self.matrices.accept.get(state) {
+                    accept_events.push((pos, state));
+                    last_accepting = true;
+                }
+            }
+        }
+        let cycles = input.len() as u64;
+        ApRun {
+            accepted: if input.is_empty() { self.matrices.accepts_empty } else { last_accepting },
+            accept_events,
+            symbols: cycles,
+            report: ApReport {
+                cycles,
+                latency: self.costs.cycle_latency * cycles as f64,
+                energy: Joules::new(energy),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memcim_automata::{Regex, StartKind};
+
+    fn homog(pattern: &str) -> HomogeneousAutomaton {
+        HomogeneousAutomaton::from_nfa(&Regex::parse(pattern).expect("parses").compile())
+    }
+
+    #[test]
+    fn engine_agrees_with_reference_interpreter() {
+        let nfa = Regex::parse("(ab|ba)+c?").expect("parses").compile();
+        let h = HomogeneousAutomaton::from_nfa(&nfa);
+        let mut ap =
+            AutomataProcessor::compile(&h, ApBackend::rram(), RoutingKind::Dense).expect("maps");
+        for input in [&b"ab"[..], b"abba", b"abbac", b"ba", b"", b"abc", b"cab"] {
+            assert_eq!(ap.run(input).accepted, nfa.accepts(input), "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn report_events_match_scanning_semantics() {
+        let h = homog("ab").with_start_kind(StartKind::AllInput);
+        let mut ap =
+            AutomataProcessor::compile(&h, ApBackend::rram(), RoutingKind::Dense).expect("maps");
+        let run = ap.run(b"xabxab");
+        let positions: Vec<usize> = run.accept_events.iter().map(|&(p, _)| p).collect();
+        assert_eq!(positions, vec![2, 5]);
+    }
+
+    #[test]
+    fn costs_accumulate_per_symbol() {
+        let h = homog("abc+");
+        let mut ap =
+            AutomataProcessor::compile(&h, ApBackend::rram(), RoutingKind::Dense).expect("maps");
+        let short = ap.run(b"abc");
+        let long = ap.run(b"abcccccccc");
+        assert_eq!(short.report.cycles, 3);
+        assert_eq!(long.report.cycles, 10);
+        assert!(long.report.latency.as_seconds() > short.report.latency.as_seconds());
+        assert!(long.report.energy.as_joules() > short.report.energy.as_joules());
+        assert!(short.report.energy_per_symbol().as_joules() > 0.0);
+    }
+
+    #[test]
+    fn rram_outruns_sram_on_the_same_automaton() {
+        let h = homog("(GET|POST) /[a-z]+");
+        let input = b"GET /abcdefgh".repeat(8);
+        let mut rram =
+            AutomataProcessor::compile(&h, ApBackend::rram(), RoutingKind::Dense).expect("maps");
+        let mut sram =
+            AutomataProcessor::compile(&h, ApBackend::sram(), RoutingKind::Dense).expect("maps");
+        let rr = rram.run(&input);
+        let sr = sram.run(&input);
+        assert_eq!(rr.accepted, sr.accepted, "functionality is substrate-independent");
+        assert!(rr.report.latency.as_seconds() < sr.report.latency.as_seconds());
+        assert!(rr.report.energy.as_joules() < sr.report.energy.as_joules());
+    }
+
+    #[test]
+    fn hierarchical_routing_preserves_behaviour() {
+        let h = homog("a(b|c)*d{2,3}");
+        let inputs: Vec<&[u8]> = vec![b"abd", b"abcdd", b"addd", b"abcbcbddd", b"ad"];
+        let mut dense =
+            AutomataProcessor::compile(&h, ApBackend::rram(), RoutingKind::Dense).expect("dense");
+        let mut hier = AutomataProcessor::compile(
+            &h,
+            ApBackend::rram(),
+            RoutingKind::Hierarchical { block: 4, max_global: 4096 },
+        )
+        .expect("hier");
+        for input in inputs {
+            assert_eq!(dense.run(input).accepted, hier.run(input).accepted, "{input:?}");
+        }
+        assert!(hier.routing_resources().config_bits <= dense.routing_resources().config_bits);
+    }
+
+    #[test]
+    fn capacity_and_emptiness_are_enforced() {
+        let h = homog("abc");
+        let tiny = ApBackend { capacity: 1, ..ApBackend::rram() };
+        assert!(matches!(
+            AutomataProcessor::compile(&h, tiny, RoutingKind::Dense),
+            Err(ApError::CapacityExceeded { .. })
+        ));
+        let empty = HomogeneousAutomaton::from_nfa(&{
+            let mut n = memcim_automata::Nfa::new();
+            let s = n.add_state();
+            n.add_start(s);
+            n
+        });
+        assert!(matches!(
+            AutomataProcessor::compile(&empty, ApBackend::rram(), RoutingKind::Dense),
+            Err(ApError::EmptyAutomaton)
+        ));
+    }
+
+    #[test]
+    fn configuration_cost_is_nonzero_and_backend_dependent() {
+        let h = homog("(a|b|c|d)+x");
+        let rram = AutomataProcessor::compile(&h, ApBackend::rram(), RoutingKind::Dense)
+            .expect("maps")
+            .configuration_cost();
+        let sram = AutomataProcessor::compile(&h, ApBackend::sram(), RoutingKind::Dense)
+            .expect("maps")
+            .configuration_cost();
+        assert!(rram.energy.as_joules() > 0.0);
+        // The RRAM drawback: configuration is slower and hungrier.
+        assert!(rram.energy.as_joules() > sram.energy.as_joules());
+        assert!(rram.latency.as_seconds() > sram.latency.as_seconds());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use memcim_automata::Regex;
+    use proptest::prelude::*;
+
+    fn pattern_strategy() -> impl Strategy<Value = String> {
+        let leaf = prop_oneof![
+            Just("a".to_string()),
+            Just("b".to_string()),
+            Just("[ab]".to_string()),
+            Just(".".to_string()),
+        ];
+        leaf.prop_recursive(3, 12, 2, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("{a}{b}")),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a}|{b})")),
+                inner.prop_map(|a| format!("({a})*")),
+            ]
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        /// The hardware engine (both routings, any backend) equals the
+        /// reference NFA interpreter on random patterns and inputs.
+        #[test]
+        fn hardware_equals_reference(
+            pattern in pattern_strategy(),
+            input in proptest::collection::vec(b'a'..=b'c', 0..12),
+        ) {
+            let nfa = Regex::parse(&pattern).expect("generated").compile();
+            let h = HomogeneousAutomaton::from_nfa(&nfa);
+            if h.state_count() == 0 {
+                // Language is {ε} or ∅ at the hardware level.
+                return Ok(());
+            }
+            let expected = nfa.accepts(&input);
+            for kind in [RoutingKind::Dense, RoutingKind::Hierarchical { block: 8, max_global: 1 << 16 }] {
+                let mut ap = AutomataProcessor::compile(&h, ApBackend::rram(), kind)
+                    .expect("maps");
+                prop_assert_eq!(ap.run(&input).accepted, expected,
+                    "pattern {} input {:?}", pattern.clone(), input.clone());
+            }
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Error type for automata-processor compilation.
+
+use core::fmt;
+
+/// Errors produced while mapping an automaton onto AP hardware.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ApError {
+    /// The automaton needs more STEs than the device provides.
+    CapacityExceeded {
+        /// States required.
+        states: usize,
+        /// STEs available.
+        capacity: usize,
+    },
+    /// The hierarchical routing fabric ran out of global wires.
+    RoutingInfeasible {
+        /// Global wires required.
+        required: usize,
+        /// Global wires available.
+        available: usize,
+    },
+    /// The automaton has no states (nothing to map).
+    EmptyAutomaton,
+}
+
+impl fmt::Display for ApError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApError::CapacityExceeded { states, capacity } => {
+                write!(f, "automaton needs {states} STEs but the device provides {capacity}")
+            }
+            ApError::RoutingInfeasible { required, available } => {
+                write!(
+                    f,
+                    "hierarchical routing needs {required} global wires but only {available} exist"
+                )
+            }
+            ApError::EmptyAutomaton => write!(f, "cannot map an automaton with no states"),
+        }
+    }
+}
+
+impl std::error::Error for ApError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_specific() {
+        let e = ApError::RoutingInfeasible { required: 2000, available: 1024 };
+        assert!(e.to_string().contains("2000"));
+        assert!(e.to_string().contains("1024"));
+    }
+}

@@ -1,0 +1,289 @@
+//! Routing-matrix organizations: dense crossbar vs two-level hierarchy.
+
+use crate::ApError;
+use memcim_bits::{BitMatrix, BitVec};
+
+/// Routing fabric organization (design decision D3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutingKind {
+    /// A full `N×N` switch matrix. Always routable; `N²` configuration
+    /// bits — the paper notes this "requires too much resource" at scale.
+    Dense,
+    /// The SRAM-AP organization \[27\]: states are grouped into blocks with
+    /// full local switch matrices; transitions crossing blocks are routed
+    /// over a bounded set of global wires.
+    Hierarchical {
+        /// States per block (256 in the Cache Automaton).
+        block: usize,
+        /// Global wires available for cross-block transitions.
+        max_global: usize,
+    },
+}
+
+impl RoutingKind {
+    /// The Cache Automaton configuration: 256-state blocks, 1024 global
+    /// wires.
+    pub fn cache_automaton() -> Self {
+        RoutingKind::Hierarchical { block: 256, max_global: 1024 }
+    }
+}
+
+/// Configuration-bit and switch-resource accounting for a routing fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoutingResources {
+    /// Total programmable configuration bits (switch cells).
+    pub config_bits: usize,
+    /// Global wires used (0 for dense).
+    pub global_wires: usize,
+    /// Number of local blocks (1 for dense).
+    pub blocks: usize,
+}
+
+/// A compiled routing fabric: computes `f = a·R` and accounts resources.
+#[derive(Debug, Clone)]
+pub struct Routing {
+    kind: RoutingKind,
+    n: usize,
+    /// Dense representation (kept for both kinds — for hierarchical it is
+    /// the functional reference; hardware cost comes from `resources`).
+    dense: BitMatrix,
+    /// Hierarchical decomposition: per-block local matrices plus the
+    /// global wire tables, used for the follow computation when
+    /// hierarchical (to keep functional parity honest, the hierarchical
+    /// path really routes through its own structures).
+    hierarchical: Option<Hierarchical>,
+    resources: RoutingResources,
+}
+
+#[derive(Debug, Clone)]
+struct Hierarchical {
+    block: usize,
+    /// `local[b]` is the intra-block matrix of block `b` (block-local
+    /// indices).
+    local: Vec<BitMatrix>,
+    /// Global wires: `(source state, dest state)` pairs crossing blocks.
+    wires: Vec<(usize, usize)>,
+}
+
+impl Routing {
+    /// Compiles a routing fabric from the transition matrix `r`
+    /// (`r[p][q] = 1` iff `q` follows `p`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApError::RoutingInfeasible`] when a hierarchical fabric
+    /// runs out of global wires.
+    pub fn compile(r: &BitMatrix, kind: RoutingKind) -> Result<Self, ApError> {
+        let n = r.rows();
+        match kind {
+            RoutingKind::Dense => Ok(Self {
+                kind,
+                n,
+                dense: r.clone(),
+                hierarchical: None,
+                resources: RoutingResources { config_bits: n * n, global_wires: 0, blocks: 1 },
+            }),
+            RoutingKind::Hierarchical { block, max_global } => {
+                let block = block.max(1);
+                let blocks = n.div_ceil(block).max(1);
+                let mut local = Vec::with_capacity(blocks);
+                for b in 0..blocks {
+                    let size = (n - b * block).min(block);
+                    local.push(BitMatrix::new(size, size));
+                }
+                let mut wires = Vec::new();
+                for p in 0..n {
+                    for q in r.row(p).ones() {
+                        let (bp, bq) = (p / block, q / block);
+                        if bp == bq {
+                            local[bp].set(p % block, q % block, true);
+                        } else {
+                            wires.push((p, q));
+                        }
+                    }
+                }
+                if wires.len() > max_global {
+                    return Err(ApError::RoutingInfeasible {
+                        required: wires.len(),
+                        available: max_global,
+                    });
+                }
+                let config_bits = local.iter().map(|m| m.rows() * m.cols()).sum::<usize>()
+                    + wires.len() * 2; // each wire: source tap + dest driver
+                let resources =
+                    RoutingResources { config_bits, global_wires: wires.len(), blocks };
+                Ok(Self {
+                    kind,
+                    n,
+                    dense: r.clone(),
+                    hierarchical: Some(Hierarchical { block, local, wires }),
+                    resources,
+                })
+            }
+        }
+    }
+
+    /// The fabric organization.
+    pub fn kind(&self) -> RoutingKind {
+        self.kind
+    }
+
+    /// State count.
+    pub fn state_count(&self) -> usize {
+        self.n
+    }
+
+    /// Resource accounting.
+    pub fn resources(&self) -> RoutingResources {
+        self.resources
+    }
+
+    /// Computes the follow vector `f = a·R` (Equation 2) through the
+    /// compiled fabric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active.len()` differs from the state count.
+    pub fn follow(&self, active: &BitVec) -> BitVec {
+        assert_eq!(active.len(), self.n, "active vector length mismatch");
+        match &self.hierarchical {
+            None => self.dense.vector_product(active),
+            Some(h) => {
+                let mut f = BitVec::new(self.n);
+                // Local switches, block by block.
+                for (b, m) in h.local.iter().enumerate() {
+                    let base = b * h.block;
+                    let size = m.rows();
+                    let mut local_a = BitVec::new(size);
+                    for i in 0..size {
+                        if active.get(base + i) {
+                            local_a.set(i, true);
+                        }
+                    }
+                    if !local_a.any() {
+                        continue;
+                    }
+                    let local_f = m.vector_product(&local_a);
+                    for i in local_f.ones() {
+                        f.set(base + i, true);
+                    }
+                }
+                // Global wires.
+                for &(p, q) in &h.wires {
+                    if active.get(p) {
+                        f.set(q, true);
+                    }
+                }
+                f
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_matrix(n: usize) -> BitMatrix {
+        let mut m = BitMatrix::new(n, n);
+        for i in 0..n - 1 {
+            m.set(i, i + 1, true);
+        }
+        m
+    }
+
+    #[test]
+    fn dense_follow_equals_matrix_product() {
+        let m = chain_matrix(10);
+        let routing = Routing::compile(&m, RoutingKind::Dense).expect("dense");
+        let a = BitVec::from_indices(10, &[0, 5]);
+        assert_eq!(routing.follow(&a), m.vector_product(&a));
+        assert_eq!(routing.resources().config_bits, 100);
+    }
+
+    #[test]
+    fn hierarchical_matches_dense_within_blocks() {
+        let m = chain_matrix(16);
+        let kind = RoutingKind::Hierarchical { block: 4, max_global: 16 };
+        let routing = Routing::compile(&m, kind).expect("routable");
+        for start in 0..16 {
+            let a = BitVec::from_indices(16, &[start]);
+            assert_eq!(routing.follow(&a), m.vector_product(&a), "state {start}");
+        }
+        // Chain of 16 with block 4: 3 cross-block edges.
+        assert_eq!(routing.resources().global_wires, 3);
+        assert_eq!(routing.resources().blocks, 4);
+    }
+
+    #[test]
+    fn hierarchical_uses_far_fewer_config_bits_for_local_automata() {
+        // A 512-state automaton with only intra-block edges.
+        let n = 512;
+        let mut m = BitMatrix::new(n, n);
+        for i in 0..n {
+            let block_base = (i / 256) * 256;
+            m.set(i, block_base + (i + 1) % 256, true);
+        }
+        let dense = Routing::compile(&m, RoutingKind::Dense).expect("dense");
+        let hier = Routing::compile(&m, RoutingKind::cache_automaton()).expect("hier");
+        assert!(hier.resources().config_bits * 2 <= dense.resources().config_bits);
+        assert_eq!(hier.resources().global_wires, 0);
+    }
+
+    #[test]
+    fn global_wire_budget_is_enforced() {
+        // Bipartite all-cross edges blow the budget.
+        let n = 64;
+        let mut m = BitMatrix::new(n, n);
+        for p in 0..32 {
+            for q in 32..64 {
+                m.set(p, q, true);
+            }
+        }
+        let kind = RoutingKind::Hierarchical { block: 32, max_global: 100 };
+        let err = Routing::compile(&m, kind).expect_err("1024 crossings > 100 wires");
+        assert!(matches!(err, ApError::RoutingInfeasible { required: 1024, available: 100 }));
+    }
+
+    #[test]
+    fn empty_active_vector_produces_empty_follow() {
+        let m = chain_matrix(8);
+        for kind in [RoutingKind::Dense, RoutingKind::Hierarchical { block: 4, max_global: 64 }] {
+            let routing = Routing::compile(&m, kind).expect("routable");
+            assert!(!routing.follow(&BitVec::new(8)).any());
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// Dense and hierarchical fabrics are functionally identical for
+        /// any transition structure and active set (design decision D3).
+        #[test]
+        fn hierarchical_equals_dense(
+            n in 2usize..80,
+            edges in proptest::collection::vec((0usize..80, 0usize..80), 0..120),
+            actives in proptest::collection::vec(0usize..80, 0..20),
+            block in 2usize..40,
+        ) {
+            let mut m = BitMatrix::new(n, n);
+            for (p, q) in edges {
+                m.set(p % n, q % n, true);
+            }
+            let dense = Routing::compile(&m, RoutingKind::Dense).expect("dense");
+            let hier = Routing::compile(
+                &m,
+                RoutingKind::Hierarchical { block, max_global: n * n },
+            )
+            .expect("unbounded wires");
+            let idx: Vec<usize> = actives.iter().map(|&i| i % n).collect();
+            let a = BitVec::from_indices(n, &idx);
+            prop_assert_eq!(dense.follow(&a), hier.follow(&a));
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Deterministic finite automata: the classic software baseline.
+//!
+//! Automata processors exist because DFAs — the traditional
+//! high-throughput matching technology in network security \[22\] —
+//! explode in state count on rule sets that NFAs represent compactly.
+//! This module provides the baseline: subset construction from any
+//! [`Nfa`], Moore minimization, and a table-driven matcher, so benches
+//! can put the AP's "one cycle per symbol regardless of active-set size"
+//! claim next to the DFA's "one table lookup per symbol, exponential
+//! memory" trade-off.
+
+use crate::Nfa;
+use std::collections::HashMap;
+
+/// Marker for the absent (dead) transition.
+const DEAD: u32 = u32::MAX;
+
+/// A table-driven deterministic finite automaton over bytes.
+///
+/// # Examples
+///
+/// ```
+/// use memcim_automata::{Dfa, Regex};
+///
+/// # fn main() -> Result<(), memcim_automata::AutomataError> {
+/// let nfa = Regex::parse("(a|b)*abb")?.compile();
+/// let dfa = Dfa::from_nfa(&nfa).minimize();
+/// assert!(dfa.accepts(b"aababb"));
+/// assert!(!dfa.accepts(b"aabab"));
+/// assert_eq!(dfa.state_count(), 4); // the textbook minimal machine
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dfa {
+    /// Flattened `state × 256` transition table.
+    table: Vec<u32>,
+    accept: Vec<bool>,
+    start: u32,
+}
+
+impl Dfa {
+    /// Builds a DFA from an ε-free NFA by subset construction
+    /// (anchored semantics, matching [`Nfa::accepts`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the construction exceeds `2^20` subsets — the
+    /// state-explosion guard (the phenomenon APs are built to avoid).
+    pub fn from_nfa(nfa: &Nfa) -> Self {
+        const LIMIT: usize = 1 << 20;
+        let mut start: Vec<usize> = nfa.starts().to_vec();
+        start.sort_unstable();
+        start.dedup();
+        let mut subset_id: HashMap<Vec<usize>, u32> = HashMap::new();
+        let mut subsets: Vec<Vec<usize>> = Vec::new();
+        let mut table: Vec<u32> = Vec::new();
+        let mut accept: Vec<bool> = Vec::new();
+        subset_id.insert(start.clone(), 0);
+        subsets.push(start);
+        let mut next = 0usize;
+        while next < subsets.len() {
+            assert!(subsets.len() <= LIMIT, "subset construction exploded past 2^20 states");
+            let current = subsets[next].clone();
+            accept.push(current.iter().any(|&q| nfa.is_accept(q)));
+            let row_base = table.len();
+            table.resize(row_base + 256, DEAD);
+            // Targets per byte.
+            for byte in 0..=255u8 {
+                let mut target: Vec<usize> = Vec::new();
+                for &p in &current {
+                    for &(class, q) in nfa.transitions(p) {
+                        if class.contains(byte) {
+                            target.push(q);
+                        }
+                    }
+                }
+                target.sort_unstable();
+                target.dedup();
+                if target.is_empty() {
+                    continue;
+                }
+                let id = match subset_id.get(&target) {
+                    Some(&id) => id,
+                    None => {
+                        let id = subsets.len() as u32;
+                        subset_id.insert(target.clone(), id);
+                        subsets.push(target);
+                        id
+                    }
+                };
+                table[row_base + byte as usize] = id;
+            }
+            next += 1;
+        }
+        Self { table, accept, start: 0 }
+    }
+
+    /// Number of states (dead state excluded — it is implicit).
+    pub fn state_count(&self) -> usize {
+        self.accept.len()
+    }
+
+    /// Anchored acceptance of exactly `input`.
+    pub fn accepts(&self, input: &[u8]) -> bool {
+        let mut state = self.start;
+        for &byte in input {
+            state = self.table[state as usize * 256 + byte as usize];
+            if state == DEAD {
+                return false;
+            }
+        }
+        self.accept[state as usize]
+    }
+
+    /// Moore minimization: merges equivalence classes of states until the
+    /// partition stabilizes. The result accepts the same language with
+    /// the minimum number of live states.
+    pub fn minimize(&self) -> Dfa {
+        let n = self.state_count();
+        // Class per state: start from accept/reject.
+        let mut class: Vec<u32> = self.accept.iter().map(|&a| u32::from(a)).collect();
+        loop {
+            // Signature: (class, classes of 256 successors with DEAD kept
+            // distinct).
+            let mut sig_to_new: HashMap<(u32, Vec<u32>), u32> = HashMap::new();
+            let mut new_class = vec![0u32; n];
+            for s in 0..n {
+                let succ: Vec<u32> = (0..256)
+                    .map(|b| {
+                        let t = self.table[s * 256 + b];
+                        if t == DEAD {
+                            DEAD
+                        } else {
+                            class[t as usize]
+                        }
+                    })
+                    .collect();
+                let key = (class[s], succ);
+                let next_id = sig_to_new.len() as u32;
+                new_class[s] = *sig_to_new.entry(key).or_insert(next_id);
+            }
+            if new_class == class {
+                break;
+            }
+            class = new_class;
+        }
+        // Rebuild with one representative per class.
+        let class_count = class.iter().map(|&c| c + 1).max().unwrap_or(0) as usize;
+        let mut table = vec![DEAD; class_count * 256];
+        let mut accept = vec![false; class_count];
+        for s in 0..n {
+            let c = class[s] as usize;
+            accept[c] = self.accept[s];
+            for b in 0..256 {
+                let t = self.table[s * 256 + b];
+                if t != DEAD {
+                    table[c * 256 + b] = class[t as usize];
+                }
+            }
+        }
+        Dfa { table, accept, start: class[self.start as usize] }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Regex;
+
+    fn dfa(pattern: &str) -> Dfa {
+        Dfa::from_nfa(&Regex::parse(pattern).expect("parses").compile())
+    }
+
+    #[test]
+    fn subset_construction_matches_nfa() {
+        let nfa = Regex::parse("a(b|c)+d?").expect("parses").compile();
+        let d = Dfa::from_nfa(&nfa);
+        for input in
+            [&b"ab"[..], b"ac", b"abc", b"abcd", b"ad", b"a", b"abd", b"", b"abcbcbc", b"xbd"]
+        {
+            assert_eq!(d.accepts(input), nfa.accepts(input), "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn textbook_minimal_machine() {
+        // (a|b)*abb minimizes to exactly 4 live states (Aho–Sethi–Ullman
+        // Fig. 3.36).
+        let full = dfa("(a|b)*abb");
+        let min = full.minimize();
+        assert!(min.state_count() <= full.state_count());
+        assert_eq!(min.state_count(), 4);
+        for (input, expect) in [
+            (&b"abb"[..], true),
+            (b"aabb", true),
+            (b"babb", true),
+            (b"ab", false),
+            (b"abba", false),
+        ] {
+            assert_eq!(min.accepts(input), expect, "{input:?}");
+        }
+    }
+
+    #[test]
+    fn minimization_preserves_language() {
+        for pattern in ["a*b*c*", "(ab|ba)+", "x(y|z){2,3}", "[a-d]*e"] {
+            let full = dfa(pattern);
+            let min = full.minimize();
+            assert!(min.state_count() <= full.state_count(), "{pattern}");
+            for input in [
+                &b""[..], b"a", b"ab", b"abc", b"ba", b"abba", b"xyz", b"xyy", b"xzzz", b"abcde",
+                b"e", b"ae",
+            ] {
+                assert_eq!(min.accepts(input), full.accepts(input), "{pattern} on {input:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_language_and_empty_string() {
+        let d = dfa("");
+        assert!(d.accepts(b""));
+        assert!(!d.accepts(b"a"));
+        let d2 = dfa("a");
+        assert!(!d2.accepts(b""));
+    }
+
+    #[test]
+    fn dead_transitions_short_circuit() {
+        let d = dfa("abc");
+        assert!(!d.accepts(b"abx"));
+        assert!(!d.accepts(b"x"));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::Regex;
+    use proptest::prelude::*;
+
+    fn pattern_strategy() -> impl Strategy<Value = String> {
+        let leaf = prop_oneof![
+            Just("a".to_string()),
+            Just("b".to_string()),
+            Just("[ab]".to_string()),
+        ];
+        leaf.prop_recursive(3, 12, 2, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("{a}{b}")),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a}|{b})")),
+                inner.prop_map(|a| format!("({a})*")),
+            ]
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// DFA (raw and minimized) ≡ NFA on random patterns/inputs.
+        #[test]
+        fn dfa_equals_nfa(
+            pattern in pattern_strategy(),
+            inputs in proptest::collection::vec(
+                proptest::collection::vec(b'a'..=b'c', 0..10), 1..6),
+        ) {
+            let nfa = Regex::parse(&pattern).expect("generated").compile();
+            let d = Dfa::from_nfa(&nfa);
+            let m = d.minimize();
+            for input in &inputs {
+                let expect = nfa.accepts(input);
+                prop_assert_eq!(d.accepts(input), expect, "raw {} {:?}", pattern.clone(), input.clone());
+                prop_assert_eq!(m.accepts(input), expect, "min {} {:?}", pattern.clone(), input.clone());
+            }
+            prop_assert!(m.state_count() <= d.state_count());
+        }
+    }
+}

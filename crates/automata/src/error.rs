@@ -1,0 +1,52 @@
+//! Error type for regex parsing and automaton construction.
+
+use core::fmt;
+
+/// Errors produced while parsing regular expressions or building
+/// automata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AutomataError {
+    /// The regular expression failed to parse.
+    ParseRegex {
+        /// Byte offset of the failure in the pattern.
+        position: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A repetition bound was invalid (e.g. `{3,1}`).
+    InvalidRepetition {
+        /// Byte offset in the pattern.
+        position: usize,
+    },
+    /// An empty pattern set was supplied where at least one is required.
+    EmptyPatternSet,
+}
+
+impl fmt::Display for AutomataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AutomataError::ParseRegex { position, message } => {
+                write!(f, "regex parse error at byte {position}: {message}")
+            }
+            AutomataError::InvalidRepetition { position } => {
+                write!(f, "invalid repetition bounds at byte {position}")
+            }
+            AutomataError::EmptyPatternSet => write!(f, "pattern set must not be empty"),
+        }
+    }
+}
+
+impl std::error::Error for AutomataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_carry_position() {
+        let e = AutomataError::ParseRegex { position: 4, message: "unbalanced )".into() };
+        assert!(e.to_string().contains("byte 4"));
+        assert!(e.to_string().contains("unbalanced"));
+    }
+}

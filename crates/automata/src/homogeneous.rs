@@ -1,0 +1,439 @@
+//! Homogeneous automata and their matrix projection (paper Fig. 5b/6).
+
+use crate::{Nfa, StateId, SymbolClass};
+use memcim_bits::{BitMatrix, BitVec};
+
+/// How a state participates in automaton start-up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StartKind {
+    /// Not a start state.
+    #[default]
+    None,
+    /// Enabled only for the first input symbol (anchored matching — the
+    /// paper's `q₀` semantics).
+    StartOfInput,
+    /// Re-enabled at every input symbol (unanchored scanning, as in the
+    /// Micron AP's "all-input" STEs).
+    AllInput,
+}
+
+/// One homogeneous state: reachable only on its own symbol class.
+#[derive(Debug, Clone, PartialEq)]
+struct HState {
+    class: SymbolClass,
+    accept: bool,
+    start: StartKind,
+    /// The NFA state this h-state was split from.
+    origin: StateId,
+}
+
+/// The result of running a [`HomogeneousAutomaton`] over an input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HomogeneousRun {
+    /// Anchored acceptance: was an accept state active after the *final*
+    /// symbol (or, for empty input, does the automaton accept ε)?
+    pub accepted: bool,
+    /// Every position at which an accept state was active (AP report
+    /// events).
+    pub accept_positions: Vec<usize>,
+}
+
+/// A homogeneous finite automaton: every state is entered only by
+/// transitions on that state's own symbol class (paper Fig. 5b), which is
+/// exactly the property that lets automata processors implement states as
+/// STE columns.
+///
+/// # Examples
+///
+/// ```
+/// use memcim_automata::{HomogeneousAutomaton, Regex};
+///
+/// # fn main() -> Result<(), memcim_automata::AutomataError> {
+/// let nfa = Regex::parse("a(b|c)*d")?.compile();
+/// let homog = HomogeneousAutomaton::from_nfa(&nfa);
+/// assert_eq!(homog.run(b"abcbd").accepted, nfa.accepts(b"abcbd"));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HomogeneousAutomaton {
+    states: Vec<HState>,
+    /// Adjacency: `edges[p]` lists successor h-states of `p`.
+    edges: Vec<Vec<usize>>,
+    accepts_empty: bool,
+}
+
+impl HomogeneousAutomaton {
+    /// Converts any ε-free NFA into an equivalent homogeneous automaton
+    /// by splitting each state per distinct incoming symbol class
+    /// (the paper: *"Any NFA can be translated into its equivalent
+    /// homogeneous automaton"*).
+    pub fn from_nfa(nfa: &Nfa) -> Self {
+        // Collect, per NFA state, its distinct incoming classes.
+        let mut incoming: Vec<Vec<SymbolClass>> = vec![Vec::new(); nfa.state_count()];
+        for p in 0..nfa.state_count() {
+            for &(class, q) in nfa.transitions(p) {
+                if !incoming[q].contains(&class) {
+                    incoming[q].push(class);
+                }
+            }
+        }
+        // An h-state per (state, incoming class). States never entered
+        // (no incoming edges and not start targets) are dropped.
+        let mut id_of: Vec<Vec<(SymbolClass, usize)>> = vec![Vec::new(); nfa.state_count()];
+        let mut states = Vec::new();
+        for q in 0..nfa.state_count() {
+            for &class in &incoming[q] {
+                id_of[q].push((class, states.len()));
+                states.push(HState {
+                    class,
+                    accept: nfa.is_accept(q),
+                    start: StartKind::None,
+                    origin: q,
+                });
+            }
+        }
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); states.len()];
+        for p in 0..nfa.state_count() {
+            for &(class, q) in nfa.transitions(p) {
+                let &(_, hq) = id_of[q]
+                    .iter()
+                    .find(|(c, _)| *c == class)
+                    .expect("incoming class registered");
+                for &(_, hp) in &id_of[p] {
+                    if !edges[hp].contains(&hq) {
+                        edges[hp].push(hq);
+                    }
+                }
+            }
+        }
+        // Start flags: targets of edges leaving NFA start states.
+        let mut out = Self { states, edges, accepts_empty: nfa.accepts_empty() };
+        for &s in nfa.starts() {
+            for &(class, q) in nfa.transitions(s) {
+                let &(_, hq) = id_of[q]
+                    .iter()
+                    .find(|(c, _)| *c == class)
+                    .expect("incoming class registered");
+                out.states[hq].start = StartKind::StartOfInput;
+            }
+        }
+        out
+    }
+
+    /// Number of states (STEs required on an AP).
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of transitions (routing-matrix population).
+    pub fn transition_count(&self) -> usize {
+        self.edges.iter().map(Vec::len).sum()
+    }
+
+    /// The symbol class of a state.
+    pub fn class(&self, state: usize) -> &SymbolClass {
+        &self.states[state].class
+    }
+
+    /// The NFA state a homogeneous state was split from.
+    pub fn origin(&self, state: usize) -> StateId {
+        self.states[state].origin
+    }
+
+    /// Whether a state accepts.
+    pub fn is_accept(&self, state: usize) -> bool {
+        self.states[state].accept
+    }
+
+    /// The start participation of a state.
+    pub fn start_kind(&self, state: usize) -> StartKind {
+        self.states[state].start
+    }
+
+    /// Successors of a state.
+    pub fn successors(&self, state: usize) -> &[usize] {
+        &self.edges[state]
+    }
+
+    /// Whether the empty input is accepted.
+    pub fn accepts_empty(&self) -> bool {
+        self.accepts_empty
+    }
+
+    /// Rewrites every start state to the given kind — switch to
+    /// [`StartKind::AllInput`] for unanchored scanning.
+    #[must_use]
+    pub fn with_start_kind(mut self, kind: StartKind) -> Self {
+        for s in &mut self.states {
+            if s.start != StartKind::None {
+                s.start = kind;
+            }
+        }
+        self
+    }
+
+    /// Projects the automaton onto the paper's Fig. 6 matrices.
+    pub fn to_matrices(&self) -> ApMatrices {
+        let n = self.states.len();
+        let mut v = BitMatrix::new(256, n);
+        let mut r = BitMatrix::new(n, n);
+        let mut start_of_input = BitVec::new(n);
+        let mut all_input = BitVec::new(n);
+        let mut accept = BitVec::new(n);
+        for (i, s) in self.states.iter().enumerate() {
+            for byte in s.class.iter() {
+                v.set(byte as usize, i, true);
+            }
+            match s.start {
+                StartKind::None => {}
+                StartKind::StartOfInput => start_of_input.set(i, true),
+                StartKind::AllInput => all_input.set(i, true),
+            }
+            if s.accept {
+                accept.set(i, true);
+            }
+        }
+        for (p, succ) in self.edges.iter().enumerate() {
+            for &q in succ {
+                r.set(p, q, true);
+            }
+        }
+        ApMatrices { v, r, start_of_input, all_input, accept, accepts_empty: self.accepts_empty }
+    }
+
+    /// Runs the automaton bit-parallel (the software reference for the
+    /// hardware AP engine).
+    pub fn run(&self, input: &[u8]) -> HomogeneousRun {
+        self.to_matrices().run(input)
+    }
+}
+
+/// The paper's Fig. 6 data structures: STE matrix `V` (2^W × N), routing
+/// matrix `R` (N × N), start and accept vectors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApMatrices {
+    /// STE configuration: `v[symbol][state]` = state matches symbol
+    /// (Equation (1)).
+    pub v: BitMatrix,
+    /// Routing matrix: `r[p][q]` = q reachable from p (Equation (2)).
+    pub r: BitMatrix,
+    /// States enabled at the first symbol only.
+    pub start_of_input: BitVec,
+    /// States re-enabled at every symbol.
+    pub all_input: BitVec,
+    /// Accept vector `c` (Equation (4)).
+    pub accept: BitVec,
+    /// ε acceptance (empty input).
+    pub accepts_empty: bool,
+}
+
+impl ApMatrices {
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.accept.len()
+    }
+
+    /// Executes Equations (1)–(4) over an input sequence.
+    pub fn run(&self, input: &[u8]) -> HomogeneousRun {
+        let n = self.state_count();
+        let mut active = BitVec::new(n);
+        let mut accept_positions = Vec::new();
+        let mut last_accepting = false;
+        for (pos, &byte) in input.iter().enumerate() {
+            // Equation (1): symbol vector from the one-hot input row.
+            let s = self.v.row(byte as usize);
+            // Equation (2): follow vector, plus start enables.
+            let mut f = self.r.vector_product(&active);
+            if pos == 0 {
+                f.or_assign(&self.start_of_input);
+            }
+            f.or_assign(&self.all_input);
+            // Equation (3): next active vector.
+            f.and_assign(s);
+            active = f;
+            // Equation (4): report.
+            last_accepting = active.intersects(&self.accept);
+            if last_accepting {
+                accept_positions.push(pos);
+            }
+        }
+        let accepted = if input.is_empty() { self.accepts_empty } else { last_accepting };
+        HomogeneousRun { accepted, accept_positions }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Regex;
+
+    /// The paper's Fig. 5a NFA (with the S1 self-loop drawn in the
+    /// figure).
+    fn paper_nfa() -> Nfa {
+        let mut nfa = Nfa::new();
+        let s1 = nfa.add_state();
+        let s2 = nfa.add_state();
+        let s3 = nfa.add_state();
+        nfa.add_start(s1);
+        nfa.set_accept(s3, true);
+        nfa.add_transition(s1, SymbolClass::from_bytes(b"abc"), s1);
+        nfa.add_transition(s1, SymbolClass::of(b'c'), s2);
+        nfa.add_transition(s1, SymbolClass::of(b'b'), s3);
+        nfa.add_transition(s2, SymbolClass::of(b'b'), s3);
+        nfa
+    }
+
+    #[test]
+    fn fig5_conversion_produces_three_homogeneous_states() {
+        let h = HomogeneousAutomaton::from_nfa(&paper_nfa());
+        assert_eq!(h.state_count(), 3);
+        // Classes per Fig. 5b: S1 carries {a,b,c}, one state carries {c}
+        // (old S2) and one carries {b} (old S3).
+        let classes: Vec<usize> = (0..3).map(|i| h.class(i).len()).collect();
+        assert!(classes.contains(&3));
+        assert!(classes.iter().filter(|&&l| l == 1).count() == 2);
+        // All three are start targets (S1 has edges to each on the first
+        // symbol).
+        assert!((0..3).all(|i| h.start_kind(i) == StartKind::StartOfInput));
+    }
+
+    #[test]
+    fn fig5_language_is_preserved() {
+        let nfa = paper_nfa();
+        let h = HomogeneousAutomaton::from_nfa(&nfa);
+        for input in [&b"b"[..], b"ab", b"cb", b"acb", b"aaab", b"a", b"ba", b"", b"cc"] {
+            assert_eq!(h.run(input).accepted, nfa.accepts(input), "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn section_iv_b_worked_example_vectors() {
+        // The paper's trace: a = [1 0 0] (only S1), input symbol `b` ⇒
+        // s = [1 0 1], f = [0 1 1], next a = [0 0 1], A = 1.
+        // Built verbatim from the printed V, R and c matrices.
+        let mut v = BitMatrix::new(256, 3);
+        for b in [b'a', b'b', b'c'] {
+            v.set(b as usize, 0, true); // V1 = {a,b,c}
+        }
+        v.set(b'c' as usize, 1, true); // V2 = {c}
+        v.set(b'b' as usize, 2, true); // V3 = {b}
+        let mut r = BitMatrix::new(3, 3);
+        r.set(0, 1, true);
+        r.set(0, 2, true);
+        r.set(1, 2, true);
+        let a = BitVec::from_indices(3, &[0]);
+        let s = v.row(b'b' as usize);
+        assert_eq!(s.ones().collect::<Vec<_>>(), vec![0, 2], "s = [1 0 1]");
+        let f = r.vector_product(&a);
+        assert_eq!(f.ones().collect::<Vec<_>>(), vec![1, 2], "f = [0 1 1]");
+        let next = f.and(s);
+        assert_eq!(next.ones().collect::<Vec<_>>(), vec![2], "a = [0 0 1]");
+        let c = BitVec::from_indices(3, &[2]);
+        assert!(next.intersects(&c), "A = 1");
+    }
+
+    #[test]
+    fn conversion_splits_states_with_heterogeneous_incoming_classes() {
+        // q reached on 'x' from p1 and on 'y' from p2 must split in two.
+        let mut nfa = Nfa::new();
+        let p1 = nfa.add_state();
+        let p2 = nfa.add_state();
+        let q = nfa.add_state();
+        nfa.add_start(p1);
+        nfa.add_start(p2);
+        nfa.set_accept(q, true);
+        nfa.add_transition(p1, SymbolClass::of(b'x'), q);
+        nfa.add_transition(p2, SymbolClass::of(b'y'), q);
+        let h = HomogeneousAutomaton::from_nfa(&nfa);
+        // p1/p2 have no incoming edges ⇒ dropped; q splits into two.
+        assert_eq!(h.state_count(), 2);
+        assert!(h.run(b"x").accepted);
+        assert!(h.run(b"y").accepted);
+        assert!(!h.run(b"z").accepted);
+        assert!((0..2).all(|i| h.origin(i) == q));
+    }
+
+    #[test]
+    fn all_input_start_scans_unanchored() {
+        let nfa = Regex::parse("ab").expect("parses").compile();
+        let anchored = HomogeneousAutomaton::from_nfa(&nfa);
+        let scanning = anchored.clone().with_start_kind(StartKind::AllInput);
+        // Anchored: "xab" does not match from position 0.
+        assert!(!anchored.run(b"xab").accepted);
+        // Scanning: the match ending at position 2 is reported.
+        let run = scanning.run(b"xabxxab");
+        assert_eq!(run.accept_positions, vec![2, 6]);
+    }
+
+    #[test]
+    fn matrices_shape_matches_the_model() {
+        let nfa = Regex::parse("a(b|c)d").expect("parses").compile();
+        let h = HomogeneousAutomaton::from_nfa(&nfa);
+        let m = h.to_matrices();
+        assert_eq!(m.v.rows(), 256);
+        assert_eq!(m.v.cols(), h.state_count());
+        assert_eq!(m.r.rows(), h.state_count());
+        assert_eq!(m.r.cols(), h.state_count());
+        assert_eq!(m.r.count_ones(), h.transition_count());
+    }
+
+    #[test]
+    fn empty_input_follows_epsilon_acceptance() {
+        let star = Regex::parse("a*").expect("parses").compile();
+        let h = HomogeneousAutomaton::from_nfa(&star);
+        assert!(h.accepts_empty());
+        assert!(h.run(b"").accepted);
+        let plus = Regex::parse("a+").expect("parses").compile();
+        let h2 = HomogeneousAutomaton::from_nfa(&plus);
+        assert!(!h2.run(b"").accepted);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::Regex;
+    use proptest::prelude::*;
+
+    /// Random patterns over a small alphabet with the constructors the
+    /// parser supports.
+    fn pattern_strategy() -> impl Strategy<Value = String> {
+        let leaf = prop_oneof![
+            "[abc]".prop_map(|s| s),
+            Just("a".to_string()),
+            Just("b".to_string()),
+            Just(".".to_string()),
+        ];
+        leaf.prop_recursive(3, 16, 2, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("{a}{b}")),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a}|{b})")),
+                inner.clone().prop_map(|a| format!("({a})*")),
+                inner.prop_map(|a| format!("({a})+")),
+            ]
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+        /// Homogeneous conversion preserves the language (differential
+        /// test against the set-based NFA interpreter).
+        #[test]
+        fn conversion_preserves_language(
+            pattern in pattern_strategy(),
+            inputs in proptest::collection::vec(
+                proptest::collection::vec(b'a'..=b'd', 0..10), 1..8),
+        ) {
+            let nfa = Regex::parse(&pattern).expect("generated pattern").compile();
+            let h = HomogeneousAutomaton::from_nfa(&nfa);
+            for input in &inputs {
+                prop_assert_eq!(
+                    h.run(input).accepted,
+                    nfa.accepts(input),
+                    "pattern {} input {:?}", pattern, input
+                );
+            }
+        }
+    }
+}

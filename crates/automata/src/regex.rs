@@ -1,0 +1,740 @@
+//! Regular-expression parsing and Thompson compilation to an ε-free NFA.
+
+use crate::{AutomataError, Nfa, SymbolClass};
+
+/// Maximum expansion of a bounded repetition `{m,n}`.
+const MAX_REPEAT: u32 = 256;
+
+/// A parsed regular expression, compilable to an [`Nfa`].
+///
+/// Supported syntax (byte semantics — `.` matches any byte):
+/// literals, `.`, `|`, `*`, `+`, `?`, grouping `( … )`, bounded repeats
+/// `{m}`, `{m,}`, `{m,n}`, classes `[a-z0-9]` / negated `[^…]`, and the
+/// escapes `\d \w \s \D \W \S \n \r \t \0 \xHH` plus escaped
+/// metacharacters.
+///
+/// # Examples
+///
+/// ```
+/// use memcim_automata::Regex;
+///
+/// # fn main() -> Result<(), memcim_automata::AutomataError> {
+/// let re = Regex::parse(r"GET /[a-z]+\.html")?;
+/// assert!(re.compile().accepts(b"GET /index.html"));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regex {
+    ast: Ast,
+    pattern: String,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Ast {
+    Empty,
+    Class(SymbolClass),
+    Concat(Vec<Ast>),
+    Alt(Vec<Ast>),
+    Star(Box<Ast>),
+}
+
+impl Regex {
+    /// Parses a pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutomataError::ParseRegex`] with the failing byte offset
+    /// for malformed syntax, and [`AutomataError::InvalidRepetition`] for
+    /// bounds like `{3,1}` or repeats beyond 256.
+    pub fn parse(pattern: &str) -> Result<Self, AutomataError> {
+        let mut p = Parser { bytes: pattern.as_bytes(), pos: 0 };
+        let ast = p.alternation()?;
+        if p.pos != p.bytes.len() {
+            return Err(p.error("unexpected trailing input (unbalanced ')'?)"));
+        }
+        Ok(Self { ast, pattern: pattern.to_string() })
+    }
+
+    /// The original pattern text.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// Compiles to an ε-free NFA (Thompson construction, then ε-closure
+    /// elimination and unreachable-state pruning).
+    pub fn compile(&self) -> Nfa {
+        let mut g = Thompson::default();
+        let frag = g.compile(&self.ast);
+        g.into_nfa(frag)
+    }
+
+    /// Samples a random string matched by this pattern (used by workload
+    /// generators to plant true positives in synthetic traffic).
+    /// Star-quantified subexpressions repeat 0–3 times.
+    pub fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> Vec<u8> {
+        fn walk<R: rand::Rng + ?Sized>(ast: &Ast, rng: &mut R, out: &mut Vec<u8>) {
+            match ast {
+                Ast::Empty => {}
+                Ast::Class(c) => {
+                    let k = rng.gen_range(0..c.len().max(1));
+                    if let Some(b) = c.iter().nth(k) {
+                        out.push(b);
+                    }
+                }
+                Ast::Concat(parts) => {
+                    for p in parts {
+                        walk(p, rng, out);
+                    }
+                }
+                Ast::Alt(branches) => {
+                    let k = rng.gen_range(0..branches.len());
+                    walk(&branches[k], rng, out);
+                }
+                Ast::Star(inner) => {
+                    for _ in 0..rng.gen_range(0..=3) {
+                        walk(inner, rng, out);
+                    }
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.ast, rng, &mut out);
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: &str) -> AutomataError {
+        AutomataError::ParseRegex { position: self.pos, message: message.to_string() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn alternation(&mut self) -> Result<Ast, AutomataError> {
+        let mut branches = vec![self.concat()?];
+        while self.peek() == Some(b'|') {
+            self.pos += 1;
+            branches.push(self.concat()?);
+        }
+        Ok(if branches.len() == 1 { branches.pop().expect("one branch") } else { Ast::Alt(branches) })
+    }
+
+    fn concat(&mut self) -> Result<Ast, AutomataError> {
+        let mut parts = Vec::new();
+        while let Some(b) = self.peek() {
+            if b == b'|' || b == b')' {
+                break;
+            }
+            parts.push(self.repeat()?);
+        }
+        Ok(match parts.len() {
+            0 => Ast::Empty,
+            1 => parts.pop().expect("one part"),
+            _ => Ast::Concat(parts),
+        })
+    }
+
+    fn repeat(&mut self) -> Result<Ast, AutomataError> {
+        let mut node = self.atom()?;
+        loop {
+            match self.peek() {
+                Some(b'*') => {
+                    self.pos += 1;
+                    node = Ast::Star(Box::new(node));
+                }
+                Some(b'+') => {
+                    self.pos += 1;
+                    node = Ast::Concat(vec![node.clone(), Ast::Star(Box::new(node))]);
+                }
+                Some(b'?') => {
+                    self.pos += 1;
+                    node = Ast::Alt(vec![node, Ast::Empty]);
+                }
+                Some(b'{') => {
+                    let open = self.pos;
+                    self.pos += 1;
+                    let (min, max) = self.bounds(open)?;
+                    node = expand_repeat(node, min, max);
+                }
+                _ => break,
+            }
+        }
+        Ok(node)
+    }
+
+    /// Parses `{m}`, `{m,}` or `{m,n}` after the opening brace.
+    fn bounds(&mut self, open: usize) -> Result<(u32, Option<u32>), AutomataError> {
+        let min = self.number(open)?;
+        match self.bump() {
+            Some(b'}') => Ok((min, Some(min))),
+            Some(b',') => {
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok((min, None));
+                }
+                let max = self.number(open)?;
+                if self.bump() != Some(b'}') {
+                    return Err(self.error("expected '}' after repetition bounds"));
+                }
+                if max < min {
+                    return Err(AutomataError::InvalidRepetition { position: open });
+                }
+                Ok((min, Some(max)))
+            }
+            _ => Err(self.error("expected '}' or ',' in repetition")),
+        }
+    }
+
+    fn number(&mut self, open: usize) -> Result<u32, AutomataError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(self.error("expected a number in repetition bounds"));
+        }
+        let text = core::str::from_utf8(&self.bytes[start..self.pos]).expect("digits");
+        let n: u32 = text
+            .parse()
+            .map_err(|_| AutomataError::InvalidRepetition { position: open })?;
+        if n > MAX_REPEAT {
+            return Err(AutomataError::InvalidRepetition { position: open });
+        }
+        Ok(n)
+    }
+
+    fn atom(&mut self) -> Result<Ast, AutomataError> {
+        match self.bump() {
+            None => Err(self.error("unexpected end of pattern")),
+            Some(b'(') => {
+                let inner = self.alternation()?;
+                if self.bump() != Some(b')') {
+                    return Err(self.error("unbalanced '('"));
+                }
+                Ok(inner)
+            }
+            Some(b'[') => self.class().map(Ast::Class),
+            Some(b'.') => Ok(Ast::Class(SymbolClass::ANY)),
+            Some(b'\\') => self.escape().map(Ast::Class),
+            Some(b @ (b'*' | b'+' | b'?' | b'{' | b')')) => {
+                self.pos -= 1;
+                Err(self.error(match b {
+                    b')' => "unbalanced ')'",
+                    _ => "quantifier with nothing to repeat",
+                }))
+            }
+            Some(b) => Ok(Ast::Class(SymbolClass::of(b))),
+        }
+    }
+
+    fn escape(&mut self) -> Result<SymbolClass, AutomataError> {
+        match self.bump() {
+            None => Err(self.error("dangling escape")),
+            Some(b'd') => Ok(SymbolClass::range(b'0', b'9')),
+            Some(b'D') => Ok(SymbolClass::range(b'0', b'9').complement()),
+            Some(b'w') => Ok(word_class()),
+            Some(b'W') => Ok(word_class().complement()),
+            Some(b's') => Ok(SymbolClass::from_bytes(b" \t\n\r\x0b\x0c")),
+            Some(b'S') => Ok(SymbolClass::from_bytes(b" \t\n\r\x0b\x0c").complement()),
+            Some(b'n') => Ok(SymbolClass::of(b'\n')),
+            Some(b'r') => Ok(SymbolClass::of(b'\r')),
+            Some(b't') => Ok(SymbolClass::of(b'\t')),
+            Some(b'0') => Ok(SymbolClass::of(0)),
+            Some(b'x') => {
+                let hi = self.hex_digit()?;
+                let lo = self.hex_digit()?;
+                Ok(SymbolClass::of(hi * 16 + lo))
+            }
+            Some(b) => Ok(SymbolClass::of(b)),
+        }
+    }
+
+    fn hex_digit(&mut self) -> Result<u8, AutomataError> {
+        match self.bump() {
+            Some(b @ b'0'..=b'9') => Ok(b - b'0'),
+            Some(b @ b'a'..=b'f') => Ok(b - b'a' + 10),
+            Some(b @ b'A'..=b'F') => Ok(b - b'A' + 10),
+            _ => Err(self.error("expected a hex digit after \\x")),
+        }
+    }
+
+    fn class(&mut self) -> Result<SymbolClass, AutomataError> {
+        let negated = if self.peek() == Some(b'^') {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        let mut class = SymbolClass::EMPTY;
+        let mut first = true;
+        loop {
+            match self.bump() {
+                None => return Err(self.error("unterminated character class")),
+                Some(b']') if !first => break,
+                Some(b) => {
+                    first = false;
+                    let item = if b == b'\\' { self.escape()? } else { SymbolClass::of(b) };
+                    // A range needs a single-symbol left side and '-' not
+                    // followed by ']'.
+                    if item.len() == 1
+                        && self.peek() == Some(b'-')
+                        && self.bytes.get(self.pos + 1).copied().is_some_and(|n| n != b']')
+                    {
+                        self.pos += 1; // consume '-'
+                        let hi_byte = self.bump().expect("checked");
+                        let hi = if hi_byte == b'\\' { self.escape()? } else { SymbolClass::of(hi_byte) };
+                        if hi.len() != 1 {
+                            return Err(self.error("range endpoint must be a single symbol"));
+                        }
+                        let lo_sym = item.iter().next().expect("single");
+                        let hi_sym = hi.iter().next().expect("single");
+                        if hi_sym < lo_sym {
+                            return Err(self.error("reversed range in character class"));
+                        }
+                        class = class.union(&SymbolClass::range(lo_sym, hi_sym));
+                    } else {
+                        class = class.union(&item);
+                    }
+                }
+            }
+        }
+        Ok(if negated { class.complement() } else { class })
+    }
+}
+
+fn word_class() -> SymbolClass {
+    SymbolClass::range(b'a', b'z')
+        .union(&SymbolClass::range(b'A', b'Z'))
+        .union(&SymbolClass::range(b'0', b'9'))
+        .union(&SymbolClass::of(b'_'))
+}
+
+/// Expands `{m,n}` / `{m,}` at the AST level.
+fn expand_repeat(node: Ast, min: u32, max: Option<u32>) -> Ast {
+    let mut parts = Vec::new();
+    for _ in 0..min {
+        parts.push(node.clone());
+    }
+    match max {
+        None => parts.push(Ast::Star(Box::new(node))),
+        Some(max) => {
+            for _ in min..max {
+                parts.push(Ast::Alt(vec![node.clone(), Ast::Empty]));
+            }
+        }
+    }
+    match parts.len() {
+        0 => Ast::Empty,
+        1 => parts.pop().expect("one"),
+        _ => Ast::Concat(parts),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thompson construction and ε-elimination
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct TState {
+    eps: Vec<usize>,
+    trans: Vec<(SymbolClass, usize)>,
+}
+
+#[derive(Clone, Copy)]
+struct Frag {
+    start: usize,
+    accept: usize,
+}
+
+#[derive(Default)]
+struct Thompson {
+    states: Vec<TState>,
+}
+
+impl Thompson {
+    fn fresh(&mut self) -> usize {
+        self.states.push(TState::default());
+        self.states.len() - 1
+    }
+
+    fn compile(&mut self, ast: &Ast) -> Frag {
+        match ast {
+            Ast::Empty => {
+                let s = self.fresh();
+                let f = self.fresh();
+                self.states[s].eps.push(f);
+                Frag { start: s, accept: f }
+            }
+            Ast::Class(c) => {
+                let s = self.fresh();
+                let f = self.fresh();
+                self.states[s].trans.push((*c, f));
+                Frag { start: s, accept: f }
+            }
+            Ast::Concat(parts) => {
+                let frags: Vec<Frag> = parts.iter().map(|p| self.compile(p)).collect();
+                for w in frags.windows(2) {
+                    let (a, b) = (w[0], w[1]);
+                    self.states[a.accept].eps.push(b.start);
+                }
+                Frag {
+                    start: frags.first().expect("nonempty concat").start,
+                    accept: frags.last().expect("nonempty concat").accept,
+                }
+            }
+            Ast::Alt(branches) => {
+                let s = self.fresh();
+                let f = self.fresh();
+                for b in branches {
+                    let frag = self.compile(b);
+                    self.states[s].eps.push(frag.start);
+                    self.states[frag.accept].eps.push(f);
+                }
+                Frag { start: s, accept: f }
+            }
+            Ast::Star(inner) => {
+                let s = self.fresh();
+                let f = self.fresh();
+                let frag = self.compile(inner);
+                self.states[s].eps.push(frag.start);
+                self.states[s].eps.push(f);
+                self.states[frag.accept].eps.push(frag.start);
+                self.states[frag.accept].eps.push(f);
+                Frag { start: s, accept: f }
+            }
+        }
+    }
+
+    /// ε-closure of one state.
+    fn closure(&self, state: usize) -> Vec<usize> {
+        let mut seen = vec![false; self.states.len()];
+        let mut stack = vec![state];
+        let mut out = Vec::new();
+        seen[state] = true;
+        while let Some(p) = stack.pop() {
+            out.push(p);
+            for &q in &self.states[p].eps {
+                if !seen[q] {
+                    seen[q] = true;
+                    stack.push(q);
+                }
+            }
+        }
+        out
+    }
+
+    /// Eliminates ε-transitions and prunes unreachable states.
+    fn into_nfa(self, frag: Frag) -> Nfa {
+        let n = self.states.len();
+        // New transition sets and acceptance through closures.
+        let mut trans: Vec<Vec<(SymbolClass, usize)>> = vec![Vec::new(); n];
+        let mut accept = vec![false; n];
+        for p in 0..n {
+            for q in self.closure(p) {
+                if q == frag.accept {
+                    accept[p] = true;
+                }
+                for &(c, r) in &self.states[q].trans {
+                    trans[p].push((c, r));
+                }
+            }
+        }
+        // Reachability from the start over symbol transitions.
+        let mut reach = vec![false; n];
+        let mut stack = vec![frag.start];
+        reach[frag.start] = true;
+        while let Some(p) = stack.pop() {
+            for &(_, r) in &trans[p] {
+                if !reach[r] {
+                    reach[r] = true;
+                    stack.push(r);
+                }
+            }
+        }
+        let mut map = vec![usize::MAX; n];
+        let mut nfa = Nfa::new();
+        for (p, &live) in reach.iter().enumerate() {
+            if live {
+                map[p] = nfa.add_state();
+            }
+        }
+        for (p, &live) in reach.iter().enumerate() {
+            if !live {
+                continue;
+            }
+            nfa.set_accept(map[p], accept[p]);
+            for &(c, r) in &trans[p] {
+                if reach[r] {
+                    nfa.add_transition(map[p], c, map[r]);
+                }
+            }
+        }
+        nfa.add_start(map[frag.start]);
+        nfa
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn accepts(pattern: &str, input: &[u8]) -> bool {
+        Regex::parse(pattern).expect("pattern parses").compile().accepts(input)
+    }
+
+    #[test]
+    fn literals_and_concat() {
+        assert!(accepts("abc", b"abc"));
+        assert!(!accepts("abc", b"ab"));
+        assert!(!accepts("abc", b"abcd"));
+    }
+
+    #[test]
+    fn alternation_and_grouping() {
+        assert!(accepts("a(b|c)d", b"abd"));
+        assert!(accepts("a(b|c)d", b"acd"));
+        assert!(!accepts("a(b|c)d", b"ad"));
+        assert!(accepts("ab|cd", b"cd"));
+    }
+
+    #[test]
+    fn kleene_star_plus_opt() {
+        assert!(accepts("ab*c", b"ac"));
+        assert!(accepts("ab*c", b"abbbbc"));
+        assert!(accepts("ab+c", b"abc"));
+        assert!(!accepts("ab+c", b"ac"));
+        assert!(accepts("ab?c", b"ac"));
+        assert!(accepts("ab?c", b"abc"));
+        assert!(!accepts("ab?c", b"abbc"));
+    }
+
+    #[test]
+    fn bounded_repeats() {
+        assert!(accepts("a{3}", b"aaa"));
+        assert!(!accepts("a{3}", b"aa"));
+        assert!(!accepts("a{3}", b"aaaa"));
+        assert!(accepts("a{2,4}", b"aa"));
+        assert!(accepts("a{2,4}", b"aaaa"));
+        assert!(!accepts("a{2,4}", b"aaaaa"));
+        assert!(accepts("a{2,}", b"aaaaaaa"));
+        assert!(!accepts("a{2,}", b"a"));
+    }
+
+    #[test]
+    fn classes_ranges_negation() {
+        assert!(accepts("[a-c]+", b"abcba"));
+        assert!(!accepts("[a-c]+", b"abd"));
+        assert!(accepts("[^0-9]", b"x"));
+        assert!(!accepts("[^0-9]", b"5"));
+        assert!(accepts("[-a]", b"-")); // literal '-' at edge
+        assert!(accepts("[a-]", b"-"));
+    }
+
+    #[test]
+    fn escapes() {
+        assert!(accepts(r"\d+", b"12345"));
+        assert!(!accepts(r"\d+", b"12a45"));
+        assert!(accepts(r"\w+", b"hello_World9"));
+        assert!(accepts(r"\s", b" "));
+        assert!(accepts(r"\x41", b"A"));
+        assert!(accepts(r"a\.b", b"a.b"));
+        assert!(!accepts(r"a\.b", b"axb"));
+        assert!(accepts(r"\\", b"\\"));
+    }
+
+    #[test]
+    fn dot_matches_any_byte() {
+        assert!(accepts("a.c", b"a\nc"));
+        assert!(accepts("a.c", &[b'a', 0xff, b'c']));
+    }
+
+    #[test]
+    fn empty_pattern_matches_empty_input() {
+        assert!(accepts("", b""));
+        assert!(!accepts("", b"a"));
+        assert!(accepts("a|", b""));
+        assert!(accepts("a|", b"a"));
+    }
+
+    #[test]
+    fn nested_quantifiers() {
+        assert!(accepts("(ab)+", b"ababab"));
+        assert!(!accepts("(ab)+", b"aba"));
+        assert!(accepts("(a|b)*c", b"abbac"));
+        assert!(accepts("((a|b)c)*", b"acbc"));
+    }
+
+    #[test]
+    fn parse_errors_carry_positions() {
+        for (pat, what) in [
+            ("a(b", "unbalanced"),
+            ("a)b", "unbalanced"),
+            ("*a", "quantifier"),
+            ("[abc", "unterminated"),
+            (r"a\x4", "hex"),
+            ("a{3,1}", ""),
+            ("a{2,", ""),
+        ] {
+            let err = Regex::parse(pat).expect_err(pat);
+            if !what.is_empty() {
+                assert!(err.to_string().contains(what), "{pat}: {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn repeat_cap_is_enforced() {
+        assert!(matches!(
+            Regex::parse("a{999}"),
+            Err(AutomataError::InvalidRepetition { .. })
+        ));
+    }
+
+    #[test]
+    fn pattern_accessor_round_trips() {
+        let re = Regex::parse("a[bc]+").expect("parses");
+        assert_eq!(re.pattern(), "a[bc]+");
+    }
+
+    #[test]
+    fn compiled_nfa_is_epsilon_free_and_pruned() {
+        let nfa = Regex::parse("(a|b)*abb").expect("parses").compile();
+        // All states must be reachable and carry symbol transitions only
+        // (ε-freedom is structural — Nfa has no ε representation).
+        assert!(nfa.state_count() < 30, "pruning keeps the machine small");
+        assert!(nfa.accepts(b"abb"));
+        assert!(nfa.accepts(b"aababb"));
+        assert!(!nfa.accepts(b"ab"));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A strategy for (pattern, reference matcher) pairs built
+    /// structurally, so we can check the compiled NFA against a
+    /// directly-interpreted oracle.
+    #[derive(Debug, Clone)]
+    enum Node {
+        Lit(u8),
+        Any,
+        Concat(Box<Node>, Box<Node>),
+        Alt(Box<Node>, Box<Node>),
+        Star(Box<Node>),
+    }
+
+    impl Node {
+        fn to_pattern(&self) -> String {
+            match self {
+                Node::Lit(b) => format!("{}", *b as char),
+                Node::Any => ".".to_string(),
+                Node::Concat(a, b) => format!("{}{}", a.to_pattern(), b.to_pattern()),
+                Node::Alt(a, b) => format!("({}|{})", a.to_pattern(), b.to_pattern()),
+                Node::Star(a) => format!("({})*", a.to_pattern()),
+            }
+        }
+
+        /// Oracle: set of residual suffix positions after matching a
+        /// prefix of `input[pos..]`.
+        fn matches(&self, input: &[u8], pos: usize) -> Vec<usize> {
+            match self {
+                Node::Lit(b) => {
+                    if input.get(pos) == Some(b) {
+                        vec![pos + 1]
+                    } else {
+                        vec![]
+                    }
+                }
+                Node::Any => {
+                    if pos < input.len() {
+                        vec![pos + 1]
+                    } else {
+                        vec![]
+                    }
+                }
+                Node::Concat(a, b) => {
+                    let mut out = Vec::new();
+                    for mid in a.matches(input, pos) {
+                        out.extend(b.matches(input, mid));
+                    }
+                    out.sort_unstable();
+                    out.dedup();
+                    out
+                }
+                Node::Alt(a, b) => {
+                    let mut out = a.matches(input, pos);
+                    out.extend(b.matches(input, pos));
+                    out.sort_unstable();
+                    out.dedup();
+                    out
+                }
+                Node::Star(a) => {
+                    let mut out = vec![pos];
+                    let mut frontier = vec![pos];
+                    while let Some(p) = frontier.pop() {
+                        for q in a.matches(input, p) {
+                            if q > p && !out.contains(&q) {
+                                out.push(q);
+                                frontier.push(q);
+                            }
+                        }
+                    }
+                    out.sort_unstable();
+                    out
+                }
+            }
+        }
+    }
+
+    fn node_strategy() -> impl Strategy<Value = Node> {
+        let leaf = prop_oneof![
+            (b'a'..=b'c').prop_map(Node::Lit),
+            Just(Node::Any),
+        ];
+        leaf.prop_recursive(3, 24, 2, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| Node::Concat(Box::new(a), Box::new(b))),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| Node::Alt(Box::new(a), Box::new(b))),
+                inner.prop_map(|a| Node::Star(Box::new(a))),
+            ]
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+        /// The compiled NFA agrees with a structural oracle on random
+        /// patterns and inputs.
+        #[test]
+        fn nfa_matches_structural_oracle(
+            node in node_strategy(),
+            input in proptest::collection::vec(b'a'..=b'd', 0..12),
+        ) {
+            let pattern = node.to_pattern();
+            let nfa = Regex::parse(&pattern).expect("generated pattern parses").compile();
+            let expected = node.matches(&input, 0).contains(&input.len());
+            prop_assert_eq!(nfa.accepts(&input), expected, "pattern {}", pattern);
+        }
+    }
+}

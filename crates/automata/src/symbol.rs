@@ -1,0 +1,192 @@
+//! Symbol classes: sets over the byte alphabet.
+
+use core::fmt;
+
+/// A set of input symbols over the byte alphabet `Σ = {0, …, 255}` —
+/// the paper's *symbol class* (the labels inside homogeneous-automaton
+/// states, and the per-STE column configuration of the AP model).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SymbolClass {
+    words: [u64; 4],
+}
+
+impl SymbolClass {
+    /// The empty class.
+    pub const EMPTY: Self = Self { words: [0; 4] };
+
+    /// The full alphabet (the regex `.` with byte semantics).
+    pub const ANY: Self = Self { words: [u64::MAX; 4] };
+
+    /// A class containing a single symbol.
+    pub fn of(byte: u8) -> Self {
+        let mut c = Self::EMPTY;
+        c.insert(byte);
+        c
+    }
+
+    /// A class containing an inclusive byte range.
+    pub fn range(lo: u8, hi: u8) -> Self {
+        let mut c = Self::EMPTY;
+        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        for b in lo..=hi {
+            c.insert(b);
+        }
+        c
+    }
+
+    /// A class from an explicit list of symbols.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        let mut c = Self::EMPTY;
+        for &b in bytes {
+            c.insert(b);
+        }
+        c
+    }
+
+    /// Inserts a symbol.
+    pub fn insert(&mut self, byte: u8) {
+        self.words[(byte >> 6) as usize] |= 1u64 << (byte & 63);
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, byte: u8) -> bool {
+        self.words[(byte >> 6) as usize] >> (byte & 63) & 1 == 1
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(&self, other: &Self) -> Self {
+        let mut w = self.words;
+        for (a, b) in w.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+        Self { words: w }
+    }
+
+    /// Set intersection.
+    #[must_use]
+    pub fn intersection(&self, other: &Self) -> Self {
+        let mut w = self.words;
+        for (a, b) in w.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+        Self { words: w }
+    }
+
+    /// Set complement.
+    #[must_use]
+    pub fn complement(&self) -> Self {
+        let mut w = self.words;
+        for a in w.iter_mut() {
+            *a = !*a;
+        }
+        Self { words: w }
+    }
+
+    /// Number of symbols in the class.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` when no symbol is in the class.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates the member symbols in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u8> + '_ {
+        (0..=255u8).filter(move |&b| self.contains(b))
+    }
+}
+
+impl fmt::Debug for SymbolClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Self::ANY {
+            return write!(f, "SymbolClass(*)");
+        }
+        write!(f, "SymbolClass{{")?;
+        let mut first = true;
+        let mut iter = self.iter().peekable();
+        while let Some(b) = iter.next() {
+            // Collapse runs for readability.
+            let mut end = b;
+            while iter.peek() == Some(&(end.wrapping_add(1))) && end < 255 {
+                end = iter.next().expect("peeked");
+            }
+            if !first {
+                write!(f, ",")?;
+            }
+            first = false;
+            let show = |x: u8| -> String {
+                if x.is_ascii_graphic() {
+                    (x as char).to_string()
+                } else {
+                    format!("\\x{x:02x}")
+                }
+            };
+            if end > b {
+                write!(f, "{}-{}", show(b), show(end))?;
+            } else {
+                write!(f, "{}", show(b))?;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_symbol_class() {
+        let c = SymbolClass::of(b'b');
+        assert!(c.contains(b'b'));
+        assert!(!c.contains(b'a'));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn range_is_inclusive_and_order_insensitive() {
+        let c = SymbolClass::range(b'a', b'c');
+        let c2 = SymbolClass::range(b'c', b'a');
+        assert_eq!(c, c2);
+        assert_eq!(c.len(), 3);
+        assert!(c.contains(b'a') && c.contains(b'b') && c.contains(b'c'));
+        assert!(!c.contains(b'd'));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let abc = SymbolClass::from_bytes(b"abc");
+        let bcd = SymbolClass::from_bytes(b"bcd");
+        assert_eq!(abc.union(&bcd).len(), 4);
+        assert_eq!(abc.intersection(&bcd).len(), 2);
+        assert_eq!(abc.complement().len(), 253);
+        assert!(SymbolClass::ANY.complement().is_empty());
+    }
+
+    #[test]
+    fn iter_ascends_and_round_trips() {
+        let c = SymbolClass::from_bytes(b"zax");
+        let got: Vec<u8> = c.iter().collect();
+        assert_eq!(got, vec![b'a', b'x', b'z']);
+        assert_eq!(SymbolClass::from_bytes(&got), c);
+    }
+
+    #[test]
+    fn boundary_bytes_work() {
+        let c = SymbolClass::from_bytes(&[0, 63, 64, 127, 128, 255]);
+        for b in [0u8, 63, 64, 127, 128, 255] {
+            assert!(c.contains(b), "byte {b}");
+        }
+        assert_eq!(c.len(), 6);
+    }
+
+    #[test]
+    fn debug_collapses_runs() {
+        let c = SymbolClass::range(b'a', b'e');
+        assert_eq!(format!("{c:?}"), "SymbolClass{a-e}");
+    }
+}

@@ -1,0 +1,52 @@
+//! Criterion bench for H1/D3/D5: AP engine symbol throughput across
+//! backends and routing fabrics, against the software NFA baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use memcim_ap::{ApBackend, AutomataProcessor, RoutingKind};
+use memcim_automata::{rules, PatternSet, StartKind};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_ap(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(2018);
+    let texts = rules::synthetic_rules(&mut rng, 16);
+    let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+    let set = PatternSet::compile(&refs).expect("compiles");
+    let traffic = rules::synthetic_traffic(&mut rng, set.patterns(), 1 << 14, 32);
+    let (homog, _) = set.to_homogeneous();
+    let scanning = homog.with_start_kind(StartKind::AllInput);
+
+    let mut group = c.benchmark_group("ap_engine");
+    group.throughput(Throughput::Bytes(traffic.len() as u64));
+    group.sample_size(20);
+
+    for backend in [ApBackend::rram(), ApBackend::sram()] {
+        let name = backend.name;
+        let mut ap = AutomataProcessor::compile(&scanning, backend, RoutingKind::Dense)
+            .expect("maps");
+        group.bench_function(format!("engine_dense_{name}"), |b| {
+            b.iter(|| black_box(ap.run(&traffic)))
+        });
+    }
+    let mut hier = AutomataProcessor::compile(
+        &scanning,
+        ApBackend::rram(),
+        RoutingKind::Hierarchical { block: 64, max_global: 1 << 16 },
+    )
+    .expect("maps");
+    group.bench_function("engine_hierarchical_RRAM-AP", |b| {
+        b.iter(|| black_box(hier.run(&traffic)))
+    });
+    group.bench_function("software_nfa_scan", |b| {
+        b.iter(|| black_box(set.nfa().scan(&traffic)))
+    });
+    group.bench_function("software_bitparallel", |b| {
+        let matrices = scanning.to_matrices();
+        b.iter(|| black_box(matrices.run(&traffic)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ap);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench for F9: the bit-line discharge transient (lumped
+//! netlist) for both technologies, plus the analytic shortcut.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use memcim_crossbar::{BitlineCircuit, CellTechnology};
+use std::hint::black_box;
+
+fn bench_bitline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_bitline");
+    group.sample_size(20);
+    for tech in [CellTechnology::rram_1t1r(), CellTechnology::sram_8t()] {
+        let name = tech.name;
+        let circuit = BitlineCircuit::lumped(tech.clone(), 256);
+        group.bench_function(format!("transient_{name}"), |b| {
+            b.iter(|| black_box(circuit.run().expect("solves")))
+        });
+        group.bench_function(format!("analytic_{name}"), |b| {
+            b.iter(|| {
+                black_box((
+                    tech.analytic_discharge_time(256),
+                    tech.analytic_cycle_energy(256),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bitline);
+criterion_main!(benches);

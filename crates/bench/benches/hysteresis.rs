@@ -1,0 +1,43 @@
+//! Criterion bench for F1: device-model sweep throughput (the kernel
+//! behind the Fig. 1b reproduction), per window function.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use memcim_device::{window::Window, HysteresisSweep, IdealMemristor, LinearIonDrift};
+use memcim_units::{Hertz, Ohms, Volts};
+use std::hint::black_box;
+
+fn bench_hysteresis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_hysteresis");
+    for (name, window) in [
+        ("rectangular", Window::Rectangular),
+        ("joglekar", Window::Joglekar { p: 2 }),
+        ("biolek", Window::Biolek { p: 2 }),
+    ] {
+        group.bench_function(format!("drift_sweep_{name}"), |b| {
+            let base = LinearIonDrift::hp_default().with_window(window);
+            let f0 = base.characteristic_frequency(Volts::new(1.0));
+            b.iter(|| {
+                let mut device = base.clone();
+                let trace = HysteresisSweep::new(Volts::new(1.0), f0)
+                    .with_cycles(1)
+                    .with_steps_per_cycle(512)
+                    .run(&mut device);
+                black_box(trace.lobe_area())
+            });
+        });
+    }
+    group.bench_function("ideal_chua_sweep", |b| {
+        b.iter(|| {
+            let mut device = IdealMemristor::new(Ohms::new(100.0), Ohms::from_kilohms(16.0));
+            let trace = HysteresisSweep::new(Volts::new(1.0), Hertz::new(1.0))
+                .with_cycles(1)
+                .with_steps_per_cycle(512)
+                .run(&mut device);
+            black_box(trace.is_pinched(1e-2))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hysteresis);
+criterion_main!(benches);

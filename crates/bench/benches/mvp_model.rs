@@ -1,0 +1,54 @@
+//! Criterion bench for F4: the MVP architecture-model grid evaluation
+//! and the functional MVP workloads against their scalar references.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use memcim_mvp::workloads::{bfs::Graph, bitmap::BitmapTable};
+use memcim_mvp::{evaluate, MissRates, MvpSimulator, SystemConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_mvp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_mvp");
+
+    group.bench_function("model_grid_7x7", |b| {
+        let cfg = SystemConfig::paper_defaults();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for l1 in [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6] {
+                for l2 in [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6] {
+                    acc += evaluate(&cfg, MissRates::new(l1, l2)).eta_pe_gain();
+                }
+            }
+            black_box(acc)
+        })
+    });
+
+    let mut rng = SmallRng::seed_from_u64(5);
+    let n = 4096;
+    let col1: Vec<u8> = (0..n).map(|_| rng.gen_range(0..16)).collect();
+    let col2: Vec<u8> = (0..n).map(|_| rng.gen_range(0..16)).collect();
+    let table = BitmapTable::new(col1, col2, 16);
+    group.bench_function("bitmap_query_mvp", |b| {
+        let mut mvp = MvpSimulator::new(24, n);
+        b.iter(|| black_box(table.query_mvp(&mut mvp, &[1, 3, 5], &[2, 4]).expect("query")))
+    });
+    group.bench_function("bitmap_query_scalar", |b| {
+        b.iter(|| black_box(table.query_reference(&[1, 3, 5], &[2, 4])))
+    });
+
+    let mut g = Graph::new(256);
+    for _ in 0..2048 {
+        g.add_edge(rng.gen_range(0..256), rng.gen_range(0..256));
+    }
+    group.bench_function("bfs_mvp", |b| {
+        let mut mvp = MvpSimulator::new(16, 256);
+        b.iter(|| black_box(g.bfs_mvp(&mut mvp, 0, 8).expect("bfs")))
+    });
+    group.bench_function("bfs_scalar", |b| b.iter(|| black_box(g.bfs_reference(0))));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_mvp);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Regenerates Fig. 4: MVP vs multicore efficiency metrics over the
+//! L1/L2 miss-rate grid (0–60 %), %Acc = 0.7.
+//!
+//! Prints ηPE (MOPs/mW), ηE (pJ/op) and ηPA (MOPs/mm²) for both
+//! architectures at every grid point, plus the MVP gain factors — the
+//! paper's headline is the ≈one-order-of-magnitude ηPE / ηE advantage.
+
+use memcim_bench::{fmt, table};
+use memcim_mvp::{evaluate, MissRates, SystemConfig};
+
+fn main() {
+    let cfg = SystemConfig::paper_defaults();
+    println!(
+        "Fig. 4 — MVP vs multicore (%Acc = {}, paper-default constants)\n",
+        cfg.accelerated_fraction
+    );
+    let grid = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6];
+    let mut rows = Vec::new();
+    for &l1 in &grid {
+        for &l2 in &grid {
+            let c = evaluate(&cfg, MissRates::new(l1, l2));
+            rows.push(vec![
+                format!("{:.0}%", l1 * 100.0),
+                format!("{:.0}%", l2 * 100.0),
+                fmt(c.multicore.eta_pe(), 2),
+                fmt(c.mvp.eta_pe(), 2),
+                fmt(c.eta_pe_gain(), 1),
+                fmt(c.multicore.eta_e_pj(), 0),
+                fmt(c.mvp.eta_e_pj(), 1),
+                fmt(c.eta_e_gain(), 1),
+                fmt(c.multicore.eta_pa(), 2),
+                fmt(c.mvp.eta_pa(), 2),
+                fmt(c.eta_pa_gain(), 2),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        table(
+            &[
+                "L1 miss", "L2 miss",
+                "ηPE mc", "ηPE mvp", "×",
+                "ηE mc", "ηE mvp", "×",
+                "ηPA mc", "ηPA mvp", "×",
+            ],
+            &rows
+        )
+    );
+
+    let mid = evaluate(&cfg, MissRates::new(0.2, 0.2));
+    println!("reference point (20 %, 20 %):");
+    println!(
+        "  ηPE gain {:.1}×, ηE gain {:.1}×, ηPA gain {:.2}×  (paper: ≈10× ηPE/ηE, ηPA higher)",
+        mid.eta_pe_gain(),
+        mid.eta_e_gain(),
+        mid.eta_pa_gain()
+    );
+    println!(
+        "  multicore: {:.0} MOPS, {:.0} mW, {:.0} mm²  |  MVP: {:.0} MOPS, {:.0} mW, {:.0} mm²",
+        mid.multicore.throughput_mops,
+        mid.multicore.power_mw(),
+        mid.multicore.area_mm2,
+        mid.mvp.throughput_mops,
+        mid.mvp.power_mw(),
+        mid.mvp.area_mm2,
+    );
+}

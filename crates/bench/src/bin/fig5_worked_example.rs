@@ -1,0 +1,88 @@
+//! Regenerates Fig. 5 and the Section IV.B worked example: the
+//! three-state NFA, its homogeneous conversion, the V/R/c matrices and
+//! the s/f/a vector trace for input symbol `b`.
+
+use memcim_automata::{HomogeneousAutomaton, Nfa, SymbolClass};
+use memcim_bits::BitVec;
+
+fn show(v: &BitVec) -> String {
+    (0..v.len()).map(|i| if v.get(i) { "1 " } else { "0 " }).collect::<String>().trim().to_string()
+}
+
+fn main() {
+    println!("Fig. 5 + Section IV.B worked example\n");
+
+    // Fig. 5a: S1 --{a,b,c}--> S1, S1 --c--> S2, S1 --b--> S3,
+    // S2 --b--> S3; S3 accepts.
+    let mut nfa = Nfa::new();
+    let s1 = nfa.add_state();
+    let s2 = nfa.add_state();
+    let s3 = nfa.add_state();
+    nfa.add_start(s1);
+    nfa.set_accept(s3, true);
+    nfa.add_transition(s1, SymbolClass::from_bytes(b"abc"), s1);
+    nfa.add_transition(s1, SymbolClass::of(b'c'), s2);
+    nfa.add_transition(s1, SymbolClass::of(b'b'), s3);
+    nfa.add_transition(s2, SymbolClass::of(b'b'), s3);
+
+    let homog = HomogeneousAutomaton::from_nfa(&nfa);
+    println!("homogeneous conversion: {} states (Fig. 5b)", homog.state_count());
+    for i in 0..homog.state_count() {
+        println!(
+            "  state {i}: class {:?}, start={:?}, accept={}",
+            homog.class(i),
+            homog.start_kind(i),
+            homog.is_accept(i)
+        );
+    }
+
+    let m = homog.to_matrices();
+    println!("\nSTE matrix V over Σ = {{a, b, c, d}} (rows = symbols), from the conversion:");
+    for sym in [b'a', b'b', b'c', b'd'] {
+        println!("  {}: [{}]", sym as char, show(m.v.row(sym as usize)));
+    }
+    println!("\nrouting matrix R rows, from the conversion:");
+    for p in 0..m.r.rows() {
+        println!("  R[{p}]: [{}]", show(m.r.row(p)));
+    }
+    println!("\naccept vector c: [{}]", show(&m.accept));
+    println!(
+        "\nnote: the conversion keeps the S1 self-loop drawn in Fig. 5a (R[0][0] = 1);\n\
+         the paper's *printed* R omits it — a paper-internal inconsistency that does\n\
+         not affect acceptance. The worked trace below uses the printed matrices\n\
+         verbatim."
+    );
+
+    // The paper's printed matrices, verbatim (no self-loop row).
+    let mut v = memcim_bits::BitMatrix::new(256, 3);
+    for b in [b'a', b'b', b'c'] {
+        v.set(b as usize, 0, true);
+    }
+    v.set(b'c' as usize, 1, true);
+    v.set(b'b' as usize, 2, true);
+    let mut r = memcim_bits::BitMatrix::new(3, 3);
+    r.set(0, 1, true);
+    r.set(0, 2, true);
+    r.set(1, 2, true);
+    let c = BitVec::from_indices(3, &[2]);
+
+    let a = BitVec::from_indices(3, &[0]);
+    let s = v.row(b'b' as usize);
+    let f = r.vector_product(&a);
+    let next = f.and(s);
+    println!("\nworked trace for input symbol 'b' with a = [{}]:", show(&a));
+    println!("  s = i·V   = [{}]   (paper: [1 0 1])", show(s));
+    println!("  f = a·R   = [{}]   (paper: [0 1 1])", show(&f));
+    println!("  a' = f&s  = [{}]   (paper: [0 0 1])", show(&next));
+    println!("  A = a'·cᵀ = {}        (paper: 1)", u8::from(next.intersects(&c)));
+
+    println!("\nlanguage checks (accepted inputs end in a reachable 'b'):");
+    for input in [&b"b"[..], b"ab", b"cb", b"acb", b"ba", b"ac"] {
+        println!(
+            "  {:>5}: nfa={} homogeneous={}",
+            String::from_utf8_lossy(input),
+            u8::from(nfa.accepts(input)),
+            u8::from(homog.run(input).accepted)
+        );
+    }
+}

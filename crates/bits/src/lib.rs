@@ -1,0 +1,42 @@
+//! Fixed-length bit vectors and bit matrices.
+//!
+//! The automata-processor model of the paper (Fig. 6) is built from three
+//! bit-parallel primitives: the symbol/active/follow/accept **vectors**
+//! (Eqs. 1–4), the STE configuration **matrix** `V` and the routing
+//! **matrix** `R`. This crate provides the dense `u64`-packed
+//! representations used by `memcim-crossbar`, `memcim-ap` and
+//! `memcim-mvp`:
+//!
+//! * [`BitVec`] — a fixed-length bit vector with in-place boolean algebra,
+//!   population count and set-bit iteration;
+//! * [`BitMatrix`] — a row-major matrix of bits with the boolean
+//!   matrix–vector product that implements the paper's Equations (1) and
+//!   (2) (`OR` as addition, `AND` as multiplication).
+//!
+//! # Examples
+//!
+//! The paper's Section IV.B worked example, literally:
+//!
+//! ```
+//! use memcim_bits::{BitMatrix, BitVec};
+//!
+//! // R: S2 reachable from S1; S3 reachable from S1 and S2.
+//! let mut r = BitMatrix::new(3, 3);
+//! r.set(0, 1, true);
+//! r.set(0, 2, true);
+//! r.set(1, 2, true);
+//!
+//! let a = BitVec::from_indices(3, &[0]);     // only S1 active
+//! let f = r.vector_product(&a);              // Equation (2)
+//! assert_eq!(f.ones().collect::<Vec<_>>(), vec![1, 2]);
+//!
+//! let s = BitVec::from_indices(3, &[0, 2]);  // symbol `b`: s = [1 0 1]
+//! let next = f.and(&s);                      // Equation (3)
+//! assert_eq!(next.ones().collect::<Vec<_>>(), vec![2]); // S3
+//! ```
+
+mod matrix;
+mod vector;
+
+pub use matrix::BitMatrix;
+pub use vector::{BitVec, Ones};

@@ -1,0 +1,231 @@
+//! Row-major bit matrix with the boolean matrix–vector product.
+
+use crate::BitVec;
+use core::fmt;
+
+/// A dense `rows × cols` bit matrix.
+///
+/// Rows are stored as [`BitVec`]s, so the boolean matrix–vector product
+/// (`OR`-sum of `AND`-products — the paper's Equations (1) and (2)) runs
+/// word-parallel over the columns.
+#[derive(Clone, PartialEq, Eq)]
+pub struct BitMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<BitVec>,
+}
+
+impl BitMatrix {
+    /// Creates an all-zero matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![BitVec::new(cols); rows] }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The bit at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        assert!(row < self.rows, "row {row} out of bounds ({})", self.rows);
+        self.data[row].get(col)
+    }
+
+    /// Sets the bit at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn set(&mut self, row: usize, col: usize, value: bool) {
+        assert!(row < self.rows, "row {row} out of bounds ({})", self.rows);
+        self.data[row].set(col, value);
+    }
+
+    /// Borrows a whole row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    pub fn row(&self, row: usize) -> &BitVec {
+        assert!(row < self.rows, "row {row} out of bounds ({})", self.rows);
+        &self.data[row]
+    }
+
+    /// Replaces a whole row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds or the vector length differs from
+    /// the column count.
+    pub fn set_row(&mut self, row: usize, value: BitVec) {
+        assert!(row < self.rows, "row {row} out of bounds ({})", self.rows);
+        assert_eq!(value.len(), self.cols, "row length mismatch");
+        self.data[row] = value;
+    }
+
+    /// Boolean vector–matrix product `y = x · M`:
+    /// `y[c] = OR over r of (x[r] AND M[r][c])`.
+    ///
+    /// With `x` the active vector and `M` the routing matrix this is the
+    /// paper's Equation (2); with `x` a one-hot input vector and `M` the
+    /// STE matrix it is Equation (1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows`.
+    pub fn vector_product(&self, x: &BitVec) -> BitVec {
+        assert_eq!(x.len(), self.rows, "vector length must equal row count");
+        let mut acc = BitVec::new(self.cols);
+        for r in x.ones() {
+            acc.or_assign(&self.data[r]);
+        }
+        acc
+    }
+
+    /// Number of set bits in the whole matrix.
+    pub fn count_ones(&self) -> usize {
+        self.data.iter().map(BitVec::count_ones).sum()
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> BitMatrix {
+        let mut t = BitMatrix::new(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in self.data[r].ones() {
+                t.set(c, r, true);
+            }
+        }
+        t
+    }
+}
+
+impl fmt::Debug for BitMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "BitMatrix[{}×{}]", self.rows, self.cols)?;
+        for r in 0..self.rows.min(16) {
+            write!(f, "  ")?;
+            for c in 0..self.cols.min(64) {
+                write!(f, "{}", u8::from(self.get(r, c)))?;
+            }
+            writeln!(f)?;
+        }
+        if self.rows > 16 {
+            writeln!(f, "  …")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Section IV.B example matrices.
+    fn paper_r() -> BitMatrix {
+        let mut r = BitMatrix::new(3, 3);
+        r.set(0, 1, true); // S1 → S2
+        r.set(0, 2, true); // S1 → S3
+        r.set(1, 2, true); // S2 → S3
+        r
+    }
+
+    #[test]
+    fn equation_two_from_the_paper() {
+        // a = [1 0 0] ⇒ f = a·R = [0 1 1].
+        let f = paper_r().vector_product(&BitVec::from_indices(3, &[0]));
+        assert_eq!(f.ones().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn product_with_empty_vector_is_zero() {
+        let f = paper_r().vector_product(&BitVec::new(3));
+        assert!(!f.any());
+    }
+
+    #[test]
+    fn product_ors_multiple_rows() {
+        let mut m = BitMatrix::new(2, 4);
+        m.set(0, 0, true);
+        m.set(1, 3, true);
+        let y = m.vector_product(&BitVec::from_indices(2, &[0, 1]));
+        assert_eq!(y.ones().collect::<Vec<_>>(), vec![0, 3]);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = paper_r();
+        assert_eq!(m.transpose().transpose(), m);
+        assert!(m.transpose().get(2, 1));
+        assert!(!m.transpose().get(1, 2));
+    }
+
+    #[test]
+    fn set_row_replaces_contents() {
+        let mut m = BitMatrix::new(2, 3);
+        m.set_row(1, BitVec::from_indices(3, &[0, 2]));
+        assert!(m.get(1, 0) && !m.get(1, 1) && m.get(1, 2));
+        assert_eq!(m.count_ones(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row length mismatch")]
+    fn set_row_checks_width() {
+        let mut m = BitMatrix::new(2, 3);
+        m.set_row(0, BitVec::new(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn row_bounds_checked() {
+        let m = BitMatrix::new(2, 3);
+        let _ = m.row(2);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// vector_product agrees with the naive double loop.
+        #[test]
+        fn product_matches_reference(
+            rows in 1usize..40,
+            cols in 1usize..90,
+            seed in any::<u64>(),
+        ) {
+            let mut state = seed | 1;
+            let mut next_bool = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state & 1 == 1
+            };
+            let mut m = BitMatrix::new(rows, cols);
+            for r in 0..rows {
+                for c in 0..cols {
+                    if next_bool() {
+                        m.set(r, c, true);
+                    }
+                }
+            }
+            let x: BitVec = (0..rows).map(|_| next_bool()).collect();
+            let fast = m.vector_product(&x);
+            for c in 0..cols {
+                let expect = (0..rows).any(|r| x.get(r) && m.get(r, c));
+                prop_assert_eq!(fast.get(c), expect, "col {}", c);
+            }
+        }
+    }
+}

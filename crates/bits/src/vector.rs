@@ -1,0 +1,402 @@
+//! Fixed-length packed bit vector.
+
+use core::fmt;
+
+/// A fixed-length bit vector packed into `u64` words.
+///
+/// Operations that combine two vectors (`and`, `or`, `xor` and their
+/// in-place forms) require equal lengths.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitVec {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitVec {
+    /// Creates an all-zero vector of the given length.
+    pub fn new(len: usize) -> Self {
+        Self { len, words: vec![0; len.div_ceil(64)] }
+    }
+
+    /// Creates a vector with the listed bit positions set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn from_indices(len: usize, indices: &[usize]) -> Self {
+        let mut v = Self::new(len);
+        for &i in indices {
+            v.set(i, true);
+        }
+        v
+    }
+
+    /// Creates a vector from boolean values.
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut v = Self::new(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    /// Length in bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the vector has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The bit at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    #[inline]
+    pub fn get(&self, index: usize) -> bool {
+        assert!(index < self.len, "bit index {index} out of bounds (len {})", self.len);
+        self.words[index / 64] >> (index % 64) & 1 == 1
+    }
+
+    /// Sets the bit at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    #[inline]
+    pub fn set(&mut self, index: usize, value: bool) {
+        assert!(index < self.len, "bit index {index} out of bounds (len {})", self.len);
+        let mask = 1u64 << (index % 64);
+        if value {
+            self.words[index / 64] |= mask;
+        } else {
+            self.words[index / 64] &= !mask;
+        }
+    }
+
+    /// Clears all bits.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Sets all bits (respecting the length).
+    pub fn set_all(&mut self) {
+        self.words.fill(u64::MAX);
+        self.mask_tail();
+    }
+
+    fn mask_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` if any bit is set.
+    pub fn any(&self) -> bool {
+        self.words.iter().any(|&w| w != 0)
+    }
+
+    /// `true` if the intersection with `other` is non-empty — the paper's
+    /// Equation (4), `A = a · cᵀ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn intersects(&self, other: &BitVec) -> bool {
+        self.check_len(other);
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    fn check_len(&self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "bit vector length mismatch");
+    }
+
+    /// In-place bitwise AND.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn and_assign(&mut self, other: &BitVec) {
+        self.check_len(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place bitwise OR.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn or_assign(&mut self, other: &BitVec) {
+        self.check_len(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place bitwise XOR.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn xor_assign(&mut self, other: &BitVec) {
+        self.check_len(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a ^= b;
+        }
+    }
+
+    /// Bitwise AND into a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn and(&self, other: &BitVec) -> BitVec {
+        let mut out = self.clone();
+        out.and_assign(other);
+        out
+    }
+
+    /// Bitwise OR into a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn or(&self, other: &BitVec) -> BitVec {
+        let mut out = self.clone();
+        out.or_assign(other);
+        out
+    }
+
+    /// Bitwise XOR into a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn xor(&self, other: &BitVec) -> BitVec {
+        let mut out = self.clone();
+        out.xor_assign(other);
+        out
+    }
+
+    /// Bitwise complement (respecting the length).
+    pub fn not(&self) -> BitVec {
+        let mut out = self.clone();
+        for w in &mut out.words {
+            *w = !*w;
+        }
+        out.mask_tail();
+        out
+    }
+
+    /// Iterator over indices of set bits, ascending.
+    pub fn ones(&self) -> Ones<'_> {
+        Ones { vec: self, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+    }
+
+    /// The underlying words (little-endian bit order within each word).
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec[{}; ", self.len)?;
+        for i in 0..self.len.min(128) {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        if self.len > 128 {
+            write!(f, "…")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FromIterator<bool> for BitVec {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let bits: Vec<bool> = iter.into_iter().collect();
+        BitVec::from_bools(&bits)
+    }
+}
+
+/// Iterator over set-bit indices of a [`BitVec`] (see [`BitVec::ones`]).
+#[derive(Debug, Clone)]
+pub struct Ones<'a> {
+    vec: &'a BitVec,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Ones<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * 64 + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.vec.words.len() {
+                return None;
+            }
+            self.current = self.vec.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_vector_is_all_zero() {
+        let v = BitVec::new(130);
+        assert_eq!(v.len(), 130);
+        assert_eq!(v.count_ones(), 0);
+        assert!(!v.any());
+    }
+
+    #[test]
+    fn set_get_roundtrip_across_word_boundaries() {
+        let mut v = BitVec::new(200);
+        for i in [0, 1, 63, 64, 65, 127, 128, 199] {
+            v.set(i, true);
+            assert!(v.get(i));
+        }
+        assert_eq!(v.count_ones(), 8);
+        v.set(64, false);
+        assert!(!v.get(64));
+        assert_eq!(v.count_ones(), 7);
+    }
+
+    #[test]
+    fn boolean_algebra() {
+        let a = BitVec::from_indices(8, &[0, 1, 2]);
+        let b = BitVec::from_indices(8, &[2, 3]);
+        assert_eq!(a.and(&b).ones().collect::<Vec<_>>(), vec![2]);
+        assert_eq!(a.or(&b).ones().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(a.xor(&b).ones().collect::<Vec<_>>(), vec![0, 1, 3]);
+        assert_eq!(a.not().ones().collect::<Vec<_>>(), vec![3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn not_masks_the_tail() {
+        let v = BitVec::new(70);
+        let inv = v.not();
+        assert_eq!(inv.count_ones(), 70);
+        assert_eq!(inv.as_words()[1] >> 6, 0, "tail bits must stay clear");
+    }
+
+    #[test]
+    fn set_all_respects_length() {
+        let mut v = BitVec::new(67);
+        v.set_all();
+        assert_eq!(v.count_ones(), 67);
+    }
+
+    #[test]
+    fn intersects_is_equation_four() {
+        let a = BitVec::from_indices(3, &[2]);
+        let c = BitVec::from_indices(3, &[2]);
+        assert!(a.intersects(&c));
+        let a2 = BitVec::from_indices(3, &[0, 1]);
+        assert!(!a2.intersects(&c));
+    }
+
+    #[test]
+    fn ones_iterates_in_ascending_order() {
+        let v = BitVec::from_indices(300, &[5, 64, 70, 255, 299]);
+        assert_eq!(v.ones().collect::<Vec<_>>(), vec![5, 64, 70, 255, 299]);
+    }
+
+    #[test]
+    fn from_bools_and_collect() {
+        let v: BitVec = [true, false, true].into_iter().collect();
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.ones().collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_get_panics() {
+        let v = BitVec::new(8);
+        let _ = v.get(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let a = BitVec::new(8);
+        let b = BitVec::new(9);
+        let _ = a.and(&b);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn vec_pair() -> impl Strategy<Value = (Vec<bool>, Vec<bool>)> {
+        (1usize..300).prop_flat_map(|n| {
+            (
+                proptest::collection::vec(any::<bool>(), n),
+                proptest::collection::vec(any::<bool>(), n),
+            )
+        })
+    }
+
+    proptest! {
+        /// Packed ops agree with element-wise reference semantics.
+        #[test]
+        fn ops_match_reference((xs, ys) in vec_pair()) {
+            let a = BitVec::from_bools(&xs);
+            let b = BitVec::from_bools(&ys);
+            for i in 0..xs.len() {
+                prop_assert_eq!(a.and(&b).get(i), xs[i] && ys[i]);
+                prop_assert_eq!(a.or(&b).get(i), xs[i] || ys[i]);
+                prop_assert_eq!(a.xor(&b).get(i), xs[i] ^ ys[i]);
+                prop_assert_eq!(a.not().get(i), !xs[i]);
+            }
+            prop_assert_eq!(a.count_ones(), xs.iter().filter(|&&x| x).count());
+            prop_assert_eq!(
+                a.intersects(&b),
+                xs.iter().zip(&ys).any(|(&x, &y)| x && y)
+            );
+        }
+
+        /// De Morgan: ¬(a ∧ b) = ¬a ∨ ¬b.
+        #[test]
+        fn de_morgan((xs, ys) in vec_pair()) {
+            let a = BitVec::from_bools(&xs);
+            let b = BitVec::from_bools(&ys);
+            prop_assert_eq!(a.and(&b).not(), a.not().or(&b.not()));
+        }
+
+        /// ones() inverts from_indices.
+        #[test]
+        fn ones_roundtrip(xs in proptest::collection::vec(any::<bool>(), 1..300)) {
+            let v = BitVec::from_bools(&xs);
+            let idx: Vec<usize> = v.ones().collect();
+            let v2 = BitVec::from_indices(xs.len(), &idx);
+            prop_assert_eq!(v, v2);
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! # memcim — memristive computation-in-memory
+//!
+//! A from-scratch Rust reproduction of Yu, Du Nguyen, Xie, Taouil &
+//! Hamdioui, *"Memristive Devices for Computation-In-Memory"*
+//! (DATE 2018): the **Memristive Vector Processor** (MVP) and the
+//! **RRAM Automata Processor** (RRAM-AP), together with every substrate
+//! they stand on.
+//!
+//! ## Workspace map
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`memcim_units`] | typed physical quantities |
+//! | [`memcim_bits`]  | bit vectors/matrices (Equations 1–4 substrate) |
+//! | [`memcim_device`] | memristor models: Chua, linear ion drift, Stanford/ASU, two-state |
+//! | [`memcim_spice`] | MNA transient circuit simulator (the HSPICE stand-in) |
+//! | [`memcim_crossbar`] | 1T1R arrays, scouting logic, Fig. 9 bit line |
+//! | [`memcim_automata`] | regex → NFA → homogeneous automata |
+//! | [`memcim_ap`] | generic AP model + RRAM/SRAM/SDRAM backends |
+//! | [`memcim_mvp`] | MVP simulator + Fig. 4 architecture model |
+//!
+//! ## Quick start
+//!
+//! Pattern matching on the RRAM automata processor:
+//!
+//! ```
+//! use memcim::RegexAccelerator;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+//! let mut accel = RegexAccelerator::rram(&["GET /[a-z]+", "EVIL.*\\.exe"])?;
+//! let hits = accel.scan(b"GET /index EVILpayload.exe");
+//! assert_eq!(hits.matched_patterns(), vec![0, 1]);
+//! println!("scanned {} bytes: {}", hits.symbols, hits.report.energy);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Bulk bitwise compute inside the memory array:
+//!
+//! ```
+//! use memcim::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut mvp = MvpSimulator::new(8, 256);
+//! mvp.run_program(&[
+//!     Instruction::Store { row: 0, data: BitVec::from_indices(256, &[1, 5]) },
+//!     Instruction::Store { row: 1, data: BitVec::from_indices(256, &[5, 9]) },
+//!     Instruction::And { srcs: vec![0, 1], dst: 2 },
+//! ])?;
+//! # Ok(())
+//! # }
+//! ```
+
+pub use memcim_ap as ap;
+pub use memcim_automata as automata;
+pub use memcim_bits as bits;
+pub use memcim_crossbar as crossbar;
+pub use memcim_device as device;
+pub use memcim_mvp as mvp;
+pub use memcim_spice as spice;
+pub use memcim_units as units;
+
+mod accelerator;
+
+pub use accelerator::{RegexAccelerator, ScanOutcome};
+
+/// The most commonly used items across the workspace, importable in one
+/// line.
+pub mod prelude {
+    pub use memcim_ap::{ApBackend, AutomataProcessor, RoutingKind};
+    pub use memcim_automata::{
+        Dfa, HomogeneousAutomaton, Nfa, PatternSet, Regex, StartKind, SymbolClass,
+    };
+    pub use memcim_bits::{BitMatrix, BitVec};
+    pub use memcim_crossbar::{BitlineCircuit, CellTechnology, Crossbar, ScoutingKind};
+    pub use memcim_device::{
+        BehavioralSwitch, HysteresisSweep, IdealMemristor, LinearIonDrift, MemristiveDevice,
+        StanfordAsu, StanfordParams, SwitchParams, Vteam, VteamParams,
+    };
+    pub use memcim_mvp::{evaluate, Instruction, MissRates, MvpSimulator, SystemConfig};
+    pub use memcim_spice::{Circuit, Edge, Integration, Transient, Waveform};
+    pub use memcim_units::{
+        Amps, Farads, Hertz, Joules, Ohms, Seconds, Siemens, SquareMicrometers, Volts, Watts,
+    };
+
+    pub use crate::{RegexAccelerator, ScanOutcome};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_is_importable_and_usable() {
+        use crate::prelude::*;
+        let v = BitVec::from_indices(4, &[0, 3]);
+        assert_eq!(v.count_ones(), 2);
+        let _ = Crossbar::rram(2, 8);
+    }
+}

@@ -1,0 +1,665 @@
+//! The crossbar array: programming, reads and scouting logic.
+
+use crate::{CellTechnology, CrossbarError, FaultMap, OpLedger, ScoutingKind, SenseThresholds};
+use memcim_bits::{BitMatrix, BitVec};
+use memcim_device::{DeviceSample, EnduranceModel, SwitchParams, VariabilityModel, WearState};
+use memcim_units::{Amps, Joules, Ohms, SquareMicrometers, Volts, Watts};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// A `rows × cols` one-transistor-one-memristor crossbar array.
+///
+/// The array tracks logical cell states, per-cell resistance samples
+/// (when a [`VariabilityModel`] is attached), endurance wear, stuck-at
+/// faults and an [`OpLedger`] of energy/latency totals. Reads and
+/// scouting operations sense *physical* bit-line currents — with
+/// variability or faults attached, what you read is what the silicon
+/// would give you, not what you wrote.
+///
+/// See the [crate-level example](crate) for typical use.
+pub struct Crossbar {
+    rows: usize,
+    cols: usize,
+    bits: BitMatrix,
+    tech: CellTechnology,
+    device: SwitchParams,
+    read_voltage: Volts,
+    variability: Option<(VariabilityModel, Vec<DeviceSample>)>,
+    endurance: Option<EnduranceModel>,
+    wear: Vec<WearState>,
+    faults: FaultMap,
+    ledger: OpLedger,
+    endurance_failures: u64,
+    rng: SmallRng,
+}
+
+impl std::fmt::Debug for Crossbar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Crossbar")
+            .field("rows", &self.rows)
+            .field("cols", &self.cols)
+            .field("tech", &self.tech.name)
+            .field("ones", &self.bits.count_ones())
+            .field("faults", &self.faults.len())
+            .finish()
+    }
+}
+
+impl Crossbar {
+    /// Creates an RRAM 1T1R crossbar with the paper's Fig. 9 device
+    /// parameters and a 0.1 V read voltage (Fig. 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn rram(rows: usize, cols: usize) -> Self {
+        Self::with_technology(CellTechnology::rram_1t1r(), SwitchParams::paper_fig9(), rows, cols)
+    }
+
+    /// Creates a crossbar over an explicit technology and device model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn with_technology(
+        tech: CellTechnology,
+        device: SwitchParams,
+        rows: usize,
+        cols: usize,
+    ) -> Self {
+        assert!(rows > 0 && cols > 0, "array dimensions must be nonzero");
+        Self {
+            rows,
+            cols,
+            bits: BitMatrix::new(rows, cols),
+            tech,
+            device,
+            read_voltage: Volts::from_millivolts(100.0),
+            variability: None,
+            endurance: None,
+            wear: vec![WearState::new(); rows * cols],
+            faults: FaultMap::new(),
+            ledger: OpLedger::new(),
+            endurance_failures: 0,
+            rng: SmallRng::seed_from_u64(0x5EED),
+        }
+    }
+
+    /// Attaches device-to-device variability, sampling every cell's
+    /// resistance pair with the given seed (builder-style).
+    #[must_use]
+    pub fn with_variability(mut self, model: VariabilityModel, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let samples = (0..self.rows * self.cols)
+            .map(|_| model.sample_device(self.device.r_low, self.device.r_high, &mut rng))
+            .collect();
+        self.variability = Some((model, samples));
+        self.rng = rng;
+        self
+    }
+
+    /// Attaches an endurance budget per cell (builder-style). Worn-out
+    /// cells become stuck at their final value; see
+    /// [`endurance_failures`](Self::endurance_failures).
+    #[must_use]
+    pub fn with_endurance(mut self, model: EnduranceModel) -> Self {
+        self.endurance = Some(model);
+        self
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The technology model in use.
+    pub fn technology(&self) -> &CellTechnology {
+        &self.tech
+    }
+
+    /// The activity ledger.
+    pub fn ledger(&self) -> &OpLedger {
+        &self.ledger
+    }
+
+    /// The fault map (mutable, for fault-injection campaigns).
+    pub fn faults_mut(&mut self) -> &mut FaultMap {
+        &mut self.faults
+    }
+
+    /// The fault map.
+    pub fn faults(&self) -> &FaultMap {
+        &self.faults
+    }
+
+    /// Count of cells that wore out during programming.
+    pub fn endurance_failures(&self) -> u64 {
+        self.endurance_failures
+    }
+
+    /// The *logical* (programmed) value of a cell — a model query, free
+    /// of charge and energy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::OutOfBounds`] for invalid indices.
+    pub fn get(&self, row: usize, col: usize) -> Result<bool, CrossbarError> {
+        self.check(row, col)?;
+        Ok(self.bits.get(row, col))
+    }
+
+    /// Layout area of the array.
+    pub fn area(&self) -> SquareMicrometers {
+        self.tech.array_area(self.rows, self.cols)
+    }
+
+    /// Static (leakage) power of the array.
+    pub fn static_power(&self) -> Watts {
+        self.tech.static_power(self.rows * self.cols)
+    }
+
+    fn check(&self, row: usize, col: usize) -> Result<(), CrossbarError> {
+        if row >= self.rows || col >= self.cols {
+            return Err(CrossbarError::OutOfBounds {
+                row,
+                col,
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        Ok(())
+    }
+
+    fn cell_index(&self, row: usize, col: usize) -> usize {
+        row * self.cols + col
+    }
+
+    /// The physical resistance a cell presents at read time, including
+    /// faults, variability and endurance window-closure.
+    fn cell_resistance(&self, row: usize, col: usize) -> Ohms {
+        let observed = self.faults.observed(row, col, self.bits.get(row, col));
+        let (r_low, r_high) = match &self.variability {
+            Some((_, samples)) => {
+                let s = samples[self.cell_index(row, col)];
+                (s.r_low, s.r_high)
+            }
+            None => (self.device.r_low, self.device.r_high),
+        };
+        if observed {
+            r_low
+        } else if let Some(model) = &self.endurance {
+            model.effective_r_off(r_low, r_high, &self.wear[self.cell_index(row, col)])
+        } else {
+            r_high
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Programming
+    // ------------------------------------------------------------------
+
+    /// Programs one cell. A no-op (same value) costs nothing; a state
+    /// change consumes one endurance cycle and the technology's
+    /// programming energy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::OutOfBounds`] for invalid indices and
+    /// [`CrossbarError::Endurance`] when the cell's budget is exhausted —
+    /// the wear-out write itself completes, after which the cell is stuck.
+    pub fn program_bit(&mut self, row: usize, col: usize, value: bool) -> Result<(), CrossbarError> {
+        self.check(row, col)?;
+        if self.faults.stuck_value(row, col).is_some() {
+            // Stuck cells silently ignore writes (the programming pulse
+            // is still spent — there is no way to know it failed without
+            // a verify read).
+            self.ledger.record_program(1, self.tech.program_energy, self.tech.program_latency);
+            return Ok(());
+        }
+        if self.bits.get(row, col) == value {
+            return Ok(());
+        }
+        self.ledger.record_program(1, self.tech.program_energy, self.tech.program_latency);
+        let idx = self.cell_index(row, col);
+        let result = match self.endurance {
+            Some(model) => model.record_cycle(&mut self.wear[idx]),
+            None => Ok(()),
+        };
+        self.bits.set(row, col, value);
+        // Fresh cycle-to-cycle resistance sample on each re-program.
+        if let Some((model, samples)) = &mut self.variability {
+            samples[idx] = model.sample_cycle(&samples[idx], &mut self.rng);
+        }
+        if let Err(e) = result {
+            self.endurance_failures += 1;
+            self.faults.inject_stuck_at(row, col, value);
+            return Err(CrossbarError::Endurance(e));
+        }
+        Ok(())
+    }
+
+    /// Programs a whole row in one parallel operation. Cells that wear
+    /// out are recorded as stuck (see
+    /// [`endurance_failures`](Self::endurance_failures)) without aborting
+    /// the row; returns the number of cells whose state changed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::OutOfBounds`] /
+    /// [`CrossbarError::WidthMismatch`] for invalid arguments.
+    pub fn program_row(&mut self, row: usize, values: &BitVec) -> Result<u64, CrossbarError> {
+        self.check(row, 0)?;
+        if values.len() != self.cols {
+            return Err(CrossbarError::WidthMismatch { got: values.len(), expected: self.cols });
+        }
+        let mut changed = 0u64;
+        for col in 0..self.cols {
+            let value = values.get(col);
+            if self.faults.stuck_value(row, col).is_some() || self.bits.get(row, col) == value {
+                continue;
+            }
+            changed += 1;
+            let idx = self.cell_index(row, col);
+            let worn = match self.endurance {
+                Some(model) => model.record_cycle(&mut self.wear[idx]).is_err(),
+                None => false,
+            };
+            self.bits.set(row, col, value);
+            if let Some((model, samples)) = &mut self.variability {
+                samples[idx] = model.sample_cycle(&samples[idx], &mut self.rng);
+            }
+            if worn {
+                self.endurance_failures += 1;
+                self.faults.inject_stuck_at(row, col, value);
+            }
+        }
+        if changed > 0 {
+            self.ledger.record_program(
+                changed,
+                Joules::new(self.tech.program_energy.as_joules() * changed as f64),
+                self.tech.program_latency,
+            );
+        }
+        Ok(changed)
+    }
+
+    /// Loads a full bit matrix (e.g. an STE configuration).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::WidthMismatch`] if the matrix shape
+    /// differs from the array.
+    pub fn load(&mut self, data: &BitMatrix) -> Result<u64, CrossbarError> {
+        if data.rows() != self.rows || data.cols() != self.cols {
+            return Err(CrossbarError::WidthMismatch {
+                got: data.rows() * data.cols(),
+                expected: self.rows * self.cols,
+            });
+        }
+        let mut changed = 0;
+        for r in 0..self.rows {
+            changed += self.program_row(r, data.row(r))?;
+        }
+        Ok(changed)
+    }
+
+    // ------------------------------------------------------------------
+    // Sensing
+    // ------------------------------------------------------------------
+
+    /// Bit-line current of one column with the given rows activated.
+    fn column_current(&self, rows: &[usize], col: usize) -> Amps {
+        Amps::new(
+            rows.iter()
+                .map(|&r| (self.read_voltage / self.cell_resistance(r, col)).as_amps())
+                .sum(),
+        )
+    }
+
+    /// Reads one cell through the sense amplifier (physical read: faults
+    /// and variability apply).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::OutOfBounds`] for invalid indices.
+    pub fn read_bit(&mut self, row: usize, col: usize) -> Result<bool, CrossbarError> {
+        self.check(row, col)?;
+        let i = self.column_current(&[row], col);
+        let ref_current = Amps::new(
+            ((self.read_voltage / self.device.r_low).as_amps()
+                * (self.read_voltage / self.device.r_high).as_amps())
+            .sqrt(),
+        );
+        self.ledger.record_read(
+            self.tech.analytic_cycle_energy(self.rows),
+            self.tech.read_latency(self.rows),
+        );
+        Ok(i.as_amps() > ref_current.as_amps())
+    }
+
+    /// Reads a whole row, all columns sensed in parallel (one memory
+    /// cycle).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::OutOfBounds`] for an invalid row.
+    pub fn read_row(&mut self, row: usize) -> Result<BitVec, CrossbarError> {
+        self.check(row, 0)?;
+        let mut out = BitVec::new(self.cols);
+        let ref_current = ((self.read_voltage / self.device.r_low).as_amps()
+            * (self.read_voltage / self.device.r_high).as_amps())
+        .sqrt();
+        for col in 0..self.cols {
+            if self.column_current(&[row], col).as_amps() > ref_current {
+                out.set(col, true);
+            }
+        }
+        self.ledger.record_read(
+            Joules::new(self.tech.analytic_cycle_energy(self.rows).as_joules() * self.cols as f64),
+            self.tech.read_latency(self.rows),
+        );
+        Ok(out)
+    }
+
+    /// A scouting logic operation (Fig. 3): activates the selected rows
+    /// simultaneously and senses each column against the gate's
+    /// reference(s), computing the row-wise logic function across all
+    /// columns in a single memory cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InvalidRowSelection`] if fewer than two
+    /// rows are given, rows repeat, or `Xor` is requested with more than
+    /// two rows; [`CrossbarError::OutOfBounds`] for invalid rows.
+    pub fn scouting(&mut self, kind: ScoutingKind, rows: &[usize]) -> Result<BitVec, CrossbarError> {
+        if rows.len() < 2 {
+            return Err(CrossbarError::InvalidRowSelection {
+                constraint: "at least two rows must be activated",
+            });
+        }
+        if kind.is_window_gate() && rows.len() != 2 {
+            return Err(CrossbarError::InvalidRowSelection {
+                constraint: "xor/xnor are defined over exactly two rows",
+            });
+        }
+        for (i, &r) in rows.iter().enumerate() {
+            self.check(r, 0)?;
+            if rows[..i].contains(&r) {
+                return Err(CrossbarError::InvalidRowSelection {
+                    constraint: "rows must be distinct",
+                });
+            }
+        }
+        let thresholds = SenseThresholds::for_gate(
+            kind,
+            rows.len(),
+            self.read_voltage,
+            self.device.r_low,
+            self.device.r_high,
+        );
+        let mut out = BitVec::new(self.cols);
+        for col in 0..self.cols {
+            if thresholds.sense(self.column_current(rows, col)) {
+                out.set(col, true);
+            }
+        }
+        self.ledger.record_scouting(
+            Joules::new(self.tech.analytic_cycle_energy(self.rows).as_joules() * self.cols as f64),
+            self.tech.read_latency(self.rows),
+        );
+        Ok(out)
+    }
+
+    /// Scouting with write-back: computes `kind` over `rows` and programs
+    /// the result into `dest` — the MVP's in-memory macro-instruction.
+    ///
+    /// # Errors
+    ///
+    /// Combines the error conditions of [`scouting`](Self::scouting) and
+    /// [`program_row`](Self::program_row).
+    pub fn scouting_write(
+        &mut self,
+        kind: ScoutingKind,
+        rows: &[usize],
+        dest: usize,
+    ) -> Result<BitVec, CrossbarError> {
+        let result = self.scouting(kind, rows)?;
+        self.program_row(dest, &result)?;
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn array() -> Crossbar {
+        Crossbar::rram(8, 64)
+    }
+
+    #[test]
+    fn program_then_read_round_trips() {
+        let mut x = array();
+        x.program_bit(2, 7, true).expect("program");
+        assert!(x.read_bit(2, 7).expect("read"));
+        assert!(!x.read_bit(2, 8).expect("read"));
+    }
+
+    #[test]
+    fn scouting_matches_boolean_reference() {
+        let mut x = array();
+        let a = BitVec::from_indices(64, &[0, 5, 10, 63]);
+        let b = BitVec::from_indices(64, &[5, 10, 20]);
+        x.program_row(0, &a).expect("row 0");
+        x.program_row(1, &b).expect("row 1");
+        assert_eq!(x.scouting(ScoutingKind::Or, &[0, 1]).expect("or"), a.or(&b));
+        assert_eq!(x.scouting(ScoutingKind::And, &[0, 1]).expect("and"), a.and(&b));
+        assert_eq!(x.scouting(ScoutingKind::Xor, &[0, 1]).expect("xor"), a.xor(&b));
+    }
+
+    #[test]
+    fn complemented_gates_at_array_level() {
+        let mut x = array();
+        let a = BitVec::from_indices(64, &[0, 5, 10]);
+        let b = BitVec::from_indices(64, &[5, 20]);
+        x.program_row(0, &a).expect("r0");
+        x.program_row(1, &b).expect("r1");
+        assert_eq!(
+            x.scouting(ScoutingKind::Nor, &[0, 1]).expect("nor"),
+            a.or(&b).not()
+        );
+        assert_eq!(
+            x.scouting(ScoutingKind::Nand, &[0, 1]).expect("nand"),
+            a.and(&b).not()
+        );
+        assert_eq!(
+            x.scouting(ScoutingKind::Xnor, &[0, 1]).expect("xnor"),
+            a.xor(&b).not()
+        );
+        assert!(x.scouting(ScoutingKind::Xnor, &[0, 1, 2]).is_err());
+    }
+
+    #[test]
+    fn multi_row_or_and() {
+        let mut x = array();
+        let rows = [
+            BitVec::from_indices(64, &[0, 1, 2, 3]),
+            BitVec::from_indices(64, &[1, 2, 3, 4]),
+            BitVec::from_indices(64, &[2, 3, 4, 5]),
+        ];
+        for (i, r) in rows.iter().enumerate() {
+            x.program_row(i, r).expect("program");
+        }
+        let or = x.scouting(ScoutingKind::Or, &[0, 1, 2]).expect("or");
+        let and = x.scouting(ScoutingKind::And, &[0, 1, 2]).expect("and");
+        assert_eq!(or.ones().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(and.ones().collect::<Vec<_>>(), vec![2, 3]);
+    }
+
+    #[test]
+    fn scouting_write_back_lands_in_destination() {
+        let mut x = array();
+        x.program_row(0, &BitVec::from_indices(64, &[1, 2])).expect("r0");
+        x.program_row(1, &BitVec::from_indices(64, &[2, 3])).expect("r1");
+        let r = x.scouting_write(ScoutingKind::And, &[0, 1], 7).expect("write");
+        assert_eq!(r.ones().collect::<Vec<_>>(), vec![2]);
+        assert!(x.get(7, 2).expect("dest"));
+        assert!(!x.get(7, 1).expect("dest"));
+    }
+
+    #[test]
+    fn invalid_selections_are_rejected() {
+        let mut x = array();
+        assert!(matches!(
+            x.scouting(ScoutingKind::Or, &[0]),
+            Err(CrossbarError::InvalidRowSelection { .. })
+        ));
+        assert!(matches!(
+            x.scouting(ScoutingKind::Or, &[0, 0]),
+            Err(CrossbarError::InvalidRowSelection { .. })
+        ));
+        assert!(matches!(
+            x.scouting(ScoutingKind::Xor, &[0, 1, 2]),
+            Err(CrossbarError::InvalidRowSelection { .. })
+        ));
+        assert!(matches!(
+            x.scouting(ScoutingKind::Or, &[0, 99]),
+            Err(CrossbarError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn ledger_accounts_for_operations() {
+        let mut x = array();
+        x.program_row(0, &BitVec::from_indices(64, &[0, 1])).expect("program");
+        let _ = x.read_row(0).expect("read");
+        let _ = x.scouting(ScoutingKind::Or, &[0, 1]).expect("scout");
+        assert_eq!(x.ledger().programs(), 1);
+        assert_eq!(x.ledger().bits_programmed(), 2);
+        assert_eq!(x.ledger().reads(), 1);
+        assert_eq!(x.ledger().scouting_ops(), 1);
+        assert!(x.ledger().energy().as_joules() > 0.0);
+    }
+
+    #[test]
+    fn reprogramming_same_value_is_free() {
+        let mut x = array();
+        x.program_bit(0, 0, true).expect("first");
+        let e1 = x.ledger().energy();
+        x.program_bit(0, 0, true).expect("no-op");
+        assert_eq!(x.ledger().energy(), e1);
+    }
+
+    #[test]
+    fn stuck_at_fault_defeats_programming() {
+        let mut x = array();
+        x.faults_mut().inject_stuck_at(0, 3, false);
+        x.program_bit(0, 3, true).expect("write is accepted");
+        assert!(!x.read_bit(0, 3).expect("read"), "stuck-at-0 wins");
+        // Scouting sees the fault too.
+        x.program_row(1, &BitVec::from_indices(64, &[3])).expect("r1");
+        let or = x.scouting(ScoutingKind::Or, &[0, 1]).expect("or");
+        assert!(or.get(3), "row 1 carries the 1");
+        let and = x.scouting(ScoutingKind::And, &[0, 1]).expect("and");
+        assert!(!and.get(3), "stuck row 0 kills the AND");
+    }
+
+    #[test]
+    fn endurance_exhaustion_sticks_cells() {
+        let mut x = Crossbar::rram(2, 4).with_endurance(EnduranceModel::new(3));
+        // Toggle one bit until its 3-cycle budget is gone.
+        x.program_bit(0, 0, true).expect("cycle 1");
+        x.program_bit(0, 0, false).expect("cycle 2");
+        let err = x.program_bit(0, 0, true).expect_err("cycle 3 exhausts");
+        assert!(matches!(err, CrossbarError::Endurance(_)));
+        assert_eq!(x.endurance_failures(), 1);
+        // The final write completed; the cell is now stuck at `true`.
+        assert!(x.read_bit(0, 0).expect("read"));
+        x.program_bit(0, 0, false).expect("silently ignored");
+        assert!(x.read_bit(0, 0).expect("read"), "stuck");
+    }
+
+    #[test]
+    fn row_programming_survives_wearout_without_abort() {
+        let mut x = Crossbar::rram(1, 8).with_endurance(EnduranceModel::new(2));
+        let ones = BitVec::from_indices(8, &(0..8).collect::<Vec<_>>());
+        let zeros = BitVec::new(8);
+        x.program_row(0, &ones).expect("cycle 1 each");
+        let changed = x.program_row(0, &zeros).expect("cycle 2 wears out every cell");
+        assert_eq!(changed, 8);
+        assert_eq!(x.endurance_failures(), 8);
+        // All cells stuck at 0 now.
+        let changed_after = x.program_row(0, &ones).expect("ignored");
+        assert_eq!(changed_after, 0);
+    }
+
+    #[test]
+    fn variability_with_typical_spread_preserves_logic() {
+        let mut x = Crossbar::rram(4, 128).with_variability(VariabilityModel::typical(), 42);
+        let a = BitVec::from_indices(128, &(0..128).step_by(3).collect::<Vec<_>>());
+        let b = BitVec::from_indices(128, &(0..128).step_by(5).collect::<Vec<_>>());
+        x.program_row(0, &a).expect("r0");
+        x.program_row(1, &b).expect("r1");
+        assert_eq!(x.scouting(ScoutingKind::And, &[0, 1]).expect("and"), a.and(&b));
+        assert_eq!(x.scouting(ScoutingKind::Or, &[0, 1]).expect("or"), a.or(&b));
+    }
+
+    #[test]
+    fn area_and_static_power_reflect_technology() {
+        let rram = Crossbar::rram(256, 256);
+        let sram = Crossbar::with_technology(
+            CellTechnology::sram_8t(),
+            SwitchParams::paper_fig9(),
+            256,
+            256,
+        );
+        assert!(sram.area().as_square_micrometers() > 10.0 * rram.area().as_square_micrometers());
+        assert_eq!(rram.static_power().as_watts(), 0.0);
+        assert!(sram.static_power().as_watts() > 0.0);
+    }
+
+    #[test]
+    fn load_full_matrix() {
+        let mut x = Crossbar::rram(3, 16);
+        let mut m = BitMatrix::new(3, 16);
+        m.set(0, 0, true);
+        m.set(1, 8, true);
+        m.set(2, 15, true);
+        let changed = x.load(&m).expect("load");
+        assert_eq!(changed, 3);
+        assert!(x.get(2, 15).expect("get"));
+        let bad = BitMatrix::new(2, 16);
+        assert!(x.load(&bad).is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// Scouting over an ideal array is exactly boolean logic for any
+        /// row contents (the Fig. 3 claim).
+        #[test]
+        fn scouting_equals_boolean_ops(
+            a_bits in proptest::collection::vec(any::<bool>(), 64),
+            b_bits in proptest::collection::vec(any::<bool>(), 64),
+        ) {
+            let mut x = Crossbar::rram(2, 64);
+            let a = BitVec::from_bools(&a_bits);
+            let b = BitVec::from_bools(&b_bits);
+            x.program_row(0, &a).expect("r0");
+            x.program_row(1, &b).expect("r1");
+            prop_assert_eq!(x.scouting(ScoutingKind::Or, &[0, 1]).expect("or"), a.or(&b));
+            prop_assert_eq!(x.scouting(ScoutingKind::And, &[0, 1]).expect("and"), a.and(&b));
+            prop_assert_eq!(x.scouting(ScoutingKind::Xor, &[0, 1]).expect("xor"), a.xor(&b));
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Multi-bank crossbar organization.
+//!
+//! The paper's MVP owns a 2 GB crossbar — physically millions of
+//! subarrays, not one. A [`BankedCrossbar`] splits a logical row width
+//! across equally-sized banks that operate column-parallel and
+//! *simultaneously*: a scouting operation issues to every bank in the
+//! same memory cycle, so latency is one bank cycle while energy is the
+//! sum over banks. This is the structure behind the MVP model's
+//! "massively parallel in-memory op" cost assumption (DESIGN.md §2).
+
+use crate::{Crossbar, CrossbarError, ScoutingKind};
+use memcim_bits::BitVec;
+use memcim_units::{Joules, Seconds, SquareMicrometers, Watts};
+
+/// A logical crossbar striped across multiple equally-wide banks.
+///
+/// Rows span all banks; operations fan out to every bank in parallel and
+/// results are re-assembled in column order.
+///
+/// # Examples
+///
+/// ```
+/// use memcim_bits::BitVec;
+/// use memcim_crossbar::{BankedCrossbar, ScoutingKind};
+///
+/// # fn main() -> Result<(), memcim_crossbar::CrossbarError> {
+/// // 4 banks × 256 columns = 1024-bit logical rows.
+/// let mut banked = BankedCrossbar::rram(8, 4, 256);
+/// banked.program_row(0, &BitVec::from_indices(1024, &[0, 500, 1023]))?;
+/// banked.program_row(1, &BitVec::from_indices(1024, &[500]))?;
+/// let and = banked.scouting(ScoutingKind::And, &[0, 1])?;
+/// assert_eq!(and.ones().collect::<Vec<_>>(), vec![500]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct BankedCrossbar {
+    banks: Vec<Crossbar>,
+    bank_cols: usize,
+}
+
+impl BankedCrossbar {
+    /// Creates `bank_count` RRAM banks of `rows × bank_cols` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn rram(rows: usize, bank_count: usize, bank_cols: usize) -> Self {
+        assert!(bank_count > 0, "need at least one bank");
+        Self {
+            banks: (0..bank_count).map(|_| Crossbar::rram(rows, bank_cols)).collect(),
+            bank_cols,
+        }
+    }
+
+    /// Number of banks.
+    pub fn bank_count(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Logical row width (columns across all banks).
+    pub fn cols(&self) -> usize {
+        self.banks.len() * self.bank_cols
+    }
+
+    /// Rows per bank (= logical rows).
+    pub fn rows(&self) -> usize {
+        self.banks[0].rows()
+    }
+
+    /// Borrows one bank (fault injection, inspection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn bank_mut(&mut self, index: usize) -> &mut Crossbar {
+        &mut self.banks[index]
+    }
+
+    /// Splits a logical row vector into per-bank stripes.
+    fn stripe(&self, values: &BitVec) -> Result<Vec<BitVec>, CrossbarError> {
+        if values.len() != self.cols() {
+            return Err(CrossbarError::WidthMismatch { got: values.len(), expected: self.cols() });
+        }
+        let mut stripes = vec![BitVec::new(self.bank_cols); self.banks.len()];
+        for i in values.ones() {
+            stripes[i / self.bank_cols].set(i % self.bank_cols, true);
+        }
+        Ok(stripes)
+    }
+
+    /// Re-assembles per-bank results into a logical row vector.
+    fn gather(&self, parts: &[BitVec]) -> BitVec {
+        let mut out = BitVec::new(self.cols());
+        for (b, part) in parts.iter().enumerate() {
+            for i in part.ones() {
+                out.set(b * self.bank_cols + i, true);
+            }
+        }
+        out
+    }
+
+    /// Programs a logical row across all banks (one parallel programming
+    /// cycle). Returns the number of cells whose state changed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::WidthMismatch`] /
+    /// [`CrossbarError::OutOfBounds`] for invalid arguments.
+    pub fn program_row(&mut self, row: usize, values: &BitVec) -> Result<u64, CrossbarError> {
+        let stripes = self.stripe(values)?;
+        let mut changed = 0;
+        for (bank, stripe) in self.banks.iter_mut().zip(stripes) {
+            changed += bank.program_row(row, &stripe)?;
+        }
+        Ok(changed)
+    }
+
+    /// Reads a logical row (all banks sense in the same cycle).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::OutOfBounds`] for an invalid row.
+    pub fn read_row(&mut self, row: usize) -> Result<BitVec, CrossbarError> {
+        let parts: Vec<BitVec> =
+            self.banks.iter_mut().map(|b| b.read_row(row)).collect::<Result<_, _>>()?;
+        Ok(self.gather(&parts))
+    }
+
+    /// A scouting operation across the full logical width in one bank
+    /// cycle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the row-selection errors of [`Crossbar::scouting`].
+    pub fn scouting(&mut self, kind: ScoutingKind, rows: &[usize]) -> Result<BitVec, CrossbarError> {
+        let parts: Vec<BitVec> =
+            self.banks.iter_mut().map(|b| b.scouting(kind, rows)).collect::<Result<_, _>>()?;
+        Ok(self.gather(&parts))
+    }
+
+    /// Total dynamic energy across all banks.
+    pub fn total_energy(&self) -> Joules {
+        self.banks.iter().map(|b| b.ledger().energy()).sum()
+    }
+
+    /// Wall-clock busy time: banks run in parallel, so the maximum over
+    /// banks (not the sum).
+    pub fn parallel_busy_time(&self) -> Seconds {
+        self.banks
+            .iter()
+            .map(|b| b.ledger().busy_time())
+            .fold(Seconds::ZERO, Seconds::max)
+    }
+
+    /// Total layout area.
+    pub fn area(&self) -> SquareMicrometers {
+        self.banks.iter().map(Crossbar::area).sum::<SquareMicrometers>()
+    }
+
+    /// Total static power.
+    pub fn static_power(&self) -> Watts {
+        Watts::new(self.banks.iter().map(|b| b.static_power().as_watts()).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn striping_and_gathering_round_trip() {
+        let mut banked = BankedCrossbar::rram(4, 3, 64);
+        assert_eq!(banked.cols(), 192);
+        let data = BitVec::from_indices(192, &[0, 63, 64, 127, 128, 191]);
+        banked.program_row(0, &data).expect("program");
+        assert_eq!(banked.read_row(0).expect("read"), data);
+    }
+
+    #[test]
+    fn scouting_spans_bank_boundaries() {
+        let mut banked = BankedCrossbar::rram(4, 4, 32);
+        let a = BitVec::from_indices(128, &(0..128).step_by(2).collect::<Vec<_>>());
+        let b = BitVec::from_indices(128, &(0..128).step_by(3).collect::<Vec<_>>());
+        banked.program_row(0, &a).expect("r0");
+        banked.program_row(1, &b).expect("r1");
+        assert_eq!(banked.scouting(ScoutingKind::Or, &[0, 1]).expect("or"), a.or(&b));
+        assert_eq!(banked.scouting(ScoutingKind::And, &[0, 1]).expect("and"), a.and(&b));
+        assert_eq!(banked.scouting(ScoutingKind::Xor, &[0, 1]).expect("xor"), a.xor(&b));
+    }
+
+    #[test]
+    fn latency_is_one_bank_cycle_energy_is_summed() {
+        let mut one_bank = BankedCrossbar::rram(4, 1, 64);
+        let mut four_banks = BankedCrossbar::rram(4, 4, 64);
+        let narrow = BitVec::from_indices(64, &[1, 2]);
+        let wide = BitVec::from_indices(256, &[1, 2, 65, 130, 200]);
+        one_bank.program_row(0, &narrow).expect("p");
+        one_bank.program_row(1, &narrow).expect("p");
+        four_banks.program_row(0, &wide).expect("p");
+        four_banks.program_row(1, &wide).expect("p");
+        let _ = one_bank.scouting(ScoutingKind::Or, &[0, 1]).expect("or");
+        let _ = four_banks.scouting(ScoutingKind::Or, &[0, 1]).expect("or");
+        // Parallel banks: same wall-clock, ~4× the energy per op class.
+        assert_eq!(
+            one_bank.parallel_busy_time().as_seconds(),
+            four_banks.parallel_busy_time().as_seconds()
+        );
+        assert!(four_banks.total_energy().as_joules() > 2.0 * one_bank.total_energy().as_joules());
+    }
+
+    #[test]
+    fn width_mismatch_is_rejected() {
+        let mut banked = BankedCrossbar::rram(2, 2, 16);
+        let wrong = BitVec::new(16);
+        assert!(matches!(
+            banked.program_row(0, &wrong),
+            Err(CrossbarError::WidthMismatch { got: 16, expected: 32 })
+        ));
+    }
+
+    #[test]
+    fn per_bank_faults_stay_local() {
+        let mut banked = BankedCrossbar::rram(2, 2, 16);
+        banked.bank_mut(1).faults_mut().inject_stuck_at(0, 3, true);
+        banked.program_row(0, &BitVec::new(32)).expect("zeros");
+        let read = banked.read_row(0).expect("read");
+        // Logical column 16 + 3 = 19 is the stuck one.
+        assert_eq!(read.ones().collect::<Vec<_>>(), vec![19]);
+    }
+
+    #[test]
+    fn area_and_power_aggregate() {
+        let banked = BankedCrossbar::rram(8, 4, 64);
+        let single = Crossbar::rram(8, 64);
+        assert!(
+            (banked.area().as_square_micrometers()
+                - 4.0 * single.area().as_square_micrometers())
+            .abs()
+                < 1e-9
+        );
+        assert_eq!(banked.static_power().as_watts(), 0.0);
+    }
+}

@@ -1,0 +1,324 @@
+//! The Fig. 9 bit-line discharge experiment as a transient netlist.
+
+use crate::technology::CellTechnology;
+use memcim_device::{BehavioralSwitch, MemristiveDevice, SwitchParams};
+use memcim_spice::{Circuit, Edge, Integration, SpiceError, Trace, Transient, Waveform};
+use memcim_units::{Farads, Joules, Ohms, Seconds, Volts};
+
+/// Result of one evaluate-and-recharge bit-line cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DischargeReport {
+    /// Time from word-line enable to the bit line crossing the sense
+    /// level; `None` when the stored value keeps the line high (reads 0).
+    pub discharge_time: Option<Seconds>,
+    /// Energy delivered by the precharge supply over the full cycle —
+    /// the paper's "energy consumed during the charge and discharge
+    /// processes".
+    pub cycle_energy: Joules,
+    /// Energy delivered by the word-line driver (gate loading), reported
+    /// separately because the paper's figure excludes it.
+    pub wl_driver_energy: Joules,
+    /// Bit-line voltage at the end of the evaluate window.
+    pub bitline_after_evaluate: Volts,
+}
+
+impl DischargeReport {
+    /// `true` when the sense amplifier would output logic 1.
+    pub fn reads_one(&self) -> bool {
+        self.discharge_time.is_some()
+    }
+}
+
+/// Builder for the paper's Fig. 9 circuit: a bit line precharged to
+/// 0.4 V, `n_cells` cells hanging off it, the shared word line enabled at
+/// 1 ns, and a precharge pulse restoring the line after the evaluate
+/// window.
+///
+/// Two fidelities are provided:
+///
+/// * [`lumped`](BitlineCircuit::lumped) — one explicit conducting cell,
+///   with the remaining cells' bit-line loading lumped into a single
+///   capacitor. Fast; used by tests and by the per-operation cost model.
+/// * [`explicit`](BitlineCircuit::explicit) — every cell instantiated
+///   (access transistor(s) plus storage element). This is the honest
+///   256-cell reproduction; it is exercised at reduced cell counts by the
+///   integration tests and at the full 256 by the `fig9_discharge` bench.
+///
+/// # Examples
+///
+/// ```
+/// use memcim_crossbar::{BitlineCircuit, CellTechnology};
+///
+/// # fn main() -> Result<(), memcim_spice::SpiceError> {
+/// let report = BitlineCircuit::lumped(CellTechnology::rram_1t1r(), 256).run()?;
+/// assert!(report.reads_one());
+/// let t = report.discharge_time.expect("discharges").as_picoseconds();
+/// assert!((80.0..140.0).contains(&t), "t = {t} ps");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BitlineCircuit {
+    tech: CellTechnology,
+    n_cells: usize,
+    stored_one: bool,
+    explicit: bool,
+    dt: Seconds,
+}
+
+/// Word-line high level (VDD at 32 nm).
+const V_WL: f64 = 1.0;
+/// Word-line enable instant (the paper enables WL at 1 ns).
+const T_WL_NS: f64 = 1.0;
+/// Evaluate window length.
+const T_EVAL_NS: f64 = 1.0;
+
+impl BitlineCircuit {
+    /// Creates the lumped variant (one explicit cell, rest as
+    /// capacitance). The selected cell stores logic 1.
+    pub fn lumped(tech: CellTechnology, n_cells: usize) -> Self {
+        Self { tech, n_cells: n_cells.max(1), stored_one: true, explicit: false, dt: Seconds::from_picoseconds(0.5) }
+    }
+
+    /// Creates the fully explicit variant: every cell instantiated, cell
+    /// 0 storing logic 1 and the rest logic 0 — exactly the paper's
+    /// "slowest discharge" setup.
+    pub fn explicit(tech: CellTechnology, n_cells: usize) -> Self {
+        Self { tech, n_cells: n_cells.max(1), stored_one: true, explicit: true, dt: Seconds::from_picoseconds(2.0) }
+    }
+
+    /// Sets whether the selected cell stores logic 1 (default) or 0.
+    /// With 0 stored the line must stay high and the SA reads 0.
+    #[must_use]
+    pub fn with_stored_bit(mut self, one: bool) -> Self {
+        self.stored_one = one;
+        self
+    }
+
+    /// Overrides the simulation timestep.
+    #[must_use]
+    pub fn with_timestep(mut self, dt: Seconds) -> Self {
+        self.dt = dt;
+        self
+    }
+
+    /// Builds and runs the transient, returning the measured report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures ([`SpiceError`]) — these indicate a
+    /// netlist bug, not a measurement outcome.
+    pub fn run(&self) -> Result<DischargeReport, SpiceError> {
+        self.run_with_trace().map(|(report, _)| report)
+    }
+
+    /// Like [`run`](Self::run) but also returns the full waveform trace
+    /// (used by the CSV-export example and the bench plots).
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures ([`SpiceError`]).
+    pub fn run_with_trace(&self) -> Result<(DischargeReport, Trace), SpiceError> {
+        let mut ckt = Circuit::new();
+        self.build(&mut ckt)?;
+        let t_stop = Seconds::from_nanoseconds(3.6);
+        let trace = Transient::new(t_stop, self.dt)
+            .with_integration(Integration::Trapezoidal)
+            .run(&mut ckt)?;
+
+        let wl_at = Seconds::from_nanoseconds(T_WL_NS);
+        let discharge_time = trace
+            .cross_time("bl", self.tech.sense_level, Edge::Falling, wl_at)
+            .map(|t| t - wl_at)
+            // A crossing after the evaluate window means the precharge
+            // pulse ended the cycle first: the SA latched 0.
+            .filter(|t| t.as_nanoseconds() <= T_EVAL_NS);
+        let bitline_after_evaluate = Volts::new(
+            trace.value_at("bl", Seconds::from_nanoseconds(T_WL_NS + T_EVAL_NS))?,
+        );
+        let report = DischargeReport {
+            discharge_time,
+            cycle_energy: trace.delivered_energy("Vpre"),
+            wl_driver_energy: trace.delivered_energy("Vwl"),
+            bitline_after_evaluate,
+        };
+        Ok((report, trace))
+    }
+
+    /// Assembles the netlist into `ckt`.
+    fn build(&self, ckt: &mut Circuit) -> Result<(), SpiceError> {
+        let bl = ckt.node("bl");
+        let wl = ckt.node("wl");
+        let pre = ckt.node("pre");
+
+        // Precharge supply and switch: recharge window after evaluate.
+        ckt.add_vsource("Vpre", pre, Circuit::GROUND, Waveform::dc(self.tech.precharge))?;
+        ckt.add_switch(
+            "Spre",
+            pre,
+            bl,
+            Ohms::new(100.0),
+            Ohms::new(1.0e12),
+            Waveform::pulse(
+                Volts::ZERO,
+                Volts::new(1.0),
+                Seconds::from_nanoseconds(T_WL_NS + T_EVAL_NS + 0.2),
+                Seconds::from_nanoseconds(1.0),
+                Seconds::from_picoseconds(10.0),
+            ),
+            Volts::new(0.5),
+        )?;
+
+        // Word line: shared by all cells, enabled at 1 ns.
+        ckt.add_vsource(
+            "Vwl",
+            wl,
+            Circuit::GROUND,
+            Waveform::pulse(
+                Volts::ZERO,
+                Volts::new(V_WL),
+                Seconds::from_nanoseconds(T_WL_NS),
+                Seconds::from_nanoseconds(T_EVAL_NS),
+                Seconds::from_picoseconds(10.0),
+            ),
+        )?;
+
+        let explicit_cells = if self.explicit { self.n_cells } else { 1 };
+
+        // Bit-line capacitance not contributed by explicit devices: total
+        // budget minus each explicit cell's own drain junction.
+        let budget = self.tech.bitline_capacitance(self.n_cells).as_farads();
+        let explicit_junctions =
+            explicit_cells as f64 * self.tech.access_transistor.c_db;
+        let lump = (budget - explicit_junctions).max(1.0e-18);
+        ckt.add_capacitor("Cbl", bl, Circuit::GROUND, Farads::new(lump))?;
+        ckt.set_initial_voltage(bl, self.tech.precharge);
+
+        for cell in 0..explicit_cells {
+            // Fig. 9a: the input vector is [1 0 0 … 0] — only the first
+            // cell's word line is driven; the rest stay deselected (gate
+            // grounded), loading the bit line with their junctions only.
+            let selected = cell == 0;
+            let stores_one = selected && self.stored_one;
+            let gate = if selected { wl } else { Circuit::GROUND };
+            self.build_cell(ckt, bl, gate, cell, stores_one)?;
+        }
+        Ok(())
+    }
+
+    fn build_cell(
+        &self,
+        ckt: &mut Circuit,
+        bl: memcim_spice::Node,
+        wl: memcim_spice::Node,
+        index: usize,
+        stores_one: bool,
+    ) -> Result<(), SpiceError> {
+        match self.tech.series_transistors {
+            1 => {
+                // 1T1R: BL — access NMOS — memristor — GND (Fig. 8b).
+                let mid = ckt.node(&format!("m{index}"));
+                ckt.add_nmos(
+                    &format!("Ma{index}"),
+                    bl,
+                    wl,
+                    mid,
+                    self.tech.access_transistor,
+                )?;
+                let mut device = BehavioralSwitch::new(SwitchParams::paper_fig9());
+                device.set_normalized_state(if stores_one { 1.0 } else { 0.0 });
+                ckt.add_memristor(&format!("X{index}"), mid, Circuit::GROUND, Box::new(device))?;
+            }
+            _ => {
+                // 8T SRAM read port: BL — M1(gate=WL) — M2(gate=data) — GND
+                // (Fig. 8c). The stored datum drives the lower gate.
+                let mid = ckt.node(&format!("m{index}"));
+                let data = ckt.node(&format!("d{index}"));
+                ckt.add_vsource(
+                    &format!("Vd{index}"),
+                    data,
+                    Circuit::GROUND,
+                    Waveform::dc(Volts::new(if stores_one { V_WL } else { 0.0 })),
+                )?;
+                ckt.set_initial_voltage(data, Volts::new(if stores_one { V_WL } else { 0.0 }));
+                ckt.add_nmos(&format!("Ma{index}"), bl, wl, mid, self.tech.access_transistor)?;
+                ckt.add_nmos(
+                    &format!("Mb{index}"),
+                    mid,
+                    data,
+                    Circuit::GROUND,
+                    self.tech.access_transistor,
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rram_lumped_discharge_is_in_the_100ps_class() {
+        let report = BitlineCircuit::lumped(CellTechnology::rram_1t1r(), 256)
+            .run()
+            .expect("solver");
+        let t = report.discharge_time.expect("stored 1 discharges").as_picoseconds();
+        assert!((80.0..140.0).contains(&t), "t = {t} ps");
+    }
+
+    #[test]
+    fn sram_is_slower_and_hungrier_than_rram() {
+        // The Fig. 9 comparison at lumped fidelity.
+        let rram = BitlineCircuit::lumped(CellTechnology::rram_1t1r(), 256).run().expect("rram");
+        let sram = BitlineCircuit::lumped(CellTechnology::sram_8t(), 256).run().expect("sram");
+        let t_r = rram.discharge_time.expect("rram discharges").as_picoseconds();
+        let t_s = sram.discharge_time.expect("sram discharges").as_picoseconds();
+        assert!(t_s > 1.2 * t_r, "rram {t_r} ps vs sram {t_s} ps");
+        let e_r = rram.cycle_energy.as_femtojoules();
+        let e_s = sram.cycle_energy.as_femtojoules();
+        assert!(e_s > 2.0 * e_r, "rram {e_r} fJ vs sram {e_s} fJ");
+    }
+
+    #[test]
+    fn stored_zero_keeps_the_line_high() {
+        let report = BitlineCircuit::lumped(CellTechnology::rram_1t1r(), 256)
+            .with_stored_bit(false)
+            .run()
+            .expect("solver");
+        assert!(!report.reads_one());
+        assert!(report.bitline_after_evaluate.as_volts() > 0.35);
+    }
+
+    #[test]
+    fn explicit_small_array_matches_lumped_model() {
+        // Cross-fidelity validation at 16 cells (fast enough for CI).
+        let tech = CellTechnology::rram_1t1r();
+        let lumped = BitlineCircuit::lumped(tech.clone(), 16).run().expect("lumped");
+        let explicit = BitlineCircuit::explicit(tech, 16).run().expect("explicit");
+        let t_l = lumped.discharge_time.expect("lumped").as_picoseconds();
+        let t_e = explicit.discharge_time.expect("explicit").as_picoseconds();
+        assert!(
+            (t_l - t_e).abs() / t_e < 0.25,
+            "lumped {t_l} ps vs explicit {t_e} ps"
+        );
+    }
+
+    #[test]
+    fn wl_energy_is_reported_separately_and_small() {
+        let report = BitlineCircuit::lumped(CellTechnology::rram_1t1r(), 256)
+            .run()
+            .expect("solver");
+        assert!(report.wl_driver_energy.as_femtojoules() < report.cycle_energy.as_femtojoules());
+    }
+
+    #[test]
+    fn trace_contains_the_bitline_waveform() {
+        let (_, trace) = BitlineCircuit::lumped(CellTechnology::rram_1t1r(), 64)
+            .run_with_trace()
+            .expect("solver");
+        let (lo, hi) = trace.extrema("bl").expect("bl recorded");
+        assert!(hi > 0.39 && lo < 0.1, "bl range [{lo}, {hi}]");
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type for crossbar operations.
+
+use core::fmt;
+use memcim_device::DeviceError;
+
+/// Errors produced by crossbar construction and array operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CrossbarError {
+    /// A row or column index was outside the array.
+    OutOfBounds {
+        /// The offending row index.
+        row: usize,
+        /// The offending column index (0 for row-level operations).
+        col: usize,
+        /// Array dimensions.
+        rows: usize,
+        /// Array dimensions.
+        cols: usize,
+    },
+    /// A scouting operation was requested over an invalid row selection.
+    InvalidRowSelection {
+        /// Human-readable constraint that was violated.
+        constraint: &'static str,
+    },
+    /// A row vector's length did not match the column count.
+    WidthMismatch {
+        /// Supplied vector length.
+        got: usize,
+        /// Expected column count.
+        expected: usize,
+    },
+    /// A device wore out during programming.
+    Endurance(DeviceError),
+}
+
+impl fmt::Display for CrossbarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrossbarError::OutOfBounds { row, col, rows, cols } => {
+                write!(f, "cell ({row}, {col}) outside {rows}×{cols} array")
+            }
+            CrossbarError::InvalidRowSelection { constraint } => {
+                write!(f, "invalid scouting row selection: {constraint}")
+            }
+            CrossbarError::WidthMismatch { got, expected } => {
+                write!(f, "row vector length {got} does not match column count {expected}")
+            }
+            CrossbarError::Endurance(e) => write!(f, "endurance failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CrossbarError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CrossbarError::Endurance(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DeviceError> for CrossbarError {
+    fn from(e: DeviceError) -> Self {
+        CrossbarError::Endurance(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error as _;
+        let e = CrossbarError::Endurance(DeviceError::EnduranceExhausted { cycles: 7 });
+        assert!(e.to_string().contains("endurance"));
+        assert!(e.source().is_some());
+        let o = CrossbarError::OutOfBounds { row: 9, col: 0, rows: 4, cols: 4 };
+        assert!(o.to_string().contains("(9, 0)"));
+        assert!(o.source().is_none());
+    }
+}

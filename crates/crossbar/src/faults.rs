@@ -1,0 +1,90 @@
+//! Stuck-at fault injection for crossbar cells.
+
+use std::collections::HashMap;
+
+/// A map of stuck-at faults over array cells.
+///
+/// A stuck cell ignores programming and always reads its stuck value —
+/// the dominant memristor failure signature (endurance wear-out leaves
+/// filaments permanently formed or ruptured).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultMap {
+    stuck: HashMap<(usize, usize), bool>,
+}
+
+impl FaultMap {
+    /// An empty fault map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Injects a stuck-at fault at `(row, col)`.
+    pub fn inject_stuck_at(&mut self, row: usize, col: usize, value: bool) {
+        self.stuck.insert((row, col), value);
+    }
+
+    /// Removes a fault, if present.
+    pub fn clear(&mut self, row: usize, col: usize) {
+        self.stuck.remove(&(row, col));
+    }
+
+    /// Number of injected faults.
+    pub fn len(&self) -> usize {
+        self.stuck.len()
+    }
+
+    /// `true` when no faults are injected.
+    pub fn is_empty(&self) -> bool {
+        self.stuck.is_empty()
+    }
+
+    /// The stuck value at a cell, if faulty.
+    pub fn stuck_value(&self, row: usize, col: usize) -> Option<bool> {
+        self.stuck.get(&(row, col)).copied()
+    }
+
+    /// The value actually observed when reading a cell whose programmed
+    /// value is `logical`.
+    pub fn observed(&self, row: usize, col: usize, logical: bool) -> bool {
+        self.stuck_value(row, col).unwrap_or(logical)
+    }
+
+    /// Iterates over `((row, col), stuck_value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&(usize, usize), &bool)> {
+        self.stuck.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stuck_cell_overrides_logical_value() {
+        let mut f = FaultMap::new();
+        f.inject_stuck_at(1, 2, true);
+        assert_eq!(f.observed(1, 2, false), true);
+        assert_eq!(f.observed(1, 2, true), true);
+        assert_eq!(f.observed(0, 0, false), false);
+    }
+
+    #[test]
+    fn clear_restores_normal_behaviour() {
+        let mut f = FaultMap::new();
+        f.inject_stuck_at(0, 0, false);
+        assert_eq!(f.observed(0, 0, true), false);
+        f.clear(0, 0);
+        assert_eq!(f.observed(0, 0, true), true);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn len_tracks_injections() {
+        let mut f = FaultMap::new();
+        f.inject_stuck_at(0, 0, true);
+        f.inject_stuck_at(0, 1, false);
+        f.inject_stuck_at(0, 0, false); // overwrite, not a new fault
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.iter().count(), 2);
+    }
+}

@@ -1,0 +1,96 @@
+//! Per-array energy/latency/operation bookkeeping.
+
+use memcim_units::{Joules, Seconds};
+
+/// Running totals of array activity: operation counts, energy and
+/// cumulative busy time.
+///
+/// The MVP evaluation (paper Fig. 4) and the AP chip-level comparison
+/// both reduce to these totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OpLedger {
+    reads: u64,
+    scouting_ops: u64,
+    programs: u64,
+    bits_programmed: u64,
+    energy: Joules,
+    busy: Seconds,
+}
+
+impl OpLedger {
+    /// A fresh ledger with all counters at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a read operation over `columns` bit lines.
+    pub(crate) fn record_read(&mut self, energy: Joules, latency: Seconds) {
+        self.reads += 1;
+        self.energy += energy;
+        self.busy += latency;
+    }
+
+    /// Records a scouting (multi-row logic) operation.
+    pub(crate) fn record_scouting(&mut self, energy: Joules, latency: Seconds) {
+        self.scouting_ops += 1;
+        self.energy += energy;
+        self.busy += latency;
+    }
+
+    /// Records a programming operation touching `bits` cells.
+    pub(crate) fn record_program(&mut self, bits: u64, energy: Joules, latency: Seconds) {
+        self.programs += 1;
+        self.bits_programmed += bits;
+        self.energy += energy;
+        self.busy += latency;
+    }
+
+    /// Number of plain read operations.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Number of scouting logic operations.
+    pub fn scouting_ops(&self) -> u64 {
+        self.scouting_ops
+    }
+
+    /// Number of program operations (row or bit granularity).
+    pub fn programs(&self) -> u64 {
+        self.programs
+    }
+
+    /// Total cells actually re-programmed (state changes only).
+    pub fn bits_programmed(&self) -> u64 {
+        self.bits_programmed
+    }
+
+    /// Total dynamic energy.
+    pub fn energy(&self) -> Joules {
+        self.energy
+    }
+
+    /// Total busy time (operations are serialized per array).
+    pub fn busy_time(&self) -> Seconds {
+        self.busy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut l = OpLedger::new();
+        l.record_read(Joules::from_femtojoules(2.0), Seconds::from_picoseconds(350.0));
+        l.record_scouting(Joules::from_femtojoules(3.0), Seconds::from_picoseconds(350.0));
+        l.record_program(64, Joules::from_picojoules(128.0), Seconds::from_nanoseconds(10.0));
+        assert_eq!(l.reads(), 1);
+        assert_eq!(l.scouting_ops(), 1);
+        assert_eq!(l.programs(), 1);
+        assert_eq!(l.bits_programmed(), 64);
+        assert!((l.energy().as_picojoules() - 128.005).abs() < 1e-9);
+        assert!(l.busy_time().as_nanoseconds() > 10.0);
+    }
+}

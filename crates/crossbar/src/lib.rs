@@ -1,0 +1,63 @@
+//! 1T1R resistive crossbar arrays with scouting logic.
+//!
+//! This crate implements Section III of the paper (the storage/compute
+//! fabric of the Memristive Vector Processor) and the bit-line experiment
+//! of Section IV.D (Fig. 9):
+//!
+//! * [`CellTechnology`] — calibrated per-cell models for RRAM 1T1R,
+//!   8T/6T SRAM and 1T1C DRAM bit cells: layout area, bit-line
+//!   capacitance, discharge-path resistance, programming cost and
+//!   leakage. These constants are the *only* place where technology
+//!   numbers live; everything downstream (AP backends, MVP architecture
+//!   model) derives its figures from here.
+//! * [`BitlineCircuit`] — builds the paper's Fig. 9 discharge experiment
+//!   as a `memcim-spice` netlist (lumped or with every cell explicit) and
+//!   measures discharge delay and cycle energy; [`DischargeReport`] holds
+//!   the result. The analytic shortcuts
+//!   [`CellTechnology::analytic_discharge_time`] and
+//!   [`CellTechnology::analytic_cycle_energy`] are validated against the
+//!   transient simulation by integration tests.
+//! * [`Crossbar`] — the array itself: programming (with endurance wear
+//!   and stuck-at faults), normal reads, and **scouting logic** reads
+//!   (Fig. 3): multi-row activation whose aggregated bit-line current is
+//!   compared against per-gate sense-amplifier references to compute
+//!   OR / AND / XOR across rows in a single memory cycle.
+//! * [`ScoutingKind`]/[`SenseThresholds`] — the reference-current
+//!   placement of Fig. 3b, including the two-reference XOR window.
+//!
+//! # Examples
+//!
+//! ```
+//! use memcim_bits::BitVec;
+//! use memcim_crossbar::{Crossbar, ScoutingKind};
+//!
+//! # fn main() -> Result<(), memcim_crossbar::CrossbarError> {
+//! let mut xbar = Crossbar::rram(8, 64);
+//! xbar.program_row(0, &BitVec::from_indices(64, &[0, 1, 2]))?;
+//! xbar.program_row(1, &BitVec::from_indices(64, &[2, 3]))?;
+//! let or = xbar.scouting(ScoutingKind::Or, &[0, 1])?;
+//! assert_eq!(or.ones().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+//! let and = xbar.scouting(ScoutingKind::And, &[0, 1])?;
+//! assert_eq!(and.ones().collect::<Vec<_>>(), vec![2]);
+//! println!("energy so far: {}", xbar.ledger().energy());
+//! # Ok(())
+//! # }
+//! ```
+
+mod array;
+mod bank;
+mod bitline;
+mod error;
+mod faults;
+mod ledger;
+mod sense;
+mod technology;
+
+pub use array::Crossbar;
+pub use bank::BankedCrossbar;
+pub use bitline::{BitlineCircuit, DischargeReport};
+pub use error::CrossbarError;
+pub use faults::FaultMap;
+pub use ledger::OpLedger;
+pub use sense::{ScoutingKind, SenseThresholds};
+pub use technology::CellTechnology;

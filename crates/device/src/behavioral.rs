@@ -1,0 +1,350 @@
+//! Two-state behavioral switch — the device projection of the paper's
+//! Fig. 8/9 experiment.
+
+use crate::{DeviceError, EnduranceModel, MemristiveDevice, WearState};
+use memcim_units::{Amps, Ohms, Seconds, Siemens, Volts};
+
+/// Parameters of the two-state [`BehavioralSwitch`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwitchParams {
+    /// Low (ON, logic 1) resistance.
+    pub r_low: Ohms,
+    /// High (OFF, logic 0) resistance.
+    pub r_high: Ohms,
+    /// SET threshold: sustained `v ≥ v_set` programs the cell ON.
+    pub v_set: Volts,
+    /// RESET threshold: sustained `v ≤ −v_reset` programs the cell OFF.
+    pub v_reset: Volts,
+    /// Over-threshold dwell time required to complete a SET.
+    pub t_set: Seconds,
+    /// Over-threshold dwell time required to complete a RESET.
+    pub t_reset: Seconds,
+}
+
+impl SwitchParams {
+    /// The exact configuration of the paper's Fig. 9 HSPICE experiment:
+    /// `RL ≈ 1 kΩ`, `RH ≈ 100 MΩ`, `VSET = 1.3 V`, `VRESET = 0.5 V`,
+    /// with nanosecond-class programming times.
+    pub fn paper_fig9() -> Self {
+        Self {
+            r_low: Ohms::from_kilohms(1.0),
+            r_high: Ohms::from_megohms(100.0),
+            v_set: Volts::new(1.3),
+            v_reset: Volts::new(0.5),
+            t_set: Seconds::from_nanoseconds(10.0),
+            t_reset: Seconds::from_nanoseconds(20.0),
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.r_low.as_ohms() > 0.0, "r_low must be > 0");
+        assert!(self.r_high.as_ohms() > self.r_low.as_ohms(), "r_high must exceed r_low");
+        assert!(self.v_set.as_volts() > 0.0, "v_set must be > 0");
+        assert!(self.v_reset.as_volts() > 0.0, "v_reset must be > 0");
+        assert!(self.t_set.as_seconds() > 0.0, "t_set must be > 0");
+        assert!(self.t_reset.as_seconds() > 0.0, "t_reset must be > 0");
+    }
+}
+
+/// A completed programming event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchEvent {
+    /// The cell switched to the low-resistance (logic 1) state.
+    Set,
+    /// The cell switched to the high-resistance (logic 0) state.
+    Reset,
+}
+
+/// The paper's 1T1R storage element as a two-state threshold switch
+/// (Fig. 8b), with dwell-time programming dynamics, endurance wear and a
+/// stuck-at failure mode.
+///
+/// Below threshold the device is a passive resistor (non-destructive
+/// read); an over-threshold voltage sustained for the programming dwell
+/// time flips the state and consumes one endurance cycle.
+///
+/// # Examples
+///
+/// ```
+/// use memcim_device::{BehavioralSwitch, MemristiveDevice, SwitchParams};
+/// use memcim_units::{Seconds, Volts};
+///
+/// let mut cell = BehavioralSwitch::new(SwitchParams::paper_fig9());
+/// assert!(!cell.is_on());
+/// cell.step(Volts::new(1.5), Seconds::from_nanoseconds(15.0));
+/// assert!(cell.is_on());
+/// // Reads at 0.4 V (below both thresholds) never disturb the state.
+/// cell.step(Volts::new(0.4), Seconds::from_microseconds(1.0));
+/// assert!(cell.is_on());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BehavioralSwitch {
+    params: SwitchParams,
+    on: bool,
+    /// Dwell accumulated towards the pending transition.
+    dwell: Seconds,
+    wear: WearState,
+    endurance: Option<EnduranceModel>,
+    events: u64,
+    last_event: Option<SwitchEvent>,
+}
+
+impl BehavioralSwitch {
+    /// Creates a switch in the OFF (high-resistance, logic 0) state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters violate their constraints (resistances and
+    /// thresholds strictly positive, `r_high > r_low`).
+    pub fn new(params: SwitchParams) -> Self {
+        params.validate();
+        Self {
+            params,
+            on: false,
+            dwell: Seconds::ZERO,
+            wear: WearState::new(),
+            endurance: None,
+            events: 0,
+            last_event: None,
+        }
+    }
+
+    /// Attaches an endurance model (builder-style); programming then
+    /// consumes cycles and the device hard-fails when the budget runs out.
+    #[must_use]
+    pub fn with_endurance(mut self, model: EnduranceModel) -> Self {
+        self.endurance = Some(model);
+        self
+    }
+
+    /// Whether the device is in the low-resistance (logic 1) state.
+    pub fn is_on(&self) -> bool {
+        self.on
+    }
+
+    /// Present resistance, including endurance-induced OFF-window closure.
+    pub fn resistance(&self) -> Ohms {
+        if self.on {
+            self.params.r_low
+        } else if let Some(model) = &self.endurance {
+            model.effective_r_off(self.params.r_low, self.params.r_high, &self.wear)
+        } else {
+            self.params.r_high
+        }
+    }
+
+    /// Number of completed programming events.
+    pub fn event_count(&self) -> u64 {
+        self.events
+    }
+
+    /// The most recent programming event, if any.
+    pub fn last_event(&self) -> Option<SwitchEvent> {
+        self.last_event
+    }
+
+    /// Accumulated wear.
+    pub fn wear(&self) -> WearState {
+        self.wear
+    }
+
+    /// Directly programs the state (a modelling convenience used when the
+    /// programming pulse itself is not being simulated), consuming one
+    /// endurance cycle if the state actually changes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::EnduranceExhausted`] if an attached
+    /// endurance budget is consumed; the state then stays frozen.
+    pub fn program(&mut self, on: bool) -> Result<(), DeviceError> {
+        if self.on == on {
+            return Ok(());
+        }
+        if self.wear.is_failed() {
+            return Err(DeviceError::EnduranceExhausted { cycles: self.wear.cycles() });
+        }
+        if let Some(model) = self.endurance {
+            // A failing record still allows this final cycle to complete:
+            // real devices fail *after* the wear-out write.
+            let result = model.record_cycle(&mut self.wear);
+            self.apply(on);
+            return result;
+        }
+        self.apply(on);
+        Ok(())
+    }
+
+    fn apply(&mut self, on: bool) {
+        self.on = on;
+        self.events += 1;
+        self.last_event = Some(if on { SwitchEvent::Set } else { SwitchEvent::Reset });
+        self.dwell = Seconds::ZERO;
+    }
+}
+
+impl MemristiveDevice for BehavioralSwitch {
+    fn current(&self, v: Volts) -> Amps {
+        v / self.resistance()
+    }
+
+    fn conductance(&self, _v: Volts) -> Siemens {
+        self.resistance().to_siemens()
+    }
+
+    fn step(&mut self, v: Volts, dt: Seconds) {
+        if self.wear.is_failed() {
+            return; // stuck: electrically alive, no longer programmable
+        }
+        let p = &self.params;
+        let setting = !self.on && v.as_volts() >= p.v_set.as_volts();
+        let resetting = self.on && v.as_volts() <= -p.v_reset.as_volts();
+        if setting || resetting {
+            self.dwell += dt;
+            let needed = if setting { p.t_set } else { p.t_reset };
+            if self.dwell.as_seconds() >= needed.as_seconds() {
+                // Ignore a failed record here: step() is infallible by
+                // design; the failure latches in `wear` and freezes the
+                // device from the *next* programming attempt on.
+                let _ = self.program(setting);
+            }
+        } else {
+            // Sub-threshold: the partial transition relaxes.
+            self.dwell = Seconds::ZERO;
+        }
+    }
+
+    fn normalized_state(&self) -> f64 {
+        if self.on {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    fn set_normalized_state(&mut self, state: f64) {
+        self.on = state >= 0.5;
+        self.dwell = Seconds::ZERO;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell() -> BehavioralSwitch {
+        BehavioralSwitch::new(SwitchParams::paper_fig9())
+    }
+
+    #[test]
+    fn fresh_cell_reads_high_resistance() {
+        let c = cell();
+        assert!(!c.is_on());
+        assert_eq!(c.resistance(), Ohms::from_megohms(100.0));
+    }
+
+    #[test]
+    fn set_requires_sustained_over_threshold_dwell() {
+        let mut c = cell();
+        // 5 ns at 1.5 V: below the 10 ns dwell — no switch.
+        c.step(Volts::new(1.5), Seconds::from_nanoseconds(5.0));
+        assert!(!c.is_on());
+        // Another 6 ns completes the dwell.
+        c.step(Volts::new(1.5), Seconds::from_nanoseconds(6.0));
+        assert!(c.is_on());
+        assert_eq!(c.last_event(), Some(SwitchEvent::Set));
+    }
+
+    #[test]
+    fn sub_threshold_gap_resets_partial_dwell() {
+        let mut c = cell();
+        c.step(Volts::new(1.5), Seconds::from_nanoseconds(8.0));
+        // Drop below threshold: partial transition relaxes.
+        c.step(Volts::new(0.2), Seconds::from_nanoseconds(1.0));
+        c.step(Volts::new(1.5), Seconds::from_nanoseconds(8.0));
+        assert!(!c.is_on(), "8 ns + 8 ns with a gap must not switch");
+    }
+
+    #[test]
+    fn reset_needs_negative_polarity() {
+        let mut c = cell();
+        c.program(true).expect("program on");
+        // Positive 0.6 V (above v_reset magnitude but wrong sign): no-op.
+        c.step(Volts::new(0.6), Seconds::from_microseconds(1.0));
+        assert!(c.is_on());
+        c.step(Volts::new(-0.6), Seconds::from_nanoseconds(25.0));
+        assert!(!c.is_on());
+        assert_eq!(c.last_event(), Some(SwitchEvent::Reset));
+    }
+
+    #[test]
+    fn read_at_0v4_is_non_destructive() {
+        // The Fig. 9 bit line is precharged to 0.4 V precisely because it
+        // is below both programming thresholds.
+        let mut c = cell();
+        c.program(true).expect("program on");
+        c.step(Volts::new(0.4), Seconds::new(1.0));
+        assert!(c.is_on());
+        c.program(false).expect("program off");
+        c.step(Volts::new(0.4), Seconds::new(1.0));
+        assert!(!c.is_on());
+    }
+
+    #[test]
+    fn program_counts_events_and_skips_no_ops() {
+        let mut c = cell();
+        c.program(true).expect("on");
+        c.program(true).expect("no-op");
+        c.program(false).expect("off");
+        assert_eq!(c.event_count(), 2);
+    }
+
+    #[test]
+    fn endurance_exhaustion_freezes_the_cell() {
+        let mut c = cell().with_endurance(EnduranceModel::new(2));
+        c.program(true).expect("cycle 1");
+        let err = c.program(false).expect_err("cycle 2 exhausts the budget");
+        assert!(matches!(err, DeviceError::EnduranceExhausted { cycles: 2 }));
+        // The wear-out write itself completed...
+        assert!(!c.is_on());
+        // ...but the cell is now stuck.
+        assert!(c.program(true).is_err());
+        assert!(!c.is_on());
+        // And step()-driven programming is silently inert.
+        c.step(Volts::new(1.5), Seconds::from_microseconds(1.0));
+        assert!(!c.is_on());
+    }
+
+    #[test]
+    fn worn_cell_shows_window_closure() {
+        let model = EnduranceModel::new(1_000);
+        let mut c = cell().with_endurance(model);
+        for i in 0..800 {
+            c.program(i % 2 == 0).expect("within budget");
+        }
+        assert!(!c.is_on());
+        let r = c.resistance().as_ohms();
+        assert!(r < 1.0e8, "worn R_off = {r}");
+        assert!(r > 1.0e3, "window not fully closed: {r}");
+    }
+
+    #[test]
+    fn state_by_trait_interface() {
+        let mut c = cell();
+        assert_eq!(c.normalized_state(), 0.0);
+        c.set_normalized_state(1.0);
+        assert_eq!(c.normalized_state(), 1.0);
+        assert_eq!(c.resistance(), Ohms::from_kilohms(1.0));
+    }
+
+    #[test]
+    fn logic_current_levels_match_fig3_premise() {
+        // At the 0.1 V read of Fig. 3: logic 1 conducts ~100 µA, logic 0
+        // conducts ~1 nA — five decades apart, the premise of sensing.
+        let v = Volts::from_millivolts(100.0);
+        let mut c = cell();
+        let i_off = c.current(v).as_amps();
+        c.set_normalized_state(1.0);
+        let i_on = c.current(v).as_amps();
+        assert!(i_on / i_off > 1.0e4);
+    }
+}

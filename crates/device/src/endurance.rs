@@ -1,0 +1,172 @@
+//! Endurance (program-cycle wear) modelling.
+//!
+//! The paper repeatedly flags "low endurance" as the key drawback of
+//! memristive designs (Sections III.C and IV.C). This module provides the
+//! wear bookkeeping used by [`crate::BehavioralSwitch`] and by the
+//! crossbar's wear map: a cycle budget, a gradual OFF-resistance
+//! degradation, and a hard failure mode (stuck cell) when the budget is
+//! exhausted.
+
+use crate::DeviceError;
+use memcim_units::Ohms;
+
+/// Wear accumulated by a single device.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WearState {
+    cycles: u64,
+    failed: bool,
+}
+
+impl WearState {
+    /// A fresh, unworn device.
+    pub const fn new() -> Self {
+        Self { cycles: 0, failed: false }
+    }
+
+    /// Completed program (SET or RESET) cycles.
+    pub const fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Whether the device has hard-failed (stuck).
+    pub const fn is_failed(&self) -> bool {
+        self.failed
+    }
+}
+
+/// An endurance model: cycle budget plus gradual window closure.
+///
+/// The dominant RRAM wear-out signature is the resistance window closing
+/// from the OFF side (the filament can no longer be fully dissolved), so
+/// the effective OFF resistance decays towards the ON resistance as the
+/// cycle budget is consumed:
+///
+/// ```text
+/// r_off(n) = r_on · ratio^(1 − drift·(n/max)^2)     for n ≤ max
+/// ```
+///
+/// At `n = max` the device hard-fails stuck-ON.
+///
+/// # Examples
+///
+/// ```
+/// use memcim_device::{EnduranceModel, WearState};
+/// use memcim_units::Ohms;
+///
+/// let model = EnduranceModel::new(1_000_000);
+/// let mut wear = WearState::new();
+/// model.record_cycle(&mut wear).expect("fresh device");
+/// let fresh = model.effective_r_off(Ohms::new(1e3), Ohms::new(1e8), &WearState::new());
+/// assert!(fresh.as_ohms() > 9.9e7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnduranceModel {
+    max_cycles: u64,
+    /// Fraction of the (log-domain) resistance window lost at end of life.
+    window_drift: f64,
+}
+
+impl EnduranceModel {
+    /// Creates a model with the given cycle budget and the default 30 %
+    /// log-window drift at end of life.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_cycles` is zero.
+    pub fn new(max_cycles: u64) -> Self {
+        Self::with_window_drift(max_cycles, 0.3)
+    }
+
+    /// Creates a model with an explicit end-of-life window drift fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_cycles` is zero or `window_drift` is outside `[0, 1)`.
+    pub fn with_window_drift(max_cycles: u64, window_drift: f64) -> Self {
+        assert!(max_cycles > 0, "max_cycles must be > 0");
+        assert!((0.0..1.0).contains(&window_drift), "window_drift must be in [0, 1)");
+        Self { max_cycles, window_drift }
+    }
+
+    /// The cycle budget.
+    pub const fn max_cycles(&self) -> u64 {
+        self.max_cycles
+    }
+
+    /// Records one completed program cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::EnduranceExhausted`] once the budget is
+    /// consumed; the wear state is marked failed and stays failed.
+    pub fn record_cycle(&self, wear: &mut WearState) -> Result<(), DeviceError> {
+        if wear.failed {
+            return Err(DeviceError::EnduranceExhausted { cycles: wear.cycles });
+        }
+        wear.cycles += 1;
+        if wear.cycles >= self.max_cycles {
+            wear.failed = true;
+            return Err(DeviceError::EnduranceExhausted { cycles: wear.cycles });
+        }
+        Ok(())
+    }
+
+    /// Effective OFF resistance after wear: the log-domain window shrinks
+    /// quadratically with consumed life.
+    pub fn effective_r_off(&self, r_on: Ohms, r_off_fresh: Ohms, wear: &WearState) -> Ohms {
+        let life = (wear.cycles as f64 / self.max_cycles as f64).min(1.0);
+        let full_window = (r_off_fresh.as_ohms() / r_on.as_ohms()).ln();
+        let kept = 1.0 - self.window_drift * life * life;
+        Ohms::new(r_on.as_ohms() * (full_window * kept).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_device_has_full_window() {
+        let m = EnduranceModel::new(100);
+        let r = m.effective_r_off(Ohms::new(1e3), Ohms::new(1e8), &WearState::new());
+        assert!((r.as_ohms() - 1e8).abs() / 1e8 < 1e-12);
+    }
+
+    #[test]
+    fn window_closes_monotonically_with_wear() {
+        let m = EnduranceModel::new(1_000);
+        let mut wear = WearState::new();
+        let mut last = f64::INFINITY;
+        for _ in 0..999 {
+            m.record_cycle(&mut wear).expect("within budget");
+            let r = m.effective_r_off(Ohms::new(1e3), Ohms::new(1e8), &wear).as_ohms();
+            assert!(r <= last + 1.0);
+            last = r;
+        }
+        // At 99.9 % of life with 30 % log-window drift the OFF state has
+        // dropped by orders of magnitude but is still far above R_ON.
+        assert!(last < 5.0e7);
+        assert!(last > 1.0e4);
+    }
+
+    #[test]
+    fn exhaustion_fails_hard_and_stays_failed() {
+        let m = EnduranceModel::new(3);
+        let mut wear = WearState::new();
+        assert!(m.record_cycle(&mut wear).is_ok());
+        assert!(m.record_cycle(&mut wear).is_ok());
+        let err = m.record_cycle(&mut wear).expect_err("third cycle exhausts");
+        assert_eq!(err, DeviceError::EnduranceExhausted { cycles: 3 });
+        assert!(wear.is_failed());
+        // Further cycles keep failing without advancing the counter.
+        let err2 = m.record_cycle(&mut wear).expect_err("still failed");
+        assert_eq!(err2, DeviceError::EnduranceExhausted { cycles: 3 });
+        assert_eq!(wear.cycles(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_cycles must be > 0")]
+    fn zero_budget_panics() {
+        let _ = EnduranceModel::new(0);
+    }
+}

@@ -1,0 +1,61 @@
+//! Error type for device-model construction and operation.
+
+use core::fmt;
+
+/// Errors produced by device-model constructors and programming operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DeviceError {
+    /// A model parameter was outside its physical domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable constraint, e.g. `"must be > 0"`.
+        constraint: &'static str,
+    },
+    /// The device has exceeded its endurance budget and no longer switches.
+    EnduranceExhausted {
+        /// Number of completed program cycles at failure.
+        cycles: u64,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::InvalidParameter { name, value, constraint } => {
+                write!(f, "invalid device parameter {name} = {value}: {constraint}")
+            }
+            DeviceError::EnduranceExhausted { cycles } => {
+                write!(f, "device endurance exhausted after {cycles} program cycles")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = DeviceError::InvalidParameter {
+            name: "r_on",
+            value: -1.0,
+            constraint: "must be > 0",
+        };
+        let msg = e.to_string();
+        assert!(msg.starts_with("invalid device parameter"));
+        assert!(msg.contains("r_on"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DeviceError>();
+    }
+}

@@ -1,0 +1,227 @@
+//! Chua's ideal charge-controlled memristor.
+
+use crate::MemristiveDevice;
+use memcim_units::{Amps, Coulombs, Ohms, Seconds, Siemens, Volts, Webers};
+
+/// An ideal charge-controlled memristor `M(q)` in the sense of Chua (1971).
+///
+/// The device is fully described by the constitutive relation
+/// `dφ = M(q)·dq` (the dashed edge completing Fig. 1a of the paper).
+/// Here the memristance interpolates smoothly between an ON and an OFF
+/// resistance as a function of the accumulated charge:
+///
+/// ```text
+/// M(q) = r_off + (r_on − r_off) · σ(q / q_scale)
+/// ```
+///
+/// with `σ` a logistic saturation. Driven by a sinusoid it produces the
+/// textbook pinched hysteresis loop whose lobes shrink with excitation
+/// frequency (Fig. 1b) — reproduced by the `fig1_hysteresis` bench.
+///
+/// # Examples
+///
+/// ```
+/// use memcim_device::{IdealMemristor, MemristiveDevice};
+/// use memcim_units::{Ohms, Seconds, Volts};
+///
+/// let mut m = IdealMemristor::new(Ohms::new(100.0), Ohms::from_kilohms(16.0));
+/// let r0 = m.static_resistance(Volts::new(0.1));
+/// // Positive charge flow drives the device towards the ON state.
+/// for _ in 0..1000 {
+///     m.step(Volts::new(1.0), Seconds::from_microseconds(50.0));
+/// }
+/// assert!(m.static_resistance(Volts::new(0.1)) < r0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct IdealMemristor {
+    r_on: Ohms,
+    r_off: Ohms,
+    /// Charge scale over which the full OFF→ON transition occurs.
+    q_scale: Coulombs,
+    /// Accumulated charge (state variable).
+    charge: Coulombs,
+    /// Accumulated flux (∫v dt), tracked for the φ–q characteristic.
+    flux: Webers,
+}
+
+impl IdealMemristor {
+    /// Default charge scale: full transition over 100 µC.
+    const DEFAULT_Q_SCALE: f64 = 1.0e-4;
+
+    /// Creates an ideal memristor with the given ON/OFF resistances and
+    /// the default charge scale, starting midway between the states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either resistance is not strictly positive or if
+    /// `r_on >= r_off`.
+    pub fn new(r_on: Ohms, r_off: Ohms) -> Self {
+        Self::with_charge_scale(r_on, r_off, Coulombs::new(Self::DEFAULT_Q_SCALE))
+    }
+
+    /// Creates an ideal memristor with an explicit charge scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either resistance is not strictly positive, if
+    /// `r_on >= r_off`, or if `q_scale` is not strictly positive.
+    pub fn with_charge_scale(r_on: Ohms, r_off: Ohms, q_scale: Coulombs) -> Self {
+        assert!(r_on.as_ohms() > 0.0, "r_on must be > 0");
+        assert!(r_off.as_ohms() > r_on.as_ohms(), "r_off must exceed r_on");
+        assert!(q_scale.as_coulombs() > 0.0, "q_scale must be > 0");
+        Self {
+            r_on,
+            r_off,
+            q_scale,
+            charge: Coulombs::ZERO,
+            flux: Webers::ZERO,
+        }
+    }
+
+    /// The memristance `M(q)` at the present state.
+    pub fn memristance(&self) -> Ohms {
+        let x = self.saturation();
+        Ohms::new(
+            self.r_off.as_ohms() + (self.r_on.as_ohms() - self.r_off.as_ohms()) * x,
+        )
+    }
+
+    /// Accumulated charge `q = ∫i dt`.
+    pub fn charge(&self) -> Coulombs {
+        self.charge
+    }
+
+    /// Accumulated flux `φ = ∫v dt`.
+    pub fn flux(&self) -> Webers {
+        self.flux
+    }
+
+    /// Logistic saturation of charge: 0 → OFF, 1 → ON.
+    fn saturation(&self) -> f64 {
+        let z = self.charge.as_coulombs() / self.q_scale.as_coulombs();
+        1.0 / (1.0 + (-4.0 * z).exp())
+    }
+}
+
+impl MemristiveDevice for IdealMemristor {
+    fn current(&self, v: Volts) -> Amps {
+        v / self.memristance()
+    }
+
+    fn conductance(&self, _v: Volts) -> Siemens {
+        self.memristance().to_siemens()
+    }
+
+    fn step(&mut self, v: Volts, dt: Seconds) {
+        let i = self.current(v);
+        self.charge += i * dt;
+        self.flux += v * dt;
+    }
+
+    fn normalized_state(&self) -> f64 {
+        self.saturation()
+    }
+
+    fn set_normalized_state(&mut self, state: f64) {
+        // Invert the logistic: z = ln(x / (1-x)) / 4, clamped away from the
+        // asymptotes so the charge stays finite.
+        let x = state.clamp(1e-9, 1.0 - 1e-9);
+        let z = (x / (1.0 - x)).ln() / 4.0;
+        self.charge = Coulombs::new(z * self.q_scale.as_coulombs());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memcim_units::{approx_eq, RelTol};
+
+    fn device() -> IdealMemristor {
+        IdealMemristor::new(Ohms::new(100.0), Ohms::from_kilohms(16.0))
+    }
+
+    #[test]
+    fn fresh_device_sits_midway() {
+        let m = device();
+        let mid = (100.0 + 16_000.0) / 2.0;
+        assert!(approx_eq(m.memristance().as_ohms(), mid, RelTol::new(1e-6)));
+        assert!(approx_eq(m.normalized_state(), 0.5, RelTol::new(1e-9)));
+    }
+
+    #[test]
+    fn positive_charge_turns_device_on() {
+        let mut m = device();
+        for _ in 0..10_000 {
+            m.step(Volts::new(1.0), Seconds::from_microseconds(100.0));
+        }
+        assert!(m.memristance().as_ohms() < 200.0);
+        assert!(m.normalized_state() > 0.95);
+    }
+
+    #[test]
+    fn negative_charge_turns_device_off() {
+        let mut m = device();
+        for _ in 0..10_000 {
+            m.step(Volts::new(-1.0), Seconds::from_microseconds(100.0));
+        }
+        assert!(m.memristance().as_ohms() > 10_000.0);
+        assert!(m.normalized_state() < 0.05);
+    }
+
+    #[test]
+    fn zero_voltage_means_zero_current() {
+        // The pinch condition: v = 0 ⇒ i = 0 regardless of state.
+        let mut m = device();
+        assert_eq!(m.current(Volts::ZERO).as_amps(), 0.0);
+        m.set_normalized_state(0.9);
+        assert_eq!(m.current(Volts::ZERO).as_amps(), 0.0);
+    }
+
+    #[test]
+    fn set_normalized_state_round_trips() {
+        let mut m = device();
+        for target in [0.1, 0.25, 0.5, 0.75, 0.9] {
+            m.set_normalized_state(target);
+            assert!(
+                approx_eq(m.normalized_state(), target, RelTol::new(1e-6)),
+                "target {target}, got {}",
+                m.normalized_state()
+            );
+        }
+    }
+
+    #[test]
+    fn flux_and_charge_track_integrals() {
+        let mut m = device();
+        m.step(Volts::new(2.0), Seconds::new(0.5));
+        assert!(approx_eq(m.flux().as_webers(), 1.0, RelTol::new(1e-9)));
+        assert!(m.charge().as_coulombs() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "r_off must exceed r_on")]
+    fn inverted_resistances_panic() {
+        let _ = IdealMemristor::new(Ohms::from_kilohms(16.0), Ohms::new(100.0));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Memristance stays within [r_on, r_off] for any drive history.
+        #[test]
+        fn memristance_bounded(
+            steps in proptest::collection::vec(-2.0_f64..2.0, 1..200),
+        ) {
+            let mut m = IdealMemristor::new(Ohms::new(100.0), Ohms::from_kilohms(16.0));
+            for v in steps {
+                m.step(Volts::new(v), Seconds::from_microseconds(200.0));
+                let r = m.memristance().as_ohms();
+                prop_assert!(r >= 100.0 - 1e-6 && r <= 16_000.0 + 1e-6, "r = {r}");
+            }
+        }
+    }
+}

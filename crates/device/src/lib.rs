@@ -1,0 +1,137 @@
+//! Memristive device models for computation-in-memory simulation.
+//!
+//! This crate implements Section II of Yu et al., *"Memristive Devices for
+//! Computation-In-Memory"* (DATE 2018): the device-level substrate that the
+//! MVP crossbar and the RRAM automata processor are built on.
+//!
+//! Five models are provided, from textbook-ideal to the projection the
+//! paper actually simulates:
+//!
+//! * [`IdealMemristor`] — Chua's charge-controlled memristor `M(q)`
+//!   (the missing fourth element of Fig. 1a); exhibits the pinched
+//!   current–voltage hysteresis fingerprint of Fig. 1b.
+//! * [`LinearIonDrift`] — the HP TiO₂ model (Strukov et al., 2008) with
+//!   pluggable boundary [`window`] functions (rectangular, Joglekar,
+//!   Biolek).
+//! * [`StanfordAsu`] — a filament-gap compact model in the style of the
+//!   ASU/Stanford RRAM model (\[28\] in the paper), with exponential
+//!   gap-to-current mapping and sinh field-driven gap dynamics.
+//! * [`Vteam`] — the VTEAM voltage-threshold model (Kvatinsky et al.,
+//!   2015): state strictly frozen below threshold, polynomial
+//!   super-threshold drive — the idealization scouting logic's
+//!   disturb-free reads assume.
+//! * [`BehavioralSwitch`] — the two-state device of the paper's Fig. 8/9
+//!   experiment (`RL ≈ 1 kΩ`, `RH ≈ 100 MΩ`, `VSET = 1.3 V`,
+//!   `VRESET = 0.5 V`), with switching-time, endurance and wear accounting.
+//!
+//! All models implement the [`MemristiveDevice`] trait so the transient
+//! solver in `memcim-spice` and the crossbar in `memcim-crossbar` can use
+//! them interchangeably.
+//!
+//! # Examples
+//!
+//! Sweep an HP-style device with a sinusoid and confirm the pinched loop:
+//!
+//! ```
+//! use memcim_device::{HysteresisSweep, LinearIonDrift, MemristiveDevice};
+//! use memcim_units::Volts;
+//!
+//! let mut device = LinearIonDrift::hp_default();
+//! let f0 = device.characteristic_frequency(Volts::new(1.0));
+//! let sweep = HysteresisSweep::new(Volts::new(1.0), f0).with_cycles(2);
+//! let trace = sweep.run(&mut device);
+//! assert!(trace.is_pinched(1e-3));
+//! assert!(trace.lobe_area() > 0.0);
+//! ```
+
+mod behavioral;
+mod endurance;
+mod error;
+mod ideal;
+mod linear_drift;
+mod stanford;
+mod sweep;
+mod variability;
+mod vteam;
+pub mod window;
+
+pub use behavioral::{BehavioralSwitch, SwitchEvent, SwitchParams};
+pub use endurance::{EnduranceModel, WearState};
+pub use error::DeviceError;
+pub use ideal::IdealMemristor;
+pub use linear_drift::LinearIonDrift;
+pub use stanford::{StanfordAsu, StanfordParams};
+pub use sweep::{HysteresisSweep, IvPoint, IvTrace};
+pub use variability::{DeviceSample, VariabilityModel};
+pub use vteam::{Vteam, VteamParams};
+
+use memcim_units::{Amps, Ohms, Seconds, Siemens, Volts};
+
+/// A two-terminal memristive device with internal state.
+///
+/// The contract mirrors what a circuit simulator needs:
+/// [`current`](MemristiveDevice::current) and
+/// [`conductance`](MemristiveDevice::conductance) evaluate the device at its
+/// *present* state (used inside a Newton solve where the state is frozen),
+/// while [`step`](MemristiveDevice::step) advances the state after a
+/// converged timestep.
+pub trait MemristiveDevice {
+    /// Instantaneous current for an applied voltage at the present state.
+    fn current(&self, v: Volts) -> Amps;
+
+    /// Small-signal conductance `dI/dV` at the present state and bias.
+    ///
+    /// Used by Newton linearization in the transient solver. For ohmic
+    /// models this is bias-independent.
+    fn conductance(&self, v: Volts) -> Siemens;
+
+    /// Advances the internal state by `dt` under an applied voltage.
+    fn step(&mut self, v: Volts, dt: Seconds);
+
+    /// Normalized state in `\[0, 1\]`, where `1` is fully ON (low resistance).
+    fn normalized_state(&self) -> f64;
+
+    /// Forces the normalized state (clamped to `\[0, 1\]`).
+    fn set_normalized_state(&mut self, state: f64);
+
+    /// Static (chord) resistance `V/I` at the given read bias.
+    ///
+    /// Returns `Ohms::new(f64::INFINITY)` when the device carries no
+    /// current at this bias.
+    fn static_resistance(&self, v: Volts) -> Ohms {
+        let i = self.current(v);
+        if i.as_amps() == 0.0 {
+            Ohms::new(f64::INFINITY)
+        } else {
+            v / i
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every model must be usable through the trait object interface
+    /// (C-OBJECT): heterogeneous device collections appear in crossbars.
+    #[test]
+    fn models_are_object_safe() {
+        let devices: Vec<Box<dyn MemristiveDevice>> = vec![
+            Box::new(IdealMemristor::new(Ohms::new(100.0), Ohms::from_kilohms(16.0))),
+            Box::new(LinearIonDrift::hp_default()),
+            Box::new(StanfordAsu::new(StanfordParams::default())),
+            Box::new(BehavioralSwitch::new(SwitchParams::paper_fig9())),
+        ];
+        for d in &devices {
+            let i = d.current(Volts::from_millivolts(100.0));
+            assert!(i.as_amps().is_finite());
+        }
+    }
+
+    #[test]
+    fn static_resistance_is_infinite_at_zero_current() {
+        let d = BehavioralSwitch::new(SwitchParams::paper_fig9());
+        let r = d.static_resistance(Volts::ZERO);
+        assert!(!r.as_ohms().is_finite() || r.as_ohms() > 0.0);
+    }
+}

@@ -1,0 +1,263 @@
+//! The HP linear ion drift model (Strukov et al., *Nature* 2008).
+
+use crate::window::Window;
+use crate::MemristiveDevice;
+use memcim_units::{Amps, Hertz, Ohms, Seconds, Siemens, Volts};
+
+/// The HP TiO₂ linear ion drift memristor.
+///
+/// The doped-region width `w ∈ [0, D]` is tracked as the normalized state
+/// `x = w / D`. Resistance and state dynamics follow the original model:
+///
+/// ```text
+/// R(x)   = r_on·x + r_off·(1 − x)
+/// dx/dt  = (µv · r_on / D²) · i(t) · f(x, sign i)
+/// ```
+///
+/// where `f` is a boundary [`Window`] function (design decision D1). The
+/// model reproduces the frequency-dependent pinched hysteresis of the
+/// paper's Fig. 1b: driven at its characteristic frequency the loop is
+/// wide open, and the lobes collapse at ~10× that frequency.
+///
+/// # Examples
+///
+/// ```
+/// use memcim_device::{LinearIonDrift, MemristiveDevice};
+/// use memcim_units::{Seconds, Volts};
+///
+/// let mut d = LinearIonDrift::hp_default();
+/// let before = d.normalized_state();
+/// d.step(Volts::new(1.0), Seconds::new(1.0e-3));
+/// assert!(d.normalized_state() > before);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearIonDrift {
+    r_on: Ohms,
+    r_off: Ohms,
+    /// Dopant mobility µv in m²/(V·s).
+    mobility: f64,
+    /// Film thickness D in metres.
+    thickness: f64,
+    window: Window,
+    /// Normalized doped-region width, 1 = fully ON.
+    x: f64,
+}
+
+impl LinearIonDrift {
+    /// Creates a drift model from explicit physical parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is non-positive or if `r_on >= r_off`.
+    pub fn new(r_on: Ohms, r_off: Ohms, mobility: f64, thickness: f64, window: Window) -> Self {
+        assert!(r_on.as_ohms() > 0.0, "r_on must be > 0");
+        assert!(r_off.as_ohms() > r_on.as_ohms(), "r_off must exceed r_on");
+        assert!(mobility > 0.0, "mobility must be > 0");
+        assert!(thickness > 0.0, "thickness must be > 0");
+        Self {
+            r_on,
+            r_off,
+            mobility,
+            thickness,
+            window,
+            x: 0.5,
+        }
+    }
+
+    /// The canonical HP device: `r_on = 100 Ω`, `r_off = 16 kΩ`,
+    /// `µv = 10⁻¹⁴ m²/(V·s)`, `D = 10 nm`, Biolek window (`p = 2`).
+    ///
+    /// The Biolek window is the default because full-swing sinusoidal
+    /// drives (the Fig. 1b experiment) park the state at a boundary once
+    /// per half-cycle, where Joglekar's symmetric window would freeze it
+    /// permanently (the boundary-stick problem).
+    pub fn hp_default() -> Self {
+        Self::new(
+            Ohms::new(100.0),
+            Ohms::from_kilohms(16.0),
+            1.0e-14,
+            10.0e-9,
+            Window::Biolek { p: 2 },
+        )
+    }
+
+    /// Replaces the window function (builder-style).
+    #[must_use]
+    pub fn with_window(mut self, window: Window) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// The drift gain `k = µv·r_on/D²` in 1/(A·s): the state velocity per
+    /// ampere of device current.
+    pub fn drift_gain(&self) -> f64 {
+        self.mobility * self.r_on.as_ohms() / (self.thickness * self.thickness)
+    }
+
+    /// Present resistance `R(x)`.
+    pub fn resistance(&self) -> Ohms {
+        Ohms::new(self.r_on.as_ohms() * self.x + self.r_off.as_ohms() * (1.0 - self.x))
+    }
+
+    /// The excitation frequency at which a sinusoid of amplitude `v0`
+    /// traverses roughly the full state range in one half-period.
+    ///
+    /// Used by the hysteresis benches to choose frequencies: at
+    /// `f ≈ f_c` the loop is maximally open; at `10·f_c` it collapses
+    /// towards a straight line (the Fig. 1b shrinking-lobe signature).
+    pub fn characteristic_frequency(&self, v0: Volts) -> Hertz {
+        // Half period T/2 such that Δx ≈ k · ī · T/2 = 1, with the mean
+        // rectified current ī ≈ (2/π)·v0/R̄ at the mid-state resistance.
+        let r_mid = (self.r_on.as_ohms() + self.r_off.as_ohms()) / 2.0;
+        let mean_current = (2.0 / core::f64::consts::PI) * v0.as_volts() / r_mid;
+        let half_period = 1.0 / (self.drift_gain() * mean_current);
+        Hertz::new(1.0 / (2.0 * half_period))
+    }
+
+    /// The window function in use.
+    pub fn window(&self) -> Window {
+        self.window
+    }
+}
+
+impl MemristiveDevice for LinearIonDrift {
+    fn current(&self, v: Volts) -> Amps {
+        v / self.resistance()
+    }
+
+    fn conductance(&self, _v: Volts) -> Siemens {
+        self.resistance().to_siemens()
+    }
+
+    fn step(&mut self, v: Volts, dt: Seconds) {
+        // Sub-step for accuracy when the caller takes a large dt relative
+        // to the state dynamics (forward Euler inside).
+        let i = self.current(v).as_amps();
+        let rate = self.drift_gain() * i;
+        let total = rate.abs() * dt.as_seconds();
+        let substeps = (total / 0.01).ceil().max(1.0) as usize;
+        let h = dt.as_seconds() / substeps as f64;
+        for _ in 0..substeps {
+            let i_now = self.current(v).as_amps();
+            let f = self.window.evaluate(self.x, i_now.signum());
+            self.x = (self.x + self.drift_gain() * i_now * f * h).clamp(0.0, 1.0);
+        }
+    }
+
+    fn normalized_state(&self) -> f64 {
+        self.x
+    }
+
+    fn set_normalized_state(&mut self, state: f64) {
+        self.x = state.clamp(0.0, 1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memcim_units::{approx_eq, RelTol};
+
+    #[test]
+    fn resistance_interpolates_linearly_in_state() {
+        let mut d = LinearIonDrift::hp_default();
+        d.set_normalized_state(0.0);
+        assert!(approx_eq(d.resistance().as_ohms(), 16_000.0, RelTol::new(1e-9)));
+        d.set_normalized_state(1.0);
+        assert!(approx_eq(d.resistance().as_ohms(), 100.0, RelTol::new(1e-9)));
+        d.set_normalized_state(0.5);
+        assert!(approx_eq(d.resistance().as_ohms(), 8_050.0, RelTol::new(1e-9)));
+    }
+
+    #[test]
+    fn positive_bias_drives_towards_on() {
+        let mut d = LinearIonDrift::hp_default();
+        let x0 = d.normalized_state();
+        d.step(Volts::new(1.0), Seconds::new(1.0e-3));
+        assert!(d.normalized_state() > x0);
+    }
+
+    #[test]
+    fn negative_bias_drives_towards_off() {
+        let mut d = LinearIonDrift::hp_default();
+        let x0 = d.normalized_state();
+        d.step(Volts::new(-1.0), Seconds::new(1.0e-3));
+        assert!(d.normalized_state() < x0);
+    }
+
+    #[test]
+    fn state_saturates_without_overshoot() {
+        let mut d = LinearIonDrift::hp_default().with_window(Window::Rectangular);
+        for _ in 0..100 {
+            d.step(Volts::new(2.0), Seconds::new(0.01));
+        }
+        assert!(d.normalized_state() <= 1.0);
+        assert!(d.normalized_state() > 0.99);
+        // And it must come back down — no boundary lock-up for
+        // rectangular windows (handled by direction-aware evaluation).
+        for _ in 0..100 {
+            d.step(Volts::new(-2.0), Seconds::new(0.01));
+        }
+        assert!(d.normalized_state() < 0.01);
+    }
+
+    #[test]
+    fn joglekar_window_sticks_at_boundary_biolek_does_not() {
+        // Classic observation motivating Biolek's window: once hard at a
+        // bound, Joglekar's f(x)=0 freezes the state in both directions.
+        let mut joglekar = LinearIonDrift::hp_default().with_window(Window::Joglekar { p: 2 });
+        joglekar.set_normalized_state(1.0);
+        joglekar.step(Volts::new(-2.0), Seconds::new(0.05));
+        assert!(joglekar.normalized_state() > 0.999, "joglekar should stick");
+
+        let mut biolek = LinearIonDrift::hp_default().with_window(Window::Biolek { p: 2 });
+        biolek.set_normalized_state(1.0);
+        biolek.step(Volts::new(-2.0), Seconds::new(0.05));
+        assert!(biolek.normalized_state() < 0.999, "biolek should release");
+    }
+
+    #[test]
+    fn characteristic_frequency_is_positive_and_scales_with_amplitude() {
+        let d = LinearIonDrift::hp_default();
+        let f1 = d.characteristic_frequency(Volts::new(0.5));
+        let f2 = d.characteristic_frequency(Volts::new(2.0));
+        assert!(f1.as_hertz() > 0.0);
+        // Stronger drive ⇒ state sweeps faster ⇒ higher frequency needed.
+        assert!(f2.as_hertz() > f1.as_hertz());
+    }
+
+    #[test]
+    fn drift_gain_matches_hand_computation() {
+        let d = LinearIonDrift::hp_default();
+        // k = 1e-14 · 100 / (1e-8)² = 1e4.
+        assert!(approx_eq(d.drift_gain(), 1.0e4, RelTol::new(1e-9)));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// State stays in \[0,1\] under arbitrary drive sequences, for every
+        /// window.
+        #[test]
+        fn state_bounded_under_random_drive(
+            volts in proptest::collection::vec(-3.0_f64..3.0, 1..100),
+            which in 0usize..3,
+        ) {
+            let window = [
+                Window::Rectangular,
+                Window::Joglekar { p: 2 },
+                Window::Biolek { p: 2 },
+            ][which];
+            let mut d = LinearIonDrift::hp_default().with_window(window);
+            for v in volts {
+                d.step(Volts::new(v), Seconds::new(1.0e-4));
+                let x = d.normalized_state();
+                prop_assert!((0.0..=1.0).contains(&x), "x = {x}");
+            }
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Sinusoidal sweep driver and I–V trace analysis (Fig. 1b reproduction).
+
+use crate::MemristiveDevice;
+use memcim_units::{Hertz, Seconds, Volts};
+
+/// One sample of an I–V trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IvPoint {
+    /// Simulation time, seconds.
+    pub time: f64,
+    /// Applied voltage, volts.
+    pub voltage: f64,
+    /// Device current, amperes.
+    pub current: f64,
+    /// Device normalized state at this instant.
+    pub state: f64,
+}
+
+/// A recorded I–V trace with the analyses used by the Fig. 1b benches.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct IvTrace {
+    points: Vec<IvPoint>,
+    points_per_cycle: usize,
+}
+
+impl IvTrace {
+    /// The recorded samples.
+    pub fn points(&self) -> &[IvPoint] {
+        &self.points
+    }
+
+    /// Samples belonging to the final full excitation cycle (the settled
+    /// loop, after initial-state transients died out).
+    pub fn final_cycle(&self) -> &[IvPoint] {
+        if self.points.len() < self.points_per_cycle {
+            &self.points
+        } else {
+            &self.points[self.points.len() - self.points_per_cycle..]
+        }
+    }
+
+    /// Peak current magnitude over the whole trace, amperes.
+    pub fn max_current(&self) -> f64 {
+        self.points.iter().map(|p| p.current.abs()).fold(0.0, f64::max)
+    }
+
+    /// Checks the pinched-hysteresis fingerprint: wherever the excitation
+    /// crosses zero volts, the current magnitude must be below
+    /// `tol · max_current`.
+    ///
+    /// This is *the* signature of a memristive device (paper Fig. 1b): the
+    /// loop is a figure-eight pinched at the origin.
+    pub fn is_pinched(&self, tol: f64) -> bool {
+        let i_max = self.max_current();
+        if i_max == 0.0 {
+            return true;
+        }
+        let v_max = self.points.iter().map(|p| p.voltage.abs()).fold(0.0, f64::max);
+        self.points
+            .iter()
+            .filter(|p| p.voltage.abs() < 1e-3 * v_max)
+            .all(|p| p.current.abs() <= tol * i_max)
+    }
+
+    /// Area enclosed by the final-cycle loop in the I–V plane (shoelace
+    /// formula), in volt·amperes. Shrinks with excitation frequency — the
+    /// second Fig. 1b fingerprint.
+    pub fn lobe_area(&self) -> f64 {
+        let cycle = self.final_cycle();
+        if cycle.len() < 3 {
+            return 0.0;
+        }
+        let mut twice_area = 0.0;
+        for k in 0..cycle.len() {
+            let a = &cycle[k];
+            let b = &cycle[(k + 1) % cycle.len()];
+            twice_area += a.voltage * b.current - b.voltage * a.current;
+        }
+        (twice_area / 2.0).abs()
+    }
+
+    /// Writes the trace as CSV (`time,voltage,current,state` header plus
+    /// one row per sample) — used by the plotting examples.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("time,voltage,current,state\n");
+        for p in &self.points {
+            out.push_str(&format!("{:.6e},{:.6e},{:.6e},{:.6e}\n", p.time, p.voltage, p.current, p.state));
+        }
+        out
+    }
+}
+
+/// A sinusoidal excitation sweep `v(t) = V₀·sin(2πft)` applied to a
+/// device, recording the I–V trajectory.
+///
+/// # Examples
+///
+/// ```
+/// use memcim_device::{HysteresisSweep, IdealMemristor};
+/// use memcim_units::{Hertz, Ohms, Volts};
+///
+/// let mut device = IdealMemristor::new(Ohms::new(100.0), Ohms::from_kilohms(16.0));
+/// let trace = HysteresisSweep::new(Volts::new(1.0), Hertz::new(1.0)).run(&mut device);
+/// assert!(trace.is_pinched(1e-2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HysteresisSweep {
+    amplitude: Volts,
+    frequency: Hertz,
+    cycles: u32,
+    steps_per_cycle: usize,
+}
+
+impl HysteresisSweep {
+    /// Creates a sweep with 2 cycles and 2000 steps per cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if amplitude or frequency is not strictly positive.
+    pub fn new(amplitude: Volts, frequency: Hertz) -> Self {
+        assert!(amplitude.as_volts() > 0.0, "amplitude must be > 0");
+        assert!(frequency.as_hertz() > 0.0, "frequency must be > 0");
+        Self { amplitude, frequency, cycles: 2, steps_per_cycle: 2000 }
+    }
+
+    /// Sets the number of excitation cycles.
+    #[must_use]
+    pub fn with_cycles(mut self, cycles: u32) -> Self {
+        self.cycles = cycles.max(1);
+        self
+    }
+
+    /// Sets the time resolution per cycle.
+    #[must_use]
+    pub fn with_steps_per_cycle(mut self, steps: usize) -> Self {
+        self.steps_per_cycle = steps.max(16);
+        self
+    }
+
+    /// The excitation frequency.
+    pub fn frequency(&self) -> Hertz {
+        self.frequency
+    }
+
+    /// Runs the sweep, mutating the device state along the trajectory.
+    pub fn run<D: MemristiveDevice + ?Sized>(&self, device: &mut D) -> IvTrace {
+        let period = 1.0 / self.frequency.as_hertz();
+        let dt = period / self.steps_per_cycle as f64;
+        let total = self.steps_per_cycle * self.cycles as usize;
+        let omega = self.frequency.angular();
+        let mut points = Vec::with_capacity(total);
+        for k in 0..total {
+            let t = k as f64 * dt;
+            let v = Volts::new(self.amplitude.as_volts() * (omega * t).sin());
+            let i = device.current(v);
+            points.push(IvPoint {
+                time: t,
+                voltage: v.as_volts(),
+                current: i.as_amps(),
+                state: device.normalized_state(),
+            });
+            device.step(v, Seconds::new(dt));
+        }
+        IvTrace { points, points_per_cycle: self.steps_per_cycle }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{IdealMemristor, LinearIonDrift};
+    use memcim_units::Ohms;
+
+    #[test]
+    fn ideal_memristor_loop_is_pinched() {
+        let mut d = IdealMemristor::new(Ohms::new(100.0), Ohms::from_kilohms(16.0));
+        let trace = HysteresisSweep::new(Volts::new(1.0), Hertz::new(1.0)).run(&mut d);
+        assert!(trace.is_pinched(2e-2));
+        assert!(trace.lobe_area() > 0.0);
+    }
+
+    #[test]
+    fn drift_model_loop_is_pinched_at_characteristic_frequency() {
+        let mut d = LinearIonDrift::hp_default();
+        let f0 = d.characteristic_frequency(Volts::new(1.0));
+        let trace = HysteresisSweep::new(Volts::new(1.0), f0).run(&mut d);
+        assert!(trace.is_pinched(2e-2));
+    }
+
+    #[test]
+    fn lobes_shrink_with_frequency() {
+        // The second Fig. 1b fingerprint: area(f0) > area(2 f0) > area(10 f0).
+        let base = LinearIonDrift::hp_default();
+        let f0 = base.characteristic_frequency(Volts::new(1.0)).as_hertz();
+        let area_at = |mult: f64| {
+            let mut d = base.clone();
+            HysteresisSweep::new(Volts::new(1.0), Hertz::new(f0 * mult))
+                .with_cycles(3)
+                .run(&mut d)
+                .lobe_area()
+        };
+        let a1 = area_at(1.0);
+        let a2 = area_at(2.0);
+        let a10 = area_at(10.0);
+        assert!(a1 > a2, "a(f0)={a1} vs a(2f0)={a2}");
+        assert!(a2 > a10, "a(2f0)={a2} vs a(10f0)={a10}");
+        assert!(a10 < 0.3 * a1, "high-frequency loop should collapse: {a10} vs {a1}");
+    }
+
+    #[test]
+    fn final_cycle_extracts_exactly_one_period() {
+        let mut d = IdealMemristor::new(Ohms::new(100.0), Ohms::from_kilohms(16.0));
+        let sweep = HysteresisSweep::new(Volts::new(1.0), Hertz::new(1.0))
+            .with_cycles(3)
+            .with_steps_per_cycle(500);
+        let trace = sweep.run(&mut d);
+        assert_eq!(trace.points().len(), 1500);
+        assert_eq!(trace.final_cycle().len(), 500);
+    }
+
+    #[test]
+    fn csv_has_header_and_all_rows() {
+        let mut d = IdealMemristor::new(Ohms::new(100.0), Ohms::from_kilohms(16.0));
+        let trace = HysteresisSweep::new(Volts::new(1.0), Hertz::new(1.0))
+            .with_cycles(1)
+            .with_steps_per_cycle(16)
+            .run(&mut d);
+        let csv = trace.to_csv();
+        assert_eq!(csv.lines().count(), 17);
+        assert!(csv.starts_with("time,voltage,current,state\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "amplitude must be > 0")]
+    fn zero_amplitude_panics() {
+        let _ = HysteresisSweep::new(Volts::ZERO, Hertz::new(1.0));
+    }
+}

@@ -1,0 +1,141 @@
+//! Device-to-device and cycle-to-cycle variability.
+//!
+//! RRAM resistance states are approximately lognormally distributed; the
+//! scouting-logic reference margins (design decision D2) are stressed by
+//! exactly this spread. The model here draws per-device `R_low`/`R_high`
+//! pairs with independent device-to-device and cycle-to-cycle components.
+
+use memcim_units::Ohms;
+use rand::Rng;
+
+/// Lognormal variability magnitudes (sigmas of `ln R`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariabilityModel {
+    /// Device-to-device sigma of `ln R_low`.
+    pub sigma_d2d_low: f64,
+    /// Device-to-device sigma of `ln R_high`.
+    pub sigma_d2d_high: f64,
+    /// Cycle-to-cycle sigma applied on each re-program.
+    pub sigma_c2c: f64,
+}
+
+impl VariabilityModel {
+    /// A typical HfOₓ-class spread: 5 % on `R_low`, 25 % on `R_high`,
+    /// 3 % cycle-to-cycle.
+    pub fn typical() -> Self {
+        Self { sigma_d2d_low: 0.05, sigma_d2d_high: 0.25, sigma_c2c: 0.03 }
+    }
+
+    /// No variability (deterministic nominal values).
+    pub fn none() -> Self {
+        Self { sigma_d2d_low: 0.0, sigma_d2d_high: 0.0, sigma_c2c: 0.0 }
+    }
+
+    /// Draws the device-to-device resistance pair for one cell.
+    pub fn sample_device<R: Rng + ?Sized>(
+        &self,
+        nominal_low: Ohms,
+        nominal_high: Ohms,
+        rng: &mut R,
+    ) -> DeviceSample {
+        DeviceSample {
+            r_low: lognormal(nominal_low, self.sigma_d2d_low, rng),
+            r_high: lognormal(nominal_high, self.sigma_d2d_high, rng),
+        }
+    }
+
+    /// Applies a fresh cycle-to-cycle perturbation to a device sample
+    /// (called on each re-program).
+    pub fn sample_cycle<R: Rng + ?Sized>(&self, device: &DeviceSample, rng: &mut R) -> DeviceSample {
+        DeviceSample {
+            r_low: lognormal(device.r_low, self.sigma_c2c, rng),
+            r_high: lognormal(device.r_high, self.sigma_c2c, rng),
+        }
+    }
+}
+
+/// The per-device resistance pair drawn from a [`VariabilityModel`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceSample {
+    /// This device's low (ON) resistance.
+    pub r_low: Ohms,
+    /// This device's high (OFF) resistance.
+    pub r_high: Ohms,
+}
+
+/// Draws `nominal · exp(σ·z)` with `z ~ N(0,1)` (Box–Muller, so only a
+/// uniform source is needed).
+fn lognormal<R: Rng + ?Sized>(nominal: Ohms, sigma: f64, rng: &mut R) -> Ohms {
+    if sigma == 0.0 {
+        return nominal;
+    }
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos();
+    Ohms::new(nominal.as_ohms() * (sigma * z).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_sigma_is_deterministic() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let m = VariabilityModel::none();
+        let s = m.sample_device(Ohms::from_kilohms(1.0), Ohms::from_megohms(100.0), &mut rng);
+        assert_eq!(s.r_low, Ohms::from_kilohms(1.0));
+        assert_eq!(s.r_high, Ohms::from_megohms(100.0));
+    }
+
+    #[test]
+    fn sample_median_tracks_nominal() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let m = VariabilityModel::typical();
+        let mut lows: Vec<f64> = (0..4001)
+            .map(|_| {
+                m.sample_device(Ohms::from_kilohms(1.0), Ohms::from_megohms(100.0), &mut rng)
+                    .r_low
+                    .as_ohms()
+            })
+            .collect();
+        lows.sort_by(f64::total_cmp);
+        let median = lows[lows.len() / 2];
+        assert!((median - 1000.0).abs() / 1000.0 < 0.05, "median = {median}");
+    }
+
+    #[test]
+    fn spread_grows_with_sigma() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let tight = VariabilityModel { sigma_d2d_high: 0.05, ..VariabilityModel::typical() };
+        let wide = VariabilityModel { sigma_d2d_high: 0.5, ..VariabilityModel::typical() };
+        let spread = |m: &VariabilityModel, rng: &mut SmallRng| {
+            let xs: Vec<f64> = (0..2000)
+                .map(|_| {
+                    m.sample_device(Ohms::from_kilohms(1.0), Ohms::from_megohms(100.0), rng)
+                        .r_high
+                        .as_ohms()
+                        .ln()
+                })
+                .collect();
+            let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+            xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64
+        };
+        assert!(spread(&wide, &mut rng) > spread(&tight, &mut rng) * 4.0);
+    }
+
+    #[test]
+    fn samples_are_always_positive() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let m = VariabilityModel { sigma_d2d_low: 1.0, sigma_d2d_high: 1.0, sigma_c2c: 1.0 };
+        for _ in 0..5000 {
+            let s = m.sample_device(Ohms::from_kilohms(1.0), Ohms::from_megohms(100.0), &mut rng);
+            assert!(s.r_low.as_ohms() > 0.0);
+            assert!(s.r_high.as_ohms() > 0.0);
+            let c = m.sample_cycle(&s, &mut rng);
+            assert!(c.r_low.as_ohms() > 0.0);
+        }
+    }
+}

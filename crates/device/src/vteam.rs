@@ -1,0 +1,277 @@
+//! The VTEAM voltage-threshold memristor model.
+
+use crate::window::Window;
+use crate::MemristiveDevice;
+use memcim_units::{Amps, Ohms, Seconds, Siemens, Volts};
+
+/// Parameters of the [`Vteam`] model.
+///
+/// VTEAM (Kvatinsky et al., *IEEE TCAS-II* 2015) is the standard
+/// *voltage-threshold* memristor model: the state is strictly frozen
+/// below the thresholds and moves with a polynomial super-threshold
+/// drive —
+///
+/// ```text
+/// dx/dt = +k_set   · (v/v_set − 1)^α    for v ≥ v_set
+/// dx/dt = −k_reset · (−v/v_reset − 1)^α for v ≤ −v_reset
+/// dx/dt = 0                              otherwise
+/// ```
+///
+/// with `x ∈ \[0, 1\]` (1 = ON), a boundary [`Window`], and
+/// `R(x) = r_on·x + r_off·(1 − x)`.
+///
+/// This is the idealization the scouting-logic scheme relies on: reads at
+/// `Vr = 0.1 V` are *exactly* disturb-free, unlike the drift models where
+/// read disturb is merely slow. Defaults follow the paper's Fig. 9 device
+/// corner (`v_set = 1.3 V`, `v_reset = 0.5 V`, nanosecond-class
+/// programming).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VteamParams {
+    /// ON (low) resistance.
+    pub r_on: Ohms,
+    /// OFF (high) resistance.
+    pub r_off: Ohms,
+    /// SET threshold (positive), volts.
+    pub v_set: Volts,
+    /// RESET threshold magnitude (applied negative), volts.
+    pub v_reset: Volts,
+    /// SET rate constant, 1/s at `v = 2·v_set`.
+    pub k_set: f64,
+    /// RESET rate constant, 1/s at `v = −2·v_reset`.
+    pub k_reset: f64,
+    /// Super-threshold drive exponent α.
+    pub alpha: u32,
+    /// Boundary window.
+    pub window: Window,
+}
+
+impl Default for VteamParams {
+    fn default() -> Self {
+        Self {
+            r_on: Ohms::from_kilohms(1.0),
+            r_off: Ohms::from_megohms(100.0),
+            v_set: Volts::new(1.3),
+            v_reset: Volts::new(0.5),
+            // Full transition in ~10 ns at 2× threshold drive.
+            k_set: 1.0e8,
+            k_reset: 5.0e7,
+            alpha: 3,
+            window: Window::Biolek { p: 2 },
+        }
+    }
+}
+
+impl VteamParams {
+    fn validate(&self) {
+        assert!(self.r_on.as_ohms() > 0.0, "r_on must be > 0");
+        assert!(self.r_off.as_ohms() > self.r_on.as_ohms(), "r_off must exceed r_on");
+        assert!(self.v_set.as_volts() > 0.0, "v_set must be > 0");
+        assert!(self.v_reset.as_volts() > 0.0, "v_reset must be > 0");
+        assert!(self.k_set > 0.0 && self.k_reset > 0.0, "rate constants must be > 0");
+        assert!(self.alpha >= 1, "alpha must be >= 1");
+    }
+}
+
+/// A VTEAM threshold memristor (see [`VteamParams`]).
+///
+/// # Examples
+///
+/// ```
+/// use memcim_device::{MemristiveDevice, Vteam, VteamParams};
+/// use memcim_units::{Seconds, Volts};
+///
+/// let mut cell = Vteam::new(VteamParams::default());
+/// // Sub-threshold reads never move the state…
+/// cell.step(Volts::new(0.4), Seconds::new(1.0));
+/// assert_eq!(cell.normalized_state(), 0.0);
+/// // …a SET pulse does.
+/// cell.step(Volts::new(2.6), Seconds::from_nanoseconds(20.0));
+/// assert!(cell.normalized_state() > 0.9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Vteam {
+    params: VteamParams,
+    x: f64,
+}
+
+impl Vteam {
+    /// Creates a device in the OFF state.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonphysical parameters (see [`VteamParams`] field
+    /// constraints).
+    pub fn new(params: VteamParams) -> Self {
+        params.validate();
+        Self { params, x: 0.0 }
+    }
+
+    /// The model parameters.
+    pub fn params(&self) -> &VteamParams {
+        &self.params
+    }
+
+    /// Present resistance `R(x)`.
+    pub fn resistance(&self) -> Ohms {
+        Ohms::new(
+            self.params.r_on.as_ohms() * self.x + self.params.r_off.as_ohms() * (1.0 - self.x),
+        )
+    }
+
+    /// State velocity at the given bias (0 in the threshold gap).
+    fn velocity(&self, v: Volts) -> f64 {
+        let p = &self.params;
+        let vv = v.as_volts();
+        if vv >= p.v_set.as_volts() {
+            p.k_set * (vv / p.v_set.as_volts() - 1.0).powi(p.alpha as i32)
+        } else if vv <= -p.v_reset.as_volts() {
+            -p.k_reset * (-vv / p.v_reset.as_volts() - 1.0).powi(p.alpha as i32)
+        } else {
+            0.0
+        }
+    }
+}
+
+impl MemristiveDevice for Vteam {
+    fn current(&self, v: Volts) -> Amps {
+        v / self.resistance()
+    }
+
+    fn conductance(&self, _v: Volts) -> Siemens {
+        self.resistance().to_siemens()
+    }
+
+    fn step(&mut self, v: Volts, dt: Seconds) {
+        let mut remaining = dt.as_seconds();
+        let mut guard = 0;
+        while remaining > 0.0 && guard < 10_000 {
+            guard += 1;
+            let vel = self.velocity(v);
+            if vel == 0.0 {
+                break;
+            }
+            let f = self.params.window.evaluate(self.x, vel.signum());
+            let rate = vel * f;
+            if rate == 0.0 {
+                break;
+            }
+            // Cap each substep at 2 % of the state range.
+            let h = remaining.min(0.02 / rate.abs());
+            self.x = (self.x + rate * h).clamp(0.0, 1.0);
+            remaining -= h;
+        }
+    }
+
+    fn normalized_state(&self) -> f64 {
+        self.x
+    }
+
+    fn set_normalized_state(&mut self, state: f64) {
+        self.x = state.clamp(0.0, 1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell() -> Vteam {
+        Vteam::new(VteamParams::default())
+    }
+
+    #[test]
+    fn strictly_no_drift_in_the_threshold_gap() {
+        // The defining VTEAM property: v ∈ (−v_reset, v_set) never moves
+        // the state, no matter how long it is applied.
+        let mut c = cell();
+        c.set_normalized_state(0.37);
+        for v in [-0.49, -0.2, 0.0, 0.4, 1.29] {
+            c.step(Volts::new(v), Seconds::new(100.0));
+            assert_eq!(c.normalized_state(), 0.37, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn set_completes_in_nanoseconds_at_double_threshold() {
+        let mut c = cell();
+        c.step(Volts::new(2.6), Seconds::from_nanoseconds(20.0));
+        assert!(c.normalized_state() > 0.9, "x = {}", c.normalized_state());
+        assert!(c.resistance().as_kilohms() < 15.0);
+    }
+
+    #[test]
+    fn reset_is_polarity_sensitive() {
+        let mut c = cell();
+        c.set_normalized_state(1.0);
+        // Positive over-threshold drives further ON (pinned), not OFF.
+        c.step(Volts::new(2.0), Seconds::from_nanoseconds(50.0));
+        assert_eq!(c.normalized_state(), 1.0);
+        c.step(Volts::new(-1.0), Seconds::from_nanoseconds(100.0));
+        assert!(c.normalized_state() < 0.1, "x = {}", c.normalized_state());
+    }
+
+    #[test]
+    fn drive_strength_scales_polynomially() {
+        // α = 3: doubling the overdrive multiplies the rate by 8, so the
+        // barely-over-threshold case is much slower.
+        let mut slow = cell();
+        slow.step(Volts::new(1.43), Seconds::from_nanoseconds(20.0)); // 10 % overdrive
+        let mut fast = cell();
+        fast.step(Volts::new(1.56), Seconds::from_nanoseconds(20.0)); // 20 % overdrive
+        assert!(fast.normalized_state() > 7.0 * slow.normalized_state().max(1e-12));
+    }
+
+    #[test]
+    fn resistance_endpoints_match_parameters() {
+        let mut c = cell();
+        assert_eq!(c.resistance(), Ohms::from_megohms(100.0));
+        c.set_normalized_state(1.0);
+        assert_eq!(c.resistance(), Ohms::from_kilohms(1.0));
+    }
+
+    #[test]
+    fn works_as_a_trait_object() {
+        let mut boxed: Box<dyn MemristiveDevice> = Box::new(cell());
+        assert!(boxed.current(Volts::new(0.1)).as_amps() > 0.0);
+        boxed.step(Volts::new(2.6), Seconds::from_nanoseconds(20.0));
+        assert!(boxed.normalized_state() > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "v_set must be > 0")]
+    fn invalid_threshold_panics() {
+        let _ = Vteam::new(VteamParams { v_set: Volts::ZERO, ..Default::default() });
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// State stays in \[0, 1\] under arbitrary pulse trains.
+        #[test]
+        fn state_bounded(pulses in proptest::collection::vec((-3.0_f64..3.0, 0.1_f64..50.0), 1..40)) {
+            let mut c = Vteam::new(VteamParams::default());
+            for (v, ns) in pulses {
+                c.step(Volts::new(v), Seconds::from_nanoseconds(ns));
+                let x = c.normalized_state();
+                prop_assert!((0.0..=1.0).contains(&x), "x = {x}");
+            }
+        }
+
+        /// Sub-threshold voltages are exactly state-neutral.
+        #[test]
+        fn threshold_gap_is_inert(
+            x0 in 0.0_f64..1.0,
+            v in -0.499_f64..1.299,
+            secs in 0.0_f64..1000.0,
+        ) {
+            let mut c = Vteam::new(VteamParams::default());
+            c.set_normalized_state(x0);
+            c.step(Volts::new(v), Seconds::new(secs));
+            prop_assert_eq!(c.normalized_state(), x0);
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! The Fig. 4 analytical architecture comparison.
+//!
+//! The paper evaluates MVP against a multicore with an *analytical*
+//! model "similar to those in \[3, 9\]". This module is that model with
+//! every constant named and documented. Core assumptions:
+//!
+//! * Each operation is an ALU op plus one memory reference resolved in
+//!   the hierarchy; per-reference energies follow the paper's cited
+//!   ratios (on-chip SRAM ≈ 50×, off-chip DRAM ≈ 6400× an ALU op
+//!   \[15, 16\]).
+//! * The multicore (4 ALU-only cores, 32 KB L1, 256 KB L2, 4 GB DRAM)
+//!   serves all traffic through the hierarchy at the swept L1/L2 miss
+//!   rates.
+//! * The MVP system (1 core + same caches + 2 GB DRAM + 2 GB scouting
+//!   crossbar) offloads `%Acc = 0.7` of operations — "the part of the
+//!   program which is memory intensive" — so the residual 30 % is
+//!   ALU + L1-resident, while offloaded operations cost one amortized
+//!   in-memory scouting operation and no data movement.
+//! * Non-volatility zeroes the crossbar's standby power (the paper:
+//!   "the non-volatile memory reduces the static power practically to
+//!   zero").
+
+use memcim_units::{Joules, Seconds, SquareMicrometers, Watts};
+
+/// L1/L2 miss rates for one grid point of the Fig. 4 sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MissRates {
+    /// L1 miss rate in `\[0, 1\]`.
+    pub l1: f64,
+    /// L2 (local) miss rate in `\[0, 1\]`.
+    pub l2: f64,
+}
+
+impl MissRates {
+    /// Creates a pair of miss rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rate is outside `\[0, 1\]`.
+    pub fn new(l1: f64, l2: f64) -> Self {
+        assert!((0.0..=1.0).contains(&l1), "l1 miss rate must be in [0, 1]");
+        assert!((0.0..=1.0).contains(&l2), "l2 miss rate must be in [0, 1]");
+        Self { l1, l2 }
+    }
+}
+
+/// Every constant of the Fig. 4 model. Energies in picojoules per
+/// operation, latencies in nanoseconds, powers in milliwatts, areas in
+/// square millimetres.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// ALU operation energy (the 1× baseline of \[15, 16\]), pJ.
+    pub alu_energy_pj: f64,
+    /// L1 (32 KB SRAM) reference energy: the paper's 50×, pJ.
+    pub l1_energy_pj: f64,
+    /// L2 (256 KB SRAM) reference energy, pJ.
+    pub l2_energy_pj: f64,
+    /// Off-chip DRAM reference energy: the paper's 6400×, pJ.
+    pub dram_energy_pj: f64,
+    /// Amortized energy of one offloaded (scouting) word-operation:
+    /// per-column cycle energy of the calibrated RRAM bit line divided
+    /// over the 32-bit words of a 512-column subarray, plus dispatch
+    /// overhead, pJ.
+    pub cim_energy_pj: f64,
+    /// ALU latency, ns (1 GHz single-issue core).
+    pub alu_latency_ns: f64,
+    /// L1 access latency, ns.
+    pub l1_latency_ns: f64,
+    /// L2 access latency, ns.
+    pub l2_latency_ns: f64,
+    /// DRAM access latency, ns.
+    pub dram_latency_ns: f64,
+    /// Effective latency per offloaded word-op (massively
+    /// column-parallel scouting cycles, amortized), ns.
+    pub cim_latency_ns: f64,
+    /// Cores in the multicore baseline.
+    pub multicore_cores: usize,
+    /// Cores in the MVP host.
+    pub mvp_cores: usize,
+    /// Static power per core (mW).
+    pub core_static_mw: f64,
+    /// Static power of one core's cache slice (mW).
+    pub cache_static_mw: f64,
+    /// DRAM standby/refresh power per GB (mW).
+    pub dram_static_mw_per_gb: f64,
+    /// Core area (mm²).
+    pub core_area_mm2: f64,
+    /// Per-core cache area (mm²).
+    pub cache_area_mm2: f64,
+    /// DRAM area per GB (8F² at 32 nm), mm².
+    pub dram_area_mm2_per_gb: f64,
+    /// Crossbar area per GB (12F² 1T1R at 32 nm), mm².
+    pub crossbar_area_mm2_per_gb: f64,
+    /// Multicore DRAM capacity, GB.
+    pub multicore_dram_gb: f64,
+    /// MVP DRAM capacity, GB.
+    pub mvp_dram_gb: f64,
+    /// MVP non-volatile crossbar capacity, GB.
+    pub mvp_crossbar_gb: f64,
+    /// Fraction of operations offloaded to the MVP (`%Acc`).
+    pub accelerated_fraction: f64,
+}
+
+impl SystemConfig {
+    /// The configuration of the paper's Fig. 4: 4-core baseline vs
+    /// 1-core + 2 GB crossbar MVP, `%Acc = 0.7`.
+    pub fn paper_defaults() -> Self {
+        Self {
+            alu_energy_pj: 1.0,
+            l1_energy_pj: 50.0,
+            l2_energy_pj: 100.0,
+            dram_energy_pj: 6400.0,
+            cim_energy_pj: 0.2,
+            alu_latency_ns: 1.0,
+            l1_latency_ns: 1.0,
+            l2_latency_ns: 10.0,
+            dram_latency_ns: 100.0,
+            cim_latency_ns: 0.01,
+            multicore_cores: 4,
+            mvp_cores: 1,
+            core_static_mw: 20.0,
+            cache_static_mw: 5.0,
+            dram_static_mw_per_gb: 12.5,
+            core_area_mm2: 2.0,
+            cache_area_mm2: 1.0,
+            dram_area_mm2_per_gb: 70.4,
+            crossbar_area_mm2_per_gb: 105.6,
+            multicore_dram_gb: 4.0,
+            mvp_dram_gb: 2.0,
+            mvp_crossbar_gb: 2.0,
+            accelerated_fraction: 0.7,
+        }
+    }
+}
+
+/// The paper's three evaluation metrics plus their ingredients.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Metrics {
+    /// Throughput in millions of operations per second.
+    pub throughput_mops: f64,
+    /// Dynamic power, mW.
+    pub dynamic_power_mw: f64,
+    /// Static power, mW.
+    pub static_power_mw: f64,
+    /// Silicon area, mm².
+    pub area_mm2: f64,
+}
+
+impl Metrics {
+    /// Total power in milliwatts.
+    pub fn power_mw(&self) -> f64 {
+        self.dynamic_power_mw + self.static_power_mw
+    }
+
+    /// `ηPE`: performance-energy efficiency, MOPs/mW.
+    pub fn eta_pe(&self) -> f64 {
+        self.throughput_mops / self.power_mw()
+    }
+
+    /// `ηE`: energy per operation, pJ/op (total power over throughput).
+    pub fn eta_e_pj(&self) -> f64 {
+        // mW / MOPS = (1e-3 J/s) / (1e6 op/s) = 1e-9 J/op = 1 nJ/op.
+        self.power_mw() / self.throughput_mops * 1000.0
+    }
+
+    /// `ηPA`: performance-area efficiency, MOPs/mm².
+    pub fn eta_pa(&self) -> f64 {
+        self.throughput_mops / self.area_mm2
+    }
+
+    /// Energy per operation as a typed quantity.
+    pub fn energy_per_op(&self) -> Joules {
+        Joules::from_picojoules(self.eta_e_pj())
+    }
+
+    /// Time per operation as a typed quantity.
+    pub fn time_per_op(&self) -> Seconds {
+        Seconds::new(1.0 / (self.throughput_mops * 1.0e6))
+    }
+
+    /// Area as a typed quantity.
+    pub fn area(&self) -> SquareMicrometers {
+        SquareMicrometers::from_square_millimeters(self.area_mm2)
+    }
+
+    /// Total power as a typed quantity.
+    pub fn power(&self) -> Watts {
+        Watts::from_milliwatts(self.power_mw())
+    }
+}
+
+/// One grid point of the Fig. 4 comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArchComparison {
+    /// The grid point evaluated.
+    pub miss: MissRates,
+    /// Baseline metrics.
+    pub multicore: Metrics,
+    /// MVP system metrics.
+    pub mvp: Metrics,
+}
+
+impl ArchComparison {
+    /// `ηPE(MVP) / ηPE(multicore)` — the headline "≈10×".
+    pub fn eta_pe_gain(&self) -> f64 {
+        self.mvp.eta_pe() / self.multicore.eta_pe()
+    }
+
+    /// `ηE(multicore) / ηE(MVP)` (higher = MVP better).
+    pub fn eta_e_gain(&self) -> f64 {
+        self.multicore.eta_e_pj() / self.mvp.eta_e_pj()
+    }
+
+    /// `ηPA(MVP) / ηPA(multicore)`.
+    pub fn eta_pa_gain(&self) -> f64 {
+        self.mvp.eta_pa() / self.multicore.eta_pa()
+    }
+}
+
+/// Evaluates both architectures at one miss-rate grid point.
+pub fn evaluate(cfg: &SystemConfig, miss: MissRates) -> ArchComparison {
+    ArchComparison { miss, multicore: multicore_metrics(cfg, miss), mvp: mvp_metrics(cfg, miss) }
+}
+
+fn multicore_metrics(cfg: &SystemConfig, miss: MissRates) -> Metrics {
+    // Per-op energy and latency through the full hierarchy.
+    let e_pj = cfg.alu_energy_pj
+        + cfg.l1_energy_pj
+        + miss.l1 * (cfg.l2_energy_pj + miss.l2 * cfg.dram_energy_pj);
+    let t_ns = cfg.alu_latency_ns
+        + cfg.l1_latency_ns
+        + miss.l1 * (cfg.l2_latency_ns + miss.l2 * cfg.dram_latency_ns);
+    let cores = cfg.multicore_cores as f64;
+    let throughput_mops = cores / t_ns * 1000.0;
+    Metrics {
+        throughput_mops,
+        dynamic_power_mw: throughput_mops * e_pj * 1.0e-3,
+        static_power_mw: cores * (cfg.core_static_mw + cfg.cache_static_mw)
+            + cfg.multicore_dram_gb * cfg.dram_static_mw_per_gb,
+        area_mm2: cores * (cfg.core_area_mm2 + cfg.cache_area_mm2)
+            + cfg.multicore_dram_gb * cfg.dram_area_mm2_per_gb,
+    }
+}
+
+fn mvp_metrics(cfg: &SystemConfig, _miss: MissRates) -> Metrics {
+    let acc = cfg.accelerated_fraction;
+    // Residual (non-offloaded) fraction: ALU + L1-resident by the model's
+    // central assumption; offloaded fraction: one amortized scouting op.
+    let e_pj = (1.0 - acc) * (cfg.alu_energy_pj + cfg.l1_energy_pj) + acc * cfg.cim_energy_pj;
+    let t_ns =
+        (1.0 - acc) * (cfg.alu_latency_ns + cfg.l1_latency_ns) + acc * cfg.cim_latency_ns;
+    let cores = cfg.mvp_cores as f64;
+    let throughput_mops = cores / t_ns * 1000.0;
+    Metrics {
+        throughput_mops,
+        dynamic_power_mw: throughput_mops * e_pj * 1.0e-3,
+        // The crossbar contributes no standby power (non-volatile).
+        static_power_mw: cores * (cfg.core_static_mw + cfg.cache_static_mw)
+            + cfg.mvp_dram_gb * cfg.dram_static_mw_per_gb,
+        area_mm2: cores * (cfg.core_area_mm2 + cfg.cache_area_mm2)
+            + cfg.mvp_dram_gb * cfg.dram_area_mm2_per_gb
+            + cfg.mvp_crossbar_gb * cfg.crossbar_area_mm2_per_gb,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cmp(l1: f64, l2: f64) -> ArchComparison {
+        evaluate(&SystemConfig::paper_defaults(), MissRates::new(l1, l2))
+    }
+
+    #[test]
+    fn order_of_magnitude_gain_at_moderate_miss_rates() {
+        // The paper's headline: ≈10× ηPE and ηE at %Acc = 0.7.
+        let c = cmp(0.2, 0.2);
+        assert!((5.0..30.0).contains(&c.eta_pe_gain()), "ηPE gain {}", c.eta_pe_gain());
+        assert!((5.0..30.0).contains(&c.eta_e_gain()), "ηE gain {}", c.eta_e_gain());
+    }
+
+    #[test]
+    fn mvp_has_higher_performance_area_efficiency() {
+        // The paper's claim holds wherever the workload is actually
+        // memory-intensive (nonzero miss rates). At a perfect 0 % miss
+        // rate the multicore never stalls and wins on area — which is
+        // consistent: Fig. 2b's target programs are the ones thrashing
+        // the hierarchy.
+        for (l1, l2) in [(0.15, 0.15), (0.2, 0.2), (0.4, 0.4), (0.6, 0.6)] {
+            let c = cmp(l1, l2);
+            assert!(c.eta_pa_gain() > 1.0, "ηPA gain at ({l1},{l2}) = {}", c.eta_pa_gain());
+        }
+        assert!(cmp(0.0, 0.0).eta_pa_gain() < 1.0, "compute-bound work favours the multicore");
+    }
+
+    #[test]
+    fn gains_grow_with_miss_rate() {
+        // Fig. 4's visual signature: the gap widens as the hierarchy
+        // thrashes, because MVP eliminated exactly that traffic.
+        let mut last = 0.0;
+        for m in [0.0, 0.15, 0.3, 0.45, 0.6] {
+            let g = cmp(m, m).eta_pe_gain();
+            assert!(g > last, "gain {g} at miss {m} not monotonic");
+            last = g;
+        }
+    }
+
+    #[test]
+    fn multicore_energy_per_op_matches_hand_computation() {
+        // e = 1 + 50 + 0.3·(100 + 0.3·6400) = 657 pJ dynamic.
+        let m = multicore_metrics(&SystemConfig::paper_defaults(), MissRates::new(0.3, 0.3));
+        let t_ns = 2.0 + 0.3 * (10.0 + 0.3 * 100.0);
+        assert!((m.throughput_mops - 4000.0 / t_ns).abs() < 1e-9);
+        let e_dyn_pj = m.dynamic_power_mw / m.throughput_mops * 1000.0;
+        assert!((e_dyn_pj - 657.0).abs() < 1e-6, "e = {e_dyn_pj}");
+    }
+
+    #[test]
+    fn mvp_metrics_are_miss_rate_independent() {
+        // MVP offloaded the memory-intensive part; the residual is
+        // L1-resident, so the swept miss rates do not touch it.
+        let a = cmp(0.0, 0.0).mvp;
+        let b = cmp(0.6, 0.6).mvp;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn metric_identities_hold() {
+        let m = cmp(0.3, 0.3).multicore;
+        // ηPE · ηE = 1000 (MOPs/mW · pJ/op identity).
+        assert!((m.eta_pe() * m.eta_e_pj() - 1000.0).abs() < 1e-6);
+        assert!(m.power().as_milliwatts() > 0.0);
+        assert!(m.energy_per_op().as_picojoules() > 0.0);
+        assert!(m.time_per_op().as_nanoseconds() > 0.0);
+    }
+
+    #[test]
+    fn mvp_pays_an_area_premium_but_wins_on_density_of_compute() {
+        let c = cmp(0.3, 0.3);
+        // The 2 GB crossbar costs area: the MVP *system* is bigger…
+        assert!(c.mvp.area_mm2 > c.multicore.area_mm2);
+        // …but delivers so much more throughput that ηPA still wins.
+        assert!(c.eta_pa_gain() > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn miss_rates_are_validated() {
+        let _ = MissRates::new(1.5, 0.0);
+    }
+}

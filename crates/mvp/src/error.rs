@@ -1,0 +1,66 @@
+//! Error type for MVP program execution.
+
+use core::fmt;
+use memcim_crossbar::CrossbarError;
+
+/// Errors produced while executing an MVP program.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MvpError {
+    /// The underlying crossbar rejected an operation.
+    Crossbar(CrossbarError),
+    /// An instruction referenced a row outside the array.
+    RowOutOfRange {
+        /// The offending row.
+        row: usize,
+        /// Rows available.
+        rows: usize,
+    },
+    /// An instruction's operand list was invalid.
+    InvalidOperands {
+        /// Which constraint failed.
+        constraint: &'static str,
+    },
+}
+
+impl fmt::Display for MvpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MvpError::Crossbar(e) => write!(f, "crossbar rejected the operation: {e}"),
+            MvpError::RowOutOfRange { row, rows } => {
+                write!(f, "row {row} outside the {rows}-row array")
+            }
+            MvpError::InvalidOperands { constraint } => {
+                write!(f, "invalid instruction operands: {constraint}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MvpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MvpError::Crossbar(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CrossbarError> for MvpError {
+    fn from(e: CrossbarError) -> Self {
+        MvpError::Crossbar(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_chains_the_source() {
+        use std::error::Error as _;
+        let e = MvpError::Crossbar(CrossbarError::WidthMismatch { got: 3, expected: 4 });
+        assert!(e.to_string().contains("crossbar"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,80 @@
+//! The MVP macro-instruction set.
+
+use memcim_bits::BitVec;
+
+/// A macro-instruction sent by the host core to the MVP (Fig. 2b: each
+/// loop iteration becomes one instruction, decoded and executed inside
+/// the memory).
+///
+/// Row indices address crossbar rows; wide bitwise operations execute
+/// column-parallel via scouting logic, so `And`/`Or` take any number of
+/// distinct source rows (≥ 2) while `Xor` is a two-row window sense.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instruction {
+    /// Loads a bit vector into a row (host → memory transfer plus
+    /// programming cost).
+    Store {
+        /// Destination row.
+        row: usize,
+        /// Data to program.
+        data: BitVec,
+    },
+    /// `dst = OR(srcs…)` in one scouting cycle plus a write-back.
+    Or {
+        /// Source rows (≥ 2, distinct).
+        srcs: Vec<usize>,
+        /// Destination row.
+        dst: usize,
+    },
+    /// `dst = AND(srcs…)` in one scouting cycle plus a write-back.
+    And {
+        /// Source rows (≥ 2, distinct).
+        srcs: Vec<usize>,
+        /// Destination row.
+        dst: usize,
+    },
+    /// `dst = a XOR b` (two-reference window sense) plus a write-back.
+    Xor {
+        /// First operand row.
+        a: usize,
+        /// Second operand row.
+        b: usize,
+        /// Destination row.
+        dst: usize,
+    },
+    /// Reads a row back to the host (appended to the program's outputs).
+    Read {
+        /// Row to read.
+        row: usize,
+    },
+}
+
+impl Instruction {
+    /// Rows this instruction touches (for dependency/diagnostic tooling).
+    pub fn touched_rows(&self) -> Vec<usize> {
+        match self {
+            Instruction::Store { row, .. } | Instruction::Read { row } => vec![*row],
+            Instruction::Or { srcs, dst } | Instruction::And { srcs, dst } => {
+                let mut v = srcs.clone();
+                v.push(*dst);
+                v
+            }
+            Instruction::Xor { a, b, dst } => vec![*a, *b, *dst],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn touched_rows_cover_all_operands() {
+        let i = Instruction::And { srcs: vec![1, 2, 3], dst: 9 };
+        assert_eq!(i.touched_rows(), vec![1, 2, 3, 9]);
+        let x = Instruction::Xor { a: 0, b: 5, dst: 6 };
+        assert_eq!(x.touched_rows(), vec![0, 5, 6]);
+        let r = Instruction::Read { row: 4 };
+        assert_eq!(r.touched_rows(), vec![4]);
+    }
+}

@@ -1,0 +1,193 @@
+//! The functional MVP: a scouting-logic crossbar driven by macro-instructions.
+
+use crate::{Instruction, MvpError};
+use memcim_bits::BitVec;
+use memcim_crossbar::{Crossbar, OpLedger, ScoutingKind};
+
+/// A functional Memristive Vector Processor: host-visible rows of a
+/// scouting-logic crossbar, executing [`Instruction`] programs.
+///
+/// Results of `Read` instructions are returned in program order; every
+/// in-memory operation is costed through the crossbar's [`OpLedger`].
+/// See the [crate-level example](crate).
+#[derive(Debug)]
+pub struct MvpSimulator {
+    xbar: Crossbar,
+}
+
+impl MvpSimulator {
+    /// Creates an MVP over a fresh RRAM crossbar of the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self { xbar: Crossbar::rram(rows, cols) }
+    }
+
+    /// Wraps an existing (possibly variability/endurance-configured)
+    /// crossbar.
+    pub fn with_crossbar(xbar: Crossbar) -> Self {
+        Self { xbar }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.xbar.rows()
+    }
+
+    /// Vector width (columns).
+    pub fn width(&self) -> usize {
+        self.xbar.cols()
+    }
+
+    /// The accumulated cost ledger.
+    pub fn ledger(&self) -> &OpLedger {
+        self.xbar.ledger()
+    }
+
+    /// Borrows the underlying crossbar (fault injection, inspection).
+    pub fn crossbar_mut(&mut self) -> &mut Crossbar {
+        &mut self.xbar
+    }
+
+    /// Executes a program, returning the outputs of `Read` instructions
+    /// in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MvpError::RowOutOfRange`] / [`MvpError::InvalidOperands`]
+    /// for malformed instructions and propagates crossbar failures.
+    pub fn run_program(&mut self, program: &[Instruction]) -> Result<Vec<BitVec>, MvpError> {
+        let mut outputs = Vec::new();
+        for instr in program {
+            self.check_rows(instr)?;
+            match instr {
+                Instruction::Store { row, data } => {
+                    self.xbar.program_row(*row, data)?;
+                }
+                Instruction::Or { srcs, dst } => {
+                    self.validate_sources(srcs, *dst)?;
+                    self.xbar.scouting_write(ScoutingKind::Or, srcs, *dst)?;
+                }
+                Instruction::And { srcs, dst } => {
+                    self.validate_sources(srcs, *dst)?;
+                    self.xbar.scouting_write(ScoutingKind::And, srcs, *dst)?;
+                }
+                Instruction::Xor { a, b, dst } => {
+                    if a == b {
+                        return Err(MvpError::InvalidOperands {
+                            constraint: "xor operands must be distinct rows",
+                        });
+                    }
+                    self.validate_sources(&[*a, *b], *dst)?;
+                    self.xbar.scouting_write(ScoutingKind::Xor, &[*a, *b], *dst)?;
+                }
+                Instruction::Read { row } => {
+                    outputs.push(self.xbar.read_row(*row)?);
+                }
+            }
+        }
+        Ok(outputs)
+    }
+
+    fn check_rows(&self, instr: &Instruction) -> Result<(), MvpError> {
+        for row in instr.touched_rows() {
+            if row >= self.xbar.rows() {
+                return Err(MvpError::RowOutOfRange { row, rows: self.xbar.rows() });
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_sources(&self, srcs: &[usize], dst: usize) -> Result<(), MvpError> {
+        if srcs.len() < 2 {
+            return Err(MvpError::InvalidOperands {
+                constraint: "scouting needs at least two source rows",
+            });
+        }
+        if srcs.contains(&dst) {
+            return Err(MvpError::InvalidOperands {
+                constraint: "destination must differ from the sources",
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(row: usize, bits: &[usize]) -> Instruction {
+        Instruction::Store { row, data: BitVec::from_indices(128, bits) }
+    }
+
+    #[test]
+    fn program_computes_compound_expression() {
+        // out = (A AND B) OR (C XOR D)
+        let mut mvp = MvpSimulator::new(16, 128);
+        let program = vec![
+            store(0, &[0, 1, 2, 3]),
+            store(1, &[2, 3, 4]),
+            store(2, &[5, 6]),
+            store(3, &[6, 7]),
+            Instruction::And { srcs: vec![0, 1], dst: 8 },
+            Instruction::Xor { a: 2, b: 3, dst: 9 },
+            Instruction::Or { srcs: vec![8, 9], dst: 10 },
+            Instruction::Read { row: 10 },
+        ];
+        let out = mvp.run_program(&program).expect("runs");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].ones().collect::<Vec<_>>(), vec![2, 3, 5, 7]);
+    }
+
+    #[test]
+    fn ledger_shows_in_memory_execution() {
+        let mut mvp = MvpSimulator::new(8, 128);
+        let program = vec![
+            store(0, &[0]),
+            store(1, &[1]),
+            Instruction::Or { srcs: vec![0, 1], dst: 2 },
+            Instruction::Read { row: 2 },
+        ];
+        mvp.run_program(&program).expect("runs");
+        assert_eq!(mvp.ledger().scouting_ops(), 1);
+        assert_eq!(mvp.ledger().reads(), 1);
+        assert!(mvp.ledger().programs() >= 3); // two stores + write-back
+        assert!(mvp.ledger().energy().as_joules() > 0.0);
+    }
+
+    #[test]
+    fn malformed_programs_are_rejected() {
+        let mut mvp = MvpSimulator::new(8, 64);
+        assert!(matches!(
+            mvp.run_program(&[Instruction::Read { row: 99 }]),
+            Err(MvpError::RowOutOfRange { row: 99, .. })
+        ));
+        assert!(matches!(
+            mvp.run_program(&[Instruction::Or { srcs: vec![0], dst: 2 }]),
+            Err(MvpError::InvalidOperands { .. })
+        ));
+        assert!(matches!(
+            mvp.run_program(&[Instruction::And { srcs: vec![0, 1], dst: 1 }]),
+            Err(MvpError::InvalidOperands { .. })
+        ));
+        assert!(matches!(
+            mvp.run_program(&[Instruction::Xor { a: 3, b: 3, dst: 4 }]),
+            Err(MvpError::InvalidOperands { .. })
+        ));
+    }
+
+    #[test]
+    fn multi_way_or_collapses_many_rows_in_one_op() {
+        let mut mvp = MvpSimulator::new(16, 128);
+        let mut program: Vec<Instruction> =
+            (0..8).map(|r| store(r, &[r * 4, r * 4 + 1])).collect();
+        program.push(Instruction::Or { srcs: (0..8).collect(), dst: 9 });
+        program.push(Instruction::Read { row: 9 });
+        let out = mvp.run_program(&program).expect("runs");
+        assert_eq!(out[0].count_ones(), 16);
+        assert_eq!(mvp.ledger().scouting_ops(), 1, "one cycle for an 8-way OR");
+    }
+}

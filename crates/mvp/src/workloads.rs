@@ -1,0 +1,448 @@
+//! Paper-motivated MVP workloads with scalar reference implementations.
+//!
+//! Section III.B names database management \[17\], DNA sequencing \[18–20\]
+//! and graph processing \[21\] as the target applications. Each workload
+//! here has (a) an MVP execution path built from macro-instructions and
+//! (b) a plain software reference, so tests can assert bit-identical
+//! results while the ledger shows what the in-memory execution cost.
+
+use crate::{Instruction, MvpError, MvpSimulator};
+use memcim_bits::BitVec;
+
+/// FastBit-style bitmap-index selection (database management).
+pub mod bitmap {
+    use super::*;
+
+    /// A two-column categorical table indexed by per-value bitmaps.
+    ///
+    /// Queries of the form `col1 ∈ set1 AND col2 ∈ set2` become
+    /// OR-reductions over value bitmaps followed by one AND — exactly
+    /// the bulk bitwise work MVP executes in memory.
+    #[derive(Debug, Clone)]
+    pub struct BitmapTable {
+        rows: usize,
+        col1: Vec<u8>,
+        col2: Vec<u8>,
+        cardinality: usize,
+    }
+
+    impl BitmapTable {
+        /// Builds a table from two categorical columns.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the columns differ in length, are empty, or contain
+        /// values ≥ `cardinality`.
+        pub fn new(col1: Vec<u8>, col2: Vec<u8>, cardinality: usize) -> Self {
+            assert_eq!(col1.len(), col2.len(), "columns must align");
+            assert!(!col1.is_empty(), "table must not be empty");
+            assert!(
+                col1.iter().chain(&col2).all(|&v| (v as usize) < cardinality),
+                "values must be below the cardinality"
+            );
+            Self { rows: col1.len(), col1, col2, cardinality }
+        }
+
+        /// Number of records.
+        pub fn len(&self) -> usize {
+            self.rows
+        }
+
+        /// `true` when the table has no records (cannot occur via
+        /// [`new`](Self::new)).
+        pub fn is_empty(&self) -> bool {
+            self.rows == 0
+        }
+
+        /// The bitmap of records whose column equals `value`.
+        fn bitmap(col: &[u8], value: u8, rows: usize) -> BitVec {
+            let mut v = BitVec::new(rows);
+            for (i, &c) in col.iter().enumerate() {
+                if c == value {
+                    v.set(i, true);
+                }
+            }
+            v
+        }
+
+        /// Scalar reference: records with `col1 ∈ set1 && col2 ∈ set2`.
+        pub fn query_reference(&self, set1: &[u8], set2: &[u8]) -> BitVec {
+            let mut out = BitVec::new(self.rows);
+            for i in 0..self.rows {
+                if set1.contains(&self.col1[i]) && set2.contains(&self.col2[i]) {
+                    out.set(i, true);
+                }
+            }
+            out
+        }
+
+        /// MVP execution: loads the value bitmaps and runs the
+        /// OR/OR/AND plan in memory.
+        ///
+        /// # Errors
+        ///
+        /// Propagates [`MvpError`] from program execution (a geometry
+        /// mismatch between the table and the simulator, for instance).
+        pub fn query_mvp(
+            &self,
+            mvp: &mut MvpSimulator,
+            set1: &[u8],
+            set2: &[u8],
+        ) -> Result<BitVec, MvpError> {
+            // Row layout: [set1 bitmaps…][set2 bitmaps…][tmp1][tmp2][out].
+            let mut program = Vec::new();
+            let mut row = 0;
+            let mut rows1 = Vec::new();
+            for &v in set1 {
+                program.push(Instruction::Store {
+                    row,
+                    data: Self::bitmap(&self.col1, v, self.rows),
+                });
+                rows1.push(row);
+                row += 1;
+            }
+            let mut rows2 = Vec::new();
+            for &v in set2 {
+                program.push(Instruction::Store {
+                    row,
+                    data: Self::bitmap(&self.col2, v, self.rows),
+                });
+                rows2.push(row);
+                row += 1;
+            }
+            let (tmp1, tmp2, out) = (row, row + 1, row + 2);
+            // Single-value sets need no OR reduction.
+            let lhs = if rows1.len() == 1 {
+                rows1[0]
+            } else {
+                program.push(Instruction::Or { srcs: rows1, dst: tmp1 });
+                tmp1
+            };
+            let rhs = if rows2.len() == 1 {
+                rows2[0]
+            } else {
+                program.push(Instruction::Or { srcs: rows2, dst: tmp2 });
+                tmp2
+            };
+            program.push(Instruction::And { srcs: vec![lhs, rhs], dst: out });
+            program.push(Instruction::Read { row: out });
+            let mut outputs = mvp.run_program(&program)?;
+            Ok(outputs.pop().expect("program ends with a read"))
+        }
+
+        /// Value cardinality per column.
+        pub fn cardinality(&self) -> usize {
+            self.cardinality
+        }
+    }
+}
+
+/// Bit-parallel k-mer filtering (DNA sequencing).
+pub mod kmer {
+    use super::*;
+
+    /// Per-base occurrence bitmaps of a genome, pre-shifted so that a
+    /// k-mer match test is a single k-way AND (the bit-parallelism of
+    /// \[18, 19\] mapped onto scouting logic).
+    #[derive(Debug, Clone)]
+    pub struct ShiftedBaseIndex {
+        len: usize,
+        k: usize,
+        /// `layers[j]` = bitmap of positions `p` where
+        /// `genome[p + j] == kmer[j]` will be tested; stored per (offset,
+        /// base) pair: `layers[j][base]`.
+        layers: Vec<[BitVec; 4]>,
+    }
+
+    fn base_index(b: u8) -> usize {
+        match b {
+            b'A' => 0,
+            b'C' => 1,
+            b'G' => 2,
+            b'T' => 3,
+            other => panic!("non-ACGT base {other}"),
+        }
+    }
+
+    impl ShiftedBaseIndex {
+        /// Indexes a genome for k-mers of length `k`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `k` is zero, the genome is shorter than `k`, or the
+        /// genome contains non-ACGT bytes.
+        pub fn build(genome: &[u8], k: usize) -> Self {
+            assert!(k > 0, "k must be positive");
+            assert!(genome.len() >= k, "genome shorter than k");
+            let positions = genome.len() - k + 1;
+            let mut layers = Vec::with_capacity(k);
+            for j in 0..k {
+                let mut maps = [
+                    BitVec::new(positions),
+                    BitVec::new(positions),
+                    BitVec::new(positions),
+                    BitVec::new(positions),
+                ];
+                for p in 0..positions {
+                    maps[base_index(genome[p + j])].set(p, true);
+                }
+                layers.push(maps);
+            }
+            Self { len: positions, k, layers }
+        }
+
+        /// Number of candidate positions.
+        pub fn positions(&self) -> usize {
+            self.len
+        }
+
+        /// Scalar reference: match positions of `kmer`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `kmer.len() != k` or contains non-ACGT bytes.
+        pub fn find_reference(&self, kmer: &[u8]) -> BitVec {
+            assert_eq!(kmer.len(), self.k, "k-mer length mismatch");
+            let mut out = self.layers[0][base_index(kmer[0])].clone();
+            for (j, &b) in kmer.iter().enumerate().skip(1) {
+                out.and_assign(&self.layers[j][base_index(b)]);
+            }
+            out
+        }
+
+        /// MVP execution: stores the k relevant layers and AND-reduces
+        /// them in one scouting operation.
+        ///
+        /// # Errors
+        ///
+        /// Propagates [`MvpError`] from program execution.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `kmer.len() != k` or contains non-ACGT bytes.
+        pub fn find_mvp(&self, mvp: &mut MvpSimulator, kmer: &[u8]) -> Result<BitVec, MvpError> {
+            assert_eq!(kmer.len(), self.k, "k-mer length mismatch");
+            let mut program = Vec::new();
+            for (j, &b) in kmer.iter().enumerate() {
+                program.push(Instruction::Store {
+                    row: j,
+                    data: self.layers[j][base_index(b)].clone(),
+                });
+            }
+            let dst = self.k;
+            program.push(Instruction::And { srcs: (0..self.k).collect(), dst });
+            program.push(Instruction::Read { row: dst });
+            let mut outputs = mvp.run_program(&program)?;
+            Ok(outputs.pop().expect("program ends with a read"))
+        }
+    }
+}
+
+/// Frontier-expansion BFS (graph processing, direction-optimizing style
+/// \[21\]).
+pub mod bfs {
+    use super::*;
+
+    /// An unweighted directed graph as adjacency bitmaps.
+    #[derive(Debug, Clone)]
+    pub struct Graph {
+        n: usize,
+        adjacency: Vec<BitVec>,
+    }
+
+    impl Graph {
+        /// Creates an edgeless graph on `n` vertices.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `n` is zero.
+        pub fn new(n: usize) -> Self {
+            assert!(n > 0, "graph needs at least one vertex");
+            Self { n, adjacency: vec![BitVec::new(n); n] }
+        }
+
+        /// Adds a directed edge.
+        ///
+        /// # Panics
+        ///
+        /// Panics if either endpoint is out of range.
+        pub fn add_edge(&mut self, from: usize, to: usize) {
+            assert!(from < self.n && to < self.n, "edge endpoint out of range");
+            self.adjacency[from].set(to, true);
+        }
+
+        /// Vertex count.
+        pub fn len(&self) -> usize {
+            self.n
+        }
+
+        /// `true` for an empty graph (cannot occur via
+        /// [`new`](Self::new)).
+        pub fn is_empty(&self) -> bool {
+            self.n == 0
+        }
+
+        /// Scalar reference BFS: per-vertex levels (`usize::MAX` =
+        /// unreachable).
+        pub fn bfs_reference(&self, src: usize) -> Vec<usize> {
+            let mut level = vec![usize::MAX; self.n];
+            level[src] = 0;
+            let mut frontier = vec![src];
+            let mut depth = 0;
+            while !frontier.is_empty() {
+                depth += 1;
+                let mut next = Vec::new();
+                for &v in &frontier {
+                    for u in self.adjacency[v].ones() {
+                        if level[u] == usize::MAX {
+                            level[u] = depth;
+                            next.push(u);
+                        }
+                    }
+                }
+                frontier = next;
+            }
+            level
+        }
+
+        /// MVP BFS: each level's frontier expansion is a multi-way OR of
+        /// adjacency rows executed in memory (chunked at `max_fanin` rows
+        /// per scouting operation); visited-set subtraction stays on the
+        /// host, mirroring the bottom-up/top-down split of \[21\].
+        ///
+        /// # Errors
+        ///
+        /// Propagates [`MvpError`] from program execution.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `src` is out of range or `max_fanin < 2`.
+        pub fn bfs_mvp(
+            &self,
+            mvp: &mut MvpSimulator,
+            src: usize,
+            max_fanin: usize,
+        ) -> Result<Vec<usize>, MvpError> {
+            assert!(src < self.n, "source out of range");
+            assert!(max_fanin >= 2, "scouting needs fan-in of at least 2");
+            let mut level = vec![usize::MAX; self.n];
+            level[src] = 0;
+            let mut frontier: Vec<usize> = vec![src];
+            let mut depth = 0;
+            while !frontier.is_empty() {
+                depth += 1;
+                // Expand the whole frontier with chunked in-memory ORs.
+                let mut reached = BitVec::new(self.n);
+                for chunk in frontier.chunks(max_fanin) {
+                    if chunk.len() == 1 {
+                        reached.or_assign(&self.adjacency[chunk[0]]);
+                        continue;
+                    }
+                    let mut program = Vec::new();
+                    for (i, &v) in chunk.iter().enumerate() {
+                        program.push(Instruction::Store { row: i, data: self.adjacency[v].clone() });
+                    }
+                    let dst = chunk.len();
+                    program.push(Instruction::Or { srcs: (0..chunk.len()).collect(), dst });
+                    program.push(Instruction::Read { row: dst });
+                    let mut outputs = mvp.run_program(&program)?;
+                    reached.or_assign(&outputs.pop().expect("read output"));
+                }
+                let mut next = Vec::new();
+                for u in reached.ones() {
+                    if level[u] == usize::MAX {
+                        level[u] = depth;
+                        next.push(u);
+                    }
+                }
+                frontier = next;
+            }
+            Ok(level)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn bitmap_query_matches_reference() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let n = 512;
+        let col1: Vec<u8> = (0..n).map(|_| rng.gen_range(0..8)).collect();
+        let col2: Vec<u8> = (0..n).map(|_| rng.gen_range(0..8)).collect();
+        let table = bitmap::BitmapTable::new(col1, col2, 8);
+        let mut mvp = MvpSimulator::new(24, n);
+        for (s1, s2) in [(&[1u8, 3][..], &[0u8, 2, 5][..]), (&[7], &[7]), (&[0, 1, 2], &[3])] {
+            let fast = table.query_mvp(&mut mvp, s1, s2).expect("mvp query");
+            let slow = table.query_reference(s1, s2);
+            assert_eq!(fast, slow, "sets {s1:?} / {s2:?}");
+        }
+        assert!(mvp.ledger().scouting_ops() >= 3);
+    }
+
+    #[test]
+    fn kmer_search_matches_reference() {
+        let mut rng = SmallRng::seed_from_u64(23);
+        let bases = [b'A', b'C', b'G', b'T'];
+        let mut genome: Vec<u8> = (0..2000).map(|_| bases[rng.gen_range(0..4)]).collect();
+        // Plant a motif to guarantee hits.
+        for at in [100usize, 900, 1500] {
+            genome[at..at + 6].copy_from_slice(b"ACGTAC");
+        }
+        let index = kmer::ShiftedBaseIndex::build(&genome, 6);
+        let mut mvp = MvpSimulator::new(8, index.positions());
+        let fast = index.find_mvp(&mut mvp, b"ACGTAC").expect("mvp find");
+        let slow = index.find_reference(b"ACGTAC");
+        assert_eq!(fast, slow);
+        for at in [100usize, 900, 1500] {
+            assert!(fast.get(at), "planted hit at {at}");
+        }
+        // The whole k-way AND costs exactly one scouting cycle.
+        assert_eq!(mvp.ledger().scouting_ops(), 1);
+    }
+
+    #[test]
+    fn bfs_levels_match_reference_on_random_graphs() {
+        let mut rng = SmallRng::seed_from_u64(37);
+        for trial in 0..5 {
+            let n = 64;
+            let mut g = bfs::Graph::new(n);
+            for _ in 0..300 {
+                g.add_edge(rng.gen_range(0..n), rng.gen_range(0..n));
+            }
+            let mut mvp = MvpSimulator::new(16, n);
+            let fast = g.bfs_mvp(&mut mvp, 0, 8).expect("mvp bfs");
+            let slow = g.bfs_reference(0);
+            assert_eq!(fast, slow, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn bfs_on_a_path_visits_levels_in_order() {
+        let mut g = bfs::Graph::new(5);
+        for i in 0..4 {
+            g.add_edge(i, i + 1);
+        }
+        let mut mvp = MvpSimulator::new(8, 5);
+        // A path frontier has single vertices: exercises the chunk == 1
+        // host path.
+        let levels = g.bfs_mvp(&mut mvp, 0, 4).expect("bfs");
+        assert_eq!(levels, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "columns must align")]
+    fn bitmap_table_validates_columns() {
+        let _ = bitmap::BitmapTable::new(vec![0, 1], vec![0], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-ACGT")]
+    fn kmer_index_rejects_bad_bases() {
+        let _ = kmer::ShiftedBaseIndex::build(b"ACGX", 2);
+    }
+}

@@ -1,0 +1,90 @@
+//! Error type for circuit construction and analysis.
+
+use core::fmt;
+
+/// Errors produced by circuit construction and transient analysis.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SpiceError {
+    /// An element referenced a node that does not exist in the circuit.
+    UnknownNode {
+        /// The invalid node index.
+        index: usize,
+    },
+    /// An element name was registered twice.
+    DuplicateElement {
+        /// The repeated element name.
+        name: String,
+    },
+    /// An element parameter was out of its valid domain.
+    InvalidValue {
+        /// Element name.
+        element: String,
+        /// Human-readable constraint, e.g. `"resistance must be > 0"`.
+        constraint: &'static str,
+    },
+    /// The MNA matrix became numerically singular (typically a floating
+    /// node or a loop of ideal voltage sources).
+    SingularMatrix {
+        /// Simulation time at which factorization failed.
+        time: f64,
+    },
+    /// Newton iteration failed to converge within the iteration budget.
+    NonConvergence {
+        /// Simulation time of the failing step.
+        time: f64,
+        /// Residual voltage change at the final iteration.
+        residual: f64,
+    },
+    /// A trace query referenced an unknown signal name.
+    UnknownSignal {
+        /// The requested signal.
+        name: String,
+    },
+}
+
+impl fmt::Display for SpiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpiceError::UnknownNode { index } => {
+                write!(f, "unknown node index {index}")
+            }
+            SpiceError::DuplicateElement { name } => {
+                write!(f, "duplicate element name {name:?}")
+            }
+            SpiceError::InvalidValue { element, constraint } => {
+                write!(f, "invalid value for element {element:?}: {constraint}")
+            }
+            SpiceError::SingularMatrix { time } => {
+                write!(f, "singular MNA matrix at t = {time:.3e} s (floating node or source loop?)")
+            }
+            SpiceError::NonConvergence { time, residual } => {
+                write!(f, "newton iteration did not converge at t = {time:.3e} s (residual {residual:.3e} V)")
+            }
+            SpiceError::UnknownSignal { name } => {
+                write!(f, "unknown signal {name:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpiceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = SpiceError::NonConvergence { time: 1.0e-9, residual: 0.5 };
+        let s = e.to_string();
+        assert!(s.contains("converge"));
+        assert!(s.contains("1.000e-9"));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn check<T: Send + Sync + 'static>() {}
+        check::<SpiceError>();
+    }
+}

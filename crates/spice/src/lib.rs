@@ -1,0 +1,67 @@
+//! A compact SPICE-class transient circuit simulator.
+//!
+//! The paper's Fig. 9 evaluates the RRAM automata-processor kernel with an
+//! HSPICE transient simulation of a 256-cell bit-line discharge (32 nm PTM
+//! transistors + the ASU RRAM compact model). This crate is the
+//! from-scratch substitute: a modified-nodal-analysis (MNA) engine with
+//!
+//! * linear elements — [resistors](Circuit::add_resistor),
+//!   [capacitors](Circuit::add_capacitor) (with initial conditions),
+//!   independent [voltage](Circuit::add_vsource) and
+//!   [current](Circuit::add_isource) sources driven by [`Waveform`]s, and
+//!   time-controlled ideal [switches](Circuit::add_switch);
+//! * nonlinear elements — level-1 (Shichman–Hodges) NMOS/PMOS
+//!   transistors with channel-length modulation and lumped terminal
+//!   capacitances, and any [`MemristiveDevice`] from `memcim-device`
+//!   as a two-terminal [memristor element](Circuit::add_memristor);
+//! * analyses — Newton–Raphson per timestep with voltage-step damping,
+//!   backward-Euler or trapezoidal integration ([`Integration`]),
+//!   per-element energy accounting, and `.measure`-style queries on the
+//!   recorded [`Trace`] (threshold crossings, extrema, final values).
+//!
+//! The solver is validated against closed-form RC responses (see the
+//! `transient` tests) and is the calibration source for the analytical
+//! bit-line model in `memcim-crossbar`.
+//!
+//! # Examples
+//!
+//! An RC discharge measured at its 1/e point:
+//!
+//! ```
+//! use memcim_spice::{Circuit, Edge, Integration, Transient, Waveform};
+//! use memcim_units::{Farads, Ohms, Seconds, Volts};
+//!
+//! # fn main() -> Result<(), memcim_spice::SpiceError> {
+//! let mut ckt = Circuit::new();
+//! let a = ckt.node("a");
+//! ckt.add_resistor("R1", a, Circuit::GROUND, Ohms::from_kilohms(1.0))?;
+//! ckt.add_capacitor_with_ic("C1", a, Circuit::GROUND,
+//!     Farads::from_picofarads(1.0), Volts::new(1.0))?;
+//! let trace = Transient::new(Seconds::from_nanoseconds(5.0), Seconds::from_picoseconds(1.0))
+//!     .with_integration(Integration::Trapezoidal)
+//!     .run(&mut ckt)?;
+//! let t = trace.cross_time("a", Volts::new(1.0 / std::f64::consts::E), Edge::Falling, Seconds::ZERO)
+//!     .expect("must cross 1/e");
+//! assert!((t.as_nanoseconds() - 1.0).abs() < 0.01); // τ = RC = 1 ns
+//! # Ok(())
+//! # }
+//! ```
+
+mod circuit;
+mod error;
+mod linalg;
+mod mosfet;
+mod op;
+mod trace;
+mod transient;
+mod waveform;
+
+pub use circuit::{Circuit, Node};
+pub use error::SpiceError;
+pub use mosfet::{MosfetKind, MosfetParams};
+pub use op::{operating_point, OperatingPoint};
+pub use trace::{Edge, Trace};
+pub use transient::{Integration, Transient};
+pub use waveform::Waveform;
+
+pub use memcim_device::MemristiveDevice;

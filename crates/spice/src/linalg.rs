@@ -1,0 +1,184 @@
+//! Dense linear algebra: LU factorization with partial pivoting.
+//!
+//! The MNA systems in this workspace are small (tens of unknowns for the
+//! lumped bit-line circuits, a few hundred for the explicit-cell
+//! validation runs), so a dense solver with O(n³) factorization is the
+//! right tool — no sparse machinery, no external dependency.
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Matrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates an `n × n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        Self { n, data: vec![0.0; n * n] }
+    }
+
+    /// Dimension of the (square) matrix.
+    #[cfg(test)]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Sets all entries to zero, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.n + c]
+    }
+
+    #[inline]
+    pub fn add(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.n + c] += v;
+    }
+
+    /// Solves `A·x = b` in place via LU with partial pivoting,
+    /// destroying the matrix. Returns `None` if the matrix is singular
+    /// to working precision.
+    pub fn solve_in_place(&mut self, b: &mut [f64]) -> Option<()> {
+        let n = self.n;
+        assert_eq!(b.len(), n, "rhs dimension mismatch");
+        for col in 0..n {
+            // Partial pivot.
+            let mut pivot_row = col;
+            let mut pivot_mag = self.get(col, col).abs();
+            for r in (col + 1)..n {
+                let mag = self.get(r, col).abs();
+                if mag > pivot_mag {
+                    pivot_mag = mag;
+                    pivot_row = r;
+                }
+            }
+            if pivot_mag < 1.0e-300 {
+                return None;
+            }
+            if pivot_row != col {
+                for c in 0..n {
+                    self.data.swap(pivot_row * n + c, col * n + c);
+                }
+                b.swap(pivot_row, col);
+            }
+            let pivot = self.get(col, col);
+            for r in (col + 1)..n {
+                let factor = self.get(r, col) / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                // Row update: rows are contiguous, let the optimizer
+                // vectorize the inner loop.
+                let (head, tail) = self.data.split_at_mut(r * n);
+                let src = &head[col * n..col * n + n];
+                let dst = &mut tail[..n];
+                for c in (col + 1)..n {
+                    dst[c] -= factor * src[c];
+                }
+                dst[col] = 0.0;
+                b[r] -= factor * b[col];
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            let mut acc = b[col];
+            for c in (col + 1)..n {
+                acc -= self.get(col, c) * b[c];
+            }
+            b[col] = acc / self.get(col, col);
+        }
+        Some(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve(entries: &[&[f64]], rhs: &[f64]) -> Option<Vec<f64>> {
+        let n = rhs.len();
+        let mut m = Matrix::zeros(n);
+        for (r, row) in entries.iter().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                m.add(r, c, v);
+            }
+        }
+        let mut b = rhs.to_vec();
+        m.solve_in_place(&mut b).map(|()| b)
+    }
+
+    #[test]
+    fn identity_returns_rhs() {
+        let x = solve(&[&[1.0, 0.0], &[0.0, 1.0]], &[3.0, 4.0]).expect("nonsingular");
+        assert_eq!(x, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn solves_general_3x3() {
+        let x = solve(
+            &[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]],
+            &[8.0, -11.0, -3.0],
+        )
+        .expect("nonsingular");
+        let expected = [2.0, 3.0, -1.0];
+        for (xi, ei) in x.iter().zip(expected) {
+            assert!((xi - ei).abs() < 1e-12, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        let x = solve(&[&[0.0, 1.0], &[1.0, 0.0]], &[5.0, 7.0]).expect("needs pivot");
+        assert_eq!(x, vec![7.0, 5.0]);
+    }
+
+    #[test]
+    fn singular_matrix_is_detected() {
+        assert!(solve(&[&[1.0, 2.0], &[2.0, 4.0]], &[1.0, 2.0]).is_none());
+        assert!(solve(&[&[0.0, 0.0], &[0.0, 0.0]], &[0.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn clear_preserves_dimension() {
+        let mut m = Matrix::zeros(3);
+        m.add(1, 1, 5.0);
+        m.clear();
+        assert_eq!(m.dim(), 3);
+        assert_eq!(m.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn random_system_residual_is_small() {
+        // Deterministic pseudo-random fill: xorshift.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let n = 40;
+        let mut m = Matrix::zeros(n);
+        let mut a = vec![vec![0.0; n]; n];
+        for (r, row) in a.iter_mut().enumerate() {
+            for (c, item) in row.iter_mut().enumerate() {
+                *item = next() + if r == c { 2.0 } else { 0.0 };
+                m.add(r, c, *item);
+            }
+        }
+        let rhs: Vec<f64> = (0..n).map(|_| next()).collect();
+        let mut x = rhs.clone();
+        m.solve_in_place(&mut x).expect("diagonally dominant");
+        for r in 0..n {
+            let mut acc = 0.0;
+            for c in 0..n {
+                acc += a[r][c] * x[c];
+            }
+            assert!((acc - rhs[r]).abs() < 1e-9, "row {r} residual");
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Level-1 (Shichman–Hodges) MOSFET model with 32 nm-class parameters.
+
+/// Transistor polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MosfetKind {
+    /// N-channel device.
+    Nmos,
+    /// P-channel device.
+    Pmos,
+}
+
+/// Level-1 MOSFET parameters.
+///
+/// The defaults are calibrated to 32 nm PTM-class behaviour for the
+/// bit-line experiments of the paper's Fig. 9: a minimum-size NMOS access
+/// transistor presents ≈3.3 kΩ of on-resistance at `Vgs = 1.0 V` in deep
+/// triode, which together with the 1 kΩ RRAM ON resistance and the lumped
+/// bit-line capacitance reproduces the ≈100 ps discharge class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MosfetParams {
+    /// Threshold voltage magnitude, volts.
+    pub vth: f64,
+    /// Transconductance factor `β = µ·Cox·W/L`, A/V².
+    pub beta: f64,
+    /// Channel-length modulation, 1/V.
+    pub lambda: f64,
+    /// Lumped gate–source capacitance, farads.
+    pub c_gs: f64,
+    /// Lumped gate–drain capacitance, farads.
+    pub c_gd: f64,
+    /// Drain–bulk junction capacitance (to ground), farads.
+    pub c_db: f64,
+}
+
+impl MosfetParams {
+    /// A 32 nm-class minimum-width access NMOS (the 1T1R cell transistor):
+    /// `Ron ≈ 1/(β·(Vgs−Vth)) ≈ 3.3 kΩ` at `Vgs = 1 V`.
+    pub fn ptm32_access_nmos() -> Self {
+        Self {
+            vth: 0.5,
+            beta: 6.1e-4,
+            lambda: 0.05,
+            c_gs: 30.0e-18,
+            c_gd: 20.0e-18,
+            c_db: 45.0e-18,
+        }
+    }
+
+    /// A wider read-port NMOS as used in the 8T SRAM cell of the Cache
+    /// Automaton comparison (≈2.5× the access device): lower on-resistance
+    /// per transistor but proportionally larger parasitic capacitance.
+    pub fn ptm32_readport_nmos() -> Self {
+        Self {
+            vth: 0.5,
+            beta: 1.5e-3,
+            lambda: 0.05,
+            c_gs: 75.0e-18,
+            c_gd: 50.0e-18,
+            c_db: 112.0e-18,
+        }
+    }
+
+    /// On-resistance estimate in deep triode at the given gate overdrive.
+    pub fn triode_resistance(&self, vgs: f64) -> f64 {
+        let vov = (vgs - self.vth).max(1.0e-12);
+        1.0 / (self.beta * vov)
+    }
+
+    pub(crate) fn validate(&self) -> Result<(), &'static str> {
+        if self.beta <= 0.0 {
+            return Err("beta must be > 0");
+        }
+        if self.vth <= 0.0 {
+            return Err("vth magnitude must be > 0");
+        }
+        if self.lambda < 0.0 {
+            return Err("lambda must be >= 0");
+        }
+        if self.c_gs < 0.0 || self.c_gd < 0.0 || self.c_db < 0.0 {
+            return Err("capacitances must be >= 0");
+        }
+        Ok(())
+    }
+}
+
+/// Operating-point evaluation result: drain current and the two
+/// small-signal derivatives needed for the Newton stamp.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct MosfetOp {
+    /// Drain current (positive = conventional current drain→source for
+    /// NMOS with `vds ≥ 0`), amperes.
+    pub ids: f64,
+    /// `∂Ids/∂Vgs`.
+    pub gm: f64,
+    /// `∂Ids/∂Vds`.
+    pub gds: f64,
+}
+
+/// Minimum conductance added drain–source for convergence.
+pub(crate) const GMIN: f64 = 1.0e-12;
+
+/// Evaluates the level-1 equations for an NMOS-referred device
+/// (`vgs`, `vds` already polarity-corrected by the caller).
+///
+/// Handles `vds < 0` by source/drain symmetry.
+pub(crate) fn evaluate_nmos(params: &MosfetParams, vgs: f64, vds: f64) -> MosfetOp {
+    if vds < 0.0 {
+        // Swap drain and source: the device conducts symmetrically.
+        // With roles swapped: vgs' = vgs − vds, vds' = −vds.
+        let sw = evaluate_nmos(params, vgs - vds, -vds);
+        // Map derivatives back: Ids = −Ids'(vgs − vds, −vds).
+        // ∂/∂vgs = −gm'; ∂/∂vds = −(−gm' − gds')·(−1)... derive carefully:
+        // I(vgs, vds) = −I'(vgs − vds, −vds)
+        // ∂I/∂vgs = −gm'
+        // ∂I/∂vds = −(gm'·(−1) + gds'·(−1)) = gm' + gds'
+        return MosfetOp { ids: -sw.ids, gm: -sw.gm, gds: sw.gm + sw.gds };
+    }
+    let vov = vgs - params.vth;
+    if vov <= 0.0 {
+        // Cutoff: leakage handled by GMIN stamped separately.
+        return MosfetOp { ids: 0.0, gm: 0.0, gds: 0.0 };
+    }
+    let clm = 1.0 + params.lambda * vds;
+    if vds < vov {
+        // Triode.
+        let core = vov * vds - 0.5 * vds * vds;
+        MosfetOp {
+            ids: params.beta * core * clm,
+            gm: params.beta * vds * clm,
+            gds: params.beta * ((vov - vds) * clm + core * params.lambda),
+        }
+    } else {
+        // Saturation.
+        let half = 0.5 * params.beta * vov * vov;
+        MosfetOp { ids: half * clm, gm: params.beta * vov * clm, gds: half * params.lambda }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> MosfetParams {
+        MosfetParams::ptm32_access_nmos()
+    }
+
+    #[test]
+    fn cutoff_carries_no_current() {
+        let op = evaluate_nmos(&p(), 0.3, 0.5);
+        assert_eq!(op.ids, 0.0);
+        assert_eq!(op.gm, 0.0);
+    }
+
+    #[test]
+    fn triode_resistance_matches_target() {
+        // Deep triode at Vgs = 1.0 V: R ≈ 1/(β·0.5) ≈ 3.28 kΩ.
+        let r = p().triode_resistance(1.0);
+        assert!((r - 3278.0).abs() / 3278.0 < 0.01, "r = {r}");
+        // Small-signal check from the model itself.
+        let op = evaluate_nmos(&p(), 1.0, 0.001);
+        let r_model = 0.001 / op.ids;
+        assert!((r_model - r).abs() / r < 0.05, "model r = {r_model}");
+    }
+
+    #[test]
+    fn saturation_current_is_quadratic_in_overdrive() {
+        let i1 = evaluate_nmos(&p(), 0.7, 1.0).ids;
+        let i2 = evaluate_nmos(&p(), 0.9, 1.0).ids;
+        // (0.4/0.2)² = 4, modulated slightly by lambda.
+        assert!((i2 / i1 - 4.0).abs() < 0.1, "ratio = {}", i2 / i1);
+    }
+
+    #[test]
+    fn current_is_continuous_at_the_triode_saturation_boundary() {
+        let vgs = 0.9;
+        let vds_edge = vgs - p().vth; // 0.4
+        let below = evaluate_nmos(&p(), vgs, vds_edge - 1e-9);
+        let above = evaluate_nmos(&p(), vgs, vds_edge + 1e-9);
+        assert!((below.ids - above.ids).abs() < 1e-9 * below.ids.max(1e-12));
+        assert!((below.gm - above.gm).abs() / below.gm < 1e-6);
+    }
+
+    #[test]
+    fn gm_and_gds_match_finite_differences() {
+        let h = 1e-7;
+        for (vgs, vds) in [(0.8, 0.1), (0.9, 0.6), (1.0, 0.05), (0.7, 0.3)] {
+            let op = evaluate_nmos(&p(), vgs, vds);
+            let fd_gm =
+                (evaluate_nmos(&p(), vgs + h, vds).ids - evaluate_nmos(&p(), vgs - h, vds).ids)
+                    / (2.0 * h);
+            let fd_gds =
+                (evaluate_nmos(&p(), vgs, vds + h).ids - evaluate_nmos(&p(), vgs, vds - h).ids)
+                    / (2.0 * h);
+            assert!((op.gm - fd_gm).abs() < 1e-4 * fd_gm.abs().max(1e-9), "gm at {vgs},{vds}");
+            assert!((op.gds - fd_gds).abs() < 1e-4 * fd_gds.abs().max(1e-9), "gds at {vgs},{vds}");
+        }
+    }
+
+    #[test]
+    fn reverse_vds_is_antisymmetric_for_symmetric_bias() {
+        // With vgs measured gate-to-(lower terminal), a symmetric device:
+        // I(vgs, −vds) relates to the swapped evaluation. Check current
+        // direction flips and finite-difference derivatives agree.
+        let op = evaluate_nmos(&p(), 1.0, -0.2);
+        assert!(op.ids < 0.0);
+        let h = 1e-7;
+        let fd_gds = (evaluate_nmos(&p(), 1.0, -0.2 + h).ids
+            - evaluate_nmos(&p(), 1.0, -0.2 - h).ids)
+            / (2.0 * h);
+        assert!((op.gds - fd_gds).abs() < 1e-4 * fd_gds.abs(), "gds = {}, fd = {fd_gds}", op.gds);
+        let fd_gm = (evaluate_nmos(&p(), 1.0 + h, -0.2).ids
+            - evaluate_nmos(&p(), 1.0 - h, -0.2).ids)
+            / (2.0 * h);
+        assert!((op.gm - fd_gm).abs() < 1e-4 * fd_gm.abs().max(1e-9), "gm = {}, fd = {fd_gm}", op.gm);
+    }
+
+    #[test]
+    fn readport_device_is_stronger_than_access_device() {
+        let access = MosfetParams::ptm32_access_nmos();
+        let port = MosfetParams::ptm32_readport_nmos();
+        assert!(port.triode_resistance(1.0) < access.triode_resistance(1.0) / 2.0);
+        // ...but carries proportionally more parasitic capacitance.
+        assert!(port.c_db > 2.0 * access.c_db);
+    }
+
+    #[test]
+    fn validation_rejects_nonphysical_parameters() {
+        let mut bad = p();
+        bad.beta = -1.0;
+        assert!(bad.validate().is_err());
+        let mut bad2 = p();
+        bad2.c_gs = -1.0e-18;
+        assert!(bad2.validate().is_err());
+        assert!(p().validate().is_ok());
+    }
+}

@@ -1,0 +1,322 @@
+//! DC operating-point analysis.
+//!
+//! Solves the circuit's steady state at `t = 0⁺` with capacitors open
+//! (their branch current is zero in DC) and all sources at their
+//! initial value. Used to pre-bias circuits before a transient and to
+//! sanity-check netlists (a floating node surfaces here, not three
+//! nanoseconds into a transient).
+
+use crate::circuit::{Circuit, ElementKind};
+use crate::linalg::Matrix;
+use crate::mosfet::{evaluate_nmos, MosfetKind, GMIN};
+use crate::SpiceError;
+use memcim_units::Volts;
+use std::collections::HashMap;
+
+/// The result of a DC operating-point solve: node voltages by name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperatingPoint {
+    voltages: HashMap<String, f64>,
+}
+
+impl OperatingPoint {
+    /// The solved voltage of a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::UnknownSignal`] for an unknown node name
+    /// (ground is always known and zero).
+    pub fn voltage(&self, node: &str) -> Result<Volts, SpiceError> {
+        if node == "0" {
+            return Ok(Volts::ZERO);
+        }
+        self.voltages
+            .get(node)
+            .map(|&v| Volts::new(v))
+            .ok_or_else(|| SpiceError::UnknownSignal { name: node.to_string() })
+    }
+
+    /// Iterates `(node name, voltage)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Volts)> {
+        self.voltages.iter().map(|(k, &v)| (k.as_str(), Volts::new(v)))
+    }
+}
+
+/// Computes the DC operating point of a circuit at `t = 0`.
+///
+/// Capacitors are treated as open circuits (a tiny `GMIN` keeps nodes
+/// that *only* connect through capacitors from floating); memristors and
+/// MOSFETs are solved by damped Newton iteration exactly as in the
+/// transient engine.
+///
+/// # Errors
+///
+/// Returns [`SpiceError::SingularMatrix`] for genuinely floating
+/// subcircuits and [`SpiceError::NonConvergence`] if Newton stalls.
+///
+/// # Examples
+///
+/// ```
+/// use memcim_spice::{operating_point, Circuit, Waveform};
+/// use memcim_units::{Ohms, Volts};
+///
+/// # fn main() -> Result<(), memcim_spice::SpiceError> {
+/// let mut ckt = Circuit::new();
+/// let vin = ckt.node("vin");
+/// let out = ckt.node("out");
+/// ckt.add_vsource("V1", vin, Circuit::GROUND, Waveform::dc(Volts::new(1.0)))?;
+/// ckt.add_resistor("R1", vin, out, Ohms::from_kilohms(1.0))?;
+/// ckt.add_resistor("R2", out, Circuit::GROUND, Ohms::from_kilohms(1.0))?;
+/// let op = operating_point(&ckt)?;
+/// assert!((op.voltage("out")?.as_volts() - 0.5).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn operating_point(ckt: &Circuit) -> Result<OperatingPoint, SpiceError> {
+    let n = ckt.node_count() - 1;
+    let m = ckt.vsource_count();
+    let dim = n + m;
+    let mut branch_of = HashMap::new();
+    {
+        let mut next = 0usize;
+        for (ei, e) in ckt.elements.iter().enumerate() {
+            if matches!(e.kind, ElementKind::VSource { .. }) {
+                branch_of.insert(ei, n + next);
+                next += 1;
+            }
+        }
+    }
+    let mut x = vec![0.0; dim];
+    for (&node, &v) in &ckt.initial_conditions {
+        if node != 0 {
+            x[node - 1] = v;
+        }
+    }
+    let volt = |x: &[f64], node: usize| if node == 0 { 0.0 } else { x[node - 1] };
+
+    let mut a_mat = Matrix::zeros(dim);
+    let mut rhs = vec![0.0; dim];
+    let max_newton = 200;
+    let mut residual = f64::INFINITY;
+    for _ in 0..max_newton {
+        a_mat.clear();
+        rhs.fill(0.0);
+        for (ei, e) in ckt.elements.iter().enumerate() {
+            match &e.kind {
+                ElementKind::Resistor { a, b, g } => stamp(&mut a_mat, *a, *b, *g),
+                ElementKind::Switch { a, b, g_on, g_off, control, threshold } => {
+                    let g = if control.evaluate(0.0) > *threshold { *g_on } else { *g_off };
+                    stamp(&mut a_mat, *a, *b, g);
+                }
+                ElementKind::Capacitor { a, b, .. } => {
+                    // DC-open; GMIN keeps capacitor-only nodes solvable.
+                    stamp(&mut a_mat, *a, *b, GMIN);
+                }
+                ElementKind::VSource { a, b, w } => {
+                    let br = branch_of[&ei];
+                    if *a != 0 {
+                        a_mat.add(a - 1, br, 1.0);
+                        a_mat.add(br, a - 1, 1.0);
+                    }
+                    if *b != 0 {
+                        a_mat.add(b - 1, br, -1.0);
+                        a_mat.add(br, b - 1, -1.0);
+                    }
+                    rhs[br] = w.evaluate(0.0);
+                }
+                ElementKind::ISource { a, b, w } => {
+                    let i = w.evaluate(0.0);
+                    if *a != 0 {
+                        rhs[a - 1] -= i;
+                    }
+                    if *b != 0 {
+                        rhs[b - 1] += i;
+                    }
+                }
+                ElementKind::Memristor { a, b, device } => {
+                    let v0 = volt(&x, *a) - volt(&x, *b);
+                    let i0 = device.current(Volts::new(v0)).as_amps();
+                    let g = device.conductance(Volts::new(v0)).as_siemens().max(GMIN);
+                    let ieq = i0 - g * v0;
+                    stamp(&mut a_mat, *a, *b, g);
+                    if *a != 0 {
+                        rhs[a - 1] -= ieq;
+                    }
+                    if *b != 0 {
+                        rhs[b - 1] += ieq;
+                    }
+                }
+                ElementKind::Mosfet { d, g, s, params, kind } => {
+                    stamp_mosfet_dc(&mut a_mat, &mut rhs, &x, *d, *g, *s, params, *kind);
+                }
+            }
+        }
+        let mut x_new = rhs.clone();
+        if a_mat.solve_in_place(&mut x_new).is_none() {
+            return Err(SpiceError::SingularMatrix { time: 0.0 });
+        }
+        residual = x_new.iter().zip(&x).take(n).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+        if residual < 1.0e-9 {
+            x = x_new;
+            let voltages = ckt
+                .nodes()
+                .map(|(name, node)| (name.to_string(), x[node.0 - 1]))
+                .collect();
+            return Ok(OperatingPoint { voltages });
+        }
+        for k in 0..dim {
+            let delta = x_new[k] - x[k];
+            x[k] += if k < n { delta.clamp(-0.5, 0.5) } else { delta };
+        }
+    }
+    Err(SpiceError::NonConvergence { time: 0.0, residual })
+}
+
+fn stamp(a_mat: &mut Matrix, a: usize, b: usize, g: f64) {
+    if a != 0 {
+        a_mat.add(a - 1, a - 1, g);
+    }
+    if b != 0 {
+        a_mat.add(b - 1, b - 1, g);
+    }
+    if a != 0 && b != 0 {
+        a_mat.add(a - 1, b - 1, -g);
+        a_mat.add(b - 1, a - 1, -g);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn stamp_mosfet_dc(
+    a_mat: &mut Matrix,
+    rhs: &mut [f64],
+    x: &[f64],
+    d: usize,
+    g: usize,
+    s: usize,
+    params: &crate::mosfet::MosfetParams,
+    kind: MosfetKind,
+) {
+    let volt = |node: usize| if node == 0 { 0.0 } else { x[node - 1] };
+    let (vd, vg, vs) = (volt(d), volt(g), volt(s));
+    let (out, in_, i0, di_dd, di_dg, di_ds) = match kind {
+        MosfetKind::Nmos => {
+            let op = evaluate_nmos(params, vg - vs, vd - vs);
+            (d, s, op.ids, op.gds, op.gm, -op.gm - op.gds)
+        }
+        MosfetKind::Pmos => {
+            let op = evaluate_nmos(params, vs - vg, vs - vd);
+            (s, d, op.ids, -op.gds, -op.gm, op.gm + op.gds)
+        }
+    };
+    let ieq = i0 - di_dd * vd - di_dg * vg - di_ds * vs;
+    let mut stamp_row = |node: usize, sign: f64| {
+        if node == 0 {
+            return;
+        }
+        let r = node - 1;
+        if d != 0 {
+            a_mat.add(r, d - 1, sign * di_dd);
+        }
+        if g != 0 {
+            a_mat.add(r, g - 1, sign * di_dg);
+        }
+        if s != 0 {
+            a_mat.add(r, s - 1, sign * di_ds);
+        }
+        rhs[r] -= sign * ieq;
+    };
+    stamp_row(out, 1.0);
+    stamp_row(in_, -1.0);
+    stamp(a_mat, d, s, GMIN);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mosfet::MosfetParams;
+    use crate::waveform::Waveform;
+    use memcim_device::{BehavioralSwitch, SwitchParams};
+    use memcim_units::{Farads, Ohms};
+
+    const GND: crate::circuit::Node = Circuit::GROUND;
+
+    #[test]
+    fn divider_operating_point() {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("vin");
+        let out = ckt.node("out");
+        ckt.add_vsource("V1", vin, GND, Waveform::dc(Volts::new(3.0))).expect("v");
+        ckt.add_resistor("R1", vin, out, Ohms::from_kilohms(2.0)).expect("r1");
+        ckt.add_resistor("R2", out, GND, Ohms::from_kilohms(1.0)).expect("r2");
+        let op = operating_point(&ckt).expect("solves");
+        assert!((op.voltage("out").expect("out").as_volts() - 1.0).abs() < 1e-9);
+        assert_eq!(op.voltage("0").expect("ground"), Volts::ZERO);
+    }
+
+    #[test]
+    fn capacitors_are_dc_open() {
+        // Series R–C from a source: no DC current, the cap node floats
+        // to the source voltage through R.
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("vin");
+        let mid = ckt.node("mid");
+        ckt.add_vsource("V1", vin, GND, Waveform::dc(Volts::new(1.0))).expect("v");
+        ckt.add_resistor("R1", vin, mid, Ohms::from_kilohms(10.0)).expect("r");
+        ckt.add_capacitor("C1", mid, GND, Farads::from_picofarads(1.0)).expect("c");
+        let op = operating_point(&ckt).expect("solves");
+        assert!((op.voltage("mid").expect("mid").as_volts() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn nmos_pulldown_bias_point() {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let gate = ckt.node("gate");
+        let out = ckt.node("out");
+        ckt.add_vsource("VDD", vdd, GND, Waveform::dc(Volts::new(1.0))).expect("vdd");
+        ckt.add_vsource("VG", gate, GND, Waveform::dc(Volts::new(1.0))).expect("vg");
+        ckt.add_resistor("RL", vdd, out, Ohms::from_kilohms(100.0)).expect("rl");
+        ckt.add_nmos("M1", out, gate, GND, MosfetParams::ptm32_access_nmos()).expect("m1");
+        let op = operating_point(&ckt).expect("solves");
+        // Strong pulldown against a 100 kΩ load: out near ground.
+        let v_out = op.voltage("out").expect("out").as_volts();
+        assert!(v_out < 0.06, "out = {v_out}");
+    }
+
+    #[test]
+    fn memristor_divider_dc() {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("vin");
+        let out = ckt.node("out");
+        ckt.add_vsource("V1", vin, GND, Waveform::dc(Volts::new(0.4))).expect("v");
+        ckt.add_resistor("R1", vin, out, Ohms::from_kilohms(1.0)).expect("r");
+        let mut cell = BehavioralSwitch::new(SwitchParams::paper_fig9());
+        cell.program(true).expect("on");
+        ckt.add_memristor("X1", out, GND, Box::new(cell)).expect("x");
+        let op = operating_point(&ckt).expect("solves");
+        assert!((op.voltage("out").expect("out").as_volts() - 0.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unknown_node_query_errors() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_resistor("R", a, GND, Ohms::new(1.0)).expect("r");
+        ckt.add_vsource("V", a, GND, Waveform::dc(Volts::new(1.0))).expect("v");
+        let op = operating_point(&ckt).expect("solves");
+        assert!(matches!(op.voltage("zz"), Err(SpiceError::UnknownSignal { .. })));
+        assert_eq!(op.iter().count(), 1);
+    }
+
+    #[test]
+    fn truly_floating_subcircuit_is_singular() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_resistor("R", a, b, Ohms::new(1.0)).expect("r");
+        assert!(matches!(
+            operating_point(&ckt),
+            Err(SpiceError::SingularMatrix { .. })
+        ));
+    }
+}

@@ -1,0 +1,715 @@
+//! Transient analysis: Newton–Raphson per timestep over MNA.
+
+use crate::circuit::{Circuit, ElementKind};
+use crate::linalg::Matrix;
+use crate::mosfet::{evaluate_nmos, MosfetKind, GMIN};
+use crate::trace::Trace;
+use crate::SpiceError;
+use memcim_units::{Seconds, Volts};
+use std::collections::HashMap;
+
+/// Numerical integration method for charge-storage elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Integration {
+    /// First-order, L-stable; the robust default.
+    #[default]
+    BackwardEuler,
+    /// Second-order; preferred for accuracy measurements against
+    /// closed-form responses (design decision D4).
+    Trapezoidal,
+}
+
+/// A fixed-step transient analysis.
+///
+/// See the crate-level example for typical use. Node initial conditions
+/// come from [`Circuit::set_initial_voltage`] /
+/// [`Circuit::add_capacitor_with_ic`]; the state at `t = 0` is recorded
+/// as-is (no DC operating point is computed — precharged-capacitor
+/// circuits, the dominant use case here, start from their ICs exactly as
+/// the paper's experiment does).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transient {
+    t_stop: f64,
+    dt: f64,
+    integration: Integration,
+    max_newton: usize,
+    abstol: f64,
+    max_step_volts: f64,
+}
+
+impl Transient {
+    /// Creates an analysis running to `t_stop` with fixed step `dt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_stop` or `dt` is not strictly positive, or if `dt`
+    /// exceeds `t_stop`.
+    pub fn new(t_stop: Seconds, dt: Seconds) -> Self {
+        assert!(t_stop.as_seconds() > 0.0, "t_stop must be > 0");
+        assert!(dt.as_seconds() > 0.0, "dt must be > 0");
+        assert!(dt.as_seconds() <= t_stop.as_seconds(), "dt must not exceed t_stop");
+        Self {
+            t_stop: t_stop.as_seconds(),
+            dt: dt.as_seconds(),
+            integration: Integration::BackwardEuler,
+            max_newton: 100,
+            abstol: 1.0e-9,
+            max_step_volts: 0.5,
+        }
+    }
+
+    /// Selects the integration method.
+    #[must_use]
+    pub fn with_integration(mut self, integration: Integration) -> Self {
+        self.integration = integration;
+        self
+    }
+
+    /// Sets the Newton iteration budget per timestep.
+    #[must_use]
+    pub fn with_max_newton(mut self, max_newton: usize) -> Self {
+        self.max_newton = max_newton.max(2);
+        self
+    }
+
+    /// Runs the analysis, advancing memristor states inside the circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::SingularMatrix`] for floating nodes or
+    /// voltage-source loops and [`SpiceError::NonConvergence`] if Newton
+    /// fails within its iteration budget.
+    pub fn run(&self, ckt: &mut Circuit) -> Result<Trace, SpiceError> {
+        let n_nodes = ckt.node_count(); // includes ground
+        let n = n_nodes - 1;
+        let m = ckt.vsource_count();
+        let dim = n + m;
+        let h = self.dt;
+
+        // Row index for a node (ground has none).
+        let row = |node: usize| -> Option<usize> { node.checked_sub(1) };
+
+        // Assign branch indices to voltage sources in element order.
+        let mut branch_of = HashMap::new();
+        {
+            let mut next = 0usize;
+            for (ei, e) in ckt.elements.iter().enumerate() {
+                if matches!(e.kind, ElementKind::VSource { .. }) {
+                    branch_of.insert(ei, n + next);
+                    next += 1;
+                }
+            }
+        }
+
+        // Solution vector: node voltages then branch currents.
+        let mut x = vec![0.0; dim];
+        for (&node, &v) in &ckt.initial_conditions {
+            if let Some(r) = row(node) {
+                x[r] = v;
+            }
+        }
+
+        // Per-capacitor integration state (v across, current through).
+        let mut cap_v: HashMap<usize, f64> = HashMap::new();
+        let mut cap_i: HashMap<usize, f64> = HashMap::new();
+        let volt_at = |x: &[f64], node: usize| -> f64 {
+            if node == 0 {
+                0.0
+            } else {
+                x[node - 1]
+            }
+        };
+        for (ei, e) in ckt.elements.iter().enumerate() {
+            if let ElementKind::Capacitor { a, b, .. } = e.kind {
+                cap_v.insert(ei, volt_at(&x, a) - volt_at(&x, b));
+                cap_i.insert(ei, 0.0);
+            }
+        }
+
+        // Energy accounting.
+        let mut prev_power = vec![0.0; ckt.elements.len()];
+        let mut prev_delivered = vec![0.0; ckt.elements.len()];
+        let mut dissipated: HashMap<String, f64> = HashMap::new();
+        let mut delivered: HashMap<String, f64> = HashMap::new();
+
+        // Trace setup.
+        let mut trace = Trace::default();
+        let node_list: Vec<(String, usize)> =
+            ckt.nodes().map(|(name, node)| (name.to_string(), node.0)).collect();
+        for (name, _) in &node_list {
+            trace.signals.insert(name.clone(), Vec::new());
+        }
+        let vsrc_list: Vec<(String, usize)> = ckt
+            .elements
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| matches!(e.kind, ElementKind::VSource { .. }))
+            .map(|(ei, e)| (format!("I({})", e.name), branch_of[&ei]))
+            .collect();
+        for (name, _) in &vsrc_list {
+            trace.signals.insert(name.clone(), Vec::new());
+        }
+        let record = |trace: &mut Trace, t: f64, x: &[f64]| {
+            trace.time.push(t);
+            for (name, node) in &node_list {
+                trace
+                    .signals
+                    .get_mut(name)
+                    .expect("registered")
+                    .push(if *node == 0 { 0.0 } else { x[*node - 1] });
+            }
+            for (name, br) in &vsrc_list {
+                trace.signals.get_mut(name).expect("registered").push(x[*br]);
+            }
+        };
+        record(&mut trace, 0.0, &x);
+
+        let mut a_mat = Matrix::zeros(dim);
+        let mut rhs = vec![0.0; dim];
+        let steps = (self.t_stop / h).round() as usize;
+
+        for step in 1..=steps {
+            let t = step as f64 * h;
+            // The capacitor branch current at t = 0 is unknown (no DC
+            // operating point is computed), so trapezoidal integration
+            // would start from an inconsistent history and ring without
+            // damping. Take the first step with backward Euler, which
+            // needs no current history, then hand over.
+            let integration = if step == 1 { Integration::BackwardEuler } else { self.integration };
+
+            // Newton iteration at this timestep.
+            let mut converged = false;
+            let mut residual = f64::INFINITY;
+            for _ in 0..self.max_newton {
+                a_mat.clear();
+                rhs.fill(0.0);
+
+                for (ei, e) in ckt.elements.iter().enumerate() {
+                    match &e.kind {
+                        ElementKind::Resistor { a, b, g } => {
+                            stamp_conductance(&mut a_mat, *a, *b, *g);
+                        }
+                        ElementKind::Switch { a, b, g_on, g_off, control, threshold } => {
+                            let g = if control.evaluate(t) > *threshold { *g_on } else { *g_off };
+                            stamp_conductance(&mut a_mat, *a, *b, g);
+                        }
+                        ElementKind::Capacitor { a, b, c } => {
+                            let (geq, hist) = match integration {
+                                Integration::BackwardEuler => {
+                                    let geq = c / h;
+                                    (geq, geq * cap_v[&ei])
+                                }
+                                Integration::Trapezoidal => {
+                                    let geq = 2.0 * c / h;
+                                    (geq, geq * cap_v[&ei] + cap_i[&ei])
+                                }
+                            };
+                            stamp_conductance(&mut a_mat, *a, *b, geq);
+                            if let Some(r) = row(*a) {
+                                rhs[r] += hist;
+                            }
+                            if let Some(r) = row(*b) {
+                                rhs[r] -= hist;
+                            }
+                        }
+                        ElementKind::VSource { a, b, w } => {
+                            let br = branch_of[&ei];
+                            if let Some(r) = row(*a) {
+                                a_mat.add(r, br, 1.0);
+                                a_mat.add(br, r, 1.0);
+                            }
+                            if let Some(r) = row(*b) {
+                                a_mat.add(r, br, -1.0);
+                                a_mat.add(br, r, -1.0);
+                            }
+                            rhs[br] = w.evaluate(t);
+                        }
+                        ElementKind::ISource { a, b, w } => {
+                            let i = w.evaluate(t);
+                            if let Some(r) = row(*a) {
+                                rhs[r] -= i;
+                            }
+                            if let Some(r) = row(*b) {
+                                rhs[r] += i;
+                            }
+                        }
+                        ElementKind::Memristor { a, b, device } => {
+                            let v0 = volt_at(&x, *a) - volt_at(&x, *b);
+                            let i0 = device.current(Volts::new(v0)).as_amps();
+                            let g = device.conductance(Volts::new(v0)).as_siemens().max(GMIN);
+                            let ieq = i0 - g * v0;
+                            stamp_conductance(&mut a_mat, *a, *b, g);
+                            if let Some(r) = row(*a) {
+                                rhs[r] -= ieq;
+                            }
+                            if let Some(r) = row(*b) {
+                                rhs[r] += ieq;
+                            }
+                        }
+                        ElementKind::Mosfet { d, g, s, params, kind } => {
+                            stamp_mosfet(&mut a_mat, &mut rhs, &x, *d, *g, *s, params, *kind);
+                        }
+                    }
+                }
+
+                let mut x_new = rhs.clone();
+                if a_mat.solve_in_place(&mut x_new).is_none() {
+                    return Err(SpiceError::SingularMatrix { time: t });
+                }
+
+                residual = x_new
+                    .iter()
+                    .zip(&x)
+                    .take(n)
+                    .map(|(new, old)| (new - old).abs())
+                    .fold(0.0, f64::max);
+
+                if residual < self.abstol {
+                    x = x_new;
+                    converged = true;
+                    break;
+                }
+                // Damped update: limit per-iteration node-voltage motion
+                // so sinh-type device curves cannot fling Newton off.
+                for k in 0..dim {
+                    let delta = x_new[k] - x[k];
+                    let limited = if k < n {
+                        delta.clamp(-self.max_step_volts, self.max_step_volts)
+                    } else {
+                        delta
+                    };
+                    x[k] += limited;
+                }
+            }
+            if !converged {
+                return Err(SpiceError::NonConvergence { time: t, residual });
+            }
+
+            // Accept the step: advance storage elements and device states,
+            // integrate energies.
+            for (ei, e) in ckt.elements.iter_mut().enumerate() {
+                let (power, deliv) = match &mut e.kind {
+                    ElementKind::Resistor { a, b, g } => {
+                        let v = volt_at(&x, *a) - volt_at(&x, *b);
+                        (*g * v * v, 0.0)
+                    }
+                    ElementKind::Switch { a, b, g_on, g_off, control, threshold } => {
+                        let g = if control.evaluate(t) > *threshold { *g_on } else { *g_off };
+                        let v = volt_at(&x, *a) - volt_at(&x, *b);
+                        (g * v * v, 0.0)
+                    }
+                    ElementKind::Capacitor { a, b, c } => {
+                        let v_now = volt_at(&x, *a) - volt_at(&x, *b);
+                        let v_old = cap_v[&ei];
+                        let i_now = match integration {
+                            Integration::BackwardEuler => *c / h * (v_now - v_old),
+                            Integration::Trapezoidal => {
+                                2.0 * *c / h * (v_now - v_old) - cap_i[&ei]
+                            }
+                        };
+                        cap_v.insert(ei, v_now);
+                        cap_i.insert(ei, i_now);
+                        (0.0, 0.0)
+                    }
+                    ElementKind::VSource { w, .. } => {
+                        let i_br = x[branch_of[&ei]];
+                        let v = w.evaluate(t);
+                        (0.0, -v * i_br)
+                    }
+                    ElementKind::ISource { a, b, w } => {
+                        let i = w.evaluate(t);
+                        let v = volt_at(&x, *a) - volt_at(&x, *b);
+                        // Pushing current a→b against v(a,b): delivers −v·i.
+                        (0.0, -v * i)
+                    }
+                    ElementKind::Memristor { a, b, device } => {
+                        let v = volt_at(&x, *a) - volt_at(&x, *b);
+                        let p = v * device.current(Volts::new(v)).as_amps();
+                        device.step(Volts::new(v), Seconds::new(h));
+                        (p, 0.0)
+                    }
+                    ElementKind::Mosfet { d, g, s, params, kind } => {
+                        let (vgs, vds) = match kind {
+                            MosfetKind::Nmos => {
+                                (volt_at(&x, *g) - volt_at(&x, *s), volt_at(&x, *d) - volt_at(&x, *s))
+                            }
+                            MosfetKind::Pmos => {
+                                (volt_at(&x, *s) - volt_at(&x, *g), volt_at(&x, *s) - volt_at(&x, *d))
+                            }
+                        };
+                        let op = evaluate_nmos(params, vgs, vds);
+                        (op.ids.abs() * vds.abs(), 0.0)
+                    }
+                };
+                // Trapezoidal energy integration per element.
+                let e_diss = 0.5 * (prev_power[ei] + power) * h;
+                let e_del = 0.5 * (prev_delivered[ei] + deliv) * h;
+                prev_power[ei] = power;
+                prev_delivered[ei] = deliv;
+                if e_diss != 0.0 || power != 0.0 {
+                    *dissipated.entry(e.name.clone()).or_insert(0.0) += e_diss;
+                }
+                if e_del != 0.0 || deliv != 0.0 {
+                    *delivered.entry(e.name.clone()).or_insert(0.0) += e_del;
+                }
+            }
+
+            record(&mut trace, t, &x);
+        }
+
+        trace.dissipated = dissipated;
+        trace.delivered = delivered;
+        Ok(trace)
+    }
+}
+
+/// Stamps a two-terminal conductance into the MNA matrix.
+fn stamp_conductance(a_mat: &mut Matrix, a: usize, b: usize, g: f64) {
+    if a != 0 {
+        a_mat.add(a - 1, a - 1, g);
+    }
+    if b != 0 {
+        a_mat.add(b - 1, b - 1, g);
+    }
+    if a != 0 && b != 0 {
+        a_mat.add(a - 1, b - 1, -g);
+        a_mat.add(b - 1, a - 1, -g);
+    }
+}
+
+/// Stamps a linearized MOSFET. The channel current is expressed as a
+/// function of the three terminal voltages; `out` is the terminal the
+/// current leaves, `in_` the terminal it enters.
+#[allow(clippy::too_many_arguments)]
+fn stamp_mosfet(
+    a_mat: &mut Matrix,
+    rhs: &mut [f64],
+    x: &[f64],
+    d: usize,
+    g: usize,
+    s: usize,
+    params: &crate::mosfet::MosfetParams,
+    kind: MosfetKind,
+) {
+    let volt = |node: usize| -> f64 {
+        if node == 0 {
+            0.0
+        } else {
+            x[node - 1]
+        }
+    };
+    let (vd, vg, vs) = (volt(d), volt(g), volt(s));
+
+    // Express the channel current I leaving `out`, with partial
+    // derivatives w.r.t. (vd, vg, vs).
+    let (out, in_, i0, di_dd, di_dg, di_ds) = match kind {
+        MosfetKind::Nmos => {
+            let op = evaluate_nmos(params, vg - vs, vd - vs);
+            // I = Ids(vgs, vds): ∂/∂vd = gds, ∂/∂vg = gm, ∂/∂vs = −gm−gds.
+            (d, s, op.ids, op.gds, op.gm, -op.gm - op.gds)
+        }
+        MosfetKind::Pmos => {
+            let op = evaluate_nmos(params, vs - vg, vs - vd);
+            // I flows source→drain: I = Ids'(vsg, vsd):
+            // ∂/∂vs = gm' + gds', ∂/∂vg = −gm', ∂/∂vd = −gds'.
+            (s, d, op.ids, -op.gds, -op.gm, op.gm + op.gds)
+        }
+    };
+
+    let ieq = i0 - di_dd * vd - di_dg * vg - di_ds * vs;
+    let mut stamp_row = |node: usize, sign: f64| {
+        if node == 0 {
+            return;
+        }
+        let r = node - 1;
+        if d != 0 {
+            a_mat.add(r, d - 1, sign * di_dd);
+        }
+        if g != 0 {
+            a_mat.add(r, g - 1, sign * di_dg);
+        }
+        if s != 0 {
+            a_mat.add(r, s - 1, sign * di_ds);
+        }
+        rhs[r] -= sign * ieq;
+    };
+    stamp_row(out, 1.0);
+    stamp_row(in_, -1.0);
+
+    // GMIN drain–source keeps cutoff devices from floating their nodes.
+    stamp_conductance(a_mat, d, s, GMIN);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+    use crate::mosfet::MosfetParams;
+    use crate::trace::Edge;
+    use crate::waveform::Waveform;
+    use memcim_device::{
+        BehavioralSwitch, MemristiveDevice, StanfordAsu, StanfordParams, SwitchParams,
+    };
+    use memcim_units::{Farads, Ohms};
+
+    const GND: crate::circuit::Node = Circuit::GROUND;
+
+    #[test]
+    fn resistive_divider_solves_exactly() {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("vin");
+        let out = ckt.node("out");
+        ckt.add_vsource("V1", vin, GND, Waveform::dc(Volts::new(1.0))).expect("v1");
+        ckt.add_resistor("R1", vin, out, Ohms::from_kilohms(1.0)).expect("r1");
+        ckt.add_resistor("R2", out, GND, Ohms::from_kilohms(3.0)).expect("r2");
+        let tr = Transient::new(Seconds::from_nanoseconds(1.0), Seconds::from_picoseconds(100.0))
+            .run(&mut ckt)
+            .expect("run");
+        assert!((tr.final_value("out").expect("out") - 0.75).abs() < 1e-9);
+        // Branch current: 1 V across 4 kΩ = 0.25 mA, flowing into the
+        // source's + terminal with negative sign.
+        assert!((tr.final_value("I(V1)").expect("cur") + 0.25e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rc_discharge_matches_closed_form() {
+        // τ = 1 kΩ · 1 pF = 1 ns; v(t) = exp(−t/τ).
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_resistor("R", a, GND, Ohms::from_kilohms(1.0)).expect("r");
+        ckt.add_capacitor_with_ic("C", a, GND, Farads::from_picofarads(1.0), Volts::new(1.0))
+            .expect("c");
+        let tr = Transient::new(Seconds::from_nanoseconds(3.0), Seconds::from_picoseconds(1.0))
+            .with_integration(Integration::Trapezoidal)
+            .run(&mut ckt)
+            .expect("run");
+        for (frac, t_ns) in [(0.5_f64, 0.693_147), (1.0 / std::f64::consts::E, 1.0)] {
+            let t = tr
+                .cross_time("a", Volts::new(frac), Edge::Falling, Seconds::ZERO)
+                .expect("crossing");
+            assert!(
+                (t.as_nanoseconds() - t_ns).abs() < 0.005,
+                "level {frac}: t = {} ns",
+                t.as_nanoseconds()
+            );
+        }
+    }
+
+    #[test]
+    fn backward_euler_is_less_accurate_but_stable() {
+        // Design decision D4: measure the integrator error directly.
+        let run = |integration: Integration, dt_ps: f64| {
+            let mut ckt = Circuit::new();
+            let a = ckt.node("a");
+            ckt.add_resistor("R", a, GND, Ohms::from_kilohms(1.0)).expect("r");
+            ckt.add_capacitor_with_ic("C", a, GND, Farads::from_picofarads(1.0), Volts::new(1.0))
+                .expect("c");
+            let tr = Transient::new(
+                Seconds::from_nanoseconds(1.0),
+                Seconds::from_picoseconds(dt_ps),
+            )
+            .with_integration(integration)
+            .run(&mut ckt)
+            .expect("run");
+            let v = tr.final_value("a").expect("a");
+            (v - (-1.0_f64).exp()).abs()
+        };
+        let be = run(Integration::BackwardEuler, 10.0);
+        let trap = run(Integration::Trapezoidal, 10.0);
+        assert!(trap < be / 10.0, "trap err {trap} vs BE err {be}");
+        // BE halves its error roughly linearly with dt (first order).
+        let be_fine = run(Integration::BackwardEuler, 5.0);
+        let ratio = be / be_fine;
+        assert!((1.6..2.6).contains(&ratio), "BE order ratio = {ratio}");
+    }
+
+    #[test]
+    fn rc_charge_through_step_source() {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("vin");
+        let out = ckt.node("out");
+        ckt.add_vsource(
+            "V1",
+            vin,
+            GND,
+            Waveform::step(Volts::ZERO, Volts::new(1.0), Seconds::from_nanoseconds(1.0), Seconds::from_picoseconds(1.0)),
+        )
+        .expect("v1");
+        ckt.add_resistor("R", vin, out, Ohms::from_kilohms(1.0)).expect("r");
+        ckt.add_capacitor("C", out, GND, Farads::from_picofarads(1.0)).expect("c");
+        let tr = Transient::new(Seconds::from_nanoseconds(6.0), Seconds::from_picoseconds(2.0))
+            .with_integration(Integration::Trapezoidal)
+            .run(&mut ckt)
+            .expect("run");
+        // 63.2 % at t = delay + τ.
+        let v_at_tau = tr.value_at("out", Seconds::from_nanoseconds(2.0)).expect("v");
+        assert!((v_at_tau - 0.632).abs() < 0.01, "v(τ) = {v_at_tau}");
+        // Energy balance: source delivers C·V² = 1 pJ; half is stored,
+        // half dissipated in the resistor.
+        let e_r = tr.dissipated_energy("R").as_joules();
+        assert!((e_r - 0.5e-12).abs() < 0.02e-12, "E_R = {e_r}");
+        let e_src = tr.delivered_energy("V1").as_joules();
+        assert!((e_src - 1.0e-12).abs() < 0.04e-12, "E_src = {e_src}");
+    }
+
+    #[test]
+    fn floating_node_reports_singular_matrix() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        // `b` floats: only one resistor terminal touches it... and nothing
+        // else. Actually wire a–b resistor and leave both unconnected to
+        // any source or ground: the whole subcircuit floats.
+        ckt.add_resistor("R", a, b, Ohms::new(1.0)).expect("r");
+        let err = Transient::new(Seconds::from_nanoseconds(1.0), Seconds::from_picoseconds(100.0))
+            .run(&mut ckt)
+            .expect_err("floating");
+        assert!(matches!(err, SpiceError::SingularMatrix { .. }));
+    }
+
+    #[test]
+    fn nmos_inverter_switches() {
+        // NMOS pulldown with resistor load: gate high → out low.
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let gate = ckt.node("gate");
+        let out = ckt.node("out");
+        ckt.add_vsource("VDD", vdd, GND, Waveform::dc(Volts::new(1.0))).expect("vdd");
+        ckt.add_vsource(
+            "VG",
+            gate,
+            GND,
+            Waveform::step(Volts::ZERO, Volts::new(1.0), Seconds::from_nanoseconds(1.0), Seconds::from_picoseconds(10.0)),
+        )
+        .expect("vg");
+        ckt.add_resistor("RL", vdd, out, Ohms::from_kilohms(100.0)).expect("rl");
+        ckt.add_nmos("M1", out, gate, GND, MosfetParams::ptm32_access_nmos()).expect("m1");
+        let tr = Transient::new(Seconds::from_nanoseconds(4.0), Seconds::from_picoseconds(2.0))
+            .run(&mut ckt)
+            .expect("run");
+        // Before the edge the pulldown is off: out ≈ VDD.
+        assert!(tr.value_at("out", Seconds::from_nanoseconds(0.9)).expect("v") > 0.95);
+        // Well after the edge: out pulled to ≈ R_on/(R_on+RL) · VDD ≈ 32 mV.
+        let v_low = tr.final_value("out").expect("v");
+        assert!(v_low < 0.06, "v_low = {v_low}");
+    }
+
+    #[test]
+    fn pmos_pullup_mirrors_nmos() {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let gate = ckt.node("gate");
+        let out = ckt.node("out");
+        ckt.add_vsource("VDD", vdd, GND, Waveform::dc(Volts::new(1.0))).expect("vdd");
+        // Gate low → PMOS on.
+        ckt.add_vsource("VG", gate, GND, Waveform::dc(Volts::ZERO)).expect("vg");
+        ckt.add_pmos("M1", out, gate, vdd, MosfetParams::ptm32_access_nmos()).expect("m1");
+        ckt.add_resistor("RL", out, GND, Ohms::from_kilohms(100.0)).expect("rl");
+        let tr = Transient::new(Seconds::from_nanoseconds(3.0), Seconds::from_picoseconds(2.0))
+            .run(&mut ckt)
+            .expect("run");
+        let v = tr.final_value("out").expect("v");
+        assert!(v > 0.94, "pull-up failed: out = {v}");
+    }
+
+    #[test]
+    fn switch_connects_and_disconnects() {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("vin");
+        let out = ckt.node("out");
+        ckt.add_vsource("V1", vin, GND, Waveform::dc(Volts::new(1.0))).expect("v1");
+        ckt.add_switch(
+            "S1",
+            vin,
+            out,
+            Ohms::new(1.0),
+            Ohms::from_megohms(1.0e6),
+            Waveform::pulse(Volts::ZERO, Volts::new(1.0), Seconds::from_nanoseconds(1.0), Seconds::from_nanoseconds(1.0), Seconds::from_picoseconds(1.0)),
+            Volts::new(0.5),
+        )
+        .expect("s1");
+        ckt.add_resistor("RL", out, GND, Ohms::from_kilohms(1.0)).expect("rl");
+        let tr = Transient::new(Seconds::from_nanoseconds(4.0), Seconds::from_picoseconds(5.0))
+            .run(&mut ckt)
+            .expect("run");
+        assert!(tr.value_at("out", Seconds::from_nanoseconds(0.5)).expect("v") < 0.01);
+        assert!(tr.value_at("out", Seconds::from_nanoseconds(1.5)).expect("v") > 0.99);
+        assert!(tr.value_at("out", Seconds::from_nanoseconds(3.5)).expect("v") < 0.01);
+    }
+
+    #[test]
+    fn memristor_behaves_as_programmed_resistor_below_threshold() {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("vin");
+        let out = ckt.node("out");
+        ckt.add_vsource("V1", vin, GND, Waveform::dc(Volts::new(0.4))).expect("v1");
+        ckt.add_resistor("R1", vin, out, Ohms::from_kilohms(1.0)).expect("r1");
+        let mut cell = BehavioralSwitch::new(SwitchParams::paper_fig9());
+        cell.program(true).expect("program");
+        ckt.add_memristor("X1", out, GND, Box::new(cell)).expect("x1");
+        let tr = Transient::new(Seconds::from_nanoseconds(2.0), Seconds::from_picoseconds(10.0))
+            .run(&mut ckt)
+            .expect("run");
+        // 1 kΩ / (1 kΩ + 1 kΩ) divider.
+        assert!((tr.final_value("out").expect("v") - 0.2).abs() < 1e-6);
+        // Read is non-destructive.
+        assert_eq!(ckt.memristor_state("X1"), Some(1.0));
+    }
+
+    #[test]
+    fn stanford_cell_sets_during_transient() {
+        // Drive a full SET through the nonlinear sinh device inside the
+        // solver: Newton must converge with damping.
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("vin");
+        let out = ckt.node("out");
+        ckt.add_vsource(
+            "V1",
+            vin,
+            GND,
+            Waveform::step(Volts::ZERO, Volts::new(2.0), Seconds::from_nanoseconds(1.0), Seconds::from_picoseconds(100.0)),
+        )
+        .expect("v1");
+        ckt.add_resistor("R1", vin, out, Ohms::from_kilohms(10.0)).expect("r1");
+        let mut cell = StanfordAsu::new(StanfordParams::default());
+        cell.set_normalized_state(0.0);
+        ckt.add_memristor("X1", out, GND, Box::new(cell)).expect("x1");
+        let tr = Transient::new(Seconds::from_nanoseconds(80.0), Seconds::from_picoseconds(20.0))
+            .run(&mut ckt)
+            .expect("newton must converge");
+        let final_state = ckt.memristor_state("X1").expect("memristor");
+        assert!(final_state > 0.9, "state = {final_state}");
+        // After SET the 1 kΩ-class device forms a divider with 10 kΩ:
+        // out collapses towards ~0.2 V.
+        assert!(tr.final_value("out").expect("v") < 0.5);
+    }
+
+    #[test]
+    fn energy_conservation_on_rc_cycle() {
+        // Charge then discharge a capacitor through resistors: all energy
+        // delivered by the source ends up dissipated (cap returns to 0 V).
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("vin");
+        let out = ckt.node("out");
+        ckt.add_vsource(
+            "V1",
+            vin,
+            GND,
+            Waveform::pulse(Volts::ZERO, Volts::new(1.0), Seconds::from_nanoseconds(1.0), Seconds::from_nanoseconds(20.0), Seconds::from_picoseconds(10.0)),
+        )
+        .expect("v1");
+        ckt.add_resistor("R1", vin, out, Ohms::from_kilohms(1.0)).expect("r1");
+        ckt.add_capacitor("C1", out, GND, Farads::from_picofarads(1.0)).expect("c1");
+        let tr = Transient::new(Seconds::from_nanoseconds(50.0), Seconds::from_picoseconds(10.0))
+            .with_integration(Integration::Trapezoidal)
+            .run(&mut ckt)
+            .expect("run");
+        assert!(tr.final_value("out").expect("v").abs() < 1e-3);
+        let delivered = tr.total_delivered_energy().as_joules();
+        let dissipated = tr.total_dissipated_energy().as_joules();
+        assert!(
+            (delivered - dissipated).abs() < 0.03 * delivered.abs().max(1e-15),
+            "delivered {delivered} vs dissipated {dissipated}"
+        );
+    }
+}

@@ -1,0 +1,222 @@
+//! Time-dependent source waveforms (the SPICE `DC`/`PULSE`/`SIN`/`PWL` set).
+
+use memcim_units::{Hertz, Seconds, Volts};
+
+/// A source waveform `v(t)` (also used for current sources, in amperes).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Waveform {
+    /// Constant value.
+    Dc(f64),
+    /// SPICE-style pulse train.
+    Pulse {
+        /// Initial (low) value.
+        low: f64,
+        /// Pulsed (high) value.
+        high: f64,
+        /// Delay before the first rising edge, seconds.
+        delay: f64,
+        /// Rise time, seconds.
+        rise: f64,
+        /// Fall time, seconds.
+        fall: f64,
+        /// Pulse width at the high value, seconds.
+        width: f64,
+        /// Repetition period, seconds (`f64::INFINITY` for a single pulse).
+        period: f64,
+    },
+    /// Sinusoid `offset + amplitude·sin(2πf·(t − delay))` (zero before the
+    /// delay).
+    Sine {
+        /// DC offset.
+        offset: f64,
+        /// Amplitude.
+        amplitude: f64,
+        /// Frequency, hertz.
+        frequency: f64,
+        /// Start delay, seconds.
+        delay: f64,
+    },
+    /// Piecewise-linear interpolation through `(time, value)` points;
+    /// clamps to the first/last value outside the range.
+    Pwl(Vec<(f64, f64)>),
+}
+
+impl Waveform {
+    /// A constant voltage.
+    pub fn dc(v: Volts) -> Self {
+        Waveform::Dc(v.as_volts())
+    }
+
+    /// A single step from `low` to `high` at time `at` with the given
+    /// rise time.
+    pub fn step(low: Volts, high: Volts, at: Seconds, rise: Seconds) -> Self {
+        Waveform::Pulse {
+            low: low.as_volts(),
+            high: high.as_volts(),
+            delay: at.as_seconds(),
+            rise: rise.as_seconds().max(1.0e-15),
+            fall: rise.as_seconds().max(1.0e-15),
+            width: f64::INFINITY,
+            period: f64::INFINITY,
+        }
+    }
+
+    /// A single pulse: rises at `at`, stays at `high` for `width`,
+    /// then returns to `low`.
+    pub fn pulse(low: Volts, high: Volts, at: Seconds, width: Seconds, edge: Seconds) -> Self {
+        Waveform::Pulse {
+            low: low.as_volts(),
+            high: high.as_volts(),
+            delay: at.as_seconds(),
+            rise: edge.as_seconds().max(1.0e-15),
+            fall: edge.as_seconds().max(1.0e-15),
+            width: width.as_seconds(),
+            period: f64::INFINITY,
+        }
+    }
+
+    /// A sinusoid with the given offset, amplitude and frequency.
+    pub fn sine(offset: Volts, amplitude: Volts, frequency: Hertz) -> Self {
+        Waveform::Sine {
+            offset: offset.as_volts(),
+            amplitude: amplitude.as_volts(),
+            frequency: frequency.as_hertz(),
+            delay: 0.0,
+        }
+    }
+
+    /// Evaluates the waveform at time `t` (seconds).
+    pub fn evaluate(&self, t: f64) -> f64 {
+        match self {
+            Waveform::Dc(v) => *v,
+            Waveform::Pulse { low, high, delay, rise, fall, width, period } => {
+                if t < *delay {
+                    return *low;
+                }
+                let cycle_t = if period.is_finite() && *period > 0.0 {
+                    (t - delay) % period
+                } else {
+                    t - delay
+                };
+                if cycle_t < *rise {
+                    low + (high - low) * cycle_t / rise
+                } else if cycle_t < rise + width {
+                    *high
+                } else if cycle_t < rise + width + fall {
+                    high - (high - low) * (cycle_t - rise - width) / fall
+                } else {
+                    *low
+                }
+            }
+            Waveform::Sine { offset, amplitude, frequency, delay } => {
+                if t < *delay {
+                    *offset
+                } else {
+                    offset
+                        + amplitude
+                            * (2.0 * core::f64::consts::PI * frequency * (t - delay)).sin()
+                }
+            }
+            Waveform::Pwl(points) => {
+                if points.is_empty() {
+                    return 0.0;
+                }
+                if t <= points[0].0 {
+                    return points[0].1;
+                }
+                if t >= points[points.len() - 1].0 {
+                    return points[points.len() - 1].1;
+                }
+                for w in points.windows(2) {
+                    let (t0, v0) = w[0];
+                    let (t1, v1) = w[1];
+                    if t >= t0 && t <= t1 {
+                        if t1 == t0 {
+                            return v1;
+                        }
+                        return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+                    }
+                }
+                points[points.len() - 1].1
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_is_constant() {
+        let w = Waveform::dc(Volts::new(0.4));
+        assert_eq!(w.evaluate(0.0), 0.4);
+        assert_eq!(w.evaluate(1.0), 0.4);
+    }
+
+    #[test]
+    fn step_rises_once_and_holds() {
+        let w = Waveform::step(
+            Volts::ZERO,
+            Volts::new(1.0),
+            Seconds::from_nanoseconds(1.0),
+            Seconds::from_picoseconds(10.0),
+        );
+        assert_eq!(w.evaluate(0.5e-9), 0.0);
+        assert!((w.evaluate(1.005e-9) - 0.5).abs() < 1e-9); // mid-edge
+        assert_eq!(w.evaluate(2.0e-9), 1.0);
+        assert_eq!(w.evaluate(1.0), 1.0);
+    }
+
+    #[test]
+    fn pulse_returns_to_low() {
+        let w = Waveform::pulse(
+            Volts::ZERO,
+            Volts::new(1.0),
+            Seconds::from_nanoseconds(1.0),
+            Seconds::from_nanoseconds(2.0),
+            Seconds::from_picoseconds(1.0),
+        );
+        assert_eq!(w.evaluate(0.0), 0.0);
+        assert_eq!(w.evaluate(2.0e-9), 1.0);
+        assert_eq!(w.evaluate(4.0e-9), 0.0);
+    }
+
+    #[test]
+    fn periodic_pulse_repeats() {
+        let w = Waveform::Pulse {
+            low: 0.0,
+            high: 1.0,
+            delay: 0.0,
+            rise: 1e-12,
+            fall: 1e-12,
+            width: 0.5e-9,
+            period: 1.0e-9,
+        };
+        assert_eq!(w.evaluate(0.25e-9), 1.0);
+        assert_eq!(w.evaluate(0.75e-9), 0.0);
+        assert_eq!(w.evaluate(1.25e-9), 1.0);
+        assert_eq!(w.evaluate(7.75e-9), 0.0);
+    }
+
+    #[test]
+    fn sine_starts_at_offset_after_delay() {
+        let w = Waveform::Sine { offset: 0.5, amplitude: 1.0, frequency: 1.0e9, delay: 1.0e-9 };
+        assert_eq!(w.evaluate(0.0), 0.5);
+        assert!((w.evaluate(1.25e-9) - 1.5).abs() < 1e-9); // quarter period
+    }
+
+    #[test]
+    fn pwl_interpolates_and_clamps() {
+        let w = Waveform::Pwl(vec![(1.0, 0.0), (2.0, 1.0), (3.0, -1.0)]);
+        assert_eq!(w.evaluate(0.0), 0.0);
+        assert_eq!(w.evaluate(1.5), 0.5);
+        assert_eq!(w.evaluate(2.5), 0.0);
+        assert_eq!(w.evaluate(10.0), -1.0);
+    }
+
+    #[test]
+    fn empty_pwl_is_zero() {
+        assert_eq!(Waveform::Pwl(vec![]).evaluate(1.0), 0.0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Tolerant floating-point comparison used by tests and calibration checks.
+
+/// A relative tolerance for approximate comparison.
+///
+/// The default (`1e-9`) is appropriate for comparing analytically derived
+/// values; calibration checks against transient simulation typically use a
+/// looser `RelTol::new(0.05)` (5 %).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RelTol(f64);
+
+impl RelTol {
+    /// Creates a relative tolerance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tol` is not a finite, non-negative value.
+    pub fn new(tol: f64) -> Self {
+        assert!(tol.is_finite() && tol >= 0.0, "tolerance must be finite and ≥ 0");
+        Self(tol)
+    }
+
+    /// Returns the tolerance value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl Default for RelTol {
+    fn default() -> Self {
+        Self(1e-9)
+    }
+}
+
+/// Compares two values with a relative tolerance (scaled by the larger
+/// magnitude), falling back to an absolute comparison near zero.
+///
+/// # Examples
+///
+/// ```
+/// use memcim_units::{approx_eq, RelTol};
+/// assert!(approx_eq(104.0e-12, 104.0000001e-12, RelTol::new(1e-6)));
+/// assert!(!approx_eq(104.0e-12, 161.0e-12, RelTol::new(0.05)));
+/// ```
+pub fn approx_eq(a: f64, b: f64, tol: RelTol) -> bool {
+    if a == b {
+        return true;
+    }
+    let scale = a.abs().max(b.abs());
+    if scale < f64::MIN_POSITIVE {
+        return true;
+    }
+    (a - b).abs() <= tol.0.max(f64::EPSILON * 4.0) * scale
+}
+
+/// Compares two values with an absolute tolerance.
+pub fn approx_eq_abs(a: f64, b: f64, abs_tol: f64) -> bool {
+    (a - b).abs() <= abs_tol
+}
+
+/// Returns `true` if `a` is within `abs_tol` of zero.
+pub fn approx_zero(a: f64, abs_tol: f64) -> bool {
+    a.abs() <= abs_tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_values_are_equal_at_zero_tolerance() {
+        assert!(approx_eq(1.0, 1.0, RelTol::new(0.0)));
+        assert!(approx_eq(0.0, 0.0, RelTol::new(0.0)));
+    }
+
+    #[test]
+    fn relative_tolerance_scales_with_magnitude() {
+        assert!(approx_eq(1.0e12, 1.0e12 + 1.0, RelTol::new(1e-9)));
+        assert!(!approx_eq(1.0e-12, 2.0e-12, RelTol::new(1e-9)));
+    }
+
+    #[test]
+    fn absolute_comparison() {
+        assert!(approx_eq_abs(0.1, 0.1000001, 1e-5));
+        assert!(!approx_eq_abs(0.1, 0.2, 1e-5));
+        assert!(approx_zero(1e-18, 1e-15));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn negative_tolerance_panics() {
+        let _ = RelTol::new(-1.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn approx_eq_is_reflexive(x in -1.0e15_f64..1.0e15) {
+            prop_assert!(approx_eq(x, x, RelTol::default()));
+        }
+
+        #[test]
+        fn approx_eq_is_symmetric(
+            a in -1.0e6_f64..1.0e6,
+            b in -1.0e6_f64..1.0e6,
+            t in 0.0_f64..0.5,
+        ) {
+            let tol = RelTol::new(t);
+            prop_assert_eq!(approx_eq(a, b, tol), approx_eq(b, a, tol));
+        }
+
+        #[test]
+        fn widening_tolerance_preserves_equality(
+            a in -1.0e6_f64..1.0e6,
+            b in -1.0e6_f64..1.0e6,
+            t in 0.0_f64..0.25,
+        ) {
+            if approx_eq(a, b, RelTol::new(t)) {
+                prop_assert!(approx_eq(a, b, RelTol::new(t * 2.0)));
+            }
+        }
+    }
+}

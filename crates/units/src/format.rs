@@ -1,0 +1,88 @@
+//! Engineering-notation formatting shared by all quantity `Display` impls.
+
+/// Formats a value with an SI prefix so the mantissa lands in `[1, 1000)`.
+///
+/// Values are rounded to at most three significant decimals; exact zero is
+/// rendered as `"0"`, and values outside the femto–tera range fall back to
+/// scientific notation.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(memcim_units::engineering(4.0e-4), "400 µ");
+/// assert_eq!(memcim_units::engineering(1.04e-10), "104 p");
+/// assert_eq!(memcim_units::engineering(0.0), "0 ");
+/// ```
+pub fn engineering(value: f64) -> String {
+    if value == 0.0 {
+        return "0 ".to_string();
+    }
+    if !value.is_finite() {
+        return format!("{value} ");
+    }
+    const PREFIXES: [(f64, &str); 11] = [
+        (1.0e12, "T"),
+        (1.0e9, "G"),
+        (1.0e6, "M"),
+        (1.0e3, "k"),
+        (1.0, ""),
+        (1.0e-3, "m"),
+        (1.0e-6, "µ"),
+        (1.0e-9, "n"),
+        (1.0e-12, "p"),
+        (1.0e-15, "f"),
+        (1.0e-18, "a"),
+    ];
+    let magnitude = value.abs();
+    for &(scale, prefix) in &PREFIXES {
+        if magnitude >= scale * (1.0 - 1e-12) {
+            let mantissa = value / scale;
+            return format!("{} {prefix}", trim(mantissa));
+        }
+    }
+    format!("{value:e} ")
+}
+
+/// Renders a mantissa with up to three decimal places, trailing zeros trimmed.
+fn trim(mantissa: f64) -> String {
+    let s = format!("{mantissa:.3}");
+    let s = s.trim_end_matches('0').trim_end_matches('.');
+    s.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_range_has_empty_prefix() {
+        assert_eq!(engineering(1.5), "1.5 ");
+        assert_eq!(engineering(999.0), "999 ");
+    }
+
+    #[test]
+    fn sub_unit_prefixes() {
+        assert_eq!(engineering(2.09e-15), "2.09 f");
+        assert_eq!(engineering(1.61e-10), "161 p");
+        assert_eq!(engineering(-3.3e-3), "-3.3 m");
+    }
+
+    #[test]
+    fn super_unit_prefixes() {
+        assert_eq!(engineering(1.0e8), "100 M");
+        assert_eq!(engineering(2.4e9), "2.4 G");
+    }
+
+    #[test]
+    fn boundary_rounding_does_not_produce_1000_mantissa() {
+        // 0.9999999999999999e3 should round into the kilo bucket cleanly.
+        let s = engineering(1000.0);
+        assert_eq!(s, "1 k");
+    }
+
+    #[test]
+    fn extreme_values_fall_back_to_scientific() {
+        let s = engineering(1.0e-21);
+        assert!(s.contains('e'), "got {s}");
+    }
+}

@@ -1,0 +1,96 @@
+//! Physical quantity newtypes for the `memcim` workspace.
+//!
+//! Circuit-level code in the workspace never passes bare `f64` values for
+//! electrical quantities: a voltage is a [`Volts`], a resistance an
+//! [`Ohms`], and the compiler rejects `bitline.precharge(Ohms::new(0.4))`.
+//! (See C-NEWTYPE in the Rust API guidelines.)
+//!
+//! All quantities are thin wrappers over `f64` in base SI units and are
+//! `Copy`; arithmetic between compatible quantities is provided where the
+//! physics is unambiguous (`Volts / Ohms = Amps`, `Watts * Seconds =
+//! Joules`, …).
+//!
+//! # Examples
+//!
+//! ```
+//! use memcim_units::{Volts, Ohms, Seconds, Farads};
+//!
+//! let v = Volts::from_millivolts(400.0);
+//! let r = Ohms::from_kilohms(1.0);
+//! let i = v / r;
+//! assert!((i.as_amps() - 4.0e-4).abs() < 1e-12);
+//!
+//! // An RC time constant comes out typed as seconds.
+//! let tau: Seconds = r * Farads::from_femtofarads(28.0);
+//! assert!(tau.as_picoseconds() > 0.0);
+//! ```
+
+mod approx;
+mod format;
+mod quantity;
+
+pub use approx::{approx_eq, approx_eq_abs, approx_zero, RelTol};
+pub use format::engineering;
+pub use quantity::{
+    Amps, Celsius, Coulombs, Farads, Hertz, Joules, Ohms, Seconds, Siemens, SquareMicrometers,
+    Volts, Watts, Webers,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ohms_law_round_trip() {
+        let v = Volts::new(1.2);
+        let r = Ohms::new(400.0);
+        let i = v / r;
+        assert!(approx_eq(i.as_amps(), 3.0e-3, RelTol::default()));
+        let back: Volts = i * r;
+        assert!(approx_eq(back.as_volts(), 1.2, RelTol::default()));
+    }
+
+    #[test]
+    fn power_and_energy_compose() {
+        let p: Watts = Volts::new(1.0) * Amps::new(2.0);
+        let e: Joules = p * Seconds::from_nanoseconds(1.0);
+        assert!(approx_eq(e.as_femtojoules(), 2.0e6, RelTol::default()));
+    }
+
+    #[test]
+    fn conductance_is_reciprocal_resistance() {
+        let g = Ohms::new(1.0e3).to_siemens();
+        assert!(approx_eq(g.as_siemens(), 1.0e-3, RelTol::default()));
+        assert!(approx_eq(
+            g.to_ohms().as_ohms(),
+            1.0e3,
+            RelTol::default()
+        ));
+    }
+
+    #[test]
+    fn rc_time_constant_has_time_dimension() {
+        let tau: Seconds = Ohms::from_kilohms(4.0) * Farads::from_femtofarads(25.0);
+        assert!(approx_eq(tau.as_picoseconds(), 100.0, RelTol::default()));
+    }
+
+    #[test]
+    fn charge_relations() {
+        let q: Coulombs = Amps::new(1.0e-6) * Seconds::from_microseconds(3.0);
+        assert!(approx_eq(q.as_coulombs(), 3.0e-12, RelTol::default()));
+        let q2: Coulombs = Farads::from_picofarads(2.0) * Volts::new(0.5);
+        assert!(approx_eq(q2.as_coulombs(), 1.0e-12, RelTol::default()));
+    }
+
+    #[test]
+    fn frequency_period_round_trip() {
+        let f = Hertz::from_megahertz(10.0);
+        let t = f.period();
+        assert!(approx_eq(t.as_nanoseconds(), 100.0, RelTol::default()));
+        assert!(approx_eq(
+            t.to_frequency().as_hertz(),
+            1.0e7,
+            RelTol::default()
+        ));
+    }
+}

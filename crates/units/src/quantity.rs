@@ -1,0 +1,673 @@
+//! Quantity newtype definitions and the arithmetic between them.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Defines a quantity newtype wrapping an `f64` in base SI units,
+/// together with the full set of scalar arithmetic impls.
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $unit:literal, $as_base:ident, $new_doc:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// Zero of this quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            #[doc = $new_doc]
+            #[inline]
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Returns the raw value in base SI units.
+            #[inline]
+            pub const fn $as_base(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the absolute value.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns the smaller of two quantities.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Returns the larger of two quantities.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns `true` if the underlying value is finite.
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Returns the sign (−1.0, 0.0 or 1.0) of the value.
+            #[inline]
+            pub fn signum(self) -> f64 {
+                if self.0 == 0.0 { 0.0 } else { self.0.signum() }
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", crate::format::engineering(self.0), $unit)
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl MulAssign<f64> for $name {
+            #[inline]
+            fn mul_assign(&mut self, rhs: f64) {
+                self.0 *= rhs;
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl DivAssign<f64> for $name {
+            #[inline]
+            fn div_assign(&mut self, rhs: f64) {
+                self.0 /= rhs;
+            }
+        }
+
+        impl Div for $name {
+            /// Dividing two like quantities yields a dimensionless ratio.
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+    };
+}
+
+quantity!(
+    /// Electric potential in volts.
+    Volts, "V", as_volts, "Creates a voltage from a value in volts."
+);
+quantity!(
+    /// Electric current in amperes.
+    Amps, "A", as_amps, "Creates a current from a value in amperes."
+);
+quantity!(
+    /// Resistance in ohms.
+    Ohms, "Ω", as_ohms, "Creates a resistance from a value in ohms."
+);
+quantity!(
+    /// Conductance in siemens.
+    Siemens, "S", as_siemens, "Creates a conductance from a value in siemens."
+);
+quantity!(
+    /// Capacitance in farads.
+    Farads, "F", as_farads, "Creates a capacitance from a value in farads."
+);
+quantity!(
+    /// Time in seconds.
+    Seconds, "s", as_seconds, "Creates a duration from a value in seconds."
+);
+quantity!(
+    /// Frequency in hertz.
+    Hertz, "Hz", as_hertz, "Creates a frequency from a value in hertz."
+);
+quantity!(
+    /// Energy in joules.
+    Joules, "J", as_joules, "Creates an energy from a value in joules."
+);
+quantity!(
+    /// Power in watts.
+    Watts, "W", as_watts, "Creates a power from a value in watts."
+);
+quantity!(
+    /// Electric charge in coulombs.
+    Coulombs, "C", as_coulombs, "Creates a charge from a value in coulombs."
+);
+quantity!(
+    /// Magnetic flux in webers (the memristor state variable φ).
+    Webers, "Wb", as_webers, "Creates a flux from a value in webers."
+);
+quantity!(
+    /// Area in square micrometres (layout area bookkeeping).
+    SquareMicrometers, "µm²", as_square_micrometers,
+    "Creates an area from a value in square micrometres."
+);
+quantity!(
+    /// Temperature in degrees Celsius.
+    Celsius, "°C", as_celsius, "Creates a temperature from a value in degrees Celsius."
+);
+
+// ---------------------------------------------------------------------------
+// Prefixed constructors / accessors for the quantities that are used at
+// sub-unit scale throughout the workspace.
+// ---------------------------------------------------------------------------
+
+impl Volts {
+    /// Creates a voltage from millivolts.
+    #[inline]
+    pub const fn from_millivolts(mv: f64) -> Self {
+        Self::new(mv * 1.0e-3)
+    }
+
+    /// Returns the value in millivolts.
+    #[inline]
+    pub const fn as_millivolts(self) -> f64 {
+        self.as_volts() * 1.0e3
+    }
+}
+
+impl Amps {
+    /// Creates a current from microamperes.
+    #[inline]
+    pub const fn from_microamps(ua: f64) -> Self {
+        Self::new(ua * 1.0e-6)
+    }
+
+    /// Creates a current from nanoamperes.
+    #[inline]
+    pub const fn from_nanoamps(na: f64) -> Self {
+        Self::new(na * 1.0e-9)
+    }
+
+    /// Returns the value in microamperes.
+    #[inline]
+    pub const fn as_microamps(self) -> f64 {
+        self.as_amps() * 1.0e6
+    }
+}
+
+impl Ohms {
+    /// Creates a resistance from kilohms.
+    #[inline]
+    pub const fn from_kilohms(k: f64) -> Self {
+        Self::new(k * 1.0e3)
+    }
+
+    /// Creates a resistance from megohms.
+    #[inline]
+    pub const fn from_megohms(m: f64) -> Self {
+        Self::new(m * 1.0e6)
+    }
+
+    /// Returns the value in kilohms.
+    #[inline]
+    pub const fn as_kilohms(self) -> f64 {
+        self.as_ohms() * 1.0e-3
+    }
+
+    /// Converts to the reciprocal conductance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resistance is zero.
+    #[inline]
+    pub fn to_siemens(self) -> Siemens {
+        assert!(self.as_ohms() != 0.0, "cannot invert a zero resistance");
+        Siemens::new(1.0 / self.as_ohms())
+    }
+
+    /// Parallel combination of two resistances.
+    #[inline]
+    pub fn parallel(self, other: Ohms) -> Ohms {
+        let (a, b) = (self.as_ohms(), other.as_ohms());
+        Ohms::new(a * b / (a + b))
+    }
+}
+
+impl Siemens {
+    /// Converts to the reciprocal resistance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the conductance is zero.
+    #[inline]
+    pub fn to_ohms(self) -> Ohms {
+        assert!(self.as_siemens() != 0.0, "cannot invert a zero conductance");
+        Ohms::new(1.0 / self.as_siemens())
+    }
+}
+
+impl Farads {
+    /// Creates a capacitance from picofarads.
+    #[inline]
+    pub const fn from_picofarads(pf: f64) -> Self {
+        Self::new(pf * 1.0e-12)
+    }
+
+    /// Creates a capacitance from femtofarads.
+    #[inline]
+    pub const fn from_femtofarads(ff: f64) -> Self {
+        Self::new(ff * 1.0e-15)
+    }
+
+    /// Creates a capacitance from attofarads.
+    #[inline]
+    pub const fn from_attofarads(af: f64) -> Self {
+        Self::new(af * 1.0e-18)
+    }
+
+    /// Returns the value in femtofarads.
+    #[inline]
+    pub const fn as_femtofarads(self) -> f64 {
+        self.as_farads() * 1.0e15
+    }
+}
+
+impl Seconds {
+    /// Creates a duration from microseconds.
+    #[inline]
+    pub const fn from_microseconds(us: f64) -> Self {
+        Self::new(us * 1.0e-6)
+    }
+
+    /// Creates a duration from nanoseconds.
+    #[inline]
+    pub const fn from_nanoseconds(ns: f64) -> Self {
+        Self::new(ns * 1.0e-9)
+    }
+
+    /// Creates a duration from picoseconds.
+    #[inline]
+    pub const fn from_picoseconds(ps: f64) -> Self {
+        Self::new(ps * 1.0e-12)
+    }
+
+    /// Returns the value in nanoseconds.
+    #[inline]
+    pub const fn as_nanoseconds(self) -> f64 {
+        self.as_seconds() * 1.0e9
+    }
+
+    /// Returns the value in picoseconds.
+    #[inline]
+    pub const fn as_picoseconds(self) -> f64 {
+        self.as_seconds() * 1.0e12
+    }
+
+    /// Returns the value in microseconds.
+    #[inline]
+    pub const fn as_microseconds(self) -> f64 {
+        self.as_seconds() * 1.0e6
+    }
+
+    /// Converts a period into the corresponding frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the duration is zero.
+    #[inline]
+    pub fn to_frequency(self) -> Hertz {
+        assert!(self.as_seconds() != 0.0, "cannot invert a zero period");
+        Hertz::new(1.0 / self.as_seconds())
+    }
+}
+
+impl Hertz {
+    /// Creates a frequency from kilohertz.
+    #[inline]
+    pub const fn from_kilohertz(khz: f64) -> Self {
+        Self::new(khz * 1.0e3)
+    }
+
+    /// Creates a frequency from megahertz.
+    #[inline]
+    pub const fn from_megahertz(mhz: f64) -> Self {
+        Self::new(mhz * 1.0e6)
+    }
+
+    /// Creates a frequency from gigahertz.
+    #[inline]
+    pub const fn from_gigahertz(ghz: f64) -> Self {
+        Self::new(ghz * 1.0e9)
+    }
+
+    /// Returns the value in gigahertz.
+    #[inline]
+    pub const fn as_gigahertz(self) -> f64 {
+        self.as_hertz() * 1.0e-9
+    }
+
+    /// Returns the corresponding period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is zero.
+    #[inline]
+    pub fn period(self) -> Seconds {
+        assert!(self.as_hertz() != 0.0, "cannot invert a zero frequency");
+        Seconds::new(1.0 / self.as_hertz())
+    }
+
+    /// Angular frequency ω = 2πf in rad/s.
+    #[inline]
+    pub fn angular(self) -> f64 {
+        2.0 * core::f64::consts::PI * self.as_hertz()
+    }
+}
+
+impl Joules {
+    /// Creates an energy from picojoules.
+    #[inline]
+    pub const fn from_picojoules(pj: f64) -> Self {
+        Self::new(pj * 1.0e-12)
+    }
+
+    /// Creates an energy from femtojoules.
+    #[inline]
+    pub const fn from_femtojoules(fj: f64) -> Self {
+        Self::new(fj * 1.0e-15)
+    }
+
+    /// Returns the value in picojoules.
+    #[inline]
+    pub const fn as_picojoules(self) -> f64 {
+        self.as_joules() * 1.0e12
+    }
+
+    /// Returns the value in femtojoules.
+    #[inline]
+    pub const fn as_femtojoules(self) -> f64 {
+        self.as_joules() * 1.0e15
+    }
+}
+
+impl Watts {
+    /// Creates a power from milliwatts.
+    #[inline]
+    pub const fn from_milliwatts(mw: f64) -> Self {
+        Self::new(mw * 1.0e-3)
+    }
+
+    /// Returns the value in milliwatts.
+    #[inline]
+    pub const fn as_milliwatts(self) -> f64 {
+        self.as_watts() * 1.0e3
+    }
+}
+
+impl SquareMicrometers {
+    /// Returns the value in square millimetres.
+    #[inline]
+    pub const fn as_square_millimeters(self) -> f64 {
+        self.as_square_micrometers() * 1.0e-6
+    }
+
+    /// Creates an area from square millimetres.
+    #[inline]
+    pub const fn from_square_millimeters(mm2: f64) -> Self {
+        Self::new(mm2 * 1.0e6)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-quantity physics (C-OVERLOAD: only unambiguous relations).
+// ---------------------------------------------------------------------------
+
+impl Div<Ohms> for Volts {
+    type Output = Amps;
+    /// Ohm's law: I = V / R.
+    #[inline]
+    fn div(self, r: Ohms) -> Amps {
+        Amps::new(self.as_volts() / r.as_ohms())
+    }
+}
+
+impl Mul<Ohms> for Amps {
+    type Output = Volts;
+    /// Ohm's law: V = I · R.
+    #[inline]
+    fn mul(self, r: Ohms) -> Volts {
+        Volts::new(self.as_amps() * r.as_ohms())
+    }
+}
+
+impl Mul<Amps> for Ohms {
+    type Output = Volts;
+    #[inline]
+    fn mul(self, i: Amps) -> Volts {
+        i * self
+    }
+}
+
+impl Div<Amps> for Volts {
+    type Output = Ohms;
+    /// R = V / I.
+    #[inline]
+    fn div(self, i: Amps) -> Ohms {
+        Ohms::new(self.as_volts() / i.as_amps())
+    }
+}
+
+impl Mul<Siemens> for Volts {
+    type Output = Amps;
+    /// I = V · G.
+    #[inline]
+    fn mul(self, g: Siemens) -> Amps {
+        Amps::new(self.as_volts() * g.as_siemens())
+    }
+}
+
+impl Mul<Amps> for Volts {
+    type Output = Watts;
+    /// P = V · I.
+    #[inline]
+    fn mul(self, i: Amps) -> Watts {
+        Watts::new(self.as_volts() * i.as_amps())
+    }
+}
+
+impl Mul<Volts> for Amps {
+    type Output = Watts;
+    #[inline]
+    fn mul(self, v: Volts) -> Watts {
+        v * self
+    }
+}
+
+impl Mul<Seconds> for Watts {
+    type Output = Joules;
+    /// E = P · t.
+    #[inline]
+    fn mul(self, t: Seconds) -> Joules {
+        Joules::new(self.as_watts() * t.as_seconds())
+    }
+}
+
+impl Mul<Watts> for Seconds {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, p: Watts) -> Joules {
+        p * self
+    }
+}
+
+impl Div<Seconds> for Joules {
+    type Output = Watts;
+    /// P = E / t.
+    #[inline]
+    fn div(self, t: Seconds) -> Watts {
+        Watts::new(self.as_joules() / t.as_seconds())
+    }
+}
+
+impl Mul<Seconds> for Amps {
+    type Output = Coulombs;
+    /// Q = I · t.
+    #[inline]
+    fn mul(self, t: Seconds) -> Coulombs {
+        Coulombs::new(self.as_amps() * t.as_seconds())
+    }
+}
+
+impl Mul<Volts> for Farads {
+    type Output = Coulombs;
+    /// Q = C · V.
+    #[inline]
+    fn mul(self, v: Volts) -> Coulombs {
+        Coulombs::new(self.as_farads() * v.as_volts())
+    }
+}
+
+impl Mul<Farads> for Ohms {
+    type Output = Seconds;
+    /// τ = R · C.
+    #[inline]
+    fn mul(self, c: Farads) -> Seconds {
+        Seconds::new(self.as_ohms() * c.as_farads())
+    }
+}
+
+impl Mul<Ohms> for Farads {
+    type Output = Seconds;
+    #[inline]
+    fn mul(self, r: Ohms) -> Seconds {
+        r * self
+    }
+}
+
+impl Mul<Seconds> for Volts {
+    type Output = Webers;
+    /// φ = ∫v dt, for a constant v over t.
+    #[inline]
+    fn mul(self, t: Seconds) -> Webers {
+        Webers::new(self.as_volts() * t.as_seconds())
+    }
+}
+
+impl Div<Coulombs> for Webers {
+    type Output = Ohms;
+    /// Chua's memristance: M = dφ/dq, for finite increments.
+    #[inline]
+    fn div(self, q: Coulombs) -> Ohms {
+        Ohms::new(self.as_webers() / q.as_coulombs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_engineering_notation() {
+        assert_eq!(Volts::from_millivolts(400.0).to_string(), "400 mV");
+        assert_eq!(Ohms::from_megohms(100.0).to_string(), "100 MΩ");
+        assert_eq!(Seconds::from_picoseconds(104.0).to_string(), "104 ps");
+        assert_eq!(Joules::from_femtojoules(2.09).to_string(), "2.09 fJ");
+    }
+
+    #[test]
+    fn parallel_resistance_of_equal_resistors_halves() {
+        let r = Ohms::from_kilohms(2.0).parallel(Ohms::from_kilohms(2.0));
+        assert!((r.as_kilohms() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_low_dominates_high() {
+        // The scouting-logic premise: RH ∥ RL ≈ RL when RH ≫ RL.
+        let r = Ohms::from_megohms(100.0).parallel(Ohms::from_kilohms(1.0));
+        assert!((r.as_ohms() - 999.99).abs() < 0.02);
+    }
+
+    #[test]
+    fn sum_of_quantities() {
+        let total: Joules = [1.0, 2.0, 3.0]
+            .iter()
+            .map(|&fj| Joules::from_femtojoules(fj))
+            .sum();
+        assert!((total.as_femtojoules() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn like_quantity_ratio_is_dimensionless() {
+        let ratio = Seconds::from_picoseconds(161.0) / Seconds::from_picoseconds(104.0);
+        assert!(ratio > 1.54 && ratio < 1.55);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero resistance")]
+    fn inverting_zero_resistance_panics() {
+        let _ = Ohms::ZERO.to_siemens();
+    }
+
+    #[test]
+    fn signum_and_abs() {
+        assert_eq!(Volts::new(-2.0).signum(), -1.0);
+        assert_eq!(Volts::ZERO.signum(), 0.0);
+        assert_eq!(Volts::new(-2.0).abs(), Volts::new(2.0));
+    }
+}

@@ -1,0 +1,52 @@
+//! Emits CSV I–V loops for the Fig. 1b reproduction: three frequencies
+//! × three window functions plus the ideal Chua memristor.
+//!
+//! Run with: `cargo run --release --example hysteresis_plot`
+//! Output: `hysteresis_<model>_<freq>.csv` files in the working
+//! directory (`time,voltage,current,state` columns, ready for gnuplot or
+//! matplotlib).
+
+use memcim::prelude::*;
+use memcim_device::window::Window;
+
+fn main() -> Result<(), std::io::Error> {
+    let amplitude = Volts::new(1.0);
+    let mut written = Vec::new();
+
+    // Linear ion drift at 1×, 2×, 10× its characteristic frequency, for
+    // each window function.
+    for (wname, window) in [
+        ("rect", Window::Rectangular),
+        ("joglekar", Window::Joglekar { p: 2 }),
+        ("biolek", Window::Biolek { p: 2 }),
+    ] {
+        let base = LinearIonDrift::hp_default().with_window(window);
+        let f0 = base.characteristic_frequency(amplitude);
+        for mult in [1.0, 2.0, 10.0] {
+            let mut device = base.clone();
+            let trace = HysteresisSweep::new(amplitude, Hertz::new(f0.as_hertz() * mult))
+                .with_cycles(3)
+                .run(&mut device);
+            let name = format!("hysteresis_drift_{wname}_{mult}f0.csv");
+            std::fs::write(&name, trace.to_csv())?;
+            written.push((name, trace.lobe_area()));
+        }
+    }
+
+    // Ideal Chua memristor.
+    for freq in [0.5, 1.0, 5.0] {
+        let mut device = IdealMemristor::new(Ohms::new(100.0), Ohms::from_kilohms(16.0));
+        let trace =
+            HysteresisSweep::new(amplitude, Hertz::new(freq)).with_cycles(3).run(&mut device);
+        let name = format!("hysteresis_chua_{freq}hz.csv");
+        std::fs::write(&name, trace.to_csv())?;
+        written.push((name, trace.lobe_area()));
+    }
+
+    println!("wrote {} traces:", written.len());
+    for (name, area) in &written {
+        println!("  {name}  (lobe area {area:.3e} V·A)");
+    }
+    println!("\nplot hint: v-vs-i of the last 2000 rows shows the settled pinched loop");
+    Ok(())
+}

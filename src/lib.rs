@@ -1,0 +1,5 @@
+//! Meta-package for the `memcim` workspace.
+//!
+//! This crate exists only to host the repository-level `examples/` and
+//! `tests/` directories. All functionality lives in the workspace crates;
+//! start with the [`memcim`] umbrella crate.

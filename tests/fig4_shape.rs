@@ -1,0 +1,113 @@
+//! Integration test F4/H2: shape assertions on the MVP-vs-multicore
+//! architecture comparison (who wins, by roughly what factor, and how
+//! the gap moves with miss rate).
+
+use memcim_mvp::{evaluate, ArchComparison, MissRates, SystemConfig};
+
+fn grid() -> Vec<ArchComparison> {
+    let cfg = SystemConfig::paper_defaults();
+    let mut out = Vec::new();
+    for l1 in [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6] {
+        for l2 in [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6] {
+            out.push(evaluate(&cfg, MissRates::new(l1, l2)));
+        }
+    }
+    out
+}
+
+#[test]
+fn order_of_magnitude_band_covers_the_realistic_region() {
+    // The paper reports ≈10× ηPE and ηE at %Acc = 0.7. Our model lands
+    // in the 4–45× band across the moderate-miss region (10–40 %), with
+    // the decade (≈10×) crossed around 15–25 % misses.
+    let cfg = SystemConfig::paper_defaults();
+    for l1 in [0.1, 0.2, 0.3, 0.4] {
+        for l2 in [0.1, 0.2, 0.3, 0.4] {
+            let c = evaluate(&cfg, MissRates::new(l1, l2));
+            assert!(
+                (4.0..45.0).contains(&c.eta_pe_gain()),
+                "ηPE gain at ({l1},{l2}) = {}",
+                c.eta_pe_gain()
+            );
+            assert!(
+                (4.0..45.0).contains(&c.eta_e_gain()),
+                "ηE gain at ({l1},{l2}) = {}",
+                c.eta_e_gain()
+            );
+        }
+    }
+    let decade = evaluate(&cfg, MissRates::new(0.2, 0.2));
+    assert!((8.0..20.0).contains(&decade.eta_pe_gain()), "decade point {}", decade.eta_pe_gain());
+}
+
+#[test]
+fn mvp_wins_every_metric_in_the_memory_bound_regime() {
+    let cfg = SystemConfig::paper_defaults();
+    for l1 in [0.2, 0.4, 0.6] {
+        for l2 in [0.2, 0.4, 0.6] {
+            let c = evaluate(&cfg, MissRates::new(l1, l2));
+            assert!(c.eta_pe_gain() > 1.0);
+            assert!(c.eta_e_gain() > 1.0);
+            assert!(c.eta_pa_gain() > 1.0);
+            assert!(c.mvp.throughput_mops > c.multicore.throughput_mops);
+            assert!(c.mvp.power_mw() < c.multicore.power_mw());
+        }
+    }
+}
+
+#[test]
+fn gains_are_monotone_in_each_miss_rate() {
+    let cfg = SystemConfig::paper_defaults();
+    // Along L1 at fixed L2 and vice versa, the advantage only grows.
+    for fixed in [0.0, 0.3, 0.6] {
+        let mut last = 0.0;
+        for m in [0.0, 0.2, 0.4, 0.6] {
+            let g = evaluate(&cfg, MissRates::new(m, fixed)).eta_pe_gain();
+            assert!(g >= last, "l1 sweep at l2={fixed}: {g} < {last}");
+            last = g;
+        }
+        let mut last2 = 0.0;
+        for m in [0.0, 0.2, 0.4, 0.6] {
+            let g = evaluate(&cfg, MissRates::new(fixed, m)).eta_pe_gain();
+            assert!(g >= last2, "l2 sweep at l1={fixed}: {g} < {last2}");
+            last2 = g;
+        }
+    }
+}
+
+#[test]
+fn multicore_degrades_with_misses_mvp_does_not() {
+    let all = grid();
+    let tp_at = |l1: f64, l2: f64| {
+        all.iter()
+            .find(|c| (c.miss.l1 - l1).abs() < 1e-9 && (c.miss.l2 - l2).abs() < 1e-9)
+            .expect("grid point")
+    };
+    assert!(
+        tp_at(0.6, 0.6).multicore.throughput_mops < 0.2 * tp_at(0.0, 0.0).multicore.throughput_mops,
+        "thrashing must crater the baseline"
+    );
+    assert_eq!(
+        tp_at(0.6, 0.6).mvp.throughput_mops,
+        tp_at(0.0, 0.0).mvp.throughput_mops,
+        "the offloaded system is miss-rate independent by construction"
+    );
+}
+
+#[test]
+fn accelerated_fraction_controls_the_ceiling() {
+    // Amdahl check: pushing %Acc towards 1 increases the gain; dropping
+    // it to 0 collapses the MVP to a 1-core conventional machine.
+    let miss = MissRates::new(0.3, 0.3);
+    let gain_at = |acc: f64| {
+        let cfg = SystemConfig { accelerated_fraction: acc, ..SystemConfig::paper_defaults() };
+        evaluate(&cfg, miss).eta_pe_gain()
+    };
+    assert!(gain_at(0.9) > gain_at(0.7));
+    assert!(gain_at(0.7) > gain_at(0.4));
+    // %Acc = 0: every op pays ALU + L1 on one core. Against a 4-core
+    // full-hierarchy baseline, per-op energy is *lower* (no L2/DRAM) —
+    // the residual-work assumption — so the gain stays finite and small.
+    let g0 = gain_at(0.0);
+    assert!(g0 < gain_at(0.4), "gain must shrink as %Acc → 0, got {g0}");
+}

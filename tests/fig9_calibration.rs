@@ -1,0 +1,91 @@
+//! Integration test F9: the bit-line discharge experiment across model
+//! fidelities — paper targets vs analytic model vs transient simulation
+//! vs explicit-cell netlist.
+
+use memcim::prelude::*;
+use memcim_units::{approx_eq, RelTol};
+
+#[test]
+fn analytic_model_hits_paper_targets_within_five_percent() {
+    let rram = CellTechnology::rram_1t1r();
+    let sram = CellTechnology::sram_8t();
+    assert!(approx_eq(rram.analytic_discharge_time(256).as_picoseconds(), 104.0, RelTol::new(0.05)));
+    assert!(approx_eq(sram.analytic_discharge_time(256).as_picoseconds(), 161.0, RelTol::new(0.05)));
+    assert!(approx_eq(rram.analytic_cycle_energy(256).as_femtojoules(), 2.09, RelTol::new(0.05)));
+    assert!(approx_eq(sram.analytic_cycle_energy(256).as_femtojoules(), 5.16, RelTol::new(0.05)));
+}
+
+#[test]
+fn transient_preserves_the_papers_ratios() {
+    // Absolute transient numbers run ~35 % above the paper (level-1
+    // MOSFET nonlinearity vs PTM; see EXPERIMENTS.md) — but the paper's
+    // *claims* are the ratios: 35 % less delay, 59 % less energy.
+    let rram = BitlineCircuit::lumped(CellTechnology::rram_1t1r(), 256).run().expect("rram");
+    let sram = BitlineCircuit::lumped(CellTechnology::sram_8t(), 256).run().expect("sram");
+    let t_r = rram.discharge_time.expect("discharges").as_seconds();
+    let t_s = sram.discharge_time.expect("discharges").as_seconds();
+    let delay_saving = 1.0 - t_r / t_s;
+    assert!((0.28..0.42).contains(&delay_saving), "delay saving {delay_saving} (paper 0.35)");
+    let e_saving = 1.0 - rram.cycle_energy.as_joules() / sram.cycle_energy.as_joules();
+    assert!((0.52..0.66).contains(&e_saving), "energy saving {e_saving} (paper 0.59)");
+}
+
+#[test]
+fn stored_zero_reads_zero_on_both_technologies() {
+    for tech in [CellTechnology::rram_1t1r(), CellTechnology::sram_8t()] {
+        let name = tech.name;
+        let report = BitlineCircuit::lumped(tech, 256)
+            .with_stored_bit(false)
+            .run()
+            .expect("solves");
+        assert!(!report.reads_one(), "{name}: stored 0 must keep the line high");
+        assert!(
+            report.bitline_after_evaluate.as_volts() > 0.35,
+            "{name}: BL sagged to {}",
+            report.bitline_after_evaluate
+        );
+    }
+}
+
+#[test]
+fn explicit_netlist_agrees_with_lumped_model() {
+    // Cross-fidelity check at 32 cells (CI-sized); the full 256-cell
+    // explicit run lives in the fig9_discharge bench (--explicit).
+    for tech in [CellTechnology::rram_1t1r(), CellTechnology::sram_8t()] {
+        let name = tech.name;
+        let lumped = BitlineCircuit::lumped(tech.clone(), 32).run().expect("lumped");
+        let explicit = BitlineCircuit::explicit(tech, 32).run().expect("explicit");
+        let t_l = lumped.discharge_time.expect("lumped").as_seconds();
+        let t_e = explicit.discharge_time.expect("explicit").as_seconds();
+        assert!(
+            (t_l - t_e).abs() / t_e < 0.3,
+            "{name}: lumped {t_l:.3e} vs explicit {t_e:.3e}"
+        );
+    }
+}
+
+#[test]
+fn discharge_time_scales_with_bitline_length() {
+    let t64 = BitlineCircuit::lumped(CellTechnology::rram_1t1r(), 64)
+        .run()
+        .expect("64")
+        .discharge_time
+        .expect("discharges")
+        .as_seconds();
+    let t256 = BitlineCircuit::lumped(CellTechnology::rram_1t1r(), 256)
+        .run()
+        .expect("256")
+        .discharge_time
+        .expect("discharges")
+        .as_seconds();
+    let ratio = t256 / t64;
+    assert!((2.5..4.5).contains(&ratio), "4× cells ⇒ ≈4× discharge time, got {ratio}");
+}
+
+#[test]
+fn wl_driver_energy_is_excluded_from_the_cycle_figure() {
+    let report =
+        BitlineCircuit::lumped(CellTechnology::rram_1t1r(), 256).run().expect("solves");
+    // Reported separately, and small relative to the bit-line cycle.
+    assert!(report.wl_driver_energy.as_joules() < 0.3 * report.cycle_energy.as_joules());
+}

@@ -1,0 +1,96 @@
+//! Integration test F5: the paper's Fig. 5 automaton and Section IV.B
+//! worked example, end to end — NFA, homogeneous conversion, matrix
+//! projection, and execution on all three hardware backends.
+
+use memcim::prelude::*;
+use memcim_ap::RoutingKind;
+use memcim_bits::{BitMatrix, BitVec};
+
+/// The Fig. 5a NFA (with the S1 self-loop as drawn).
+fn paper_nfa() -> Nfa {
+    let mut nfa = Nfa::new();
+    let s1 = nfa.add_state();
+    let s2 = nfa.add_state();
+    let s3 = nfa.add_state();
+    nfa.add_start(s1);
+    nfa.set_accept(s3, true);
+    nfa.add_transition(s1, SymbolClass::from_bytes(b"abc"), s1);
+    nfa.add_transition(s1, SymbolClass::of(b'c'), s2);
+    nfa.add_transition(s1, SymbolClass::of(b'b'), s3);
+    nfa.add_transition(s2, SymbolClass::of(b'b'), s3);
+    nfa
+}
+
+#[test]
+fn section_iv_b_trace_on_the_printed_matrices() {
+    // Verbatim V, R, c from the paper text (which omits the drawn
+    // self-loop); the full s/f/a/A trace for input `b` must match.
+    let mut v = BitMatrix::new(256, 3);
+    for b in [b'a', b'b', b'c'] {
+        v.set(b as usize, 0, true);
+    }
+    v.set(b'c' as usize, 1, true);
+    v.set(b'b' as usize, 2, true);
+    let mut r = BitMatrix::new(3, 3);
+    r.set(0, 1, true);
+    r.set(0, 2, true);
+    r.set(1, 2, true);
+    let c = BitVec::from_indices(3, &[2]);
+
+    let a = BitVec::from_indices(3, &[0]);
+    let s = v.row(b'b' as usize);
+    assert_eq!(s.ones().collect::<Vec<_>>(), vec![0, 2], "s = [1 0 1]");
+    let f = r.vector_product(&a);
+    assert_eq!(f.ones().collect::<Vec<_>>(), vec![1, 2], "f = [0 1 1]");
+    let next = f.and(s);
+    assert_eq!(next.ones().collect::<Vec<_>>(), vec![2], "a' = [0 0 1]");
+    assert!(next.intersects(&c), "A = 1");
+}
+
+#[test]
+fn homogeneous_conversion_matches_fig5b() {
+    let h = HomogeneousAutomaton::from_nfa(&paper_nfa());
+    assert_eq!(h.state_count(), 3, "Fig. 5b has three homogeneous states");
+    // Exactly one accepting state, carrying symbol class {b}.
+    let accepts: Vec<usize> = (0..3).filter(|&i| h.is_accept(i)).collect();
+    assert_eq!(accepts.len(), 1);
+    assert!(h.class(accepts[0]).contains(b'b'));
+    assert_eq!(h.class(accepts[0]).len(), 1);
+}
+
+#[test]
+fn paper_language_on_every_backend_and_routing() {
+    let nfa = paper_nfa();
+    let h = HomogeneousAutomaton::from_nfa(&nfa);
+    let inputs: &[&[u8]] =
+        &[b"b", b"ab", b"cb", b"acb", b"aacb", b"a", b"ba", b"ac", b"", b"bb", b"abab"];
+    for backend in [ApBackend::rram(), ApBackend::sram(), ApBackend::sdram()] {
+        for routing in
+            [RoutingKind::Dense, RoutingKind::Hierarchical { block: 2, max_global: 64 }]
+        {
+            let mut ap = AutomataProcessor::compile(&h, backend.clone(), routing)
+                .expect("three states map everywhere");
+            for &input in inputs {
+                assert_eq!(
+                    ap.run(input).accepted,
+                    nfa.accepts(input),
+                    "backend {} routing {routing:?} input {input:?}",
+                    backend.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn accept_events_carry_positions() {
+    let h = HomogeneousAutomaton::from_nfa(&paper_nfa());
+    let mut ap = AutomataProcessor::compile(&h, ApBackend::rram(), RoutingKind::Dense)
+        .expect("maps");
+    // "acb": S3 activates only at the final b (position 2).
+    let run = ap.run(b"acb");
+    assert_eq!(run.accept_events.iter().map(|&(p, _)| p).collect::<Vec<_>>(), vec![2]);
+    // "ab" + "cb" inside "abcb": accepts at positions 1 and 3.
+    let run2 = ap.run(b"abcb");
+    assert_eq!(run2.accept_events.iter().map(|&(p, _)| p).collect::<Vec<_>>(), vec![1, 3]);
+}

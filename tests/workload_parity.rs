@@ -1,0 +1,108 @@
+//! Workload-level integration tests: the Section III.B applications
+//! executed on the MVP against scalar references, at sizes larger than
+//! the unit tests use.
+
+use memcim::prelude::*;
+use memcim_automata::dna;
+use memcim_mvp::workloads::{bfs::Graph, bitmap::BitmapTable, kmer::ShiftedBaseIndex};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn bitmap_queries_randomized_parity() {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let n = 8192;
+    let col1: Vec<u8> = (0..n).map(|_| rng.gen_range(0..12)).collect();
+    let col2: Vec<u8> = (0..n).map(|_| rng.gen_range(0..12)).collect();
+    let table = BitmapTable::new(col1, col2, 12);
+    let mut mvp = MvpSimulator::new(32, n);
+    for _ in 0..12 {
+        let k1 = rng.gen_range(1..5);
+        let k2 = rng.gen_range(1..5);
+        let set1: Vec<u8> = (0..k1).map(|_| rng.gen_range(0..12)).collect();
+        let set2: Vec<u8> = (0..k2).map(|_| rng.gen_range(0..12)).collect();
+        assert_eq!(
+            table.query_mvp(&mut mvp, &set1, &set2).expect("mvp"),
+            table.query_reference(&set1, &set2),
+            "sets {set1:?} / {set2:?}"
+        );
+    }
+}
+
+#[test]
+fn kmer_scan_finds_exactly_the_planted_and_random_hits() {
+    let mut rng = SmallRng::seed_from_u64(2);
+    let mut genome = dna::random_genome(&mut rng, 20_000);
+    dna::plant(&mut genome, b"GATTACAT", &[17, 9_999, 19_990]);
+    let index = ShiftedBaseIndex::build(&genome, 8);
+    let mut mvp = MvpSimulator::new(16, index.positions());
+    let fast = index.find_mvp(&mut mvp, b"GATTACAT").expect("mvp");
+    let slow = index.find_reference(b"GATTACAT");
+    assert_eq!(fast, slow);
+    for at in [17usize, 9_999, 19_990] {
+        assert!(fast.get(at), "planted site {at}");
+    }
+    // Brute-force oracle over the raw genome.
+    for p in 0..index.positions() {
+        let expected = &genome[p..p + 8] == b"GATTACAT";
+        assert_eq!(fast.get(p), expected, "position {p}");
+    }
+}
+
+#[test]
+fn bfs_parity_on_structured_graphs() {
+    // Star, ring, two components, dense random.
+    let mut star = Graph::new(65);
+    for v in 1..65 {
+        star.add_edge(0, v);
+    }
+    let mut ring = Graph::new(50);
+    for v in 0..50 {
+        ring.add_edge(v, (v + 1) % 50);
+    }
+    let mut split = Graph::new(40);
+    for v in 0..19 {
+        split.add_edge(v, v + 1);
+    }
+    for v in 20..39 {
+        split.add_edge(v, v + 1);
+    }
+    let mut rng = SmallRng::seed_from_u64(3);
+    let mut dense = Graph::new(128);
+    for _ in 0..3000 {
+        dense.add_edge(rng.gen_range(0..128), rng.gen_range(0..128));
+    }
+    for (name, g, n) in
+        [("star", star, 65), ("ring", ring, 50), ("split", split, 40), ("dense", dense, 128)]
+    {
+        let mut mvp = MvpSimulator::new(16, n);
+        assert_eq!(
+            g.bfs_mvp(&mut mvp, 0, 8).expect("mvp bfs"),
+            g.bfs_reference(0),
+            "{name}"
+        );
+    }
+    // Unreachable component stays at usize::MAX.
+    let mut g2 = Graph::new(10);
+    g2.add_edge(0, 1);
+    let mut mvp = MvpSimulator::new(8, 10);
+    let levels = g2.bfs_mvp(&mut mvp, 0, 4).expect("bfs");
+    assert_eq!(levels[1], 1);
+    assert!(levels[5..].iter().all(|&l| l == usize::MAX));
+}
+
+#[test]
+fn mvp_energy_scales_with_work() {
+    let mut rng = SmallRng::seed_from_u64(4);
+    let n = 4096;
+    let col: Vec<u8> = (0..n).map(|_| rng.gen_range(0..8)).collect();
+    let table = BitmapTable::new(col.clone(), col, 8);
+    let mut small = MvpSimulator::new(32, n);
+    let mut big = MvpSimulator::new(32, n);
+    table.query_mvp(&mut small, &[1], &[2]).expect("small");
+    for _ in 0..10 {
+        table.query_mvp(&mut big, &[1, 2, 3], &[4, 5, 6]).expect("big");
+    }
+    assert!(big.ledger().energy().as_joules() > 5.0 * small.ledger().energy().as_joules());
+    assert!(big.ledger().busy_time().as_seconds() > small.ledger().busy_time().as_seconds());
+}
