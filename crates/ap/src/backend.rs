@@ -110,8 +110,8 @@ mod tests {
     fn rram_column_energy_is_well_below_sram() {
         let rram = ApBackend::rram().costs(1024, 1024 * 1024);
         let sram = ApBackend::sram().costs(1024, 1024 * 1024);
-        let saving = 1.0
-            - rram.ste_energy_per_column.as_joules() / sram.ste_energy_per_column.as_joules();
+        let saving =
+            1.0 - rram.ste_energy_per_column.as_joules() / sram.ste_energy_per_column.as_joules();
         // The Fig. 9 operator-level saving (≈59 %) carries through.
         assert!((0.5..0.7).contains(&saving), "saving = {saving}");
     }

@@ -50,6 +50,6 @@ mod error;
 mod routing;
 
 pub use backend::{ApBackend, ApCosts};
-pub use engine::{ApRun, ApReport, AutomataProcessor};
+pub use engine::{ApReport, ApRun, AutomataProcessor};
 pub use error::ApError;
 pub use routing::{Routing, RoutingKind, RoutingResources};

@@ -108,10 +108,9 @@ impl Routing {
                         available: max_global,
                     });
                 }
-                let config_bits = local.iter().map(|m| m.rows() * m.cols()).sum::<usize>()
-                    + wires.len() * 2; // each wire: source tap + dest driver
-                let resources =
-                    RoutingResources { config_bits, global_wires: wires.len(), blocks };
+                let config_bits =
+                    local.iter().map(|m| m.rows() * m.cols()).sum::<usize>() + wires.len() * 2; // each wire: source tap + dest driver
+                let resources = RoutingResources { config_bits, global_wires: wires.len(), blocks };
                 Ok(Self {
                     kind,
                     n,

@@ -209,8 +209,18 @@ mod tests {
             let min = full.minimize();
             assert!(min.state_count() <= full.state_count(), "{pattern}");
             for input in [
-                &b""[..], b"a", b"ab", b"abc", b"ba", b"abba", b"xyz", b"xyy", b"xzzz", b"abcde",
-                b"e", b"ae",
+                &b""[..],
+                b"a",
+                b"ab",
+                b"abc",
+                b"ba",
+                b"abba",
+                b"xyz",
+                b"xyy",
+                b"xzzz",
+                b"abcde",
+                b"e",
+                b"ae",
             ] {
                 assert_eq!(min.accepts(input), full.accepts(input), "{pattern} on {input:?}");
             }
@@ -241,11 +251,8 @@ mod proptests {
     use proptest::prelude::*;
 
     fn pattern_strategy() -> impl Strategy<Value = String> {
-        let leaf = prop_oneof![
-            Just("a".to_string()),
-            Just("b".to_string()),
-            Just("[ab]".to_string()),
-        ];
+        let leaf =
+            prop_oneof![Just("a".to_string()), Just("b".to_string()), Just("[ab]".to_string()),];
         leaf.prop_recursive(3, 12, 2, |inner| {
             prop_oneof![
                 (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("{a}{b}")),

@@ -96,10 +96,8 @@ impl HomogeneousAutomaton {
         let mut edges: Vec<Vec<usize>> = vec![Vec::new(); states.len()];
         for p in 0..nfa.state_count() {
             for &(class, q) in nfa.transitions(p) {
-                let &(_, hq) = id_of[q]
-                    .iter()
-                    .find(|(c, _)| *c == class)
-                    .expect("incoming class registered");
+                let &(_, hq) =
+                    id_of[q].iter().find(|(c, _)| *c == class).expect("incoming class registered");
                 for &(_, hp) in &id_of[p] {
                     if !edges[hp].contains(&hq) {
                         edges[hp].push(hq);
@@ -111,10 +109,8 @@ impl HomogeneousAutomaton {
         let mut out = Self { states, edges, accepts_empty: nfa.accepts_empty() };
         for &s in nfa.starts() {
             for &(class, q) in nfa.transitions(s) {
-                let &(_, hq) = id_of[q]
-                    .iter()
-                    .find(|(c, _)| *c == class)
-                    .expect("incoming class registered");
+                let &(_, hq) =
+                    id_of[q].iter().find(|(c, _)| *c == class).expect("incoming class registered");
                 out.states[hq].start = StartKind::StartOfInput;
             }
         }

@@ -54,17 +54,15 @@ impl PatternSet {
         if patterns.is_empty() {
             return Err(AutomataError::EmptyPatternSet);
         }
-        let parsed: Vec<Regex> = patterns
-            .iter()
-            .map(|p| Regex::parse(p))
-            .collect::<Result<_, _>>()?;
+        let parsed: Vec<Regex> =
+            patterns.iter().map(|p| Regex::parse(p)).collect::<Result<_, _>>()?;
         let compiled: Vec<Nfa> = parsed.iter().map(Regex::compile).collect();
         let (nfa, maps) = Nfa::union(compiled.iter());
         let mut pattern_of_state = HashMap::new();
         for (pat_idx, (machine, map)) in compiled.iter().zip(&maps).enumerate() {
-            for old in 0..machine.state_count() {
+            for (old, &new) in map.iter().enumerate() {
                 if machine.is_accept(old) {
-                    pattern_of_state.insert(map[old], pat_idx);
+                    pattern_of_state.insert(new, pat_idx);
                 }
             }
         }
@@ -134,7 +132,7 @@ pub mod dna {
 
     /// Generates a uniform random genome of the given length.
     pub fn random_genome<R: Rng + ?Sized>(rng: &mut R, len: usize) -> Vec<u8> {
-        (0..len).map(|_| ALPHABET[rng.gen_range(0..4)]).collect()
+        (0..len).map(|_| ALPHABET[rng.gen_range(0..4usize)]).collect()
     }
 
     /// Overwrites the genome with `motif` at each given position.
@@ -166,11 +164,7 @@ pub mod dna {
     /// Generates `count` random exact motifs of the given length.
     pub fn random_motifs<R: Rng + ?Sized>(rng: &mut R, count: usize, len: usize) -> Vec<String> {
         (0..count)
-            .map(|_| {
-                (0..len)
-                    .map(|_| ALPHABET[rng.gen_range(0..4)] as char)
-                    .collect()
-            })
+            .map(|_| (0..len).map(|_| ALPHABET[rng.gen_range(0..4usize)] as char).collect())
             .collect()
     }
 }

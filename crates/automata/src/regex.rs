@@ -134,7 +134,11 @@ impl Parser<'_> {
             self.pos += 1;
             branches.push(self.concat()?);
         }
-        Ok(if branches.len() == 1 { branches.pop().expect("one branch") } else { Ast::Alt(branches) })
+        Ok(if branches.len() == 1 {
+            branches.pop().expect("one branch")
+        } else {
+            Ast::Alt(branches)
+        })
     }
 
     fn concat(&mut self) -> Result<Ast, AutomataError> {
@@ -212,9 +216,8 @@ impl Parser<'_> {
             return Err(self.error("expected a number in repetition bounds"));
         }
         let text = core::str::from_utf8(&self.bytes[start..self.pos]).expect("digits");
-        let n: u32 = text
-            .parse()
-            .map_err(|_| AutomataError::InvalidRepetition { position: open })?;
+        let n: u32 =
+            text.parse().map_err(|_| AutomataError::InvalidRepetition { position: open })?;
         if n > MAX_REPEAT {
             return Err(AutomataError::InvalidRepetition { position: open });
         }
@@ -300,7 +303,11 @@ impl Parser<'_> {
                     {
                         self.pos += 1; // consume '-'
                         let hi_byte = self.bump().expect("checked");
-                        let hi = if hi_byte == b'\\' { self.escape()? } else { SymbolClass::of(hi_byte) };
+                        let hi = if hi_byte == b'\\' {
+                            self.escape()?
+                        } else {
+                            SymbolClass::of(hi_byte)
+                        };
                         if hi.len() != 1 {
                             return Err(self.error("range endpoint must be a single symbol"));
                         }
@@ -602,10 +609,7 @@ mod tests {
 
     #[test]
     fn repeat_cap_is_enforced() {
-        assert!(matches!(
-            Regex::parse("a{999}"),
-            Err(AutomataError::InvalidRepetition { .. })
-        ));
+        assert!(matches!(Regex::parse("a{999}"), Err(AutomataError::InvalidRepetition { .. })));
     }
 
     #[test]
@@ -707,10 +711,7 @@ mod proptests {
     }
 
     fn node_strategy() -> impl Strategy<Value = Node> {
-        let leaf = prop_oneof![
-            (b'a'..=b'c').prop_map(Node::Lit),
-            Just(Node::Any),
-        ];
+        let leaf = prop_oneof![(b'a'..=b'c').prop_map(Node::Lit), Just(Node::Any),];
         leaf.prop_recursive(3, 24, 2, |inner| {
             prop_oneof![
                 (inner.clone(), inner.clone())

@@ -23,8 +23,8 @@ fn bench_ap(c: &mut Criterion) {
 
     for backend in [ApBackend::rram(), ApBackend::sram()] {
         let name = backend.name;
-        let mut ap = AutomataProcessor::compile(&scanning, backend, RoutingKind::Dense)
-            .expect("maps");
+        let mut ap =
+            AutomataProcessor::compile(&scanning, backend, RoutingKind::Dense).expect("maps");
         group.bench_function(format!("engine_dense_{name}"), |b| {
             b.iter(|| black_box(ap.run(&traffic)))
         });
@@ -38,9 +38,7 @@ fn bench_ap(c: &mut Criterion) {
     group.bench_function("engine_hierarchical_RRAM-AP", |b| {
         b.iter(|| black_box(hier.run(&traffic)))
     });
-    group.bench_function("software_nfa_scan", |b| {
-        b.iter(|| black_box(set.nfa().scan(&traffic)))
-    });
+    group.bench_function("software_nfa_scan", |b| b.iter(|| black_box(set.nfa().scan(&traffic))));
     group.bench_function("software_bitparallel", |b| {
         let matrices = scanning.to_matrices();
         b.iter(|| black_box(matrices.run(&traffic)))

@@ -16,10 +16,7 @@ fn bench_bitline(c: &mut Criterion) {
         });
         group.bench_function(format!("analytic_{name}"), |b| {
             b.iter(|| {
-                black_box((
-                    tech.analytic_discharge_time(256),
-                    tech.analytic_cycle_energy(256),
-                ))
+                black_box((tech.analytic_discharge_time(256), tech.analytic_cycle_energy(256)))
             })
         });
     }

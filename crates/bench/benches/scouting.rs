@@ -27,18 +27,14 @@ fn bench_scouting(c: &mut Criterion) {
         group.bench_function(format!("scouting_or_8x{cols}"), |b| {
             b.iter(|| {
                 black_box(
-                    xbar_or
-                        .scouting(ScoutingKind::Or, &[0, 1, 2, 3, 4, 5, 6, 7])
-                        .expect("or"),
+                    xbar_or.scouting(ScoutingKind::Or, &[0, 1, 2, 3, 4, 5, 6, 7]).expect("or"),
                 )
             })
         });
         // Host-side reference: the same logic on already-fetched rows.
         let a = BitVec::from_indices(cols, &(0..cols).step_by(2).collect::<Vec<_>>());
         let bvec = BitVec::from_indices(cols, &(0..cols).step_by(3).collect::<Vec<_>>());
-        group.bench_function(format!("host_and_2x{cols}"), |b| {
-            b.iter(|| black_box(a.and(&bvec)))
-        });
+        group.bench_function(format!("host_and_2x{cols}"), |b| b.iter(|| black_box(a.and(&bvec))));
     }
     group.finish();
 }

@@ -9,7 +9,9 @@ use memcim_automata::{rules, PatternSet, StartKind};
 use memcim_bench::{fmt, table};
 use memcim_bits::BitVec;
 use memcim_crossbar::{Crossbar, ScoutingKind};
-use memcim_device::{window::Window, HysteresisSweep, LinearIonDrift, MemristiveDevice, VariabilityModel};
+use memcim_device::{
+    window::Window, HysteresisSweep, LinearIonDrift, MemristiveDevice, VariabilityModel,
+};
 use memcim_spice::{Circuit, Integration, Transient, Waveform};
 use memcim_units::{Farads, Ohms, Seconds, Volts};
 use rand::rngs::SmallRng;
@@ -53,17 +55,13 @@ fn d2_reference_margins() {
     println!("D2 — scouting reference margins under lognormal variability\n");
     let mut rows = Vec::new();
     for sigma in [0.0, 0.1, 0.2, 0.3, 0.4, 0.5] {
-        let model = VariabilityModel {
-            sigma_d2d_low: sigma,
-            sigma_d2d_high: sigma,
-            sigma_c2c: 0.0,
-        };
+        let model =
+            VariabilityModel { sigma_d2d_low: sigma, sigma_d2d_high: sigma, sigma_c2c: 0.0 };
         let mut errors = 0usize;
         let mut total = 0usize;
         let mut rng = SmallRng::seed_from_u64(99);
         for trial in 0..8 {
-            let mut xbar =
-                Crossbar::rram(2, 256).with_variability(model, 1000 + trial as u64);
+            let mut xbar = Crossbar::rram(2, 256).with_variability(model, 1000 + trial as u64);
             let a: BitVec = (0..256).map(|_| rng.gen_bool(0.5)).collect();
             let b: BitVec = (0..256).map(|_| rng.gen_bool(0.5)).collect();
             xbar.program_row(0, &a).expect("row 0");
@@ -85,7 +83,9 @@ fn d2_reference_margins() {
         ]);
     }
     println!("{}", table(&["σ(ln R)", "bit errors", "error rate"], &rows));
-    println!("expected shape: error-free through moderate spread, XOR window fails first at large σ\n");
+    println!(
+        "expected shape: error-free through moderate spread, XOR window fails first at large σ\n"
+    );
 }
 
 /// D3: routing fabric resources on a realistic rule set.
@@ -123,14 +123,21 @@ fn d4_integrator_accuracy() {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
         ckt.add_resistor("R", a, Circuit::GROUND, Ohms::from_kilohms(1.0)).expect("r");
-        ckt.add_capacitor_with_ic("C", a, Circuit::GROUND, Farads::from_picofarads(1.0), Volts::new(1.0))
-            .expect("c");
+        ckt.add_capacitor_with_ic(
+            "C",
+            a,
+            Circuit::GROUND,
+            Farads::from_picofarads(1.0),
+            Volts::new(1.0),
+        )
+        .expect("c");
         let x = ckt.node("x");
         ckt.add_vsource("Vdummy", x, Circuit::GROUND, Waveform::dc(Volts::ZERO)).expect("v");
-        let trace = Transient::new(Seconds::from_nanoseconds(1.0), Seconds::from_picoseconds(dt_ps))
-            .with_integration(integration)
-            .run(&mut ckt)
-            .expect("runs");
+        let trace =
+            Transient::new(Seconds::from_nanoseconds(1.0), Seconds::from_picoseconds(dt_ps))
+                .with_integration(integration)
+                .run(&mut ckt)
+                .expect("runs");
         (trace.final_value("a").expect("a") - (-1.0_f64).exp()).abs()
     };
     let mut rows = Vec::new();

@@ -33,15 +33,20 @@ fn main() {
     println!(
         "{}",
         table(
-            &["operator", "discharge (ps)", "with SA+decode (ps)", "energy (fJ/col)", "area (µm²/col)"],
+            &[
+                "operator",
+                "discharge (ps)",
+                "with SA+decode (ps)",
+                "energy (fJ/col)",
+                "area (µm²/col)"
+            ],
             &rows
         )
     );
     let d_raw = 1.0
         - rram.analytic_discharge_time(256).as_seconds()
             / sram.analytic_discharge_time(256).as_seconds();
-    let d_kernel =
-        1.0 - rram.read_latency(256).as_seconds() / sram.read_latency(256).as_seconds();
+    let d_kernel = 1.0 - rram.read_latency(256).as_seconds() / sram.read_latency(256).as_seconds();
     let e_saving = 1.0
         - rram.analytic_cycle_energy(256).as_joules() / sram.analytic_cycle_energy(256).as_joules();
     println!(
@@ -63,8 +68,8 @@ fn main() {
     let mut chip_rows = Vec::new();
     for backend in [ApBackend::rram(), ApBackend::sram(), ApBackend::sdram()] {
         let name = backend.name;
-        let mut ap = AutomataProcessor::compile(&homog, backend, RoutingKind::Dense)
-            .expect("rule set maps");
+        let mut ap =
+            AutomataProcessor::compile(&homog, backend, RoutingKind::Dense).expect("rule set maps");
         let run = ap.run(&traffic);
         chip_rows.push(vec![
             name.into(),
@@ -79,11 +84,11 @@ fn main() {
     println!(
         "{}",
         table(
-            &[
-                "backend", "STEs", "Gsym/s", "pJ/sym", "area (mm²)", "leak (mW)", "reports"
-            ],
+            &["backend", "STEs", "Gsym/s", "pJ/sym", "area (mm²)", "leak (mW)", "reports"],
             &chip_rows
         )
     );
-    println!("expected shape: RRAM-AP fastest and lowest energy/area/leakage; identical report counts");
+    println!(
+        "expected shape: RRAM-AP fastest and lowest energy/area/leakage; identical report counts"
+    );
 }

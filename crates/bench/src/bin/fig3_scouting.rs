@@ -17,10 +17,7 @@ fn main() {
     println!("Fig. 3b — scouting logic references (Vr = {vr}, RL = {rl}, RH = {rh})\n");
 
     let i = |states: &[bool]| -> f64 {
-        states
-            .iter()
-            .map(|&s| (vr / if s { rl } else { rh }).as_amps())
-            .sum()
+        states.iter().map(|&s| (vr / if s { rl } else { rh }).as_amps()).sum()
     };
     println!("bit-line current levels (two activated rows):");
     let mut level_rows = Vec::new();

@@ -38,10 +38,8 @@ fn main() {
         "{}",
         table(
             &[
-                "L1 miss", "L2 miss",
-                "ηPE mc", "ηPE mvp", "×",
-                "ηE mc", "ηE mvp", "×",
-                "ηPA mc", "ηPA mvp", "×",
+                "L1 miss", "L2 miss", "ηPE mc", "ηPE mvp", "×", "ηE mc", "ηE mvp", "×", "ηPA mc",
+                "ηPA mvp", "×",
             ],
             &rows
         )

@@ -21,10 +21,9 @@ fn main() {
     );
 
     let mut rows = Vec::new();
-    for (tech, paper_t, paper_e) in [
-        (CellTechnology::rram_1t1r(), 104.0, 2.09),
-        (CellTechnology::sram_8t(), 161.0, 5.16),
-    ] {
+    for (tech, paper_t, paper_e) in
+        [(CellTechnology::rram_1t1r(), 104.0, 2.09), (CellTechnology::sram_8t(), 161.0, 5.16)]
+    {
         let name = tech.name;
         let analytic_t = tech.analytic_discharge_time(n_cells).as_picoseconds();
         let analytic_e = tech.analytic_cycle_energy(n_cells).as_femtojoules();
@@ -34,10 +33,7 @@ fn main() {
             BitlineCircuit::lumped(tech, n_cells)
         };
         let (report, trace) = circuit.run_with_trace().expect("transient solves");
-        let t = report
-            .discharge_time
-            .expect("stored 1 discharges")
-            .as_picoseconds();
+        let t = report.discharge_time.expect("stored 1 discharges").as_picoseconds();
         let e = report.cycle_energy.as_femtojoules();
         rows.push(vec![
             name.into(),
@@ -60,8 +56,12 @@ fn main() {
         table(
             &[
                 "technology",
-                "t_d paper (ps)", "t_d analytic (ps)", "t_d transient (ps)",
-                "E paper (fJ)", "E analytic (fJ)", "E transient (fJ)",
+                "t_d paper (ps)",
+                "t_d analytic (ps)",
+                "t_d transient (ps)",
+                "E paper (fJ)",
+                "E analytic (fJ)",
+                "E transient (fJ)",
             ],
             &rows
         )

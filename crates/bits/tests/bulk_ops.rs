@@ -1,0 +1,201 @@
+//! Integration tests for the bulk boolean operations on [`BitVec`] and
+//! [`BitMatrix`] — the substrate of the paper's Equations (1)–(4).
+//!
+//! These complement the in-crate unit and property tests with explicit
+//! word-boundary cases (63/64/65/128/129 bits), `from_indices`
+//! round-trips, popcount bookkeeping, and the out-of-range panic
+//! contracts.
+
+use memcim_bits::{BitMatrix, BitVec};
+
+/// Lengths that straddle the packed `u64` word boundaries.
+const BOUNDARY_LENS: [usize; 7] = [1, 63, 64, 65, 127, 128, 129];
+
+/// A deterministic pseudo-random bool pattern (xorshift64*).
+fn pattern(len: usize, mut seed: u64) -> Vec<bool> {
+    seed |= 1;
+    (0..len)
+        .map(|_| {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed & 1 == 1
+        })
+        .collect()
+}
+
+#[test]
+fn and_or_xor_not_match_elementwise_reference_at_word_boundaries() {
+    for len in BOUNDARY_LENS {
+        let xs = pattern(len, 0xA11CE ^ len as u64);
+        let ys = pattern(len, 0xB0B ^ len as u64);
+        let a = BitVec::from_bools(&xs);
+        let b = BitVec::from_bools(&ys);
+        for i in 0..len {
+            assert_eq!(a.and(&b).get(i), xs[i] && ys[i], "and, len {len}, bit {i}");
+            assert_eq!(a.or(&b).get(i), xs[i] || ys[i], "or, len {len}, bit {i}");
+            assert_eq!(a.xor(&b).get(i), xs[i] ^ ys[i], "xor, len {len}, bit {i}");
+            assert_eq!(a.not().get(i), !xs[i], "not, len {len}, bit {i}");
+        }
+    }
+}
+
+#[test]
+fn in_place_ops_agree_with_functional_ops() {
+    let xs = pattern(130, 7);
+    let ys = pattern(130, 9);
+    let a = BitVec::from_bools(&xs);
+    let b = BitVec::from_bools(&ys);
+
+    let mut c = a.clone();
+    c.and_assign(&b);
+    assert_eq!(c, a.and(&b));
+
+    let mut c = a.clone();
+    c.or_assign(&b);
+    assert_eq!(c, a.or(&b));
+
+    let mut c = a.clone();
+    c.xor_assign(&b);
+    assert_eq!(c, a.xor(&b));
+}
+
+#[test]
+fn from_indices_sets_exactly_the_listed_bits() {
+    let v = BitVec::from_indices(129, &[0, 63, 64, 65, 128]);
+    assert_eq!(v.ones().collect::<Vec<_>>(), vec![0, 63, 64, 65, 128]);
+    assert_eq!(v.count_ones(), 5);
+
+    // Duplicates collapse; order is irrelevant.
+    let dup = BitVec::from_indices(16, &[5, 3, 5, 3, 5]);
+    assert_eq!(dup.ones().collect::<Vec<_>>(), vec![3, 5]);
+    assert_eq!(dup.count_ones(), 2);
+
+    // Empty index list means the zero vector.
+    let zero = BitVec::from_indices(64, &[]);
+    assert!(!zero.any());
+    assert_eq!(zero.count_ones(), 0);
+}
+
+#[test]
+fn popcount_is_exact_across_word_boundaries_and_after_not() {
+    for len in BOUNDARY_LENS {
+        let xs = pattern(len, 0xC0FFEE ^ len as u64);
+        let v = BitVec::from_bools(&xs);
+        let expected = xs.iter().filter(|&&x| x).count();
+        assert_eq!(v.count_ones(), expected, "len {len}");
+        // The complement must not leak set bits past `len` into the
+        // padding of the last partial word.
+        assert_eq!(v.not().count_ones(), len - expected, "not, len {len}");
+        let mut all = BitVec::new(len);
+        all.set_all();
+        assert_eq!(all.count_ones(), len, "set_all, len {len}");
+    }
+}
+
+#[test]
+fn intersects_is_equation_four() {
+    let a = BitVec::from_indices(100, &[3, 64, 99]);
+    assert!(a.intersects(&BitVec::from_indices(100, &[99])));
+    assert!(a.intersects(&BitVec::from_indices(100, &[64, 7])));
+    assert!(!a.intersects(&BitVec::from_indices(100, &[2, 4, 65, 98])));
+    assert!(!a.intersects(&BitVec::new(100)));
+}
+
+#[test]
+fn matrix_vector_product_is_row_or_reduction() {
+    // Equation (2) on a matrix that spans several words per row.
+    let mut m = BitMatrix::new(3, 130);
+    m.set(0, 0, true);
+    m.set(0, 129, true);
+    m.set(1, 64, true);
+    m.set(2, 65, true);
+
+    let x = BitVec::from_indices(3, &[0, 2]);
+    let y = m.vector_product(&x);
+    assert_eq!(y.ones().collect::<Vec<_>>(), vec![0, 65, 129]);
+
+    // No active rows → zero output.
+    assert!(!m.vector_product(&BitVec::new(3)).any());
+}
+
+#[test]
+fn matrix_transpose_round_trips_and_preserves_popcount() {
+    let mut m = BitMatrix::new(5, 70);
+    for (r, c) in [(0, 0), (1, 69), (2, 64), (3, 1), (4, 33), (0, 69)] {
+        m.set(r, c, true);
+    }
+    let t = m.transpose();
+    assert_eq!(t.rows(), 70);
+    assert_eq!(t.cols(), 5);
+    assert_eq!(t.count_ones(), m.count_ones());
+    for r in 0..m.rows() {
+        for c in 0..m.cols() {
+            assert_eq!(m.get(r, c), t.get(c, r), "({r}, {c})");
+        }
+    }
+}
+
+#[test]
+#[should_panic(expected = "out of bounds")]
+fn bitvec_get_past_length_panics() {
+    let v = BitVec::new(64);
+    let _ = v.get(64);
+}
+
+#[test]
+#[should_panic(expected = "out of bounds")]
+fn bitvec_set_past_length_panics() {
+    let mut v = BitVec::new(10);
+    v.set(10, true);
+}
+
+#[test]
+#[should_panic(expected = "out of bounds")]
+fn from_indices_rejects_out_of_range_index() {
+    let _ = BitVec::from_indices(8, &[0, 8]);
+}
+
+#[test]
+#[should_panic(expected = "length mismatch")]
+fn binary_ops_reject_length_mismatch() {
+    let a = BitVec::new(64);
+    let b = BitVec::new(65);
+    let _ = a.xor(&b);
+}
+
+#[test]
+#[should_panic(expected = "length mismatch")]
+fn intersects_rejects_length_mismatch() {
+    let a = BitVec::new(4);
+    let b = BitVec::new(5);
+    let _ = a.intersects(&b);
+}
+
+#[test]
+#[should_panic(expected = "out of bounds")]
+fn matrix_get_past_rows_panics() {
+    let m = BitMatrix::new(2, 8);
+    let _ = m.get(2, 0);
+}
+
+#[test]
+#[should_panic(expected = "out of bounds")]
+fn matrix_row_past_rows_panics() {
+    let m = BitMatrix::new(2, 8);
+    let _ = m.row(2);
+}
+
+#[test]
+#[should_panic(expected = "row length mismatch")]
+fn matrix_set_row_rejects_wrong_width() {
+    let mut m = BitMatrix::new(2, 8);
+    m.set_row(0, BitVec::new(9));
+}
+
+#[test]
+#[should_panic(expected = "vector length must equal row count")]
+fn vector_product_rejects_wrong_length() {
+    let m = BitMatrix::new(3, 8);
+    let _ = m.vector_product(&BitVec::new(4));
+}

@@ -114,8 +114,7 @@ mod tests {
 
     #[test]
     fn end_to_end_rule_matching() {
-        let mut accel =
-            RegexAccelerator::rram(&["abc", "x+y"]).expect("compiles");
+        let mut accel = RegexAccelerator::rram(&["abc", "x+y"]).expect("compiles");
         let outcome = accel.scan(b"zzabczzxxxyzz");
         assert_eq!(accel.pattern_count(), 2);
         assert_eq!(outcome.matched_patterns(), vec![0, 1]);

@@ -165,12 +165,7 @@ impl Crossbar {
 
     fn check(&self, row: usize, col: usize) -> Result<(), CrossbarError> {
         if row >= self.rows || col >= self.cols {
-            return Err(CrossbarError::OutOfBounds {
-                row,
-                col,
-                rows: self.rows,
-                cols: self.cols,
-            });
+            return Err(CrossbarError::OutOfBounds { row, col, rows: self.rows, cols: self.cols });
         }
         Ok(())
     }
@@ -212,7 +207,12 @@ impl Crossbar {
     /// Returns [`CrossbarError::OutOfBounds`] for invalid indices and
     /// [`CrossbarError::Endurance`] when the cell's budget is exhausted —
     /// the wear-out write itself completes, after which the cell is stuck.
-    pub fn program_bit(&mut self, row: usize, col: usize, value: bool) -> Result<(), CrossbarError> {
+    pub fn program_bit(
+        &mut self,
+        row: usize,
+        col: usize,
+        value: bool,
+    ) -> Result<(), CrossbarError> {
         self.check(row, col)?;
         if self.faults.stuck_value(row, col).is_some() {
             // Stuck cells silently ignore writes (the programming pulse
@@ -376,7 +376,11 @@ impl Crossbar {
     /// Returns [`CrossbarError::InvalidRowSelection`] if fewer than two
     /// rows are given, rows repeat, or `Xor` is requested with more than
     /// two rows; [`CrossbarError::OutOfBounds`] for invalid rows.
-    pub fn scouting(&mut self, kind: ScoutingKind, rows: &[usize]) -> Result<BitVec, CrossbarError> {
+    pub fn scouting(
+        &mut self,
+        kind: ScoutingKind,
+        rows: &[usize],
+    ) -> Result<BitVec, CrossbarError> {
         if rows.len() < 2 {
             return Err(CrossbarError::InvalidRowSelection {
                 constraint: "at least two rows must be activated",
@@ -469,18 +473,9 @@ mod tests {
         let b = BitVec::from_indices(64, &[5, 20]);
         x.program_row(0, &a).expect("r0");
         x.program_row(1, &b).expect("r1");
-        assert_eq!(
-            x.scouting(ScoutingKind::Nor, &[0, 1]).expect("nor"),
-            a.or(&b).not()
-        );
-        assert_eq!(
-            x.scouting(ScoutingKind::Nand, &[0, 1]).expect("nand"),
-            a.and(&b).not()
-        );
-        assert_eq!(
-            x.scouting(ScoutingKind::Xnor, &[0, 1]).expect("xnor"),
-            a.xor(&b).not()
-        );
+        assert_eq!(x.scouting(ScoutingKind::Nor, &[0, 1]).expect("nor"), a.or(&b).not());
+        assert_eq!(x.scouting(ScoutingKind::Nand, &[0, 1]).expect("nand"), a.and(&b).not());
+        assert_eq!(x.scouting(ScoutingKind::Xnor, &[0, 1]).expect("xnor"), a.xor(&b).not());
         assert!(x.scouting(ScoutingKind::Xnor, &[0, 1, 2]).is_err());
     }
 

@@ -133,7 +133,11 @@ impl BankedCrossbar {
     /// # Errors
     ///
     /// Propagates the row-selection errors of [`Crossbar::scouting`].
-    pub fn scouting(&mut self, kind: ScoutingKind, rows: &[usize]) -> Result<BitVec, CrossbarError> {
+    pub fn scouting(
+        &mut self,
+        kind: ScoutingKind,
+        rows: &[usize],
+    ) -> Result<BitVec, CrossbarError> {
         let parts: Vec<BitVec> =
             self.banks.iter_mut().map(|b| b.scouting(kind, rows)).collect::<Result<_, _>>()?;
         Ok(self.gather(&parts))
@@ -147,10 +151,7 @@ impl BankedCrossbar {
     /// Wall-clock busy time: banks run in parallel, so the maximum over
     /// banks (not the sum).
     pub fn parallel_busy_time(&self) -> Seconds {
-        self.banks
-            .iter()
-            .map(|b| b.ledger().busy_time())
-            .fold(Seconds::ZERO, Seconds::max)
+        self.banks.iter().map(|b| b.ledger().busy_time()).fold(Seconds::ZERO, Seconds::max)
     }
 
     /// Total layout area.
@@ -234,9 +235,8 @@ mod tests {
         let banked = BankedCrossbar::rram(8, 4, 64);
         let single = Crossbar::rram(8, 64);
         assert!(
-            (banked.area().as_square_micrometers()
-                - 4.0 * single.area().as_square_micrometers())
-            .abs()
+            (banked.area().as_square_micrometers() - 4.0 * single.area().as_square_micrometers())
+                .abs()
                 < 1e-9
         );
         assert_eq!(banked.static_power().as_watts(), 0.0);

@@ -77,14 +77,26 @@ impl BitlineCircuit {
     /// Creates the lumped variant (one explicit cell, rest as
     /// capacitance). The selected cell stores logic 1.
     pub fn lumped(tech: CellTechnology, n_cells: usize) -> Self {
-        Self { tech, n_cells: n_cells.max(1), stored_one: true, explicit: false, dt: Seconds::from_picoseconds(0.5) }
+        Self {
+            tech,
+            n_cells: n_cells.max(1),
+            stored_one: true,
+            explicit: false,
+            dt: Seconds::from_picoseconds(0.5),
+        }
     }
 
     /// Creates the fully explicit variant: every cell instantiated, cell
     /// 0 storing logic 1 and the rest logic 0 — exactly the paper's
     /// "slowest discharge" setup.
     pub fn explicit(tech: CellTechnology, n_cells: usize) -> Self {
-        Self { tech, n_cells: n_cells.max(1), stored_one: true, explicit: true, dt: Seconds::from_picoseconds(2.0) }
+        Self {
+            tech,
+            n_cells: n_cells.max(1),
+            stored_one: true,
+            explicit: true,
+            dt: Seconds::from_picoseconds(2.0),
+        }
     }
 
     /// Sets whether the selected cell stores logic 1 (default) or 0.
@@ -133,9 +145,8 @@ impl BitlineCircuit {
             // A crossing after the evaluate window means the precharge
             // pulse ended the cycle first: the SA latched 0.
             .filter(|t| t.as_nanoseconds() <= T_EVAL_NS);
-        let bitline_after_evaluate = Volts::new(
-            trace.value_at("bl", Seconds::from_nanoseconds(T_WL_NS + T_EVAL_NS))?,
-        );
+        let bitline_after_evaluate =
+            Volts::new(trace.value_at("bl", Seconds::from_nanoseconds(T_WL_NS + T_EVAL_NS))?);
         let report = DischargeReport {
             discharge_time,
             cycle_energy: trace.delivered_energy("Vpre"),
@@ -188,8 +199,7 @@ impl BitlineCircuit {
         // Bit-line capacitance not contributed by explicit devices: total
         // budget minus each explicit cell's own drain junction.
         let budget = self.tech.bitline_capacitance(self.n_cells).as_farads();
-        let explicit_junctions =
-            explicit_cells as f64 * self.tech.access_transistor.c_db;
+        let explicit_junctions = explicit_cells as f64 * self.tech.access_transistor.c_db;
         let lump = (budget - explicit_junctions).max(1.0e-18);
         ckt.add_capacitor("Cbl", bl, Circuit::GROUND, Farads::new(lump))?;
         ckt.set_initial_voltage(bl, self.tech.precharge);
@@ -218,13 +228,7 @@ impl BitlineCircuit {
             1 => {
                 // 1T1R: BL — access NMOS — memristor — GND (Fig. 8b).
                 let mid = ckt.node(&format!("m{index}"));
-                ckt.add_nmos(
-                    &format!("Ma{index}"),
-                    bl,
-                    wl,
-                    mid,
-                    self.tech.access_transistor,
-                )?;
+                ckt.add_nmos(&format!("Ma{index}"), bl, wl, mid, self.tech.access_transistor)?;
                 let mut device = BehavioralSwitch::new(SwitchParams::paper_fig9());
                 device.set_normalized_state(if stores_one { 1.0 } else { 0.0 });
                 ckt.add_memristor(&format!("X{index}"), mid, Circuit::GROUND, Box::new(device))?;
@@ -261,9 +265,8 @@ mod tests {
 
     #[test]
     fn rram_lumped_discharge_is_in_the_100ps_class() {
-        let report = BitlineCircuit::lumped(CellTechnology::rram_1t1r(), 256)
-            .run()
-            .expect("solver");
+        let report =
+            BitlineCircuit::lumped(CellTechnology::rram_1t1r(), 256).run().expect("solver");
         let t = report.discharge_time.expect("stored 1 discharges").as_picoseconds();
         assert!((80.0..140.0).contains(&t), "t = {t} ps");
     }
@@ -299,17 +302,13 @@ mod tests {
         let explicit = BitlineCircuit::explicit(tech, 16).run().expect("explicit");
         let t_l = lumped.discharge_time.expect("lumped").as_picoseconds();
         let t_e = explicit.discharge_time.expect("explicit").as_picoseconds();
-        assert!(
-            (t_l - t_e).abs() / t_e < 0.25,
-            "lumped {t_l} ps vs explicit {t_e} ps"
-        );
+        assert!((t_l - t_e).abs() / t_e < 0.25, "lumped {t_l} ps vs explicit {t_e} ps");
     }
 
     #[test]
     fn wl_energy_is_reported_separately_and_small() {
-        let report = BitlineCircuit::lumped(CellTechnology::rram_1t1r(), 256)
-            .run()
-            .expect("solver");
+        let report =
+            BitlineCircuit::lumped(CellTechnology::rram_1t1r(), 256).run().expect("solver");
         assert!(report.wl_driver_energy.as_femtojoules() < report.cycle_energy.as_femtojoules());
     }
 

@@ -81,7 +81,13 @@ impl SenseThresholds {
     ///
     /// Panics if `k_rows < 2`, if `kind` is `Xor` and `k_rows != 2`, or
     /// if `r_low >= r_high`.
-    pub fn for_gate(kind: ScoutingKind, k_rows: usize, vr: Volts, r_low: Ohms, r_high: Ohms) -> Self {
+    pub fn for_gate(
+        kind: ScoutingKind,
+        k_rows: usize,
+        vr: Volts,
+        r_low: Ohms,
+        r_high: Ohms,
+    ) -> Self {
         assert!(k_rows >= 2, "scouting activates at least two rows");
         assert!(
             !kind.is_window_gate() || k_rows == 2,
@@ -145,12 +151,7 @@ mod tests {
 
     /// Bit-line current for a given multiset of activated cell states.
     fn current(states: &[bool]) -> Amps {
-        Amps::new(
-            states
-                .iter()
-                .map(|&s| (VR / if s { rl() } else { rh() }).as_amps())
-                .sum(),
-        )
+        Amps::new(states.iter().map(|&s| (VR / if s { rl() } else { rh() }).as_amps()).sum())
     }
 
     #[test]

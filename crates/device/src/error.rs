@@ -43,11 +43,8 @@ mod tests {
 
     #[test]
     fn display_is_lowercase_and_informative() {
-        let e = DeviceError::InvalidParameter {
-            name: "r_on",
-            value: -1.0,
-            constraint: "must be > 0",
-        };
+        let e =
+            DeviceError::InvalidParameter { name: "r_on", value: -1.0, constraint: "must be > 0" };
         let msg = e.to_string();
         assert!(msg.starts_with("invalid device parameter"));
         assert!(msg.contains("r_on"));

@@ -69,21 +69,13 @@ impl IdealMemristor {
         assert!(r_on.as_ohms() > 0.0, "r_on must be > 0");
         assert!(r_off.as_ohms() > r_on.as_ohms(), "r_off must exceed r_on");
         assert!(q_scale.as_coulombs() > 0.0, "q_scale must be > 0");
-        Self {
-            r_on,
-            r_off,
-            q_scale,
-            charge: Coulombs::ZERO,
-            flux: Webers::ZERO,
-        }
+        Self { r_on, r_off, q_scale, charge: Coulombs::ZERO, flux: Webers::ZERO }
     }
 
     /// The memristance `M(q)` at the present state.
     pub fn memristance(&self) -> Ohms {
         let x = self.saturation();
-        Ohms::new(
-            self.r_off.as_ohms() + (self.r_on.as_ohms() - self.r_off.as_ohms()) * x,
-        )
+        Ohms::new(self.r_off.as_ohms() + (self.r_on.as_ohms() - self.r_off.as_ohms()) * x)
     }
 
     /// Accumulated charge `q = ∫i dt`.
@@ -220,7 +212,7 @@ mod proptests {
             for v in steps {
                 m.step(Volts::new(v), Seconds::from_microseconds(200.0));
                 let r = m.memristance().as_ohms();
-                prop_assert!(r >= 100.0 - 1e-6 && r <= 16_000.0 + 1e-6, "r = {r}");
+                prop_assert!((100.0 - 1e-6..=16_000.0 + 1e-6).contains(&r), "r = {r}");
             }
         }
     }

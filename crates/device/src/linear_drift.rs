@@ -54,14 +54,7 @@ impl LinearIonDrift {
         assert!(r_off.as_ohms() > r_on.as_ohms(), "r_off must exceed r_on");
         assert!(mobility > 0.0, "mobility must be > 0");
         assert!(thickness > 0.0, "thickness must be > 0");
-        Self {
-            r_on,
-            r_off,
-            mobility,
-            thickness,
-            window,
-            x: 0.5,
-        }
+        Self { r_on, r_off, mobility, thickness, window, x: 0.5 }
     }
 
     /// The canonical HP device: `r_on = 100 Ω`, `r_off = 16 kΩ`,

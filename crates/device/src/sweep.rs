@@ -84,7 +84,10 @@ impl IvTrace {
     pub fn to_csv(&self) -> String {
         let mut out = String::from("time,voltage,current,state\n");
         for p in &self.points {
-            out.push_str(&format!("{:.6e},{:.6e},{:.6e},{:.6e}\n", p.time, p.voltage, p.current, p.state));
+            out.push_str(&format!(
+                "{:.6e},{:.6e},{:.6e},{:.6e}\n",
+                p.time, p.voltage, p.current, p.state
+            ));
         }
         out
     }

@@ -46,7 +46,11 @@ impl VariabilityModel {
 
     /// Applies a fresh cycle-to-cycle perturbation to a device sample
     /// (called on each re-program).
-    pub fn sample_cycle<R: Rng + ?Sized>(&self, device: &DeviceSample, rng: &mut R) -> DeviceSample {
+    pub fn sample_cycle<R: Rng + ?Sized>(
+        &self,
+        device: &DeviceSample,
+        rng: &mut R,
+    ) -> DeviceSample {
         DeviceSample {
             r_low: lognormal(device.r_low, self.sigma_c2c, rng),
             r_high: lognormal(device.r_high, self.sigma_c2c, rng),

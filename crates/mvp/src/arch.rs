@@ -247,8 +247,7 @@ fn mvp_metrics(cfg: &SystemConfig, _miss: MissRates) -> Metrics {
     // Residual (non-offloaded) fraction: ALU + L1-resident by the model's
     // central assumption; offloaded fraction: one amortized scouting op.
     let e_pj = (1.0 - acc) * (cfg.alu_energy_pj + cfg.l1_energy_pj) + acc * cfg.cim_energy_pj;
-    let t_ns =
-        (1.0 - acc) * (cfg.alu_latency_ns + cfg.l1_latency_ns) + acc * cfg.cim_latency_ns;
+    let t_ns = (1.0 - acc) * (cfg.alu_latency_ns + cfg.l1_latency_ns) + acc * cfg.cim_latency_ns;
     let cores = cfg.mvp_cores as f64;
     let throughput_mops = cores / t_ns * 1000.0;
     Metrics {

@@ -53,10 +53,7 @@ pub fn add_bit_planes(
     assert!(!a.is_empty(), "need at least one bit plane");
     assert_eq!(a.len(), b.len(), "operand plane counts must match");
     let width = a[0].len();
-    assert!(
-        a.iter().chain(b).all(|p| p.len() == width),
-        "all planes must share one width"
-    );
+    assert!(a.iter().chain(b).all(|p| p.len() == width), "all planes must share one width");
     assert!(mvp.rows() >= WORK_ROWS, "adder needs at least 8 rows");
 
     // Row roles.
@@ -88,8 +85,7 @@ pub fn add_bit_planes(
         sums.push(outputs.pop().expect("read emits one vector"));
     }
     // Final carry plane.
-    let mut outputs =
-        mvp.run_program(&[Instruction::Read { row: RC[a.len() % 2] }])?;
+    let mut outputs = mvp.run_program(&[Instruction::Read { row: RC[a.len() % 2] }])?;
     sums.push(outputs.pop().expect("read emits one vector"));
     Ok(sums)
 }
@@ -100,14 +96,9 @@ pub fn add_bit_planes(
 ///
 /// Panics if `w == 0`, `w > 64`, or any value needs more than `w` bits.
 pub fn to_bit_planes(values: &[u64], w: usize) -> Vec<BitVec> {
-    assert!(w >= 1 && w <= 64, "plane count must be in 1..=64");
-    assert!(
-        values.iter().all(|&v| w == 64 || v < (1u64 << w)),
-        "value exceeds {w} bits"
-    );
-    (0..w)
-        .map(|bit| values.iter().map(|&v| v >> bit & 1 == 1).collect())
-        .collect()
+    assert!((1..=64).contains(&w), "plane count must be in 1..=64");
+    assert!(values.iter().all(|&v| w == 64 || v < (1u64 << w)), "value exceeds {w} bits");
+    (0..w).map(|bit| values.iter().map(|&v| v >> bit & 1 == 1).collect()).collect()
 }
 
 /// Decodes bit planes (LSB first) back into integers.
@@ -124,11 +115,7 @@ pub fn from_bit_planes(planes: &[BitVec]) -> Vec<u64> {
     assert!(planes.iter().all(|p| p.len() == width), "plane widths must match");
     (0..width)
         .map(|lane| {
-            planes
-                .iter()
-                .enumerate()
-                .map(|(bit, plane)| u64::from(plane.get(lane)) << bit)
-                .sum()
+            planes.iter().enumerate().map(|(bit, plane)| u64::from(plane.get(lane)) << bit).sum()
         })
         .collect()
 }

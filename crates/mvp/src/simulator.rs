@@ -182,8 +182,7 @@ mod tests {
     #[test]
     fn multi_way_or_collapses_many_rows_in_one_op() {
         let mut mvp = MvpSimulator::new(16, 128);
-        let mut program: Vec<Instruction> =
-            (0..8).map(|r| store(r, &[r * 4, r * 4 + 1])).collect();
+        let mut program: Vec<Instruction> = (0..8).map(|r| store(r, &[r * 4, r * 4 + 1])).collect();
         program.push(Instruction::Or { srcs: (0..8).collect(), dst: 9 });
         program.push(Instruction::Read { row: 9 });
         let out = mvp.run_program(&program).expect("runs");

@@ -94,19 +94,15 @@ pub mod bitmap {
             let mut row = 0;
             let mut rows1 = Vec::new();
             for &v in set1 {
-                program.push(Instruction::Store {
-                    row,
-                    data: Self::bitmap(&self.col1, v, self.rows),
-                });
+                program
+                    .push(Instruction::Store { row, data: Self::bitmap(&self.col1, v, self.rows) });
                 rows1.push(row);
                 row += 1;
             }
             let mut rows2 = Vec::new();
             for &v in set2 {
-                program.push(Instruction::Store {
-                    row,
-                    data: Self::bitmap(&self.col2, v, self.rows),
-                });
+                program
+                    .push(Instruction::Store { row, data: Self::bitmap(&self.col2, v, self.rows) });
                 rows2.push(row);
                 row += 1;
             }
@@ -340,7 +336,8 @@ pub mod bfs {
                     }
                     let mut program = Vec::new();
                     for (i, &v) in chunk.iter().enumerate() {
-                        program.push(Instruction::Store { row: i, data: self.adjacency[v].clone() });
+                        program
+                            .push(Instruction::Store { row: i, data: self.adjacency[v].clone() });
                     }
                     let dst = chunk.len();
                     program.push(Instruction::Or { srcs: (0..chunk.len()).collect(), dst });
@@ -388,7 +385,7 @@ mod tests {
     fn kmer_search_matches_reference() {
         let mut rng = SmallRng::seed_from_u64(23);
         let bases = [b'A', b'C', b'G', b'T'];
-        let mut genome: Vec<u8> = (0..2000).map(|_| bases[rng.gen_range(0..4)]).collect();
+        let mut genome: Vec<u8> = (0..2000).map(|_| bases[rng.gen_range(0..4usize)]).collect();
         // Plant a motif to guarantee hits.
         for at in [100usize, 900, 1500] {
             genome[at..at + 6].copy_from_slice(b"ACGTAC");

@@ -155,11 +155,7 @@ impl Circuit {
 
     /// Iterates over `(name, Node)` pairs, excluding ground.
     pub fn nodes(&self) -> impl Iterator<Item = (&str, Node)> + '_ {
-        self.node_names
-            .iter()
-            .enumerate()
-            .skip(1)
-            .map(|(i, n)| (n.as_str(), Node(i)))
+        self.node_names.iter().enumerate().skip(1).map(|(i, n)| (n.as_str(), Node(i)))
     }
 
     /// Sets a node's initial voltage for transient analysis.
@@ -189,8 +185,14 @@ impl Circuit {
     ///
     /// Returns [`SpiceError::InvalidValue`] for a non-positive resistance,
     /// [`SpiceError::DuplicateElement`] for a reused name.
-    pub fn add_resistor(&mut self, name: &str, a: Node, b: Node, r: Ohms) -> Result<(), SpiceError> {
-        if !(r.as_ohms() > 0.0) {
+    pub fn add_resistor(
+        &mut self,
+        name: &str,
+        a: Node,
+        b: Node,
+        r: Ohms,
+    ) -> Result<(), SpiceError> {
+        if r.as_ohms().partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err(SpiceError::InvalidValue {
                 element: name.to_string(),
                 constraint: "resistance must be > 0",
@@ -211,8 +213,14 @@ impl Circuit {
     ///
     /// Returns [`SpiceError::InvalidValue`] for a non-positive capacitance,
     /// [`SpiceError::DuplicateElement`] for a reused name.
-    pub fn add_capacitor(&mut self, name: &str, a: Node, b: Node, c: Farads) -> Result<(), SpiceError> {
-        if !(c.as_farads() > 0.0) {
+    pub fn add_capacitor(
+        &mut self,
+        name: &str,
+        a: Node,
+        b: Node,
+        c: Farads,
+    ) -> Result<(), SpiceError> {
+        if c.as_farads().partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err(SpiceError::InvalidValue {
                 element: name.to_string(),
                 constraint: "capacitance must be > 0",
@@ -256,10 +264,17 @@ impl Circuit {
     /// # Errors
     ///
     /// Returns [`SpiceError::DuplicateElement`] for a reused name.
-    pub fn add_vsource(&mut self, name: &str, a: Node, b: Node, w: Waveform) -> Result<(), SpiceError> {
+    pub fn add_vsource(
+        &mut self,
+        name: &str,
+        a: Node,
+        b: Node,
+        w: Waveform,
+    ) -> Result<(), SpiceError> {
         let (a, b) = (self.check_node(a)?, self.check_node(b)?);
         self.check_name(name)?;
-        self.elements.push(Element { name: name.to_string(), kind: ElementKind::VSource { a, b, w } });
+        self.elements
+            .push(Element { name: name.to_string(), kind: ElementKind::VSource { a, b, w } });
         Ok(())
     }
 
@@ -269,10 +284,17 @@ impl Circuit {
     /// # Errors
     ///
     /// Returns [`SpiceError::DuplicateElement`] for a reused name.
-    pub fn add_isource(&mut self, name: &str, a: Node, b: Node, w: Waveform) -> Result<(), SpiceError> {
+    pub fn add_isource(
+        &mut self,
+        name: &str,
+        a: Node,
+        b: Node,
+        w: Waveform,
+    ) -> Result<(), SpiceError> {
         let (a, b) = (self.check_node(a)?, self.check_node(b)?);
         self.check_name(name)?;
-        self.elements.push(Element { name: name.to_string(), kind: ElementKind::ISource { a, b, w } });
+        self.elements
+            .push(Element { name: name.to_string(), kind: ElementKind::ISource { a, b, w } });
         Ok(())
     }
 
@@ -283,6 +305,7 @@ impl Circuit {
     ///
     /// Returns [`SpiceError::InvalidValue`] if either resistance is
     /// non-positive.
+    #[allow(clippy::too_many_arguments)]
     pub fn add_switch(
         &mut self,
         name: &str,
@@ -416,10 +439,7 @@ impl Circuit {
 
     /// Number of independent voltage sources (MNA branch unknowns).
     pub(crate) fn vsource_count(&self) -> usize {
-        self.elements
-            .iter()
-            .filter(|e| matches!(e.kind, ElementKind::VSource { .. }))
-            .count()
+        self.elements.iter().filter(|e| matches!(e.kind, ElementKind::VSource { .. })).count()
     }
 }
 

@@ -86,8 +86,8 @@ impl Matrix {
         // Back substitution.
         for col in (0..n).rev() {
             let mut acc = b[col];
-            for c in (col + 1)..n {
-                acc -= self.get(col, c) * b[c];
+            for (c, &bc) in b.iter().enumerate().take(n).skip(col + 1) {
+                acc -= self.get(col, c) * bc;
             }
             b[col] = acc / self.get(col, col);
         }
@@ -119,11 +119,9 @@ mod tests {
 
     #[test]
     fn solves_general_3x3() {
-        let x = solve(
-            &[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]],
-            &[8.0, -11.0, -3.0],
-        )
-        .expect("nonsingular");
+        let x =
+            solve(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]], &[8.0, -11.0, -3.0])
+                .expect("nonsingular");
         let expected = [2.0, 3.0, -1.0];
         for (xi, ei) in x.iter().zip(expected) {
             assert!((xi - ei).abs() < 1e-12, "{x:?}");

@@ -185,12 +185,12 @@ mod tests {
         let h = 1e-7;
         for (vgs, vds) in [(0.8, 0.1), (0.9, 0.6), (1.0, 0.05), (0.7, 0.3)] {
             let op = evaluate_nmos(&p(), vgs, vds);
-            let fd_gm =
-                (evaluate_nmos(&p(), vgs + h, vds).ids - evaluate_nmos(&p(), vgs - h, vds).ids)
-                    / (2.0 * h);
-            let fd_gds =
-                (evaluate_nmos(&p(), vgs, vds + h).ids - evaluate_nmos(&p(), vgs, vds - h).ids)
-                    / (2.0 * h);
+            let fd_gm = (evaluate_nmos(&p(), vgs + h, vds).ids
+                - evaluate_nmos(&p(), vgs - h, vds).ids)
+                / (2.0 * h);
+            let fd_gds = (evaluate_nmos(&p(), vgs, vds + h).ids
+                - evaluate_nmos(&p(), vgs, vds - h).ids)
+                / (2.0 * h);
             assert!((op.gm - fd_gm).abs() < 1e-4 * fd_gm.abs().max(1e-9), "gm at {vgs},{vds}");
             assert!((op.gds - fd_gds).abs() < 1e-4 * fd_gds.abs().max(1e-9), "gds at {vgs},{vds}");
         }
@@ -211,7 +211,11 @@ mod tests {
         let fd_gm = (evaluate_nmos(&p(), 1.0 + h, -0.2).ids
             - evaluate_nmos(&p(), 1.0 - h, -0.2).ids)
             / (2.0 * h);
-        assert!((op.gm - fd_gm).abs() < 1e-4 * fd_gm.abs().max(1e-9), "gm = {}, fd = {fd_gm}", op.gm);
+        assert!(
+            (op.gm - fd_gm).abs() < 1e-4 * fd_gm.abs().max(1e-9),
+            "gm = {}, fd = {fd_gm}",
+            op.gm
+        );
     }
 
     #[test]

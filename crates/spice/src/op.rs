@@ -158,10 +158,8 @@ pub fn operating_point(ckt: &Circuit) -> Result<OperatingPoint, SpiceError> {
         residual = x_new.iter().zip(&x).take(n).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
         if residual < 1.0e-9 {
             x = x_new;
-            let voltages = ckt
-                .nodes()
-                .map(|(name, node)| (name.to_string(), x[node.0 - 1]))
-                .collect();
+            let voltages =
+                ckt.nodes().map(|(name, node)| (name.to_string(), x[node.0 - 1])).collect();
             return Ok(OperatingPoint { voltages });
         }
         for k in 0..dim {
@@ -314,9 +312,6 @@ mod tests {
         let a = ckt.node("a");
         let b = ckt.node("b");
         ckt.add_resistor("R", a, b, Ohms::new(1.0)).expect("r");
-        assert!(matches!(
-            operating_point(&ckt),
-            Err(SpiceError::SingularMatrix { .. })
-        ));
+        assert!(matches!(operating_point(&ckt), Err(SpiceError::SingularMatrix { .. })));
     }
 }

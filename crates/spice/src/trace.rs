@@ -71,7 +71,13 @@ impl Trace {
 
     /// First time after `after` at which `signal` crosses `level` in the
     /// given direction, linearly interpolated. `None` if it never does.
-    pub fn cross_time(&self, signal: &str, level: Volts, edge: Edge, after: Seconds) -> Option<Seconds> {
+    pub fn cross_time(
+        &self,
+        signal: &str,
+        level: Volts,
+        edge: Edge,
+        after: Seconds,
+    ) -> Option<Seconds> {
         let xs = self.signals.get(signal)?;
         let lv = level.as_volts();
         let t0 = after.as_seconds();
@@ -173,8 +179,7 @@ impl Trace {
     /// Returns [`SpiceError::UnknownSignal`] if any requested signal is
     /// missing.
     pub fn to_csv(&self, signals: &[&str]) -> Result<String, SpiceError> {
-        let cols: Vec<&[f64]> =
-            signals.iter().map(|s| self.signal(s)).collect::<Result<_, _>>()?;
+        let cols: Vec<&[f64]> = signals.iter().map(|s| self.signal(s)).collect::<Result<_, _>>()?;
         let mut out = String::from("time");
         for s in signals {
             out.push(',');
@@ -210,9 +215,8 @@ mod tests {
     #[test]
     fn cross_time_interpolates() {
         let tr = ramp_trace();
-        let t = tr
-            .cross_time("up", Volts::new(0.55), Edge::Rising, Seconds::ZERO)
-            .expect("crosses");
+        let t =
+            tr.cross_time("up", Volts::new(0.55), Edge::Rising, Seconds::ZERO).expect("crosses");
         assert!((t.as_seconds() - 0.55).abs() < 1e-12);
     }
 
@@ -236,10 +240,7 @@ mod tests {
     #[test]
     fn unknown_signal_is_an_error() {
         let tr = ramp_trace();
-        assert!(matches!(
-            tr.voltage("nope"),
-            Err(SpiceError::UnknownSignal { .. })
-        ));
+        assert!(matches!(tr.voltage("nope"), Err(SpiceError::UnknownSignal { .. })));
     }
 
     #[test]

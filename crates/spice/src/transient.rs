@@ -152,11 +152,11 @@ impl Transient {
         let record = |trace: &mut Trace, t: f64, x: &[f64]| {
             trace.time.push(t);
             for (name, node) in &node_list {
-                trace
-                    .signals
-                    .get_mut(name)
-                    .expect("registered")
-                    .push(if *node == 0 { 0.0 } else { x[*node - 1] });
+                trace.signals.get_mut(name).expect("registered").push(if *node == 0 {
+                    0.0
+                } else {
+                    x[*node - 1]
+                });
             }
             for (name, br) in &vsrc_list {
                 trace.signals.get_mut(name).expect("registered").push(x[*br]);
@@ -303,9 +303,7 @@ impl Transient {
                         let v_old = cap_v[&ei];
                         let i_now = match integration {
                             Integration::BackwardEuler => *c / h * (v_now - v_old),
-                            Integration::Trapezoidal => {
-                                2.0 * *c / h * (v_now - v_old) - cap_i[&ei]
-                            }
+                            Integration::Trapezoidal => 2.0 * *c / h * (v_now - v_old) - cap_i[&ei],
                         };
                         cap_v.insert(ei, v_now);
                         cap_i.insert(ei, i_now);
@@ -330,12 +328,14 @@ impl Transient {
                     }
                     ElementKind::Mosfet { d, g, s, params, kind } => {
                         let (vgs, vds) = match kind {
-                            MosfetKind::Nmos => {
-                                (volt_at(&x, *g) - volt_at(&x, *s), volt_at(&x, *d) - volt_at(&x, *s))
-                            }
-                            MosfetKind::Pmos => {
-                                (volt_at(&x, *s) - volt_at(&x, *g), volt_at(&x, *s) - volt_at(&x, *d))
-                            }
+                            MosfetKind::Nmos => (
+                                volt_at(&x, *g) - volt_at(&x, *s),
+                                volt_at(&x, *d) - volt_at(&x, *s),
+                            ),
+                            MosfetKind::Pmos => (
+                                volt_at(&x, *s) - volt_at(&x, *g),
+                                volt_at(&x, *s) - volt_at(&x, *d),
+                            ),
                         };
                         let op = evaluate_nmos(params, vgs, vds);
                         (op.ids.abs() * vds.abs(), 0.0)
@@ -483,7 +483,7 @@ mod tests {
             .with_integration(Integration::Trapezoidal)
             .run(&mut ckt)
             .expect("run");
-        for (frac, t_ns) in [(0.5_f64, 0.693_147), (1.0 / std::f64::consts::E, 1.0)] {
+        for (frac, t_ns) in [(0.5_f64, std::f64::consts::LN_2), (1.0 / std::f64::consts::E, 1.0)] {
             let t = tr
                 .cross_time("a", Volts::new(frac), Edge::Falling, Seconds::ZERO)
                 .expect("crossing");
@@ -504,13 +504,11 @@ mod tests {
             ckt.add_resistor("R", a, GND, Ohms::from_kilohms(1.0)).expect("r");
             ckt.add_capacitor_with_ic("C", a, GND, Farads::from_picofarads(1.0), Volts::new(1.0))
                 .expect("c");
-            let tr = Transient::new(
-                Seconds::from_nanoseconds(1.0),
-                Seconds::from_picoseconds(dt_ps),
-            )
-            .with_integration(integration)
-            .run(&mut ckt)
-            .expect("run");
+            let tr =
+                Transient::new(Seconds::from_nanoseconds(1.0), Seconds::from_picoseconds(dt_ps))
+                    .with_integration(integration)
+                    .run(&mut ckt)
+                    .expect("run");
             let v = tr.final_value("a").expect("a");
             (v - (-1.0_f64).exp()).abs()
         };
@@ -532,7 +530,12 @@ mod tests {
             "V1",
             vin,
             GND,
-            Waveform::step(Volts::ZERO, Volts::new(1.0), Seconds::from_nanoseconds(1.0), Seconds::from_picoseconds(1.0)),
+            Waveform::step(
+                Volts::ZERO,
+                Volts::new(1.0),
+                Seconds::from_nanoseconds(1.0),
+                Seconds::from_picoseconds(1.0),
+            ),
         )
         .expect("v1");
         ckt.add_resistor("R", vin, out, Ohms::from_kilohms(1.0)).expect("r");
@@ -579,7 +582,12 @@ mod tests {
             "VG",
             gate,
             GND,
-            Waveform::step(Volts::ZERO, Volts::new(1.0), Seconds::from_nanoseconds(1.0), Seconds::from_picoseconds(10.0)),
+            Waveform::step(
+                Volts::ZERO,
+                Volts::new(1.0),
+                Seconds::from_nanoseconds(1.0),
+                Seconds::from_picoseconds(10.0),
+            ),
         )
         .expect("vg");
         ckt.add_resistor("RL", vdd, out, Ohms::from_kilohms(100.0)).expect("rl");
@@ -624,7 +632,13 @@ mod tests {
             out,
             Ohms::new(1.0),
             Ohms::from_megohms(1.0e6),
-            Waveform::pulse(Volts::ZERO, Volts::new(1.0), Seconds::from_nanoseconds(1.0), Seconds::from_nanoseconds(1.0), Seconds::from_picoseconds(1.0)),
+            Waveform::pulse(
+                Volts::ZERO,
+                Volts::new(1.0),
+                Seconds::from_nanoseconds(1.0),
+                Seconds::from_nanoseconds(1.0),
+                Seconds::from_picoseconds(1.0),
+            ),
             Volts::new(0.5),
         )
         .expect("s1");
@@ -667,7 +681,12 @@ mod tests {
             "V1",
             vin,
             GND,
-            Waveform::step(Volts::ZERO, Volts::new(2.0), Seconds::from_nanoseconds(1.0), Seconds::from_picoseconds(100.0)),
+            Waveform::step(
+                Volts::ZERO,
+                Volts::new(2.0),
+                Seconds::from_nanoseconds(1.0),
+                Seconds::from_picoseconds(100.0),
+            ),
         )
         .expect("v1");
         ckt.add_resistor("R1", vin, out, Ohms::from_kilohms(10.0)).expect("r1");
@@ -695,7 +714,13 @@ mod tests {
             "V1",
             vin,
             GND,
-            Waveform::pulse(Volts::ZERO, Volts::new(1.0), Seconds::from_nanoseconds(1.0), Seconds::from_nanoseconds(20.0), Seconds::from_picoseconds(10.0)),
+            Waveform::pulse(
+                Volts::ZERO,
+                Volts::new(1.0),
+                Seconds::from_nanoseconds(1.0),
+                Seconds::from_nanoseconds(20.0),
+                Seconds::from_picoseconds(10.0),
+            ),
         )
         .expect("v1");
         ckt.add_resistor("R1", vin, out, Ohms::from_kilohms(1.0)).expect("r1");

@@ -113,8 +113,7 @@ impl Waveform {
                     *offset
                 } else {
                     offset
-                        + amplitude
-                            * (2.0 * core::f64::consts::PI * frequency * (t - delay)).sin()
+                        + amplitude * (2.0 * core::f64::consts::PI * frequency * (t - delay)).sin()
                 }
             }
             Waveform::Pwl(points) => {

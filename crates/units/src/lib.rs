@@ -61,11 +61,7 @@ mod tests {
     fn conductance_is_reciprocal_resistance() {
         let g = Ohms::new(1.0e3).to_siemens();
         assert!(approx_eq(g.as_siemens(), 1.0e-3, RelTol::default()));
-        assert!(approx_eq(
-            g.to_ohms().as_ohms(),
-            1.0e3,
-            RelTol::default()
-        ));
+        assert!(approx_eq(g.to_ohms().as_ohms(), 1.0e3, RelTol::default()));
     }
 
     #[test]
@@ -87,10 +83,6 @@ mod tests {
         let f = Hertz::from_megahertz(10.0);
         let t = f.period();
         assert!(approx_eq(t.as_nanoseconds(), 100.0, RelTol::default()));
-        assert!(approx_eq(
-            t.to_frequency().as_hertz(),
-            1.0e7,
-            RelTol::default()
-        ));
+        assert!(approx_eq(t.to_frequency().as_hertz(), 1.0e7, RelTol::default()));
     }
 }

@@ -645,10 +645,7 @@ mod tests {
 
     #[test]
     fn sum_of_quantities() {
-        let total: Joules = [1.0, 2.0, 3.0]
-            .iter()
-            .map(|&fj| Joules::from_femtojoules(fj))
-            .sum();
+        let total: Joules = [1.0, 2.0, 3.0].iter().map(|&fj| Joules::from_femtojoules(fj)).sum();
         assert!((total.as_femtojoules() - 6.0).abs() < 1e-9);
     }
 

@@ -40,11 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
         let name = backend.name;
         let mut accel = memcim::RegexAccelerator::on_backend(&refs, backend)?;
         let outcome = accel.scan(&genome);
-        assert_eq!(
-            outcome.matches.len(),
-            reference.len(),
-            "hardware and software must agree"
-        );
+        assert_eq!(outcome.matches.len(), reference.len(), "hardware and software must agree");
         println!(
             "{name}: {} STEs, {} events, latency {}, energy {} ({} per symbol)",
             accel.state_count(),

@@ -6,8 +6,8 @@
 //! Run with: `cargo run --release --example mvp_bitmap_db`
 
 use memcim::prelude::*;
-use memcim_mvp::workloads::{bfs::Graph, bitmap::BitmapTable, kmer::ShiftedBaseIndex};
 use memcim_automata::dna;
+use memcim_mvp::workloads::{bfs::Graph, bitmap::BitmapTable, kmer::ShiftedBaseIndex};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 

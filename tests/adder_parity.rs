@@ -1,7 +1,6 @@
 //! Integration test: the in-memory parallel adder (paper reference [9])
 //! against scalar arithmetic, including its interaction with faults.
 
-use memcim::prelude::*;
 use memcim_mvp::arith::{add_bit_planes, add_vectors, from_bit_planes, to_bit_planes};
 use memcim_mvp::MvpSimulator;
 use rand::rngs::SmallRng;

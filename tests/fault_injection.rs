@@ -39,9 +39,7 @@ fn endurance_exhaustion_is_reported_and_then_silent() {
     assert_eq!(mvp.crossbar_mut().endurance_failures(), 32);
     // Cells are now stuck; further writes are accepted but inert.
     mvp.run_program(&[Instruction::Store { row: 0, data: ones }]).expect("inert");
-    let out = mvp
-        .run_program(&[Instruction::Read { row: 0 }])
-        .expect("read");
+    let out = mvp.run_program(&[Instruction::Read { row: 0 }]).expect("read");
     assert_eq!(out[0].count_ones(), 0, "row is frozen at the wear-out value");
 }
 
@@ -55,10 +53,8 @@ fn bit_level_wearout_surfaces_as_an_error() {
     let mut mvp = MvpSimulator::with_crossbar(xbar2);
     // program_row records rather than aborts, so drive a scouting write
     // whose write-back hits the worn row — still recorded silently.
-    let result = mvp.run_program(&[Instruction::Store {
-        row: 0,
-        data: BitVec::from_indices(4, &[0]),
-    }]);
+    let result =
+        mvp.run_program(&[Instruction::Store { row: 0, data: BitVec::from_indices(4, &[0]) }]);
     assert!(result.is_ok());
     assert_eq!(mvp.crossbar_mut().endurance_failures(), 1);
     let _ = MvpError::Crossbar(err); // the conversion path exists

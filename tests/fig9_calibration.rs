@@ -9,8 +9,16 @@ use memcim_units::{approx_eq, RelTol};
 fn analytic_model_hits_paper_targets_within_five_percent() {
     let rram = CellTechnology::rram_1t1r();
     let sram = CellTechnology::sram_8t();
-    assert!(approx_eq(rram.analytic_discharge_time(256).as_picoseconds(), 104.0, RelTol::new(0.05)));
-    assert!(approx_eq(sram.analytic_discharge_time(256).as_picoseconds(), 161.0, RelTol::new(0.05)));
+    assert!(approx_eq(
+        rram.analytic_discharge_time(256).as_picoseconds(),
+        104.0,
+        RelTol::new(0.05)
+    ));
+    assert!(approx_eq(
+        sram.analytic_discharge_time(256).as_picoseconds(),
+        161.0,
+        RelTol::new(0.05)
+    ));
     assert!(approx_eq(rram.analytic_cycle_energy(256).as_femtojoules(), 2.09, RelTol::new(0.05)));
     assert!(approx_eq(sram.analytic_cycle_energy(256).as_femtojoules(), 5.16, RelTol::new(0.05)));
 }
@@ -34,10 +42,8 @@ fn transient_preserves_the_papers_ratios() {
 fn stored_zero_reads_zero_on_both_technologies() {
     for tech in [CellTechnology::rram_1t1r(), CellTechnology::sram_8t()] {
         let name = tech.name;
-        let report = BitlineCircuit::lumped(tech, 256)
-            .with_stored_bit(false)
-            .run()
-            .expect("solves");
+        let report =
+            BitlineCircuit::lumped(tech, 256).with_stored_bit(false).run().expect("solves");
         assert!(!report.reads_one(), "{name}: stored 0 must keep the line high");
         assert!(
             report.bitline_after_evaluate.as_volts() > 0.35,
@@ -57,10 +63,7 @@ fn explicit_netlist_agrees_with_lumped_model() {
         let explicit = BitlineCircuit::explicit(tech, 32).run().expect("explicit");
         let t_l = lumped.discharge_time.expect("lumped").as_seconds();
         let t_e = explicit.discharge_time.expect("explicit").as_seconds();
-        assert!(
-            (t_l - t_e).abs() / t_e < 0.3,
-            "{name}: lumped {t_l:.3e} vs explicit {t_e:.3e}"
-        );
+        assert!((t_l - t_e).abs() / t_e < 0.3, "{name}: lumped {t_l:.3e} vs explicit {t_e:.3e}");
     }
 }
 
@@ -84,8 +87,7 @@ fn discharge_time_scales_with_bitline_length() {
 
 #[test]
 fn wl_driver_energy_is_excluded_from_the_cycle_figure() {
-    let report =
-        BitlineCircuit::lumped(CellTechnology::rram_1t1r(), 256).run().expect("solves");
+    let report = BitlineCircuit::lumped(CellTechnology::rram_1t1r(), 256).run().expect("solves");
     // Reported separately, and small relative to the bit-line cycle.
     assert!(report.wl_driver_energy.as_joules() < 0.3 * report.cycle_energy.as_joules());
 }

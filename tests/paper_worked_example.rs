@@ -65,8 +65,7 @@ fn paper_language_on_every_backend_and_routing() {
     let inputs: &[&[u8]] =
         &[b"b", b"ab", b"cb", b"acb", b"aacb", b"a", b"ba", b"ac", b"", b"bb", b"abab"];
     for backend in [ApBackend::rram(), ApBackend::sram(), ApBackend::sdram()] {
-        for routing in
-            [RoutingKind::Dense, RoutingKind::Hierarchical { block: 2, max_global: 64 }]
+        for routing in [RoutingKind::Dense, RoutingKind::Hierarchical { block: 2, max_global: 64 }]
         {
             let mut ap = AutomataProcessor::compile(&h, backend.clone(), routing)
                 .expect("three states map everywhere");
@@ -85,8 +84,8 @@ fn paper_language_on_every_backend_and_routing() {
 #[test]
 fn accept_events_carry_positions() {
     let h = HomogeneousAutomaton::from_nfa(&paper_nfa());
-    let mut ap = AutomataProcessor::compile(&h, ApBackend::rram(), RoutingKind::Dense)
-        .expect("maps");
+    let mut ap =
+        AutomataProcessor::compile(&h, ApBackend::rram(), RoutingKind::Dense).expect("maps");
     // "acb": S3 activates only at the final b (position 2).
     let run = ap.run(b"acb");
     assert_eq!(run.accept_events.iter().map(|&(p, _)| p).collect::<Vec<_>>(), vec![2]);

@@ -76,11 +76,7 @@ fn bfs_parity_on_structured_graphs() {
         [("star", star, 65), ("ring", ring, 50), ("split", split, 40), ("dense", dense, 128)]
     {
         let mut mvp = MvpSimulator::new(16, n);
-        assert_eq!(
-            g.bfs_mvp(&mut mvp, 0, 8).expect("mvp bfs"),
-            g.bfs_reference(0),
-            "{name}"
-        );
+        assert_eq!(g.bfs_mvp(&mut mvp, 0, 8).expect("mvp bfs"), g.bfs_reference(0), "{name}");
     }
     // Unreachable component stays at usize::MAX.
     let mut g2 = Graph::new(10);

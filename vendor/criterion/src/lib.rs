@@ -1,0 +1,236 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! bench harness.
+//!
+//! The memcim build container has no registry access, so this vendored
+//! crate implements the API subset the workspace's benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::throughput`] / [`BenchmarkGroup::sample_size`],
+//! [`Bencher::iter`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement is intentionally simple: each benchmark is warmed up,
+//! then timed over enough iterations to cross a small wall-clock budget,
+//! and the mean per-iteration time (plus derived throughput) is printed.
+//! It is a smoke-level harness — stable enough for regression eyeballing,
+//! not a statistics engine.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard opaque value barrier (mirrors
+/// `criterion::black_box`).
+pub use std::hint::black_box;
+
+/// Wall-clock budget spent measuring each benchmark after warm-up.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+/// Wall-clock budget spent warming a benchmark up.
+const WARMUP_BUDGET: Duration = Duration::from_millis(50);
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Input bytes processed per iteration (reported as MiB/s).
+    Bytes(u64),
+    /// Same as [`Throughput::Bytes`] but reported in decimal MB/s.
+    BytesDecimal(u64),
+    /// Logical elements processed per iteration (reported as Melem/s).
+    Elements(u64),
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Calls `f` repeatedly, recording total iterations and elapsed time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up until the budget is spent (at least one call).
+        let warm_start = Instant::now();
+        loop {
+            black_box(f());
+            if warm_start.elapsed() >= WARMUP_BUDGET {
+                break;
+            }
+        }
+        // Measure in growing batches until the measurement budget is hit.
+        let mut batch: u64 = 1;
+        let mut total_iters: u64 = 0;
+        let mut total_time = Duration::ZERO;
+        while total_time < MEASURE_BUDGET {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            total_time += start.elapsed();
+            total_iters += batch;
+            batch = batch.saturating_mul(2).min(1 << 20);
+        }
+        self.iters_done = total_iters;
+        self.elapsed = total_time;
+    }
+
+    fn per_iter(&self) -> Duration {
+        if self.iters_done == 0 {
+            Duration::ZERO
+        } else {
+            self.elapsed / self.iters_done.max(1) as u32
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn report(id: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let per = b.per_iter();
+    let mut line = format!("{id:<48} time: {:>12}", format_duration(per));
+    if let Some(tp) = throughput {
+        let secs = per.as_secs_f64();
+        if secs > 0.0 {
+            match tp {
+                Throughput::Bytes(n) => {
+                    line.push_str(&format!(
+                        "  thrpt: {:.2} MiB/s",
+                        n as f64 / secs / (1024.0 * 1024.0)
+                    ));
+                }
+                Throughput::BytesDecimal(n) => {
+                    line.push_str(&format!("  thrpt: {:.2} MB/s", n as f64 / secs / 1e6));
+                }
+                Throughput::Elements(n) => {
+                    line.push_str(&format!("  thrpt: {:.3} Melem/s", n as f64 / secs / 1e6));
+                }
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// Top-level harness state (mirrors `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Applies command-line configuration. Recognizes an optional
+    /// positional substring filter (as `cargo bench -- <filter>` passes).
+    pub fn configure_from_args(mut self) -> Self {
+        let filter: Vec<String> =
+            std::env::args().skip(1).filter(|a| !a.starts_with('-') && a != "--bench").collect();
+        if !filter.is_empty() {
+            self.filter = Some(filter.join(" "));
+        }
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(self, &id, None, f);
+        self
+    }
+
+    /// No-op summary hook (mirrors `Criterion::final_summary`).
+    pub fn final_summary(&self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    c: &Criterion,
+    id: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    if !c.matches(id) {
+        return;
+    }
+    let mut b = Bencher { iters_done: 0, elapsed: Duration::ZERO };
+    f(&mut b);
+    report(id, &b, throughput);
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; this harness sizes runs by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; this harness uses fixed budgets.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(self.criterion, &full, self.throughput, f);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a bench entry point running the listed target functions
+/// (mirrors `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target
+/// (mirrors `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
