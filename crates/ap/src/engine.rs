@@ -1,5 +1,6 @@
 //! The cycle engine: Equations (1)–(4) with per-cycle cost accounting.
 
+use crate::routing::FollowScratch;
 use crate::{ApBackend, ApCosts, ApError, Routing, RoutingKind};
 use memcim_automata::{ApMatrices, HomogeneousAutomaton};
 use memcim_bits::BitVec;
@@ -49,6 +50,14 @@ pub struct ApRun {
 /// pipeline of the paper's Fig. 6, accumulating latency and energy from
 /// the backend's calibrated cost model.
 ///
+/// The symbol loop is allocation-free in steady state: the processor
+/// owns double-buffered active/follow vectors and the routing scratch,
+/// all reused across symbols and across [`run`](Self::run) calls.
+/// Long-lived connections can stream incrementally through
+/// [`reset`](Self::reset) / [`feed`](Self::feed) /
+/// [`finish`](Self::finish) — feeding an input in chunks is equivalent
+/// to one [`run`](Self::run) over the concatenation.
+///
 /// See the [crate-level example](crate).
 #[derive(Debug, Clone)]
 pub struct AutomataProcessor {
@@ -56,6 +65,17 @@ pub struct AutomataProcessor {
     routing: Routing,
     backend: ApBackend,
     costs: ApCosts,
+    /// Current active vector `a` (stream state).
+    active: BitVec,
+    /// Double buffer for the follow vector `f`; swapped with `active`
+    /// each cycle instead of reallocated.
+    follow: BitVec,
+    scratch: FollowScratch,
+    /// Symbols consumed since the last [`reset`](Self::reset).
+    pos: u64,
+    accept_events: Vec<(usize, usize)>,
+    energy: f64,
+    last_accepting: bool,
 }
 
 impl AutomataProcessor {
@@ -82,7 +102,20 @@ impl AutomataProcessor {
         let matrices = automaton.to_matrices();
         let routing = Routing::compile(&matrices.r, routing)?;
         let costs = backend.costs(n, routing.resources().config_bits);
-        Ok(Self { matrices, routing, backend, costs })
+        let scratch = routing.scratch();
+        Ok(Self {
+            matrices,
+            routing,
+            backend,
+            costs,
+            active: BitVec::new(n),
+            follow: BitVec::new(n),
+            scratch,
+            pos: 0,
+            accept_events: Vec::new(),
+            energy: 0.0,
+            last_accepting: false,
+        })
     }
 
     /// The backend in use.
@@ -121,49 +154,96 @@ impl AutomataProcessor {
     }
 
     /// Streams an input through the processor.
+    ///
+    /// Equivalent to [`reset`](Self::reset), one [`feed`](Self::feed)
+    /// of the whole input, then [`finish`](Self::finish).
     pub fn run(&mut self, input: &[u8]) -> ApRun {
-        let n = self.state_count();
-        let mut active = BitVec::new(n);
-        let mut accept_events = Vec::new();
-        let mut energy = 0.0;
-        let mut last_accepting = false;
-        for (pos, &byte) in input.iter().enumerate() {
+        self.reset();
+        self.feed(input);
+        self.finish()
+    }
+
+    /// Clears the streaming state: active vector, position, accumulated
+    /// report events and energy. The scratch buffers keep their storage.
+    pub fn reset(&mut self) {
+        self.active.clear();
+        self.pos = 0;
+        self.accept_events.clear();
+        self.energy = 0.0;
+        self.last_accepting = false;
+    }
+
+    /// Streams one chunk of input through the pipeline, continuing from
+    /// the current stream position — the incremental interface for
+    /// long-lived connections. Returns the cumulative cost report for
+    /// the stream so far; report-event positions are absolute (relative
+    /// to the last [`reset`](Self::reset)).
+    ///
+    /// Feeding a split input chunk by chunk and then calling
+    /// [`finish`](Self::finish) yields exactly the [`ApRun`] of a
+    /// one-shot [`run`](Self::run) over the concatenation.
+    pub fn feed(&mut self, chunk: &[u8]) -> ApReport {
+        let ste_energy = self.costs.ste_energy_per_column.as_joules();
+        let routing_energy = self.costs.routing_energy_per_column.as_joules();
+        for &byte in chunk {
             // Step 1 — input symbol processing (Equation 1): one STE-array
             // evaluate. Discharge-proportional energy: columns whose bit
             // line falls are the ones that match the symbol.
             let s = self.matrices.v.row(byte as usize);
-            energy += s.count_ones() as f64 * self.costs.ste_energy_per_column.as_joules();
+            self.energy += s.count_ones() as f64 * ste_energy;
 
-            // Step 2 — active state processing (Equations 2 and 3).
-            let mut f = self.routing.follow(&active);
-            energy += f.count_ones() as f64 * self.costs.routing_energy_per_column.as_joules();
-            if pos == 0 {
-                f.or_assign(&self.matrices.start_of_input);
+            // Step 2 — active state processing (Equations 2 and 3), into
+            // the reused follow buffer.
+            self.routing.follow_into(&self.active, &mut self.follow, &mut self.scratch);
+            self.energy += self.follow.count_ones() as f64 * routing_energy;
+            if self.pos == 0 {
+                self.follow.or_assign(&self.matrices.start_of_input);
             }
-            f.or_assign(&self.matrices.all_input);
-            f.and_assign(s);
-            active = f;
+            self.follow.or_assign(&self.matrices.all_input);
+            self.follow.and_assign(s);
+            std::mem::swap(&mut self.active, &mut self.follow);
 
-            // Step 3 — output identification (Equation 4).
-            last_accepting = false;
-            for state in active.ones() {
-                if self.matrices.accept.get(state) {
-                    accept_events.push((pos, state));
-                    last_accepting = true;
+            // Step 3 — output identification (Equation 4): a word-AND
+            // with the accept mask, iterating ones only in live words.
+            self.last_accepting = false;
+            let pos = self.pos as usize;
+            for (wi, (&aw, &cw)) in
+                self.active.as_words().iter().zip(self.matrices.accept.as_words()).enumerate()
+            {
+                let mut live = aw & cw;
+                while live != 0 {
+                    let state = wi * 64 + live.trailing_zeros() as usize;
+                    self.accept_events.push((pos, state));
+                    self.last_accepting = true;
+                    live &= live - 1;
                 }
             }
+            self.pos += 1;
         }
-        let cycles = input.len() as u64;
-        ApRun {
-            accepted: if input.is_empty() { self.matrices.accepts_empty } else { last_accepting },
-            accept_events,
-            symbols: cycles,
-            report: ApReport {
-                cycles,
-                latency: self.costs.cycle_latency * cycles as f64,
-                energy: Joules::new(energy),
-            },
+        self.stream_report()
+    }
+
+    /// The cumulative cost report for the stream so far.
+    fn stream_report(&self) -> ApReport {
+        ApReport {
+            cycles: self.pos,
+            latency: self.costs.cycle_latency * self.pos as f64,
+            energy: Joules::new(self.energy),
         }
+    }
+
+    /// Ends the stream: returns the cumulative [`ApRun`] since the last
+    /// [`reset`](Self::reset) and resets the processor for the next
+    /// stream.
+    pub fn finish(&mut self) -> ApRun {
+        let run = ApRun {
+            accepted: if self.pos == 0 { self.matrices.accepts_empty } else { self.last_accepting },
+            accept_events: std::mem::take(&mut self.accept_events),
+            symbols: self.pos,
+            report: self.stream_report(),
+        };
+        self.reset();
+        run
     }
 }
 
@@ -195,6 +275,26 @@ mod tests {
         let run = ap.run(b"xabxab");
         let positions: Vec<usize> = run.accept_events.iter().map(|&(p, _)| p).collect();
         assert_eq!(positions, vec![2, 5]);
+    }
+
+    #[test]
+    fn feeding_chunks_matches_one_shot_run() {
+        let h = homog("ab").with_start_kind(StartKind::AllInput);
+        let mut ap =
+            AutomataProcessor::compile(&h, ApBackend::rram(), RoutingKind::Dense).expect("maps");
+        let expected = ap.run(b"xabxab");
+        ap.reset();
+        let mid = ap.feed(b"xa");
+        assert_eq!(mid.cycles, 2);
+        ap.feed(b"");
+        let cumulative = ap.feed(b"bxab");
+        assert_eq!(cumulative.cycles, 6);
+        assert_eq!(cumulative, expected.report, "cumulative report equals one-shot");
+        let streamed = ap.finish();
+        assert_eq!(streamed, expected);
+        // finish() resets: an immediately finished empty stream is the
+        // empty-input run.
+        assert_eq!(ap.finish(), ap.run(b""));
     }
 
     #[test]
@@ -323,6 +423,40 @@ mod proptests {
                     .expect("maps");
                 prop_assert_eq!(ap.run(&input).accepted, expected,
                     "pattern {} input {:?}", pattern.clone(), input.clone());
+            }
+        }
+
+        /// Feeding any chunking of an input equals the one-shot run —
+        /// events, acceptance and cost report alike — on both fabrics,
+        /// with state correctly carried across chunk boundaries and
+        /// across consecutive streams on one processor.
+        #[test]
+        fn chunked_feed_equals_one_shot_run(
+            pattern in pattern_strategy(),
+            input in proptest::collection::vec(b'a'..=b'c', 0..24),
+            cuts in proptest::collection::vec(0usize..24, 0..5),
+        ) {
+            let nfa = Regex::parse(&pattern).expect("generated").compile();
+            let h = HomogeneousAutomaton::from_nfa(&nfa)
+                .with_start_kind(memcim_automata::StartKind::AllInput);
+            if h.state_count() == 0 {
+                return Ok(());
+            }
+            let mut bounds: Vec<usize> = cuts.iter().map(|&c| c % (input.len() + 1)).collect();
+            bounds.push(0);
+            bounds.push(input.len());
+            bounds.sort_unstable();
+            for kind in [RoutingKind::Dense, RoutingKind::Hierarchical { block: 8, max_global: 1 << 16 }] {
+                let mut ap = AutomataProcessor::compile(&h, ApBackend::rram(), kind)
+                    .expect("maps");
+                let expected = ap.run(&input);
+                for window in bounds.windows(2) {
+                    ap.feed(&input[window[0]..window[1]]);
+                }
+                let streamed = ap.finish();
+                prop_assert_eq!(&streamed, &expected,
+                    "pattern {} input {:?} cuts {:?}", pattern.clone(), input.clone(),
+                    bounds.clone());
             }
         }
     }

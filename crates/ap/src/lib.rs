@@ -52,4 +52,4 @@ mod routing;
 pub use backend::{ApBackend, ApCosts};
 pub use engine::{ApReport, ApRun, AutomataProcessor};
 pub use error::ApError;
-pub use routing::{Routing, RoutingKind, RoutingResources};
+pub use routing::{FollowScratch, Routing, RoutingKind, RoutingResources};

@@ -59,10 +59,39 @@ pub struct Routing {
 struct Hierarchical {
     block: usize,
     /// `local[b]` is the intra-block matrix of block `b` (block-local
-    /// indices).
+    /// indices), zero-padded to `block × block` so one scratch pair
+    /// serves every block including a short final one.
     local: Vec<BitMatrix>,
-    /// Global wires: `(source state, dest state)` pairs crossing blocks.
-    wires: Vec<(usize, usize)>,
+    /// Cross-block wires, compiled to a CSR grouped by source *word* of
+    /// the active vector: each entry carries the OR-mask of its source
+    /// bits, so a single `AND` decides in O(1) whether any of the
+    /// entry's wires fire before the per-wire list is walked.
+    wire_words: Vec<WireWord>,
+    /// Flat `(bit-in-source-word, dest state)` list indexed by
+    /// [`WireWord::start`]`..`[`WireWord::end`].
+    wire_dests: Vec<(u32, u32)>,
+}
+
+/// One source word's worth of global wires (see [`Hierarchical`]).
+#[derive(Debug, Clone, Copy)]
+struct WireWord {
+    /// Index into `active.as_words()`.
+    word: usize,
+    /// OR of `1 << bit` over the entry's source bits.
+    mask: u64,
+    /// Range into `wire_dests`.
+    start: usize,
+    end: usize,
+}
+
+/// Reusable scratch for [`Routing::follow_into`]: the block-local active
+/// and follow slices. Obtain one from [`Routing::scratch`] and reuse it
+/// across calls — the streaming engine allocates it once per processor,
+/// never per symbol.
+#[derive(Debug, Clone)]
+pub struct FollowScratch {
+    local_a: BitVec,
+    local_f: BitVec,
 }
 
 impl Routing {
@@ -86,11 +115,11 @@ impl Routing {
             RoutingKind::Hierarchical { block, max_global } => {
                 let block = block.max(1);
                 let blocks = n.div_ceil(block).max(1);
-                let mut local = Vec::with_capacity(blocks);
-                for b in 0..blocks {
-                    let size = (n - b * block).min(block);
-                    local.push(BitMatrix::new(size, size));
-                }
+                // Local matrices are padded to block × block (the padding
+                // rows/columns stay zero and contribute nothing to the
+                // product); the hardware accounting below still charges
+                // only the true switch-cell counts.
+                let mut local = vec![BitMatrix::new(block, block); blocks];
                 let mut wires = Vec::new();
                 for p in 0..n {
                     for q in r.row(p).ones() {
@@ -108,14 +137,41 @@ impl Routing {
                         available: max_global,
                     });
                 }
-                let config_bits =
-                    local.iter().map(|m| m.rows() * m.cols()).sum::<usize>() + wires.len() * 2; // each wire: source tap + dest driver
+                let local_cells = (0..blocks)
+                    .map(|b| {
+                        let size = (n - b * block).min(block);
+                        size * size
+                    })
+                    .sum::<usize>();
+                let config_bits = local_cells + wires.len() * 2; // each wire: source tap + dest driver
                 let resources = RoutingResources { config_bits, global_wires: wires.len(), blocks };
+
+                // Compile the wires into the per-source-word CSR. Sorting
+                // by (word, bit) groups each word's wires contiguously.
+                wires.sort_unstable();
+                let mut wire_words: Vec<WireWord> = Vec::new();
+                let mut wire_dests = Vec::with_capacity(wires.len());
+                for &(p, q) in &wires {
+                    let (word, bit) = (p / 64, (p % 64) as u32);
+                    match wire_words.last_mut() {
+                        Some(entry) if entry.word == word => {
+                            entry.mask |= 1 << bit;
+                            entry.end += 1;
+                        }
+                        _ => wire_words.push(WireWord {
+                            word,
+                            mask: 1 << bit,
+                            start: wire_dests.len(),
+                            end: wire_dests.len() + 1,
+                        }),
+                    }
+                    wire_dests.push((bit, q as u32));
+                }
                 Ok(Self {
                     kind,
                     n,
                     dense: r.clone(),
-                    hierarchical: Some(Hierarchical { block, local, wires }),
+                    hierarchical: Some(Hierarchical { block, local, wire_words, wire_dests }),
                     resources,
                 })
             }
@@ -137,43 +193,81 @@ impl Routing {
         self.resources
     }
 
+    /// Creates a reusable scratch sized for this fabric. One scratch
+    /// serves any number of [`follow_into`](Self::follow_into) calls on
+    /// the same routing (the engine allocates it once per processor).
+    pub fn scratch(&self) -> FollowScratch {
+        let block = self.hierarchical.as_ref().map_or(0, |h| h.block);
+        FollowScratch { local_a: BitVec::new(block), local_f: BitVec::new(block) }
+    }
+
     /// Computes the follow vector `f = a·R` (Equation 2) through the
     /// compiled fabric.
+    ///
+    /// Allocates the result (and, hierarchically, its scratch) on every
+    /// call; hot paths should hold a [`FollowScratch`] and use
+    /// [`follow_into`](Self::follow_into) instead.
     ///
     /// # Panics
     ///
     /// Panics if `active.len()` differs from the state count.
     pub fn follow(&self, active: &BitVec) -> BitVec {
+        let mut out = BitVec::new(self.n);
+        self.follow_into(active, &mut out, &mut self.scratch());
+        out
+    }
+
+    /// Allocation-free form of [`follow`](Self::follow): overwrites
+    /// `out` with `a·R`, reusing `scratch` for the block-local slices.
+    ///
+    /// The hierarchical path is word-parallel end to end: block-local
+    /// active slices are extracted by shift/mask
+    /// ([`BitVec::extract_range_into`]), inactive blocks are skipped
+    /// after an O(words) emptiness check, block products land back in
+    /// `out` via [`BitVec::or_shifted`], and global wires are walked
+    /// through the per-source-word CSR so words with no active sources
+    /// cost a single `AND`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active.len()` or `out.len()` differs from the state
+    /// count, or if `scratch` was built for a different fabric.
+    pub fn follow_into(&self, active: &BitVec, out: &mut BitVec, scratch: &mut FollowScratch) {
         assert_eq!(active.len(), self.n, "active vector length mismatch");
+        assert_eq!(out.len(), self.n, "output vector length mismatch");
         match &self.hierarchical {
-            None => self.dense.vector_product(active),
+            None => self.dense.vector_product_into(active, out),
             Some(h) => {
-                let mut f = BitVec::new(self.n);
+                assert_eq!(
+                    scratch.local_a.len(),
+                    h.block,
+                    "scratch built for a different routing fabric"
+                );
+                out.clear();
                 // Local switches, block by block.
                 for (b, m) in h.local.iter().enumerate() {
                     let base = b * h.block;
-                    let size = m.rows();
-                    let mut local_a = BitVec::new(size);
-                    for i in 0..size {
-                        if active.get(base + i) {
-                            local_a.set(i, true);
-                        }
-                    }
-                    if !local_a.any() {
+                    let len = h.block.min(self.n - base);
+                    active.extract_range_into(base, len, &mut scratch.local_a);
+                    if !scratch.local_a.any() {
                         continue;
                     }
-                    let local_f = m.vector_product(&local_a);
-                    for i in local_f.ones() {
-                        f.set(base + i, true);
+                    m.vector_product_into(&scratch.local_a, &mut scratch.local_f);
+                    out.or_shifted(&scratch.local_f, base);
+                }
+                // Global wires, word by source word.
+                let words = active.as_words();
+                for entry in &h.wire_words {
+                    let live = words[entry.word] & entry.mask;
+                    if live == 0 {
+                        continue;
+                    }
+                    for &(bit, dest) in &h.wire_dests[entry.start..entry.end] {
+                        if live >> bit & 1 == 1 {
+                            out.set(dest as usize, true);
+                        }
                     }
                 }
-                // Global wires.
-                for &(p, q) in &h.wires {
-                    if active.get(p) {
-                        f.set(q, true);
-                    }
-                }
-                f
             }
         }
     }
@@ -283,6 +377,40 @@ mod proptests {
             let idx: Vec<usize> = actives.iter().map(|&i| i % n).collect();
             let a = BitVec::from_indices(n, &idx);
             prop_assert_eq!(dense.follow(&a), hier.follow(&a));
+        }
+
+        /// The scratch-reusing `follow_into` equals the allocating
+        /// `follow` on both fabrics — including when `out` and the
+        /// scratch arrive dirty from a previous active set.
+        #[test]
+        fn follow_into_equals_follow(
+            n in 2usize..80,
+            edges in proptest::collection::vec((0usize..80, 0usize..80), 0..120),
+            active_sets in proptest::collection::vec(
+                proptest::collection::vec(0usize..80, 0..20),
+                1..4,
+            ),
+            block in 2usize..40,
+        ) {
+            let mut m = BitMatrix::new(n, n);
+            for (p, q) in edges {
+                m.set(p % n, q % n, true);
+            }
+            for kind in [
+                RoutingKind::Dense,
+                RoutingKind::Hierarchical { block, max_global: n * n },
+            ] {
+                let routing = Routing::compile(&m, kind).expect("routable");
+                let mut out = BitVec::from_indices(n, &(0..n).collect::<Vec<_>>());
+                let mut scratch = routing.scratch();
+                for actives in &active_sets {
+                    let idx: Vec<usize> = actives.iter().map(|&i| i % n).collect();
+                    let a = BitVec::from_indices(n, &idx);
+                    routing.follow_into(&a, &mut out, &mut scratch);
+                    prop_assert_eq!(&out, &routing.follow(&a), "kind {:?}", kind);
+                    prop_assert_eq!(&out, &m.vector_product(&a), "kind {:?} vs dense product", kind);
+                }
+            }
         }
     }
 }

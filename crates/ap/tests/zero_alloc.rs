@@ -1,0 +1,73 @@
+//! Pins the tentpole perf contract: in steady state the symbol loop of
+//! [`AutomataProcessor::run`] performs **zero heap allocations per input
+//! symbol** — all scratch is owned by the processor and reused across
+//! symbols and across `run` calls.
+//!
+//! This file holds exactly one test so no concurrent test can allocate
+//! while the counter window is open.
+
+use memcim_ap::{ApBackend, AutomataProcessor, RoutingKind};
+use memcim_automata::{HomogeneousAutomaton, Regex, StartKind};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+#[test]
+fn steady_state_symbol_loop_does_not_allocate() {
+    let nfa = Regex::parse("(GET|POST) /[a-z]+").expect("parses").compile();
+    let homog = HomogeneousAutomaton::from_nfa(&nfa).with_start_kind(StartKind::AllInput);
+    // Traffic with no report events: every byte is outside the matched
+    // alphabet, so the run's event vector stays empty and only the
+    // per-symbol pipeline itself could allocate.
+    let traffic = vec![b'#'; 4096];
+    for kind in [RoutingKind::Dense, RoutingKind::Hierarchical { block: 16, max_global: 1 << 16 }] {
+        let mut ap = AutomataProcessor::compile(&homog, ApBackend::rram(), kind).expect("maps");
+        // Warm up: first run may size internal buffers.
+        let warm = ap.run(&traffic);
+        assert!(warm.accept_events.is_empty(), "traffic must be event-free");
+
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        let run = ap.run(&traffic);
+        let after = ALLOCATIONS.load(Ordering::Relaxed);
+        assert_eq!(run.symbols, 4096);
+        assert_eq!(
+            after - before,
+            0,
+            "steady-state run over 4096 symbols allocated {} times ({kind:?})",
+            after - before
+        );
+
+        // The incremental API shares the same scratch: chunked feeding
+        // stays allocation-free too.
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        for chunk in traffic.chunks(64) {
+            ap.feed(chunk);
+        }
+        let report = ap.finish().report;
+        let after = ALLOCATIONS.load(Ordering::Relaxed);
+        assert_eq!(report.cycles, 4096);
+        assert_eq!(after - before, 0, "chunked feed allocated ({kind:?})");
+    }
+}

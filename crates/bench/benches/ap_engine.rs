@@ -2,10 +2,11 @@
 //! backends and routing fabrics, against the software NFA baseline.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use memcim_ap::{ApBackend, AutomataProcessor, RoutingKind};
+use memcim_ap::{ApBackend, AutomataProcessor, Routing, RoutingKind};
 use memcim_automata::{rules, PatternSet, StartKind};
+use memcim_bits::{BitMatrix, BitVec};
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 
 fn bench_ap(c: &mut Criterion) {
@@ -46,5 +47,47 @@ fn bench_ap(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ap);
+/// `Routing::follow`-only microbench: isolates Equation (2) from the
+/// rest of the pipeline at 1k and 4k states, on both fabrics, with the
+/// allocation-free `follow_into` path the engine uses.
+fn bench_follow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing_follow");
+    for n in [1024usize, 4096] {
+        let mut rng = SmallRng::seed_from_u64(2018 ^ n as u64);
+        // ~4 successors per state, mostly block-local with a cross-block
+        // tail — the shape homogeneous automata actually map to.
+        let mut m = BitMatrix::new(n, n);
+        for p in 0..n {
+            for _ in 0..4 {
+                let q = if rng.gen_range(0..8) == 0 {
+                    rng.gen_range(0..n)
+                } else {
+                    (p / 256) * 256 + rng.gen_range(0..256.min(n))
+                };
+                m.set(p, q % n, true);
+            }
+        }
+        let active_idx: Vec<usize> = (0..n / 16).map(|_| rng.gen_range(0..n)).collect();
+        let active = BitVec::from_indices(n, &active_idx);
+        group.throughput(Throughput::Elements(n as u64));
+        group.sample_size(20);
+        for (label, kind) in [
+            ("dense", RoutingKind::Dense),
+            ("hierarchical", RoutingKind::Hierarchical { block: 256, max_global: n * n }),
+        ] {
+            let routing = Routing::compile(&m, kind).expect("routable");
+            let mut out = BitVec::new(n);
+            let mut scratch = routing.scratch();
+            group.bench_function(format!("follow_{label}_{n}"), |b| {
+                b.iter(|| {
+                    routing.follow_into(black_box(&active), &mut out, &mut scratch);
+                    black_box(&out);
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ap, bench_follow);
 criterion_main!(benches);

@@ -1,0 +1,283 @@
+//! Reproducible performance report for the hot paths: AP symbol
+//! streaming, bit-line transient solves and MVP bulk bitwise queries.
+//!
+//! Unlike the criterion benches (interactive, eyeball-level), this binary
+//! runs **fixed-seed** workloads and writes a **machine-readable** JSON
+//! report so the repository can keep a committed performance trajectory
+//! (`BENCH_ap_engine.json`) that future PRs extend and compare against.
+//!
+//! ```text
+//! perf_report [--quick] [--out PATH] [--baseline PATH]
+//! perf_report --check PATH
+//! ```
+//!
+//! * `--quick` shrinks every workload (CI smoke mode; same seeds).
+//! * `--out` sets the report path (default `BENCH_ap_engine.json`).
+//! * `--baseline` embeds a previously written report under `"baseline"`,
+//!   which is how before/after numbers land in one committed file.
+//! * `--check` parses an existing report and fails (exit 1) if it is
+//!   malformed or missing a required config — the CI guard.
+
+use memcim_ap::{ApBackend, AutomataProcessor, RoutingKind};
+use memcim_automata::{rules, PatternSet, StartKind};
+use memcim_bench::json::{self, JsonValue};
+use memcim_crossbar::{BitlineCircuit, CellTechnology};
+use memcim_mvp::workloads::bitmap::BitmapTable;
+use memcim_mvp::MvpSimulator;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// Workload seed shared by every config (the paper's year).
+const SEED: u64 = 2018;
+
+/// Configs that must be present for a report to be considered complete
+/// (the `--check` contract; also documented in the README).
+const REQUIRED_CONFIGS: &[&str] = &[
+    "engine_dense_RRAM-AP",
+    "engine_dense_SRAM-AP",
+    "engine_hierarchical_RRAM-AP",
+    "software_bitparallel",
+    "bitline_lumped_RRAM-AP",
+    "bitline_lumped_SRAM-AP",
+    "mvp_bitmap_query",
+];
+
+struct ConfigResult {
+    name: &'static str,
+    /// What one unit is: `"symbol"`, `"solve"`, `"record"`.
+    unit: &'static str,
+    /// Units processed per timed iteration.
+    units_per_iter: u64,
+    iters: u64,
+    wall: Duration,
+}
+
+impl ConfigResult {
+    fn ns_per_unit(&self) -> f64 {
+        self.wall.as_nanos() as f64 / (self.iters * self.units_per_iter) as f64
+    }
+
+    fn units_per_sec(&self) -> f64 {
+        1.0e9 / self.ns_per_unit()
+    }
+}
+
+/// Times `f` (which processes `units_per_iter` units per call): one
+/// warm-up call, then whole-call batches until `budget` is spent.
+fn measure<F: FnMut()>(
+    name: &'static str,
+    unit: &'static str,
+    units_per_iter: u64,
+    budget: Duration,
+    mut f: F,
+) -> ConfigResult {
+    f(); // warm-up
+    let mut iters = 0u64;
+    let mut wall = Duration::ZERO;
+    while wall < budget {
+        let start = Instant::now();
+        f();
+        wall += start.elapsed();
+        iters += 1;
+    }
+    ConfigResult { name, unit, units_per_iter, iters, wall }
+}
+
+fn run_workloads(quick: bool) -> Vec<ConfigResult> {
+    let budget = if quick { Duration::from_millis(20) } else { Duration::from_millis(400) };
+    let mut results = Vec::new();
+
+    // --- AP engine: synthetic rule set over synthetic traffic ----------
+    let mut rng = SmallRng::seed_from_u64(SEED);
+    let texts = rules::synthetic_rules(&mut rng, 16);
+    let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+    let set = PatternSet::compile(&refs).expect("rules compile");
+    let traffic_len = if quick { 1 << 12 } else { 1 << 16 };
+    let traffic = rules::synthetic_traffic(&mut rng, set.patterns(), traffic_len, 32);
+    let (homog, _) = set.to_homogeneous();
+    let scanning = homog.with_start_kind(StartKind::AllInput);
+    let symbols = traffic.len() as u64;
+
+    for (name, backend) in
+        [("engine_dense_RRAM-AP", ApBackend::rram()), ("engine_dense_SRAM-AP", ApBackend::sram())]
+    {
+        let mut ap =
+            AutomataProcessor::compile(&scanning, backend, RoutingKind::Dense).expect("dense maps");
+        results.push(measure(name, "symbol", symbols, budget, || {
+            std::hint::black_box(ap.run(&traffic));
+        }));
+    }
+    let mut hier = AutomataProcessor::compile(
+        &scanning,
+        ApBackend::rram(),
+        RoutingKind::Hierarchical { block: 64, max_global: 1 << 16 },
+    )
+    .expect("hierarchical maps");
+    results.push(measure("engine_hierarchical_RRAM-AP", "symbol", symbols, budget, || {
+        std::hint::black_box(hier.run(&traffic));
+    }));
+    let matrices = scanning.to_matrices();
+    results.push(measure("software_bitparallel", "symbol", symbols, budget, || {
+        std::hint::black_box(matrices.run(&traffic));
+    }));
+
+    // --- Bit-line transient solves (the spice hot path) ----------------
+    let cells = if quick { 32 } else { 256 };
+    for (name, tech) in [
+        ("bitline_lumped_RRAM-AP", CellTechnology::rram_1t1r()),
+        ("bitline_lumped_SRAM-AP", CellTechnology::sram_8t()),
+    ] {
+        let tech = tech.clone();
+        results.push(measure(name, "solve", 1, budget, || {
+            std::hint::black_box(
+                BitlineCircuit::lumped(tech.clone(), cells).run().expect("bitline solves"),
+            );
+        }));
+    }
+
+    // --- MVP bulk bitwise query ----------------------------------------
+    let records = if quick { 2_048 } else { 16_384 };
+    let mut wrng = SmallRng::seed_from_u64(SEED);
+    let col1: Vec<u8> = (0..records).map(|_| wrng.gen_range(0..16)).collect();
+    let col2: Vec<u8> = (0..records).map(|_| wrng.gen_range(0..8)).collect();
+    let table = BitmapTable::new(col1, col2, 16);
+    let mut mvp = MvpSimulator::new(32, records);
+    results.push(measure("mvp_bitmap_query", "record", records as u64, budget, || {
+        std::hint::black_box(table.query_mvp(&mut mvp, &[1, 4, 9], &[0, 3]).expect("query runs"));
+    }));
+
+    results
+}
+
+fn render_report(results: &[ConfigResult], quick: bool, baseline: Option<&str>) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"memcim-perf-report/v1\",\n");
+    out.push_str("  \"bench\": \"ap_engine\",\n");
+    out.push_str(&format!("  \"mode\": \"{}\",\n", if quick { "quick" } else { "full" }));
+    out.push_str(&format!("  \"seed\": {SEED},\n"));
+    out.push_str("  \"configs\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", json::escape(r.name)));
+        out.push_str(&format!("      \"unit\": \"{}\",\n", json::escape(r.unit)));
+        out.push_str(&format!("      \"units_per_iter\": {},\n", r.units_per_iter));
+        out.push_str(&format!("      \"iters\": {},\n", r.iters));
+        out.push_str(&format!("      \"wall_ms\": {:.3},\n", r.wall.as_secs_f64() * 1e3));
+        out.push_str(&format!("      \"ns_per_unit\": {:.3},\n", r.ns_per_unit()));
+        out.push_str(&format!("      \"units_per_sec\": {:.1}\n", r.units_per_sec()));
+        out.push_str(if i + 1 == results.len() { "    }\n" } else { "    },\n" });
+    }
+    out.push_str("  ]");
+    if let Some(raw) = baseline {
+        out.push_str(",\n  \"baseline\": ");
+        out.push_str(raw.trim());
+        out.push('\n');
+    } else {
+        out.push('\n');
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Validates a written report: parses, checks the schema tag and that
+/// every required config is present with sane numbers.
+fn check_report(text: &str) -> Result<(), String> {
+    let doc = json::parse(text).map_err(|e| e.to_string())?;
+    match doc.get("schema").and_then(JsonValue::as_str) {
+        Some("memcim-perf-report/v1") => {}
+        other => return Err(format!("unexpected schema tag {other:?}")),
+    }
+    let configs = doc
+        .get("configs")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| "missing \"configs\" array".to_string())?;
+    for required in REQUIRED_CONFIGS {
+        let entry = configs
+            .iter()
+            .find(|c| c.get("name").and_then(JsonValue::as_str) == Some(required))
+            .ok_or_else(|| format!("missing config {required:?}"))?;
+        for field in ["ns_per_unit", "units_per_sec", "wall_ms"] {
+            let x = entry
+                .get(field)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("config {required:?}: missing number {field:?}"))?;
+            if !(x.is_finite() && x > 0.0) {
+                return Err(format!("config {required:?}: {field} = {x} is not positive"));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out_path = "BENCH_ap_engine.json".to_string();
+    let mut baseline_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => out_path = it.next().expect("--out needs a path").clone(),
+            "--baseline" => {
+                baseline_path = Some(it.next().expect("--baseline needs a path").clone())
+            }
+            "--check" => check_path = Some(it.next().expect("--check needs a path").clone()),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!(
+                    "usage: perf_report [--quick] [--out PATH] [--baseline PATH] | --check PATH"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(path) = check_path {
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        match check_report(&text) {
+            Ok(()) => {
+                println!("{path}: OK ({} required configs present)", REQUIRED_CONFIGS.len());
+                return;
+            }
+            Err(message) => {
+                eprintln!("{path}: INVALID — {message}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let baseline = baseline_path.map(|path| {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        json::parse(&text).unwrap_or_else(|e| panic!("baseline {path} is not valid JSON: {e}"));
+        text
+    });
+
+    let results = run_workloads(quick);
+    println!(
+        "{}",
+        memcim_bench::table(
+            &["config", "unit", "ns/unit", "units/s", "iters"],
+            &results
+                .iter()
+                .map(|r| vec![
+                    r.name.to_string(),
+                    r.unit.to_string(),
+                    memcim_bench::fmt(r.ns_per_unit(), 2),
+                    memcim_bench::fmt(r.units_per_sec(), 0),
+                    r.iters.to_string(),
+                ])
+                .collect::<Vec<_>>(),
+        )
+    );
+
+    let report = render_report(&results, quick, baseline.as_deref());
+    check_report(&report).expect("generated report must validate");
+    std::fs::write(&out_path, &report).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("wrote {out_path}");
+}

@@ -2,7 +2,11 @@
 //!
 //! Each binary in `src/bin/` regenerates one figure (or headline number)
 //! of the paper; see the experiment index in `DESIGN.md` and the
-//! paper-vs-measured record in `EXPERIMENTS.md`.
+//! paper-vs-measured record in `EXPERIMENTS.md`. The [`json`] module
+//! backs the machine-readable reports written by the `perf_report`
+//! binary.
+
+pub mod json;
 
 /// Renders a simple aligned table: a header row plus data rows.
 ///

@@ -84,12 +84,26 @@ impl BitMatrix {
     ///
     /// Panics if `x.len() != rows`.
     pub fn vector_product(&self, x: &BitVec) -> BitVec {
-        assert_eq!(x.len(), self.rows, "vector length must equal row count");
         let mut acc = BitVec::new(self.cols);
-        for r in x.ones() {
-            acc.or_assign(&self.data[r]);
-        }
+        self.vector_product_into(x, &mut acc);
         acc
+    }
+
+    /// Allocation-free form of [`vector_product`](Self::vector_product):
+    /// overwrites `out` with `x · M`, reusing its storage. This is the
+    /// inner loop of the AP engine's Equation (2), so callers stream
+    /// symbols without a heap allocation per cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows` or `out.len() != cols`.
+    pub fn vector_product_into(&self, x: &BitVec, out: &mut BitVec) {
+        assert_eq!(x.len(), self.rows, "vector length must equal row count");
+        assert_eq!(out.len(), self.cols, "output length must equal column count");
+        out.clear();
+        for r in x.ones() {
+            out.or_assign(&self.data[r]);
+        }
     }
 
     /// Number of set bits in the whole matrix.
@@ -97,15 +111,62 @@ impl BitMatrix {
         self.data.iter().map(BitVec::count_ones).sum()
     }
 
-    /// The transpose.
+    /// The transpose, computed word-parallel over 64×64 bit tiles
+    /// (Hacker's Delight §7-3) rather than bit by bit.
     pub fn transpose(&self) -> BitMatrix {
         let mut t = BitMatrix::new(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in self.data[r].ones() {
-                t.set(c, r, true);
+        let row_blocks = self.rows.div_ceil(64);
+        let col_blocks = self.cols.div_ceil(64);
+        let mut tile = [0u64; 64];
+        for rb in 0..row_blocks {
+            for cb in 0..col_blocks {
+                // Gather the 64×64 tile at (rb, cb); missing rows/words
+                // read as zero.
+                let mut any = false;
+                for (i, w) in tile.iter_mut().enumerate() {
+                    *w = self
+                        .data
+                        .get(rb * 64 + i)
+                        .and_then(|row| row.as_words().get(cb).copied())
+                        .unwrap_or(0);
+                    any |= *w != 0;
+                }
+                if !any {
+                    continue;
+                }
+                transpose64(&mut tile);
+                for (j, &w) in tile.iter().enumerate() {
+                    if w == 0 {
+                        continue;
+                    }
+                    if let Some(row) = t.data.get_mut(cb * 64 + j) {
+                        row.as_words_mut()[rb] = w;
+                    }
+                }
             }
         }
         t
+    }
+}
+
+/// In-place transpose of a 64×64 bit tile (rows as `u64` words, bit `c`
+/// of word `r` ⇔ element `(r, c)`): swap progressively smaller
+/// off-diagonal blocks, 32×32 down to 1×1.
+fn transpose64(tile: &mut [u64; 64]) {
+    let mut width = 32;
+    let mut mask: u64 = 0x0000_0000_ffff_ffff;
+    while width != 0 {
+        let mut r = 0;
+        while r < 64 {
+            for i in r..r + width {
+                let swap = (tile[i] >> width ^ tile[i + width]) & mask;
+                tile[i] ^= swap << width;
+                tile[i + width] ^= swap;
+            }
+            r += width * 2;
+        }
+        width /= 2;
+        mask ^= mask << width;
     }
 }
 
@@ -170,6 +231,41 @@ mod tests {
     }
 
     #[test]
+    fn transpose_handles_non_square_tile_straddling_shapes() {
+        // 70×130 exercises partial tiles on both axes.
+        let mut m = BitMatrix::new(70, 130);
+        let bits = [(0, 0), (0, 129), (63, 64), (64, 63), (69, 65), (1, 127)];
+        for &(r, c) in &bits {
+            m.set(r, c, true);
+        }
+        let t = m.transpose();
+        assert_eq!(t.rows(), 130);
+        assert_eq!(t.cols(), 70);
+        assert_eq!(t.count_ones(), bits.len());
+        for &(r, c) in &bits {
+            assert!(t.get(c, r), "({r},{c}) must transpose to ({c},{r})");
+        }
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn vector_product_into_overwrites_dirty_scratch() {
+        let m = paper_r();
+        let mut out = BitVec::from_indices(3, &[0, 1, 2]);
+        m.vector_product_into(&BitVec::from_indices(3, &[0]), &mut out);
+        assert_eq!(out.ones().collect::<Vec<_>>(), vec![1, 2]);
+        m.vector_product_into(&BitVec::new(3), &mut out);
+        assert!(!out.any());
+    }
+
+    #[test]
+    #[should_panic(expected = "output length")]
+    fn vector_product_into_checks_output_length() {
+        let mut out = BitVec::new(4);
+        paper_r().vector_product_into(&BitVec::new(3), &mut out);
+    }
+
+    #[test]
     fn set_row_replaces_contents() {
         let mut m = BitMatrix::new(2, 3);
         m.set_row(1, BitVec::from_indices(3, &[0, 2]));
@@ -225,6 +321,42 @@ mod proptests {
             for c in 0..cols {
                 let expect = (0..rows).any(|r| x.get(r) && m.get(r, c));
                 prop_assert_eq!(fast.get(c), expect, "col {}", c);
+            }
+            let mut reused = BitVec::from_indices(cols, &(0..cols).collect::<Vec<_>>());
+            m.vector_product_into(&x, &mut reused);
+            prop_assert_eq!(reused, fast);
+        }
+
+        /// The tiled word-level transpose agrees with the per-bit
+        /// definition across tile-straddling shapes.
+        #[test]
+        fn transpose_matches_reference(
+            rows in 1usize..150,
+            cols in 1usize..150,
+            seed in any::<u64>(),
+        ) {
+            let mut state = seed | 1;
+            let mut next_bool = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state & 7 == 0
+            };
+            let mut m = BitMatrix::new(rows, cols);
+            for r in 0..rows {
+                for c in 0..cols {
+                    if next_bool() {
+                        m.set(r, c, true);
+                    }
+                }
+            }
+            let t = m.transpose();
+            prop_assert_eq!(t.rows(), cols);
+            prop_assert_eq!(t.cols(), rows);
+            for r in 0..rows {
+                for c in 0..cols {
+                    prop_assert_eq!(t.get(c, r), m.get(r, c), "({}, {})", r, c);
+                }
             }
         }
     }

@@ -212,6 +212,82 @@ impl BitVec {
     pub fn as_words(&self) -> &[u64] {
         &self.words
     }
+
+    pub(crate) fn as_words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// Index of the lowest set bit, or `None` for an all-zero vector.
+    pub fn first_one(&self) -> Option<usize> {
+        self.words
+            .iter()
+            .position(|&w| w != 0)
+            .map(|i| i * 64 + self.words[i].trailing_zeros() as usize)
+    }
+
+    /// Copies the bit range `[start, start + len)` of `self` into bit
+    /// positions `[0, len)` of `out`, clearing every other bit of `out`
+    /// — the word-parallel replacement for a per-bit extraction loop
+    /// (each output word is assembled from at most two input words by
+    /// shift and OR).
+    ///
+    /// `out` may be longer than `len`; the surplus bits end up zero, so
+    /// a single scratch vector sized for the largest slice can serve
+    /// every extraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + len > self.len()` or `len > out.len()`.
+    pub fn extract_range_into(&self, start: usize, len: usize, out: &mut BitVec) {
+        assert!(
+            start + len <= self.len,
+            "range {start}..{} out of bounds (len {})",
+            start + len,
+            self.len
+        );
+        assert!(len <= out.len, "range length {len} exceeds output length {}", out.len);
+        let w0 = start / 64;
+        let off = start % 64;
+        let words_needed = len.div_ceil(64);
+        for j in 0..out.words.len() {
+            if j >= words_needed {
+                out.words[j] = 0;
+                continue;
+            }
+            let lo = self.words.get(w0 + j).copied().unwrap_or(0) >> off;
+            let hi = if off == 0 {
+                0
+            } else {
+                self.words.get(w0 + j + 1).copied().unwrap_or(0) << (64 - off)
+            };
+            out.words[j] = lo | hi;
+        }
+        // Clear bits at and above `len` in the last populated word.
+        let tail = len % 64;
+        if tail != 0 {
+            out.words[words_needed - 1] &= (1u64 << tail) - 1;
+        }
+    }
+
+    /// ORs `src` into `self` with every bit index shifted up by `shift`:
+    /// `self[shift + i] |= src[i]`. Bits that would land at or beyond
+    /// `self.len()` are discarded. Word-parallel: each source word is
+    /// split across at most two destination words.
+    pub fn or_shifted(&mut self, src: &BitVec, shift: usize) {
+        let w0 = shift / 64;
+        let off = shift % 64;
+        let n_words = self.words.len();
+        for (j, &sw) in src.words.iter().enumerate() {
+            if sw == 0 || w0 + j >= n_words {
+                continue;
+            }
+            self.words[w0 + j] |= sw << off;
+            if off != 0 && w0 + j + 1 < n_words {
+                self.words[w0 + j + 1] |= sw >> (64 - off);
+            }
+        }
+        self.mask_tail();
+    }
 }
 
 impl fmt::Debug for BitVec {
@@ -334,6 +410,45 @@ mod tests {
     }
 
     #[test]
+    fn first_one_finds_the_lowest_bit() {
+        assert_eq!(BitVec::new(200).first_one(), None);
+        assert_eq!(BitVec::from_indices(200, &[77, 130]).first_one(), Some(77));
+        assert_eq!(BitVec::from_indices(65, &[64]).first_one(), Some(64));
+    }
+
+    #[test]
+    fn extract_range_crosses_word_boundaries() {
+        let v = BitVec::from_indices(300, &[60, 63, 64, 65, 130, 190]);
+        let mut out = BitVec::new(80);
+        v.extract_range_into(60, 75, &mut out);
+        assert_eq!(out.ones().collect::<Vec<_>>(), vec![0, 3, 4, 5, 70]);
+        // Surplus bits of a longer scratch stay clear, and a second use
+        // fully overwrites the first.
+        v.extract_range_into(128, 4, &mut out);
+        assert_eq!(out.ones().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn or_shifted_places_bits_and_discards_overflow() {
+        let mut acc = BitVec::from_indices(100, &[0]);
+        acc.or_shifted(&BitVec::from_indices(70, &[0, 1, 69]), 30);
+        assert_eq!(acc.ones().collect::<Vec<_>>(), vec![0, 30, 31, 99]);
+        // Bits shifted past the end are dropped, tail stays masked.
+        let mut short = BitVec::new(66);
+        short.or_shifted(&BitVec::from_indices(10, &[0, 5]), 64);
+        assert_eq!(short.ones().collect::<Vec<_>>(), vec![64]);
+        assert_eq!(short.count_ones(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn extract_range_checks_source_bounds() {
+        let v = BitVec::new(10);
+        let mut out = BitVec::new(10);
+        v.extract_range_into(5, 6, &mut out);
+    }
+
+    #[test]
     #[should_panic(expected = "out of bounds")]
     fn out_of_bounds_get_panics() {
         let v = BitVec::new(8);
@@ -397,6 +512,41 @@ mod proptests {
             let idx: Vec<usize> = v.ones().collect();
             let v2 = BitVec::from_indices(xs.len(), &idx);
             prop_assert_eq!(v, v2);
+        }
+
+        /// extract_range_into agrees with a per-bit reference and
+        /// or_shifted is its inverse (extract then shift back re-ORs the
+        /// same bits), for arbitrary offsets straddling word boundaries.
+        #[test]
+        fn extract_and_or_shifted_match_reference(
+            xs in proptest::collection::vec(any::<bool>(), 1..300),
+            start_frac in 0.0f64..1.0,
+            len_frac in 0.0f64..1.0,
+            out_extra in 0usize..70,
+        ) {
+            let v = BitVec::from_bools(&xs);
+            let start = (start_frac * xs.len() as f64) as usize;
+            let len = (len_frac * (xs.len() - start) as f64) as usize;
+            let mut out = BitVec::new(len + out_extra);
+            out.set_all(); // must be fully overwritten
+            v.extract_range_into(start, len, &mut out);
+            for i in 0..out.len() {
+                let expect = i < len && xs[start + i];
+                prop_assert_eq!(out.get(i), expect, "bit {}", i);
+            }
+            let mut back = BitVec::new(xs.len());
+            back.or_shifted(&out, start);
+            for (i, &x) in xs.iter().enumerate() {
+                let expect = (start..start + len).contains(&i) && x;
+                prop_assert_eq!(back.get(i), expect, "round-trip bit {}", i);
+            }
+        }
+
+        /// first_one equals the first index reported by ones().
+        #[test]
+        fn first_one_matches_ones(xs in proptest::collection::vec(any::<bool>(), 1..300)) {
+            let v = BitVec::from_bools(&xs);
+            prop_assert_eq!(v.first_one(), v.ones().next());
         }
     }
 }

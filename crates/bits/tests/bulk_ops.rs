@@ -199,3 +199,48 @@ fn vector_product_rejects_wrong_length() {
     let m = BitMatrix::new(3, 8);
     let _ = m.vector_product(&BitVec::new(4));
 }
+
+#[test]
+fn extract_or_shifted_round_trip_at_word_boundaries() {
+    // Slicing [start, start+len) out and ORing it back at the same
+    // offset must reproduce exactly the in-range bits, for every
+    // boundary-straddling (len, start) combination.
+    for len in BOUNDARY_LENS {
+        let xs = pattern(len, 0xF0E1 ^ len as u64);
+        let v = BitVec::from_bools(&xs);
+        for start in [0, 1, len / 2, len.saturating_sub(1)] {
+            let slice_len = len - start;
+            let mut slice = BitVec::new(slice_len.max(1));
+            v.extract_range_into(start, slice_len, &mut slice);
+            let mut back = BitVec::new(len);
+            back.or_shifted(&slice, start);
+            for (i, &expect) in xs.iter().enumerate() {
+                let in_range = i >= start;
+                assert_eq!(back.get(i), expect && in_range, "len {len}, start {start}, bit {i}");
+            }
+        }
+    }
+}
+
+#[test]
+fn first_one_and_into_product_agree_with_reference_at_word_boundaries() {
+    for len in BOUNDARY_LENS {
+        let xs = pattern(len, 0xD00D ^ len as u64);
+        let v = BitVec::from_bools(&xs);
+        assert_eq!(v.first_one(), xs.iter().position(|&b| b), "first_one, len {len}");
+
+        // vector_product_into over a square pattern matrix equals the
+        // allocating product even when the scratch starts dirty.
+        let mut m = BitMatrix::new(len, len);
+        for (r, row_seed) in (0..len).zip(100u64..) {
+            for (c, &bit) in pattern(len, row_seed).iter().enumerate() {
+                if bit {
+                    m.set(r, c, true);
+                }
+            }
+        }
+        let mut scratch = BitVec::from_bools(&vec![true; len]);
+        m.vector_product_into(&v, &mut scratch);
+        assert_eq!(scratch, m.vector_product(&v), "product, len {len}");
+    }
+}

@@ -78,7 +78,7 @@ pub mod prelude {
         StanfordAsu, StanfordParams, SwitchParams, Vteam, VteamParams,
     };
     pub use memcim_mvp::{evaluate, Instruction, MissRates, MvpSimulator, SystemConfig};
-    pub use memcim_spice::{Circuit, Edge, Integration, Transient, Waveform};
+    pub use memcim_spice::{Circuit, Edge, Integration, SolverKind, Transient, Waveform};
     pub use memcim_units::{
         Amps, Farads, Hertz, Joules, Ohms, Seconds, Siemens, SquareMicrometers, Volts, Watts,
     };

@@ -58,6 +58,7 @@ mod waveform;
 
 pub use circuit::{Circuit, Node};
 pub use error::SpiceError;
+pub use linalg::SolverKind;
 pub use mosfet::{MosfetKind, MosfetParams};
 pub use op::{operating_point, OperatingPoint};
 pub use trace::{Edge, Trace};

@@ -1,21 +1,47 @@
-//! Dense linear algebra: LU factorization with partial pivoting.
+//! Dense linear algebra: LU factorization with partial pivoting, plus a
+//! Thomas-algorithm fast path for tridiagonal systems.
 //!
 //! The MNA systems in this workspace are small (tens of unknowns for the
 //! lumped bit-line circuits, a few hundred for the explicit-cell
 //! validation runs), so a dense solver with O(n³) factorization is the
-//! right tool — no sparse machinery, no external dependency.
+//! right tool — no sparse machinery, no external dependency. The RC
+//! ladders of the Fig. 9 bit-line circuits, however, assemble to purely
+//! tridiagonal matrices; those are detected with an O(n²) band scan and
+//! solved in O(n) by the Thomas algorithm, falling back to dense LU
+//! whenever the structure or a pivot does not cooperate.
+
+/// Which factorization [`Matrix::solve_in_place`] is allowed to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverKind {
+    /// Try the tridiagonal Thomas fast path, fall back to dense LU.
+    #[default]
+    Auto,
+    /// Always dense LU with partial pivoting (the validation reference).
+    DenseLu,
+}
 
 /// A dense row-major matrix of `f64`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub(crate) struct Matrix {
     n: usize,
     data: Vec<f64>,
+    /// Reusable working storage for the Thomas fast path (eliminated
+    /// diagonal + rhs), retained across solves so the
+    /// Newton-per-timestep call pattern stays allocation-free. Not part
+    /// of the matrix's value (excluded from equality).
+    scratch: Vec<f64>,
+}
+
+impl PartialEq for Matrix {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n && self.data == other.data
+    }
 }
 
 impl Matrix {
     /// Creates an `n × n` zero matrix.
     pub fn zeros(n: usize) -> Self {
-        Self { n, data: vec![0.0; n * n] }
+        Self { n, data: vec![0.0; n * n], scratch: Vec::new() }
     }
 
     /// Dimension of the (square) matrix.
@@ -39,12 +65,131 @@ impl Matrix {
         self.data[r * self.n + c] += v;
     }
 
-    /// Solves `A·x = b` in place via LU with partial pivoting,
-    /// destroying the matrix. Returns `None` if the matrix is singular
-    /// to working precision.
-    pub fn solve_in_place(&mut self, b: &mut [f64]) -> Option<()> {
+    /// The singularity threshold for a matrix whose largest entry has
+    /// magnitude `max_abs`: pivots below `max_abs · 1e-14` mean the
+    /// system is rank-deficient *relative to its own scale*. The old
+    /// absolute `1e-300` cutoff let badly-scaled MNA systems (every
+    /// entry tiny, but numerically dependent rows) slip through and
+    /// produce garbage voltages; a relative threshold detects them while
+    /// still tolerating the ~15 decades of legitimate conductance spread
+    /// (GMIN vs on-state) in one matrix.
+    fn pivot_threshold(max_abs: f64) -> f64 {
+        max_abs * 1.0e-14
+    }
+
+    /// Largest absolute entry (the matrix's natural scale).
+    fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, &v| m.max(v.abs()))
+    }
+
+    /// Solves `A·x = b` in place, destroying the matrix. Returns `None`
+    /// if the matrix is singular to working precision (relative to its
+    /// own largest entry).
+    ///
+    /// With [`SolverKind::Auto`] a *diagonally dominant* tridiagonal
+    /// matrix takes the O(n) Thomas fast path; everything else (and any
+    /// fast-path system whose elimination still hits a bad pivot) goes
+    /// through dense LU with partial pivoting. Dominance gates the fast
+    /// path because unpivoted elimination is only backward-stable in
+    /// that regime — a tridiagonal system with a weak diagonal would
+    /// pass the pivot threshold yet amplify rounding error by its
+    /// multiplier growth, silently losing digits the pivoted dense
+    /// factorization keeps.
+    pub fn solve_in_place(&mut self, b: &mut [f64], kind: SolverKind) -> Option<()> {
+        if kind == SolverKind::Auto
+            && self.is_dominant_tridiagonal()
+            && self.solve_thomas(b).is_some()
+        {
+            return Some(());
+        }
+        self.solve_dense_lu(b)
+    }
+
+    /// `true` when every nonzero sits on the main, sub- or
+    /// super-diagonal **and** each row's diagonal weakly dominates its
+    /// neighbours (`|a_ii| ≥ |a_i,i−1| + |a_i,i+1|`). MNA conductance
+    /// stamps of RC ladders always satisfy both. O(n²) scan with early
+    /// exit — negligible next to the O(n³) factorization it may replace.
+    fn is_dominant_tridiagonal(&self) -> bool {
+        let n = self.n;
+        for r in 0..n {
+            for c in 0..n {
+                if r.abs_diff(c) > 1 && self.data[r * n + c] != 0.0 {
+                    return false;
+                }
+            }
+            let mut off = 0.0;
+            if r > 0 {
+                off += self.get(r, r - 1).abs();
+            }
+            if r + 1 < n {
+                off += self.get(r, r + 1).abs();
+            }
+            if self.get(r, r).abs() < off {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Thomas algorithm on the three diagonals. Works on the reusable
+    /// `scratch` buffer (one resize on first use, then allocation-free
+    /// across the Newton-per-timestep call pattern), so on failure (a
+    /// pivot below the relative threshold — possible without pivoting
+    /// even for solvable systems) neither the matrix nor `b` has been
+    /// touched and the caller can fall back to dense LU.
+    fn solve_thomas(&mut self, b: &mut [f64]) -> Option<()> {
         let n = self.n;
         assert_eq!(b.len(), n, "rhs dimension mismatch");
+        if n == 0 {
+            return Some(());
+        }
+        let tol = Self::pivot_threshold(self.max_abs());
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.resize(2 * n, 0.0);
+        let (diag, rhs) = scratch.split_at_mut(n);
+        for (i, d) in diag.iter_mut().enumerate() {
+            *d = self.get(i, i);
+        }
+        rhs.copy_from_slice(b);
+        let solved = (|| {
+            // Forward elimination of the subdiagonal.
+            for i in 1..n {
+                let pivot = diag[i - 1];
+                if pivot.abs() < tol || tol == 0.0 {
+                    return false;
+                }
+                let factor = self.get(i, i - 1) / pivot;
+                diag[i] -= factor * self.get(i - 1, i);
+                rhs[i] -= factor * rhs[i - 1];
+            }
+            if diag[n - 1].abs() < tol || tol == 0.0 {
+                return false;
+            }
+            // Back substitution.
+            rhs[n - 1] /= diag[n - 1];
+            for i in (0..n - 1).rev() {
+                rhs[i] = (rhs[i] - self.get(i, i + 1) * rhs[i + 1]) / diag[i];
+            }
+            true
+        })();
+        if solved {
+            b.copy_from_slice(rhs);
+        }
+        self.scratch = scratch;
+        solved.then_some(())
+    }
+
+    /// Dense LU with partial pivoting (destroys the matrix).
+    fn solve_dense_lu(&mut self, b: &mut [f64]) -> Option<()> {
+        let n = self.n;
+        assert_eq!(b.len(), n, "rhs dimension mismatch");
+        let tol = Self::pivot_threshold(self.max_abs());
+        if tol == 0.0 {
+            // All-zero matrix: singular for n > 0, trivially solved
+            // otherwise.
+            return if n == 0 { Some(()) } else { None };
+        }
         for col in 0..n {
             // Partial pivot.
             let mut pivot_row = col;
@@ -56,7 +201,7 @@ impl Matrix {
                     pivot_row = r;
                 }
             }
-            if pivot_mag < 1.0e-300 {
+            if pivot_mag < tol {
                 return None;
             }
             if pivot_row != col {
@@ -99,16 +244,20 @@ impl Matrix {
 mod tests {
     use super::*;
 
-    fn solve(entries: &[&[f64]], rhs: &[f64]) -> Option<Vec<f64>> {
-        let n = rhs.len();
-        let mut m = Matrix::zeros(n);
+    fn matrix_of(entries: &[&[f64]]) -> Matrix {
+        let mut m = Matrix::zeros(entries.len());
         for (r, row) in entries.iter().enumerate() {
             for (c, &v) in row.iter().enumerate() {
                 m.add(r, c, v);
             }
         }
+        m
+    }
+
+    fn solve(entries: &[&[f64]], rhs: &[f64]) -> Option<Vec<f64>> {
+        let mut m = matrix_of(entries);
         let mut b = rhs.to_vec();
-        m.solve_in_place(&mut b).map(|()| b)
+        m.solve_in_place(&mut b, SolverKind::Auto).map(|()| b)
     }
 
     #[test]
@@ -170,7 +319,7 @@ mod tests {
         }
         let rhs: Vec<f64> = (0..n).map(|_| next()).collect();
         let mut x = rhs.clone();
-        m.solve_in_place(&mut x).expect("diagonally dominant");
+        m.solve_in_place(&mut x, SolverKind::Auto).expect("diagonally dominant");
         for r in 0..n {
             let mut acc = 0.0;
             for c in 0..n {
@@ -178,5 +327,126 @@ mod tests {
             }
             assert!((acc - rhs[r]).abs() < 1e-9, "row {r} residual");
         }
+    }
+
+    #[test]
+    fn badly_scaled_singular_system_is_detected() {
+        // Rows numerically dependent, every entry ~1e-200: the old
+        // absolute 1e-300 pivot cutoff accepted the ~1e-216 post-
+        // elimination pivot and returned garbage; the relative threshold
+        // (scale · 1e-14 = 1e-214) rejects it. A non-tridiagonal third
+        // column forces the dense path.
+        let tiny = 1.0e-200;
+        assert!(solve(
+            &[
+                &[tiny, tiny, tiny],
+                &[tiny, tiny * (1.0 + 2.0 * f64::EPSILON), tiny],
+                &[tiny, tiny, tiny],
+            ],
+            &[tiny, tiny, tiny],
+        )
+        .is_none());
+        // The same scale with genuinely independent rows still solves.
+        let x = solve(&[&[tiny, 0.0], &[0.0, tiny]], &[2.0 * tiny, 3.0 * tiny])
+            .expect("well-conditioned despite the scale");
+        assert!((x[0] - 2.0).abs() < 1e-12 && (x[1] - 3.0).abs() < 1e-12, "{x:?}");
+    }
+
+    #[test]
+    fn fast_path_detection_checks_structure_and_dominance() {
+        assert!(matrix_of(&[&[2.0, -1.0, 0.0], &[-1.0, 2.0, -1.0], &[0.0, -1.0, 2.0]])
+            .is_dominant_tridiagonal());
+        // A bit beyond the band disqualifies.
+        assert!(!matrix_of(&[&[2.0, 0.0, 0.5], &[0.0, 2.0, 0.0], &[0.0, 0.0, 2.0]])
+            .is_dominant_tridiagonal());
+        // Tridiagonal but weak-diagonal disqualifies too.
+        assert!(!matrix_of(&[&[1.0, 2.0, 0.0], &[2.0, 5.0, 2.0], &[0.0, 2.0, 5.0]])
+            .is_dominant_tridiagonal());
+        assert!(matrix_of(&[&[1.0]]).is_dominant_tridiagonal());
+    }
+
+    #[test]
+    fn weakly_dominant_tridiagonal_avoids_unstable_thomas_elimination() {
+        // Tiny diagonal, unit off-diagonals: every unpivoted pivot would
+        // pass the relative threshold, but elimination multipliers of
+        // ~1e8 would amplify rounding error by ~8 digits. The dominance
+        // gate must route this to pivoted dense LU, so Auto and DenseLu
+        // agree to full precision.
+        let eps = 1.0e-8;
+        let m = [&[eps, 1.0, 0.0][..], &[1.0, eps, 1.0], &[0.0, 1.0, eps]];
+        assert!(!matrix_of(&m).is_dominant_tridiagonal());
+        let rhs = [1.0, 2.0, 3.0];
+        let mut auto_x = rhs;
+        matrix_of(&m).solve_in_place(&mut auto_x, SolverKind::Auto).expect("auto");
+        let mut dense_x = rhs;
+        matrix_of(&m).solve_in_place(&mut dense_x, SolverKind::DenseLu).expect("dense");
+        assert_eq!(auto_x, dense_x, "Auto must take the pivoted path here");
+        // And the solution actually satisfies the system.
+        for r in 0..3 {
+            let acc: f64 = (0..3).map(|c| m[r][c] * auto_x[c]).sum();
+            assert!((acc - rhs[r]).abs() < 1e-12, "row {r}");
+        }
+    }
+
+    #[test]
+    fn thomas_agrees_with_dense_lu_on_rc_ladder_systems() {
+        // Backward-Euler MNA assembly of an RC ladder (the Fig. 9
+        // bit-line structure): symmetric tridiagonal, diagonally
+        // dominant. Both factorizations must agree to LU residual
+        // accuracy — the cross-check behind the fig9_calibration
+        // solver-agreement test.
+        let mut state = 0xC0FF_EE00_DEAD_BEEFu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for n in [1usize, 2, 3, 17, 40] {
+            let mut m = Matrix::zeros(n);
+            // Series conductances g_i plus shunt C/h terms on the diagonal.
+            for i in 0..n {
+                m.add(i, i, 1.0e-3 * (0.5 + next()));
+                if i + 1 < n {
+                    let g = 1.0e-3 * (0.5 + next());
+                    m.add(i, i, g);
+                    m.add(i + 1, i + 1, g);
+                    m.add(i, i + 1, -g);
+                    m.add(i + 1, i, -g);
+                }
+            }
+            let rhs: Vec<f64> = (0..n).map(|_| next() - 0.5).collect();
+            assert!(m.is_dominant_tridiagonal(), "n = {n}");
+
+            let mut thomas = rhs.clone();
+            m.clone().solve_in_place(&mut thomas, SolverKind::Auto).expect("thomas");
+            let mut dense = rhs.clone();
+            m.clone().solve_in_place(&mut dense, SolverKind::DenseLu).expect("dense");
+            for i in 0..n {
+                let scale = dense[i].abs().max(1.0);
+                assert!(
+                    (thomas[i] - dense[i]).abs() < 1e-10 * scale,
+                    "n = {n}, x[{i}]: thomas {} vs dense {}",
+                    thomas[i],
+                    dense[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn thomas_bad_pivot_falls_back_to_dense_pivoting() {
+        // Tridiagonal with a zero leading pivot: the dominance gate
+        // already excludes it from the fast path, and even a direct
+        // Thomas call bails on the pivot — either way the automatic
+        // path solves it via the row-swapping dense factorization.
+        let m = [&[0.0, 1.0, 0.0][..], &[1.0, 0.0, 1.0], &[0.0, 1.0, 1.0]];
+        assert!(!matrix_of(&m).is_dominant_tridiagonal());
+        assert!(matrix_of(&m).solve_thomas(&mut [5.0, 7.0, 1.0]).is_none());
+        let x = solve(&m, &[5.0, 7.0, 1.0]).expect("dense fallback");
+        // x = [1, 5, -4]... check: row0: x1 = 5 ✓; row1: x0 + x2 = 7;
+        // row2: x1 + x2 = 1 ⇒ x2 = -4, x0 = 11.
+        assert!((x[0] - 11.0).abs() < 1e-12 && (x[1] - 5.0).abs() < 1e-12);
+        assert!((x[2] + 4.0).abs() < 1e-12, "{x:?}");
     }
 }

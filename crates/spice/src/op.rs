@@ -152,7 +152,7 @@ pub fn operating_point(ckt: &Circuit) -> Result<OperatingPoint, SpiceError> {
             }
         }
         let mut x_new = rhs.clone();
-        if a_mat.solve_in_place(&mut x_new).is_none() {
+        if a_mat.solve_in_place(&mut x_new, crate::linalg::SolverKind::Auto).is_none() {
             return Err(SpiceError::SingularMatrix { time: 0.0 });
         }
         residual = x_new.iter().zip(&x).take(n).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);

@@ -1,7 +1,7 @@
 //! Transient analysis: Newton–Raphson per timestep over MNA.
 
 use crate::circuit::{Circuit, ElementKind};
-use crate::linalg::Matrix;
+use crate::linalg::{Matrix, SolverKind};
 use crate::mosfet::{evaluate_nmos, MosfetKind, GMIN};
 use crate::trace::Trace;
 use crate::SpiceError;
@@ -32,6 +32,7 @@ pub struct Transient {
     t_stop: f64,
     dt: f64,
     integration: Integration,
+    solver: SolverKind,
     max_newton: usize,
     abstol: f64,
     max_step_volts: f64,
@@ -52,6 +53,7 @@ impl Transient {
             t_stop: t_stop.as_seconds(),
             dt: dt.as_seconds(),
             integration: Integration::BackwardEuler,
+            solver: SolverKind::default(),
             max_newton: 100,
             abstol: 1.0e-9,
             max_step_volts: 0.5,
@@ -62,6 +64,16 @@ impl Transient {
     #[must_use]
     pub fn with_integration(mut self, integration: Integration) -> Self {
         self.integration = integration;
+        self
+    }
+
+    /// Selects the linear solver policy ([`SolverKind::Auto`] by
+    /// default). [`SolverKind::DenseLu`] disables the tridiagonal fast
+    /// path — useful for cross-validating the two factorizations on the
+    /// same netlist, as the Fig. 9 calibration test does.
+    #[must_use]
+    pub fn with_solver(mut self, solver: SolverKind) -> Self {
+        self.solver = solver;
         self
     }
 
@@ -253,7 +265,7 @@ impl Transient {
                 }
 
                 let mut x_new = rhs.clone();
-                if a_mat.solve_in_place(&mut x_new).is_none() {
+                if a_mat.solve_in_place(&mut x_new, self.solver).is_none() {
                     return Err(SpiceError::SingularMatrix { time: t });
                 }
 

@@ -86,6 +86,57 @@ fn discharge_time_scales_with_bitline_length() {
 }
 
 #[test]
+fn tridiagonal_and_dense_solvers_agree_on_the_bitline_rc_ladder() {
+    // The distributed RC-ladder reading of the Fig. 9 bit line: ten wire
+    // segments (series R, shunt C precharged to 0.4 V) discharging
+    // through the far-end cell resistance. Its MNA matrix is purely
+    // tridiagonal, so `SolverKind::Auto` takes the Thomas fast path on
+    // every timestep; forcing `SolverKind::DenseLu` must reproduce the
+    // same waveform to solver precision — well inside the 5 % tolerances
+    // the calibration tests above hold the lumped model to.
+    let run = |solver: SolverKind| {
+        let mut ckt = Circuit::new();
+        let segments = 10;
+        let mut prev = ckt.node("bl0");
+        for i in 0..segments {
+            let name = format!("bl{i}");
+            let node = ckt.node(&name);
+            if i > 0 {
+                ckt.add_resistor(&format!("Rw{i}"), prev, node, Ohms::new(50.0)).expect("wire");
+            }
+            ckt.add_capacitor_with_ic(
+                &format!("Cs{i}"),
+                node,
+                Circuit::GROUND,
+                Farads::new(8.0e-15),
+                Volts::new(0.4),
+            )
+            .expect("segment cap");
+            prev = node;
+        }
+        ckt.add_resistor("Rcell", prev, Circuit::GROUND, Ohms::from_kilohms(10.0)).expect("cell");
+        let trace = Transient::new(Seconds::from_nanoseconds(4.0), Seconds::from_picoseconds(1.0))
+            .with_solver(solver)
+            .run(&mut ckt)
+            .expect("solves");
+        let cross = trace
+            .cross_time("bl0", Volts::new(0.2), Edge::Falling, Seconds::ZERO)
+            .expect("discharges")
+            .as_seconds();
+        (cross, trace.final_value("bl0").expect("bl0"))
+    };
+    let (t_thomas, v_thomas) = run(SolverKind::Auto);
+    let (t_dense, v_dense) = run(SolverKind::DenseLu);
+    assert!(
+        approx_eq(t_thomas, t_dense, RelTol::new(1.0e-9)),
+        "50% crossing: thomas {t_thomas:.6e} s vs dense {t_dense:.6e} s"
+    );
+    assert!((v_thomas - v_dense).abs() < 1.0e-9, "final V: {v_thomas} vs {v_dense}");
+    // And the ladder really discharges on the RC scale it should.
+    assert!((0.3e-9..1.5e-9).contains(&t_thomas), "t = {t_thomas:.3e} s");
+}
+
+#[test]
 fn wl_driver_energy_is_excluded_from_the_cycle_figure() {
     let report = BitlineCircuit::lumped(CellTechnology::rram_1t1r(), 256).run().expect("solves");
     // Reported separately, and small relative to the bit-line cycle.
