@@ -72,12 +72,17 @@ pub mod prelude {
         Dfa, HomogeneousAutomaton, Nfa, PatternSet, Regex, StartKind, SymbolClass,
     };
     pub use memcim_bits::{BitMatrix, BitVec};
-    pub use memcim_crossbar::{BitlineCircuit, CellTechnology, Crossbar, ScoutingKind};
+    pub use memcim_crossbar::{
+        BankedCrossbar, BitlineCircuit, CellTechnology, Crossbar, CrossbarBackend, OpLedger,
+        ScoutingKind,
+    };
     pub use memcim_device::{
         BehavioralSwitch, HysteresisSweep, IdealMemristor, LinearIonDrift, MemristiveDevice,
         StanfordAsu, StanfordParams, SwitchParams, Vteam, VteamParams,
     };
-    pub use memcim_mvp::{evaluate, Instruction, MissRates, MvpSimulator, SystemConfig};
+    pub use memcim_mvp::{
+        evaluate, BatchReport, BatchRequest, Instruction, MissRates, MvpSimulator, SystemConfig,
+    };
     pub use memcim_spice::{Circuit, Edge, Integration, SolverKind, Transient, Waveform};
     pub use memcim_units::{
         Amps, Farads, Hertz, Joules, Ohms, Seconds, Siemens, SquareMicrometers, Volts, Watts,

@@ -1,0 +1,232 @@
+//! The [`CrossbarBackend`] trait: one interface over monolithic and
+//! banked crossbar substrates.
+//!
+//! The paper's MVP owns a 2 GB crossbar that is physically *millions of
+//! subarrays* operating column-parallel; functionally, though, the host
+//! sees a single logical array. This trait captures exactly that host
+//! view — row programming, row reads, scouting logic with and without
+//! write-back, geometry and aggregated cost accounting — so that
+//! everything built on top (the MVP simulator and its workloads) runs
+//! unchanged on a [`Crossbar`] or a [`BankedCrossbar`].
+//!
+//! The two implementations differ only in their cost aggregation:
+//!
+//! * [`Crossbar`] reports its own [`OpLedger`] verbatim.
+//! * [`BankedCrossbar`] **sums** operation counts and energy over banks
+//!   (every bank really spends its joules) but takes the **maximum**
+//!   busy time (banks operate in the same memory cycles, so wall clock
+//!   is the slowest bank, not the sum) — see
+//!   [`OpLedger::merge_parallel`].
+
+use crate::{BankedCrossbar, Crossbar, CrossbarError, OpLedger, ScoutingKind};
+use memcim_bits::BitVec;
+
+/// A logical crossbar substrate: the host-visible row/column interface
+/// shared by [`Crossbar`] and [`BankedCrossbar`].
+///
+/// # Examples
+///
+/// Generic code runs identically on both substrates:
+///
+/// ```
+/// use memcim_bits::BitVec;
+/// use memcim_crossbar::{BankedCrossbar, Crossbar, CrossbarBackend, ScoutingKind};
+///
+/// fn and_of_two_rows<B: CrossbarBackend>(xbar: &mut B) -> BitVec {
+///     let w = xbar.cols();
+///     xbar.program_row(0, &BitVec::from_indices(w, &[1, 2])).unwrap();
+///     xbar.program_row(1, &BitVec::from_indices(w, &[2, 3])).unwrap();
+///     xbar.scouting(ScoutingKind::And, &[0, 1]).unwrap()
+/// }
+///
+/// let mono = and_of_two_rows(&mut Crossbar::rram(4, 96));
+/// let banked = and_of_two_rows(&mut BankedCrossbar::rram(4, 3, 32));
+/// assert_eq!(mono, banked);
+/// assert_eq!(mono.ones().collect::<Vec<_>>(), vec![2]);
+/// ```
+pub trait CrossbarBackend {
+    /// Number of addressable rows.
+    fn rows(&self) -> usize;
+
+    /// Logical row width in columns.
+    fn cols(&self) -> usize;
+
+    /// Programs a logical row in one parallel programming cycle,
+    /// returning the number of cells whose state changed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::OutOfBounds`] /
+    /// [`CrossbarError::WidthMismatch`] for invalid arguments.
+    fn program_row(&mut self, row: usize, values: &BitVec) -> Result<u64, CrossbarError>;
+
+    /// Reads a logical row back (one memory cycle; faults and
+    /// variability apply).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::OutOfBounds`] for an invalid row.
+    fn read_row(&mut self, row: usize) -> Result<BitVec, CrossbarError>;
+
+    /// A scouting logic operation over the full logical width in one
+    /// memory cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrossbarError::InvalidRowSelection`] /
+    /// [`CrossbarError::OutOfBounds`] exactly as [`Crossbar::scouting`].
+    fn scouting(&mut self, kind: ScoutingKind, rows: &[usize]) -> Result<BitVec, CrossbarError>;
+
+    /// Scouting with write-back of the result into row `dest` — the
+    /// MVP's in-memory macro-instruction.
+    ///
+    /// # Errors
+    ///
+    /// Combines the error conditions of [`scouting`](Self::scouting)
+    /// and [`program_row`](Self::program_row).
+    fn scouting_write(
+        &mut self,
+        kind: ScoutingKind,
+        rows: &[usize],
+        dest: usize,
+    ) -> Result<BitVec, CrossbarError>;
+
+    /// Aggregated activity totals for the whole substrate. For a banked
+    /// substrate, energy and operation counts sum over banks while busy
+    /// time is the wall-clock maximum over banks.
+    fn ledger_totals(&self) -> OpLedger {
+        let mut total = OpLedger::new();
+        for part in self.ledger_parts() {
+            total.merge_parallel(&part);
+        }
+        total
+    }
+
+    /// The per-subarray ledgers backing
+    /// [`ledger_totals`](Self::ledger_totals): a single entry for a
+    /// monolithic array, one
+    /// entry per bank (in bank order) for a banked one. Interval
+    /// accounting must diff these part-wise and re-aggregate
+    /// ([`OpLedger::delta_since`] is only monotone per part — the
+    /// max-over-banks busy time of the *aggregate* is not), which is
+    /// exactly what `MvpSimulator::run_batch` does.
+    fn ledger_parts(&self) -> Vec<OpLedger>;
+}
+
+impl CrossbarBackend for Crossbar {
+    fn rows(&self) -> usize {
+        Crossbar::rows(self)
+    }
+
+    fn cols(&self) -> usize {
+        Crossbar::cols(self)
+    }
+
+    fn program_row(&mut self, row: usize, values: &BitVec) -> Result<u64, CrossbarError> {
+        Crossbar::program_row(self, row, values)
+    }
+
+    fn read_row(&mut self, row: usize) -> Result<BitVec, CrossbarError> {
+        Crossbar::read_row(self, row)
+    }
+
+    fn scouting(&mut self, kind: ScoutingKind, rows: &[usize]) -> Result<BitVec, CrossbarError> {
+        Crossbar::scouting(self, kind, rows)
+    }
+
+    fn scouting_write(
+        &mut self,
+        kind: ScoutingKind,
+        rows: &[usize],
+        dest: usize,
+    ) -> Result<BitVec, CrossbarError> {
+        Crossbar::scouting_write(self, kind, rows, dest)
+    }
+
+    fn ledger_totals(&self) -> OpLedger {
+        *self.ledger()
+    }
+
+    fn ledger_parts(&self) -> Vec<OpLedger> {
+        vec![*self.ledger()]
+    }
+}
+
+impl CrossbarBackend for BankedCrossbar {
+    fn rows(&self) -> usize {
+        BankedCrossbar::rows(self)
+    }
+
+    fn cols(&self) -> usize {
+        BankedCrossbar::cols(self)
+    }
+
+    fn program_row(&mut self, row: usize, values: &BitVec) -> Result<u64, CrossbarError> {
+        BankedCrossbar::program_row(self, row, values)
+    }
+
+    fn read_row(&mut self, row: usize) -> Result<BitVec, CrossbarError> {
+        BankedCrossbar::read_row(self, row)
+    }
+
+    fn scouting(&mut self, kind: ScoutingKind, rows: &[usize]) -> Result<BitVec, CrossbarError> {
+        BankedCrossbar::scouting(self, kind, rows)
+    }
+
+    fn scouting_write(
+        &mut self,
+        kind: ScoutingKind,
+        rows: &[usize],
+        dest: usize,
+    ) -> Result<BitVec, CrossbarError> {
+        BankedCrossbar::scouting_write(self, kind, rows, dest)
+    }
+
+    fn ledger_totals(&self) -> OpLedger {
+        BankedCrossbar::ledger_totals(self)
+    }
+
+    fn ledger_parts(&self) -> Vec<OpLedger> {
+        self.bank_ledgers()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise<B: CrossbarBackend>(xbar: &mut B) -> (BitVec, BitVec, OpLedger) {
+        let w = xbar.cols();
+        let a = BitVec::from_indices(w, &(0..w).step_by(2).collect::<Vec<_>>());
+        let b = BitVec::from_indices(w, &(0..w).step_by(3).collect::<Vec<_>>());
+        xbar.program_row(0, &a).expect("r0");
+        xbar.program_row(1, &b).expect("r1");
+        let or = xbar.scouting_write(ScoutingKind::Or, &[0, 1], 2).expect("or");
+        let back = xbar.read_row(2).expect("read");
+        (or, back, xbar.ledger_totals())
+    }
+
+    #[test]
+    fn monolithic_and_banked_agree_through_the_trait() {
+        let (or_m, back_m, ledger_m) = exercise(&mut Crossbar::rram(4, 192));
+        let (or_b, back_b, ledger_b) = exercise(&mut BankedCrossbar::rram(4, 3, 64));
+        assert_eq!(or_m, or_b);
+        assert_eq!(back_m, back_b);
+        assert_eq!(ledger_m.scouting_ops(), 1);
+        // Each bank performs its own scouting op: counts sum over banks.
+        assert_eq!(ledger_b.scouting_ops(), 3);
+        // Wall clock is per-bank (max), so the banked run is no slower.
+        assert!(ledger_b.busy_time().as_seconds() <= ledger_m.busy_time().as_seconds() + 1e-18);
+    }
+
+    #[test]
+    fn trait_objects_are_usable() {
+        let mut backends: Vec<Box<dyn CrossbarBackend>> =
+            vec![Box::new(Crossbar::rram(2, 64)), Box::new(BankedCrossbar::rram(2, 2, 32))];
+        for xbar in &mut backends {
+            let w = xbar.cols();
+            xbar.program_row(0, &BitVec::from_indices(w, &[5])).expect("program");
+            assert_eq!(xbar.read_row(0).expect("read").ones().collect::<Vec<_>>(), vec![5]);
+        }
+    }
+}

@@ -7,8 +7,17 @@
 //! same memory cycle, so latency is one bank cycle while energy is the
 //! sum over banks. This is the structure behind the MVP model's
 //! "massively parallel in-memory op" cost assumption (DESIGN.md §2).
+//!
+//! Striping a logical row into per-bank slices and gathering per-bank
+//! results back into a logical row are word-parallel
+//! ([`BitVec::extract_range_into`] / [`BitVec::or_shifted`]) — no
+//! per-bit loops in either direction. Striping writes into per-instance
+//! scratch (zero allocations per call); gathering ORs each bank's
+//! result directly into the output vector, so the only allocations on a
+//! banked operation are the ones its monolithic counterpart also makes
+//! (the returned row, plus each bank's own result inside [`Crossbar`]).
 
-use crate::{Crossbar, CrossbarError, ScoutingKind};
+use crate::{Crossbar, CrossbarError, OpLedger, ScoutingKind};
 use memcim_bits::BitVec;
 use memcim_units::{Joules, Seconds, SquareMicrometers, Watts};
 
@@ -37,6 +46,9 @@ use memcim_units::{Joules, Seconds, SquareMicrometers, Watts};
 pub struct BankedCrossbar {
     banks: Vec<Crossbar>,
     bank_cols: usize,
+    /// Per-bank stripe scratch (one `bank_cols`-wide vector per bank),
+    /// allocated once and reused by every [`stripe`](Self::stripe) call.
+    stripes: Vec<BitVec>,
 }
 
 impl BankedCrossbar {
@@ -44,18 +56,26 @@ impl BankedCrossbar {
     ///
     /// # Panics
     ///
-    /// Panics if any dimension is zero.
+    /// Panics if `rows`, `bank_count` or `bank_cols` is zero.
     pub fn rram(rows: usize, bank_count: usize, bank_cols: usize) -> Self {
-        assert!(bank_count > 0, "need at least one bank");
+        assert!(rows > 0, "banked crossbar needs at least one row");
+        assert!(bank_count > 0, "banked crossbar needs at least one bank");
+        assert!(bank_cols > 0, "banked crossbar needs a non-zero bank width");
         Self {
             banks: (0..bank_count).map(|_| Crossbar::rram(rows, bank_cols)).collect(),
             bank_cols,
+            stripes: vec![BitVec::new(bank_cols); bank_count],
         }
     }
 
     /// Number of banks.
     pub fn bank_count(&self) -> usize {
         self.banks.len()
+    }
+
+    /// Columns per bank.
+    pub fn bank_cols(&self) -> usize {
+        self.bank_cols
     }
 
     /// Logical row width (columns across all banks).
@@ -68,36 +88,28 @@ impl BankedCrossbar {
         self.banks[0].rows()
     }
 
-    /// Borrows one bank (fault injection, inspection).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `index` is out of range.
-    pub fn bank_mut(&mut self, index: usize) -> &mut Crossbar {
-        &mut self.banks[index]
+    /// Borrows one bank (fault injection, inspection), or `None` if
+    /// `index` is out of range.
+    pub fn bank_mut(&mut self, index: usize) -> Option<&mut Crossbar> {
+        self.banks.get_mut(index)
     }
 
-    /// Splits a logical row vector into per-bank stripes.
-    fn stripe(&self, values: &BitVec) -> Result<Vec<BitVec>, CrossbarError> {
+    /// Splits a logical row vector into the per-bank stripe scratch
+    /// (`self.stripes`) — word-parallel, no allocation.
+    fn stripe(&mut self, values: &BitVec) -> Result<(), CrossbarError> {
         if values.len() != self.cols() {
             return Err(CrossbarError::WidthMismatch { got: values.len(), expected: self.cols() });
         }
-        let mut stripes = vec![BitVec::new(self.bank_cols); self.banks.len()];
-        for i in values.ones() {
-            stripes[i / self.bank_cols].set(i % self.bank_cols, true);
+        for (b, stripe) in self.stripes.iter_mut().enumerate() {
+            values.extract_range_into(b * self.bank_cols, self.bank_cols, stripe);
         }
-        Ok(stripes)
+        Ok(())
     }
 
-    /// Re-assembles per-bank results into a logical row vector.
-    fn gather(&self, parts: &[BitVec]) -> BitVec {
-        let mut out = BitVec::new(self.cols());
-        for (b, part) in parts.iter().enumerate() {
-            for i in part.ones() {
-                out.set(b * self.bank_cols + i, true);
-            }
-        }
-        out
+    /// Re-assembles per-bank results into a logical row vector,
+    /// word-parallel via [`BitVec::or_shifted`].
+    fn gather(out: &mut BitVec, bank: usize, bank_cols: usize, part: &BitVec) {
+        out.or_shifted(part, bank * bank_cols);
     }
 
     /// Programs a logical row across all banks (one parallel programming
@@ -108,10 +120,10 @@ impl BankedCrossbar {
     /// Returns [`CrossbarError::WidthMismatch`] /
     /// [`CrossbarError::OutOfBounds`] for invalid arguments.
     pub fn program_row(&mut self, row: usize, values: &BitVec) -> Result<u64, CrossbarError> {
-        let stripes = self.stripe(values)?;
+        self.stripe(values)?;
         let mut changed = 0;
-        for (bank, stripe) in self.banks.iter_mut().zip(stripes) {
-            changed += bank.program_row(row, &stripe)?;
+        for (bank, stripe) in self.banks.iter_mut().zip(&self.stripes) {
+            changed += bank.program_row(row, stripe)?;
         }
         Ok(changed)
     }
@@ -122,9 +134,12 @@ impl BankedCrossbar {
     ///
     /// Returns [`CrossbarError::OutOfBounds`] for an invalid row.
     pub fn read_row(&mut self, row: usize) -> Result<BitVec, CrossbarError> {
-        let parts: Vec<BitVec> =
-            self.banks.iter_mut().map(|b| b.read_row(row)).collect::<Result<_, _>>()?;
-        Ok(self.gather(&parts))
+        let mut out = BitVec::new(self.cols());
+        for (b, bank) in self.banks.iter_mut().enumerate() {
+            let part = bank.read_row(row)?;
+            Self::gather(&mut out, b, self.bank_cols, &part);
+        }
+        Ok(out)
     }
 
     /// A scouting operation across the full logical width in one bank
@@ -138,9 +153,56 @@ impl BankedCrossbar {
         kind: ScoutingKind,
         rows: &[usize],
     ) -> Result<BitVec, CrossbarError> {
-        let parts: Vec<BitVec> =
-            self.banks.iter_mut().map(|b| b.scouting(kind, rows)).collect::<Result<_, _>>()?;
-        Ok(self.gather(&parts))
+        let mut out = BitVec::new(self.cols());
+        for (b, bank) in self.banks.iter_mut().enumerate() {
+            let part = bank.scouting(kind, rows)?;
+            Self::gather(&mut out, b, self.bank_cols, &part);
+        }
+        Ok(out)
+    }
+
+    /// Scouting with write-back of the result into row `dest`: each bank
+    /// computes its slice of the logic function and programs it back
+    /// locally in the same parallel step, so the cross-bank result never
+    /// leaves the memory.
+    ///
+    /// # Errors
+    ///
+    /// Combines the error conditions of [`Crossbar::scouting`] and
+    /// [`Crossbar::program_row`].
+    pub fn scouting_write(
+        &mut self,
+        kind: ScoutingKind,
+        rows: &[usize],
+        dest: usize,
+    ) -> Result<BitVec, CrossbarError> {
+        let mut out = BitVec::new(self.cols());
+        for (b, bank) in self.banks.iter_mut().enumerate() {
+            let part = bank.scouting_write(kind, rows, dest)?;
+            Self::gather(&mut out, b, self.bank_cols, &part);
+        }
+        Ok(out)
+    }
+
+    /// Aggregated activity totals: operation counts and energy sum over
+    /// banks, busy time is the maximum over banks (the banks operate in
+    /// the same memory cycles — see [`OpLedger::merge_parallel`]).
+    pub fn ledger_totals(&self) -> OpLedger {
+        let mut total = OpLedger::new();
+        for bank in &self.banks {
+            total.merge_parallel(bank.ledger());
+        }
+        total
+    }
+
+    /// Snapshots of every bank's individual ledger, in bank order — the
+    /// basis for interval accounting (per-bank deltas re-aggregated with
+    /// [`OpLedger::merge_parallel`]; diffing
+    /// [`ledger_totals`](Self::ledger_totals) directly would
+    /// under-report busy time whenever new work lands in a bank that is
+    /// not the busiest one).
+    pub fn bank_ledgers(&self) -> Vec<OpLedger> {
+        self.banks.iter().map(|b| *b.ledger()).collect()
     }
 
     /// Total dynamic energy across all banks.
@@ -191,6 +253,18 @@ mod tests {
     }
 
     #[test]
+    fn scouting_write_back_spans_all_banks() {
+        let mut banked = BankedCrossbar::rram(4, 3, 32);
+        let a = BitVec::from_indices(96, &[0, 40, 95]);
+        let b = BitVec::from_indices(96, &[0, 40, 50]);
+        banked.program_row(0, &a).expect("r0");
+        banked.program_row(1, &b).expect("r1");
+        let and = banked.scouting_write(ScoutingKind::And, &[0, 1], 3).expect("write-back");
+        assert_eq!(and.ones().collect::<Vec<_>>(), vec![0, 40]);
+        assert_eq!(banked.read_row(3).expect("read"), and, "result landed in every bank");
+    }
+
+    #[test]
     fn latency_is_one_bank_cycle_energy_is_summed() {
         let mut one_bank = BankedCrossbar::rram(4, 1, 64);
         let mut four_banks = BankedCrossbar::rram(4, 4, 64);
@@ -208,6 +282,11 @@ mod tests {
             four_banks.parallel_busy_time().as_seconds()
         );
         assert!(four_banks.total_energy().as_joules() > 2.0 * one_bank.total_energy().as_joules());
+        // ledger_totals agrees with the two dedicated aggregates.
+        let totals = four_banks.ledger_totals();
+        assert_eq!(totals.energy(), four_banks.total_energy());
+        assert_eq!(totals.busy_time(), four_banks.parallel_busy_time());
+        assert_eq!(totals.scouting_ops(), 4);
     }
 
     #[test]
@@ -223,11 +302,30 @@ mod tests {
     #[test]
     fn per_bank_faults_stay_local() {
         let mut banked = BankedCrossbar::rram(2, 2, 16);
-        banked.bank_mut(1).faults_mut().inject_stuck_at(0, 3, true);
+        banked.bank_mut(1).expect("bank 1 exists").faults_mut().inject_stuck_at(0, 3, true);
         banked.program_row(0, &BitVec::new(32)).expect("zeros");
         let read = banked.read_row(0).expect("read");
         // Logical column 16 + 3 = 19 is the stuck one.
         assert_eq!(read.ones().collect::<Vec<_>>(), vec![19]);
+    }
+
+    #[test]
+    fn out_of_range_bank_is_none_not_a_panic() {
+        let mut banked = BankedCrossbar::rram(2, 2, 16);
+        assert!(banked.bank_mut(1).is_some());
+        assert!(banked.bank_mut(2).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one row")]
+    fn zero_rows_are_rejected_with_a_clear_message() {
+        let _ = BankedCrossbar::rram(0, 2, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero bank width")]
+    fn zero_bank_cols_are_rejected_with_a_clear_message() {
+        let _ = BankedCrossbar::rram(2, 2, 0);
     }
 
     #[test]
@@ -240,5 +338,59 @@ mod tests {
                 < 1e-9
         );
         assert_eq!(banked.static_power().as_watts(), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Per-bit reference for [`BankedCrossbar::stripe`].
+    fn stripe_per_bit(values: &BitVec, bank_count: usize, bank_cols: usize) -> Vec<BitVec> {
+        let mut stripes = vec![BitVec::new(bank_cols); bank_count];
+        for i in values.ones() {
+            stripes[i / bank_cols].set(i % bank_cols, true);
+        }
+        stripes
+    }
+
+    /// Per-bit reference for [`BankedCrossbar::gather`].
+    fn gather_per_bit(parts: &[BitVec], bank_cols: usize) -> BitVec {
+        let mut out = BitVec::new(parts.len() * bank_cols);
+        for (b, part) in parts.iter().enumerate() {
+            for i in part.ones() {
+                out.set(b * bank_cols + i, true);
+            }
+        }
+        out
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        /// The word-parallel stripe/gather pair is bit-identical to the
+        /// per-bit reference for arbitrary contents, bank counts and
+        /// (non-power-of-two) bank widths, and round-trips.
+        #[test]
+        fn word_parallel_stripe_gather_matches_per_bit_reference(
+            bank_count in 1usize..6,
+            bank_cols in 1usize..150,
+            bits in proptest::collection::vec(any::<bool>(), 1..900),
+        ) {
+            let cols = bank_count * bank_cols;
+            let values: BitVec =
+                (0..cols).map(|i| bits[i % bits.len()]).collect();
+            let mut banked = BankedCrossbar::rram(1, bank_count, bank_cols);
+            banked.stripe(&values).expect("widths match");
+            let reference = stripe_per_bit(&values, bank_count, bank_cols);
+            prop_assert_eq!(&banked.stripes, &reference);
+            // Gathering the stripes reconstructs the logical row.
+            let mut gathered = BitVec::new(cols);
+            for (b, part) in banked.stripes.iter().enumerate() {
+                BankedCrossbar::gather(&mut gathered, b, bank_cols, part);
+            }
+            prop_assert_eq!(&gathered, &values);
+            prop_assert_eq!(gathered, gather_per_bit(&reference, bank_cols));
+        }
     }
 }

@@ -74,6 +74,35 @@ impl OpLedger {
     pub fn busy_time(&self) -> Seconds {
         self.busy
     }
+
+    /// Folds another array's ledger into this one under the *parallel*
+    /// execution model used by [`BankedCrossbar`](crate::BankedCrossbar):
+    /// operation counts and energy add up (every bank really spends its
+    /// joules), while busy time takes the maximum (banks run in the same
+    /// memory cycles, so the wall clock is the slowest bank, not the sum).
+    pub fn merge_parallel(&mut self, other: &OpLedger) {
+        self.reads += other.reads;
+        self.scouting_ops += other.scouting_ops;
+        self.programs += other.programs;
+        self.bits_programmed += other.bits_programmed;
+        self.energy += other.energy;
+        self.busy = self.busy.max(other.busy);
+    }
+
+    /// The activity recorded since `earlier` was captured: all counters,
+    /// energy and busy time subtract component-wise. `earlier` must be a
+    /// previous snapshot of the *same* ledger (counters only grow).
+    #[must_use]
+    pub fn delta_since(&self, earlier: &OpLedger) -> OpLedger {
+        OpLedger {
+            reads: self.reads - earlier.reads,
+            scouting_ops: self.scouting_ops - earlier.scouting_ops,
+            programs: self.programs - earlier.programs,
+            bits_programmed: self.bits_programmed - earlier.bits_programmed,
+            energy: self.energy - earlier.energy,
+            busy: self.busy - earlier.busy,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -92,5 +121,34 @@ mod tests {
         assert_eq!(l.bits_programmed(), 64);
         assert!((l.energy().as_picojoules() - 128.005).abs() < 1e-9);
         assert!(l.busy_time().as_nanoseconds() > 10.0);
+    }
+
+    #[test]
+    fn parallel_merge_sums_energy_and_maxes_busy_time() {
+        let mut a = OpLedger::new();
+        a.record_read(Joules::from_femtojoules(2.0), Seconds::from_nanoseconds(3.0));
+        let mut b = OpLedger::new();
+        b.record_scouting(Joules::from_femtojoules(5.0), Seconds::from_nanoseconds(7.0));
+        b.record_program(8, Joules::from_femtojoules(1.0), Seconds::from_nanoseconds(1.0));
+        a.merge_parallel(&b);
+        assert_eq!(a.reads(), 1);
+        assert_eq!(a.scouting_ops(), 1);
+        assert_eq!(a.programs(), 1);
+        assert_eq!(a.bits_programmed(), 8);
+        assert!((a.energy().as_femtojoules() - 8.0).abs() < 1e-9);
+        assert!((a.busy_time().as_nanoseconds() - 8.0).abs() < 1e-9, "max(3, 7+1), not the sum");
+    }
+
+    #[test]
+    fn delta_since_isolates_new_activity() {
+        let mut l = OpLedger::new();
+        l.record_read(Joules::from_femtojoules(2.0), Seconds::from_nanoseconds(1.0));
+        let snapshot = l;
+        l.record_scouting(Joules::from_femtojoules(3.0), Seconds::from_nanoseconds(2.0));
+        let d = l.delta_since(&snapshot);
+        assert_eq!(d.reads(), 0);
+        assert_eq!(d.scouting_ops(), 1);
+        assert!((d.energy().as_femtojoules() - 3.0).abs() < 1e-9);
+        assert!((d.busy_time().as_nanoseconds() - 2.0).abs() < 1e-9);
     }
 }

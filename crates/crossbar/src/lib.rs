@@ -25,6 +25,26 @@
 //! * [`ScoutingKind`]/[`SenseThresholds`] — the reference-current
 //!   placement of Fig. 3b, including the two-reference XOR window.
 //!
+//! # Banked execution
+//!
+//! The MVP's 2 GB crossbar is physically *millions of subarrays*
+//! operating column-parallel. [`BankedCrossbar`] models that
+//! organization: a logical row is striped over equally-wide banks, every
+//! operation fans out to all banks in the same memory cycle, and the
+//! stripe/gather plumbing is word-parallel
+//! ([`memcim_bits::BitVec::extract_range_into`] /
+//! [`memcim_bits::BitVec::or_shifted`]) with reusable scratch — no
+//! per-bit loops, no per-call allocations.
+//!
+//! The [`CrossbarBackend`] trait abstracts over both substrates
+//! (programming, reads, scouting with and without write-back, geometry,
+//! ledger aggregation), so code written against the trait — notably the
+//! MVP simulator in `memcim-mvp` — runs bit-identically on either. Cost
+//! aggregation follows the paper's parallel-subarray model: **energy
+//! sums over banks** (every bank spends its joules) while **busy time is
+//! the maximum over banks** (the wall clock is one bank cycle, not the
+//! sum) — see [`OpLedger::merge_parallel`].
+//!
 //! # Examples
 //!
 //! ```
@@ -45,6 +65,7 @@
 //! ```
 
 mod array;
+mod backend;
 mod bank;
 mod bitline;
 mod error;
@@ -54,6 +75,7 @@ mod sense;
 mod technology;
 
 pub use array::Crossbar;
+pub use backend::CrossbarBackend;
 pub use bank::BankedCrossbar;
 pub use bitline::{BitlineCircuit, DischargeReport};
 pub use error::CrossbarError;

@@ -1,0 +1,232 @@
+//! Batched MVP execution: many independent programs against one
+//! substrate, with aggregate cost reporting.
+//!
+//! The MVP serves its host as a shared vector engine: the interesting
+//! unit of accounting is rarely one instruction but a *request stream* —
+//! e.g. a burst of bitmap-index queries hitting the same banked
+//! crossbar. [`BatchRequest`] collects independent [`Instruction`]
+//! programs; [`MvpSimulator::run_batch`] executes them back-to-back on
+//! the simulator's backend and returns a [`BatchReport`] with every
+//! program's `Read` outputs plus the ledger delta the batch actually
+//! cost (computed via [`OpLedger::delta_since`], so a reused simulator
+//! reports only the batch's own activity).
+
+use crate::{Instruction, MvpError, MvpSimulator};
+use memcim_bits::BitVec;
+use memcim_crossbar::{CrossbarBackend, OpLedger};
+
+/// An ordered collection of independent MVP programs to execute against
+/// one backend.
+///
+/// # Examples
+///
+/// ```
+/// use memcim_bits::BitVec;
+/// use memcim_mvp::{BatchRequest, Instruction, MvpSimulator};
+///
+/// # fn main() -> Result<(), memcim_mvp::MvpError> {
+/// let mut batch = BatchRequest::new();
+/// for shift in 0..3usize {
+///     batch.push(vec![
+///         Instruction::Store { row: 0, data: BitVec::from_indices(64, &[shift]) },
+///         Instruction::Store { row: 1, data: BitVec::from_indices(64, &[shift, shift + 1]) },
+///         Instruction::Or { srcs: vec![0, 1], dst: 2 },
+///         Instruction::Read { row: 2 },
+///     ]);
+/// }
+/// let mut mvp = MvpSimulator::banked(4, 2, 32);
+/// let report = mvp.run_batch(&batch)?;
+/// assert_eq!(report.outputs.len(), 3);
+/// assert_eq!(report.outputs[2][0].ones().collect::<Vec<_>>(), vec![2, 3]);
+/// assert!(report.ledger.energy().as_joules() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BatchRequest {
+    programs: Vec<Vec<Instruction>>,
+}
+
+impl BatchRequest {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one program to the batch.
+    pub fn push(&mut self, program: Vec<Instruction>) -> &mut Self {
+        self.programs.push(program);
+        self
+    }
+
+    /// Builder-style [`push`](Self::push).
+    #[must_use]
+    pub fn with_program(mut self, program: Vec<Instruction>) -> Self {
+        self.programs.push(program);
+        self
+    }
+
+    /// Number of programs queued.
+    pub fn len(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// `true` when no programs are queued.
+    pub fn is_empty(&self) -> bool {
+        self.programs.is_empty()
+    }
+
+    /// The queued programs, in execution order.
+    pub fn programs(&self) -> &[Vec<Instruction>] {
+        &self.programs
+    }
+}
+
+/// The result of [`MvpSimulator::run_batch`]: per-program outputs plus
+/// the aggregate activity the batch cost.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// `outputs[i]` holds program `i`'s `Read` results in program order.
+    pub outputs: Vec<Vec<BitVec>>,
+    /// Ledger delta over the whole batch (banked backends: energy/ops
+    /// summed over banks, busy time max-over-banks).
+    pub ledger: OpLedger,
+}
+
+impl BatchReport {
+    /// Number of programs executed.
+    pub fn programs_run(&self) -> usize {
+        self.outputs.len()
+    }
+}
+
+impl<B: CrossbarBackend> MvpSimulator<B> {
+    /// Executes every program of `batch` in order on this simulator's
+    /// backend, returning all `Read` outputs and the aggregate ledger
+    /// delta. Programs are independent requests: each may freely reuse
+    /// the rows of its predecessors.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing program and returns its error; the
+    /// activity of already-executed programs remains on the ledger.
+    pub fn run_batch(&mut self, batch: &BatchRequest) -> Result<BatchReport, MvpError> {
+        let before = self.crossbar_mut().ledger_parts();
+        let mut outputs = Vec::with_capacity(batch.len());
+        for program in &batch.programs {
+            outputs.push(self.run_program(program)?);
+        }
+        // Diff per subarray, then re-aggregate: the busy time of the
+        // *aggregate* is a max over banks, which is not monotone in the
+        // batch's own work (a quiet bank's activity would vanish behind
+        // an already-busy one), so only part-wise deltas are exact.
+        let mut ledger = OpLedger::new();
+        for (after, before) in self.crossbar_mut().ledger_parts().iter().zip(&before) {
+            ledger.merge_parallel(&after.delta_since(before));
+        }
+        Ok(BatchReport { outputs, ledger })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn query(shift: usize, width: usize) -> Vec<Instruction> {
+        vec![
+            Instruction::Store { row: 0, data: BitVec::from_indices(width, &[shift, shift + 8]) },
+            Instruction::Store { row: 1, data: BitVec::from_indices(width, &[shift]) },
+            Instruction::And { srcs: vec![0, 1], dst: 2 },
+            Instruction::Read { row: 2 },
+        ]
+    }
+
+    #[test]
+    fn batch_outputs_match_individual_runs() {
+        let width = 96;
+        let batch = BatchRequest::new()
+            .with_program(query(0, width))
+            .with_program(query(3, width))
+            .with_program(query(7, width));
+        let mut batched = MvpSimulator::new(4, width);
+        let report = batched.run_batch(&batch).expect("batch runs");
+        assert_eq!(report.programs_run(), 3);
+        for (i, program) in batch.programs().iter().enumerate() {
+            let mut solo = MvpSimulator::new(4, width);
+            assert_eq!(solo.run_program(program).expect("solo"), report.outputs[i]);
+        }
+    }
+
+    #[test]
+    fn ledger_delta_covers_only_the_batch() {
+        let width = 64;
+        let mut mvp = MvpSimulator::new(4, width);
+        // Pre-batch activity must not leak into the report.
+        mvp.run_program(&query(1, width)).expect("warm-up");
+        let report =
+            mvp.run_batch(&BatchRequest::new().with_program(query(2, width))).expect("batch");
+        assert_eq!(report.ledger.scouting_ops(), 1);
+        assert_eq!(report.ledger.reads(), 1);
+        assert!(report.ledger.energy().as_joules() > 0.0);
+        assert!(report.ledger.energy() < mvp.ledger().energy());
+    }
+
+    #[test]
+    fn banked_batch_agrees_with_monolithic_batch() {
+        let width = 90;
+        let batch = BatchRequest::new()
+            .with_program(query(0, width))
+            .with_program(query(11, width))
+            .with_program(query(40, width));
+        let mut mono = MvpSimulator::new(4, width);
+        let mut banked = MvpSimulator::banked(4, 3, 30);
+        let rm = mono.run_batch(&batch).expect("mono");
+        let rb = banked.run_batch(&batch).expect("banked");
+        assert_eq!(rm.outputs, rb.outputs);
+        // Energy sums over banks; wall clock does not.
+        assert!(rb.ledger.busy_time().as_seconds() <= rm.ledger.busy_time().as_seconds());
+    }
+
+    #[test]
+    fn banked_busy_delta_counts_work_hidden_behind_a_busier_bank() {
+        // Warm up bank 0 only: a store whose bits all land in the first
+        // bank records programming latency there and nowhere else.
+        let mut warmed = MvpSimulator::banked(4, 2, 32);
+        warmed
+            .run_program(&[Instruction::Store {
+                row: 0,
+                data: BitVec::from_indices(64, &[0, 5, 20]),
+            }])
+            .expect("warm bank 0");
+        // The batch then works only in bank 1 (plus a read that touches
+        // both banks equally).
+        let batch = BatchRequest::new().with_program(vec![
+            Instruction::Store { row: 1, data: BitVec::from_indices(64, &[40, 50]) },
+            Instruction::Read { row: 1 },
+        ]);
+        let report = warmed.run_batch(&batch).expect("batch");
+        // A fresh simulator running the same batch measures the true
+        // cost; the warmed simulator must report the same delta even
+        // though bank 0's earlier busy time still dominates the maximum.
+        let fresh = MvpSimulator::banked(4, 2, 32).run_batch(&batch).expect("fresh");
+        assert_eq!(report.ledger.busy_time(), fresh.ledger.busy_time());
+        assert_eq!(report.ledger.bits_programmed(), fresh.ledger.bits_programmed());
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let mut mvp = MvpSimulator::new(2, 32);
+        let report = mvp.run_batch(&BatchRequest::new()).expect("empty");
+        assert_eq!(report.programs_run(), 0);
+        assert_eq!(report.ledger.energy().as_joules(), 0.0);
+    }
+
+    #[test]
+    fn a_failing_program_stops_the_batch() {
+        let mut mvp = MvpSimulator::new(2, 32);
+        let batch = BatchRequest::new()
+            .with_program(vec![Instruction::Read { row: 99 }])
+            .with_program(query(0, 32));
+        assert!(matches!(mvp.run_batch(&batch), Err(MvpError::RowOutOfRange { row: 99, .. })));
+    }
+}

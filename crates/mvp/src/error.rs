@@ -21,6 +21,12 @@ pub enum MvpError {
         /// Which constraint failed.
         constraint: &'static str,
     },
+    /// Workload input data was malformed (e.g. a non-ACGT genome base or
+    /// a k-mer of the wrong length).
+    BadInput {
+        /// What was wrong with the input.
+        reason: String,
+    },
 }
 
 impl fmt::Display for MvpError {
@@ -33,6 +39,7 @@ impl fmt::Display for MvpError {
             MvpError::InvalidOperands { constraint } => {
                 write!(f, "invalid instruction operands: {constraint}")
             }
+            MvpError::BadInput { reason } => write!(f, "bad workload input: {reason}"),
         }
     }
 }
@@ -62,5 +69,11 @@ mod tests {
         let e = MvpError::Crossbar(CrossbarError::WidthMismatch { got: 3, expected: 4 });
         assert!(e.to_string().contains("crossbar"));
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn bad_input_carries_the_reason() {
+        let e = MvpError::BadInput { reason: "non-ACGT base 'N' at position 3".into() };
+        assert!(e.to_string().contains("non-ACGT base 'N' at position 3"));
     }
 }

@@ -11,6 +11,19 @@
 //!   DNA k-mer filtering \[18–20\], BFS frontier expansion \[21\]) with
 //!   scalar reference implementations for differential testing.
 //!
+//! * **Banked execution** — [`MvpSimulator`] is generic over the
+//!   [`CrossbarBackend`](memcim_crossbar::CrossbarBackend) trait, so the
+//!   same programs and workloads run on a monolithic
+//!   [`Crossbar`](memcim_crossbar::Crossbar) (the default) or a
+//!   [`BankedCrossbar`](memcim_crossbar::BankedCrossbar)
+//!   ([`MvpSimulator::banked`]) that stripes the vector width across
+//!   parallel subarrays — the paper's "2 GB crossbar = millions of
+//!   subarrays" organization. Results are bit-identical; the cost model
+//!   changes: energy and operation counts sum over banks, busy time is
+//!   the wall-clock maximum over banks. [`BatchRequest`] /
+//!   [`MvpSimulator::run_batch`] execute many independent programs
+//!   against one substrate and report the aggregate ledger delta.
+//!
 //! * **Analytical** — [`SystemConfig`] / [`evaluate`]: the Fig. 4
 //!   architecture comparison. A 4-core ALU-only multicore with a
 //!   32 KB L1 / 256 KB L2 / DRAM hierarchy is compared against an MVP
@@ -48,12 +61,14 @@
 
 mod arch;
 pub mod arith;
+mod batch;
 mod error;
 mod isa;
 mod simulator;
 pub mod workloads;
 
 pub use arch::{evaluate, ArchComparison, Metrics, MissRates, SystemConfig};
+pub use batch::{BatchReport, BatchRequest};
 pub use error::MvpError;
 pub use isa::Instruction;
 pub use simulator::MvpSimulator;

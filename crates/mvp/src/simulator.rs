@@ -2,21 +2,29 @@
 
 use crate::{Instruction, MvpError};
 use memcim_bits::BitVec;
-use memcim_crossbar::{Crossbar, OpLedger, ScoutingKind};
+use memcim_crossbar::{BankedCrossbar, Crossbar, CrossbarBackend, OpLedger, ScoutingKind};
 
 /// A functional Memristive Vector Processor: host-visible rows of a
 /// scouting-logic crossbar, executing [`Instruction`] programs.
 ///
+/// The simulator is generic over its storage substrate: any
+/// [`CrossbarBackend`] — a monolithic [`Crossbar`] (the default) or a
+/// [`BankedCrossbar`] that stripes the vector width over parallel
+/// subarrays — executes the same programs bit-identically; only the cost
+/// accounting differs (banked: energy sums over banks, wall clock is the
+/// slowest bank).
+///
 /// Results of `Read` instructions are returned in program order; every
-/// in-memory operation is costed through the crossbar's [`OpLedger`].
+/// in-memory operation is costed through the backend's [`OpLedger`].
 /// See the [crate-level example](crate).
 #[derive(Debug)]
-pub struct MvpSimulator {
-    xbar: Crossbar,
+pub struct MvpSimulator<B: CrossbarBackend = Crossbar> {
+    xbar: B,
 }
 
-impl MvpSimulator {
-    /// Creates an MVP over a fresh RRAM crossbar of the given geometry.
+impl MvpSimulator<Crossbar> {
+    /// Creates an MVP over a fresh monolithic RRAM crossbar of the given
+    /// geometry.
     ///
     /// # Panics
     ///
@@ -30,6 +38,25 @@ impl MvpSimulator {
     pub fn with_crossbar(xbar: Crossbar) -> Self {
         Self { xbar }
     }
+}
+
+impl MvpSimulator<BankedCrossbar> {
+    /// Creates an MVP whose vector width is striped over `bank_count`
+    /// parallel RRAM banks of `bank_cols` columns each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn banked(rows: usize, bank_count: usize, bank_cols: usize) -> Self {
+        Self { xbar: BankedCrossbar::rram(rows, bank_count, bank_cols) }
+    }
+}
+
+impl<B: CrossbarBackend> MvpSimulator<B> {
+    /// Wraps any crossbar substrate.
+    pub fn with_backend(xbar: B) -> Self {
+        Self { xbar }
+    }
 
     /// Number of rows.
     pub fn rows(&self) -> usize {
@@ -41,13 +68,14 @@ impl MvpSimulator {
         self.xbar.cols()
     }
 
-    /// The accumulated cost ledger.
-    pub fn ledger(&self) -> &OpLedger {
-        self.xbar.ledger()
+    /// The accumulated cost totals. On a banked substrate energy/ops sum
+    /// over banks while busy time is the wall-clock maximum over banks.
+    pub fn ledger(&self) -> OpLedger {
+        self.xbar.ledger_totals()
     }
 
-    /// Borrows the underlying crossbar (fault injection, inspection).
-    pub fn crossbar_mut(&mut self) -> &mut Crossbar {
+    /// Borrows the underlying substrate (fault injection, inspection).
+    pub fn crossbar_mut(&mut self) -> &mut B {
         &mut self.xbar
     }
 
@@ -140,6 +168,26 @@ mod tests {
         let out = mvp.run_program(&program).expect("runs");
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].ones().collect::<Vec<_>>(), vec![2, 3, 5, 7]);
+    }
+
+    #[test]
+    fn banked_substrate_computes_the_same_expression() {
+        let mut mono = MvpSimulator::new(16, 128);
+        let mut banked = MvpSimulator::banked(16, 4, 32);
+        assert_eq!(banked.width(), 128);
+        let program = vec![
+            store(0, &[0, 31, 32, 63, 64, 127]),
+            store(1, &[31, 32, 100]),
+            Instruction::And { srcs: vec![0, 1], dst: 2 },
+            Instruction::Read { row: 2 },
+        ];
+        let out_mono = mono.run_program(&program).expect("mono");
+        let out_banked = banked.run_program(&program).expect("banked");
+        assert_eq!(out_mono, out_banked);
+        assert_eq!(out_banked[0].ones().collect::<Vec<_>>(), vec![31, 32]);
+        // Four banks each run the scouting op in the same cycle.
+        assert_eq!(banked.ledger().scouting_ops(), 4);
+        assert!(banked.ledger().busy_time().as_seconds() <= mono.ledger().busy_time().as_seconds());
     }
 
     #[test]

@@ -5,9 +5,18 @@
 //! here has (a) an MVP execution path built from macro-instructions and
 //! (b) a plain software reference, so tests can assert bit-identical
 //! results while the ledger shows what the in-memory execution cost.
+//!
+//! Every MVP path is generic over [`CrossbarBackend`]: the same workload
+//! runs unchanged on a monolithic [`MvpSimulator`] or a banked one
+//! ([`MvpSimulator::banked`]), producing bit-identical results — the
+//! banked substrate only changes the cost model (energy sums over banks,
+//! wall clock is one bank cycle).
+//!
+//! [`CrossbarBackend`]: memcim_crossbar::CrossbarBackend
 
 use crate::{Instruction, MvpError, MvpSimulator};
 use memcim_bits::BitVec;
+use memcim_crossbar::CrossbarBackend;
 
 /// FastBit-style bitmap-index selection (database management).
 pub mod bitmap {
@@ -76,20 +85,13 @@ pub mod bitmap {
             out
         }
 
-        /// MVP execution: loads the value bitmaps and runs the
-        /// OR/OR/AND plan in memory.
+        /// The macro-instruction program for one query — the unit that
+        /// [`query_mvp`](Self::query_mvp) executes and that a
+        /// [`BatchRequest`](crate::BatchRequest) can aggregate many of.
+        /// The program ends with a `Read` of the result row.
         ///
-        /// # Errors
-        ///
-        /// Propagates [`MvpError`] from program execution (a geometry
-        /// mismatch between the table and the simulator, for instance).
-        pub fn query_mvp(
-            &self,
-            mvp: &mut MvpSimulator,
-            set1: &[u8],
-            set2: &[u8],
-        ) -> Result<BitVec, MvpError> {
-            // Row layout: [set1 bitmaps…][set2 bitmaps…][tmp1][tmp2][out].
+        /// Row layout: `[set1 bitmaps…][set2 bitmaps…][tmp1][tmp2][out]`.
+        pub fn query_plan(&self, set1: &[u8], set2: &[u8]) -> Vec<Instruction> {
             let mut program = Vec::new();
             let mut row = 0;
             let mut rows1 = Vec::new();
@@ -122,7 +124,23 @@ pub mod bitmap {
             };
             program.push(Instruction::And { srcs: vec![lhs, rhs], dst: out });
             program.push(Instruction::Read { row: out });
-            let mut outputs = mvp.run_program(&program)?;
+            program
+        }
+
+        /// MVP execution: loads the value bitmaps and runs the
+        /// OR/OR/AND plan in memory.
+        ///
+        /// # Errors
+        ///
+        /// Propagates [`MvpError`] from program execution (a geometry
+        /// mismatch between the table and the simulator, for instance).
+        pub fn query_mvp<B: CrossbarBackend>(
+            &self,
+            mvp: &mut MvpSimulator<B>,
+            set1: &[u8],
+            set2: &[u8],
+        ) -> Result<BitVec, MvpError> {
+            let mut outputs = mvp.run_program(&self.query_plan(set1, set2))?;
             Ok(outputs.pop().expect("program ends with a read"))
         }
 
@@ -150,26 +168,34 @@ pub mod kmer {
         layers: Vec<[BitVec; 4]>,
     }
 
-    fn base_index(b: u8) -> usize {
+    fn base_index(b: u8, position: usize) -> Result<usize, MvpError> {
         match b {
-            b'A' => 0,
-            b'C' => 1,
-            b'G' => 2,
-            b'T' => 3,
-            other => panic!("non-ACGT base {other}"),
+            b'A' => Ok(0),
+            b'C' => Ok(1),
+            b'G' => Ok(2),
+            b'T' => Ok(3),
+            other => Err(MvpError::BadInput {
+                reason: format!("non-ACGT base {:?} at position {position}", char::from(other)),
+            }),
         }
     }
 
     impl ShiftedBaseIndex {
         /// Indexes a genome for k-mers of length `k`.
         ///
-        /// # Panics
+        /// # Errors
         ///
-        /// Panics if `k` is zero, the genome is shorter than `k`, or the
-        /// genome contains non-ACGT bytes.
-        pub fn build(genome: &[u8], k: usize) -> Self {
-            assert!(k > 0, "k must be positive");
-            assert!(genome.len() >= k, "genome shorter than k");
+        /// Returns [`MvpError::BadInput`] if `k` is zero, the genome is
+        /// shorter than `k`, or the genome contains non-ACGT bytes.
+        pub fn build(genome: &[u8], k: usize) -> Result<Self, MvpError> {
+            if k == 0 {
+                return Err(MvpError::BadInput { reason: "k must be positive".into() });
+            }
+            if genome.len() < k {
+                return Err(MvpError::BadInput {
+                    reason: format!("genome of {} bases is shorter than k = {k}", genome.len()),
+                });
+            }
             let positions = genome.len() - k + 1;
             let mut layers = Vec::with_capacity(k);
             for j in 0..k {
@@ -180,11 +206,11 @@ pub mod kmer {
                     BitVec::new(positions),
                 ];
                 for p in 0..positions {
-                    maps[base_index(genome[p + j])].set(p, true);
+                    maps[base_index(genome[p + j], p + j)?].set(p, true);
                 }
                 layers.push(maps);
             }
-            Self { len: positions, k, layers }
+            Ok(Self { len: positions, k, layers })
         }
 
         /// Number of candidate positions.
@@ -192,18 +218,32 @@ pub mod kmer {
             self.len
         }
 
+        fn check_kmer(&self, kmer: &[u8]) -> Result<(), MvpError> {
+            if kmer.len() != self.k {
+                return Err(MvpError::BadInput {
+                    reason: format!(
+                        "k-mer of {} bases does not match the index's k = {}",
+                        kmer.len(),
+                        self.k
+                    ),
+                });
+            }
+            Ok(())
+        }
+
         /// Scalar reference: match positions of `kmer`.
         ///
-        /// # Panics
+        /// # Errors
         ///
-        /// Panics if `kmer.len() != k` or contains non-ACGT bytes.
-        pub fn find_reference(&self, kmer: &[u8]) -> BitVec {
-            assert_eq!(kmer.len(), self.k, "k-mer length mismatch");
-            let mut out = self.layers[0][base_index(kmer[0])].clone();
+        /// Returns [`MvpError::BadInput`] if `kmer.len() != k` or the
+        /// k-mer contains non-ACGT bytes.
+        pub fn find_reference(&self, kmer: &[u8]) -> Result<BitVec, MvpError> {
+            self.check_kmer(kmer)?;
+            let mut out = self.layers[0][base_index(kmer[0], 0)?].clone();
             for (j, &b) in kmer.iter().enumerate().skip(1) {
-                out.and_assign(&self.layers[j][base_index(b)]);
+                out.and_assign(&self.layers[j][base_index(b, j)?]);
             }
-            out
+            Ok(out)
         }
 
         /// MVP execution: stores the k relevant layers and AND-reduces
@@ -211,18 +251,19 @@ pub mod kmer {
         ///
         /// # Errors
         ///
-        /// Propagates [`MvpError`] from program execution.
-        ///
-        /// # Panics
-        ///
-        /// Panics if `kmer.len() != k` or contains non-ACGT bytes.
-        pub fn find_mvp(&self, mvp: &mut MvpSimulator, kmer: &[u8]) -> Result<BitVec, MvpError> {
-            assert_eq!(kmer.len(), self.k, "k-mer length mismatch");
+        /// Returns [`MvpError::BadInput`] for a malformed k-mer and
+        /// propagates [`MvpError`] from program execution.
+        pub fn find_mvp<B: CrossbarBackend>(
+            &self,
+            mvp: &mut MvpSimulator<B>,
+            kmer: &[u8],
+        ) -> Result<BitVec, MvpError> {
+            self.check_kmer(kmer)?;
             let mut program = Vec::new();
             for (j, &b) in kmer.iter().enumerate() {
                 program.push(Instruction::Store {
                     row: j,
-                    data: self.layers[j][base_index(b)].clone(),
+                    data: self.layers[j][base_index(b, j)?].clone(),
                 });
             }
             let dst = self.k;
@@ -308,19 +349,25 @@ pub mod bfs {
         ///
         /// # Errors
         ///
-        /// Propagates [`MvpError`] from program execution.
-        ///
-        /// # Panics
-        ///
-        /// Panics if `src` is out of range or `max_fanin < 2`.
-        pub fn bfs_mvp(
+        /// Returns [`MvpError::BadInput`] if `src` is out of range or
+        /// `max_fanin < 2`, and propagates [`MvpError`] from program
+        /// execution.
+        pub fn bfs_mvp<B: CrossbarBackend>(
             &self,
-            mvp: &mut MvpSimulator,
+            mvp: &mut MvpSimulator<B>,
             src: usize,
             max_fanin: usize,
         ) -> Result<Vec<usize>, MvpError> {
-            assert!(src < self.n, "source out of range");
-            assert!(max_fanin >= 2, "scouting needs fan-in of at least 2");
+            if src >= self.n {
+                return Err(MvpError::BadInput {
+                    reason: format!("source vertex {src} outside the {}-vertex graph", self.n),
+                });
+            }
+            if max_fanin < 2 {
+                return Err(MvpError::BadInput {
+                    reason: format!("scouting needs a fan-in of at least 2, got {max_fanin}"),
+                });
+            }
             let mut level = vec![usize::MAX; self.n];
             level[src] = 0;
             let mut frontier: Vec<usize> = vec![src];
@@ -382,6 +429,19 @@ mod tests {
     }
 
     #[test]
+    fn bitmap_query_runs_banked() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let n = 384;
+        let col1: Vec<u8> = (0..n).map(|_| rng.gen_range(0..8)).collect();
+        let col2: Vec<u8> = (0..n).map(|_| rng.gen_range(0..8)).collect();
+        let table = bitmap::BitmapTable::new(col1, col2, 8);
+        // Three banks, non-power-of-two bank width.
+        let mut banked = MvpSimulator::banked(24, 3, 128);
+        let fast = table.query_mvp(&mut banked, &[1, 3], &[0, 2]).expect("banked query");
+        assert_eq!(fast, table.query_reference(&[1, 3], &[0, 2]));
+    }
+
+    #[test]
     fn kmer_search_matches_reference() {
         let mut rng = SmallRng::seed_from_u64(23);
         let bases = [b'A', b'C', b'G', b'T'];
@@ -390,16 +450,40 @@ mod tests {
         for at in [100usize, 900, 1500] {
             genome[at..at + 6].copy_from_slice(b"ACGTAC");
         }
-        let index = kmer::ShiftedBaseIndex::build(&genome, 6);
+        let index = kmer::ShiftedBaseIndex::build(&genome, 6).expect("clean genome");
         let mut mvp = MvpSimulator::new(8, index.positions());
         let fast = index.find_mvp(&mut mvp, b"ACGTAC").expect("mvp find");
-        let slow = index.find_reference(b"ACGTAC");
+        let slow = index.find_reference(b"ACGTAC").expect("reference find");
         assert_eq!(fast, slow);
         for at in [100usize, 900, 1500] {
             assert!(fast.get(at), "planted hit at {at}");
         }
         // The whole k-way AND costs exactly one scouting cycle.
         assert_eq!(mvp.ledger().scouting_ops(), 1);
+    }
+
+    #[test]
+    fn kmer_index_rejects_bad_bases_as_errors() {
+        let err = kmer::ShiftedBaseIndex::build(b"ACGN", 2).expect_err("N is not a base");
+        match err {
+            MvpError::BadInput { reason } => {
+                assert!(reason.contains("non-ACGT base 'N' at position 3"), "got: {reason}");
+            }
+            other => panic!("expected BadInput, got {other:?}"),
+        }
+        // Degenerate shapes are errors too, not aborts.
+        assert!(matches!(kmer::ShiftedBaseIndex::build(b"ACG", 0), Err(MvpError::BadInput { .. })));
+        assert!(matches!(kmer::ShiftedBaseIndex::build(b"AC", 3), Err(MvpError::BadInput { .. })));
+    }
+
+    #[test]
+    fn kmer_lookup_rejects_bad_queries_as_errors() {
+        let index = kmer::ShiftedBaseIndex::build(b"ACGTACGT", 4).expect("clean genome");
+        let mut mvp = MvpSimulator::new(8, index.positions());
+        assert!(matches!(index.find_reference(b"ACG"), Err(MvpError::BadInput { .. })));
+        assert!(matches!(index.find_mvp(&mut mvp, b"ACGTT"), Err(MvpError::BadInput { .. })));
+        assert!(matches!(index.find_reference(b"ACNT"), Err(MvpError::BadInput { .. })));
+        assert!(matches!(index.find_mvp(&mut mvp, b"ACNT"), Err(MvpError::BadInput { .. })));
     }
 
     #[test]
@@ -432,14 +516,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "columns must align")]
-    fn bitmap_table_validates_columns() {
-        let _ = bitmap::BitmapTable::new(vec![0, 1], vec![0], 4);
+    fn bfs_rejects_bad_arguments_as_errors() {
+        let g = bfs::Graph::new(4);
+        let mut mvp = MvpSimulator::new(8, 4);
+        assert!(matches!(g.bfs_mvp(&mut mvp, 9, 4), Err(MvpError::BadInput { .. })));
+        assert!(matches!(g.bfs_mvp(&mut mvp, 0, 1), Err(MvpError::BadInput { .. })));
     }
 
     #[test]
-    #[should_panic(expected = "non-ACGT")]
-    fn kmer_index_rejects_bad_bases() {
-        let _ = kmer::ShiftedBaseIndex::build(b"ACGX", 2);
+    #[should_panic(expected = "columns must align")]
+    fn bitmap_table_validates_columns() {
+        let _ = bitmap::BitmapTable::new(vec![0, 1], vec![0], 4);
     }
 }

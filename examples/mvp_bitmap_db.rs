@@ -31,14 +31,27 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
         mvp.ledger().energy()
     );
 
+    // The same query on a banked substrate: 64 parallel subarrays, one
+    // BatchRequest — bit-identical answer, wall clock of one bank cycle.
+    let mut banked = MvpSimulator::banked(32, 64, records / 64);
+    let batch = BatchRequest::new().with_program(table.query_plan(&[1, 4, 9], &[0, 3]));
+    let report = banked.run_batch(&batch)?;
+    assert_eq!(report.outputs[0][0], slow);
+    println!(
+        "same query on 64 banks: {} scouting ops across banks, busy {} (vs {} monolithic)",
+        report.ledger.scouting_ops(),
+        report.ledger.busy_time(),
+        mvp.ledger().busy_time()
+    );
+
     // --- k-mer filtering ------------------------------------------------
     let mut genome = dna::random_genome(&mut rng, 8_192);
     dna::plant(&mut genome, b"ACGTACGT", &[512, 4_096, 8_000]);
-    let index = ShiftedBaseIndex::build(&genome, 8);
+    let index = ShiftedBaseIndex::build(&genome, 8)?;
     let mut mvp_k = MvpSimulator::new(16, index.positions());
     let kmer = b"ACGTACGT";
     let fast_k = index.find_mvp(&mut mvp_k, kmer)?;
-    let slow_k = index.find_reference(kmer);
+    let slow_k = index.find_reference(kmer)?;
     assert_eq!(fast_k, slow_k);
     println!(
         "k-mer {} over {} positions: {} hits in ONE in-memory 8-way AND",

@@ -1,0 +1,174 @@
+//! Banked-vs-monolithic equivalence: every scouting gate and all three
+//! Section III.B workloads must produce **bit-identical** outputs on a
+//! monolithic [`Crossbar`] and on a [`BankedCrossbar`] with 1, 3 and 64
+//! banks (including a non-power-of-two bank width), exercised through
+//! the [`CrossbarBackend`] trait that the MVP simulator is generic over.
+
+use memcim_bits::BitVec;
+use memcim_crossbar::{BankedCrossbar, Crossbar, CrossbarBackend, ScoutingKind};
+use memcim_mvp::workloads::{bfs::Graph, bitmap::BitmapTable, kmer::ShiftedBaseIndex};
+use memcim_mvp::MvpSimulator;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Bank splits of a 960-column logical row: one bank, three banks
+/// (320 columns — not a power of two), and 64 narrow banks of 15.
+const BANK_SPLITS: &[(usize, usize)] = &[(1, 960), (3, 320), (64, 15)];
+const WIDTH: usize = 960;
+
+const ALL_KINDS: &[ScoutingKind] = &[
+    ScoutingKind::Or,
+    ScoutingKind::And,
+    ScoutingKind::Xor,
+    ScoutingKind::Nor,
+    ScoutingKind::Nand,
+    ScoutingKind::Xnor,
+];
+
+fn random_row(rng: &mut SmallRng, width: usize) -> BitVec {
+    (0..width).map(|_| rng.gen_range(0..4usize) == 0).collect()
+}
+
+fn scout<B: CrossbarBackend>(
+    xbar: &mut B,
+    rows: &[BitVec],
+    kind: ScoutingKind,
+    srcs: &[usize],
+) -> BitVec {
+    for (r, data) in rows.iter().enumerate() {
+        xbar.program_row(r, data).expect("program");
+    }
+    xbar.scouting(kind, srcs).expect("scouting")
+}
+
+#[test]
+fn every_scouting_kind_is_bank_invariant() {
+    let mut rng = SmallRng::seed_from_u64(2018);
+    let rows: Vec<BitVec> = (0..3).map(|_| random_row(&mut rng, WIDTH)).collect();
+    for &kind in ALL_KINDS {
+        let reference = scout(&mut Crossbar::rram(4, WIDTH), &rows, kind, &[0, 1]);
+        for &(banks, bank_cols) in BANK_SPLITS {
+            let mut banked = BankedCrossbar::rram(4, banks, bank_cols);
+            let got = scout(&mut banked, &rows, kind, &[0, 1]);
+            assert_eq!(got, reference, "{kind:?} with {banks} banks × {bank_cols}");
+        }
+    }
+    // Multi-row gates are bank-invariant too.
+    for kind in [ScoutingKind::Or, ScoutingKind::And, ScoutingKind::Nor, ScoutingKind::Nand] {
+        let reference = scout(&mut Crossbar::rram(4, WIDTH), &rows, kind, &[0, 1, 2]);
+        for &(banks, bank_cols) in BANK_SPLITS {
+            let mut banked = BankedCrossbar::rram(4, banks, bank_cols);
+            let got = scout(&mut banked, &rows, kind, &[0, 1, 2]);
+            assert_eq!(got, reference, "3-row {kind:?} with {banks} banks × {bank_cols}");
+        }
+    }
+}
+
+#[test]
+fn scouting_write_back_is_bank_invariant() {
+    let mut rng = SmallRng::seed_from_u64(2019);
+    let rows: Vec<BitVec> = (0..2).map(|_| random_row(&mut rng, WIDTH)).collect();
+    for &kind in ALL_KINDS {
+        let mut mono = Crossbar::rram(4, WIDTH);
+        for (r, data) in rows.iter().enumerate() {
+            CrossbarBackend::program_row(&mut mono, r, data).expect("program");
+        }
+        let result = mono.scouting_write(kind, &[0, 1], 3).expect("write-back");
+        let reference = CrossbarBackend::read_row(&mut mono, 3).expect("read");
+        assert_eq!(result, reference);
+        for &(banks, bank_cols) in BANK_SPLITS {
+            let mut banked = BankedCrossbar::rram(4, banks, bank_cols);
+            for (r, data) in rows.iter().enumerate() {
+                CrossbarBackend::program_row(&mut banked, r, data).expect("program");
+            }
+            let got = banked.scouting_write(kind, &[0, 1], 3).expect("write-back");
+            assert_eq!(got, result, "{kind:?} result, {banks} banks");
+            let read_back = CrossbarBackend::read_row(&mut banked, 3).expect("read");
+            assert_eq!(read_back, reference, "{kind:?} write-back row, {banks} banks");
+        }
+    }
+}
+
+#[test]
+fn bitmap_queries_are_bank_invariant() {
+    let mut rng = SmallRng::seed_from_u64(41);
+    let col1: Vec<u8> = (0..WIDTH).map(|_| rng.gen_range(0..10)).collect();
+    let col2: Vec<u8> = (0..WIDTH).map(|_| rng.gen_range(0..10)).collect();
+    let table = BitmapTable::new(col1, col2, 10);
+    let queries: &[(&[u8], &[u8])] = &[(&[1, 3], &[0, 2, 5]), (&[7], &[7]), (&[0, 1, 2], &[3])];
+    for &(s1, s2) in queries {
+        let reference = table.query_reference(s1, s2);
+        let mut mono = MvpSimulator::new(32, WIDTH);
+        assert_eq!(table.query_mvp(&mut mono, s1, s2).expect("mono"), reference);
+        for &(banks, bank_cols) in BANK_SPLITS {
+            let mut banked = MvpSimulator::banked(32, banks, bank_cols);
+            let got = table.query_mvp(&mut banked, s1, s2).expect("banked");
+            assert_eq!(got, reference, "sets {s1:?}/{s2:?}, {banks} banks × {bank_cols}");
+        }
+    }
+}
+
+#[test]
+fn kmer_search_is_bank_invariant() {
+    let mut rng = SmallRng::seed_from_u64(42);
+    let bases = [b'A', b'C', b'G', b'T'];
+    // 965 bases, k = 6 → exactly WIDTH = 960 candidate positions.
+    let mut genome: Vec<u8> = (0..965).map(|_| bases[rng.gen_range(0..4usize)]).collect();
+    for at in [11usize, 400, 954] {
+        genome[at..at + 6].copy_from_slice(b"GATTAC");
+    }
+    let index = ShiftedBaseIndex::build(&genome, 6).expect("clean genome");
+    assert_eq!(index.positions(), WIDTH);
+    let reference = index.find_reference(b"GATTAC").expect("reference");
+    let mut mono = MvpSimulator::new(8, WIDTH);
+    assert_eq!(index.find_mvp(&mut mono, b"GATTAC").expect("mono"), reference);
+    for &(banks, bank_cols) in BANK_SPLITS {
+        let mut banked = MvpSimulator::banked(8, banks, bank_cols);
+        let got = index.find_mvp(&mut banked, b"GATTAC").expect("banked");
+        assert_eq!(got, reference, "{banks} banks × {bank_cols}");
+        for at in [11usize, 400, 954] {
+            assert!(got.get(at), "planted hit at {at}, {banks} banks");
+        }
+    }
+}
+
+#[test]
+fn bfs_levels_are_bank_invariant() {
+    let mut rng = SmallRng::seed_from_u64(43);
+    // 960 vertices so the adjacency rows match every bank split.
+    let mut g = Graph::new(WIDTH);
+    for _ in 0..6 * WIDTH {
+        g.add_edge(rng.gen_range(0..WIDTH), rng.gen_range(0..WIDTH));
+    }
+    let reference = g.bfs_reference(0);
+    let mut mono = MvpSimulator::new(16, WIDTH);
+    assert_eq!(g.bfs_mvp(&mut mono, 0, 8).expect("mono"), reference);
+    for &(banks, bank_cols) in BANK_SPLITS {
+        let mut banked = MvpSimulator::banked(16, banks, bank_cols);
+        let got = g.bfs_mvp(&mut banked, 0, 8).expect("banked");
+        assert_eq!(got, reference, "{banks} banks × {bank_cols}");
+    }
+}
+
+#[test]
+fn banked_cost_model_sums_energy_and_keeps_wall_clock() {
+    let mut rng = SmallRng::seed_from_u64(44);
+    let col1: Vec<u8> = (0..WIDTH).map(|_| rng.gen_range(0..8)).collect();
+    let col2: Vec<u8> = (0..WIDTH).map(|_| rng.gen_range(0..8)).collect();
+    let table = BitmapTable::new(col1, col2, 8);
+    let mut mono = MvpSimulator::new(32, WIDTH);
+    let mut banked = MvpSimulator::banked(32, 64, 15);
+    table.query_mvp(&mut mono, &[1, 2], &[3, 4]).expect("mono");
+    table.query_mvp(&mut banked, &[1, 2], &[3, 4]).expect("banked");
+    let lm = mono.ledger();
+    let lb = banked.ledger();
+    // Every bank performs the scouting ops: counts multiply by 64.
+    assert_eq!(lb.scouting_ops(), 64 * lm.scouting_ops());
+    // Wall clock: a 15-column bank cycle is no slower than the 960-column
+    // monolithic cycle (row count, hence latency, is identical).
+    assert!(lb.busy_time().as_seconds() <= lm.busy_time().as_seconds() + 1e-18);
+    // Energy is physically spent in every bank, but sensing energy scales
+    // with columns per array, so the banked total stays in the same
+    // ballpark as the monolithic run (same logical work).
+    assert!(lb.energy().as_joules() > 0.0);
+}

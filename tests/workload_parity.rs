@@ -34,10 +34,10 @@ fn kmer_scan_finds_exactly_the_planted_and_random_hits() {
     let mut rng = SmallRng::seed_from_u64(2);
     let mut genome = dna::random_genome(&mut rng, 20_000);
     dna::plant(&mut genome, b"GATTACAT", &[17, 9_999, 19_990]);
-    let index = ShiftedBaseIndex::build(&genome, 8);
+    let index = ShiftedBaseIndex::build(&genome, 8).expect("clean genome");
     let mut mvp = MvpSimulator::new(16, index.positions());
     let fast = index.find_mvp(&mut mvp, b"GATTACAT").expect("mvp");
-    let slow = index.find_reference(b"GATTACAT");
+    let slow = index.find_reference(b"GATTACAT").expect("reference");
     assert_eq!(fast, slow);
     for at in [17usize, 9_999, 19_990] {
         assert!(fast.get(at), "planted site {at}");
