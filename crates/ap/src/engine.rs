@@ -182,6 +182,27 @@ impl AutomataProcessor {
     /// Feeding a split input chunk by chunk and then calling
     /// [`finish`](Self::finish) yields exactly the [`ApRun`] of a
     /// one-shot [`run`](Self::run) over the concatenation.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use memcim_ap::{ApBackend, AutomataProcessor, RoutingKind};
+    /// use memcim_automata::{HomogeneousAutomaton, Regex, StartKind};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let homog = HomogeneousAutomaton::from_nfa(&Regex::parse("ab")?.compile())
+    ///     .with_start_kind(StartKind::AllInput);
+    /// let mut ap = AutomataProcessor::compile(&homog, ApBackend::rram(), RoutingKind::Dense)?;
+    /// let expected = ap.run(b"xabxab");
+    ///
+    /// ap.reset();
+    /// ap.feed(b"xa"); // a chunk may end mid-match…
+    /// let report = ap.feed(b"bxab"); // …active state carries across the boundary
+    /// assert_eq!(report.cycles, 6, "reports are cumulative over the stream");
+    /// assert_eq!(ap.finish(), expected, "chunked ≡ one-shot");
+    /// # Ok(())
+    /// # }
+    /// ```
     pub fn feed(&mut self, chunk: &[u8]) -> ApReport {
         let ste_energy = self.costs.ste_energy_per_column.as_joules();
         let routing_energy = self.costs.routing_energy_per_column.as_joules();

@@ -26,6 +26,7 @@ use memcim_bench::json::{self, JsonValue};
 use memcim_crossbar::{BitlineCircuit, CellTechnology};
 use memcim_mvp::workloads::bitmap::BitmapTable;
 use memcim_mvp::{BatchRequest, MvpSimulator};
+use memcim_serve::{Job, ServeConfig, Service};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::time::{Duration, Instant};
@@ -44,6 +45,9 @@ const REQUIRED_CONFIGS: &[&str] = &[
     "bitline_lumped_SRAM-AP",
     "mvp_bitmap_query",
     "mvp_bitmap_query_banked",
+    "serve_bitmap_qps_1w",
+    "serve_bitmap_qps_4w",
+    "serve_bitmap_qps_8w",
 ];
 
 struct ConfigResult {
@@ -172,16 +176,69 @@ fn run_workloads(quick: bool) -> Vec<ConfigResult> {
         },
     ));
 
+    // --- Serving layer: multi-tenant bitmap QPS vs worker count --------
+    // The same four bitmap query plans, served through `memcim-serve`:
+    // each iteration submits a fixed closed-loop burst of jobs round-
+    // robin over 8 tenants and waits for every ticket, so units/s is
+    // end-to-end queries per second through the queue, the coalescer,
+    // the per-worker banked engines and the tenant ledger accounting.
+    // Worker counts 1/4/8 record the throughput-scaling trajectory.
+    // The serving workload is deliberately many *small* queries (a
+    // 2048-record table in both modes, unlike the big-scan configs
+    // above): the layer under test is the queue/coalescer/ticket
+    // machinery under heavy request traffic, not one giant scan. Worker
+    // scaling needs cores — the report records `host_cores` so a flat
+    // trio on a single-CPU container reads as what it is.
+    let serve_records = 2_048usize;
+    let mut srng = SmallRng::seed_from_u64(SEED);
+    let serve_col1: Vec<u8> = (0..serve_records).map(|_| srng.gen_range(0..16)).collect();
+    let serve_col2: Vec<u8> = (0..serve_records).map(|_| srng.gen_range(0..8)).collect();
+    let serve_table = BitmapTable::new(serve_col1, serve_col2, 16);
+    let serve_plans: Vec<Vec<memcim_mvp::Instruction>> =
+        queries.iter().map(|(s1, s2)| serve_table.query_plan(s1, s2)).collect();
+    let jobs_per_iter = 32usize;
+    for (name, workers) in
+        [("serve_bitmap_qps_1w", 1), ("serve_bitmap_qps_4w", 4), ("serve_bitmap_qps_8w", 8)]
+    {
+        let service = Service::start(
+            ServeConfig::default()
+                .with_workers(workers)
+                .with_queue_depth(jobs_per_iter)
+                .with_max_burst(8)
+                .with_mvp_geometry(32, 64, serve_records / 64),
+        );
+        results.push(measure(name, "query", jobs_per_iter as u64, budget, || {
+            let tickets: Vec<_> = (0..jobs_per_iter)
+                .map(|i| {
+                    let tenant = (i % 8) as u64;
+                    service
+                        .submit(tenant, Job::MvpProgram(serve_plans[i % serve_plans.len()].clone()))
+                        .expect("service is running")
+                })
+                .collect();
+            for ticket in tickets {
+                std::hint::black_box(ticket.wait().expect("query runs"));
+            }
+        }));
+        service.shutdown();
+    }
+
     results
 }
 
 fn render_report(results: &[ConfigResult], quick: bool, baseline: Option<&str>) -> String {
+    // The serve_bitmap_qps_* worker-scaling trio only spreads across
+    // real cores; recording the host's parallelism makes a committed
+    // report interpretable (cores = 1 ⇒ the trio times-slices and stays
+    // flat by construction).
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"schema\": \"memcim-perf-report/v1\",\n");
     out.push_str("  \"bench\": \"ap_engine\",\n");
     out.push_str(&format!("  \"mode\": \"{}\",\n", if quick { "quick" } else { "full" }));
     out.push_str(&format!("  \"seed\": {SEED},\n"));
+    out.push_str(&format!("  \"host_cores\": {cores},\n"));
     out.push_str("  \"configs\": [\n");
     for (i, r) in results.iter().enumerate() {
         out.push_str("    {\n");

@@ -35,6 +35,8 @@
 //! assert_eq!(next.ones().collect::<Vec<_>>(), vec![2]); // S3
 //! ```
 
+#![deny(missing_docs)]
+
 mod matrix;
 mod vector;
 

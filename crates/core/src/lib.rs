@@ -18,6 +18,7 @@
 //! | [`memcim_automata`] | regex → NFA → homogeneous automata |
 //! | [`memcim_ap`] | generic AP model + RRAM/SRAM/SDRAM backends |
 //! | [`memcim_mvp`] | MVP simulator + Fig. 4 architecture model |
+//! | [`memcim_serve`] | concurrent multi-tenant query service over the banked engines |
 //!
 //! ## Quick start
 //!
@@ -57,6 +58,7 @@ pub use memcim_bits as bits;
 pub use memcim_crossbar as crossbar;
 pub use memcim_device as device;
 pub use memcim_mvp as mvp;
+pub use memcim_serve as serve;
 pub use memcim_spice as spice;
 pub use memcim_units as units;
 
@@ -83,6 +85,7 @@ pub mod prelude {
     pub use memcim_mvp::{
         evaluate, BatchReport, BatchRequest, Instruction, MissRates, MvpSimulator, SystemConfig,
     };
+    pub use memcim_serve::{Job, JobOutput, ServeConfig, ServeError, Service, TenantUsage, Ticket};
     pub use memcim_spice::{Circuit, Edge, Integration, SolverKind, Transient, Waveform};
     pub use memcim_units::{
         Amps, Farads, Hertz, Joules, Ohms, Seconds, Siemens, SquareMicrometers, Volts, Watts,

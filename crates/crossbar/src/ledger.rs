@@ -89,6 +89,21 @@ impl OpLedger {
         self.busy = self.busy.max(other.busy);
     }
 
+    /// Folds another ledger into this one under the *serial* execution
+    /// model: everything adds up, busy time included — the two
+    /// activities occupy the engine back to back. This is how a serving
+    /// layer accounts one client's successive bursts (each burst's delta
+    /// is itself a [`merge_parallel`](Self::merge_parallel) over banks,
+    /// but the client's bursts occupy engine time one after another).
+    pub fn merge_serial(&mut self, other: &OpLedger) {
+        self.reads += other.reads;
+        self.scouting_ops += other.scouting_ops;
+        self.programs += other.programs;
+        self.bits_programmed += other.bits_programmed;
+        self.energy += other.energy;
+        self.busy += other.busy;
+    }
+
     /// The activity recorded since `earlier` was captured: all counters,
     /// energy and busy time subtract component-wise. `earlier` must be a
     /// previous snapshot of the *same* ledger (counters only grow).
@@ -137,6 +152,19 @@ mod tests {
         assert_eq!(a.bits_programmed(), 8);
         assert!((a.energy().as_femtojoules() - 8.0).abs() < 1e-9);
         assert!((a.busy_time().as_nanoseconds() - 8.0).abs() < 1e-9, "max(3, 7+1), not the sum");
+    }
+
+    #[test]
+    fn serial_merge_sums_everything_including_busy_time() {
+        let mut a = OpLedger::new();
+        a.record_read(Joules::from_femtojoules(2.0), Seconds::from_nanoseconds(3.0));
+        let mut b = OpLedger::new();
+        b.record_scouting(Joules::from_femtojoules(5.0), Seconds::from_nanoseconds(7.0));
+        a.merge_serial(&b);
+        assert_eq!(a.reads(), 1);
+        assert_eq!(a.scouting_ops(), 1);
+        assert!((a.energy().as_femtojoules() - 7.0).abs() < 1e-9);
+        assert!((a.busy_time().as_nanoseconds() - 10.0).abs() < 1e-9, "3+7: back to back");
     }
 
     #[test]

@@ -64,6 +64,8 @@
 //! # }
 //! ```
 
+#![deny(missing_docs)]
+
 mod array;
 mod backend;
 mod bank;

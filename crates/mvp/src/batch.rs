@@ -110,6 +110,32 @@ impl<B: CrossbarBackend> MvpSimulator<B> {
     ///
     /// Stops at the first failing program and returns its error; the
     /// activity of already-executed programs remains on the ledger.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use memcim_bits::BitVec;
+    /// use memcim_mvp::{BatchRequest, Instruction, MvpSimulator};
+    ///
+    /// # fn main() -> Result<(), memcim_mvp::MvpError> {
+    /// let batch = BatchRequest::new()
+    ///     .with_program(vec![
+    ///         Instruction::Store { row: 0, data: BitVec::from_indices(64, &[3, 9]) },
+    ///         Instruction::Read { row: 0 },
+    ///     ])
+    ///     .with_program(vec![
+    ///         Instruction::Store { row: 0, data: BitVec::from_indices(64, &[5]) },
+    ///         Instruction::Read { row: 0 },
+    ///     ]);
+    /// let mut mvp = MvpSimulator::banked(4, 2, 32);
+    /// let report = mvp.run_batch(&batch)?;
+    /// assert_eq!(report.outputs[0][0].ones().collect::<Vec<_>>(), vec![3, 9]);
+    /// assert_eq!(report.outputs[1][0].ones().collect::<Vec<_>>(), vec![5]);
+    /// // The delta covers exactly this batch, not the simulator's past.
+    /// assert_eq!(report.ledger.reads(), 2 * 2, "one read per program, per bank");
+    /// # Ok(())
+    /// # }
+    /// ```
     pub fn run_batch(&mut self, batch: &BatchRequest) -> Result<BatchReport, MvpError> {
         let before = self.crossbar_mut().ledger_parts();
         let mut outputs = Vec::with_capacity(batch.len());

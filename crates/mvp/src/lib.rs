@@ -59,6 +59,8 @@
 //! # }
 //! ```
 
+#![deny(missing_docs)]
+
 mod arch;
 pub mod arith;
 mod batch;

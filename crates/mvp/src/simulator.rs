@@ -47,6 +47,32 @@ impl MvpSimulator<BankedCrossbar> {
     /// # Panics
     ///
     /// Panics if any dimension is zero.
+    ///
+    /// # Examples
+    ///
+    /// Programs run bit-identically on banked and monolithic substrates;
+    /// only the cost accounting differs:
+    ///
+    /// ```
+    /// use memcim_bits::BitVec;
+    /// use memcim_mvp::{Instruction, MvpSimulator};
+    ///
+    /// # fn main() -> Result<(), memcim_mvp::MvpError> {
+    /// let mut banked = MvpSimulator::banked(8, 4, 32); // 4 banks × 32 cols
+    /// assert_eq!(banked.width(), 128);
+    /// let program = vec![
+    ///     Instruction::Store { row: 0, data: BitVec::from_indices(128, &[31, 32, 100]) },
+    ///     Instruction::Store { row: 1, data: BitVec::from_indices(128, &[32, 100, 127]) },
+    ///     Instruction::And { srcs: vec![0, 1], dst: 2 },
+    ///     Instruction::Read { row: 2 },
+    /// ];
+    /// let out = banked.run_program(&program)?;
+    /// assert_eq!(out[0].ones().collect::<Vec<_>>(), vec![32, 100]);
+    /// // Every bank executed the AND in the same memory cycle.
+    /// assert_eq!(banked.ledger().scouting_ops(), 4);
+    /// # Ok(())
+    /// # }
+    /// ```
     pub fn banked(rows: usize, bank_count: usize, bank_cols: usize) -> Self {
         Self { xbar: BankedCrossbar::rram(rows, bank_count, bank_cols) }
     }

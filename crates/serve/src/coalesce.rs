@@ -1,0 +1,120 @@
+//! Burst coalescing: turning a drained queue burst into execution units.
+//!
+//! Compatible jobs are merged so the engine does one [`BatchRequest`]
+//! run instead of many: all [`Job::MvpProgram`] submissions of one
+//! tenant that land in the same scheduling burst ride in one coalesced
+//! burst (one ledger delta, accounted once to that tenant). Everything
+//! else — pre-assembled batches, AP streaming jobs — executes as its own
+//! unit in arrival order.
+
+use crate::job::Responder;
+use crate::{Job, SessionId, TenantId};
+use memcim_mvp::{BatchRequest, Instruction};
+
+/// A queued job with its tenant and the worker-side ticket half.
+#[derive(Debug)]
+pub(crate) struct Envelope {
+    pub(crate) tenant: TenantId,
+    pub(crate) job: Job,
+    pub(crate) responder: Responder,
+}
+
+/// One engine execution unit produced by [`coalesce`].
+#[derive(Debug)]
+pub(crate) enum Unit {
+    /// Coalesced single-program jobs of one tenant: executed as one
+    /// `BatchRequest`, delta accounted once.
+    MvpBurst { tenant: TenantId, programs: Vec<(Vec<Instruction>, Responder)> },
+    /// A client-assembled batch, executed as submitted.
+    MvpSolo { tenant: TenantId, batch: BatchRequest, responder: Responder },
+    /// One streaming chunk for an AP session.
+    ApFeed { tenant: TenantId, session: SessionId, chunk: Vec<u8>, responder: Responder },
+    /// Stream end for an AP session.
+    ApFinish { tenant: TenantId, session: SessionId, responder: Responder },
+}
+
+/// Partitions a drained burst into execution units, merging each
+/// tenant's single-program MVP jobs.
+///
+/// Order within a coalesced unit follows arrival, but merging can move
+/// a `MvpProgram` ahead of a later-arriving unit of another kind. That
+/// is sound because jobs are *independent by contract*: engine row
+/// state is never promised across job boundaries anyway (two jobs of
+/// one tenant may execute on different workers' engines entirely).
+pub(crate) fn coalesce(burst: impl IntoIterator<Item = Envelope>) -> Vec<Unit> {
+    let burst = burst.into_iter();
+    let mut units: Vec<Unit> = Vec::with_capacity(burst.size_hint().0);
+    for Envelope { tenant, job, responder } in burst {
+        match job {
+            Job::MvpProgram(program) => {
+                let existing = units.iter_mut().find_map(|unit| match unit {
+                    Unit::MvpBurst { tenant: t, programs } if *t == tenant => Some(programs),
+                    _ => None,
+                });
+                match existing {
+                    Some(programs) => programs.push((program, responder)),
+                    None => {
+                        units.push(Unit::MvpBurst { tenant, programs: vec![(program, responder)] })
+                    }
+                }
+            }
+            Job::MvpBatch(batch) => units.push(Unit::MvpSolo { tenant, batch, responder }),
+            Job::ApFeed { session, chunk } => {
+                units.push(Unit::ApFeed { tenant, session, chunk, responder })
+            }
+            Job::ApFinish { session } => units.push(Unit::ApFinish { tenant, session, responder }),
+        }
+    }
+    units
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::ticket_pair;
+
+    fn envelope(tenant: TenantId, job: Job) -> Envelope {
+        let (_ticket, responder) = ticket_pair();
+        Envelope { tenant, job, responder }
+    }
+
+    fn program(row: usize) -> Vec<Instruction> {
+        vec![Instruction::Read { row }]
+    }
+
+    #[test]
+    fn same_tenant_programs_merge_into_one_burst() {
+        let units = coalesce(vec![
+            envelope(1, Job::MvpProgram(program(0))),
+            envelope(2, Job::MvpProgram(program(1))),
+            envelope(1, Job::MvpProgram(program(2))),
+        ]);
+        assert_eq!(units.len(), 2);
+        match &units[0] {
+            Unit::MvpBurst { tenant: 1, programs } => {
+                assert_eq!(programs.len(), 2);
+                assert_eq!(programs[0].0, program(0));
+                assert_eq!(programs[1].0, program(2));
+            }
+            other => panic!("expected tenant 1 burst, got {other:?}"),
+        }
+        assert!(matches!(&units[1], Unit::MvpBurst { tenant: 2, programs } if programs.len() == 1));
+    }
+
+    #[test]
+    fn batches_and_ap_jobs_stay_individual() {
+        let units = coalesce(vec![
+            envelope(1, Job::MvpBatch(BatchRequest::new())),
+            envelope(1, Job::ApFeed { session: 0, chunk: b"abc".to_vec() }),
+            envelope(1, Job::MvpProgram(program(0))),
+            envelope(1, Job::ApFinish { session: 0 }),
+            envelope(1, Job::MvpBatch(BatchRequest::new())),
+        ]);
+        assert_eq!(units.len(), 5);
+        assert!(matches!(units[0], Unit::MvpSolo { .. }));
+        assert!(matches!(units[1], Unit::ApFeed { .. }));
+        assert!(matches!(units[2], Unit::MvpBurst { .. }));
+        assert!(matches!(units[3], Unit::ApFinish { .. }));
+        assert!(matches!(units[4], Unit::MvpSolo { .. }));
+    }
+}

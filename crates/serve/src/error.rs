@@ -1,0 +1,102 @@
+//! Error type for the serving layer.
+
+use crate::SessionId;
+use core::fmt;
+use memcim_ap::ApError;
+use memcim_mvp::MvpError;
+
+/// Errors produced while submitting to or executing on the service.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// `try_submit` found the bounded queue at capacity (backpressure).
+    QueueFull {
+        /// The configured queue depth.
+        depth: usize,
+    },
+    /// The service is shutting down: the job was rejected before
+    /// execution, or was still queued when the queue closed.
+    ShuttingDown,
+    /// A streaming job referenced a session id the table does not hold.
+    UnknownSession {
+        /// The offending session id.
+        session: SessionId,
+    },
+    /// Another worker is currently executing a job for this session.
+    /// Streaming jobs of one session must be serialized by the client:
+    /// wait on each chunk's ticket before submitting the next.
+    SessionBusy {
+        /// The contended session id.
+        session: SessionId,
+    },
+    /// Pattern compilation failed while opening an AP session.
+    Compile {
+        /// The parse/mapping error message.
+        message: String,
+    },
+    /// An MVP job failed on the engine.
+    Mvp(MvpError),
+    /// An AP session could not be mapped onto the hardware.
+    Ap(ApError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::QueueFull { depth } => {
+                write!(f, "queue at capacity ({depth} jobs): backpressure")
+            }
+            ServeError::ShuttingDown => write!(f, "service is shutting down"),
+            ServeError::UnknownSession { session } => write!(f, "unknown session {session}"),
+            ServeError::SessionBusy { session } => {
+                write!(f, "session {session} is busy on another worker")
+            }
+            ServeError::Compile { message } => write!(f, "pattern compilation failed: {message}"),
+            ServeError::Mvp(e) => write!(f, "MVP job failed: {e}"),
+            ServeError::Ap(e) => write!(f, "AP mapping failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Mvp(e) => Some(e),
+            ServeError::Ap(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MvpError> for ServeError {
+    fn from(e: MvpError) -> Self {
+        ServeError::Mvp(e)
+    }
+}
+
+impl From<ApError> for ServeError {
+    fn from(e: ApError) -> Self {
+        ServeError::Ap(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_specific() {
+        assert!(ServeError::QueueFull { depth: 8 }.to_string().contains('8'));
+        assert!(ServeError::UnknownSession { session: 42 }.to_string().contains("42"));
+        let e: ServeError = MvpError::RowOutOfRange { row: 9, rows: 4 }.into();
+        assert!(e.to_string().contains("row 9"));
+    }
+
+    #[test]
+    fn sources_chain() {
+        use std::error::Error as _;
+        let e: ServeError = MvpError::InvalidOperands { constraint: "x" }.into();
+        assert!(e.source().is_some());
+        assert!(ServeError::ShuttingDown.source().is_none());
+    }
+}

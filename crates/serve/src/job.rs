@@ -1,0 +1,236 @@
+//! Jobs, their results, and the ticket a client waits on.
+
+use crate::ServeError;
+use memcim_ap::ApReport;
+use memcim_bits::BitVec;
+use memcim_crossbar::OpLedger;
+use memcim_mvp::{BatchRequest, Instruction};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Identifies a paying client of the service; all accounting is keyed
+/// by this id.
+pub type TenantId = u64;
+
+/// Identifies an open AP streaming session.
+pub type SessionId = u64;
+
+/// One unit of work a tenant submits to the service.
+///
+/// Jobs are **independent**: each must load whatever rows it reads
+/// (engine row state is not promised across job boundaries — jobs may
+/// be reordered by coalescing and may execute on different workers'
+/// engines). Within one job, instructions run in order as usual.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum Job {
+    /// A single MVP macro-instruction program. Programs of one tenant
+    /// arriving in the same scheduling burst are coalesced into one
+    /// [`BatchRequest`] execution.
+    MvpProgram(Vec<Instruction>),
+    /// A pre-assembled batch of MVP programs, executed as one unit.
+    MvpBatch(BatchRequest),
+    /// Streams one chunk of input through an open AP session.
+    /// Chunks of one session must be serialized by the client: wait on
+    /// each ticket before submitting the next chunk.
+    ApFeed {
+        /// The session opened via `Service::open_session`.
+        session: SessionId,
+        /// The input bytes to stream.
+        chunk: Vec<u8>,
+    },
+    /// Ends an AP session's current stream, collecting its matches and
+    /// cost; the session stays open for the next stream.
+    ApFinish {
+        /// The session to finish.
+        session: SessionId,
+    },
+}
+
+/// What one coalesced MVP burst cost; shared by every job that rode in
+/// it (the per-tenant ledger accounts it exactly once).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstReport {
+    /// Jobs coalesced into the burst.
+    pub jobs: usize,
+    /// Programs executed across those jobs.
+    pub programs: usize,
+    /// The burst's aggregate ledger delta (banked semantics: energy and
+    /// counts sum over banks, busy time is the slowest bank).
+    pub ledger: OpLedger,
+}
+
+/// The result of an MVP job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MvpOutput {
+    /// `outputs[i]` holds the `Read` results of this job's `i`-th
+    /// program, in program order (a [`Job::MvpProgram`] has exactly one
+    /// entry).
+    pub outputs: Vec<Vec<BitVec>>,
+    /// The coalesced burst this job executed in.
+    pub burst: BurstReport,
+}
+
+/// The result of finishing an AP session's stream: accept events mapped
+/// back to pattern indices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApMatches {
+    /// Anchored acceptance after the final symbol.
+    pub accepted: bool,
+    /// `(end position, pattern index)` for every report event.
+    pub matches: Vec<(usize, usize)>,
+    /// Symbols streamed since the session's last finish.
+    pub symbols: u64,
+    /// Cost summary for the whole stream.
+    pub report: ApReport,
+}
+
+/// The result of a completed [`Job`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum JobOutput {
+    /// Result of [`Job::MvpProgram`] / [`Job::MvpBatch`].
+    Mvp(MvpOutput),
+    /// Result of [`Job::ApFeed`]: the *cumulative* cost report for the
+    /// session's stream so far.
+    ApFeed(ApReport),
+    /// Result of [`Job::ApFinish`].
+    ApFinish(ApMatches),
+}
+
+impl JobOutput {
+    /// The MVP result, if this was an MVP job.
+    pub fn into_mvp(self) -> Option<MvpOutput> {
+        match self {
+            JobOutput::Mvp(out) => Some(out),
+            _ => None,
+        }
+    }
+
+    /// The feed report, if this was an [`Job::ApFeed`].
+    pub fn into_ap_feed(self) -> Option<ApReport> {
+        match self {
+            JobOutput::ApFeed(report) => Some(report),
+            _ => None,
+        }
+    }
+
+    /// The stream result, if this was an [`Job::ApFinish`].
+    pub fn into_ap_finish(self) -> Option<ApMatches> {
+        match self {
+            JobOutput::ApFinish(run) => Some(run),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Slot {
+    result: Mutex<Option<Result<JobOutput, ServeError>>>,
+    ready: Condvar,
+}
+
+/// A claim on a submitted job's eventual result.
+///
+/// Obtained from `Service::submit`; [`wait`](Ticket::wait) blocks until
+/// a worker fulfils (or fails) the job. Dropping a ticket abandons the
+/// result without cancelling the job.
+#[derive(Debug)]
+pub struct Ticket {
+    slot: Arc<Slot>,
+}
+
+impl Ticket {
+    /// Blocks until the job completes.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the worker reported: the job's own failure, or
+    /// [`ServeError::ShuttingDown`] when the service closed before the
+    /// job ran.
+    pub fn wait(self) -> Result<JobOutput, ServeError> {
+        let mut guard = self.slot.result.lock().expect("ticket lock");
+        while guard.is_none() {
+            guard = self.slot.ready.wait(guard).expect("ticket lock");
+        }
+        guard.take().expect("checked above")
+    }
+
+    /// `true` once the result is available ([`wait`](Self::wait) will
+    /// not block).
+    pub fn is_ready(&self) -> bool {
+        self.slot.result.lock().expect("ticket lock").is_some()
+    }
+}
+
+/// The worker-side half of a ticket. Fulfil it exactly once; dropping
+/// it unfulfilled (queue closed, worker unwinding) fails the ticket
+/// with [`ServeError::ShuttingDown`] so no client waits forever.
+#[derive(Debug)]
+pub(crate) struct Responder {
+    slot: Arc<Slot>,
+    sent: bool,
+}
+
+impl Responder {
+    pub(crate) fn fulfil(mut self, result: Result<JobOutput, ServeError>) {
+        self.deliver(result);
+    }
+
+    fn deliver(&mut self, result: Result<JobOutput, ServeError>) {
+        if self.sent {
+            return;
+        }
+        self.sent = true;
+        *self.slot.result.lock().expect("ticket lock") = Some(result);
+        self.slot.ready.notify_all();
+    }
+}
+
+impl Drop for Responder {
+    fn drop(&mut self) {
+        self.deliver(Err(ServeError::ShuttingDown));
+    }
+}
+
+/// A linked ticket/responder pair for one job.
+pub(crate) fn ticket_pair() -> (Ticket, Responder) {
+    let slot = Arc::new(Slot { result: Mutex::new(None), ready: Condvar::new() });
+    (Ticket { slot: Arc::clone(&slot) }, Responder { slot, sent: false })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fulfilled_ticket_yields_the_result() {
+        let (ticket, responder) = ticket_pair();
+        assert!(!ticket.is_ready());
+        responder.fulfil(Ok(JobOutput::ApFeed(ApReport {
+            cycles: 3,
+            latency: memcim_units::Seconds::from_nanoseconds(1.0),
+            energy: memcim_units::Joules::from_femtojoules(2.0),
+        })));
+        assert!(ticket.is_ready());
+        let report = ticket.wait().expect("ok").into_ap_feed().expect("feed");
+        assert_eq!(report.cycles, 3);
+    }
+
+    #[test]
+    fn dropped_responder_fails_the_ticket() {
+        let (ticket, responder) = ticket_pair();
+        drop(responder);
+        assert_eq!(ticket.wait(), Err(ServeError::ShuttingDown));
+    }
+
+    #[test]
+    fn wait_blocks_until_a_worker_fulfils() {
+        let (ticket, responder) = ticket_pair();
+        let worker = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            responder.fulfil(Err(ServeError::UnknownSession { session: 5 }));
+        });
+        assert_eq!(ticket.wait(), Err(ServeError::UnknownSession { session: 5 }));
+        worker.join().expect("joins");
+    }
+}

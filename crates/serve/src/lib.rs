@@ -1,0 +1,107 @@
+//! A concurrent multi-tenant query service over the banked memcim
+//! engines.
+//!
+//! The paper motivates computation-in-memory with big-data query
+//! workloads — bitmap-index database scans on the MVP (Section III.B),
+//! high-throughput pattern matching on the RRAM-AP (Section IV) — and
+//! the million-device deployments those imply are shared infrastructure:
+//! many clients, one fleet of engines. This crate is that serving layer,
+//! hand-rolled on `std` threads (the tree is offline — no async
+//! runtime):
+//!
+//! * [`Service`] — the front door: a pool of worker threads, each owning
+//!   one banked [`MvpSimulator`](memcim_mvp::MvpSimulator), fed from a
+//!   bounded MPMC queue with blocking backpressure
+//!   ([`Service::submit`] / [`Service::try_submit`]).
+//! * [`Job`] — the work unit: MVP macro-instruction programs and
+//!   pre-assembled [`BatchRequest`](memcim_mvp::BatchRequest)s, plus
+//!   streaming AP chunks against sessions opened with
+//!   [`Service::open_session`].
+//! * **Coalescing** — single-program MVP jobs of one tenant that land in
+//!   the same scheduling burst execute as one `BatchRequest` (one ledger
+//!   delta, accounted once); see [`BurstReport`].
+//! * **Accounting** — every job is billed to its [`TenantId`] before its
+//!   [`Ticket`] resolves: [`Service::tenant_usage`] returns the client's
+//!   accumulated [`OpLedger`](memcim_crossbar::OpLedger) (serial merge
+//!   of burst deltas) and AP stream costs.
+//!
+//! # Examples
+//!
+//! The front door, end to end:
+//!
+//! ```
+//! use memcim_bits::BitVec;
+//! use memcim_mvp::Instruction;
+//! use memcim_serve::{Job, ServeConfig, Service};
+//!
+//! # fn main() -> Result<(), memcim_serve::ServeError> {
+//! let config = ServeConfig::default().with_workers(2);
+//! let width = config.mvp_width();
+//! let service = Service::start(config);
+//!
+//! // Tenant 7: one bitmap intersection, in memory.
+//! let ticket = service.submit(
+//!     7,
+//!     Job::MvpProgram(vec![
+//!         Instruction::Store { row: 0, data: BitVec::from_indices(width, &[1, 5]) },
+//!         Instruction::Store { row: 1, data: BitVec::from_indices(width, &[5, 9]) },
+//!         Instruction::And { srcs: vec![0, 1], dst: 2 },
+//!         Instruction::Read { row: 2 },
+//!     ]),
+//! )?;
+//! let result = ticket.wait()?.into_mvp().expect("an MVP job");
+//! assert_eq!(result.outputs[0][0].ones().collect::<Vec<_>>(), vec![5]);
+//!
+//! // Tenant 9: streaming pattern matching on an AP session.
+//! let session = service.open_session(9, &["GET /[a-z]+"])?;
+//! service.submit(9, Job::ApFeed { session, chunk: b"GET /ind".to_vec() })?.wait()?;
+//! service.submit(9, Job::ApFeed { session, chunk: b"ex HTTP".to_vec() })?.wait()?;
+//! let run = service
+//!     .submit(9, Job::ApFinish { session })?
+//!     .wait()?
+//!     .into_ap_finish()
+//!     .expect("a finish job");
+//! assert_eq!(run.matches.first(), Some(&(5, 0)), "pattern 0 first matches at \"GET /i\"");
+//! assert!(run.matches.contains(&(9, 0)), "…and keeps matching through \"GET /index\"");
+//!
+//! // Both tenants were billed before their tickets resolved.
+//! let mvp_bill = service.tenant_usage(7).expect("tenant 7 ran");
+//! assert!(mvp_bill.mvp.energy().as_joules() > 0.0);
+//! let ap_bill = service.tenant_usage(9).expect("tenant 9 ran");
+//! assert_eq!(ap_bill.ap_symbols, 15);
+//!
+//! service.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+mod coalesce;
+mod error;
+mod job;
+mod queue;
+mod service;
+mod session;
+
+pub use error::ServeError;
+pub use job::{ApMatches, BurstReport, Job, JobOutput, MvpOutput, SessionId, TenantId, Ticket};
+pub use queue::{BoundedQueue, PushRefused};
+pub use service::{ServeConfig, Service, TenantUsage};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+    fn assert_send<T: Send>() {}
+
+    #[test]
+    fn the_public_surface_is_thread_mobile() {
+        assert_send_sync::<Service>();
+        assert_send_sync::<BoundedQueue<Job>>();
+        assert_send::<Job>();
+        assert_send::<Ticket>();
+        assert_send::<ServeError>();
+    }
+}

@@ -1,0 +1,222 @@
+//! A hand-rolled bounded MPMC queue with blocking backpressure.
+//!
+//! The tree is offline — no tokio, no crossbeam — so the service's spine
+//! is a `Mutex<VecDeque>` with two condition variables: `not_empty`
+//! wakes workers, `not_full` wakes producers blocked on backpressure.
+//! Closing the queue wakes everyone; producers get their item back,
+//! consumers drain what is left and then observe the close.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a non-blocking push was refused; the item is handed back.
+#[derive(Debug)]
+pub enum PushRefused<T> {
+    /// The queue is at capacity (backpressure signal).
+    Full(T),
+    /// The queue has been closed.
+    Closed(T),
+}
+
+#[derive(Debug)]
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer queue.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be non-zero");
+        Self {
+            state: Mutex::new(State { items: VecDeque::with_capacity(capacity), closed: false }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock").items.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues `item`, blocking while the queue is full — the
+    /// backpressure path. Returns the item back if the queue closed
+    /// before space appeared.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut state = self.state.lock().expect("queue lock");
+        while state.items.len() >= self.capacity && !state.closed {
+            state = self.not_full.wait(state).expect("queue lock");
+        }
+        if state.closed {
+            return Err(item);
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues `item` without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`PushRefused::Full`] when at capacity, [`PushRefused::Closed`]
+    /// after [`close`](Self::close); the item is returned either way.
+    pub fn try_push(&self, item: T) -> Result<(), PushRefused<T>> {
+        let mut state = self.state.lock().expect("queue lock");
+        if state.closed {
+            return Err(PushRefused::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushRefused::Full(item));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until at least one item is available (or the queue is
+    /// closed and drained), then moves up to `max` items into `sink` —
+    /// the coalescing pop. Returns `false` exactly when the queue is
+    /// closed and permanently empty, i.e. the consumer should exit.
+    pub fn pop_burst(&self, max: usize, sink: &mut Vec<T>) -> bool {
+        let mut state = self.state.lock().expect("queue lock");
+        while state.items.is_empty() && !state.closed {
+            state = self.not_empty.wait(state).expect("queue lock");
+        }
+        if state.items.is_empty() {
+            return false; // closed and drained
+        }
+        let take = max.max(1).min(state.items.len());
+        sink.extend(state.items.drain(..take));
+        drop(state);
+        // Space appeared: wake blocked producers (and one more consumer
+        // in case items remain).
+        self.not_full.notify_all();
+        self.not_empty.notify_one();
+        true
+    }
+
+    /// Closes the queue: further pushes are refused, consumers drain the
+    /// remaining items and then observe the close. Idempotent.
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// `true` once [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("queue lock").closed
+    }
+
+    /// Removes and returns everything still queued (used at shutdown to
+    /// fail leftover jobs explicitly).
+    pub fn drain_remaining(&self) -> Vec<T> {
+        let mut state = self.state.lock().expect("queue lock");
+        state.items.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn fifo_order_and_burst_cap() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.push(i).expect("open");
+        }
+        let mut sink = Vec::new();
+        assert!(q.pop_burst(3, &mut sink));
+        assert_eq!(sink, vec![0, 1, 2]);
+        assert!(q.pop_burst(10, &mut sink));
+        assert_eq!(sink, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn try_push_reports_backpressure() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).expect("space");
+        q.try_push(2).expect("space");
+        assert!(matches!(q.try_push(3), Err(PushRefused::Full(3))));
+        q.close();
+        assert!(matches!(q.try_push(4), Err(PushRefused::Closed(4))));
+    }
+
+    #[test]
+    fn close_unblocks_consumers_after_drain() {
+        let q = Arc::new(BoundedQueue::new(4));
+        q.push("job").expect("open");
+        let consumer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                let mut sink = Vec::new();
+                let mut bursts = 0;
+                while q.pop_burst(16, &mut sink) {
+                    bursts += 1;
+                }
+                (sink, bursts)
+            })
+        };
+        // Give the consumer a chance to drain, then close.
+        thread::sleep(std::time::Duration::from_millis(10));
+        q.close();
+        let (sink, bursts) = consumer.join().expect("joins");
+        assert_eq!(sink, vec!["job"]);
+        assert!(bursts >= 1);
+    }
+
+    #[test]
+    fn blocking_push_waits_for_space() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(0u32).expect("open");
+        let producer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.push(1).is_ok())
+        };
+        thread::sleep(std::time::Duration::from_millis(10));
+        let mut sink = Vec::new();
+        assert!(q.pop_burst(1, &mut sink));
+        assert!(producer.join().expect("joins"), "push succeeded once space appeared");
+        assert!(q.pop_burst(1, &mut sink));
+        assert_eq!(sink, vec![0, 1]);
+    }
+
+    #[test]
+    fn push_after_close_returns_the_item() {
+        let q: BoundedQueue<u8> = BoundedQueue::new(2);
+        q.close();
+        assert_eq!(q.push(7), Err(7));
+        assert!(q.drain_remaining().is_empty());
+    }
+}

@@ -1,0 +1,499 @@
+//! The service front door: configuration, submission, worker pool,
+//! per-tenant accounting, shutdown.
+
+use crate::coalesce::{coalesce, Envelope, Unit};
+use crate::job::{ticket_pair, Responder};
+use crate::queue::{BoundedQueue, PushRefused};
+use crate::session::{ApSession, SessionTable};
+use crate::{
+    ApMatches, BurstReport, Job, JobOutput, MvpOutput, ServeError, SessionId, TenantId, Ticket,
+};
+use memcim_ap::{ApBackend, ApReport};
+use memcim_crossbar::OpLedger;
+use memcim_mvp::{BatchRequest, MvpSimulator};
+use memcim_units::{Joules, Seconds};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Sizing of the service: worker pool, queue, coalescing window and the
+/// per-worker MVP engine geometry.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads, each owning one banked MVP engine.
+    pub workers: usize,
+    /// Bounded queue depth; `submit` blocks (backpressure) and
+    /// `try_submit` refuses once this many jobs are pending.
+    pub queue_depth: usize,
+    /// Maximum jobs a worker drains per scheduling burst (the
+    /// coalescing window).
+    pub max_burst: usize,
+    /// Rows of each worker's MVP engine.
+    pub mvp_rows: usize,
+    /// Banks each worker's MVP engine stripes its width over.
+    pub mvp_banks: usize,
+    /// Columns per bank; the engine's logical width is
+    /// `mvp_banks * mvp_bank_cols`.
+    pub mvp_bank_cols: usize,
+    /// Hardware backend for AP sessions.
+    pub ap_backend: ApBackend,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_depth: 64,
+            max_burst: 16,
+            mvp_rows: 32,
+            mvp_banks: 8,
+            mvp_bank_cols: 256,
+            ap_backend: ApBackend::rram(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Sets the worker-thread count.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the bounded queue depth.
+    #[must_use]
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth;
+        self
+    }
+
+    /// Sets the coalescing window (jobs drained per burst).
+    #[must_use]
+    pub fn with_max_burst(mut self, max_burst: usize) -> Self {
+        self.max_burst = max_burst;
+        self
+    }
+
+    /// Sets every worker engine's geometry: `rows` logical rows striped
+    /// over `banks` banks of `bank_cols` columns.
+    #[must_use]
+    pub fn with_mvp_geometry(mut self, rows: usize, banks: usize, bank_cols: usize) -> Self {
+        self.mvp_rows = rows;
+        self.mvp_banks = banks;
+        self.mvp_bank_cols = bank_cols;
+        self
+    }
+
+    /// Sets the AP session backend.
+    #[must_use]
+    pub fn with_ap_backend(mut self, backend: ApBackend) -> Self {
+        self.ap_backend = backend;
+        self
+    }
+
+    /// The logical vector width every MVP job must match.
+    pub fn mvp_width(&self) -> usize {
+        self.mvp_banks * self.mvp_bank_cols
+    }
+}
+
+/// Accumulated per-tenant accounting: what this client's jobs actually
+/// cost across every engine that served them.
+///
+/// Operation *counts* are exact and schedule-independent. Energy and
+/// busy time are what the jobs **actually** cost on the shared engines,
+/// and a store's programming cost depends on the bits the previous
+/// occupant left in its rows (only state *changes* are paid for), so
+/// exact joules vary with scheduling — just as they would on shared
+/// hardware.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TenantUsage {
+    /// MVP activity: the serial sum ([`OpLedger::merge_serial`]) of the
+    /// tenant's burst deltas — each delta itself aggregates banks in
+    /// parallel, but a client's successive bursts occupy engine time
+    /// back to back.
+    pub mvp: OpLedger,
+    /// MVP jobs completed.
+    pub mvp_jobs: u64,
+    /// Input symbols streamed through the tenant's AP sessions.
+    pub ap_symbols: u64,
+    /// Dynamic energy spent by the tenant's AP sessions.
+    pub ap_energy: Joules,
+    /// Pipeline latency consumed by the tenant's AP sessions.
+    pub ap_busy: Seconds,
+    /// AP jobs (feeds and finishes) completed.
+    pub ap_jobs: u64,
+}
+
+impl TenantUsage {
+    /// Jobs completed across both engine kinds.
+    pub fn jobs(&self) -> u64 {
+        self.mvp_jobs + self.ap_jobs
+    }
+
+    /// Total dynamic energy billed to the tenant.
+    pub fn total_energy(&self) -> Joules {
+        self.mvp.energy() + self.ap_energy
+    }
+
+    /// Total engine time billed to the tenant.
+    pub fn total_busy(&self) -> Seconds {
+        self.mvp.busy_time() + self.ap_busy
+    }
+}
+
+#[derive(Debug)]
+struct Shared {
+    queue: BoundedQueue<Envelope>,
+    sessions: SessionTable,
+    tenants: std::sync::Mutex<HashMap<TenantId, TenantUsage>>,
+    config: ServeConfig,
+}
+
+impl Shared {
+    /// Accounting happens *before* tickets resolve, so a client that
+    /// waits on a ticket always observes its own job in the usage map.
+    fn account_mvp(&self, tenant: TenantId, delta: &OpLedger, jobs: u64) {
+        let mut map = self.tenants.lock().expect("tenant lock");
+        let usage = map.entry(tenant).or_default();
+        usage.mvp.merge_serial(delta);
+        usage.mvp_jobs += jobs;
+    }
+
+    fn account_ap(&self, tenant: TenantId, symbols: u64, energy: Joules, busy: Seconds) {
+        let mut map = self.tenants.lock().expect("tenant lock");
+        let usage = map.entry(tenant).or_default();
+        usage.ap_symbols += symbols;
+        usage.ap_energy += energy;
+        usage.ap_busy += busy;
+        usage.ap_jobs += 1;
+    }
+}
+
+/// A concurrent multi-tenant query service over the banked engines.
+///
+/// `Service::start` spawns a pool of worker threads, each owning one
+/// banked [`MvpSimulator`]; clients [`submit`](Service::submit) jobs
+/// through a bounded queue (blocking backpressure; `try_submit` for the
+/// non-blocking variant) and wait on the returned [`Ticket`]. Workers
+/// drain the queue in bursts, coalescing each tenant's single-program
+/// MVP jobs into one [`BatchRequest`] execution, and stream AP jobs
+/// through per-session [`AutomataProcessor`]s checked out of a shared
+/// session table. Every completed job is billed to its tenant
+/// ([`tenant_usage`](Service::tenant_usage)) before its ticket resolves.
+///
+/// See the [crate-level example](crate).
+///
+/// [`AutomataProcessor`]: memcim_ap::AutomataProcessor
+#[derive(Debug)]
+pub struct Service {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Service {
+    /// Starts the worker pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers`, `queue_depth`, `max_burst` or any MVP
+    /// dimension is zero.
+    pub fn start(config: ServeConfig) -> Self {
+        assert!(config.workers > 0, "need at least one worker");
+        assert!(config.max_burst > 0, "burst window must be non-zero");
+        assert!(
+            config.mvp_rows > 0 && config.mvp_banks > 0 && config.mvp_bank_cols > 0,
+            "MVP geometry must be non-zero"
+        );
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(config.queue_depth),
+            sessions: SessionTable::default(),
+            tenants: std::sync::Mutex::new(HashMap::new()),
+            config: config.clone(),
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("memcim-serve-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// The configuration the service was started with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.shared.config
+    }
+
+    /// Worker threads serving the queue.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Jobs currently queued (not yet picked up by a worker).
+    pub fn pending(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Submits a job for `tenant`, blocking while the queue is full —
+    /// the backpressure path.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ShuttingDown`] once the service is closing.
+    pub fn submit(&self, tenant: TenantId, job: Job) -> Result<Ticket, ServeError> {
+        let (ticket, responder) = ticket_pair();
+        self.shared
+            .queue
+            .push(Envelope { tenant, job, responder })
+            .map_err(|_| ServeError::ShuttingDown)?;
+        Ok(ticket)
+    }
+
+    /// Submits without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::QueueFull`] when the queue is at capacity,
+    /// [`ServeError::ShuttingDown`] once the service is closing.
+    pub fn try_submit(&self, tenant: TenantId, job: Job) -> Result<Ticket, ServeError> {
+        let (ticket, responder) = ticket_pair();
+        match self.shared.queue.try_push(Envelope { tenant, job, responder }) {
+            Ok(()) => Ok(ticket),
+            Err(PushRefused::Full(_)) => {
+                Err(ServeError::QueueFull { depth: self.shared.config.queue_depth })
+            }
+            Err(PushRefused::Closed(_)) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Compiles `patterns` into a streaming AP session for `tenant`
+    /// (synchronously — compilation is a configuration-time cost, not a
+    /// queued job). Feed it with [`Job::ApFeed`] / [`Job::ApFinish`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Compile`] for unparsable patterns and
+    /// [`ServeError::Ap`] when the automaton cannot be mapped.
+    pub fn open_session(
+        &self,
+        tenant: TenantId,
+        patterns: &[&str],
+    ) -> Result<SessionId, ServeError> {
+        self.shared.sessions.open(tenant, patterns, &self.shared.config.ap_backend)
+    }
+
+    /// Drops one of `tenant`'s sessions. An in-flight job on it still
+    /// completes.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSession`] if the id is not open — or is
+    /// another tenant's (sessions are tenant-isolated; a foreign id is
+    /// indistinguishable from a nonexistent one).
+    pub fn close_session(&self, tenant: TenantId, session: SessionId) -> Result<(), ServeError> {
+        self.shared.sessions.close(session, tenant)
+    }
+
+    /// Open AP sessions.
+    pub fn session_count(&self) -> usize {
+        self.shared.sessions.len()
+    }
+
+    /// The accumulated usage of one tenant, if it has completed any job.
+    pub fn tenant_usage(&self, tenant: TenantId) -> Option<TenantUsage> {
+        self.shared.tenants.lock().expect("tenant lock").get(&tenant).copied()
+    }
+
+    /// Every tenant's accumulated usage, sorted by tenant id.
+    pub fn usage_snapshot(&self) -> Vec<(TenantId, TenantUsage)> {
+        let mut all: Vec<_> = self
+            .shared
+            .tenants
+            .lock()
+            .expect("tenant lock")
+            .iter()
+            .map(|(&t, &u)| (t, u))
+            .collect();
+        all.sort_by_key(|&(t, _)| t);
+        all
+    }
+
+    /// Graceful shutdown: refuses new jobs, lets the workers drain
+    /// everything already queued, joins them, and returns the final
+    /// usage snapshot.
+    pub fn shutdown(mut self) -> Vec<(TenantId, TenantUsage)> {
+        self.close_and_join(false);
+        self.usage_snapshot()
+    }
+
+    /// Aborting shutdown: refuses new jobs and fails everything still
+    /// queued with [`ServeError::ShuttingDown`]; jobs already picked up
+    /// by a worker complete.
+    pub fn abort(mut self) -> Vec<(TenantId, TenantUsage)> {
+        self.close_and_join(true);
+        self.usage_snapshot()
+    }
+
+    fn close_and_join(&mut self, abort: bool) {
+        self.shared.queue.close();
+        if abort {
+            // Dropping the envelopes drops their responders, which fail
+            // the matching tickets with `ShuttingDown`.
+            drop(self.shared.queue.drain_remaining());
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.close_and_join(false);
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let config = &shared.config;
+    let mut mvp = MvpSimulator::banked(config.mvp_rows, config.mvp_banks, config.mvp_bank_cols);
+    let mut drained = Vec::with_capacity(config.max_burst);
+    while shared.queue.pop_burst(config.max_burst, &mut drained) {
+        for unit in coalesce(drained.drain(..)) {
+            execute_unit(unit, &mut mvp, shared);
+        }
+    }
+}
+
+fn execute_unit(
+    unit: Unit,
+    mvp: &mut MvpSimulator<memcim_crossbar::BankedCrossbar>,
+    shared: &Shared,
+) {
+    match unit {
+        Unit::MvpBurst { tenant, programs } => {
+            let mut batch = BatchRequest::new();
+            let mut responders = Vec::with_capacity(programs.len());
+            for (program, responder) in programs {
+                batch.push(program);
+                responders.push(responder);
+            }
+            match mvp.run_batch(&batch) {
+                Ok(report) => {
+                    let burst = BurstReport {
+                        jobs: responders.len(),
+                        programs: batch.len(),
+                        ledger: report.ledger,
+                    };
+                    shared.account_mvp(tenant, &report.ledger, responders.len() as u64);
+                    for (responder, outputs) in responders.into_iter().zip(report.outputs) {
+                        responder.fulfil(Ok(JobOutput::Mvp(MvpOutput {
+                            outputs: vec![outputs],
+                            burst,
+                        })));
+                    }
+                }
+                // One bad program poisons a coalesced run (run_batch
+                // stops at the first failure), so isolate: re-run every
+                // job alone and report its own outcome.
+                Err(_) => {
+                    for (program, responder) in batch.programs().iter().cloned().zip(responders) {
+                        run_solo(
+                            tenant,
+                            BatchRequest::new().with_program(program),
+                            1,
+                            responder,
+                            mvp,
+                            shared,
+                        );
+                    }
+                }
+            }
+        }
+        Unit::MvpSolo { tenant, batch, responder } => {
+            let jobs = 1;
+            run_solo(tenant, batch, jobs, responder, mvp, shared);
+        }
+        Unit::ApFeed { tenant, session, chunk, responder } => {
+            match shared.sessions.checkout(session, tenant) {
+                Ok(mut state) => {
+                    let cumulative = state.processor.feed(&chunk);
+                    let (symbols, energy, busy) = state.take_unaccounted(cumulative);
+                    shared.account_ap(tenant, symbols, energy, busy);
+                    shared.sessions.put_back(session, state);
+                    responder.fulfil(Ok(JobOutput::ApFeed(cumulative)));
+                }
+                Err(e) => responder.fulfil(Err(e)),
+            }
+        }
+        Unit::ApFinish { tenant, session, responder } => {
+            match shared.sessions.checkout(session, tenant) {
+                Ok(mut state) => {
+                    let run = state.processor.finish();
+                    let (symbols, energy, busy) = state.take_unaccounted(run.report);
+                    state.reset_accounting();
+                    shared.account_ap(tenant, symbols, energy, busy);
+                    let matches = run
+                        .accept_events
+                        .iter()
+                        .filter_map(|&(pos, s)| state.owner_of_state.get(&s).map(|&p| (pos, p)))
+                        .collect();
+                    shared.sessions.put_back(session, state);
+                    responder.fulfil(Ok(JobOutput::ApFinish(ApMatches {
+                        accepted: run.accepted,
+                        matches,
+                        symbols: run.symbols,
+                        report: run.report,
+                    })));
+                }
+                Err(e) => responder.fulfil(Err(e)),
+            }
+        }
+    }
+}
+
+fn run_solo(
+    tenant: TenantId,
+    batch: BatchRequest,
+    jobs: u64,
+    responder: Responder,
+    mvp: &mut MvpSimulator<memcim_crossbar::BankedCrossbar>,
+    shared: &Shared,
+) {
+    match mvp.run_batch(&batch) {
+        Ok(report) => {
+            let burst =
+                BurstReport { jobs: jobs as usize, programs: batch.len(), ledger: report.ledger };
+            shared.account_mvp(tenant, &report.ledger, jobs);
+            responder.fulfil(Ok(JobOutput::Mvp(MvpOutput { outputs: report.outputs, burst })));
+        }
+        Err(e) => responder.fulfil(Err(e.into())),
+    }
+}
+
+/// Hands an [`ApReport`] delta to the session's accounting watermark.
+impl ApSession {
+    /// The stream cost not yet billed: the cumulative report minus the
+    /// already-accounted watermark; advances the watermark.
+    fn take_unaccounted(&mut self, cumulative: ApReport) -> (u64, Joules, Seconds) {
+        let symbols = cumulative.cycles - self.accounted_cycles;
+        let energy = cumulative.energy - self.accounted_energy;
+        let busy = cumulative.latency - self.accounted_latency;
+        self.accounted_cycles = cumulative.cycles;
+        self.accounted_energy = cumulative.energy;
+        self.accounted_latency = cumulative.latency;
+        (symbols, energy, busy)
+    }
+
+    /// A finish resets the processor's stream; reset the watermark with
+    /// it.
+    fn reset_accounting(&mut self) {
+        self.accounted_cycles = 0;
+        self.accounted_energy = Joules::ZERO;
+        self.accounted_latency = Seconds::ZERO;
+    }
+}

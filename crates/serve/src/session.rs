@@ -1,0 +1,216 @@
+//! The AP streaming session table.
+//!
+//! A session is a compiled [`AutomataProcessor`] plus the state→pattern
+//! ownership map, held per tenant. Workers *check a session out* of the
+//! table to run a feed/finish job against it, then put it back; the
+//! checkout marker keeps two workers from racing on one session's
+//! stream state without serializing unrelated sessions.
+
+use crate::{ServeError, SessionId, TenantId};
+use memcim_ap::{ApBackend, ApError, AutomataProcessor, RoutingKind};
+use memcim_automata::{PatternSet, StartKind};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// A checked-out session: the processor, its event-attribution map and
+/// the accounting watermark (feed reports are cumulative; the watermark
+/// marks how much has already been billed to the tenant).
+#[derive(Debug)]
+pub(crate) struct ApSession {
+    pub(crate) tenant: TenantId,
+    pub(crate) processor: AutomataProcessor,
+    pub(crate) owner_of_state: HashMap<usize, usize>,
+    pub(crate) accounted_cycles: u64,
+    pub(crate) accounted_energy: memcim_units::Joules,
+    pub(crate) accounted_latency: memcim_units::Seconds,
+}
+
+#[derive(Debug)]
+enum Entry {
+    Idle(Box<ApSession>),
+    /// Checked out by a worker; the owner is retained so tenant checks
+    /// work while the state is away.
+    CheckedOut(TenantId),
+}
+
+/// Sessions keyed by id; checkout state tracked per entry.
+#[derive(Debug, Default)]
+pub(crate) struct SessionTable {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    sessions: HashMap<SessionId, Entry>,
+    next_id: SessionId,
+}
+
+impl SessionTable {
+    /// Compiles `patterns` onto `backend` (hierarchical routing with a
+    /// dense fallback, unanchored scanning semantics) and registers the
+    /// session for `tenant`.
+    pub(crate) fn open(
+        &self,
+        tenant: TenantId,
+        patterns: &[&str],
+        backend: &ApBackend,
+    ) -> Result<SessionId, ServeError> {
+        let set = PatternSet::compile(patterns)
+            .map_err(|e| ServeError::Compile { message: e.to_string() })?;
+        let (homog, owner_of_state) = set.to_homogeneous();
+        let homog = homog.with_start_kind(StartKind::AllInput);
+        let processor = match AutomataProcessor::compile(
+            &homog,
+            backend.clone(),
+            RoutingKind::cache_automaton(),
+        ) {
+            Ok(p) => p,
+            Err(ApError::RoutingInfeasible { .. }) => {
+                AutomataProcessor::compile(&homog, backend.clone(), RoutingKind::Dense)?
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let mut inner = self.inner.lock().expect("session lock");
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.sessions.insert(
+            id,
+            Entry::Idle(Box::new(ApSession {
+                tenant,
+                processor,
+                owner_of_state,
+                accounted_cycles: 0,
+                accounted_energy: memcim_units::Joules::ZERO,
+                accounted_latency: memcim_units::Seconds::ZERO,
+            })),
+        );
+        Ok(id)
+    }
+
+    /// Takes exclusive ownership of a session for one of `tenant`'s
+    /// jobs. Sessions are tenant-isolated: another tenant's session —
+    /// idle *or* checked out — reports [`ServeError::UnknownSession`],
+    /// deliberately indistinguishable from a nonexistent id, so a
+    /// client cannot probe other tenants' session ids (not even their
+    /// busy state). Only the owner ever sees
+    /// [`ServeError::SessionBusy`].
+    pub(crate) fn checkout(
+        &self,
+        id: SessionId,
+        tenant: TenantId,
+    ) -> Result<Box<ApSession>, ServeError> {
+        let mut inner = self.inner.lock().expect("session lock");
+        let Some(entry) = inner.sessions.get_mut(&id) else {
+            return Err(ServeError::UnknownSession { session: id });
+        };
+        match std::mem::replace(entry, Entry::CheckedOut(tenant)) {
+            Entry::Idle(session) if session.tenant == tenant => Ok(session),
+            Entry::Idle(session) => {
+                // Wrong owner: undo the takeover.
+                *entry = Entry::Idle(session);
+                Err(ServeError::UnknownSession { session: id })
+            }
+            Entry::CheckedOut(owner) => {
+                *entry = Entry::CheckedOut(owner);
+                if owner == tenant {
+                    Err(ServeError::SessionBusy { session: id })
+                } else {
+                    Err(ServeError::UnknownSession { session: id })
+                }
+            }
+        }
+    }
+
+    /// Returns a checked-out session to the table. If the session was
+    /// closed while checked out, the state is dropped.
+    pub(crate) fn put_back(&self, id: SessionId, session: Box<ApSession>) {
+        let mut inner = self.inner.lock().expect("session lock");
+        if let Some(entry) = inner.sessions.get_mut(&id) {
+            *entry = Entry::Idle(session);
+        }
+    }
+
+    /// Drops one of `tenant`'s sessions. A checked-out session is
+    /// removed from the table immediately; its in-flight job still
+    /// completes. Another tenant's session reports
+    /// [`ServeError::UnknownSession`] and is left untouched.
+    pub(crate) fn close(&self, id: SessionId, tenant: TenantId) -> Result<(), ServeError> {
+        let mut inner = self.inner.lock().expect("session lock");
+        let owner = match inner.sessions.get(&id) {
+            None => return Err(ServeError::UnknownSession { session: id }),
+            Some(Entry::Idle(session)) => session.tenant,
+            Some(Entry::CheckedOut(owner)) => *owner,
+        };
+        if owner != tenant {
+            return Err(ServeError::UnknownSession { session: id });
+        }
+        inner.sessions.remove(&id);
+        Ok(())
+    }
+
+    /// Open sessions (idle or checked out).
+    pub(crate) fn len(&self) -> usize {
+        self.inner.lock().expect("session lock").sessions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_is_exclusive_and_put_back_releases() {
+        let table = SessionTable::default();
+        let id = table.open(1, &["abc"], &ApBackend::rram()).expect("compiles");
+        let session = table.checkout(id, 1).expect("idle");
+        assert_eq!(session.tenant, 1);
+        assert!(matches!(table.checkout(id, 1), Err(ServeError::SessionBusy { .. })));
+        table.put_back(id, session);
+        let again = table.checkout(id, 1).expect("released");
+        table.put_back(id, again);
+    }
+
+    #[test]
+    fn foreign_tenants_see_neither_sessions_nor_their_busy_state() {
+        let table = SessionTable::default();
+        let id = table.open(1, &["abc"], &ApBackend::rram()).expect("compiles");
+        // Idle: a foreign tenant cannot check it out…
+        assert!(matches!(table.checkout(id, 2), Err(ServeError::UnknownSession { .. })));
+        // …or close it…
+        assert!(matches!(table.close(id, 2), Err(ServeError::UnknownSession { .. })));
+        // …and while checked out, the foreign tenant still sees
+        // UnknownSession where the owner would see SessionBusy.
+        let session = table.checkout(id, 1).expect("owner checks out");
+        assert!(matches!(table.checkout(id, 2), Err(ServeError::UnknownSession { .. })));
+        assert!(matches!(table.checkout(id, 1), Err(ServeError::SessionBusy { .. })));
+        table.put_back(id, session);
+        assert_eq!(table.len(), 1, "foreign close attempts changed nothing");
+    }
+
+    #[test]
+    fn unknown_and_closed_sessions_are_rejected() {
+        let table = SessionTable::default();
+        assert!(matches!(table.checkout(9, 1), Err(ServeError::UnknownSession { session: 9 })));
+        let id = table.open(2, &["x+"], &ApBackend::rram()).expect("compiles");
+        table.close(id, 2).expect("open");
+        assert!(matches!(table.close(id, 2), Err(ServeError::UnknownSession { .. })));
+        assert_eq!(table.len(), 0);
+    }
+
+    #[test]
+    fn bad_patterns_surface_as_compile_errors() {
+        let table = SessionTable::default();
+        let err = table.open(3, &["a(b"], &ApBackend::rram()).expect_err("unbalanced");
+        assert!(matches!(err, ServeError::Compile { .. }));
+    }
+
+    #[test]
+    fn closing_a_checked_out_session_drops_it_on_put_back() {
+        let table = SessionTable::default();
+        let id = table.open(4, &["ab"], &ApBackend::rram()).expect("compiles");
+        let session = table.checkout(id, 4).expect("idle");
+        table.close(id, 4).expect("removes");
+        table.put_back(id, session);
+        assert!(matches!(table.checkout(id, 4), Err(ServeError::UnknownSession { .. })));
+    }
+}

@@ -1,0 +1,191 @@
+//! End-to-end service behavior: correctness of served results, burst
+//! coalescing invariants, error isolation, tenant isolation, shutdown.
+
+use memcim_bits::BitVec;
+use memcim_mvp::{BatchRequest, Instruction, MvpSimulator};
+use memcim_serve::{Job, JobOutput, ServeConfig, ServeError, Service};
+
+fn two_worker_config() -> ServeConfig {
+    ServeConfig::default().with_workers(2).with_mvp_geometry(8, 4, 32)
+}
+
+/// `(a | b) & c` over rows of the service's width, with a `Read` at the
+/// end — the canonical bitmap-query shape.
+fn query_program(width: usize, salt: usize) -> Vec<Instruction> {
+    let a = BitVec::from_indices(width, &[salt % width, (salt + 7) % width]);
+    let b = BitVec::from_indices(width, &[(salt + 1) % width]);
+    let c = BitVec::from_indices(width, &[salt % width, (salt + 1) % width, (salt + 13) % width]);
+    vec![
+        Instruction::Store { row: 0, data: a },
+        Instruction::Store { row: 1, data: b },
+        Instruction::Store { row: 2, data: c },
+        Instruction::Or { srcs: vec![0, 1], dst: 3 },
+        Instruction::And { srcs: vec![3, 2], dst: 4 },
+        Instruction::Read { row: 4 },
+    ]
+}
+
+#[test]
+fn served_results_match_a_private_engine() {
+    let config = two_worker_config();
+    let width = config.mvp_width();
+    let service = Service::start(config.clone());
+    let tickets: Vec<_> = (0..12)
+        .map(|i| service.submit(i % 3, Job::MvpProgram(query_program(width, i as usize))).unwrap())
+        .collect();
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        let out = ticket.wait().expect("job runs").into_mvp().expect("mvp job");
+        let mut reference =
+            MvpSimulator::banked(config.mvp_rows, config.mvp_banks, config.mvp_bank_cols);
+        let expected = reference.run_program(&query_program(width, i)).expect("reference runs");
+        assert_eq!(out.outputs, vec![expected], "job {i}");
+    }
+    service.shutdown();
+}
+
+#[test]
+fn tenant_accounting_is_complete_and_visible_before_tickets_resolve() {
+    let config = two_worker_config();
+    let width = config.mvp_width();
+    let service = Service::start(config);
+    const JOBS: u64 = 10;
+    let tickets: Vec<_> = (0..JOBS)
+        .map(|i| service.submit(42, Job::MvpProgram(query_program(width, i as usize))).unwrap())
+        .collect();
+    for ticket in tickets {
+        ticket.wait().expect("runs");
+        // Accounting precedes ticket resolution: the tenant is always
+        // visible in the usage map by the time a ticket resolves.
+        assert!(service.tenant_usage(42).is_some());
+    }
+    let usage = service.tenant_usage(42).expect("tenant ran");
+    assert_eq!(usage.mvp_jobs, JOBS);
+    // Every program does one OR + one AND scouting op per bank (4
+    // banks), regardless of how the jobs were coalesced into bursts.
+    assert_eq!(usage.mvp.scouting_ops(), JOBS * 2 * 4);
+    assert!(usage.mvp.energy().as_joules() > 0.0);
+    assert!(usage.total_busy().as_seconds() > 0.0);
+    let snapshot = service.shutdown();
+    assert_eq!(snapshot, vec![(42, usage)]);
+}
+
+#[test]
+fn a_bad_job_does_not_poison_its_burst_neighbours() {
+    let config = two_worker_config().with_workers(1);
+    let width = config.mvp_width();
+    let service = Service::start(config);
+    // Same tenant, same burst window: good, bad, good. Whether or not
+    // they coalesce, the bad one must fail alone.
+    let good1 = service.submit(7, Job::MvpProgram(query_program(width, 0))).unwrap();
+    let bad = service.submit(7, Job::MvpProgram(vec![Instruction::Read { row: 999 }])).unwrap();
+    let good2 = service.submit(7, Job::MvpProgram(query_program(width, 3))).unwrap();
+    assert!(good1.wait().is_ok());
+    assert!(matches!(bad.wait(), Err(ServeError::Mvp(_))));
+    let out = good2.wait().expect("unaffected").into_mvp().expect("mvp");
+    assert_eq!(out.outputs.len(), 1);
+    service.shutdown();
+}
+
+#[test]
+fn pre_assembled_batches_run_as_one_unit() {
+    let config = two_worker_config();
+    let width = config.mvp_width();
+    let service = Service::start(config);
+    let batch = BatchRequest::new()
+        .with_program(query_program(width, 1))
+        .with_program(query_program(width, 2));
+    let out = service.submit(1, Job::MvpBatch(batch)).unwrap().wait().unwrap().into_mvp().unwrap();
+    assert_eq!(out.outputs.len(), 2, "one entry per program of the batch");
+    assert_eq!(out.burst.programs, 2);
+    assert_eq!(out.burst.jobs, 1);
+    service.shutdown();
+}
+
+#[test]
+fn ap_sessions_are_tenant_isolated() {
+    let service = Service::start(two_worker_config());
+    let session = service.open_session(1, &["abc"]).expect("compiles");
+    // Tenant 2 cannot feed tenant 1's session — and cannot learn that
+    // the session exists.
+    let stolen = service.submit(2, Job::ApFeed { session, chunk: b"abc".to_vec() }).unwrap().wait();
+    assert_eq!(stolen, Err(ServeError::UnknownSession { session }));
+    // The rightful owner still streams fine.
+    let report = service
+        .submit(1, Job::ApFeed { session, chunk: b"xabc".to_vec() })
+        .unwrap()
+        .wait()
+        .expect("owner feeds")
+        .into_ap_feed()
+        .expect("feed");
+    assert_eq!(report.cycles, 4);
+    let run = service
+        .submit(1, Job::ApFinish { session })
+        .unwrap()
+        .wait()
+        .expect("finishes")
+        .into_ap_finish()
+        .expect("finish");
+    assert_eq!(run.matches, vec![(3, 0)]);
+    assert_eq!(service.tenant_usage(1).expect("billed").ap_symbols, 4);
+    assert!(service.tenant_usage(2).is_none(), "the rejected feed billed nothing");
+    // Tenant 2 cannot close it either; the owner can.
+    assert!(matches!(service.close_session(2, session), Err(ServeError::UnknownSession { .. })));
+    service.close_session(1, session).expect("open");
+    assert_eq!(service.session_count(), 0);
+    service.shutdown();
+}
+
+#[test]
+fn a_session_survives_many_streams_and_bills_incrementally() {
+    let service = Service::start(two_worker_config());
+    let session = service.open_session(5, &["ab"]).expect("compiles");
+    for round in 1..=3u64 {
+        service.submit(5, Job::ApFeed { session, chunk: b"zab".to_vec() }).unwrap().wait().unwrap();
+        let run = service
+            .submit(5, Job::ApFinish { session })
+            .unwrap()
+            .wait()
+            .unwrap()
+            .into_ap_finish()
+            .unwrap();
+        assert_eq!(run.matches, vec![(2, 0)], "round {round}");
+        let usage = service.tenant_usage(5).expect("billed");
+        assert_eq!(usage.ap_symbols, 3 * round, "symbols accumulate across streams");
+        assert_eq!(usage.ap_jobs, 2 * round);
+    }
+    service.shutdown();
+}
+
+#[test]
+fn submissions_after_shutdown_are_refused() {
+    let config = two_worker_config();
+    let width = config.mvp_width();
+    let service = Service::start(config);
+    let program = query_program(width, 0);
+    let snapshot = service.shutdown();
+    assert!(snapshot.is_empty());
+    // `service` is consumed by shutdown; a fresh one that is aborted
+    // with queued jobs fails those tickets instead of hanging.
+    let service = Service::start(two_worker_config());
+    let tickets: Vec<_> =
+        (0..20).map(|_| service.submit(1, Job::MvpProgram(program.clone())).unwrap()).collect();
+    let _ = service.abort();
+    for ticket in tickets {
+        match ticket.wait() {
+            Ok(JobOutput::Mvp(_)) | Err(ServeError::ShuttingDown) => {}
+            other => panic!("expected completion or clean refusal, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn unknown_sessions_are_reported() {
+    let service = Service::start(two_worker_config());
+    let result = service.submit(1, Job::ApFinish { session: 1234 }).unwrap().wait();
+    assert_eq!(result, Err(ServeError::UnknownSession { session: 1234 }));
+    assert!(matches!(
+        service.close_session(1, 777),
+        Err(ServeError::UnknownSession { session: 777 })
+    ));
+    service.shutdown();
+}

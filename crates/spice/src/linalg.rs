@@ -10,7 +10,9 @@
 //! solved in O(n) by the Thomas algorithm, falling back to dense LU
 //! whenever the structure or a pivot does not cooperate.
 
-/// Which factorization [`Matrix::solve_in_place`] is allowed to use.
+/// Which factorization the in-place solve is allowed to use
+/// (selected per [`Transient`](crate::Transient) via
+/// [`Transient::with_solver`](crate::Transient::with_solver)).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SolverKind {
     /// Try the tridiagonal Thomas fast path, fall back to dense LU.

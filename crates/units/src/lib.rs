@@ -25,6 +25,8 @@
 //! assert!(tau.as_picoseconds() > 0.0);
 //! ```
 
+#![deny(missing_docs)]
+
 mod approx;
 mod format;
 mod quantity;

@@ -1,0 +1,184 @@
+//! Concurrency stress for the serving layer: many tenants hammering one
+//! service with mixed MVP and AP jobs from real threads, with every
+//! result differentially checked against single-threaded references,
+//! ledger accounting reconciled, and a clean shutdown at the end.
+
+use memcim::serve::{Job, ServeConfig, ServeError, Service};
+use memcim::RegexAccelerator;
+use memcim_bits::BitVec;
+use memcim_mvp::{Instruction, MvpSimulator};
+
+const TENANTS: u64 = 10;
+const MVP_JOBS_PER_TENANT: usize = 12;
+const ROWS: usize = 16;
+const BANKS: usize = 4;
+const BANK_COLS: usize = 64;
+
+fn config() -> ServeConfig {
+    // A deliberately small queue so submission hits the backpressure
+    // path under load.
+    ServeConfig::default()
+        .with_workers(4)
+        .with_queue_depth(16)
+        .with_max_burst(8)
+        .with_mvp_geometry(ROWS, BANKS, BANK_COLS)
+}
+
+/// Deterministic per-(tenant, iteration) bitmap intersection program.
+fn mvp_program(tenant: u64, iteration: usize) -> Vec<Instruction> {
+    let width = BANKS * BANK_COLS;
+    let salt = (tenant as usize) * 37 + iteration * 11;
+    let a: Vec<usize> = (0..8).map(|i| (salt + i * 29) % width).collect();
+    let b: Vec<usize> = (0..6).map(|i| (salt + 3 + i * 41) % width).collect();
+    let c: Vec<usize> = (0..10).map(|i| (salt + i * 17) % width).collect();
+    vec![
+        Instruction::Store { row: 0, data: BitVec::from_indices(width, &a) },
+        Instruction::Store { row: 1, data: BitVec::from_indices(width, &b) },
+        Instruction::Store { row: 2, data: BitVec::from_indices(width, &c) },
+        Instruction::Or { srcs: vec![0, 1], dst: 3 },
+        Instruction::And { srcs: vec![3, 2], dst: 4 },
+        Instruction::Xor { a: 4, b: 0, dst: 5 },
+        Instruction::Read { row: 4 },
+        Instruction::Read { row: 5 },
+    ]
+}
+
+/// The AP input a tenant streams: planted matches in deterministic
+/// filler.
+fn ap_input(tenant: u64) -> Vec<u8> {
+    let mut input = Vec::new();
+    for i in 0..40usize {
+        input.extend_from_slice(match (tenant as usize + i) % 5 {
+            0 => b"abbc".as_slice(),
+            1 => b"zzzz",
+            2 => b"xyz",
+            3 => b"abz",
+            _ => b"qq",
+        });
+    }
+    input
+}
+
+const AP_PATTERNS: [&str; 2] = ["ab+c", "x[yz]+"];
+
+#[test]
+fn many_tenants_mixed_jobs_no_deadlock_clean_shutdown() {
+    let service = Service::start(config());
+
+    std::thread::scope(|scope| {
+        for tenant in 0..TENANTS {
+            let service = &service;
+            scope.spawn(move || {
+                // Every tenant does MVP work; odd tenants also stream an
+                // AP session concurrently with everyone else's jobs.
+                let mut mvp_tickets = Vec::new();
+                let session = if tenant % 2 == 1 {
+                    Some(service.open_session(tenant, &AP_PATTERNS).expect("patterns compile"))
+                } else {
+                    None
+                };
+
+                for iteration in 0..MVP_JOBS_PER_TENANT {
+                    let ticket = service
+                        .submit(tenant, Job::MvpProgram(mvp_program(tenant, iteration)))
+                        .expect("service accepts while running");
+                    mvp_tickets.push((iteration, ticket));
+
+                    // Interleave AP chunks with MVP submissions.
+                    if let Some(session) = session {
+                        let input = ap_input(tenant);
+                        let chunk = input[iteration * input.len() / MVP_JOBS_PER_TENANT
+                            ..(iteration + 1) * input.len() / MVP_JOBS_PER_TENANT]
+                            .to_vec();
+                        service
+                            .submit(tenant, Job::ApFeed { session, chunk })
+                            .expect("accepts")
+                            .wait()
+                            .expect("feed runs");
+                    }
+                }
+
+                // Differentially check every MVP result.
+                for (iteration, ticket) in mvp_tickets {
+                    let out = ticket.wait().expect("job runs").into_mvp().expect("mvp job");
+                    let mut reference = MvpSimulator::banked(ROWS, BANKS, BANK_COLS);
+                    let expected =
+                        reference.run_program(&mvp_program(tenant, iteration)).expect("reference");
+                    assert_eq!(out.outputs, vec![expected], "tenant {tenant} job {iteration}");
+                }
+
+                // Finish the stream and check the matches against the
+                // single-threaded facade on the same input.
+                if let Some(session) = session {
+                    let run = service
+                        .submit(tenant, Job::ApFinish { session })
+                        .expect("accepts")
+                        .wait()
+                        .expect("finish runs")
+                        .into_ap_finish()
+                        .expect("finish job");
+                    let mut reference =
+                        RegexAccelerator::rram(&AP_PATTERNS).expect("reference compiles");
+                    let expected = reference.scan(&ap_input(tenant));
+                    assert_eq!(run.matches, expected.matches, "tenant {tenant} AP matches");
+                    assert_eq!(run.symbols, expected.symbols);
+                    service.close_session(tenant, session).expect("session open");
+                }
+            });
+        }
+    });
+
+    // Reconcile the books: every tenant is billed for exactly its jobs.
+    let expected_scouts_per_job = 3 * BANKS as u64; // OR + AND + XOR, per bank
+    for tenant in 0..TENANTS {
+        let usage = service.tenant_usage(tenant).expect("every tenant ran");
+        assert_eq!(usage.mvp_jobs, MVP_JOBS_PER_TENANT as u64, "tenant {tenant}");
+        assert_eq!(
+            usage.mvp.scouting_ops(),
+            MVP_JOBS_PER_TENANT as u64 * expected_scouts_per_job,
+            "tenant {tenant} scouting ops"
+        );
+        if tenant % 2 == 1 {
+            assert_eq!(usage.ap_symbols, ap_input(tenant).len() as u64, "tenant {tenant}");
+            assert_eq!(usage.ap_jobs, MVP_JOBS_PER_TENANT as u64 + 1, "feeds + finish");
+            assert!(usage.ap_energy.as_joules() > 0.0);
+        } else {
+            assert_eq!(usage.ap_jobs, 0);
+        }
+        assert!(usage.mvp.energy().as_joules() > 0.0);
+    }
+
+    assert_eq!(service.session_count(), 0, "all sessions closed");
+    assert_eq!(service.pending(), 0, "queue drained");
+    let snapshot = service.shutdown();
+    assert_eq!(snapshot.len(), TENANTS as usize);
+    // shutdown() joined every worker; reaching this line without
+    // hanging is the no-deadlock claim.
+}
+
+#[test]
+fn shutdown_under_load_never_strands_a_ticket() {
+    let service = Service::start(config().with_workers(2));
+    let mut tickets = Vec::new();
+    for tenant in 0..8u64 {
+        for iteration in 0..4 {
+            tickets.push(
+                service
+                    .submit(tenant, Job::MvpProgram(mvp_program(tenant, iteration)))
+                    .expect("accepts"),
+            );
+        }
+    }
+    // Abort with work still queued: every ticket must resolve — either
+    // the job ran before the axe fell, or it reports ShuttingDown.
+    let _ = service.abort();
+    let mut completed = 0;
+    for ticket in tickets {
+        match ticket.wait() {
+            Ok(_) => completed += 1,
+            Err(ServeError::ShuttingDown) => {}
+            Err(other) => panic!("unexpected failure: {other}"),
+        }
+    }
+    assert!(completed >= 1, "the workers were running; something completed");
+}
