@@ -23,6 +23,7 @@
 use memcim_ap::{ApBackend, AutomataProcessor, RoutingKind};
 use memcim_automata::{rules, PatternSet, StartKind};
 use memcim_bench::json::{self, JsonValue};
+use memcim_bench::yields::{self, YieldConfig};
 use memcim_crossbar::{BitlineCircuit, CellTechnology};
 use memcim_mvp::workloads::bitmap::BitmapTable;
 use memcim_mvp::{BatchRequest, MvpSimulator};
@@ -48,6 +49,7 @@ const REQUIRED_CONFIGS: &[&str] = &[
     "serve_bitmap_qps_1w",
     "serve_bitmap_qps_4w",
     "serve_bitmap_qps_8w",
+    "yield_report",
 ];
 
 struct ConfigResult {
@@ -222,6 +224,18 @@ fn run_workloads(quick: bool) -> Vec<ConfigResult> {
         }));
         service.shutdown();
     }
+
+    // --- Fault-tolerance yield harness ---------------------------------
+    // One Monte-Carlo batch per iteration: manufacture ECC-protected,
+    // spare-repaired arrays at a defective corner (0.5 % stuck cells),
+    // run the repair audit and the scouting workload, score against the
+    // software reference. Timing it here keeps the reliability machinery
+    // on the committed performance trajectory; the full density ×
+    // endurance sweep lives in BENCH_yield.json (`yield_report` binary).
+    let yield_cfg = if quick { YieldConfig::quick() } else { YieldConfig::full() };
+    results.push(measure("yield_report", "trial", u64::from(yield_cfg.trials), budget, || {
+        std::hint::black_box(yields::run_point(&yield_cfg, 0.005, 1_000_000, SEED));
+    }));
 
     results
 }

@@ -1,0 +1,192 @@
+//! Monte-Carlo yield report for the fault-tolerance stack: sweeps
+//! stuck-at defect density × endurance budget over seeded trials of
+//! ECC-protected, spare-repaired crossbars and records
+//! clean/corrected/uncorrectable/retired/exhausted counts per grid
+//! point in a machine-readable JSON artifact (`BENCH_yield.json`).
+//!
+//! ```text
+//! yield_report [--quick] [--out PATH]
+//! yield_report --check PATH
+//! ```
+//!
+//! * `--quick` shrinks geometry and trial counts (CI smoke; same seed
+//!   and grid axes).
+//! * `--check` parses an existing report and fails (exit 1) if it is
+//!   malformed, misses a grid point, or carries impossible counts —
+//!   the CI guard over the committed artifact.
+
+use memcim_bench::json::{self, JsonValue};
+use memcim_bench::yields::{self, YieldConfig, YieldPoint};
+
+/// Same fixed seed as `perf_report` (the paper's year).
+const SEED: u64 = 2018;
+
+fn render_report(cfg: &YieldConfig, points: &[YieldPoint], quick: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"memcim-yield-report/v1\",\n");
+    out.push_str(&format!("  \"mode\": \"{}\",\n", if quick { "quick" } else { "full" }));
+    out.push_str(&format!("  \"seed\": {SEED},\n"));
+    out.push_str(&format!(
+        "  \"geometry\": {{ \"rows\": {}, \"cols\": {}, \"spares\": {}, \"threshold\": {}, \
+         \"rounds\": {}, \"trials\": {} }},\n",
+        cfg.rows, cfg.cols, cfg.spares, cfg.threshold, cfg.rounds, cfg.trials
+    ));
+    out.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"stuck_density\": {},\n", p.stuck_density));
+        out.push_str(&format!("      \"endurance_budget\": {},\n", p.endurance_budget));
+        out.push_str(&format!("      \"trials\": {},\n", p.trials));
+        out.push_str(&format!("      \"clean_trials\": {},\n", p.clean_trials));
+        out.push_str(&format!("      \"yield_fraction\": {:.4},\n", p.yield_fraction()));
+        out.push_str(&format!("      \"corrected\": {},\n", p.corrected));
+        out.push_str(&format!("      \"uncorrectable\": {},\n", p.uncorrectable));
+        out.push_str(&format!("      \"silent\": {},\n", p.silent));
+        out.push_str(&format!("      \"retired_rows\": {},\n", p.retired_rows));
+        out.push_str(&format!("      \"exhausted_spares\": {}\n", p.exhausted_spares));
+        out.push_str(if i + 1 == points.len() { "    }\n" } else { "    },\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Validates a report: schema tag, the full grid present, counts that
+/// add up, and evidence the harness exercised the repair machinery
+/// (some point corrected at least one upset).
+fn check_report(text: &str) -> Result<(), String> {
+    let doc = json::parse(text).map_err(|e| e.to_string())?;
+    match doc.get("schema").and_then(JsonValue::as_str) {
+        Some("memcim-yield-report/v1") => {}
+        other => return Err(format!("unexpected schema tag {other:?}")),
+    }
+    let points = doc
+        .get("points")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| "missing \"points\" array".to_string())?;
+    let expected = yields::DENSITIES.len() * yields::BUDGETS.len();
+    if points.len() != expected {
+        return Err(format!("expected {expected} grid points, found {}", points.len()));
+    }
+    let mut any_corrected = false;
+    for density in yields::DENSITIES {
+        for budget in yields::BUDGETS {
+            let point = points
+                .iter()
+                .find(|p| {
+                    p.get("stuck_density").and_then(JsonValue::as_f64) == Some(*density)
+                        && p.get("endurance_budget").and_then(JsonValue::as_f64)
+                            == Some(*budget as f64)
+                })
+                .ok_or_else(|| format!("missing grid point ({density}, {budget})"))?;
+            let field = |name: &str| -> Result<f64, String> {
+                point
+                    .get(name)
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| format!("point ({density}, {budget}): missing {name:?}"))
+            };
+            let trials = field("trials")?;
+            let clean = field("clean_trials")?;
+            if trials <= 0.0 || clean < 0.0 || clean > trials {
+                return Err(format!(
+                    "point ({density}, {budget}): impossible clean_trials {clean}/{trials}"
+                ));
+            }
+            for counter in
+                ["corrected", "uncorrectable", "silent", "retired_rows", "exhausted_spares"]
+            {
+                if field(counter)? < 0.0 {
+                    return Err(format!("point ({density}, {budget}): negative {counter}"));
+                }
+            }
+            if field("corrected")? > 0.0 {
+                any_corrected = true;
+            }
+            // A pristine array must yield perfectly, with no silent
+            // wrong reads.
+            if *density == 0.0 && *budget >= 1_000_000 && (clean < trials || field("silent")? > 0.0)
+            {
+                return Err(format!("pristine point lost yield: {clean}/{trials} clean"));
+            }
+        }
+    }
+    if !any_corrected {
+        return Err("no grid point corrected a single upset — ECC never engaged".to_string());
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out_path = "BENCH_yield.json".to_string();
+    let mut check_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => out_path = it.next().expect("--out needs a path").clone(),
+            "--check" => check_path = Some(it.next().expect("--check needs a path").clone()),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!("usage: yield_report [--quick] [--out PATH] | --check PATH");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(path) = check_path {
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        match check_report(&text) {
+            Ok(()) => {
+                println!(
+                    "{path}: OK ({} grid points present)",
+                    yields::DENSITIES.len() * yields::BUDGETS.len()
+                );
+                return;
+            }
+            Err(message) => {
+                eprintln!("{path}: INVALID — {message}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let cfg = if quick { YieldConfig::quick() } else { YieldConfig::full() };
+    let points = yields::run_grid(&cfg, yields::DENSITIES, yields::BUDGETS, SEED);
+
+    println!(
+        "{}",
+        memcim_bench::table(
+            &[
+                "density",
+                "budget",
+                "yield",
+                "corrected",
+                "uncorr",
+                "silent",
+                "retired",
+                "exhausted"
+            ],
+            &points
+                .iter()
+                .map(|p| vec![
+                    format!("{:.3}", p.stuck_density),
+                    p.endurance_budget.to_string(),
+                    format!("{}/{}", p.clean_trials, p.trials),
+                    p.corrected.to_string(),
+                    p.uncorrectable.to_string(),
+                    p.silent.to_string(),
+                    p.retired_rows.to_string(),
+                    p.exhausted_spares.to_string(),
+                ])
+                .collect::<Vec<_>>(),
+        )
+    );
+
+    let report = render_report(&cfg, &points, quick);
+    check_report(&report).expect("generated report must validate");
+    std::fs::write(&out_path, &report).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("wrote {out_path}");
+}

@@ -7,6 +7,7 @@
 //! binary.
 
 pub mod json;
+pub mod yields;
 
 /// Renders a simple aligned table: a header row plus data rows.
 ///

@@ -75,8 +75,8 @@ pub mod prelude {
     };
     pub use memcim_bits::{BitMatrix, BitVec};
     pub use memcim_crossbar::{
-        BankedCrossbar, BitlineCircuit, CellTechnology, Crossbar, CrossbarBackend, OpLedger,
-        ScoutingKind,
+        BankedCrossbar, BitlineCircuit, CellTechnology, Crossbar, CrossbarBackend, EccCrossbar,
+        EccOutcome, FaultMap, HammingCode, OpLedger, RemapEntry, ScoutingKind,
     };
     pub use memcim_device::{
         BehavioralSwitch, HysteresisSweep, IdealMemristor, LinearIonDrift, MemristiveDevice,

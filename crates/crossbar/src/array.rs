@@ -1,6 +1,8 @@
 //! The crossbar array: programming, reads and scouting logic.
 
-use crate::{CellTechnology, CrossbarError, FaultMap, OpLedger, ScoutingKind, SenseThresholds};
+use crate::{
+    CellTechnology, CrossbarError, FaultMap, OpLedger, RemapEntry, ScoutingKind, SenseThresholds,
+};
 use memcim_bits::{BitMatrix, BitVec};
 use memcim_device::{DeviceSample, EnduranceModel, SwitchParams, VariabilityModel, WearState};
 use memcim_units::{Amps, Joules, Ohms, SquareMicrometers, Volts, Watts};
@@ -30,7 +32,21 @@ pub struct Crossbar {
     faults: FaultMap,
     ledger: OpLedger,
     endurance_failures: u64,
+    spare: Option<SparePool>,
+    retired_rows: u64,
     rng: SmallRng,
+}
+
+/// Spare-row repair bookkeeping: the last `reserved` physical rows are
+/// withheld from the host; logical rows whose stuck-cell population
+/// reaches `threshold` are transparently remapped onto them.
+#[derive(Debug, Clone)]
+struct SparePool {
+    reserved: usize,
+    used: usize,
+    threshold: usize,
+    /// Logical row → physical row (identity until a retirement).
+    remap: Vec<usize>,
 }
 
 impl std::fmt::Debug for Crossbar {
@@ -81,6 +97,8 @@ impl Crossbar {
             faults: FaultMap::new(),
             ledger: OpLedger::new(),
             endurance_failures: 0,
+            spare: None,
+            retired_rows: 0,
             rng: SmallRng::seed_from_u64(0x5EED),
         }
     }
@@ -107,9 +125,47 @@ impl Crossbar {
         self
     }
 
-    /// Number of rows.
+    /// Reserves the last `spares` physical rows as repair spares
+    /// (builder-style): the host sees `rows − spares` logical rows, and
+    /// any logical row accumulating `threshold` or more stuck cells is
+    /// transparently retired — its best-known contents are re-programmed
+    /// into a fresh spare and the remap table
+    /// ([`remap_table`](Self::remap_table)) is updated. Once every spare
+    /// is in use, the next retirement surfaces as
+    /// [`CrossbarError::ExhaustedSpares`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spares` does not leave at least one logical row, or if
+    /// `threshold` is zero.
+    #[must_use]
+    pub fn with_spare_rows(mut self, spares: usize, threshold: usize) -> Self {
+        assert!(spares < self.rows, "spare rows must leave at least one logical row");
+        assert!(threshold > 0, "fault threshold must be at least one stuck cell");
+        self.spare = Some(SparePool {
+            reserved: spares,
+            used: 0,
+            threshold,
+            remap: (0..self.rows - spares).collect(),
+        });
+        self
+    }
+
+    /// Number of host-addressable rows (physical rows minus any
+    /// reserved spares).
     pub fn rows(&self) -> usize {
-        self.rows
+        match &self.spare {
+            Some(pool) => self.rows - pool.reserved,
+            None => self.rows,
+        }
+    }
+
+    /// The physical row currently backing a logical row.
+    fn phys(&self, row: usize) -> usize {
+        match &self.spare {
+            Some(pool) => pool.remap[row],
+            None => row,
+        }
     }
 
     /// Number of columns.
@@ -127,7 +183,10 @@ impl Crossbar {
         &self.ledger
     }
 
-    /// The fault map (mutable, for fault-injection campaigns).
+    /// The fault map (mutable, for fault-injection campaigns). Fault
+    /// coordinates are *physical*: with spare rows configured, run
+    /// [`audit`](Self::audit) after an injection campaign to apply the
+    /// retirement policy (in-band wear-out retires rows automatically).
     pub fn faults_mut(&mut self) -> &mut FaultMap {
         &mut self.faults
     }
@@ -142,6 +201,86 @@ impl Crossbar {
         self.endurance_failures
     }
 
+    /// Spare rows reserved at construction (0 when repair is off).
+    pub fn spare_rows(&self) -> usize {
+        self.spare.as_ref().map_or(0, |p| p.reserved)
+    }
+
+    /// Spare rows not yet consumed by a retirement.
+    pub fn spares_remaining(&self) -> usize {
+        self.spare.as_ref().map_or(0, |p| p.reserved - p.used)
+    }
+
+    /// The stuck-cell count at which a row is retired, if repair is on.
+    pub fn fault_threshold(&self) -> Option<usize> {
+        self.spare.as_ref().map(|p| p.threshold)
+    }
+
+    /// Logical rows retired onto spares so far.
+    pub fn retired_rows(&self) -> u64 {
+        self.retired_rows
+    }
+
+    /// The non-identity entries of the logical→physical remap table
+    /// (empty when repair is off or nothing has been retired).
+    pub fn remap_table(&self) -> Vec<RemapEntry> {
+        match &self.spare {
+            Some(pool) => pool
+                .remap
+                .iter()
+                .enumerate()
+                .filter(|&(logical, &physical)| logical != physical)
+                .map(|(logical, &physical)| RemapEntry { bank: 0, logical, physical })
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Sweeps every logical row against the retirement policy —
+    /// the hook to run after an external fault-injection campaign (the
+    /// in-band path retires rows as programming wears them out).
+    /// Returns how many rows were retired.
+    ///
+    /// # Errors
+    ///
+    /// [`CrossbarError::ExhaustedSpares`] as soon as a row needs
+    /// retirement with no spare left.
+    pub fn audit(&mut self) -> Result<u64, CrossbarError> {
+        let mut retired = 0;
+        for row in 0..self.rows() {
+            if self.maybe_retire(row)? {
+                retired += 1;
+            }
+        }
+        Ok(retired)
+    }
+
+    /// Retires `logical` onto fresh spares for as long as its backing
+    /// physical row holds `threshold`+ stuck cells. Copies the
+    /// best-known row contents into each replacement (a real repair
+    /// write, paid through the ledger).
+    fn maybe_retire(&mut self, logical: usize) -> Result<bool, CrossbarError> {
+        let mut retired_any = false;
+        loop {
+            let Some(pool) = &self.spare else { return Ok(retired_any) };
+            let pr = pool.remap[logical];
+            if self.faults.row_fault_count(pr) < pool.threshold {
+                return Ok(retired_any);
+            }
+            if pool.used >= pool.reserved {
+                return Err(CrossbarError::ExhaustedSpares { row: logical, spares: pool.reserved });
+            }
+            let target = (self.rows - pool.reserved) + pool.used;
+            let data = self.bits.row(pr).clone();
+            self.program_physical_row(target, &data);
+            let pool = self.spare.as_mut().expect("checked above");
+            pool.remap[logical] = target;
+            pool.used += 1;
+            self.retired_rows += 1;
+            retired_any = true;
+        }
+    }
+
     /// The *logical* (programmed) value of a cell — a model query, free
     /// of charge and energy.
     ///
@@ -150,7 +289,7 @@ impl Crossbar {
     /// Returns [`CrossbarError::OutOfBounds`] for invalid indices.
     pub fn get(&self, row: usize, col: usize) -> Result<bool, CrossbarError> {
         self.check(row, col)?;
-        Ok(self.bits.get(row, col))
+        Ok(self.bits.get(self.phys(row), col))
     }
 
     /// Layout area of the array.
@@ -164,8 +303,13 @@ impl Crossbar {
     }
 
     fn check(&self, row: usize, col: usize) -> Result<(), CrossbarError> {
-        if row >= self.rows || col >= self.cols {
-            return Err(CrossbarError::OutOfBounds { row, col, rows: self.rows, cols: self.cols });
+        if row >= self.rows() || col >= self.cols {
+            return Err(CrossbarError::OutOfBounds {
+                row,
+                col,
+                rows: self.rows(),
+                cols: self.cols,
+            });
         }
         Ok(())
     }
@@ -206,7 +350,13 @@ impl Crossbar {
     ///
     /// Returns [`CrossbarError::OutOfBounds`] for invalid indices and
     /// [`CrossbarError::Endurance`] when the cell's budget is exhausted —
-    /// the wear-out write itself completes, after which the cell is stuck.
+    /// the wear-out write itself completes, after which the cell is
+    /// stuck. With spare rows configured
+    /// ([`with_spare_rows`](Self::with_spare_rows)), a wear-out that
+    /// pushes the row over its fault threshold retires it onto a spare
+    /// instead — the write then reports `Ok` (the row is healthy again)
+    /// unless no spare is left
+    /// ([`CrossbarError::ExhaustedSpares`]).
     pub fn program_bit(
         &mut self,
         row: usize,
@@ -214,30 +364,37 @@ impl Crossbar {
         value: bool,
     ) -> Result<(), CrossbarError> {
         self.check(row, col)?;
-        if self.faults.stuck_value(row, col).is_some() {
+        let pr = self.phys(row);
+        if self.faults.stuck_value(pr, col).is_some() {
             // Stuck cells silently ignore writes (the programming pulse
             // is still spent — there is no way to know it failed without
             // a verify read).
             self.ledger.record_program(1, self.tech.program_energy, self.tech.program_latency);
             return Ok(());
         }
-        if self.bits.get(row, col) == value {
+        if self.bits.get(pr, col) == value {
             return Ok(());
         }
         self.ledger.record_program(1, self.tech.program_energy, self.tech.program_latency);
-        let idx = self.cell_index(row, col);
+        let idx = self.cell_index(pr, col);
         let result = match self.endurance {
             Some(model) => model.record_cycle(&mut self.wear[idx]),
             None => Ok(()),
         };
-        self.bits.set(row, col, value);
+        self.bits.set(pr, col, value);
         // Fresh cycle-to-cycle resistance sample on each re-program.
         if let Some((model, samples)) = &mut self.variability {
             samples[idx] = model.sample_cycle(&samples[idx], &mut self.rng);
         }
         if let Err(e) = result {
             self.endurance_failures += 1;
-            self.faults.inject_stuck_at(row, col, value);
+            self.faults.inject_stuck_at(pr, col, value);
+            if self.maybe_retire(row)? {
+                // The worn cell now lives on a retired physical row; the
+                // logical row was repaired onto a spare with this write's
+                // value in place.
+                return Ok(());
+            }
             return Err(CrossbarError::Endurance(e));
         }
         Ok(())
@@ -251,12 +408,22 @@ impl Crossbar {
     /// # Errors
     ///
     /// Returns [`CrossbarError::OutOfBounds`] /
-    /// [`CrossbarError::WidthMismatch`] for invalid arguments.
+    /// [`CrossbarError::WidthMismatch`] for invalid arguments, and —
+    /// with spare rows configured — [`CrossbarError::ExhaustedSpares`]
+    /// when the row crossed its fault threshold with no spare left.
     pub fn program_row(&mut self, row: usize, values: &BitVec) -> Result<u64, CrossbarError> {
         self.check(row, 0)?;
         if values.len() != self.cols {
             return Err(CrossbarError::WidthMismatch { got: values.len(), expected: self.cols });
         }
+        let changed = self.program_physical_row(self.phys(row), values);
+        self.maybe_retire(row)?;
+        Ok(changed)
+    }
+
+    /// The raw row-programming cycle on a *physical* row: no remap, no
+    /// retirement — shared by host writes and spare-repair copies.
+    fn program_physical_row(&mut self, row: usize, values: &BitVec) -> u64 {
         let mut changed = 0u64;
         for col in 0..self.cols {
             let value = values.get(col);
@@ -285,7 +452,7 @@ impl Crossbar {
                 self.tech.program_latency,
             );
         }
-        Ok(changed)
+        changed
     }
 
     /// Loads a full bit matrix (e.g. an STE configuration).
@@ -295,14 +462,14 @@ impl Crossbar {
     /// Returns [`CrossbarError::WidthMismatch`] if the matrix shape
     /// differs from the array.
     pub fn load(&mut self, data: &BitMatrix) -> Result<u64, CrossbarError> {
-        if data.rows() != self.rows || data.cols() != self.cols {
+        if data.rows() != self.rows() || data.cols() != self.cols {
             return Err(CrossbarError::WidthMismatch {
                 got: data.rows() * data.cols(),
-                expected: self.rows * self.cols,
+                expected: self.rows() * self.cols,
             });
         }
         let mut changed = 0;
-        for r in 0..self.rows {
+        for r in 0..self.rows() {
             changed += self.program_row(r, data.row(r))?;
         }
         Ok(changed)
@@ -329,7 +496,7 @@ impl Crossbar {
     /// Returns [`CrossbarError::OutOfBounds`] for invalid indices.
     pub fn read_bit(&mut self, row: usize, col: usize) -> Result<bool, CrossbarError> {
         self.check(row, col)?;
-        let i = self.column_current(&[row], col);
+        let i = self.column_current(&[self.phys(row)], col);
         let ref_current = Amps::new(
             ((self.read_voltage / self.device.r_low).as_amps()
                 * (self.read_voltage / self.device.r_high).as_amps())
@@ -350,12 +517,13 @@ impl Crossbar {
     /// Returns [`CrossbarError::OutOfBounds`] for an invalid row.
     pub fn read_row(&mut self, row: usize) -> Result<BitVec, CrossbarError> {
         self.check(row, 0)?;
+        let pr = self.phys(row);
         let mut out = BitVec::new(self.cols);
         let ref_current = ((self.read_voltage / self.device.r_low).as_amps()
             * (self.read_voltage / self.device.r_high).as_amps())
         .sqrt();
         for col in 0..self.cols {
-            if self.column_current(&[row], col).as_amps() > ref_current {
+            if self.column_current(&[pr], col).as_amps() > ref_current {
                 out.set(col, true);
             }
         }
@@ -381,23 +549,9 @@ impl Crossbar {
         kind: ScoutingKind,
         rows: &[usize],
     ) -> Result<BitVec, CrossbarError> {
-        if rows.len() < 2 {
-            return Err(CrossbarError::InvalidRowSelection {
-                constraint: "at least two rows must be activated",
-            });
-        }
-        if kind.is_window_gate() && rows.len() != 2 {
-            return Err(CrossbarError::InvalidRowSelection {
-                constraint: "xor/xnor are defined over exactly two rows",
-            });
-        }
-        for (i, &r) in rows.iter().enumerate() {
+        kind.validate_selection(rows)?;
+        for &r in rows {
             self.check(r, 0)?;
-            if rows[..i].contains(&r) {
-                return Err(CrossbarError::InvalidRowSelection {
-                    constraint: "rows must be distinct",
-                });
-            }
         }
         let thresholds = SenseThresholds::for_gate(
             kind,
@@ -406,9 +560,20 @@ impl Crossbar {
             self.device.r_low,
             self.device.r_high,
         );
+        // Activation drives the *physical* word lines backing the
+        // selected logical rows. The remap is identity until the first
+        // retirement, so the healthy-lifetime hot path stays
+        // allocation-free on the borrowed selection.
+        let phys_storage;
+        let active: &[usize] = if self.spare.as_ref().is_some_and(|pool| pool.used > 0) {
+            phys_storage = rows.iter().map(|&r| self.phys(r)).collect::<Vec<_>>();
+            &phys_storage
+        } else {
+            rows
+        };
         let mut out = BitVec::new(self.cols);
         for col in 0..self.cols {
-            if thresholds.sense(self.column_current(rows, col)) {
+            if thresholds.sense(self.column_current(active, col)) {
                 out.set(col, true);
             }
         }
@@ -616,6 +781,89 @@ mod tests {
         assert!(sram.area().as_square_micrometers() > 10.0 * rram.area().as_square_micrometers());
         assert_eq!(rram.static_power().as_watts(), 0.0);
         assert!(sram.static_power().as_watts() > 0.0);
+    }
+
+    #[test]
+    fn spare_rows_shrink_the_host_view() {
+        let x = Crossbar::rram(8, 16).with_spare_rows(3, 1);
+        assert_eq!(x.rows(), 5);
+        assert_eq!(x.spare_rows(), 3);
+        assert_eq!(x.spares_remaining(), 3);
+        assert_eq!(x.fault_threshold(), Some(1));
+        assert!(x.remap_table().is_empty());
+    }
+
+    #[test]
+    fn wearout_retires_the_row_onto_a_spare_transparently() {
+        let mut x =
+            Crossbar::rram(4, 8).with_spare_rows(2, 1).with_endurance(EnduranceModel::new(2));
+        let ones = BitVec::from_indices(8, &[0, 1, 2]);
+        let zeros = BitVec::new(8);
+        x.program_row(0, &ones).expect("cycle 1");
+        // Cycle 2 wears out the three toggled cells → threshold crossed
+        // → the row is copied onto physical row 2 (first spare).
+        x.program_row(0, &zeros).expect("retired, not failed");
+        assert_eq!(x.retired_rows(), 1);
+        assert_eq!(x.spares_remaining(), 1);
+        assert_eq!(x.remap_table(), vec![RemapEntry { bank: 0, logical: 0, physical: 2 }]);
+        // The spare carries the intended contents and accepts writes.
+        assert_eq!(x.read_row(0).expect("read").count_ones(), 0);
+        x.program_row(0, &ones).expect("healthy spare takes the write");
+        assert_eq!(x.read_row(0).expect("read"), ones);
+    }
+
+    #[test]
+    fn exhausted_spares_surface_as_an_error() {
+        let mut x =
+            Crossbar::rram(3, 4).with_spare_rows(1, 1).with_endurance(EnduranceModel::new(2));
+        let ones = BitVec::from_indices(4, &[0]);
+        let zeros = BitVec::new(4);
+        x.program_row(0, &ones).expect("cycle 1");
+        x.program_row(0, &zeros).expect("first wear-out retires onto the spare");
+        assert_eq!(x.spares_remaining(), 0);
+        // Wear out the spare too: no repair candidate remains.
+        x.program_row(0, &ones).expect("cycle 1 on the spare");
+        let err = x.program_row(0, &zeros).expect_err("no spare left");
+        assert_eq!(err, CrossbarError::ExhaustedSpares { row: 0, spares: 1 });
+        assert!(err.is_fault_fatal());
+    }
+
+    #[test]
+    fn audit_applies_the_policy_after_external_injection() {
+        let mut x = Crossbar::rram(6, 8).with_spare_rows(2, 2);
+        // One stuck cell in row 1 (below threshold), two in row 3.
+        x.faults_mut().inject_stuck_at(1, 0, true);
+        x.faults_mut().inject_stuck_at(3, 2, true);
+        x.faults_mut().inject_stuck_at(3, 5, false);
+        assert_eq!(x.audit().expect("spares available"), 1);
+        assert_eq!(x.remap_table(), vec![RemapEntry { bank: 0, logical: 3, physical: 4 }]);
+        // Row 3 now reads clean; row 1's single fault still shows.
+        x.program_row(3, &BitVec::from_indices(8, &[2])).expect("program");
+        assert_eq!(x.read_row(3).expect("read").ones().collect::<Vec<_>>(), vec![2]);
+        assert_eq!(x.audit().expect("stable"), 0, "audit is idempotent");
+    }
+
+    #[test]
+    fn scouting_follows_the_remap() {
+        let mut x = Crossbar::rram(5, 8).with_spare_rows(1, 1);
+        let a = BitVec::from_indices(8, &[0, 1]);
+        let b = BitVec::from_indices(8, &[1, 2]);
+        x.program_row(0, &a).expect("r0");
+        x.program_row(1, &b).expect("r1");
+        // Break physical row 0 badly and retire it.
+        x.faults_mut().inject_stuck_at(0, 7, true);
+        x.audit().expect("retire row 0");
+        assert_eq!(x.remap_table().len(), 1);
+        // Scouting must activate the spare, not the broken word line.
+        assert_eq!(x.scouting(ScoutingKind::And, &[0, 1]).expect("and"), a.and(&b));
+        assert_eq!(x.read_row(0).expect("read"), a);
+    }
+
+    #[test]
+    fn out_of_bounds_uses_the_logical_row_count() {
+        let mut x = Crossbar::rram(8, 4).with_spare_rows(3, 1);
+        let err = x.read_row(5).expect_err("row 5 is a spare");
+        assert!(matches!(err, CrossbarError::OutOfBounds { row: 5, rows: 5, .. }));
     }
 
     #[test]

@@ -21,6 +21,20 @@
 use crate::{BankedCrossbar, Crossbar, CrossbarError, OpLedger, ScoutingKind};
 use memcim_bits::BitVec;
 
+/// One non-identity entry of a substrate's spare-row remap table: the
+/// logical row that was retired, the physical (spare) row now backing
+/// it, and — for banked substrates — which bank performed the repair
+/// (0 for a monolithic array).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemapEntry {
+    /// Bank that holds the remap (0 on a monolithic array).
+    pub bank: usize,
+    /// The host-visible row that was retired.
+    pub logical: usize,
+    /// The spare physical row now serving it.
+    pub physical: usize,
+}
+
 /// A logical crossbar substrate: the host-visible row/column interface
 /// shared by [`Crossbar`] and [`BankedCrossbar`].
 ///
@@ -111,6 +125,59 @@ pub trait CrossbarBackend {
     /// max-over-banks busy time of the *aggregate* is not), which is
     /// exactly what `MvpSimulator::run_batch` does.
     fn ledger_parts(&self) -> Vec<OpLedger>;
+
+    /// The substrate's spare-row remap table: every logical row
+    /// currently served by a spare physical row, or empty for
+    /// substrates without spare-row repair (the default).
+    fn remap_table(&self) -> Vec<RemapEntry> {
+        Vec::new()
+    }
+}
+
+/// Boxed backends delegate verbatim, so heterogeneous engine pools
+/// (raw, banked, ECC-protected) can share one
+/// `MvpSimulator<Box<dyn CrossbarBackend + Send>>` worker type.
+impl<T: CrossbarBackend + ?Sized> CrossbarBackend for Box<T> {
+    fn rows(&self) -> usize {
+        (**self).rows()
+    }
+
+    fn cols(&self) -> usize {
+        (**self).cols()
+    }
+
+    fn program_row(&mut self, row: usize, values: &BitVec) -> Result<u64, CrossbarError> {
+        (**self).program_row(row, values)
+    }
+
+    fn read_row(&mut self, row: usize) -> Result<BitVec, CrossbarError> {
+        (**self).read_row(row)
+    }
+
+    fn scouting(&mut self, kind: ScoutingKind, rows: &[usize]) -> Result<BitVec, CrossbarError> {
+        (**self).scouting(kind, rows)
+    }
+
+    fn scouting_write(
+        &mut self,
+        kind: ScoutingKind,
+        rows: &[usize],
+        dest: usize,
+    ) -> Result<BitVec, CrossbarError> {
+        (**self).scouting_write(kind, rows, dest)
+    }
+
+    fn ledger_totals(&self) -> OpLedger {
+        (**self).ledger_totals()
+    }
+
+    fn ledger_parts(&self) -> Vec<OpLedger> {
+        (**self).ledger_parts()
+    }
+
+    fn remap_table(&self) -> Vec<RemapEntry> {
+        (**self).remap_table()
+    }
 }
 
 impl CrossbarBackend for Crossbar {
@@ -150,6 +217,10 @@ impl CrossbarBackend for Crossbar {
     fn ledger_parts(&self) -> Vec<OpLedger> {
         vec![*self.ledger()]
     }
+
+    fn remap_table(&self) -> Vec<RemapEntry> {
+        Crossbar::remap_table(self)
+    }
 }
 
 impl CrossbarBackend for BankedCrossbar {
@@ -188,6 +259,10 @@ impl CrossbarBackend for BankedCrossbar {
 
     fn ledger_parts(&self) -> Vec<OpLedger> {
         self.bank_ledgers()
+    }
+
+    fn remap_table(&self) -> Vec<RemapEntry> {
+        BankedCrossbar::remap_table(self)
     }
 }
 

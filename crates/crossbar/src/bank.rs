@@ -17,7 +17,7 @@
 //! banked operation are the ones its monolithic counterpart also makes
 //! (the returned row, plus each bank's own result inside [`Crossbar`]).
 
-use crate::{Crossbar, CrossbarError, OpLedger, ScoutingKind};
+use crate::{Crossbar, CrossbarError, OpLedger, RemapEntry, ScoutingKind};
 use memcim_bits::BitVec;
 use memcim_units::{Joules, Seconds, SquareMicrometers, Watts};
 
@@ -63,6 +63,36 @@ impl BankedCrossbar {
         assert!(bank_cols > 0, "banked crossbar needs a non-zero bank width");
         Self {
             banks: (0..bank_count).map(|_| Crossbar::rram(rows, bank_cols)).collect(),
+            bank_cols,
+            stripes: vec![BitVec::new(bank_cols); bank_count],
+        }
+    }
+
+    /// Creates `bank_count` RRAM banks that each reserve `spares` spare
+    /// rows under a stuck-cell retirement `threshold` (see
+    /// [`Crossbar::with_spare_rows`]). The host sees `rows` logical
+    /// rows; each bank holds `rows + spares` physical rows and repairs
+    /// its slice of a degraded logical row independently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension or `threshold` is zero.
+    pub fn rram_with_spares(
+        rows: usize,
+        bank_count: usize,
+        bank_cols: usize,
+        spares: usize,
+        threshold: usize,
+    ) -> Self {
+        assert!(rows > 0, "banked crossbar needs at least one row");
+        assert!(bank_count > 0, "banked crossbar needs at least one bank");
+        assert!(bank_cols > 0, "banked crossbar needs a non-zero bank width");
+        Self {
+            banks: (0..bank_count)
+                .map(|_| {
+                    Crossbar::rram(rows + spares, bank_cols).with_spare_rows(spares, threshold)
+                })
+                .collect(),
             bank_cols,
             stripes: vec![BitVec::new(bank_cols); bank_count],
         }
@@ -225,6 +255,29 @@ impl BankedCrossbar {
     pub fn static_power(&self) -> Watts {
         Watts::new(self.banks.iter().map(|b| b.static_power().as_watts()).sum())
     }
+
+    /// Spare rows still unused, summed over banks.
+    pub fn spares_remaining(&self) -> usize {
+        self.banks.iter().map(Crossbar::spares_remaining).sum()
+    }
+
+    /// Logical-row retirements performed, summed over banks (each bank
+    /// repairs its slice of a logical row independently).
+    pub fn retired_rows(&self) -> u64 {
+        self.banks.iter().map(Crossbar::retired_rows).sum()
+    }
+
+    /// Every bank's non-identity remap entries, tagged with the bank
+    /// index.
+    pub fn remap_table(&self) -> Vec<RemapEntry> {
+        self.banks
+            .iter()
+            .enumerate()
+            .flat_map(|(bank, b)| {
+                b.remap_table().into_iter().map(move |entry| RemapEntry { bank, ..entry })
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -326,6 +379,25 @@ mod tests {
     #[should_panic(expected = "non-zero bank width")]
     fn zero_bank_cols_are_rejected_with_a_clear_message() {
         let _ = BankedCrossbar::rram(2, 2, 0);
+    }
+
+    #[test]
+    fn per_bank_spare_repair_keeps_the_logical_row_intact() {
+        let mut banked = BankedCrossbar::rram_with_spares(4, 2, 16, 1, 1);
+        assert_eq!(banked.rows(), 4, "spares are invisible to the host");
+        assert_eq!(banked.spares_remaining(), 2);
+        let data = BitVec::from_indices(32, &[3, 19]);
+        banked.program_row(0, &data).expect("program");
+        // Break row 0 in bank 1 only and retire it there.
+        let bank1 = banked.bank_mut(1).expect("bank 1");
+        bank1.faults_mut().inject_stuck_at(0, 0, true);
+        bank1.audit().expect("retire");
+        assert_eq!(banked.retired_rows(), 1);
+        assert_eq!(banked.spares_remaining(), 1);
+        let table = banked.remap_table();
+        assert_eq!(table, vec![RemapEntry { bank: 1, logical: 0, physical: 4 }]);
+        // Bank 0 is untouched; bank 1 serves row 0 from its spare.
+        assert_eq!(banked.read_row(0).expect("read"), data);
     }
 
     #[test]

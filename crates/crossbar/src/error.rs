@@ -32,6 +32,21 @@ pub enum CrossbarError {
     },
     /// A device wore out during programming.
     Endurance(DeviceError),
+    /// An ECC-protected read found more faulty bits than the code can
+    /// correct (a double-bit — or worse — error in one codeword).
+    Uncorrectable {
+        /// The logical row whose codeword failed to decode.
+        row: usize,
+    },
+    /// A row crossed its fault-retirement threshold but every reserved
+    /// spare row is already in use — the array can no longer repair
+    /// itself and should be retired from service.
+    ExhaustedSpares {
+        /// The logical row that needed (and was denied) a remap.
+        row: usize,
+        /// How many spare rows the array reserved in total.
+        spares: usize,
+    },
 }
 
 impl fmt::Display for CrossbarError {
@@ -47,7 +62,23 @@ impl fmt::Display for CrossbarError {
                 write!(f, "row vector length {got} does not match column count {expected}")
             }
             CrossbarError::Endurance(e) => write!(f, "endurance failure: {e}"),
+            CrossbarError::Uncorrectable { row } => {
+                write!(f, "uncorrectable multi-bit error in row {row}")
+            }
+            CrossbarError::ExhaustedSpares { row, spares } => {
+                write!(f, "row {row} needs retirement but all {spares} spare rows are in use")
+            }
         }
+    }
+}
+
+impl CrossbarError {
+    /// `true` for the errors that mean the *substrate itself* has lost
+    /// its ability to execute reliably (uncorrectable data, no spares
+    /// left) — as opposed to a malformed request. A serving layer
+    /// reacts to these by retiring the whole engine from its pool.
+    pub fn is_fault_fatal(&self) -> bool {
+        matches!(self, CrossbarError::Uncorrectable { .. } | CrossbarError::ExhaustedSpares { .. })
     }
 }
 

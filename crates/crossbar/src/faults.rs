@@ -10,6 +10,7 @@ use std::collections::HashMap;
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultMap {
     stuck: HashMap<(usize, usize), bool>,
+    per_row: HashMap<usize, usize>,
 }
 
 impl FaultMap {
@@ -20,12 +21,27 @@ impl FaultMap {
 
     /// Injects a stuck-at fault at `(row, col)`.
     pub fn inject_stuck_at(&mut self, row: usize, col: usize, value: bool) {
-        self.stuck.insert((row, col), value);
+        if self.stuck.insert((row, col), value).is_none() {
+            *self.per_row.entry(row).or_insert(0) += 1;
+        }
     }
 
     /// Removes a fault, if present.
     pub fn clear(&mut self, row: usize, col: usize) {
-        self.stuck.remove(&(row, col));
+        if self.stuck.remove(&(row, col)).is_some() {
+            match self.per_row.get_mut(&row) {
+                Some(count) if *count > 1 => *count -= 1,
+                _ => {
+                    self.per_row.remove(&row);
+                }
+            }
+        }
+    }
+
+    /// Number of stuck cells in one row — the quantity a spare-row
+    /// retirement policy thresholds on.
+    pub fn row_fault_count(&self, row: usize) -> usize {
+        self.per_row.get(&row).copied().unwrap_or(0)
     }
 
     /// Number of injected faults.
@@ -86,5 +102,23 @@ mod tests {
         f.inject_stuck_at(0, 0, false); // overwrite, not a new fault
         assert_eq!(f.len(), 2);
         assert_eq!(f.iter().count(), 2);
+    }
+
+    #[test]
+    fn row_counts_track_injections_and_clears() {
+        let mut f = FaultMap::new();
+        assert_eq!(f.row_fault_count(3), 0);
+        f.inject_stuck_at(3, 0, true);
+        f.inject_stuck_at(3, 7, false);
+        f.inject_stuck_at(3, 7, true); // overwrite: still two faults
+        f.inject_stuck_at(5, 1, true);
+        assert_eq!(f.row_fault_count(3), 2);
+        assert_eq!(f.row_fault_count(5), 1);
+        f.clear(3, 7);
+        assert_eq!(f.row_fault_count(3), 1);
+        f.clear(3, 0);
+        f.clear(3, 0); // double clear is a no-op
+        assert_eq!(f.row_fault_count(3), 0);
+        assert_eq!(f.row_fault_count(5), 1);
     }
 }

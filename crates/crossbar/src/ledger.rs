@@ -13,6 +13,7 @@ pub struct OpLedger {
     scouting_ops: u64,
     programs: u64,
     bits_programmed: u64,
+    corrected_errors: u64,
     energy: Joules,
     busy: Seconds,
 }
@@ -45,6 +46,14 @@ impl OpLedger {
         self.busy += latency;
     }
 
+    /// Records `count` single-bit upsets corrected by an ECC decode
+    /// (see [`EccCrossbar`](crate::EccCrossbar)). Corrections ride on
+    /// the read that exposed them, so no extra energy or latency is
+    /// booked here — only the reliability event count.
+    pub(crate) fn record_corrected(&mut self, count: u64) {
+        self.corrected_errors += count;
+    }
+
     /// Number of plain read operations.
     pub fn reads(&self) -> u64 {
         self.reads
@@ -63,6 +72,11 @@ impl OpLedger {
     /// Total cells actually re-programmed (state changes only).
     pub fn bits_programmed(&self) -> u64 {
         self.bits_programmed
+    }
+
+    /// Single-bit upsets corrected by ECC decodes on this substrate.
+    pub fn corrected_errors(&self) -> u64 {
+        self.corrected_errors
     }
 
     /// Total dynamic energy.
@@ -85,6 +99,7 @@ impl OpLedger {
         self.scouting_ops += other.scouting_ops;
         self.programs += other.programs;
         self.bits_programmed += other.bits_programmed;
+        self.corrected_errors += other.corrected_errors;
         self.energy += other.energy;
         self.busy = self.busy.max(other.busy);
     }
@@ -100,6 +115,7 @@ impl OpLedger {
         self.scouting_ops += other.scouting_ops;
         self.programs += other.programs;
         self.bits_programmed += other.bits_programmed;
+        self.corrected_errors += other.corrected_errors;
         self.energy += other.energy;
         self.busy += other.busy;
     }
@@ -114,6 +130,7 @@ impl OpLedger {
             scouting_ops: self.scouting_ops - earlier.scouting_ops,
             programs: self.programs - earlier.programs,
             bits_programmed: self.bits_programmed - earlier.bits_programmed,
+            corrected_errors: self.corrected_errors - earlier.corrected_errors,
             energy: self.energy - earlier.energy,
             busy: self.busy - earlier.busy,
         }

@@ -45,6 +45,25 @@
 //! the maximum over banks** (the wall clock is one bank cycle, not the
 //! sum) — see [`OpLedger::merge_parallel`].
 //!
+//! # Fault tolerance
+//!
+//! The paper flags endurance wear-out and stuck cells as the defining
+//! drawback of memristive substrates (Sections III.C, IV.C); two repair
+//! mechanisms make the stack *survive* them rather than merely model
+//! them:
+//!
+//! * [`EccCrossbar`] wraps any backend with a SEC-DED [`HammingCode`]
+//!   per row: parity columns ride next to the data, reads transparently
+//!   correct single-bit upsets (counted in
+//!   [`OpLedger::corrected_errors`]), and multi-bit corruption surfaces
+//!   as [`CrossbarError::Uncorrectable`] instead of silent wrong data.
+//! * [`Crossbar::with_spare_rows`] reserves spare physical rows: a row
+//!   whose stuck-cell population crosses a threshold is transparently
+//!   retired onto a spare (the remap is visible through
+//!   [`CrossbarBackend::remap_table`]); once every spare is consumed
+//!   the array reports [`CrossbarError::ExhaustedSpares`] so a serving
+//!   layer can retire the whole engine from its pool.
+//!
 //! # Examples
 //!
 //! ```
@@ -70,6 +89,7 @@ mod array;
 mod backend;
 mod bank;
 mod bitline;
+mod ecc;
 mod error;
 mod faults;
 mod ledger;
@@ -77,9 +97,10 @@ mod sense;
 mod technology;
 
 pub use array::Crossbar;
-pub use backend::CrossbarBackend;
+pub use backend::{CrossbarBackend, RemapEntry};
 pub use bank::BankedCrossbar;
 pub use bitline::{BitlineCircuit, DischargeReport};
+pub use ecc::{EccCrossbar, EccOutcome, HammingCode};
 pub use error::CrossbarError;
 pub use faults::FaultMap;
 pub use ledger::OpLedger;

@@ -1,5 +1,6 @@
 //! Sense-amplifier reference placement for scouting logic (Fig. 3b).
 
+use crate::CrossbarError;
 use memcim_units::{Amps, Ohms, Volts};
 
 /// The logic function realized by a multi-row scouting read.
@@ -45,6 +46,38 @@ impl ScoutingKind {
     /// Whether the gate is only defined over exactly two rows.
     pub fn is_window_gate(self) -> bool {
         matches!(self.base(), ScoutingKind::Xor)
+    }
+
+    /// Validates a row selection for this gate — the single source of
+    /// the scouting selection policy (at least two rows, window gates
+    /// over exactly two, rows distinct), shared by every substrate so
+    /// raw and protected arrays accept exactly the same programs.
+    /// Bounds checking stays with the substrate (it knows its
+    /// geometry).
+    ///
+    /// # Errors
+    ///
+    /// [`CrossbarError::InvalidRowSelection`] naming the violated
+    /// constraint.
+    pub fn validate_selection(self, rows: &[usize]) -> Result<(), CrossbarError> {
+        if rows.len() < 2 {
+            return Err(CrossbarError::InvalidRowSelection {
+                constraint: "at least two rows must be activated",
+            });
+        }
+        if self.is_window_gate() && rows.len() != 2 {
+            return Err(CrossbarError::InvalidRowSelection {
+                constraint: "xor/xnor are defined over exactly two rows",
+            });
+        }
+        for (i, &r) in rows.iter().enumerate() {
+            if rows[..i].contains(&r) {
+                return Err(CrossbarError::InvalidRowSelection {
+                    constraint: "rows must be distinct",
+                });
+            }
+        }
+        Ok(())
     }
 }
 

@@ -36,6 +36,9 @@ pub enum ServeError {
     },
     /// An MVP job failed on the engine.
     Mvp(MvpError),
+    /// Every worker engine has been retired (uncorrectable faults or
+    /// exhausted spare rows); MVP jobs can no longer be placed.
+    NoHealthyEngine,
     /// An AP session could not be mapped onto the hardware.
     Ap(ApError),
 }
@@ -53,6 +56,9 @@ impl fmt::Display for ServeError {
             }
             ServeError::Compile { message } => write!(f, "pattern compilation failed: {message}"),
             ServeError::Mvp(e) => write!(f, "MVP job failed: {e}"),
+            ServeError::NoHealthyEngine => {
+                write!(f, "every worker engine has been retired; no healthy MVP engine remains")
+            }
             ServeError::Ap(e) => write!(f, "AP mapping failed: {e}"),
         }
     }

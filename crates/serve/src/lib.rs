@@ -24,6 +24,14 @@
 //!   [`Ticket`] resolves: [`Service::tenant_usage`] returns the client's
 //!   accumulated [`OpLedger`](memcim_crossbar::OpLedger) (serial merge
 //!   of burst deltas) and AP stream costs.
+//! * **Fault tolerance** — engines can run ECC-protected and with spare
+//!   rows ([`ServeConfig::with_ecc`] / [`ServeConfig::with_spare_rows`]);
+//!   a worker whose substrate reports a fault-fatal error (uncorrectable
+//!   data, exhausted spares) retires its engine from the pool and
+//!   requeues the in-flight jobs onto survivors
+//!   ([`Service::retired_engines`]) — tenants see degraded throughput,
+//!   not failures. Only when no healthy engine remains do MVP jobs fail,
+//!   explicitly, with [`ServeError::NoHealthyEngine`].
 //!
 //! # Examples
 //!
@@ -87,7 +95,7 @@ mod session;
 pub use error::ServeError;
 pub use job::{ApMatches, BurstReport, Job, JobOutput, MvpOutput, SessionId, TenantId, Ticket};
 pub use queue::{BoundedQueue, PushRefused};
-pub use service::{ServeConfig, Service, TenantUsage};
+pub use service::{BoxedBackend, EngineFactory, ServeConfig, Service, TenantUsage};
 
 #[cfg(test)]
 mod tests {

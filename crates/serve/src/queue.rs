@@ -123,6 +123,23 @@ impl<T> BoundedQueue<T> {
         true
     }
 
+    /// Re-enqueues an item a consumer had already accepted but could
+    /// not complete (e.g. its engine was retired mid-burst). Bypasses
+    /// the capacity bound — the item was admitted once and must not
+    /// deadlock against producers blocked on backpressure — but still
+    /// refuses once the queue is closed (the caller fails the job
+    /// instead, so shutdown cannot be held open by a requeue loop).
+    pub fn requeue(&self, item: T) -> Result<(), T> {
+        let mut state = self.state.lock().expect("queue lock");
+        if state.closed {
+            return Err(item);
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
     /// Closes the queue: further pushes are refused, consumers drain the
     /// remaining items and then observe the close. Idempotent.
     pub fn close(&self) {
@@ -218,5 +235,19 @@ mod tests {
         q.close();
         assert_eq!(q.push(7), Err(7));
         assert!(q.drain_remaining().is_empty());
+    }
+
+    #[test]
+    fn requeue_bypasses_capacity_but_not_close() {
+        let q = BoundedQueue::new(1);
+        q.push(0u8).expect("open");
+        assert!(matches!(q.try_push(1), Err(PushRefused::Full(1))));
+        q.requeue(2).expect("requeue over capacity");
+        assert_eq!(q.len(), 2);
+        let mut sink = Vec::new();
+        assert!(q.pop_burst(4, &mut sink));
+        assert_eq!(sink, vec![0, 2]);
+        q.close();
+        assert_eq!(q.requeue(3), Err(3));
     }
 }

@@ -9,16 +9,26 @@ use crate::{
     ApMatches, BurstReport, Job, JobOutput, MvpOutput, ServeError, SessionId, TenantId, Ticket,
 };
 use memcim_ap::{ApBackend, ApReport};
-use memcim_crossbar::OpLedger;
-use memcim_mvp::{BatchRequest, MvpSimulator};
+use memcim_crossbar::{BankedCrossbar, CrossbarBackend, EccCrossbar, HammingCode, OpLedger};
+use memcim_mvp::{BatchRequest, MvpError, MvpSimulator};
 use memcim_units::{Joules, Seconds};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+/// A worker's substrate, boxed so one pool can mix raw, banked and
+/// ECC-protected engines (see [`ServeConfig::with_engine_factory`]).
+pub type BoxedBackend = Box<dyn CrossbarBackend + Send>;
+
+/// Builds one worker's substrate from its worker index.
+pub type EngineFactory = Arc<dyn Fn(usize) -> BoxedBackend + Send + Sync>;
+
+type Engine = MvpSimulator<BoxedBackend>;
+
 /// Sizing of the service: worker pool, queue, coalescing window and the
 /// per-worker MVP engine geometry.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ServeConfig {
     /// Worker threads, each owning one banked MVP engine.
     pub workers: usize,
@@ -35,8 +45,39 @@ pub struct ServeConfig {
     /// Columns per bank; the engine's logical width is
     /// `mvp_banks * mvp_bank_cols`.
     pub mvp_bank_cols: usize,
+    /// Wrap every worker engine in SEC-DED ECC
+    /// ([`EccCrossbar`]): the banks grow by the parity overhead so the
+    /// host-visible width stays `mvp_banks * mvp_bank_cols`.
+    pub mvp_ecc: bool,
+    /// Spare rows reserved per bank for transparent row retirement
+    /// (0 disables repair; see [`memcim_crossbar::Crossbar::with_spare_rows`]).
+    pub mvp_spare_rows: usize,
+    /// Stuck-cell count at which a row is retired onto a spare.
+    pub mvp_fault_threshold: usize,
     /// Hardware backend for AP sessions.
     pub ap_backend: ApBackend,
+    /// Overrides engine construction per worker index — fault-injection
+    /// campaigns and heterogeneous pools. `None` builds from the
+    /// geometry fields above.
+    pub engine_factory: Option<EngineFactory>,
+}
+
+impl std::fmt::Debug for ServeConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeConfig")
+            .field("workers", &self.workers)
+            .field("queue_depth", &self.queue_depth)
+            .field("max_burst", &self.max_burst)
+            .field("mvp_rows", &self.mvp_rows)
+            .field("mvp_banks", &self.mvp_banks)
+            .field("mvp_bank_cols", &self.mvp_bank_cols)
+            .field("mvp_ecc", &self.mvp_ecc)
+            .field("mvp_spare_rows", &self.mvp_spare_rows)
+            .field("mvp_fault_threshold", &self.mvp_fault_threshold)
+            .field("ap_backend", &self.ap_backend)
+            .field("engine_factory", &self.engine_factory.as_ref().map(|_| "<custom>"))
+            .finish()
+    }
 }
 
 impl Default for ServeConfig {
@@ -48,7 +89,11 @@ impl Default for ServeConfig {
             mvp_rows: 32,
             mvp_banks: 8,
             mvp_bank_cols: 256,
+            mvp_ecc: false,
+            mvp_spare_rows: 0,
+            mvp_fault_threshold: 1,
             ap_backend: ApBackend::rram(),
+            engine_factory: None,
         }
     }
 }
@@ -92,9 +137,73 @@ impl ServeConfig {
         self
     }
 
+    /// Protects every worker engine with SEC-DED ECC.
+    #[must_use]
+    pub fn with_ecc(mut self, ecc: bool) -> Self {
+        self.mvp_ecc = ecc;
+        self
+    }
+
+    /// Reserves `spares` spare rows per bank, retiring rows at
+    /// `threshold` stuck cells.
+    #[must_use]
+    pub fn with_spare_rows(mut self, spares: usize, threshold: usize) -> Self {
+        self.mvp_spare_rows = spares;
+        self.mvp_fault_threshold = threshold;
+        self
+    }
+
+    /// Overrides engine construction: `factory(worker_index)` builds
+    /// each worker's substrate. The substrate's host-visible width must
+    /// equal [`mvp_width`](Self::mvp_width) for tenant programs to fit.
+    #[must_use]
+    pub fn with_engine_factory(
+        mut self,
+        factory: impl Fn(usize) -> BoxedBackend + Send + Sync + 'static,
+    ) -> Self {
+        self.engine_factory = Some(Arc::new(factory));
+        self
+    }
+
     /// The logical vector width every MVP job must match.
     pub fn mvp_width(&self) -> usize {
         self.mvp_banks * self.mvp_bank_cols
+    }
+
+    /// Builds one worker's substrate per the configuration (or the
+    /// custom factory).
+    fn build_backend(&self, worker: usize) -> BoxedBackend {
+        if let Some(factory) = &self.engine_factory {
+            return factory(worker);
+        }
+        let width = self.mvp_width();
+        // With ECC on, widen each bank so the SEC-DED codeword for the
+        // host-visible width fits (parity columns spread across banks).
+        let bank_cols = if self.mvp_ecc {
+            let overhead = HammingCode::total_bits_for(width) - width;
+            self.mvp_bank_cols + overhead.div_ceil(self.mvp_banks)
+        } else {
+            self.mvp_bank_cols
+        };
+        let banked = if self.mvp_spare_rows > 0 {
+            BankedCrossbar::rram_with_spares(
+                self.mvp_rows,
+                self.mvp_banks,
+                bank_cols,
+                self.mvp_spare_rows,
+                self.mvp_fault_threshold,
+            )
+        } else {
+            BankedCrossbar::rram(self.mvp_rows, self.mvp_banks, bank_cols)
+        };
+        if self.mvp_ecc {
+            Box::new(
+                EccCrossbar::with_data_width(banked, width)
+                    .expect("banks were widened to fit the codeword"),
+            )
+        } else {
+            Box::new(banked)
+        }
     }
 }
 
@@ -149,6 +258,10 @@ struct Shared {
     sessions: SessionTable,
     tenants: std::sync::Mutex<HashMap<TenantId, TenantUsage>>,
     config: ServeConfig,
+    /// Worker engines still serving MVP jobs. Decremented when a worker
+    /// retires its engine on a fault-fatal error; at zero, MVP jobs
+    /// fail with [`ServeError::NoHealthyEngine`] instead of requeueing.
+    live_engines: AtomicUsize,
 }
 
 impl Shared {
@@ -210,6 +323,7 @@ impl Service {
             queue: BoundedQueue::new(config.queue_depth),
             sessions: SessionTable::default(),
             tenants: std::sync::Mutex::new(HashMap::new()),
+            live_engines: AtomicUsize::new(config.workers),
             config: config.clone(),
         });
         let workers = (0..config.workers)
@@ -217,7 +331,7 @@ impl Service {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("memcim-serve-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, i))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -237,6 +351,21 @@ impl Service {
     /// Jobs currently queued (not yet picked up by a worker).
     pub fn pending(&self) -> usize {
         self.shared.queue.len()
+    }
+
+    /// Worker engines still healthy (serving MVP jobs). Starts at
+    /// [`worker_count`](Self::worker_count) and shrinks as engines hit
+    /// fault-fatal errors (uncorrectable data, exhausted spares).
+    pub fn live_engines(&self) -> usize {
+        self.shared.live_engines.load(Ordering::SeqCst)
+    }
+
+    /// Worker engines retired from the pool after fault-fatal errors.
+    /// Their in-flight jobs were requeued onto surviving engines —
+    /// tenants see degraded throughput, not failures. The workers keep
+    /// serving AP streaming jobs.
+    pub fn retired_engines(&self) -> usize {
+        self.worker_count() - self.live_engines()
     }
 
     /// Submits a job for `tenant`, blocking while the queue is full —
@@ -358,24 +487,60 @@ impl Drop for Service {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, worker: usize) {
     let config = &shared.config;
-    let mut mvp = MvpSimulator::banked(config.mvp_rows, config.mvp_banks, config.mvp_bank_cols);
+    let mut engine: Option<Engine> = Some(MvpSimulator::with_backend(config.build_backend(worker)));
     let mut drained = Vec::with_capacity(config.max_burst);
     while shared.queue.pop_burst(config.max_burst, &mut drained) {
         for unit in coalesce(drained.drain(..)) {
-            execute_unit(unit, &mut mvp, shared);
+            execute_unit(unit, &mut engine, shared);
         }
     }
 }
 
-fn execute_unit(
-    unit: Unit,
-    mvp: &mut MvpSimulator<memcim_crossbar::BankedCrossbar>,
-    shared: &Shared,
-) {
+/// `true` when the error means the *engine* is done for (its substrate
+/// can no longer execute reliably), as opposed to a bad request.
+fn is_engine_fatal(error: &MvpError) -> bool {
+    matches!(error, MvpError::Crossbar(e) if e.is_fault_fatal())
+}
+
+/// Drops the worker's engine from the pool (idempotent per worker).
+fn retire_engine(engine: &mut Option<Engine>, shared: &Shared) {
+    if engine.take().is_some() {
+        shared.live_engines.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Re-routes one MVP job whose assigned engine is gone: back onto the
+/// queue while healthy engines remain, otherwise an explicit failure —
+/// a ticket is never stranded.
+fn divert(tenant: TenantId, job: Job, responder: Responder, shared: &Shared) {
+    if shared.live_engines.load(Ordering::SeqCst) == 0 {
+        responder.fulfil(Err(ServeError::NoHealthyEngine));
+        return;
+    }
+    if let Err(envelope) = shared.queue.requeue(Envelope { tenant, job, responder }) {
+        // The queue closed while this job was in flight: same outcome
+        // as any job still queued at shutdown.
+        envelope.responder.fulfil(Err(ServeError::ShuttingDown));
+    }
+    // A worker without an engine must not hot-loop pop→requeue against
+    // survivors that are busy executing: back off long enough for a
+    // healthy worker to return to the queue. (`pop_burst` only blocks
+    // on an *empty* queue, so a busy survivor picks the job up on its
+    // next drain regardless of which thread a notify lands on.)
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+
+fn execute_unit(unit: Unit, engine: &mut Option<Engine>, shared: &Shared) {
     match unit {
         Unit::MvpBurst { tenant, programs } => {
+            let Some(mvp) = engine.as_mut() else {
+                for (program, responder) in programs {
+                    divert(tenant, Job::MvpProgram(program), responder, shared);
+                }
+                return;
+            };
             let mut batch = BatchRequest::new();
             let mut responders = Vec::with_capacity(programs.len());
             for (program, responder) in programs {
@@ -397,6 +562,15 @@ fn execute_unit(
                         })));
                     }
                 }
+                // The substrate died mid-burst: retire this engine from
+                // the pool and requeue every job of the burst (none was
+                // fulfilled) onto the survivors.
+                Err(e) if is_engine_fatal(&e) => {
+                    retire_engine(engine, shared);
+                    for (program, responder) in batch.programs().iter().cloned().zip(responders) {
+                        divert(tenant, Job::MvpProgram(program), responder, shared);
+                    }
+                }
                 // One bad program poisons a coalesced run (run_batch
                 // stops at the first failure), so isolate: re-run every
                 // job alone and report its own outcome.
@@ -407,7 +581,7 @@ fn execute_unit(
                             BatchRequest::new().with_program(program),
                             1,
                             responder,
-                            mvp,
+                            engine,
                             shared,
                         );
                     }
@@ -416,7 +590,7 @@ fn execute_unit(
         }
         Unit::MvpSolo { tenant, batch, responder } => {
             let jobs = 1;
-            run_solo(tenant, batch, jobs, responder, mvp, shared);
+            run_solo(tenant, batch, jobs, responder, engine, shared);
         }
         Unit::ApFeed { tenant, session, chunk, responder } => {
             match shared.sessions.checkout(session, tenant) {
@@ -461,15 +635,23 @@ fn run_solo(
     batch: BatchRequest,
     jobs: u64,
     responder: Responder,
-    mvp: &mut MvpSimulator<memcim_crossbar::BankedCrossbar>,
+    engine: &mut Option<Engine>,
     shared: &Shared,
 ) {
+    let Some(mvp) = engine.as_mut() else {
+        divert(tenant, Job::MvpBatch(batch), responder, shared);
+        return;
+    };
     match mvp.run_batch(&batch) {
         Ok(report) => {
             let burst =
                 BurstReport { jobs: jobs as usize, programs: batch.len(), ledger: report.ledger };
             shared.account_mvp(tenant, &report.ledger, jobs);
             responder.fulfil(Ok(JobOutput::Mvp(MvpOutput { outputs: report.outputs, burst })));
+        }
+        Err(e) if is_engine_fatal(&e) => {
+            retire_engine(engine, shared);
+            divert(tenant, Job::MvpBatch(batch), responder, shared);
         }
         Err(e) => responder.fulfil(Err(e.into())),
     }

@@ -1,0 +1,211 @@
+//! Randomized differential fuzzing of the execution substrates.
+//!
+//! A seeded generator produces random MVP-style programs — stores,
+//! multi-row scouting logic (OR/AND/NOR/NAND and two-row XOR/XNOR) with
+//! write-back, and reads — and runs each program on every substrate:
+//!
+//! * a monolithic [`Crossbar`] (fault-free),
+//! * a [`BankedCrossbar`] striped over 3 banks (fault-free),
+//! * an [`EccCrossbar`] with **injected stuck-at faults** (up to one
+//!   per physical row — the SEC envelope),
+//!
+//! and checks every read against a pure-software boolean reference.
+//! The ECC substrate must be bit-identical to the fault-free reference
+//! *despite* its faults; a raw crossbar carrying the same faults must
+//! visibly diverge (that contrast is what the protection buys).
+
+use memcim_bits::BitVec;
+use memcim_crossbar::{BankedCrossbar, Crossbar, CrossbarBackend, EccCrossbar, ScoutingKind};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const ROWS: usize = 6;
+const WIDTH: usize = 96;
+const BANKS: usize = 3;
+
+/// One random program operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Store { row: usize, data: BitVec },
+    Logic { kind: ScoutingKind, srcs: Vec<usize>, dst: usize },
+    Read { row: usize },
+}
+
+/// The seeded random-program generator: every case is a pure function
+/// of its 64-bit seed.
+fn generate_program(seed: u64) -> Vec<Op> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let len = rng.gen_range(4..=14);
+    let mut program: Vec<Op> = (0..len)
+        .map(|_| match rng.gen_range(0..100u32) {
+            0..=39 => Op::Store {
+                row: rng.gen_range(0..ROWS),
+                data: (0..WIDTH).map(|_| rng.gen_bool(0.5)).collect(),
+            },
+            40..=74 => {
+                let kind = [
+                    ScoutingKind::Or,
+                    ScoutingKind::And,
+                    ScoutingKind::Xor,
+                    ScoutingKind::Nor,
+                    ScoutingKind::Nand,
+                    ScoutingKind::Xnor,
+                ][rng.gen_range(0..6usize)];
+                let wanted = if kind.is_window_gate() { 2 } else { rng.gen_range(2..=3usize) };
+                // Distinct sources, then a destination outside them.
+                let mut rows: Vec<usize> = (0..ROWS).collect();
+                for i in 0..wanted + 1 {
+                    let j = rng.gen_range(i..rows.len());
+                    rows.swap(i, j);
+                }
+                Op::Logic { kind, srcs: rows[..wanted].to_vec(), dst: rows[wanted] }
+            }
+            _ => Op::Read { row: rng.gen_range(0..ROWS) },
+        })
+        .collect();
+    // Every program observes something.
+    program.push(Op::Read { row: rng.gen_range(0..ROWS) });
+    program
+}
+
+/// Pure-software execution: boolean algebra over a row-state model.
+fn run_reference(program: &[Op]) -> Vec<BitVec> {
+    let mut rows = vec![BitVec::new(WIDTH); ROWS];
+    let mut outputs = Vec::new();
+    for op in program {
+        match op {
+            Op::Store { row, data } => rows[*row] = data.clone(),
+            Op::Logic { kind, srcs, dst } => {
+                let mut acc = rows[srcs[0]].clone();
+                for &s in &srcs[1..] {
+                    match kind {
+                        ScoutingKind::Or | ScoutingKind::Nor => acc.or_assign(&rows[s]),
+                        ScoutingKind::And | ScoutingKind::Nand => acc.and_assign(&rows[s]),
+                        ScoutingKind::Xor | ScoutingKind::Xnor => acc.xor_assign(&rows[s]),
+                    }
+                }
+                if matches!(kind, ScoutingKind::Nor | ScoutingKind::Nand | ScoutingKind::Xnor) {
+                    acc = acc.not();
+                }
+                rows[*dst] = acc;
+            }
+            Op::Read { row } => outputs.push(rows[*row].clone()),
+        }
+    }
+    outputs
+}
+
+/// Hardware execution through the backend trait; `Err` only surfaces
+/// substrate faults (fault-free runs never fail on valid programs).
+fn run_backend<B: CrossbarBackend>(
+    xbar: &mut B,
+    program: &[Op],
+) -> Result<Vec<BitVec>, memcim_crossbar::CrossbarError> {
+    let mut outputs = Vec::new();
+    for op in program {
+        match op {
+            Op::Store { row, data } => {
+                xbar.program_row(*row, data)?;
+            }
+            Op::Logic { kind, srcs, dst } => {
+                xbar.scouting_write(*kind, srcs, *dst)?;
+            }
+            Op::Read { row } => outputs.push(xbar.read_row(*row)?),
+        }
+    }
+    Ok(outputs)
+}
+
+/// Injects at most one stuck-at fault per physical row (the single-
+/// error-correction envelope), anywhere in the codeword — data or
+/// parity columns. Returns the number injected.
+fn inject_single_faults(ecc: &mut EccCrossbar<Crossbar>, seed: u64) -> usize {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xFA017);
+    let total = ecc.code().total_bits();
+    let mut injected = 0;
+    for row in 0..ROWS {
+        if rng.gen_bool(0.5) {
+            let col = rng.gen_range(0..total);
+            ecc.inner_mut().faults_mut().inject_stuck_at(row, col, rng.gen_bool(0.5));
+            injected += 1;
+        }
+    }
+    injected
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(224))]
+
+    /// All three substrates are bit-identical to the software reference
+    /// on every seeded program — the ECC one *with* injected faults.
+    #[test]
+    fn substrates_match_the_software_reference(seed in any::<u64>()) {
+        let program = generate_program(seed);
+        let expected = run_reference(&program);
+
+        let mono = run_backend(&mut Crossbar::rram(ROWS, WIDTH), &program)
+            .expect("fault-free crossbar never fails");
+        prop_assert_eq!(&mono, &expected, "monolithic crossbar diverged");
+
+        let banked =
+            run_backend(&mut BankedCrossbar::rram(ROWS, BANKS, WIDTH / BANKS), &program)
+                .expect("fault-free banked crossbar never fails");
+        prop_assert_eq!(&banked, &expected, "banked crossbar diverged");
+
+        let mut ecc = EccCrossbar::rram(ROWS, WIDTH);
+        inject_single_faults(&mut ecc, seed);
+        let protected =
+            run_backend(&mut ecc, &program).expect("single faults are within SEC");
+        prop_assert_eq!(&protected, &expected, "ECC failed to mask its injected faults");
+    }
+}
+
+/// The contrast that justifies the parity columns: the same injected
+/// faults that the ECC substrate masks make a raw crossbar visibly
+/// diverge from the reference on a healthy fraction of random programs.
+#[test]
+fn raw_substrate_visibly_diverges_where_ecc_does_not() {
+    let mut raw_divergences = 0u32;
+    let mut faulted_cases = 0u32;
+    for seed in 0..60u64 {
+        let program = generate_program(seed);
+        let expected = run_reference(&program);
+
+        // Same fault pattern for both substrates, restricted to data
+        // columns so the raw (parity-less) array can host it.
+        let mut fault_rng = SmallRng::seed_from_u64(seed ^ 0xBAD);
+        let mut faults: Vec<(usize, usize, bool)> = Vec::new();
+        for row in 0..ROWS {
+            if fault_rng.gen_bool(0.5) {
+                faults.push((row, fault_rng.gen_range(0..WIDTH), fault_rng.gen_bool(0.5)));
+            }
+        }
+        if faults.is_empty() {
+            continue;
+        }
+        faulted_cases += 1;
+
+        let mut raw = Crossbar::rram(ROWS, WIDTH);
+        for &(row, col, value) in &faults {
+            raw.faults_mut().inject_stuck_at(row, col, value);
+        }
+        let raw_out = run_backend(&mut raw, &program).expect("stuck cells do not error");
+        if raw_out != expected {
+            raw_divergences += 1;
+        }
+
+        let mut ecc = EccCrossbar::rram(ROWS, WIDTH);
+        for &(row, col, value) in &faults {
+            ecc.inner_mut().faults_mut().inject_stuck_at(row, col, value);
+        }
+        let ecc_out = run_backend(&mut ecc, &program).expect("within SEC");
+        assert_eq!(ecc_out, expected, "seed {seed}: ECC must mask what raw suffers");
+    }
+    assert!(faulted_cases >= 30, "the sweep must actually inject faults");
+    assert!(
+        raw_divergences * 2 >= faulted_cases,
+        "stuck cells must corrupt raw outputs in at least half the faulted cases \
+         ({raw_divergences}/{faulted_cases})"
+    );
+}
