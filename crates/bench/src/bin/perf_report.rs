@@ -49,6 +49,7 @@ const REQUIRED_CONFIGS: &[&str] = &[
     "serve_bitmap_qps_1w",
     "serve_bitmap_qps_4w",
     "serve_bitmap_qps_8w",
+    "serve_net_qps",
     "yield_report",
 ];
 
@@ -223,6 +224,44 @@ fn run_workloads(quick: bool) -> Vec<ConfigResult> {
             }
         }));
         service.shutdown();
+    }
+
+    // --- Network front door: framed TCP round-trip QPS -----------------
+    // The same small bitmap queries, but through the full wire path: a
+    // live `NetServer` on loopback, one authenticated `NetClient`, one
+    // request in flight at a time. Each unit is a complete round trip —
+    // encode, frame, TCP, auth/admission, queue, engine, encode back —
+    // so the gap between this number and `serve_bitmap_qps_*` is the
+    // per-request cost of the network front door itself. Tail latency
+    // under deliberate overload is the `serve_load` binary's job, not
+    // this config's.
+    {
+        let service = std::sync::Arc::new(
+            Service::try_start(
+                ServeConfig::default()
+                    .with_workers(4)
+                    .with_queue_depth(jobs_per_iter)
+                    .with_max_burst(8)
+                    .with_mvp_geometry(32, 64, serve_records / 64),
+            )
+            .expect("service starts"),
+        );
+        let server = memcim_serve::net::NetServer::start(
+            std::sync::Arc::clone(&service),
+            memcim_serve::net::NetConfig::default()
+                .with_tenant(1, memcim_serve::net::TenantPolicy::new("perf-report-token")),
+        )
+        .expect("server starts");
+        let mut client =
+            memcim_serve::net::NetClient::connect(server.local_addr()).expect("client connects");
+        client.hello(1, "perf-report-token").expect("tenant is provisioned");
+        results.push(measure("serve_net_qps", "query", jobs_per_iter as u64, budget, || {
+            for i in 0..jobs_per_iter {
+                let plan = serve_plans[i % serve_plans.len()].clone();
+                std::hint::black_box(client.submit_mvp(&[plan]).expect("query runs"));
+            }
+        }));
+        server.shutdown();
     }
 
     // --- Fault-tolerance yield harness ---------------------------------

@@ -1,0 +1,200 @@
+//! Closed-loop TCP load generator for the `memcim-serve` network front
+//! door: N client threads, each with its own loopback connection and
+//! tenant, hammer a live [`NetServer`] with bitmap MVP queries and
+//! record per-request latency. The report is the latency distribution
+//! (p50/p95/p99), accepted QPS, and — because the client count is
+//! deliberately larger than the queue — the number of requests the
+//! admission path refused with typed `OverCapacity` frames instead of
+//! blocking.
+//!
+//! ```text
+//! serve_load [--quick] [--clients N] [--workers W] [--queue-depth Q]
+//!            [--duration-ms MS]
+//! ```
+//!
+//! * `--quick` shrinks the run for CI smoke (4 clients, 150 ms).
+//! * Defaults: 16 clients, 4 workers, queue depth 8, 2000 ms.
+//!
+//! Unlike `perf_report`'s `serve_net_qps` config (one connection,
+//! sequential round trips — the committed trajectory number), this
+//! binary is the *overload* instrument: concurrency exceeds capacity
+//! on purpose, so tail latency and refusal behavior are visible.
+
+use memcim_mvp::Instruction;
+use memcim_serve::net::{ClientError, ErrorCode, NetClient, NetConfig, NetServer, TenantPolicy};
+use memcim_serve::{ServeConfig, Service};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Same fixed seed as `perf_report` (the paper's year).
+const SEED: u64 = 2018;
+
+/// Per-tenant auth token (the generator provisions every tenant).
+fn token(tenant: u64) -> String {
+    format!("load-tenant-{tenant}")
+}
+
+struct Args {
+    clients: usize,
+    workers: usize,
+    queue_depth: usize,
+    duration: Duration,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args =
+        Args { clients: 16, workers: 4, queue_depth: 8, duration: Duration::from_millis(2000) };
+    let mut it = argv.iter();
+    let number = |it: &mut std::slice::Iter<'_, String>, flag: &str| -> u64 {
+        it.next()
+            .unwrap_or_else(|| panic!("{flag} needs a value"))
+            .parse()
+            .unwrap_or_else(|e| panic!("{flag}: {e}"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => {
+                args.clients = 4;
+                args.duration = Duration::from_millis(150);
+            }
+            "--clients" => args.clients = number(&mut it, "--clients") as usize,
+            "--workers" => args.workers = number(&mut it, "--workers") as usize,
+            "--queue-depth" => args.queue_depth = number(&mut it, "--queue-depth") as usize,
+            "--duration-ms" => {
+                args.duration = Duration::from_millis(number(&mut it, "--duration-ms"))
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!(
+                    "usage: serve_load [--quick] [--clients N] [--workers W] \
+                     [--queue-depth Q] [--duration-ms MS]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    assert!(args.clients > 0, "--clients must be positive");
+    args
+}
+
+/// What one client thread observed.
+struct ClientReport {
+    /// Latency of each accepted request, in nanoseconds.
+    latencies_ns: Vec<u64>,
+    /// Requests refused before queue admission (typed `OverCapacity`).
+    over_capacity: u64,
+}
+
+fn percentile(sorted_ns: &[u64], p: f64) -> u64 {
+    if sorted_ns.is_empty() {
+        return 0;
+    }
+    let rank = (p * (sorted_ns.len() - 1) as f64).round() as usize;
+    sorted_ns[rank.min(sorted_ns.len() - 1)]
+}
+
+fn main() {
+    let args = parse_args();
+
+    // The same small-query bitmap workload as perf_report's serving
+    // configs: 2048 records striped over 64 banks, four query plans.
+    let records = 2_048usize;
+    let mut rng = SmallRng::seed_from_u64(SEED);
+    let col1: Vec<u8> = (0..records).map(|_| rng.gen_range(0..16)).collect();
+    let col2: Vec<u8> = (0..records).map(|_| rng.gen_range(0..8)).collect();
+    let table = memcim_mvp::workloads::bitmap::BitmapTable::new(col1, col2, 16);
+    let queries: [(&[u8], &[u8]); 4] =
+        [(&[1, 4, 9], &[0, 3]), (&[2, 5], &[1, 6]), (&[11], &[2, 4, 7]), (&[0, 8, 14], &[5])];
+    let plans: Vec<Vec<Instruction>> =
+        queries.iter().map(|(s1, s2)| table.query_plan(s1, s2)).collect();
+
+    let service = Arc::new(
+        Service::try_start(
+            ServeConfig::default()
+                .with_workers(args.workers)
+                .with_queue_depth(args.queue_depth)
+                .with_max_burst(8)
+                .with_mvp_geometry(32, 64, records / 64),
+        )
+        .expect("service starts"),
+    );
+    let mut net = NetConfig::default();
+    for tenant in 0..args.clients as u64 {
+        net = net.with_tenant(tenant, TenantPolicy::new(token(tenant)));
+    }
+    let server = NetServer::start(Arc::clone(&service), net).expect("server starts");
+    let addr = server.local_addr();
+
+    let started = Instant::now();
+    let deadline = started + args.duration;
+    let reports: Vec<ClientReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.clients)
+            .map(|i| {
+                let plans = &plans;
+                scope.spawn(move || {
+                    let tenant = i as u64;
+                    let mut client = NetClient::connect(addr).expect("client connects");
+                    client.hello(tenant, &token(tenant)).expect("tenant is provisioned");
+                    let mut report = ClientReport { latencies_ns: Vec::new(), over_capacity: 0 };
+                    let mut next = i; // stagger plan rotation across clients
+                    while Instant::now() < deadline {
+                        let plan = plans[next % plans.len()].clone();
+                        next += 1;
+                        let sent = Instant::now();
+                        match client.submit_mvp(&[plan]) {
+                            Ok(_) => {
+                                report.latencies_ns.push(sent.elapsed().as_nanos() as u64);
+                            }
+                            Err(ClientError::Server { code: ErrorCode::OverCapacity, .. }) => {
+                                report.over_capacity += 1
+                            }
+                            Err(e) => panic!("client {i}: unexpected failure: {e}"),
+                        }
+                    }
+                    report
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread joins")).collect()
+    });
+    let wall = started.elapsed();
+    server.shutdown();
+    drop(service);
+
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut refused = 0u64;
+    for report in &reports {
+        latencies.extend_from_slice(&report.latencies_ns);
+        refused += report.over_capacity;
+    }
+    latencies.sort_unstable();
+    let accepted = latencies.len() as u64;
+    let qps = accepted as f64 / wall.as_secs_f64();
+    let us = |ns: u64| memcim_bench::fmt(ns as f64 / 1e3, 1);
+
+    println!(
+        "{}",
+        memcim_bench::table(
+            &[
+                "clients", "workers", "queue", "wall_ms", "accepted", "refused", "qps", "p50_us",
+                "p95_us", "p99_us"
+            ],
+            &[vec![
+                args.clients.to_string(),
+                args.workers.to_string(),
+                args.queue_depth.to_string(),
+                memcim_bench::fmt(wall.as_secs_f64() * 1e3, 0),
+                accepted.to_string(),
+                refused.to_string(),
+                memcim_bench::fmt(qps, 0),
+                us(percentile(&latencies, 0.50)),
+                us(percentile(&latencies, 0.95)),
+                us(percentile(&latencies, 0.99)),
+            ]],
+        )
+    );
+    assert!(accepted > 0, "the load generator must complete at least one request");
+}

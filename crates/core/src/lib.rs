@@ -18,7 +18,7 @@
 //! | [`memcim_automata`] | regex → NFA → homogeneous automata |
 //! | [`memcim_ap`] | generic AP model + RRAM/SRAM/SDRAM backends |
 //! | [`memcim_mvp`] | MVP simulator + Fig. 4 architecture model |
-//! | [`memcim_serve`] | concurrent multi-tenant query service over the banked engines |
+//! | [`memcim_serve`] | concurrent multi-tenant query service over the banked engines, plus its framed-TCP network front door (`memcim_serve::net`) |
 //!
 //! ## Quick start
 //!
@@ -85,6 +85,7 @@ pub mod prelude {
     pub use memcim_mvp::{
         evaluate, BatchReport, BatchRequest, Instruction, MissRates, MvpSimulator, SystemConfig,
     };
+    pub use memcim_serve::net::{NetClient, NetConfig, NetServer, TenantPolicy};
     pub use memcim_serve::{Job, JobOutput, ServeConfig, ServeError, Service, TenantUsage, Ticket};
     pub use memcim_spice::{Circuit, Edge, Integration, SolverKind, Transient, Waveform};
     pub use memcim_units::{

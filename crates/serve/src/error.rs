@@ -1,6 +1,6 @@
 //! Error type for the serving layer.
 
-use crate::SessionId;
+use crate::{SessionId, TenantId};
 use core::fmt;
 use memcim_ap::ApError;
 use memcim_mvp::MvpError;
@@ -41,6 +41,34 @@ pub enum ServeError {
     NoHealthyEngine,
     /// An AP session could not be mapped onto the hardware.
     Ap(ApError),
+    /// Admission control refused the submission: the tenant's token
+    /// bucket is empty (requests arrived faster than the configured
+    /// refill rate). Retry after backing off — nothing was queued.
+    RateLimited {
+        /// The tenant whose bucket ran dry.
+        tenant: TenantId,
+    },
+    /// Admission control refused the submission: the tenant has
+    /// exhausted its job quota. Nothing was queued.
+    QuotaExceeded {
+        /// The tenant whose quota is spent.
+        tenant: TenantId,
+        /// The configured quota (jobs).
+        limit: u64,
+    },
+    /// A network request arrived before the connection authenticated
+    /// with a `Hello` frame.
+    Unauthenticated,
+    /// Authentication failed: the tenant is unknown or the token does
+    /// not match.
+    BadCredentials,
+    /// An internal service failure that is neither the client's fault
+    /// nor an engine fault — e.g. the OS refused to spawn a worker
+    /// thread. The job (if any) was not executed.
+    Internal {
+        /// What failed, for the operator's log.
+        message: String,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -60,6 +88,17 @@ impl fmt::Display for ServeError {
                 write!(f, "every worker engine has been retired; no healthy MVP engine remains")
             }
             ServeError::Ap(e) => write!(f, "AP mapping failed: {e}"),
+            ServeError::RateLimited { tenant } => {
+                write!(f, "tenant {tenant} is over its request rate: token bucket empty")
+            }
+            ServeError::QuotaExceeded { tenant, limit } => {
+                write!(f, "tenant {tenant} has exhausted its quota of {limit} jobs")
+            }
+            ServeError::Unauthenticated => {
+                write!(f, "connection has not authenticated (send Hello first)")
+            }
+            ServeError::BadCredentials => write!(f, "unknown tenant or wrong token"),
+            ServeError::Internal { message } => write!(f, "internal service failure: {message}"),
         }
     }
 }
@@ -96,6 +135,11 @@ mod tests {
         assert!(ServeError::UnknownSession { session: 42 }.to_string().contains("42"));
         let e: ServeError = MvpError::RowOutOfRange { row: 9, rows: 4 }.into();
         assert!(e.to_string().contains("row 9"));
+        assert!(ServeError::RateLimited { tenant: 3 }.to_string().contains("tenant 3"));
+        let quota = ServeError::QuotaExceeded { tenant: 5, limit: 100 };
+        assert!(quota.to_string().contains("100 jobs"));
+        let internal = ServeError::Internal { message: "spawn failed".into() };
+        assert!(internal.to_string().contains("spawn failed"));
     }
 
     #[test]

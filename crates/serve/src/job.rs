@@ -1,6 +1,6 @@
 //! Jobs, their results, and the ticket a client waits on.
 
-use crate::ServeError;
+use crate::{sync, ServeError};
 use memcim_ap::ApReport;
 use memcim_bits::BitVec;
 use memcim_crossbar::OpLedger;
@@ -148,9 +148,9 @@ impl Ticket {
     /// [`ServeError::ShuttingDown`] when the service closed before the
     /// job ran.
     pub fn wait(self) -> Result<JobOutput, ServeError> {
-        let mut guard = self.slot.result.lock().expect("ticket lock");
+        let mut guard = sync::lock(&self.slot.result);
         while guard.is_none() {
-            guard = self.slot.ready.wait(guard).expect("ticket lock");
+            guard = sync::wait(&self.slot.ready, guard);
         }
         guard.take().expect("checked above")
     }
@@ -158,7 +158,7 @@ impl Ticket {
     /// `true` once the result is available ([`wait`](Self::wait) will
     /// not block).
     pub fn is_ready(&self) -> bool {
-        self.slot.result.lock().expect("ticket lock").is_some()
+        sync::lock(&self.slot.result).is_some()
     }
 }
 
@@ -181,7 +181,7 @@ impl Responder {
             return;
         }
         self.sent = true;
-        *self.slot.result.lock().expect("ticket lock") = Some(result);
+        *sync::lock(&self.slot.result) = Some(result);
         self.slot.ready.notify_all();
     }
 }

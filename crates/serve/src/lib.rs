@@ -32,6 +32,13 @@
 //!   ([`Service::retired_engines`]) — tenants see degraded throughput,
 //!   not failures. Only when no healthy engine remains do MVP jobs fail,
 //!   explicitly, with [`ServeError::NoHealthyEngine`].
+//! * **Network front door** — the [`net`] module puts the service on a
+//!   real socket: a framed TCP wire protocol
+//!   (submit / stream / usage / stats verbs) served by [`net::NetServer`]
+//!   over `std` threads, with per-tenant token authentication and
+//!   admission control (job quotas and token-bucket rate limits that
+//!   refuse with typed error frames *before* the bounded queue), and
+//!   [`net::NetClient`] as the matching blocking client.
 //!
 //! # Examples
 //!
@@ -88,9 +95,11 @@
 mod coalesce;
 mod error;
 mod job;
+pub mod net;
 mod queue;
 mod service;
 mod session;
+mod sync;
 
 pub use error::ServeError;
 pub use job::{ApMatches, BurstReport, Job, JobOutput, MvpOutput, SessionId, TenantId, Ticket};

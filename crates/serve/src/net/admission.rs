@@ -1,0 +1,272 @@
+//! Admission control: the gate *in front of* the bounded queue.
+//!
+//! The in-process [`Service`](crate::Service) applies backpressure by
+//! blocking (`submit`) or refusing (`try_submit`) at the queue. Over a
+//! network that is not enough: a single greedy client could keep the
+//! queue pinned at capacity and starve every other tenant, and a
+//! blocked `push` would stall the connection handler. So the network
+//! layer checks three things — in order — *before* a job is allowed
+//! anywhere near the queue:
+//!
+//! 1. **Authentication** — the connection presented the tenant's token
+//!    in its `Hello` frame ([`TenantPolicy::token`]).
+//! 2. **Quota** — the tenant's lifetime job allowance is not spent
+//!    ([`TenantPolicy::with_quota`]).
+//! 3. **Rate** — the tenant's [`TokenBucket`] holds enough tokens for
+//!    the batch ([`TenantPolicy::with_rate`]).
+//!
+//! Only then does the server call `Service::try_submit`; a full queue
+//! at that point still comes back as a typed
+//! [`ErrorCode::OverCapacity`](super::wire::ErrorCode::OverCapacity)
+//! frame rather than a blocked socket.
+//!
+//! Time is passed in explicitly ([`Instant`]) so rate behaviour is
+//! deterministic under test.
+
+use crate::{ServeError, TenantId};
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A token-bucket rate limit: sustained `jobs_per_sec` with bursts up
+/// to `burst`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateLimit {
+    /// Bucket capacity — how many jobs may land back-to-back.
+    pub burst: u32,
+    /// Refill rate. A rate of `0.0` admits only the initial burst,
+    /// which is how the tests exhaust a tenant deterministically.
+    pub jobs_per_sec: f64,
+}
+
+/// A token bucket refilled continuously at a fixed rate.
+///
+/// The clock is an explicit parameter: callers pass `Instant::now()` in
+/// production and fabricated instants under test, so limit behaviour
+/// can be pinned without sleeping.
+#[derive(Debug)]
+pub struct TokenBucket {
+    limit: RateLimit,
+    tokens: f64,
+    refilled_at: Option<Instant>,
+}
+
+impl TokenBucket {
+    /// A bucket starting full at `limit.burst` tokens.
+    pub fn new(limit: RateLimit) -> Self {
+        Self { limit, tokens: f64::from(limit.burst), refilled_at: None }
+    }
+
+    /// Takes `n` tokens at time `now`, or reports how short the bucket
+    /// is. `Instant`s earlier than the previous call add no tokens
+    /// (time never runs backwards a bucket).
+    pub fn try_take(&mut self, n: u32, now: Instant) -> Result<(), f64> {
+        if let Some(previous) = self.refilled_at {
+            let elapsed = now.saturating_duration_since(previous).as_secs_f64();
+            let cap = f64::from(self.limit.burst);
+            self.tokens = (self.tokens + elapsed * self.limit.jobs_per_sec).min(cap);
+        }
+        self.refilled_at = Some(self.refilled_at.map_or(now, |previous| now.max(previous)));
+        let need = f64::from(n);
+        if self.tokens + 1e-9 >= need {
+            self.tokens -= need;
+            Ok(())
+        } else {
+            Err(need - self.tokens)
+        }
+    }
+}
+
+/// A tenant's credentials and limits, registered with
+/// [`NetConfig::with_tenant`](super::server::NetConfig::with_tenant).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantPolicy {
+    token: String,
+    quota: Option<u64>,
+    rate: Option<RateLimit>,
+}
+
+impl TenantPolicy {
+    /// A policy with the given authentication token, no quota and no
+    /// rate limit.
+    pub fn new(token: impl Into<String>) -> Self {
+        Self { token: token.into(), quota: None, rate: None }
+    }
+
+    /// Caps the tenant's lifetime job count at `max_jobs`.
+    #[must_use]
+    pub fn with_quota(mut self, max_jobs: u64) -> Self {
+        self.quota = Some(max_jobs);
+        self
+    }
+
+    /// Rate-limits the tenant to `jobs_per_sec` sustained, `burst`
+    /// back-to-back.
+    #[must_use]
+    pub fn with_rate(mut self, burst: u32, jobs_per_sec: f64) -> Self {
+        self.rate = Some(RateLimit { burst, jobs_per_sec });
+        self
+    }
+
+    /// The tenant's authentication token.
+    pub fn token(&self) -> &str {
+        &self.token
+    }
+}
+
+struct TenantGate {
+    policy: TenantPolicy,
+    bucket: Option<TokenBucket>,
+    admitted: u64,
+}
+
+/// The server's per-tenant admission state: token table, quota
+/// counters and rate buckets.
+pub struct AdmissionControl {
+    gates: Mutex<HashMap<TenantId, TenantGate>>,
+}
+
+impl AdmissionControl {
+    /// Builds the gate from the configured tenant policies.
+    pub fn new(policies: impl IntoIterator<Item = (TenantId, TenantPolicy)>) -> Self {
+        let gates = policies
+            .into_iter()
+            .map(|(tenant, policy)| {
+                let bucket = policy.rate.map(TokenBucket::new);
+                (tenant, TenantGate { policy, bucket, admitted: 0 })
+            })
+            .collect();
+        Self { gates: Mutex::new(gates) }
+    }
+
+    /// Checks a `Hello`: is `token` the registered token for `tenant`?
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadCredentials`] for unknown tenants and wrong
+    /// tokens alike — the caller cannot probe which tenants exist.
+    pub fn authenticate(&self, tenant: TenantId, token: &str) -> Result<(), ServeError> {
+        let gates = crate::sync::lock(&self.gates);
+        match gates.get(&tenant) {
+            Some(gate) if constant_shape_eq(gate.policy.token.as_bytes(), token.as_bytes()) => {
+                Ok(())
+            }
+            _ => Err(ServeError::BadCredentials),
+        }
+    }
+
+    /// Admits (or refuses) a batch of `jobs` for `tenant` at time
+    /// `now`: quota first, then the rate bucket. On success the quota
+    /// counter and bucket are both charged; on refusal neither is.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::QuotaExceeded`] or [`ServeError::RateLimited`];
+    /// [`ServeError::BadCredentials`] if the tenant was never
+    /// registered (the connection should not have authenticated).
+    pub fn admit(&self, tenant: TenantId, jobs: u32, now: Instant) -> Result<(), ServeError> {
+        let mut gates = crate::sync::lock(&self.gates);
+        let gate = gates.get_mut(&tenant).ok_or(ServeError::BadCredentials)?;
+        if let Some(limit) = gate.policy.quota {
+            if gate.admitted + u64::from(jobs) > limit {
+                return Err(ServeError::QuotaExceeded { tenant, limit });
+            }
+        }
+        if let Some(bucket) = &mut gate.bucket {
+            if bucket.try_take(jobs, now).is_err() {
+                return Err(ServeError::RateLimited { tenant });
+            }
+        }
+        gate.admitted += u64::from(jobs);
+        Ok(())
+    }
+}
+
+/// Compares two byte strings without early exit on the first mismatch
+/// (their lengths still shape the timing; token lengths are not
+/// secret).
+fn constant_shape_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    a.iter().zip(b).fold(0u8, |acc, (x, y)| acc | (x ^ y)) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn gate() -> AdmissionControl {
+        AdmissionControl::new([
+            (1, TenantPolicy::new("alpha").with_quota(5)),
+            (2, TenantPolicy::new("beta").with_rate(3, 2.0)),
+            (3, TenantPolicy::new("gamma")),
+        ])
+    }
+
+    #[test]
+    fn auth_accepts_the_right_token_only() {
+        let gate = gate();
+        assert!(gate.authenticate(1, "alpha").is_ok());
+        assert_eq!(gate.authenticate(1, "alphA"), Err(ServeError::BadCredentials));
+        assert_eq!(gate.authenticate(1, "alph"), Err(ServeError::BadCredentials));
+        assert_eq!(gate.authenticate(99, "alpha"), Err(ServeError::BadCredentials));
+    }
+
+    #[test]
+    fn quota_is_a_lifetime_cap_and_refusals_do_not_charge_it() {
+        let gate = gate();
+        let now = Instant::now();
+        gate.admit(1, 3, now).expect("within quota");
+        // A 3-job batch would overflow the 5-job quota: refused whole...
+        assert_eq!(gate.admit(1, 3, now), Err(ServeError::QuotaExceeded { tenant: 1, limit: 5 }));
+        // ...and since refusal charged nothing, 2 more still fit.
+        gate.admit(1, 2, now).expect("exactly at quota");
+        assert_eq!(gate.admit(1, 1, now), Err(ServeError::QuotaExceeded { tenant: 1, limit: 5 }));
+    }
+
+    #[test]
+    fn rate_bucket_drains_and_refills_on_the_explicit_clock() {
+        let gate = gate();
+        let t0 = Instant::now();
+        gate.admit(2, 3, t0).expect("full burst admitted");
+        assert_eq!(gate.admit(2, 1, t0), Err(ServeError::RateLimited { tenant: 2 }));
+        // 2 jobs/sec: one second later two tokens are back.
+        let t1 = t0 + Duration::from_secs(1);
+        gate.admit(2, 2, t1).expect("refilled");
+        assert_eq!(gate.admit(2, 1, t1), Err(ServeError::RateLimited { tenant: 2 }));
+        // The bucket never overfills past its burst.
+        let t2 = t1 + Duration::from_secs(3600);
+        gate.admit(2, 3, t2).expect("capped at burst");
+        assert_eq!(gate.admit(2, 1, t2), Err(ServeError::RateLimited { tenant: 2 }));
+    }
+
+    #[test]
+    fn a_zero_rate_bucket_admits_only_its_initial_burst() {
+        let gate = AdmissionControl::new([(7, TenantPolicy::new("t").with_rate(2, 0.0))]);
+        let t0 = Instant::now();
+        gate.admit(7, 2, t0).expect("initial burst");
+        let much_later = t0 + Duration::from_secs(1_000_000);
+        assert_eq!(gate.admit(7, 1, much_later), Err(ServeError::RateLimited { tenant: 7 }));
+    }
+
+    #[test]
+    fn unlimited_tenants_sail_through() {
+        let gate = gate();
+        let now = Instant::now();
+        for _ in 0..1000 {
+            gate.admit(3, 10, now).expect("no limits configured");
+        }
+    }
+
+    #[test]
+    fn time_running_backwards_adds_no_tokens() {
+        let mut bucket = TokenBucket::new(RateLimit { burst: 1, jobs_per_sec: 1000.0 });
+        let t0 = Instant::now();
+        bucket.try_take(1, t0).expect("burst");
+        // An earlier instant must not mint tokens.
+        let earlier = t0.checked_sub(Duration::from_secs(5)).unwrap_or(t0);
+        assert!(bucket.try_take(1, earlier).is_err());
+    }
+}

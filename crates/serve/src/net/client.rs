@@ -1,0 +1,260 @@
+//! A blocking client for the framed protocol — used by the tests, the
+//! load generator, and external callers that want a typed API instead
+//! of raw frames.
+
+use super::wire::{
+    read_frame, write_frame, ErrorCode, FrameError, FrameReadError, Request, Response,
+    WireMvpResult, WireStats, WireUsage, MAX_FRAME_DEFAULT,
+};
+use crate::{ApMatches, SessionId, TenantId};
+use core::fmt;
+use memcim_ap::ApReport;
+use memcim_mvp::Instruction;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Why a client call failed.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ClientError {
+    /// The transport failed: socket error, connection cut, or an
+    /// oversized frame from the server.
+    Transport(FrameReadError),
+    /// The server's response body did not decode.
+    Frame(FrameError),
+    /// The server answered with a typed error frame.
+    Server {
+        /// The typed failure code.
+        code: ErrorCode,
+        /// The server's human-readable detail.
+        message: String,
+    },
+    /// The server answered with a well-formed response of the wrong
+    /// kind for the request (a protocol bug, not a user error).
+    Unexpected {
+        /// What arrived instead.
+        got: &'static str,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Transport(e) => write!(f, "transport failed: {e}"),
+            ClientError::Frame(e) => write!(f, "undecodable response: {e}"),
+            ClientError::Server { code, message } => write!(f, "server error ({code}): {message}"),
+            ClientError::Unexpected { got } => write!(f, "unexpected response kind: {got}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Transport(FrameReadError::Io(e))
+    }
+}
+
+impl ClientError {
+    /// The server's error code, when the failure was a typed error
+    /// frame.
+    pub fn server_code(&self) -> Option<ErrorCode> {
+        match self {
+            ClientError::Server { code, .. } => Some(*code),
+            _ => None,
+        }
+    }
+}
+
+/// A blocking connection to a [`NetServer`](super::server::NetServer).
+///
+/// One request at a time: every method writes one frame and blocks for
+/// its one response. See the [module example](super).
+pub struct NetClient {
+    stream: TcpStream,
+    max_frame: usize,
+}
+
+impl NetClient {
+    /// Connects, accepting responses up to [`MAX_FRAME_DEFAULT`].
+    ///
+    /// # Errors
+    ///
+    /// The socket error, as [`ClientError::Transport`].
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        // Frames are written as header + body; NODELAY keeps Nagle from
+        // parking the second small write behind a delayed ACK.
+        let _ = stream.set_nodelay(true);
+        Ok(Self { stream, max_frame: MAX_FRAME_DEFAULT })
+    }
+
+    /// Raises (or lowers) the largest response body this client will
+    /// accept.
+    #[must_use]
+    pub fn with_max_frame(mut self, max_frame: usize) -> Self {
+        self.max_frame = max_frame;
+        self
+    }
+
+    /// Sends one request frame and blocks for its response frame.
+    /// Typed error frames come back as [`ClientError::Server`].
+    ///
+    /// This is the raw exchange the typed methods are built on; it is
+    /// public so tests and tools can speak verbs directly.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] — see each variant.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &request.encode())?;
+        let body = read_frame(&mut self.stream, self.max_frame).map_err(ClientError::Transport)?;
+        match Response::decode(&body).map_err(ClientError::Frame)? {
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            response => Ok(response),
+        }
+    }
+
+    /// Authenticates the connection as `tenant`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with
+    /// [`ErrorCode::BadCredentials`] when the token is wrong.
+    pub fn hello(&mut self, tenant: TenantId, token: &str) -> Result<(), ClientError> {
+        match self.request(&Request::Hello { tenant, token: token.to_string() })? {
+            Response::HelloOk => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Submits MVP programs and blocks for their outputs.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] carrying the admission refusal
+    /// (`QuotaExceeded`, `RateLimited`, `OverCapacity`) or the engine
+    /// failure.
+    pub fn submit_mvp(
+        &mut self,
+        programs: &[Vec<Instruction>],
+    ) -> Result<WireMvpResult, ClientError> {
+        match self.request(&Request::Submit { programs: programs.to_vec() })? {
+            Response::Mvp(result) => Ok(result),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Compiles `patterns` into a streaming session.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with [`ErrorCode::Compile`] for
+    /// unparsable patterns.
+    pub fn ap_open(&mut self, patterns: &[&str]) -> Result<SessionId, ClientError> {
+        let patterns = patterns.iter().map(|p| p.to_string()).collect();
+        match self.request(&Request::ApOpen { patterns })? {
+            Response::ApOpened { session } => Ok(session),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Streams one chunk through a session; the report is cumulative
+    /// for the stream so far.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with [`ErrorCode::UnknownSession`] for a
+    /// session this tenant does not hold.
+    pub fn ap_feed(&mut self, session: SessionId, chunk: &[u8]) -> Result<ApReport, ClientError> {
+        match self.request(&Request::ApFeed { session, chunk: chunk.to_vec() })? {
+            Response::ApFed(report) => Ok(report),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Ends the session's stream and collects its matches.
+    ///
+    /// # Errors
+    ///
+    /// As [`NetClient::ap_feed`].
+    pub fn ap_finish(&mut self, session: SessionId) -> Result<ApMatches, ClientError> {
+        match self.request(&Request::ApFinish { session })? {
+            Response::ApFinished(run) => Ok(run),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Drops a session.
+    ///
+    /// # Errors
+    ///
+    /// As [`NetClient::ap_feed`].
+    pub fn ap_close(&mut self, session: SessionId) -> Result<(), ClientError> {
+        match self.request(&Request::ApClose { session })? {
+            Response::ApClosed => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches the authenticated tenant's accumulated bill.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with [`ErrorCode::Unauthenticated`]
+    /// before a `hello`.
+    pub fn usage(&mut self) -> Result<WireUsage, ClientError> {
+        match self.request(&Request::Usage)? {
+            Response::Usage(usage) => Ok(usage),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches service-wide health and load.
+    ///
+    /// # Errors
+    ///
+    /// As [`NetClient::usage`].
+    pub fn stats(&mut self) -> Result<WireStats, ClientError> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Writes raw bytes as one frame, bypassing [`Request`] encoding —
+    /// the hook the malformed-input tests feed garbage through.
+    ///
+    /// # Errors
+    ///
+    /// The socket error.
+    pub fn send_raw(&mut self, body: &[u8]) -> Result<(), ClientError> {
+        write_frame(&mut self.stream, body)?;
+        Ok(())
+    }
+
+    /// Reads one raw response frame (pairs with
+    /// [`send_raw`](Self::send_raw)).
+    ///
+    /// # Errors
+    ///
+    /// The transport error.
+    pub fn recv_raw(&mut self) -> Result<Vec<u8>, ClientError> {
+        read_frame(&mut self.stream, self.max_frame).map_err(ClientError::Transport)
+    }
+}
+
+fn unexpected(response: &Response) -> ClientError {
+    let got = match response {
+        Response::HelloOk => "HelloOk",
+        Response::Mvp(_) => "Mvp",
+        Response::ApOpened { .. } => "ApOpened",
+        Response::ApFed(_) => "ApFed",
+        Response::ApFinished(_) => "ApFinished",
+        Response::ApClosed => "ApClosed",
+        Response::Usage(_) => "Usage",
+        Response::Stats(_) => "Stats",
+        Response::Error { .. } => "Error",
+    };
+    ClientError::Unexpected { got }
+}

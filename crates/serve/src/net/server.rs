@@ -1,0 +1,452 @@
+//! The TCP listener: accept loop, per-connection handlers, and the
+//! request dispatch that maps wire verbs onto the [`Service`] API.
+//!
+//! One handler thread per connection (capped at
+//! [`NetConfig::max_connections`]); each connection is a synchronous
+//! request/response stream. The dispatch order on every job-carrying
+//! verb is the contract this module exists for:
+//!
+//! 1. **auth** — the connection must have sent `Hello`;
+//! 2. **quota**, then **rate** — [`AdmissionControl::admit`];
+//! 3. only then `Service::try_submit`, whose `QueueFull` comes back as
+//!    a typed [`ErrorCode::OverCapacity`] frame.
+//!
+//! Nothing in this path blocks on the bounded queue, so a greedy client
+//! saturating the service stalls neither the accept loop nor another
+//! tenant's connection. Malformed frames are answered with typed error
+//! frames and the connection continues; only *unframeable* input (an
+//! oversized length prefix, a mid-frame cut) closes it.
+
+use super::admission::{AdmissionControl, TenantPolicy};
+use super::wire::{
+    read_frame, write_frame, ErrorCode, FrameReadError, Request, Response, TenantStat,
+    WireMvpResult, WireStats, WireUsage, MAX_FRAME_DEFAULT,
+};
+use crate::sync;
+use crate::{Job, ServeError, Service, TenantId};
+use memcim_mvp::BatchRequest;
+use std::collections::HashMap;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Sizing and tenant registry for the network front door.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// The address to bind; port `0` picks a free port (the default —
+    /// read the result off [`NetServer::local_addr`]).
+    pub addr: String,
+    /// The largest frame body accepted, bytes ([`MAX_FRAME_DEFAULT`]).
+    pub max_frame: usize,
+    /// Concurrent connections served; further accepts are answered
+    /// with one `OverCapacity` error frame and closed.
+    pub max_connections: usize,
+    /// The registered tenants and their policies.
+    pub tenants: Vec<(TenantId, TenantPolicy)>,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            max_frame: MAX_FRAME_DEFAULT,
+            max_connections: 256,
+            tenants: Vec::new(),
+        }
+    }
+}
+
+impl NetConfig {
+    /// Sets the bind address.
+    #[must_use]
+    pub fn with_addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
+    }
+
+    /// Caps the accepted frame body size.
+    #[must_use]
+    pub fn with_max_frame(mut self, max_frame: usize) -> Self {
+        self.max_frame = max_frame;
+        self
+    }
+
+    /// Caps concurrent connections.
+    #[must_use]
+    pub fn with_max_connections(mut self, max_connections: usize) -> Self {
+        self.max_connections = max_connections;
+        self
+    }
+
+    /// Registers a tenant with its authentication token and limits.
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: TenantId, policy: TenantPolicy) -> Self {
+        self.tenants.push((tenant, policy));
+        self
+    }
+}
+
+/// Connection state shared with the shutdown path: every live stream,
+/// keyed by connection id, so `shutdown` can unblock handlers parked in
+/// a blocking read.
+#[derive(Default)]
+struct Registry {
+    streams: Mutex<HashMap<u64, TcpStream>>,
+}
+
+impl Registry {
+    fn register(&self, id: u64, stream: &TcpStream) {
+        if let Ok(clone) = stream.try_clone() {
+            sync::lock(&self.streams).insert(id, clone);
+        }
+    }
+
+    fn deregister(&self, id: u64) {
+        sync::lock(&self.streams).remove(&id);
+    }
+
+    fn shutdown_all(&self) {
+        for stream in sync::lock(&self.streams).values() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// The running TCP front door over an [`Arc<Service>`].
+///
+/// Binds on [`NetServer::start`], serves until [`shutdown`]
+/// (or drop). The server holds its own `Arc` of the service; shutting
+/// the server down does not shut the service down — the last `Arc`
+/// owner does, via [`Service`]'s drop (graceful drain).
+///
+/// [`shutdown`]: NetServer::shutdown
+pub struct NetServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    registry: Arc<Registry>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Binds `config.addr` and starts the accept loop.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Internal`] when the bind fails or the OS refuses
+    /// the accept thread.
+    pub fn start(service: Arc<Service>, config: NetConfig) -> Result<Self, ServeError> {
+        let listener = TcpListener::bind(&config.addr).map_err(|e| ServeError::Internal {
+            message: format!("cannot bind {}: {e}", config.addr),
+        })?;
+        let local_addr = listener.local_addr().map_err(|e| ServeError::Internal {
+            message: format!("bound listener has no local address: {e}"),
+        })?;
+        let admission = Arc::new(AdmissionControl::new(config.tenants.iter().cloned()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let registry = Arc::new(Registry::default());
+        let accept_thread = {
+            let stop = Arc::clone(&stop);
+            let registry = Arc::clone(&registry);
+            std::thread::Builder::new()
+                .name("memcim-net-accept".to_string())
+                .spawn(move || {
+                    accept_loop(&listener, &service, &admission, &config, &stop, &registry)
+                })
+                .map_err(|e| ServeError::Internal {
+                    message: format!("cannot spawn accept thread: {e}"),
+                })?
+        };
+        Ok(Self { local_addr, stop, registry, accept_thread: Some(accept_thread) })
+    }
+
+    /// The address the listener actually bound (resolves port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting, unblocks and joins every connection handler,
+    /// and joins the accept loop. In-flight requests finish; parked
+    /// reads are cut.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // The accept loop is parked in `accept`; a throwaway connection
+        // to ourselves wakes it so it can observe the stop flag.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+        // The accept loop joined its handlers before exiting; anything
+        // still registered belongs to a handler the loop already
+        // reaped. Cut the streams regardless — belt and braces.
+        self.registry.shutdown_all();
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    service: &Arc<Service>,
+    admission: &Arc<AdmissionControl>,
+    config: &NetConfig,
+    stop: &Arc<AtomicBool>,
+    registry: &Arc<Registry>,
+) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    let mut next_id: u64 = 0;
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut stream) = stream else { continue };
+        // Frames are written as header + body; without NODELAY, Nagle
+        // holds the second small write for the peer's delayed ACK and
+        // every round trip eats ~40 ms.
+        let _ = stream.set_nodelay(true);
+        // Reap finished handlers so the cap counts live connections.
+        let mut still_running = Vec::with_capacity(handlers.len());
+        for handler in handlers.drain(..) {
+            if handler.is_finished() {
+                let _ = handler.join();
+            } else {
+                still_running.push(handler);
+            }
+        }
+        handlers = still_running;
+        if handlers.len() >= config.max_connections {
+            let refusal = Response::Error {
+                code: ErrorCode::OverCapacity,
+                message: format!("connection limit ({}) reached", config.max_connections),
+            };
+            let _ = write_frame(&mut stream, &refusal.encode());
+            continue;
+        }
+        let id = next_id;
+        next_id += 1;
+        registry.register(id, &stream);
+        let service = Arc::clone(service);
+        let admission = Arc::clone(admission);
+        let handler_registry = Arc::clone(registry);
+        let max_frame = config.max_frame;
+        let spawned =
+            std::thread::Builder::new().name(format!("memcim-net-conn-{id}")).spawn(move || {
+                handle_connection(&mut stream, &service, &admission, max_frame);
+                handler_registry.deregister(id);
+            });
+        match spawned {
+            Ok(handle) => handlers.push(handle),
+            Err(_) => registry.deregister(id),
+        }
+    }
+    // `stop_and_join` cuts registered streams only after this loop
+    // returns, so unblock our own handlers first, then join them.
+    registry.shutdown_all();
+    for handler in handlers {
+        let _ = handler.join();
+    }
+}
+
+/// One connection's request/response loop. Never panics on peer input:
+/// decode failures become typed error frames, socket failures end the
+/// loop.
+fn handle_connection(
+    stream: &mut TcpStream,
+    service: &Service,
+    admission: &AdmissionControl,
+    max_frame: usize,
+) {
+    let mut authenticated: Option<TenantId> = None;
+    loop {
+        let body = match read_frame(stream, max_frame) {
+            Ok(body) => body,
+            Err(FrameReadError::Closed) => return,
+            Err(FrameReadError::TooLarge { declared, max }) => {
+                // The body was not read, so the stream can no longer be
+                // framed: answer and close.
+                let refusal = Response::Error {
+                    code: ErrorCode::FrameTooLarge,
+                    message: format!("frame body of {declared} bytes exceeds the {max}-byte cap"),
+                };
+                let _ = write_frame(stream, &refusal.encode());
+                return;
+            }
+            Err(FrameReadError::Truncated) | Err(FrameReadError::Io(_)) => return,
+        };
+        let response = match Request::decode(&body) {
+            // Frame boundaries survived a bad body: answer and go on.
+            Err(e) => Response::Error { code: e.error_code(), message: e.to_string() },
+            Ok(request) => dispatch(request, &mut authenticated, service, admission),
+        };
+        if write_frame(stream, &response.encode()).is_err() {
+            return;
+        }
+    }
+}
+
+/// Applies the admission order (auth → quota → rate) and maps one verb
+/// onto the service.
+fn dispatch(
+    request: Request,
+    authenticated: &mut Option<TenantId>,
+    service: &Service,
+    admission: &AdmissionControl,
+) -> Response {
+    // `Hello` is the only verb allowed before authentication.
+    let tenant = match (&request, *authenticated) {
+        (Request::Hello { tenant, token }, None) => {
+            return match admission.authenticate(*tenant, token) {
+                Ok(()) => {
+                    *authenticated = Some(*tenant);
+                    Response::HelloOk
+                }
+                Err(e) => error_frame(&e),
+            };
+        }
+        (Request::Hello { .. }, Some(_)) => {
+            return Response::Error {
+                code: ErrorCode::AlreadyAuthenticated,
+                message: "connection is already bound to a tenant".to_string(),
+            };
+        }
+        (_, None) => return error_frame(&ServeError::Unauthenticated),
+        (_, Some(tenant)) => tenant,
+    };
+    match request {
+        Request::Hello { .. } => unreachable!("handled above"),
+        Request::Submit { programs } => {
+            let jobs = programs.len() as u32;
+            if let Err(e) = admission.admit(tenant, jobs, Instant::now()) {
+                return error_frame(&e);
+            }
+            let job = if programs.len() == 1 {
+                // A single program rides the coalescer with its burst.
+                Job::MvpProgram(programs.into_iter().next().unwrap_or_default())
+            } else {
+                let mut batch = BatchRequest::new();
+                for program in programs {
+                    batch.push(program);
+                }
+                Job::MvpBatch(batch)
+            };
+            match submit_and_wait(service, tenant, job) {
+                Err(e) => error_frame(&e),
+                Ok(output) => match output.into_mvp() {
+                    Some(result) => Response::Mvp(WireMvpResult {
+                        outputs: result.outputs,
+                        jobs: result.burst.jobs as u64,
+                        programs: result.burst.programs as u64,
+                        energy: result.burst.ledger.energy(),
+                        busy: result.burst.ledger.busy_time(),
+                    }),
+                    None => internal("MVP job resolved to a non-MVP output"),
+                },
+            }
+        }
+        Request::ApOpen { patterns } => {
+            // Compilation is synchronous work on this thread; it is
+            // admission-charged like a job so a tenant cannot sidestep
+            // its limits by opening sessions.
+            if let Err(e) = admission.admit(tenant, 1, Instant::now()) {
+                return error_frame(&e);
+            }
+            let refs: Vec<&str> = patterns.iter().map(String::as_str).collect();
+            match service.open_session(tenant, &refs) {
+                Ok(session) => Response::ApOpened { session },
+                Err(e) => error_frame(&e),
+            }
+        }
+        Request::ApFeed { session, chunk } => {
+            if let Err(e) = admission.admit(tenant, 1, Instant::now()) {
+                return error_frame(&e);
+            }
+            match submit_and_wait(service, tenant, Job::ApFeed { session, chunk }) {
+                Err(e) => error_frame(&e),
+                Ok(output) => match output.into_ap_feed() {
+                    Some(report) => Response::ApFed(report),
+                    None => internal("feed job resolved to a non-feed output"),
+                },
+            }
+        }
+        Request::ApFinish { session } => {
+            if let Err(e) = admission.admit(tenant, 1, Instant::now()) {
+                return error_frame(&e);
+            }
+            match submit_and_wait(service, tenant, Job::ApFinish { session }) {
+                Err(e) => error_frame(&e),
+                Ok(output) => match output.into_ap_finish() {
+                    Some(run) => Response::ApFinished(run),
+                    None => internal("finish job resolved to a non-finish output"),
+                },
+            }
+        }
+        // Closing a session frees resources: never admission-charged.
+        Request::ApClose { session } => match service.close_session(tenant, session) {
+            Ok(()) => Response::ApClosed,
+            Err(e) => error_frame(&e),
+        },
+        Request::Usage => {
+            let usage = service.tenant_usage(tenant).unwrap_or_default();
+            Response::Usage(WireUsage {
+                mvp_jobs: usage.mvp_jobs,
+                mvp_reads: usage.mvp.reads(),
+                mvp_scouting_ops: usage.mvp.scouting_ops(),
+                mvp_programs: usage.mvp.programs(),
+                mvp_corrected_errors: usage.mvp.corrected_errors(),
+                mvp_energy: usage.mvp.energy(),
+                mvp_busy: usage.mvp.busy_time(),
+                ap_jobs: usage.ap_jobs,
+                ap_symbols: usage.ap_symbols,
+                ap_energy: usage.ap_energy,
+                ap_busy: usage.ap_busy,
+            })
+        }
+        Request::Stats => Response::Stats(WireStats {
+            workers: service.worker_count() as u64,
+            live_engines: service.live_engines() as u64,
+            retired_engines: service.retired_engines() as u64,
+            queue_depth: service.pending() as u64,
+            queue_capacity: service.config().queue_depth as u64,
+            sessions: service.session_count() as u64,
+            tenants: service
+                .usage_snapshot()
+                .into_iter()
+                .map(|(tenant, usage)| TenantStat {
+                    tenant,
+                    jobs: usage.jobs(),
+                    energy: usage.total_energy(),
+                    busy: usage.total_busy(),
+                })
+                .collect(),
+        }),
+    }
+}
+
+/// The non-blocking submit path: a full queue is a typed refusal
+/// (`QueueFull` → `OverCapacity` on the wire), never a blocked handler.
+fn submit_and_wait(
+    service: &Service,
+    tenant: TenantId,
+    job: Job,
+) -> Result<crate::JobOutput, ServeError> {
+    service.try_submit(tenant, job)?.wait()
+}
+
+fn error_frame(e: &ServeError) -> Response {
+    Response::Error { code: ErrorCode::from_serve_error(e), message: e.to_string() }
+}
+
+fn internal(message: &str) -> Response {
+    Response::Error { code: ErrorCode::Internal, message: message.to_string() }
+}

@@ -1,0 +1,1178 @@
+//! The framed wire protocol: layout, verbs, codec and frame I/O.
+//!
+//! # Frame layout
+//!
+//! ```text
+//! ┌────────────────┬────────┬─────────────────────────┐
+//! │ body len (u32) │ opcode │ payload (body len − 1)  │
+//! │   big-endian   │  (u8)  │                         │
+//! └────────────────┴────────┴─────────────────────────┘
+//! ```
+//!
+//! The length prefix counts the body (opcode + payload), not itself.
+//! Bodies larger than the server's configured maximum
+//! ([`MAX_FRAME_DEFAULT`] by default) are refused with
+//! [`ErrorCode::FrameTooLarge`] *without reading the body*, so a hostile
+//! length cannot make the server allocate.
+//!
+//! Scalars inside payloads are fixed-width big-endian; `f64` travels as
+//! its IEEE-754 bit pattern. Variable-length fields carry a `u32` count
+//! first; every count is validated against the bytes actually remaining
+//! in the frame before anything is allocated, so a forged count of four
+//! billion costs the decoder nothing.
+//!
+//! # Verbs
+//!
+//! | opcode | direction | verb |
+//! |---|---|---|
+//! | `0x01` | → | [`Request::Hello`] — authenticate the connection |
+//! | `0x02` | → | [`Request::Submit`] — one or more MVP programs |
+//! | `0x03` | → | [`Request::ApOpen`] — compile patterns into a session |
+//! | `0x04` | → | [`Request::ApFeed`] — stream a chunk into a session |
+//! | `0x05` | → | [`Request::ApFinish`] — end the stream, collect matches |
+//! | `0x06` | → | [`Request::ApClose`] — drop the session |
+//! | `0x07` | → | [`Request::Usage`] — the tenant's accumulated bill |
+//! | `0x08` | → | [`Request::Stats`] — service-wide health and load |
+//! | `0x81`–`0x88` | ← | the matching success responses |
+//! | `0xEE` | ← | [`Response::Error`] with an [`ErrorCode`] |
+//!
+//! Each connection is a synchronous request/response stream: the server
+//! answers every request frame with exactly one response frame, in
+//! order. (Pipelining across *connections* is how the load generator
+//! drives overload.)
+
+use crate::{ServeError, SessionId, TenantId};
+use core::fmt;
+use memcim_ap::ApReport;
+use memcim_bits::BitVec;
+use memcim_mvp::Instruction;
+use memcim_units::{Joules, Seconds};
+use std::io::{Read, Write};
+
+/// Default cap on a frame body, and the largest body
+/// [`read_frame`] will accept unless told otherwise. Large enough for a
+/// burst of wide bitmap programs, small enough that a hostile length
+/// prefix cannot balloon server memory.
+pub const MAX_FRAME_DEFAULT: usize = 1 << 20;
+
+/// Upper bound on patterns per `ApOpen` — a compile is synchronous
+/// work, so the count is capped independently of the frame size.
+const MAX_PATTERNS: usize = 1024;
+
+// --- Opcodes ----------------------------------------------------------
+
+const OP_HELLO: u8 = 0x01;
+const OP_SUBMIT: u8 = 0x02;
+const OP_AP_OPEN: u8 = 0x03;
+const OP_AP_FEED: u8 = 0x04;
+const OP_AP_FINISH: u8 = 0x05;
+const OP_AP_CLOSE: u8 = 0x06;
+const OP_USAGE: u8 = 0x07;
+const OP_STATS: u8 = 0x08;
+
+const OP_HELLO_OK: u8 = 0x81;
+const OP_MVP_RESULT: u8 = 0x82;
+const OP_AP_OPENED: u8 = 0x83;
+const OP_AP_FEED_OK: u8 = 0x84;
+const OP_AP_MATCHES: u8 = 0x85;
+const OP_AP_CLOSED: u8 = 0x86;
+const OP_USAGE_REPORT: u8 = 0x87;
+const OP_STATS_REPORT: u8 = 0x88;
+const OP_ERROR: u8 = 0xEE;
+
+// --- Error taxonomy ---------------------------------------------------
+
+/// Typed failure codes carried by [`Response::Error`] frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ErrorCode {
+    /// The frame body could not be decoded (truncated payload, trailing
+    /// garbage, invalid UTF-8, nonsense counts).
+    BadFrame,
+    /// The declared body length exceeds the server's maximum.
+    FrameTooLarge,
+    /// The opcode is not a known request verb.
+    UnknownOpcode,
+    /// A request other than `Hello` arrived before authentication.
+    Unauthenticated,
+    /// `Hello` named an unknown tenant or presented a wrong token.
+    BadCredentials,
+    /// The connection sent a second `Hello`.
+    AlreadyAuthenticated,
+    /// Admission control: the tenant's job quota is spent.
+    QuotaExceeded,
+    /// Admission control: the tenant's token bucket is empty.
+    RateLimited,
+    /// The bounded queue is at capacity; the submission was refused
+    /// *before* it could block the connection (back off and retry).
+    OverCapacity,
+    /// The service is shutting down.
+    ShuttingDown,
+    /// A streaming verb referenced a session this tenant does not hold.
+    UnknownSession,
+    /// The session is busy on another in-flight job.
+    SessionBusy,
+    /// Pattern compilation failed in `ApOpen`.
+    Compile,
+    /// The job reached an engine and failed there.
+    Engine,
+    /// Every engine has been retired; MVP jobs cannot be placed.
+    NoHealthyEngine,
+    /// An internal server failure (never the client's fault).
+    Internal,
+}
+
+impl ErrorCode {
+    /// The code's wire representation.
+    pub fn as_u16(self) -> u16 {
+        match self {
+            ErrorCode::BadFrame => 1,
+            ErrorCode::FrameTooLarge => 2,
+            ErrorCode::UnknownOpcode => 3,
+            ErrorCode::Unauthenticated => 10,
+            ErrorCode::BadCredentials => 11,
+            ErrorCode::AlreadyAuthenticated => 12,
+            ErrorCode::QuotaExceeded => 20,
+            ErrorCode::RateLimited => 21,
+            ErrorCode::OverCapacity => 22,
+            ErrorCode::ShuttingDown => 30,
+            ErrorCode::UnknownSession => 31,
+            ErrorCode::SessionBusy => 32,
+            ErrorCode::Compile => 33,
+            ErrorCode::Engine => 34,
+            ErrorCode::NoHealthyEngine => 35,
+            ErrorCode::Internal => 99,
+        }
+    }
+
+    /// Decodes a wire code; unknown values collapse to
+    /// [`ErrorCode::Internal`] so old clients survive new servers.
+    pub fn from_u16(raw: u16) -> Self {
+        match raw {
+            1 => ErrorCode::BadFrame,
+            2 => ErrorCode::FrameTooLarge,
+            3 => ErrorCode::UnknownOpcode,
+            10 => ErrorCode::Unauthenticated,
+            11 => ErrorCode::BadCredentials,
+            12 => ErrorCode::AlreadyAuthenticated,
+            20 => ErrorCode::QuotaExceeded,
+            21 => ErrorCode::RateLimited,
+            22 => ErrorCode::OverCapacity,
+            30 => ErrorCode::ShuttingDown,
+            31 => ErrorCode::UnknownSession,
+            32 => ErrorCode::SessionBusy,
+            33 => ErrorCode::Compile,
+            34 => ErrorCode::Engine,
+            35 => ErrorCode::NoHealthyEngine,
+            _ => ErrorCode::Internal,
+        }
+    }
+
+    /// Maps a service-side failure to its wire code.
+    pub fn from_serve_error(e: &ServeError) -> Self {
+        match e {
+            ServeError::QueueFull { .. } => ErrorCode::OverCapacity,
+            ServeError::ShuttingDown => ErrorCode::ShuttingDown,
+            ServeError::UnknownSession { .. } => ErrorCode::UnknownSession,
+            ServeError::SessionBusy { .. } => ErrorCode::SessionBusy,
+            ServeError::Compile { .. } => ErrorCode::Compile,
+            ServeError::Mvp(_) | ServeError::Ap(_) => ErrorCode::Engine,
+            ServeError::NoHealthyEngine => ErrorCode::NoHealthyEngine,
+            ServeError::RateLimited { .. } => ErrorCode::RateLimited,
+            ServeError::QuotaExceeded { .. } => ErrorCode::QuotaExceeded,
+            ServeError::Unauthenticated => ErrorCode::Unauthenticated,
+            ServeError::BadCredentials => ErrorCode::BadCredentials,
+            ServeError::Internal { .. } => ErrorCode::Internal,
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Why a frame body failed to decode. Local diagnosis only — on the
+/// wire it travels as [`ErrorCode::BadFrame`] / `UnknownOpcode`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FrameError {
+    /// The payload ended before the field being read.
+    Truncated,
+    /// Bytes remained after the last field of the verb.
+    Trailing {
+        /// How many bytes were left over.
+        extra: usize,
+    },
+    /// The first body byte is not a known opcode (for the direction
+    /// being decoded).
+    UnknownOpcode(u8),
+    /// A field's value is invalid for its type.
+    BadPayload(&'static str),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Truncated => write!(f, "frame body truncated"),
+            FrameError::Trailing { extra } => {
+                write!(f, "{extra} trailing bytes after the last field")
+            }
+            FrameError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            FrameError::BadPayload(what) => write!(f, "bad payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl FrameError {
+    /// The wire code a server answers this decode failure with.
+    pub fn error_code(&self) -> ErrorCode {
+        match self {
+            FrameError::UnknownOpcode(_) => ErrorCode::UnknownOpcode,
+            _ => ErrorCode::BadFrame,
+        }
+    }
+}
+
+// --- Cursor-style reader/writer ---------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        if self.remaining() < n {
+            return Err(FrameError::Truncated);
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, FrameError> {
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        let b = self.take(8)?;
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(b);
+        Ok(u64::from_be_bytes(raw))
+    }
+
+    fn f64(&mut self) -> Result<f64, FrameError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a `u32` element count and proves the frame can actually
+    /// hold `count` elements of at least `min_bytes` each *before* the
+    /// caller allocates — the defense against forged counts.
+    fn count(&mut self, min_bytes: usize) -> Result<usize, FrameError> {
+        let count = self.u32()? as usize;
+        if count.checked_mul(min_bytes.max(1)).is_none_or(|need| need > self.remaining()) {
+            return Err(FrameError::BadPayload("element count exceeds frame"));
+        }
+        Ok(count)
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, FrameError> {
+        let len = self.count(1)?;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    fn string(&mut self) -> Result<String, FrameError> {
+        String::from_utf8(self.bytes()?).map_err(|_| FrameError::BadPayload("invalid UTF-8"))
+    }
+
+    fn bitvec(&mut self) -> Result<BitVec, FrameError> {
+        let bits = self.u32()? as usize;
+        let words = bits.div_ceil(64);
+        if words.checked_mul(8).is_none_or(|need| need > self.remaining()) {
+            return Err(FrameError::BadPayload("bit vector exceeds frame"));
+        }
+        let mut out = BitVec::new(bits);
+        for w in 0..words {
+            let raw = self.take(8)?;
+            let mut word = [0u8; 8];
+            word.copy_from_slice(raw);
+            let mut word = u64::from_be_bytes(word);
+            while word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                word &= word - 1;
+                let index = w * 64 + bit;
+                if index >= bits {
+                    return Err(FrameError::BadPayload("set bit beyond bit vector length"));
+                }
+                out.set(index, true);
+            }
+        }
+        Ok(out)
+    }
+
+    fn finish(self) -> Result<(), FrameError> {
+        match self.remaining() {
+            0 => Ok(()),
+            extra => Err(FrameError::Trailing { extra }),
+        }
+    }
+}
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new(opcode: u8) -> Self {
+        Self { buf: vec![opcode] }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    fn string(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+
+    fn bitvec(&mut self, v: &BitVec) {
+        self.u32(v.len() as u32);
+        for &word in v.as_words() {
+            self.u64(word);
+        }
+    }
+}
+
+fn encode_instruction(w: &mut Writer, instruction: &Instruction) {
+    match instruction {
+        Instruction::Store { row, data } => {
+            w.u8(0);
+            w.u32(*row as u32);
+            w.bitvec(data);
+        }
+        Instruction::Or { srcs, dst } => {
+            w.u8(1);
+            w.u32(srcs.len() as u32);
+            for &s in srcs {
+                w.u32(s as u32);
+            }
+            w.u32(*dst as u32);
+        }
+        Instruction::And { srcs, dst } => {
+            w.u8(2);
+            w.u32(srcs.len() as u32);
+            for &s in srcs {
+                w.u32(s as u32);
+            }
+            w.u32(*dst as u32);
+        }
+        Instruction::Xor { a, b, dst } => {
+            w.u8(3);
+            w.u32(*a as u32);
+            w.u32(*b as u32);
+            w.u32(*dst as u32);
+        }
+        Instruction::Read { row } => {
+            w.u8(4);
+            w.u32(*row as u32);
+        }
+    }
+}
+
+fn decode_instruction(r: &mut Reader<'_>) -> Result<Instruction, FrameError> {
+    match r.u8()? {
+        0 => {
+            let row = r.u32()? as usize;
+            let data = r.bitvec()?;
+            Ok(Instruction::Store { row, data })
+        }
+        tag @ (1 | 2) => {
+            let n = r.count(4)?;
+            let srcs = (0..n).map(|_| Ok(r.u32()? as usize)).collect::<Result<Vec<_>, _>>()?;
+            let dst = r.u32()? as usize;
+            Ok(if tag == 1 {
+                Instruction::Or { srcs, dst }
+            } else {
+                Instruction::And { srcs, dst }
+            })
+        }
+        3 => Ok(Instruction::Xor {
+            a: r.u32()? as usize,
+            b: r.u32()? as usize,
+            dst: r.u32()? as usize,
+        }),
+        4 => Ok(Instruction::Read { row: r.u32()? as usize }),
+        _ => Err(FrameError::BadPayload("unknown instruction tag")),
+    }
+}
+
+fn encode_ap_report(w: &mut Writer, report: &ApReport) {
+    w.u64(report.cycles);
+    w.f64(report.latency.as_seconds());
+    w.f64(report.energy.as_joules());
+}
+
+fn decode_ap_report(r: &mut Reader<'_>) -> Result<ApReport, FrameError> {
+    Ok(ApReport {
+        cycles: r.u64()?,
+        latency: Seconds::new(r.f64()?),
+        energy: Joules::new(r.f64()?),
+    })
+}
+
+// --- Requests ---------------------------------------------------------
+
+/// A client-to-server verb.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Request {
+    /// Authenticates the connection; must be the first frame.
+    Hello {
+        /// The tenant this connection will act as.
+        tenant: TenantId,
+        /// The tenant's secret token.
+        token: String,
+    },
+    /// Submits MVP macro-instruction programs: a single program enters
+    /// the coalescer like an in-process [`Job::MvpProgram`]; several
+    /// execute as one pre-assembled batch.
+    ///
+    /// [`Job::MvpProgram`]: crate::Job::MvpProgram
+    Submit {
+        /// The programs; must be non-empty.
+        programs: Vec<Vec<Instruction>>,
+    },
+    /// Compiles patterns into a streaming AP session.
+    ApOpen {
+        /// The regex patterns (capped at 1024 per request).
+        patterns: Vec<String>,
+    },
+    /// Streams one chunk of input through an open session.
+    ApFeed {
+        /// The session to feed.
+        session: SessionId,
+        /// The input bytes.
+        chunk: Vec<u8>,
+    },
+    /// Ends a session's stream and collects its matches.
+    ApFinish {
+        /// The session to finish.
+        session: SessionId,
+    },
+    /// Drops a session.
+    ApClose {
+        /// The session to close.
+        session: SessionId,
+    },
+    /// Requests the authenticated tenant's accumulated usage.
+    Usage,
+    /// Requests service-wide health and load counters.
+    Stats,
+}
+
+impl Request {
+    /// Encodes the verb into a frame body (opcode + payload).
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Request::Hello { tenant, token } => {
+                let mut w = Writer::new(OP_HELLO);
+                w.u64(*tenant);
+                w.string(token);
+                w.buf
+            }
+            Request::Submit { programs } => {
+                let mut w = Writer::new(OP_SUBMIT);
+                w.u32(programs.len() as u32);
+                for program in programs {
+                    w.u32(program.len() as u32);
+                    for instruction in program {
+                        encode_instruction(&mut w, instruction);
+                    }
+                }
+                w.buf
+            }
+            Request::ApOpen { patterns } => {
+                let mut w = Writer::new(OP_AP_OPEN);
+                w.u32(patterns.len() as u32);
+                for pattern in patterns {
+                    w.string(pattern);
+                }
+                w.buf
+            }
+            Request::ApFeed { session, chunk } => {
+                let mut w = Writer::new(OP_AP_FEED);
+                w.u64(*session);
+                w.bytes(chunk);
+                w.buf
+            }
+            Request::ApFinish { session } => {
+                let mut w = Writer::new(OP_AP_FINISH);
+                w.u64(*session);
+                w.buf
+            }
+            Request::ApClose { session } => {
+                let mut w = Writer::new(OP_AP_CLOSE);
+                w.u64(*session);
+                w.buf
+            }
+            Request::Usage => Writer::new(OP_USAGE).buf,
+            Request::Stats => Writer::new(OP_STATS).buf,
+        }
+    }
+
+    /// Decodes a frame body into a request verb.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError`] on truncation, trailing bytes, unknown opcodes or
+    /// invalid field values; the body is never trusted further than the
+    /// bytes it actually contains.
+    pub fn decode(body: &[u8]) -> Result<Self, FrameError> {
+        let mut r = Reader::new(body);
+        let request = match r.u8()? {
+            OP_HELLO => Request::Hello { tenant: r.u64()?, token: r.string()? },
+            OP_SUBMIT => {
+                let n = r.count(4)?;
+                if n == 0 {
+                    return Err(FrameError::BadPayload("empty submission"));
+                }
+                let mut programs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let len = r.count(5)?;
+                    let mut program = Vec::with_capacity(len);
+                    for _ in 0..len {
+                        program.push(decode_instruction(&mut r)?);
+                    }
+                    programs.push(program);
+                }
+                Request::Submit { programs }
+            }
+            OP_AP_OPEN => {
+                let n = r.count(4)?;
+                if n == 0 || n > MAX_PATTERNS {
+                    return Err(FrameError::BadPayload("pattern count out of range"));
+                }
+                let patterns = (0..n).map(|_| r.string()).collect::<Result<Vec<_>, _>>()?;
+                Request::ApOpen { patterns }
+            }
+            OP_AP_FEED => Request::ApFeed { session: r.u64()?, chunk: r.bytes()? },
+            OP_AP_FINISH => Request::ApFinish { session: r.u64()? },
+            OP_AP_CLOSE => Request::ApClose { session: r.u64()? },
+            OP_USAGE => Request::Usage,
+            OP_STATS => Request::Stats,
+            other => return Err(FrameError::UnknownOpcode(other)),
+        };
+        r.finish()?;
+        Ok(request)
+    }
+}
+
+// --- Responses --------------------------------------------------------
+
+/// The wire-visible result of a `Submit`: program outputs plus the
+/// burst-level cost summary (counts and physical totals; the full
+/// [`OpLedger`] breakdown stays server-side in the tenant's bill).
+///
+/// [`OpLedger`]: memcim_crossbar::OpLedger
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireMvpResult {
+    /// `outputs[i]` holds the `Read` results of the `i`-th submitted
+    /// program, in program order.
+    pub outputs: Vec<Vec<BitVec>>,
+    /// Jobs coalesced into the burst this submission rode in.
+    pub jobs: u64,
+    /// Programs executed across the burst.
+    pub programs: u64,
+    /// The burst's dynamic energy.
+    pub energy: Joules,
+    /// The burst's engine busy time.
+    pub busy: Seconds,
+}
+
+/// The wire-visible form of a tenant's [`TenantUsage`] bill.
+///
+/// [`TenantUsage`]: crate::TenantUsage
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireUsage {
+    /// MVP jobs completed.
+    pub mvp_jobs: u64,
+    /// MVP row reads billed.
+    pub mvp_reads: u64,
+    /// MVP scouting operations billed.
+    pub mvp_scouting_ops: u64,
+    /// MVP row programs billed.
+    pub mvp_programs: u64,
+    /// ECC-corrected upsets observed while serving this tenant.
+    pub mvp_corrected_errors: u64,
+    /// MVP dynamic energy billed.
+    pub mvp_energy: Joules,
+    /// MVP engine time billed.
+    pub mvp_busy: Seconds,
+    /// AP jobs (feeds and finishes) completed.
+    pub ap_jobs: u64,
+    /// Input symbols streamed through the tenant's sessions.
+    pub ap_symbols: u64,
+    /// AP dynamic energy billed.
+    pub ap_energy: Joules,
+    /// AP pipeline latency billed.
+    pub ap_busy: Seconds,
+}
+
+/// One tenant's row in a [`WireStats`] report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantStat {
+    /// The tenant.
+    pub tenant: TenantId,
+    /// Jobs completed across both engine kinds.
+    pub jobs: u64,
+    /// Total dynamic energy billed.
+    pub energy: Joules,
+    /// Total engine time billed.
+    pub busy: Seconds,
+}
+
+/// Service-wide health and load, as exposed by the `Stats` verb.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireStats {
+    /// Worker threads serving the queue.
+    pub workers: u64,
+    /// Engines still healthy (serving MVP jobs).
+    pub live_engines: u64,
+    /// Engines retired after fault-fatal errors.
+    pub retired_engines: u64,
+    /// Jobs currently queued.
+    pub queue_depth: u64,
+    /// The bounded queue's capacity.
+    pub queue_capacity: u64,
+    /// Open AP sessions.
+    pub sessions: u64,
+    /// Per-tenant usage rows, sorted by tenant id.
+    pub tenants: Vec<TenantStat>,
+}
+
+/// A server-to-client verb.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Response {
+    /// `Hello` accepted; the connection is bound to its tenant.
+    HelloOk,
+    /// A `Submit` completed.
+    Mvp(WireMvpResult),
+    /// An `ApOpen` compiled; the session is ready to feed.
+    ApOpened {
+        /// The new session's id.
+        session: SessionId,
+    },
+    /// An `ApFeed` ran; the report is cumulative for the stream so far.
+    ApFed(ApReport),
+    /// An `ApFinish` ran: anchored acceptance, `(end position, pattern
+    /// index)` match events, symbols and stream cost.
+    ApFinished(crate::ApMatches),
+    /// An `ApClose` dropped the session.
+    ApClosed,
+    /// The tenant's accumulated bill.
+    Usage(WireUsage),
+    /// Service-wide health and load.
+    Stats(WireStats),
+    /// The request failed; `code` is machine-readable, `message` is for
+    /// the operator's log.
+    Error {
+        /// The typed failure code.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Encodes the verb into a frame body (opcode + payload).
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Response::HelloOk => Writer::new(OP_HELLO_OK).buf,
+            Response::Mvp(result) => {
+                let mut w = Writer::new(OP_MVP_RESULT);
+                w.u64(result.jobs);
+                w.u64(result.programs);
+                w.f64(result.energy.as_joules());
+                w.f64(result.busy.as_seconds());
+                w.u32(result.outputs.len() as u32);
+                for reads in &result.outputs {
+                    w.u32(reads.len() as u32);
+                    for read in reads {
+                        w.bitvec(read);
+                    }
+                }
+                w.buf
+            }
+            Response::ApOpened { session } => {
+                let mut w = Writer::new(OP_AP_OPENED);
+                w.u64(*session);
+                w.buf
+            }
+            Response::ApFed(report) => {
+                let mut w = Writer::new(OP_AP_FEED_OK);
+                encode_ap_report(&mut w, report);
+                w.buf
+            }
+            Response::ApFinished(run) => {
+                let mut w = Writer::new(OP_AP_MATCHES);
+                w.u8(u8::from(run.accepted));
+                w.u64(run.symbols);
+                encode_ap_report(&mut w, &run.report);
+                w.u32(run.matches.len() as u32);
+                for &(pos, pattern) in &run.matches {
+                    w.u64(pos as u64);
+                    w.u64(pattern as u64);
+                }
+                w.buf
+            }
+            Response::ApClosed => Writer::new(OP_AP_CLOSED).buf,
+            Response::Usage(usage) => {
+                let mut w = Writer::new(OP_USAGE_REPORT);
+                w.u64(usage.mvp_jobs);
+                w.u64(usage.mvp_reads);
+                w.u64(usage.mvp_scouting_ops);
+                w.u64(usage.mvp_programs);
+                w.u64(usage.mvp_corrected_errors);
+                w.f64(usage.mvp_energy.as_joules());
+                w.f64(usage.mvp_busy.as_seconds());
+                w.u64(usage.ap_jobs);
+                w.u64(usage.ap_symbols);
+                w.f64(usage.ap_energy.as_joules());
+                w.f64(usage.ap_busy.as_seconds());
+                w.buf
+            }
+            Response::Stats(stats) => {
+                let mut w = Writer::new(OP_STATS_REPORT);
+                w.u64(stats.workers);
+                w.u64(stats.live_engines);
+                w.u64(stats.retired_engines);
+                w.u64(stats.queue_depth);
+                w.u64(stats.queue_capacity);
+                w.u64(stats.sessions);
+                w.u32(stats.tenants.len() as u32);
+                for row in &stats.tenants {
+                    w.u64(row.tenant);
+                    w.u64(row.jobs);
+                    w.f64(row.energy.as_joules());
+                    w.f64(row.busy.as_seconds());
+                }
+                w.buf
+            }
+            Response::Error { code, message } => {
+                let mut w = Writer::new(OP_ERROR);
+                w.u16(code.as_u16());
+                w.string(message);
+                w.buf
+            }
+        }
+    }
+
+    /// Decodes a frame body into a response verb.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError`] exactly as [`Request::decode`].
+    pub fn decode(body: &[u8]) -> Result<Self, FrameError> {
+        let mut r = Reader::new(body);
+        let response = match r.u8()? {
+            OP_HELLO_OK => Response::HelloOk,
+            OP_MVP_RESULT => {
+                let jobs = r.u64()?;
+                let programs = r.u64()?;
+                let energy = Joules::new(r.f64()?);
+                let busy = Seconds::new(r.f64()?);
+                let n = r.count(4)?;
+                let mut outputs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let reads = r.count(4)?;
+                    let mut program = Vec::with_capacity(reads);
+                    for _ in 0..reads {
+                        program.push(r.bitvec()?);
+                    }
+                    outputs.push(program);
+                }
+                Response::Mvp(WireMvpResult { outputs, jobs, programs, energy, busy })
+            }
+            OP_AP_OPENED => Response::ApOpened { session: r.u64()? },
+            OP_AP_FEED_OK => Response::ApFed(decode_ap_report(&mut r)?),
+            OP_AP_MATCHES => {
+                let accepted = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(FrameError::BadPayload("boolean out of range")),
+                };
+                let symbols = r.u64()?;
+                let report = decode_ap_report(&mut r)?;
+                let n = r.count(16)?;
+                let matches = (0..n)
+                    .map(|_| Ok((r.u64()? as usize, r.u64()? as usize)))
+                    .collect::<Result<Vec<_>, FrameError>>()?;
+                Response::ApFinished(crate::ApMatches { accepted, matches, symbols, report })
+            }
+            OP_AP_CLOSED => Response::ApClosed,
+            OP_USAGE_REPORT => Response::Usage(WireUsage {
+                mvp_jobs: r.u64()?,
+                mvp_reads: r.u64()?,
+                mvp_scouting_ops: r.u64()?,
+                mvp_programs: r.u64()?,
+                mvp_corrected_errors: r.u64()?,
+                mvp_energy: Joules::new(r.f64()?),
+                mvp_busy: Seconds::new(r.f64()?),
+                ap_jobs: r.u64()?,
+                ap_symbols: r.u64()?,
+                ap_energy: Joules::new(r.f64()?),
+                ap_busy: Seconds::new(r.f64()?),
+            }),
+            OP_STATS_REPORT => {
+                let workers = r.u64()?;
+                let live_engines = r.u64()?;
+                let retired_engines = r.u64()?;
+                let queue_depth = r.u64()?;
+                let queue_capacity = r.u64()?;
+                let sessions = r.u64()?;
+                let n = r.count(32)?;
+                let tenants = (0..n)
+                    .map(|_| {
+                        Ok(TenantStat {
+                            tenant: r.u64()?,
+                            jobs: r.u64()?,
+                            energy: Joules::new(r.f64()?),
+                            busy: Seconds::new(r.f64()?),
+                        })
+                    })
+                    .collect::<Result<Vec<_>, FrameError>>()?;
+                Response::Stats(WireStats {
+                    workers,
+                    live_engines,
+                    retired_engines,
+                    queue_depth,
+                    queue_capacity,
+                    sessions,
+                    tenants,
+                })
+            }
+            OP_ERROR => {
+                Response::Error { code: ErrorCode::from_u16(r.u16()?), message: r.string()? }
+            }
+            other => return Err(FrameError::UnknownOpcode(other)),
+        };
+        r.finish()?;
+        Ok(response)
+    }
+}
+
+// --- Frame I/O --------------------------------------------------------
+
+/// Why reading a frame off a stream failed.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FrameReadError {
+    /// The peer closed the connection cleanly between frames.
+    Closed,
+    /// The stream ended mid-frame (header or body).
+    Truncated,
+    /// The declared body length exceeds `max` — the body was **not**
+    /// read; the caller should answer [`ErrorCode::FrameTooLarge`] and
+    /// drop the connection (the stream can no longer be framed).
+    TooLarge {
+        /// The declared body length.
+        declared: usize,
+        /// The configured maximum.
+        max: usize,
+    },
+    /// The underlying socket failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for FrameReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameReadError::Closed => write!(f, "connection closed"),
+            FrameReadError::Truncated => write!(f, "stream ended mid-frame"),
+            FrameReadError::TooLarge { declared, max } => {
+                write!(f, "declared frame body of {declared} bytes exceeds the {max}-byte cap")
+            }
+            FrameReadError::Io(e) => write!(f, "socket error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameReadError {}
+
+/// Reads one length-prefixed frame body (opcode + payload) off `stream`,
+/// refusing bodies larger than `max` without reading them.
+///
+/// # Errors
+///
+/// [`FrameReadError`] — see each variant.
+pub fn read_frame(stream: &mut impl Read, max: usize) -> Result<Vec<u8>, FrameReadError> {
+    let mut header = [0u8; 4];
+    let mut filled = 0;
+    while filled < header.len() {
+        match stream.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Err(FrameReadError::Closed),
+            Ok(0) => return Err(FrameReadError::Truncated),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameReadError::Io(e)),
+        }
+    }
+    let declared = u32::from_be_bytes(header) as usize;
+    if declared == 0 {
+        // A bodyless frame has no opcode; report it as a truncation so
+        // the server answers BadFrame.
+        return Err(FrameReadError::Truncated);
+    }
+    if declared > max {
+        return Err(FrameReadError::TooLarge { declared, max });
+    }
+    let mut body = vec![0u8; declared];
+    let mut filled = 0;
+    while filled < declared {
+        match stream.read(&mut body[filled..]) {
+            Ok(0) => return Err(FrameReadError::Truncated),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameReadError::Io(e)),
+        }
+    }
+    Ok(body)
+}
+
+/// Writes one frame: the 4-byte big-endian length of `body`, then
+/// `body` itself.
+///
+/// # Errors
+///
+/// Propagates the socket error.
+pub fn write_frame(stream: &mut impl Write, body: &[u8]) -> std::io::Result<()> {
+    stream.write_all(&(body.len() as u32).to_be_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(request: Request) {
+        let body = request.encode();
+        assert_eq!(Request::decode(&body).expect("decodes"), request);
+    }
+
+    fn roundtrip_response(response: Response) {
+        let body = response.encode();
+        assert_eq!(Response::decode(&body).expect("decodes"), response);
+    }
+
+    #[test]
+    fn every_request_verb_round_trips() {
+        roundtrip_request(Request::Hello { tenant: 7, token: "secret-π".into() });
+        roundtrip_request(Request::Submit {
+            programs: vec![
+                vec![
+                    Instruction::Store { row: 0, data: BitVec::from_indices(130, &[0, 64, 129]) },
+                    Instruction::Or { srcs: vec![0, 1], dst: 2 },
+                    Instruction::And { srcs: vec![2, 0, 1], dst: 3 },
+                    Instruction::Xor { a: 3, b: 0, dst: 4 },
+                    Instruction::Read { row: 4 },
+                ],
+                vec![Instruction::Read { row: 0 }],
+            ],
+        });
+        roundtrip_request(Request::ApOpen { patterns: vec!["ab+c".into(), "x[yz]".into()] });
+        roundtrip_request(Request::ApFeed { session: 9, chunk: b"GET /index".to_vec() });
+        roundtrip_request(Request::ApFinish { session: 9 });
+        roundtrip_request(Request::ApClose { session: 9 });
+        roundtrip_request(Request::Usage);
+        roundtrip_request(Request::Stats);
+    }
+
+    #[test]
+    fn every_response_verb_round_trips() {
+        roundtrip_response(Response::HelloOk);
+        roundtrip_response(Response::Mvp(WireMvpResult {
+            outputs: vec![vec![BitVec::from_indices(65, &[64]), BitVec::new(3)], vec![]],
+            jobs: 2,
+            programs: 3,
+            energy: Joules::from_femtojoules(12.5),
+            busy: Seconds::from_nanoseconds(7.25),
+        }));
+        roundtrip_response(Response::ApOpened { session: 3 });
+        roundtrip_response(Response::ApFed(ApReport {
+            cycles: 11,
+            latency: Seconds::from_nanoseconds(2.0),
+            energy: Joules::from_femtojoules(4.0),
+        }));
+        roundtrip_response(Response::ApFinished(crate::ApMatches {
+            accepted: true,
+            matches: vec![(5, 0), (9, 1)],
+            symbols: 15,
+            report: ApReport {
+                cycles: 15,
+                latency: Seconds::from_nanoseconds(3.0),
+                energy: Joules::from_femtojoules(6.0),
+            },
+        }));
+        roundtrip_response(Response::ApClosed);
+        roundtrip_response(Response::Usage(WireUsage {
+            mvp_jobs: 1,
+            mvp_reads: 2,
+            mvp_scouting_ops: 3,
+            mvp_programs: 4,
+            mvp_corrected_errors: 5,
+            mvp_energy: Joules::from_femtojoules(6.0),
+            mvp_busy: Seconds::from_nanoseconds(7.0),
+            ap_jobs: 8,
+            ap_symbols: 9,
+            ap_energy: Joules::from_femtojoules(10.0),
+            ap_busy: Seconds::from_nanoseconds(11.0),
+        }));
+        roundtrip_response(Response::Stats(WireStats {
+            workers: 4,
+            live_engines: 3,
+            retired_engines: 1,
+            queue_depth: 2,
+            queue_capacity: 64,
+            sessions: 5,
+            tenants: vec![TenantStat {
+                tenant: 7,
+                jobs: 12,
+                energy: Joules::from_femtojoules(1.0),
+                busy: Seconds::from_nanoseconds(2.0),
+            }],
+        }));
+        roundtrip_response(Response::Error {
+            code: ErrorCode::RateLimited,
+            message: "slow down".into(),
+        });
+    }
+
+    #[test]
+    fn forged_counts_are_refused_before_allocation() {
+        // An ApOpen claiming 4 billion patterns in a 16-byte frame.
+        let mut body = vec![OP_AP_OPEN];
+        body.extend_from_slice(&u32::MAX.to_be_bytes());
+        body.extend_from_slice(&[0; 8]);
+        assert_eq!(
+            Request::decode(&body),
+            Err(FrameError::BadPayload("element count exceeds frame"))
+        );
+        // A bit vector claiming 2^31 bits in a tiny frame.
+        let mut body = vec![OP_SUBMIT];
+        body.extend_from_slice(&1u32.to_be_bytes()); // one program
+        body.extend_from_slice(&1u32.to_be_bytes()); // one instruction
+        body.push(0); // Store
+        body.extend_from_slice(&0u32.to_be_bytes()); // row 0
+        body.extend_from_slice(&(1u32 << 31).to_be_bytes()); // absurd bit length
+        assert!(matches!(Request::decode(&body), Err(FrameError::BadPayload(_))));
+    }
+
+    #[test]
+    fn trailing_and_truncated_bodies_are_typed_errors() {
+        let mut body = Request::Usage.encode();
+        body.push(0xAB);
+        assert_eq!(Request::decode(&body), Err(FrameError::Trailing { extra: 1 }));
+        let body = Request::Hello { tenant: 1, token: "t".into() }.encode();
+        // Cut mid-u64: a plain truncation.
+        assert_eq!(Request::decode(&body[..5]), Err(FrameError::Truncated));
+        // Cut the token's last byte: the count guard catches it.
+        assert_eq!(
+            Request::decode(&body[..body.len() - 1]),
+            Err(FrameError::BadPayload("element count exceeds frame"))
+        );
+        assert_eq!(Request::decode(&[0x7F]), Err(FrameError::UnknownOpcode(0x7F)));
+        assert_eq!(FrameError::UnknownOpcode(0x7F).error_code(), ErrorCode::UnknownOpcode);
+        assert_eq!(FrameError::Truncated.error_code(), ErrorCode::BadFrame);
+    }
+
+    #[test]
+    fn error_codes_survive_the_wire_and_unknowns_collapse_to_internal() {
+        for code in [
+            ErrorCode::BadFrame,
+            ErrorCode::FrameTooLarge,
+            ErrorCode::UnknownOpcode,
+            ErrorCode::Unauthenticated,
+            ErrorCode::BadCredentials,
+            ErrorCode::AlreadyAuthenticated,
+            ErrorCode::QuotaExceeded,
+            ErrorCode::RateLimited,
+            ErrorCode::OverCapacity,
+            ErrorCode::ShuttingDown,
+            ErrorCode::UnknownSession,
+            ErrorCode::SessionBusy,
+            ErrorCode::Compile,
+            ErrorCode::Engine,
+            ErrorCode::NoHealthyEngine,
+            ErrorCode::Internal,
+        ] {
+            assert_eq!(ErrorCode::from_u16(code.as_u16()), code);
+        }
+        assert_eq!(ErrorCode::from_u16(0xBEEF), ErrorCode::Internal);
+    }
+
+    #[test]
+    fn frame_io_round_trips_and_caps_length() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &[1, 2, 3]).expect("writes");
+        let mut cursor = std::io::Cursor::new(buf.clone());
+        assert_eq!(read_frame(&mut cursor, 16).expect("reads"), vec![1, 2, 3]);
+        // Same bytes under a smaller cap: refused without reading.
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut cursor, 2),
+            Err(FrameReadError::TooLarge { declared: 3, max: 2 })
+        ));
+        // Clean close vs mid-frame cut.
+        let mut empty = std::io::Cursor::new(Vec::<u8>::new());
+        assert!(matches!(read_frame(&mut empty, 16), Err(FrameReadError::Closed)));
+        let mut cut = std::io::Cursor::new(vec![0, 0, 0, 9, 1, 2]);
+        assert!(matches!(read_frame(&mut cut, 16), Err(FrameReadError::Truncated)));
+        let mut zero = std::io::Cursor::new(vec![0, 0, 0, 0]);
+        assert!(matches!(read_frame(&mut zero, 16), Err(FrameReadError::Truncated)));
+    }
+}

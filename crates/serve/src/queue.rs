@@ -6,6 +6,7 @@
 //! Closing the queue wakes everyone; producers get their item back,
 //! consumers drain what is left and then observe the close.
 
+use crate::sync;
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
@@ -56,7 +57,7 @@ impl<T> BoundedQueue<T> {
 
     /// Items currently queued.
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue lock").items.len()
+        sync::lock(&self.state).items.len()
     }
 
     /// `true` when nothing is queued.
@@ -68,9 +69,9 @@ impl<T> BoundedQueue<T> {
     /// backpressure path. Returns the item back if the queue closed
     /// before space appeared.
     pub fn push(&self, item: T) -> Result<(), T> {
-        let mut state = self.state.lock().expect("queue lock");
+        let mut state = sync::lock(&self.state);
         while state.items.len() >= self.capacity && !state.closed {
-            state = self.not_full.wait(state).expect("queue lock");
+            state = sync::wait(&self.not_full, state);
         }
         if state.closed {
             return Err(item);
@@ -88,7 +89,7 @@ impl<T> BoundedQueue<T> {
     /// [`PushRefused::Full`] when at capacity, [`PushRefused::Closed`]
     /// after [`close`](Self::close); the item is returned either way.
     pub fn try_push(&self, item: T) -> Result<(), PushRefused<T>> {
-        let mut state = self.state.lock().expect("queue lock");
+        let mut state = sync::lock(&self.state);
         if state.closed {
             return Err(PushRefused::Closed(item));
         }
@@ -106,9 +107,9 @@ impl<T> BoundedQueue<T> {
     /// the coalescing pop. Returns `false` exactly when the queue is
     /// closed and permanently empty, i.e. the consumer should exit.
     pub fn pop_burst(&self, max: usize, sink: &mut Vec<T>) -> bool {
-        let mut state = self.state.lock().expect("queue lock");
+        let mut state = sync::lock(&self.state);
         while state.items.is_empty() && !state.closed {
-            state = self.not_empty.wait(state).expect("queue lock");
+            state = sync::wait(&self.not_empty, state);
         }
         if state.items.is_empty() {
             return false; // closed and drained
@@ -130,7 +131,7 @@ impl<T> BoundedQueue<T> {
     /// refuses once the queue is closed (the caller fails the job
     /// instead, so shutdown cannot be held open by a requeue loop).
     pub fn requeue(&self, item: T) -> Result<(), T> {
-        let mut state = self.state.lock().expect("queue lock");
+        let mut state = sync::lock(&self.state);
         if state.closed {
             return Err(item);
         }
@@ -143,20 +144,20 @@ impl<T> BoundedQueue<T> {
     /// Closes the queue: further pushes are refused, consumers drain the
     /// remaining items and then observe the close. Idempotent.
     pub fn close(&self) {
-        self.state.lock().expect("queue lock").closed = true;
+        sync::lock(&self.state).closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
     }
 
     /// `true` once [`close`](Self::close) has been called.
     pub fn is_closed(&self) -> bool {
-        self.state.lock().expect("queue lock").closed
+        sync::lock(&self.state).closed
     }
 
     /// Removes and returns everything still queued (used at shutdown to
     /// fail leftover jobs explicitly).
     pub fn drain_remaining(&self) -> Vec<T> {
-        let mut state = self.state.lock().expect("queue lock");
+        let mut state = sync::lock(&self.state);
         state.items.drain(..).collect()
     }
 }
@@ -249,5 +250,57 @@ mod tests {
         assert_eq!(sink, vec![0, 2]);
         q.close();
         assert_eq!(q.requeue(3), Err(3));
+    }
+
+    /// Regression: `requeue` racing `close` must be all-or-nothing.
+    /// Consumers exit only once the queue is closed *and* empty, so an
+    /// item whose requeue reported `Ok` is always popped before the
+    /// consumer exits; one refused with `Err` is handed back so the
+    /// caller can fail its ticket explicitly. No third outcome — in
+    /// particular, an `Ok` item silently stranded at shutdown — may
+    /// exist, whichever side wins the race.
+    #[test]
+    fn requeue_racing_close_lands_or_returns_every_item() {
+        for round in 0..50u32 {
+            let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(2));
+            let consumer = {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    let mut sink = Vec::new();
+                    while q.pop_burst(4, &mut sink) {}
+                    sink.len()
+                })
+            };
+            let requeuer = {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    let mut landed = 0usize;
+                    let mut returned = 0usize;
+                    for i in 0..100u32 {
+                        match q.requeue(i) {
+                            Ok(()) => landed += 1,
+                            Err(item) => {
+                                assert_eq!(item, i, "the refused item comes back intact");
+                                returned += 1;
+                            }
+                        }
+                    }
+                    (landed, returned)
+                })
+            };
+            // Vary the interleaving: sometimes close races the very
+            // first requeue, sometimes it lands mid-stream.
+            if round % 2 == 0 {
+                thread::sleep(std::time::Duration::from_micros(u64::from(round)));
+            }
+            q.close();
+            let (landed, returned) = requeuer.join().expect("requeuer joins");
+            let popped = consumer.join().expect("consumer joins");
+            assert_eq!(landed + returned, 100, "every requeue resolved one way");
+            assert_eq!(
+                popped, landed,
+                "every successfully requeued item was drained before the consumer exited"
+            );
+        }
     }
 }

@@ -5,6 +5,7 @@ use crate::coalesce::{coalesce, Envelope, Unit};
 use crate::job::{ticket_pair, Responder};
 use crate::queue::{BoundedQueue, PushRefused};
 use crate::session::{ApSession, SessionTable};
+use crate::sync;
 use crate::{
     ApMatches, BurstReport, Job, JobOutput, MvpOutput, ServeError, SessionId, TenantId, Ticket,
 };
@@ -268,14 +269,14 @@ impl Shared {
     /// Accounting happens *before* tickets resolve, so a client that
     /// waits on a ticket always observes its own job in the usage map.
     fn account_mvp(&self, tenant: TenantId, delta: &OpLedger, jobs: u64) {
-        let mut map = self.tenants.lock().expect("tenant lock");
+        let mut map = sync::lock(&self.tenants);
         let usage = map.entry(tenant).or_default();
         usage.mvp.merge_serial(delta);
         usage.mvp_jobs += jobs;
     }
 
     fn account_ap(&self, tenant: TenantId, symbols: u64, energy: Joules, busy: Seconds) {
-        let mut map = self.tenants.lock().expect("tenant lock");
+        let mut map = sync::lock(&self.tenants);
         let usage = map.entry(tenant).or_default();
         usage.ap_symbols += symbols;
         usage.ap_energy += energy;
@@ -311,14 +312,41 @@ impl Service {
     /// # Panics
     ///
     /// Panics if `workers`, `queue_depth`, `max_burst` or any MVP
-    /// dimension is zero.
+    /// dimension is zero, or if the OS refuses to spawn a worker
+    /// thread; [`try_start`](Self::try_start) reports both as errors
+    /// instead.
     pub fn start(config: ServeConfig) -> Self {
-        assert!(config.workers > 0, "need at least one worker");
-        assert!(config.max_burst > 0, "burst window must be non-zero");
-        assert!(
-            config.mvp_rows > 0 && config.mvp_banks > 0 && config.mvp_bank_cols > 0,
-            "MVP geometry must be non-zero"
-        );
+        match Self::try_start(config) {
+            Ok(service) => service,
+            Err(e) => panic!("Service::start failed: {e}"),
+        }
+    }
+
+    /// Starts the worker pool, reporting configuration and spawn
+    /// failures as errors — the variant a long-lived network server
+    /// should use, where a refused thread must not panic the process.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Internal`] when a sizing field is zero or the OS
+    /// refuses to spawn a worker thread (already-spawned workers are
+    /// shut down cleanly before returning).
+    pub fn try_start(config: ServeConfig) -> Result<Self, ServeError> {
+        fn invalid(message: &str) -> ServeError {
+            ServeError::Internal { message: message.to_string() }
+        }
+        if config.workers == 0 {
+            return Err(invalid("need at least one worker"));
+        }
+        if config.queue_depth == 0 {
+            return Err(invalid("queue depth must be non-zero"));
+        }
+        if config.max_burst == 0 {
+            return Err(invalid("burst window must be non-zero"));
+        }
+        if config.mvp_rows == 0 || config.mvp_banks == 0 || config.mvp_bank_cols == 0 {
+            return Err(invalid("MVP geometry must be non-zero"));
+        }
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_depth),
             sessions: SessionTable::default(),
@@ -326,16 +354,26 @@ impl Service {
             live_engines: AtomicUsize::new(config.workers),
             config: config.clone(),
         });
-        let workers = (0..config.workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("memcim-serve-{i}"))
-                    .spawn(move || worker_loop(&shared, i))
-                    .expect("spawn worker thread")
-            })
-            .collect();
-        Self { shared, workers }
+        let mut workers = Vec::with_capacity(config.workers);
+        for i in 0..config.workers {
+            let worker_shared = Arc::clone(&shared);
+            let spawned = std::thread::Builder::new()
+                .name(format!("memcim-serve-{i}"))
+                .spawn(move || worker_loop(&worker_shared, i));
+            match spawned {
+                Ok(handle) => workers.push(handle),
+                Err(e) => {
+                    // Roll back: shut the partial pool down before
+                    // reporting, so no orphan thread outlives the error.
+                    let mut partial = Self { shared, workers };
+                    partial.close_and_join(true);
+                    return Err(ServeError::Internal {
+                        message: format!("cannot spawn worker thread {i}: {e}"),
+                    });
+                }
+            }
+        }
+        Ok(Self { shared, workers })
     }
 
     /// The configuration the service was started with.
@@ -435,19 +473,13 @@ impl Service {
 
     /// The accumulated usage of one tenant, if it has completed any job.
     pub fn tenant_usage(&self, tenant: TenantId) -> Option<TenantUsage> {
-        self.shared.tenants.lock().expect("tenant lock").get(&tenant).copied()
+        sync::lock(&self.shared.tenants).get(&tenant).copied()
     }
 
     /// Every tenant's accumulated usage, sorted by tenant id.
     pub fn usage_snapshot(&self) -> Vec<(TenantId, TenantUsage)> {
-        let mut all: Vec<_> = self
-            .shared
-            .tenants
-            .lock()
-            .expect("tenant lock")
-            .iter()
-            .map(|(&t, &u)| (t, u))
-            .collect();
+        let mut all: Vec<_> =
+            sync::lock(&self.shared.tenants).iter().map(|(&t, &u)| (t, u)).collect();
         all.sort_by_key(|&(t, _)| t);
         all
     }

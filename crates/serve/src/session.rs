@@ -6,7 +6,7 @@
 //! checkout marker keeps two workers from racing on one session's
 //! stream state without serializing unrelated sessions.
 
-use crate::{ServeError, SessionId, TenantId};
+use crate::{sync, ServeError, SessionId, TenantId};
 use memcim_ap::{ApBackend, ApError, AutomataProcessor, RoutingKind};
 use memcim_automata::{PatternSet, StartKind};
 use std::collections::HashMap;
@@ -70,7 +70,7 @@ impl SessionTable {
             }
             Err(e) => return Err(e.into()),
         };
-        let mut inner = self.inner.lock().expect("session lock");
+        let mut inner = sync::lock(&self.inner);
         let id = inner.next_id;
         inner.next_id += 1;
         inner.sessions.insert(
@@ -99,7 +99,7 @@ impl SessionTable {
         id: SessionId,
         tenant: TenantId,
     ) -> Result<Box<ApSession>, ServeError> {
-        let mut inner = self.inner.lock().expect("session lock");
+        let mut inner = sync::lock(&self.inner);
         let Some(entry) = inner.sessions.get_mut(&id) else {
             return Err(ServeError::UnknownSession { session: id });
         };
@@ -124,7 +124,7 @@ impl SessionTable {
     /// Returns a checked-out session to the table. If the session was
     /// closed while checked out, the state is dropped.
     pub(crate) fn put_back(&self, id: SessionId, session: Box<ApSession>) {
-        let mut inner = self.inner.lock().expect("session lock");
+        let mut inner = sync::lock(&self.inner);
         if let Some(entry) = inner.sessions.get_mut(&id) {
             *entry = Entry::Idle(session);
         }
@@ -135,7 +135,7 @@ impl SessionTable {
     /// completes. Another tenant's session reports
     /// [`ServeError::UnknownSession`] and is left untouched.
     pub(crate) fn close(&self, id: SessionId, tenant: TenantId) -> Result<(), ServeError> {
-        let mut inner = self.inner.lock().expect("session lock");
+        let mut inner = sync::lock(&self.inner);
         let owner = match inner.sessions.get(&id) {
             None => return Err(ServeError::UnknownSession { session: id }),
             Some(Entry::Idle(session)) => session.tenant,
@@ -150,7 +150,7 @@ impl SessionTable {
 
     /// Open sessions (idle or checked out).
     pub(crate) fn len(&self) -> usize {
-        self.inner.lock().expect("session lock").sessions.len()
+        sync::lock(&self.inner).sessions.len()
     }
 }
 

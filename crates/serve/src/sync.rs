@@ -1,0 +1,53 @@
+//! Poison-tolerant locking for the service's internal bookkeeping.
+//!
+//! Every critical section in this crate is a short, panic-free sequence
+//! of plain data-structure mutations — no tenant code and no engine
+//! code ever runs while a bookkeeping lock is held. A poisoned mutex
+//! therefore cannot mean the guarded state is half-mutated; it means
+//! *some other part* of a thread panicked while a guard happened to be
+//! alive on its stack (or the runtime unwound it for an unrelated
+//! reason). Once a network listener keeps the process alive, turning
+//! that into a panic in every subsequent client call would let one
+//! crashed worker take the whole service down — so these helpers
+//! recover the guard and keep serving. The per-call sites that *can*
+//! surface an error to a caller do so as [`ServeError::Internal`]
+//! instead (see `Service::try_start`).
+//!
+//! [`ServeError::Internal`]: crate::ServeError::Internal
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Locks `mutex`, recovering the guard if a panicking thread poisoned
+/// it. Sound because no critical section in this crate can leave the
+/// guarded state torn (see the module docs).
+pub(crate) fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Waits on `condvar`, recovering the reacquired guard from poisoning
+/// the same way [`lock`] does.
+pub(crate) fn wait<'a, T>(condvar: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    condvar.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn lock_recovers_from_a_poisoned_mutex() {
+        let mutex = Arc::new(Mutex::new(41));
+        let poisoner = {
+            let mutex = Arc::clone(&mutex);
+            std::thread::spawn(move || {
+                let _guard = mutex.lock().expect("first lock");
+                panic!("poison the lock");
+            })
+        };
+        assert!(poisoner.join().is_err(), "the thread panicked");
+        assert!(mutex.is_poisoned());
+        *lock(&mutex) += 1;
+        assert_eq!(*lock(&mutex), 42, "state stays usable after recovery");
+    }
+}

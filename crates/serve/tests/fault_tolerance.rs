@@ -203,3 +203,50 @@ fn dead_pool_fails_fast_and_keeps_streaming() {
     assert!(run.into_ap_feed().is_some());
     service.shutdown();
 }
+
+/// Regression for the requeue-vs-close race: when an engine dies while
+/// the service is aborting, the worker's divert path requeues onto a
+/// queue that may already be closed. The contract is all-or-nothing —
+/// every ticket resolves with its answer or an explicit
+/// `ShuttingDown`/`NoHealthyEngine`, never a hang, and the bill covers
+/// exactly the jobs that completed.
+#[test]
+fn retirement_racing_shutdown_resolves_every_ticket() {
+    for _ in 0..10 {
+        let config = ServeConfig::default()
+            .with_workers(2)
+            .with_queue_depth(64)
+            .with_max_burst(4)
+            .with_mvp_geometry(ROWS, BANKS, BANK_COLS)
+            .with_engine_factory(|_| -> BoxedBackend {
+                // Both engines die a few operations in, so retirement
+                // and the abort below race for the queue.
+                Box::new(DyingBackend::new(BankedCrossbar::rram(ROWS, BANKS, BANK_COLS), 4))
+            });
+        let service = Service::start(config);
+        let tickets: Vec<_> = (0..32u8)
+            .map(|i| {
+                service
+                    .submit(u64::from(i % 4), Job::MvpProgram(query(usize::from(i % 8))))
+                    .expect("open")
+            })
+            .collect();
+        // Abort while workers are mid-burst: queued jobs are failed,
+        // in-flight jobs either land on a survivor or hit the closed
+        // queue on their divert.
+        let usage = service.abort();
+        let mut completed = 0u64;
+        for ticket in tickets {
+            match ticket.wait() {
+                Ok(out) => {
+                    completed += 1;
+                    assert!(out.into_mvp().is_some(), "MVP jobs resolve to MVP outputs");
+                }
+                Err(ServeError::ShuttingDown | ServeError::NoHealthyEngine) => {}
+                Err(e) => panic!("a racing shutdown may not surface {e:?}"),
+            }
+        }
+        let billed: u64 = usage.iter().map(|(_, u)| u.mvp_jobs).sum();
+        assert_eq!(billed, completed, "the bill covers exactly the completed jobs");
+    }
+}
