@@ -49,6 +49,7 @@ const REQUIRED_CONFIGS: &[&str] = &[
     "serve_bitmap_qps_1w",
     "serve_bitmap_qps_4w",
     "serve_bitmap_qps_8w",
+    "serve_shard_qps",
     "serve_net_qps",
     "yield_report",
 ];
@@ -223,6 +224,64 @@ fn run_workloads(quick: bool) -> Vec<ConfigResult> {
                 std::hint::black_box(ticket.wait().expect("query runs"));
             }
         }));
+        service.shutdown();
+    }
+
+    // --- Replicated placement: scatter-gather QPS ----------------------
+    // The same table partitioned into 4 shards, each replicated on 2 of
+    // 4 workers. Each unit is one full scatter-gather: four shard-local
+    // sub-queries fanned out to one live replica each, partials
+    // gathered in submission order, ledgers merged with parallel
+    // semantics. The gap between this number and `serve_bitmap_qps_4w`
+    // is the per-query cost of the placement catalog, the mailbox
+    // routing and the gather — the price of kill-a-shard failover.
+    {
+        let shards = 4usize;
+        let map = memcim_mvp::ShardMap::new(serve_records, shards).expect("valid geometry");
+        let serve_config = ServeConfig::default()
+            .with_workers(4)
+            .with_queue_depth(jobs_per_iter)
+            .with_max_burst(8)
+            .with_mvp_geometry(32, 64, serve_records / 64)
+            .with_placement(shards, 2);
+        let width = serve_config.mvp_width();
+        let shard_plans: Vec<Vec<(usize, Vec<memcim_mvp::Instruction>)>> = queries
+            .iter()
+            .map(|(s1, s2)| {
+                map.ranges()
+                    .enumerate()
+                    .map(|(shard, range)| {
+                        (
+                            shard,
+                            serve_table
+                                .shard_query_plan(s1, s2, range, width)
+                                .expect("plan compiles"),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        let service = Service::start(serve_config);
+        let scatters_per_iter = jobs_per_iter / shards;
+        results.push(measure(
+            "serve_shard_qps",
+            "scatter",
+            scatters_per_iter as u64,
+            budget,
+            || {
+                let tickets: Vec<_> = (0..scatters_per_iter)
+                    .map(|i| {
+                        let tenant = (i % 8) as u64;
+                        service
+                            .submit_sharded(tenant, shard_plans[i % shard_plans.len()].clone())
+                            .expect("service is running")
+                    })
+                    .collect();
+                for ticket in tickets {
+                    std::hint::black_box(ticket.wait().expect("scatter gathers"));
+                }
+            },
+        ));
         service.shutdown();
     }
 

@@ -9,22 +9,32 @@
 //!
 //! ```text
 //! serve_load [--quick] [--clients N] [--workers W] [--queue-depth Q]
-//!            [--duration-ms MS]
+//!            [--duration-ms MS] [--kill-rate K]
 //! ```
 //!
 //! * `--quick` shrinks the run for CI smoke (4 clients, 150 ms).
-//! * Defaults: 16 clients, 4 workers, queue depth 8, 2000 ms.
+//! * `--kill-rate K` retires worker engines at ~K kills/second
+//!   (seeded schedule, at least one engine always survives): a chaos
+//!   mode proving the retire-and-divert path stays invisible to
+//!   clients — every request still completes or is refused with a
+//!   typed `OverCapacity`, never an engine fault.
+//! * Defaults: 16 clients, 4 workers, queue depth 8, 2000 ms, no kills.
 //!
 //! Unlike `perf_report`'s `serve_net_qps` config (one connection,
 //! sequential round trips — the committed trajectory number), this
 //! binary is the *overload* instrument: concurrency exceeds capacity
 //! on purpose, so tail latency and refusal behavior are visible.
 
+use memcim_bits::BitVec;
+use memcim_crossbar::{
+    BankedCrossbar, CrossbarBackend, CrossbarError, OpLedger, RemapEntry, ScoutingKind,
+};
 use memcim_mvp::Instruction;
 use memcim_serve::net::{ClientError, ErrorCode, NetClient, NetConfig, NetServer, TenantPolicy};
-use memcim_serve::{ServeConfig, Service};
+use memcim_serve::{BoxedBackend, ServeConfig, Service};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -41,12 +51,19 @@ struct Args {
     workers: usize,
     queue_depth: usize,
     duration: Duration,
+    /// Engine kills per second; zero disables the chaos schedule.
+    kill_rate: f64,
 }
 
 fn parse_args() -> Args {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let mut args =
-        Args { clients: 16, workers: 4, queue_depth: 8, duration: Duration::from_millis(2000) };
+    let mut args = Args {
+        clients: 16,
+        workers: 4,
+        queue_depth: 8,
+        duration: Duration::from_millis(2000),
+        kill_rate: 0.0,
+    };
     let mut it = argv.iter();
     let number = |it: &mut std::slice::Iter<'_, String>, flag: &str| -> u64 {
         it.next()
@@ -66,18 +83,89 @@ fn parse_args() -> Args {
             "--duration-ms" => {
                 args.duration = Duration::from_millis(number(&mut it, "--duration-ms"))
             }
+            "--kill-rate" => {
+                args.kill_rate = it
+                    .next()
+                    .unwrap_or_else(|| panic!("--kill-rate needs a value"))
+                    .parse()
+                    .unwrap_or_else(|e| panic!("--kill-rate: {e}"))
+            }
             other => {
                 eprintln!("unknown argument {other:?}");
                 eprintln!(
                     "usage: serve_load [--quick] [--clients N] [--workers W] \
-                     [--queue-depth Q] [--duration-ms MS]"
+                     [--queue-depth Q] [--duration-ms MS] [--kill-rate K]"
                 );
                 std::process::exit(2);
             }
         }
     }
     assert!(args.clients > 0, "--clients must be positive");
+    assert!(args.kill_rate >= 0.0 && args.kill_rate.is_finite(), "--kill-rate must be finite");
     args
+}
+
+/// A substrate with a remote kill switch: executes normally until its
+/// worker's flag flips, then reports `ExhaustedSpares` on every
+/// operation. The serve layer retires the engine and diverts the
+/// in-flight job to a surviving worker, so clients never see the kill.
+struct KillableBackend {
+    inner: BankedCrossbar,
+    switches: Arc<Vec<AtomicBool>>,
+    worker: usize,
+}
+
+impl KillableBackend {
+    fn check(&self) -> Result<(), CrossbarError> {
+        if self.switches[self.worker].load(Ordering::SeqCst) {
+            Err(CrossbarError::ExhaustedSpares { row: 0, spares: 0 })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl CrossbarBackend for KillableBackend {
+    fn rows(&self) -> usize {
+        self.inner.rows()
+    }
+
+    fn cols(&self) -> usize {
+        self.inner.cols()
+    }
+
+    fn program_row(&mut self, row: usize, values: &BitVec) -> Result<u64, CrossbarError> {
+        self.check()?;
+        self.inner.program_row(row, values)
+    }
+
+    fn read_row(&mut self, row: usize) -> Result<BitVec, CrossbarError> {
+        self.check()?;
+        self.inner.read_row(row)
+    }
+
+    fn scouting(&mut self, kind: ScoutingKind, rows: &[usize]) -> Result<BitVec, CrossbarError> {
+        self.check()?;
+        self.inner.scouting(kind, rows)
+    }
+
+    fn scouting_write(
+        &mut self,
+        kind: ScoutingKind,
+        rows: &[usize],
+        dest: usize,
+    ) -> Result<BitVec, CrossbarError> {
+        self.check()?;
+        self.inner.scouting_write(kind, rows, dest)
+    }
+
+    fn ledger_parts(&self) -> Vec<OpLedger> {
+        self.inner.ledger_parts()
+    }
+
+    fn remap_table(&self) -> Vec<RemapEntry> {
+        self.inner.remap_table()
+    }
 }
 
 /// What one client thread observed.
@@ -111,16 +199,25 @@ fn main() {
     let plans: Vec<Vec<Instruction>> =
         queries.iter().map(|(s1, s2)| table.query_plan(s1, s2)).collect();
 
-    let service = Arc::new(
-        Service::try_start(
-            ServeConfig::default()
-                .with_workers(args.workers)
-                .with_queue_depth(args.queue_depth)
-                .with_max_burst(8)
-                .with_mvp_geometry(32, 64, records / 64),
-        )
-        .expect("service starts"),
-    );
+    let (rows, banks, bank_cols) = (32usize, 64usize, records / 64);
+    let mut serve_config = ServeConfig::default()
+        .with_workers(args.workers)
+        .with_queue_depth(args.queue_depth)
+        .with_max_burst(8)
+        .with_mvp_geometry(rows, banks, bank_cols);
+    let switches: Arc<Vec<AtomicBool>> =
+        Arc::new((0..args.workers).map(|_| AtomicBool::new(false)).collect());
+    if args.kill_rate > 0.0 {
+        let factory_switches = Arc::clone(&switches);
+        serve_config = serve_config.with_engine_factory(move |worker| -> BoxedBackend {
+            Box::new(KillableBackend {
+                inner: BankedCrossbar::rram(rows, banks, bank_cols),
+                switches: Arc::clone(&factory_switches),
+                worker,
+            })
+        });
+    }
+    let service = Arc::new(Service::try_start(serve_config).expect("service starts"));
     let mut net = NetConfig::default();
     for tenant in 0..args.clients as u64 {
         net = net.with_tenant(tenant, TenantPolicy::new(token(tenant)));
@@ -130,6 +227,39 @@ fn main() {
 
     let started = Instant::now();
     let deadline = started + args.duration;
+
+    // The chaos schedule: a seeded thread flips one surviving worker's
+    // kill switch roughly every 1/K seconds, always leaving at least
+    // one engine alive so the service stays answerable.
+    let chaos = (args.kill_rate > 0.0).then(|| {
+        let switches = Arc::clone(&switches);
+        let kill_rate = args.kill_rate;
+        std::thread::spawn(move || {
+            let mut rng = SmallRng::seed_from_u64(SEED ^ 0xC4A05);
+            let mut killed = 0u64;
+            while Instant::now() < deadline {
+                // Jittered inter-kill gap: 0.5x..1.5x of the mean.
+                let gap = Duration::from_secs_f64(rng.gen_range(0.5..1.5) / kill_rate);
+                let wake = Instant::now() + gap;
+                while Instant::now() < wake.min(deadline) {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                if Instant::now() >= deadline {
+                    break;
+                }
+                let alive: Vec<usize> =
+                    (0..switches.len()).filter(|&w| !switches[w].load(Ordering::SeqCst)).collect();
+                if alive.len() <= 1 {
+                    break; // the last engine must survive
+                }
+                let victim = alive[rng.gen_range(0..alive.len())];
+                switches[victim].store(true, Ordering::SeqCst);
+                killed += 1;
+            }
+            killed
+        })
+    });
+
     let reports: Vec<ClientReport> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..args.clients)
             .map(|i| {
@@ -161,6 +291,8 @@ fn main() {
         handles.into_iter().map(|h| h.join().expect("client thread joins")).collect()
     });
     let wall = started.elapsed();
+    let killed = chaos.map_or(0, |h| h.join().expect("chaos thread joins"));
+    let retired = service.retired_engines() as u64;
     server.shutdown();
     drop(service);
 
@@ -179,8 +311,8 @@ fn main() {
         "{}",
         memcim_bench::table(
             &[
-                "clients", "workers", "queue", "wall_ms", "accepted", "refused", "qps", "p50_us",
-                "p95_us", "p99_us"
+                "clients", "workers", "queue", "wall_ms", "accepted", "refused", "killed",
+                "retired", "qps", "p50_us", "p95_us", "p99_us"
             ],
             &[vec![
                 args.clients.to_string(),
@@ -189,6 +321,8 @@ fn main() {
                 memcim_bench::fmt(wall.as_secs_f64() * 1e3, 0),
                 accepted.to_string(),
                 refused.to_string(),
+                killed.to_string(),
+                retired.to_string(),
                 memcim_bench::fmt(qps, 0),
                 us(percentile(&latencies, 0.50)),
                 us(percentile(&latencies, 0.95)),
@@ -197,4 +331,8 @@ fn main() {
         )
     );
     assert!(accepted > 0, "the load generator must complete at least one request");
+    assert!(
+        retired <= killed,
+        "the service cannot retire more engines ({retired}) than the schedule killed ({killed})"
+    );
 }

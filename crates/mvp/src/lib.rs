@@ -66,6 +66,7 @@ pub mod arith;
 mod batch;
 mod error;
 mod isa;
+pub mod sharded;
 mod simulator;
 pub mod workloads;
 
@@ -73,4 +74,5 @@ pub use arch::{evaluate, ArchComparison, Metrics, MissRates, SystemConfig};
 pub use batch::{BatchReport, BatchRequest};
 pub use error::MvpError;
 pub use isa::Instruction;
+pub use sharded::ShardMap;
 pub use simulator::MvpSimulator;

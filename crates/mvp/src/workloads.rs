@@ -127,6 +127,83 @@ pub mod bitmap {
             program
         }
 
+        /// The shard-local program for records `range` of the same
+        /// query, padded to an engine of `width` columns.
+        ///
+        /// The program has the same `[set1…][set2…][tmp1][tmp2][out]`
+        /// shape as [`query_plan`](Self::query_plan), but every stored
+        /// bitmap carries only the records in `range` (in its low
+        /// `range.len()` bits, zero-padded above). Executing one such
+        /// program per shard of a [`ShardMap`](crate::ShardMap) and
+        /// stitching the `Read` outputs reproduces the unsharded answer
+        /// bit for bit — the differential contract the serve layer's
+        /// scatter-gather path is tested against.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`MvpError::BadInput`] when `range` escapes the
+        /// table or does not fit an engine of `width` columns.
+        pub fn shard_query_plan(
+            &self,
+            set1: &[u8],
+            set2: &[u8],
+            range: std::ops::Range<usize>,
+            width: usize,
+        ) -> Result<Vec<Instruction>, MvpError> {
+            if range.end > self.rows || range.start > range.end {
+                return Err(MvpError::BadInput {
+                    reason: format!(
+                        "shard range {}..{} escapes the {}-record table",
+                        range.start, range.end, self.rows
+                    ),
+                });
+            }
+            if range.len() > width {
+                return Err(MvpError::BadInput {
+                    reason: format!(
+                        "{}-record shard does not fit a {width}-column engine",
+                        range.len()
+                    ),
+                });
+            }
+            let mut program = Vec::new();
+            let mut row = 0;
+            let mut rows1 = Vec::new();
+            for &v in set1 {
+                program.push(Instruction::Store {
+                    row,
+                    data: Self::bitmap(&self.col1[range.clone()], v, width),
+                });
+                rows1.push(row);
+                row += 1;
+            }
+            let mut rows2 = Vec::new();
+            for &v in set2 {
+                program.push(Instruction::Store {
+                    row,
+                    data: Self::bitmap(&self.col2[range.clone()], v, width),
+                });
+                rows2.push(row);
+                row += 1;
+            }
+            let (tmp1, tmp2, out) = (row, row + 1, row + 2);
+            let lhs = if rows1.len() == 1 {
+                rows1[0]
+            } else {
+                program.push(Instruction::Or { srcs: rows1, dst: tmp1 });
+                tmp1
+            };
+            let rhs = if rows2.len() == 1 {
+                rows2[0]
+            } else {
+                program.push(Instruction::Or { srcs: rows2, dst: tmp2 });
+                tmp2
+            };
+            program.push(Instruction::And { srcs: vec![lhs, rhs], dst: out });
+            program.push(Instruction::Read { row: out });
+            Ok(program)
+        }
+
         /// MVP execution: loads the value bitmaps and runs the
         /// OR/OR/AND plan in memory.
         ///
@@ -271,6 +348,40 @@ pub mod kmer {
             program.push(Instruction::Read { row: dst });
             let mut outputs = mvp.run_program(&program)?;
             Ok(outputs.pop().expect("program ends with a read"))
+        }
+
+        /// The shard-local program testing only candidate positions
+        /// `range`, padded to an engine of `width` columns — the k-mer
+        /// counterpart of
+        /// [`BitmapTable::shard_query_plan`](super::bitmap::BitmapTable::shard_query_plan).
+        /// Stitching the per-shard `Read` outputs over a
+        /// [`ShardMap`](crate::ShardMap) of [`positions`](Self::positions)
+        /// reproduces [`find_reference`](Self::find_reference) bit for
+        /// bit.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`MvpError::BadInput`] for a malformed k-mer or a
+        /// range that escapes the index or the engine width.
+        pub fn shard_find_plan(
+            &self,
+            kmer: &[u8],
+            range: std::ops::Range<usize>,
+            width: usize,
+        ) -> Result<Vec<Instruction>, MvpError> {
+            self.check_kmer(kmer)?;
+            let mut program = Vec::new();
+            for (j, &b) in kmer.iter().enumerate() {
+                let layer = &self.layers[j][base_index(b, j)?];
+                program.push(Instruction::Store {
+                    row: j,
+                    data: crate::sharded::slice_to_width(layer, range.clone(), width)?,
+                });
+            }
+            let dst = self.k;
+            program.push(Instruction::And { srcs: (0..self.k).collect(), dst });
+            program.push(Instruction::Read { row: dst });
+            Ok(program)
         }
     }
 }
@@ -439,6 +550,71 @@ mod tests {
         let mut banked = MvpSimulator::banked(24, 3, 128);
         let fast = table.query_mvp(&mut banked, &[1, 3], &[0, 2]).expect("banked query");
         assert_eq!(fast, table.query_reference(&[1, 3], &[0, 2]));
+    }
+
+    #[test]
+    fn sharded_bitmap_query_stitches_to_the_reference() {
+        let mut rng = SmallRng::seed_from_u64(2018);
+        let n = 500; // deliberately not a multiple of the shard counts
+        let col1: Vec<u8> = (0..n).map(|_| rng.gen_range(0..8)).collect();
+        let col2: Vec<u8> = (0..n).map(|_| rng.gen_range(0..8)).collect();
+        let table = bitmap::BitmapTable::new(col1, col2, 8);
+        let width = 512; // engine width exceeds every shard's record count
+        for shards in [1usize, 2, 3, 4] {
+            let map = crate::ShardMap::new(n, shards).expect("valid geometry");
+            for (s1, s2) in [(&[1u8, 3][..], &[0u8, 2, 5][..]), (&[7], &[7])] {
+                let partials: Vec<BitVec> = map
+                    .ranges()
+                    .map(|r| {
+                        let plan = table.shard_query_plan(s1, s2, r, width).expect("plan compiles");
+                        let mut engine = MvpSimulator::new(16, width);
+                        engine.run_program(&plan).expect("shard runs").pop().expect("read")
+                    })
+                    .collect();
+                let stitched = map.stitch(&partials).expect("aligned");
+                assert_eq!(stitched, table.query_reference(s1, s2), "{shards} shards");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_query_plan_validates_geometry() {
+        let table = bitmap::BitmapTable::new(vec![0, 1, 2, 3], vec![0, 1, 2, 3], 4);
+        assert!(matches!(
+            table.shard_query_plan(&[1], &[2], 2..6, 64),
+            Err(MvpError::BadInput { .. })
+        ));
+        assert!(matches!(
+            table.shard_query_plan(&[1], &[2], 0..4, 2),
+            Err(MvpError::BadInput { .. })
+        ));
+    }
+
+    #[test]
+    fn sharded_kmer_search_stitches_to_the_reference() {
+        let mut rng = SmallRng::seed_from_u64(2018);
+        let bases = [b'A', b'C', b'G', b'T'];
+        let mut genome: Vec<u8> = (0..700).map(|_| bases[rng.gen_range(0..4usize)]).collect();
+        for at in [50usize, 340, 650] {
+            genome[at..at + 5].copy_from_slice(b"GATTA");
+        }
+        let index = kmer::ShiftedBaseIndex::build(&genome, 5).expect("clean genome");
+        let map = crate::ShardMap::new(index.positions(), 3).expect("valid geometry");
+        let width = 256;
+        let partials: Vec<BitVec> = map
+            .ranges()
+            .map(|r| {
+                let plan = index.shard_find_plan(b"GATTA", r, width).expect("plan compiles");
+                let mut engine = MvpSimulator::new(8, width);
+                engine.run_program(&plan).expect("shard runs").pop().expect("read")
+            })
+            .collect();
+        let stitched = map.stitch(&partials).expect("aligned");
+        assert_eq!(stitched, index.find_reference(b"GATTA").expect("reference"));
+        assert!(matches!(
+            index.shard_find_plan(b"GAT", 0..4, width),
+            Err(MvpError::BadInput { .. })
+        ));
     }
 
     #[test]

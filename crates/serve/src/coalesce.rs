@@ -2,29 +2,54 @@
 //!
 //! Compatible jobs are merged so the engine does one [`BatchRequest`]
 //! run instead of many: all [`Job::MvpProgram`] submissions of one
-//! tenant that land in the same scheduling burst ride in one coalesced
-//! burst (one ledger delta, accounted once to that tenant). Everything
-//! else — pre-assembled batches, AP streaming jobs — executes as its own
-//! unit in arrival order.
+//! tenant *and one shard route* that land in the same scheduling burst
+//! ride in one coalesced burst (one ledger delta, accounted once to
+//! that tenant). The shard is part of the merge key on purpose: two
+//! sub-queries of one scatter-gather touch different shards and must
+//! never share a burst ledger, or the gather's `merge_parallel` over
+//! per-shard deltas would double-count. Everything else —
+//! pre-assembled batches, AP streaming jobs — executes as its own unit
+//! in arrival order.
 
 use crate::job::Responder;
 use crate::{Job, SessionId, TenantId};
 use memcim_mvp::{BatchRequest, Instruction};
 
-/// A queued job with its tenant and the worker-side ticket half.
+/// Where a sharded sub-query is in its failover journey: which shard
+/// it serves and how many placement attempts it has consumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ShardRoute {
+    /// The shard whose records this sub-query touches.
+    pub(crate) shard: usize,
+    /// Placement attempts so far (0 on first submit; each re-route
+    /// after an engine retirement increments it).
+    pub(crate) attempts: u32,
+}
+
+/// A queued job with its tenant, optional shard route and the
+/// worker-side ticket half.
 #[derive(Debug)]
 pub(crate) struct Envelope {
     pub(crate) tenant: TenantId,
     pub(crate) job: Job,
+    /// `Some` for scatter-gather sub-queries (always delivered via a
+    /// worker mailbox); `None` for ordinary shared-lane jobs.
+    pub(crate) route: Option<ShardRoute>,
     pub(crate) responder: Responder,
 }
 
 /// One engine execution unit produced by [`coalesce`].
 #[derive(Debug)]
 pub(crate) enum Unit {
-    /// Coalesced single-program jobs of one tenant: executed as one
-    /// `BatchRequest`, delta accounted once.
-    MvpBurst { tenant: TenantId, programs: Vec<(Vec<Instruction>, Responder)> },
+    /// Coalesced single-program jobs of one tenant and one shard key:
+    /// executed as one `BatchRequest`, delta accounted once.
+    MvpBurst {
+        tenant: TenantId,
+        /// The common shard of every program in this burst (`None` for
+        /// unsharded bursts) — the second half of the merge key.
+        shard: Option<usize>,
+        programs: Vec<(Vec<Instruction>, Option<ShardRoute>, Responder)>,
+    },
     /// A client-assembled batch, executed as submitted.
     MvpSolo { tenant: TenantId, batch: BatchRequest, responder: Responder },
     /// One streaming chunk for an AP session.
@@ -34,7 +59,7 @@ pub(crate) enum Unit {
 }
 
 /// Partitions a drained burst into execution units, merging each
-/// tenant's single-program MVP jobs.
+/// (tenant, shard) group's single-program MVP jobs.
 ///
 /// Order within a coalesced unit follows arrival, but merging can move
 /// a `MvpProgram` ahead of a later-arriving unit of another kind. That
@@ -44,18 +69,25 @@ pub(crate) enum Unit {
 pub(crate) fn coalesce(burst: impl IntoIterator<Item = Envelope>) -> Vec<Unit> {
     let burst = burst.into_iter();
     let mut units: Vec<Unit> = Vec::with_capacity(burst.size_hint().0);
-    for Envelope { tenant, job, responder } in burst {
+    for Envelope { tenant, job, route, responder } in burst {
         match job {
             Job::MvpProgram(program) => {
+                let key = route.map(|r| r.shard);
                 let existing = units.iter_mut().find_map(|unit| match unit {
-                    Unit::MvpBurst { tenant: t, programs } if *t == tenant => Some(programs),
+                    Unit::MvpBurst { tenant: t, shard, programs }
+                        if *t == tenant && *shard == key =>
+                    {
+                        Some(programs)
+                    }
                     _ => None,
                 });
                 match existing {
-                    Some(programs) => programs.push((program, responder)),
-                    None => {
-                        units.push(Unit::MvpBurst { tenant, programs: vec![(program, responder)] })
-                    }
+                    Some(programs) => programs.push((program, route, responder)),
+                    None => units.push(Unit::MvpBurst {
+                        tenant,
+                        shard: key,
+                        programs: vec![(program, route, responder)],
+                    }),
                 }
             }
             Job::MvpBatch(batch) => units.push(Unit::MvpSolo { tenant, batch, responder }),
@@ -75,7 +107,12 @@ mod tests {
 
     fn envelope(tenant: TenantId, job: Job) -> Envelope {
         let (_ticket, responder) = ticket_pair();
-        Envelope { tenant, job, responder }
+        Envelope { tenant, job, route: None, responder }
+    }
+
+    fn routed(tenant: TenantId, shard: usize, job: Job) -> Envelope {
+        let (_ticket, responder) = ticket_pair();
+        Envelope { tenant, job, route: Some(ShardRoute { shard, attempts: 0 }), responder }
     }
 
     fn program(row: usize) -> Vec<Instruction> {
@@ -91,14 +128,41 @@ mod tests {
         ]);
         assert_eq!(units.len(), 2);
         match &units[0] {
-            Unit::MvpBurst { tenant: 1, programs } => {
+            Unit::MvpBurst { tenant: 1, shard: None, programs } => {
                 assert_eq!(programs.len(), 2);
                 assert_eq!(programs[0].0, program(0));
                 assert_eq!(programs[1].0, program(2));
             }
             other => panic!("expected tenant 1 burst, got {other:?}"),
         }
-        assert!(matches!(&units[1], Unit::MvpBurst { tenant: 2, programs } if programs.len() == 1));
+        assert!(
+            matches!(&units[1], Unit::MvpBurst { tenant: 2, programs, .. } if programs.len() == 1)
+        );
+    }
+
+    #[test]
+    fn distinct_shards_never_share_a_burst() {
+        // One tenant, four sub-queries: two for shard 0, one for shard
+        // 1, one unsharded. Shards must stay apart (their ledgers merge
+        // parallel at the gather) while same-shard programs coalesce.
+        let units = coalesce(vec![
+            routed(1, 0, Job::MvpProgram(program(0))),
+            routed(1, 1, Job::MvpProgram(program(1))),
+            envelope(1, Job::MvpProgram(program(2))),
+            routed(1, 0, Job::MvpProgram(program(3))),
+        ]);
+        assert_eq!(units.len(), 3);
+        match &units[0] {
+            Unit::MvpBurst { tenant: 1, shard: Some(0), programs } => {
+                assert_eq!(programs.len(), 2);
+                assert_eq!(programs[1].0, program(3));
+            }
+            other => panic!("expected shard 0 burst, got {other:?}"),
+        }
+        assert!(matches!(&units[1], Unit::MvpBurst { shard: Some(1), programs, .. }
+            if programs.len() == 1));
+        assert!(matches!(&units[2], Unit::MvpBurst { shard: None, programs, .. }
+            if programs.len() == 1));
     }
 
     #[test]

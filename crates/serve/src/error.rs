@@ -39,6 +39,13 @@ pub enum ServeError {
     /// Every worker engine has been retired (uncorrectable faults or
     /// exhausted spare rows); MVP jobs can no longer be placed.
     NoHealthyEngine,
+    /// Every replica of one shard is dead: the sub-query cannot fail
+    /// over anywhere. Other shards keep serving — only jobs touching
+    /// this shard's records are affected.
+    ShardUnavailable {
+        /// The shard whose replica set is exhausted.
+        shard: usize,
+    },
     /// An AP session could not be mapped onto the hardware.
     Ap(ApError),
     /// Admission control refused the submission: the tenant's token
@@ -86,6 +93,9 @@ impl fmt::Display for ServeError {
             ServeError::Mvp(e) => write!(f, "MVP job failed: {e}"),
             ServeError::NoHealthyEngine => {
                 write!(f, "every worker engine has been retired; no healthy MVP engine remains")
+            }
+            ServeError::ShardUnavailable { shard } => {
+                write!(f, "every replica of shard {shard} is dead; its records are unavailable")
             }
             ServeError::Ap(e) => write!(f, "AP mapping failed: {e}"),
             ServeError::RateLimited { tenant } => {
@@ -140,6 +150,7 @@ mod tests {
         assert!(quota.to_string().contains("100 jobs"));
         let internal = ServeError::Internal { message: "spawn failed".into() };
         assert!(internal.to_string().contains("spawn failed"));
+        assert!(ServeError::ShardUnavailable { shard: 2 }.to_string().contains("shard 2"));
     }
 
     #[test]

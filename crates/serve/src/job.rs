@@ -162,6 +162,78 @@ impl Ticket {
     }
 }
 
+/// A claim on a scatter-gather job's eventual result: one
+/// [`Ticket`] per shard sub-query, gathered by
+/// [`wait`](ShardedTicket::wait).
+///
+/// Obtained from `Service::submit_sharded`. Sub-queries resolve
+/// independently — a shard whose replicas are all dead fails with
+/// [`ServeError::ShardUnavailable`] without disturbing the others — so
+/// the gather surfaces the first failing shard's error, or merges every
+/// partial when all succeed.
+#[derive(Debug)]
+pub struct ShardedTicket {
+    parts: Vec<(usize, Ticket)>,
+}
+
+/// One shard's slice of a gathered scatter-gather answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardPartial {
+    /// The shard this partial covers.
+    pub shard: usize,
+    /// The shard-local program's `Read` outputs, in program order.
+    pub outputs: Vec<BitVec>,
+}
+
+/// The gathered result of a scatter-gather submission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedOutput {
+    /// Per-shard partials, in the order the sub-queries were submitted.
+    pub partials: Vec<ShardPartial>,
+    /// The sub-query ledgers merged with parallel semantics (counts and
+    /// energy sum over shards, busy time is the slowest shard) — shards
+    /// execute on distinct workers' engines concurrently, exactly the
+    /// banked-crossbar cost model one level up.
+    pub ledger: OpLedger,
+}
+
+impl ShardedTicket {
+    pub(crate) fn new(parts: Vec<(usize, Ticket)>) -> Self {
+        Self { parts }
+    }
+
+    /// Number of shard sub-queries in flight.
+    pub fn shard_count(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Blocks until every sub-query resolves, then merges the partials.
+    ///
+    /// # Errors
+    ///
+    /// The first failing shard's error, in submission order — typically
+    /// [`ServeError::ShardUnavailable`] when a shard's whole replica
+    /// set is dead, or [`ServeError::ShuttingDown`] when the service
+    /// closed mid-flight. (Remaining sub-queries still execute and are
+    /// billed; only their outputs are discarded with the gather.)
+    pub fn wait(self) -> Result<ShardedOutput, ServeError> {
+        let mut partials = Vec::with_capacity(self.parts.len());
+        let mut ledger: Option<OpLedger> = None;
+        for (shard, ticket) in self.parts {
+            let output = ticket.wait()?.into_mvp().ok_or_else(|| ServeError::Internal {
+                message: format!("shard {shard} sub-query resolved to a non-MVP output"),
+            })?;
+            match &mut ledger {
+                Some(total) => total.merge_parallel(&output.burst.ledger),
+                None => ledger = Some(output.burst.ledger),
+            }
+            let outputs = output.outputs.into_iter().next().unwrap_or_default();
+            partials.push(ShardPartial { shard, outputs });
+        }
+        Ok(ShardedOutput { partials, ledger: ledger.unwrap_or_default() })
+    }
+}
+
 /// The worker-side half of a ticket. Fulfil it exactly once; dropping
 /// it unfulfilled (queue closed, worker unwinding) fails the ticket
 /// with [`ServeError::ShuttingDown`] so no client waits forever.

@@ -32,6 +32,21 @@
 //!   ([`Service::retired_engines`]) — tenants see degraded throughput,
 //!   not failures. Only when no healthy engine remains do MVP jobs fail,
 //!   explicitly, with [`ServeError::NoHealthyEngine`].
+//! * **Placement & scatter-gather** — [`ServeConfig::with_placement`]
+//!   partitions the record space into shards, each replicated on R
+//!   distinct workers ([`placement::Catalog`]);
+//!   [`Service::submit_sharded`] fans shard-local programs out to one
+//!   live replica per shard and the [`ShardedTicket`] gathers the
+//!   partials (ledgers merged with parallel semantics). Retiring a
+//!   replica's engine mid-flight re-routes its sub-queries onto
+//!   survivors with bounded backoff; only a shard whose *whole* replica
+//!   set is dead fails, with [`ServeError::ShardUnavailable`], while
+//!   other shards keep serving.
+//! * **Graceful drain** — [`Service::begin_drain`] refuses new MVP
+//!   submissions and session opens with [`ServeError::ShuttingDown`]
+//!   while queued jobs execute and open AP sessions stream to
+//!   completion, so a restart strands no ticket and bills exactly what
+//!   completed.
 //! * **Network front door** — the [`net`] module puts the service on a
 //!   real socket: a framed TCP wire protocol
 //!   (submit / stream / usage / stats verbs) served by [`net::NetServer`]
@@ -96,13 +111,19 @@ mod coalesce;
 mod error;
 mod job;
 pub mod net;
+pub mod placement;
 mod queue;
+mod router;
 mod service;
 mod session;
 mod sync;
 
 pub use error::ServeError;
-pub use job::{ApMatches, BurstReport, Job, JobOutput, MvpOutput, SessionId, TenantId, Ticket};
+pub use job::{
+    ApMatches, BurstReport, Job, JobOutput, MvpOutput, SessionId, ShardPartial, ShardedOutput,
+    ShardedTicket, TenantId, Ticket,
+};
+pub use placement::{Catalog, PlacementConfig};
 pub use queue::{BoundedQueue, PushRefused};
 pub use service::{BoxedBackend, EngineFactory, ServeConfig, Service, TenantUsage};
 
@@ -119,6 +140,8 @@ mod tests {
         assert_send_sync::<BoundedQueue<Job>>();
         assert_send::<Job>();
         assert_send::<Ticket>();
+        assert_send::<ShardedTicket>();
+        assert_send_sync::<Catalog>();
         assert_send::<ServeError>();
     }
 }

@@ -57,16 +57,22 @@ impl TokenBucket {
         Self { limit, tokens: f64::from(limit.burst), refilled_at: None }
     }
 
-    /// Takes `n` tokens at time `now`, or reports how short the bucket
-    /// is. `Instant`s earlier than the previous call add no tokens
-    /// (time never runs backwards a bucket).
-    pub fn try_take(&mut self, n: u32, now: Instant) -> Result<(), f64> {
+    /// Credits the continuous refill up to time `now`. `Instant`s
+    /// earlier than the previous call add no tokens (time never runs
+    /// backwards a bucket).
+    fn refill(&mut self, now: Instant) {
         if let Some(previous) = self.refilled_at {
             let elapsed = now.saturating_duration_since(previous).as_secs_f64();
             let cap = f64::from(self.limit.burst);
             self.tokens = (self.tokens + elapsed * self.limit.jobs_per_sec).min(cap);
         }
         self.refilled_at = Some(self.refilled_at.map_or(now, |previous| now.max(previous)));
+    }
+
+    /// Takes `n` tokens at time `now`, or reports how short the bucket
+    /// is.
+    pub fn try_take(&mut self, n: u32, now: Instant) -> Result<(), f64> {
+        self.refill(now);
         let need = f64::from(n);
         if self.tokens + 1e-9 >= need {
             self.tokens -= need;
@@ -74,6 +80,18 @@ impl TokenBucket {
         } else {
             Err(need - self.tokens)
         }
+    }
+
+    /// The tokens available at time `now`, refilling but taking
+    /// nothing — the `Usage` verb's headroom report.
+    pub fn peek(&mut self, now: Instant) -> f64 {
+        self.refill(now);
+        self.tokens
+    }
+
+    /// The bucket's capacity.
+    pub fn burst(&self) -> u32 {
+        self.limit.burst
     }
 }
 
@@ -180,6 +198,33 @@ impl AdmissionControl {
         gate.admitted += u64::from(jobs);
         Ok(())
     }
+
+    /// The tenant's remaining admission headroom at time `now`: quota
+    /// jobs left and rate-bucket tokens available, `None` for each
+    /// limit the tenant does not carry. Returns `None` for tenants that
+    /// were never registered.
+    ///
+    /// Peeking refills the rate bucket (the clock advanced either way)
+    /// but charges nothing.
+    pub fn budget(&self, tenant: TenantId, now: Instant) -> Option<TenantBudget> {
+        let mut gates = crate::sync::lock(&self.gates);
+        let gate = gates.get_mut(&tenant)?;
+        Some(TenantBudget {
+            quota_remaining: gate.policy.quota.map(|limit| limit.saturating_sub(gate.admitted)),
+            rate: gate.bucket.as_mut().map(|bucket| (bucket.peek(now), bucket.burst())),
+        })
+    }
+}
+
+/// A tenant's remaining admission headroom, as reported by
+/// [`AdmissionControl::budget`] and surfaced on the wire in
+/// [`WireUsage`](super::wire::WireUsage).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantBudget {
+    /// Jobs left under the lifetime quota; `None` when unquota'd.
+    pub quota_remaining: Option<u64>,
+    /// `(tokens available now, burst capacity)`; `None` when unlimited.
+    pub rate: Option<(f64, u32)>,
 }
 
 /// Compares two byte strings without early exit on the first mismatch
@@ -258,6 +303,35 @@ mod tests {
         for _ in 0..1000 {
             gate.admit(3, 10, now).expect("no limits configured");
         }
+    }
+
+    #[test]
+    fn budget_reports_headroom_without_charging_it() {
+        let gate = gate();
+        let t0 = Instant::now();
+        // Tenant 1: quota of 5, no rate limit.
+        gate.admit(1, 3, t0).expect("within quota");
+        let budget = gate.budget(1, t0).expect("registered");
+        assert_eq!(budget.quota_remaining, Some(2));
+        assert_eq!(budget.rate, None);
+        // Peeking charged nothing: the remaining 2 still fit.
+        gate.admit(1, 2, t0).expect("exactly at quota");
+        assert_eq!(gate.budget(1, t0).expect("registered").quota_remaining, Some(0));
+        // Tenant 2: rate of (3, 2.0/s), no quota.
+        gate.admit(2, 3, t0).expect("full burst");
+        let budget = gate.budget(2, t0).expect("registered");
+        assert_eq!(budget.quota_remaining, None);
+        let (tokens, burst) = budget.rate.expect("rate-limited");
+        assert!(tokens < 1.0, "burst spent, got {tokens}");
+        assert_eq!(burst, 3);
+        // One second later the peek sees the refill.
+        let t1 = t0 + Duration::from_secs(1);
+        let (tokens, _) = gate.budget(2, t1).expect("registered").rate.expect("rate-limited");
+        assert!((tokens - 2.0).abs() < 1e-6, "2 jobs/sec refill, got {tokens}");
+        // Unlimited and unregistered tenants.
+        let budget = gate.budget(3, t0).expect("registered");
+        assert_eq!(budget, TenantBudget { quota_remaining: None, rate: None });
+        assert_eq!(gate.budget(99, t0), None);
     }
 
     #[test]

@@ -1,6 +1,14 @@
 //! A blocking client for the framed protocol — used by the tests, the
 //! load generator, and external callers that want a typed API instead
 //! of raw frames.
+//!
+//! The client is deliberately conservative about retries: only
+//! *idempotent* verbs (`Usage`, `Stats`) are ever retried on a
+//! transport failure, because a cut connection leaves the fate of a
+//! `Submit` unknown — the job may have executed and been billed, and
+//! replaying it would bill it twice. Connection *establishment* is
+//! retried freely ([`NetClient::connect_with_retry`]): no request is in
+//! flight yet, so a retry cannot double anything.
 
 use super::wire::{
     read_frame, write_frame, ErrorCode, FrameError, FrameReadError, Request, Response,
@@ -10,7 +18,8 @@ use crate::{ApMatches, SessionId, TenantId};
 use core::fmt;
 use memcim_ap::ApReport;
 use memcim_mvp::Instruction;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -73,20 +82,98 @@ impl ClientError {
 pub struct NetClient {
     stream: TcpStream,
     max_frame: usize,
+    /// The server's address, kept for idempotent-verb reconnects
+    /// (`None` when the OS could not report the peer).
+    addr: Option<SocketAddr>,
+    /// The credentials of the last successful [`hello`](Self::hello),
+    /// replayed after a reconnect so the new connection is bound to the
+    /// same tenant.
+    auth: Option<(TenantId, String)>,
+    read_timeout: Option<Duration>,
+    write_timeout: Option<Duration>,
+    /// Reconnect attempts for idempotent verbs (0 = never reconnect).
+    retry_attempts: u32,
+    retry_backoff: Duration,
 }
 
 impl NetClient {
+    fn from_stream(stream: TcpStream) -> Self {
+        // Frames are written as header + body; NODELAY keeps Nagle from
+        // parking the second small write behind a delayed ACK.
+        let _ = stream.set_nodelay(true);
+        let addr = stream.peer_addr().ok();
+        Self {
+            stream,
+            max_frame: MAX_FRAME_DEFAULT,
+            addr,
+            auth: None,
+            read_timeout: None,
+            write_timeout: None,
+            retry_attempts: 0,
+            retry_backoff: Duration::from_millis(10),
+        }
+    }
+
     /// Connects, accepting responses up to [`MAX_FRAME_DEFAULT`].
     ///
     /// # Errors
     ///
     /// The socket error, as [`ClientError::Transport`].
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
-        let stream = TcpStream::connect(addr)?;
-        // Frames are written as header + body; NODELAY keeps Nagle from
-        // parking the second small write behind a delayed ACK.
-        let _ = stream.set_nodelay(true);
-        Ok(Self { stream, max_frame: MAX_FRAME_DEFAULT })
+        Ok(Self::from_stream(TcpStream::connect(addr)?))
+    }
+
+    /// Connects with a bound on how long the TCP handshake may take —
+    /// a plain [`connect`](Self::connect) against a black-holed address
+    /// can hang for minutes on the OS default.
+    ///
+    /// # Errors
+    ///
+    /// The socket error (including `TimedOut`) as
+    /// [`ClientError::Transport`]; an address that resolves to nothing
+    /// is an `InvalidInput` I/O error.
+    pub fn connect_timeout(
+        addr: impl ToSocketAddrs,
+        timeout: Duration,
+    ) -> Result<Self, ClientError> {
+        let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            ClientError::Transport(FrameReadError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "address resolved to no socket address",
+            )))
+        })?;
+        Ok(Self::from_stream(TcpStream::connect_timeout(&addr, timeout)?))
+    }
+
+    /// Connects with bounded retry: up to `attempts` tries, sleeping
+    /// `backoff` doubled after each failure. Safe to retry freely — no
+    /// request is in flight during establishment.
+    ///
+    /// # Errors
+    ///
+    /// The *last* attempt's socket error once all attempts are spent.
+    pub fn connect_with_retry(
+        addr: impl ToSocketAddrs + Clone,
+        attempts: u32,
+        backoff: Duration,
+    ) -> Result<Self, ClientError> {
+        let mut wait = backoff;
+        let mut last = None;
+        for attempt in 0..attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(wait);
+                wait = wait.saturating_mul(2);
+            }
+            match Self::connect(addr.clone()) {
+                Ok(client) => return Ok(client),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            ClientError::Transport(FrameReadError::Io(std::io::Error::other(
+                "no connect attempt was made",
+            )))
+        }))
     }
 
     /// Raises (or lowers) the largest response body this client will
@@ -94,6 +181,32 @@ impl NetClient {
     #[must_use]
     pub fn with_max_frame(mut self, max_frame: usize) -> Self {
         self.max_frame = max_frame;
+        self
+    }
+
+    /// Bounds how long a single response read and request write may
+    /// block. A server that accepts the connection and then goes silent
+    /// surfaces as a `WouldBlock`/`TimedOut` transport error instead of
+    /// a hung client. `None` restores the unbounded default.
+    #[must_use]
+    pub fn with_timeouts(mut self, read: Option<Duration>, write: Option<Duration>) -> Self {
+        self.read_timeout = read;
+        self.write_timeout = write;
+        let _ = self.stream.set_read_timeout(read);
+        let _ = self.stream.set_write_timeout(write);
+        self
+    }
+
+    /// Lets the *idempotent* verbs ([`usage`](Self::usage) /
+    /// [`stats`](Self::stats)) survive a cut connection: on a transport
+    /// failure the client reconnects (up to `attempts` times, `backoff`
+    /// doubled each try), replays its `hello`, and reissues the
+    /// request. Non-idempotent verbs are never retried — a replayed
+    /// `Submit` could execute, and bill, twice.
+    #[must_use]
+    pub fn with_retry(mut self, attempts: u32, backoff: Duration) -> Self {
+        self.retry_attempts = attempts;
+        self.retry_backoff = backoff;
         self
     }
 
@@ -123,7 +236,10 @@ impl NetClient {
     /// [`ErrorCode::BadCredentials`] when the token is wrong.
     pub fn hello(&mut self, tenant: TenantId, token: &str) -> Result<(), ClientError> {
         match self.request(&Request::Hello { tenant, token: token.to_string() })? {
-            Response::HelloOk => Ok(()),
+            Response::HelloOk => {
+                self.auth = Some((tenant, token.to_string()));
+                Ok(())
+            }
             other => Err(unexpected(&other)),
         }
     }
@@ -204,7 +320,7 @@ impl NetClient {
     /// [`ClientError::Server`] with [`ErrorCode::Unauthenticated`]
     /// before a `hello`.
     pub fn usage(&mut self) -> Result<WireUsage, ClientError> {
-        match self.request(&Request::Usage)? {
+        match self.request_idempotent(&Request::Usage)? {
             Response::Usage(usage) => Ok(usage),
             other => Err(unexpected(&other)),
         }
@@ -216,10 +332,55 @@ impl NetClient {
     ///
     /// As [`NetClient::usage`].
     pub fn stats(&mut self) -> Result<WireStats, ClientError> {
-        match self.request(&Request::Stats)? {
+        match self.request_idempotent(&Request::Stats)? {
             Response::Stats(stats) => Ok(stats),
             other => Err(unexpected(&other)),
         }
+    }
+
+    /// [`request`](Self::request) with the reconnect-and-retry policy
+    /// of [`with_retry`](Self::with_retry) — only sound for idempotent
+    /// verbs, so it is private and reachable only through
+    /// [`usage`](Self::usage) and [`stats`](Self::stats).
+    fn request_idempotent(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let mut wait = self.retry_backoff;
+        let mut attempt = 0u32;
+        loop {
+            let error = match self.request(request) {
+                Ok(response) => return Ok(response),
+                // Typed server answers and decode failures are real
+                // answers, not transport trouble: never retried.
+                Err(e @ ClientError::Transport(_)) => e,
+                Err(e) => return Err(e),
+            };
+            if attempt >= self.retry_attempts {
+                return Err(error);
+            }
+            attempt += 1;
+            std::thread::sleep(wait);
+            wait = wait.saturating_mul(2);
+            // Reconnect failures just consume an attempt; the next lap
+            // retries from scratch.
+            let _ = self.reconnect();
+        }
+    }
+
+    /// Re-establishes the stream to the remembered address, re-applies
+    /// the socket options, and replays the remembered `hello`.
+    fn reconnect(&mut self) -> Result<(), ClientError> {
+        let addr = self.addr.ok_or(ClientError::Unexpected { got: "no address to reconnect" })?;
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(self.read_timeout);
+        let _ = stream.set_write_timeout(self.write_timeout);
+        self.stream = stream;
+        if let Some((tenant, token)) = self.auth.clone() {
+            match self.request(&Request::Hello { tenant, token })? {
+                Response::HelloOk => {}
+                other => return Err(unexpected(&other)),
+            }
+        }
+        Ok(())
     }
 
     /// Writes raw bytes as one frame, bypassing [`Request`] encoding —

@@ -61,10 +61,10 @@ pub mod client;
 pub mod server;
 pub mod wire;
 
-pub use admission::{AdmissionControl, RateLimit, TenantPolicy, TokenBucket};
+pub use admission::{AdmissionControl, RateLimit, TenantBudget, TenantPolicy, TokenBucket};
 pub use client::{ClientError, NetClient};
 pub use server::{NetConfig, NetServer};
 pub use wire::{
-    ErrorCode, FrameError, FrameReadError, Request, Response, TenantStat, WireMvpResult, WireStats,
-    WireUsage, MAX_FRAME_DEFAULT,
+    ErrorCode, FrameError, FrameReadError, Request, Response, TenantStat, WireMvpResult, WireRate,
+    WireStats, WireUsage, MAX_FRAME_DEFAULT,
 };

@@ -20,7 +20,7 @@
 use super::admission::{AdmissionControl, TenantPolicy};
 use super::wire::{
     read_frame, write_frame, ErrorCode, FrameReadError, Request, Response, TenantStat,
-    WireMvpResult, WireStats, WireUsage, MAX_FRAME_DEFAULT,
+    WireMvpResult, WireRate, WireStats, WireUsage, MAX_FRAME_DEFAULT,
 };
 use crate::sync;
 use crate::{Job, ServeError, Service, TenantId};
@@ -124,6 +124,7 @@ impl Registry {
 /// [`shutdown`]: NetServer::shutdown
 pub struct NetServer {
     local_addr: SocketAddr,
+    service: Arc<Service>,
     stop: Arc<AtomicBool>,
     registry: Arc<Registry>,
     accept_thread: Option<JoinHandle<()>>,
@@ -149,6 +150,7 @@ impl NetServer {
         let accept_thread = {
             let stop = Arc::clone(&stop);
             let registry = Arc::clone(&registry);
+            let service = Arc::clone(&service);
             std::thread::Builder::new()
                 .name("memcim-net-accept".to_string())
                 .spawn(move || {
@@ -158,12 +160,28 @@ impl NetServer {
                     message: format!("cannot spawn accept thread: {e}"),
                 })?
         };
-        Ok(Self { local_addr, stop, registry, accept_thread: Some(accept_thread) })
+        Ok(Self { local_addr, service, stop, registry, accept_thread: Some(accept_thread) })
     }
 
     /// The address the listener actually bound (resolves port `0`).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// Puts the underlying service into drain mode: connections stay
+    /// up and in-flight work finishes, but new `Submit` and `ApOpen`
+    /// verbs are refused with typed
+    /// [`ErrorCode::ShuttingDown`] frames ([`Service::begin_drain`]).
+    /// Follow with [`shutdown`](NetServer::shutdown) once clients have
+    /// observed the refusals and collected their last results.
+    pub fn drain(&self) {
+        self.service.begin_drain();
+    }
+
+    /// `true` once [`drain`](NetServer::drain) has been called (on this
+    /// server or directly on the service).
+    pub fn is_draining(&self) -> bool {
+        self.service.is_draining()
     }
 
     /// Stops accepting, unblocks and joins every connection handler,
@@ -398,6 +416,7 @@ fn dispatch(
         },
         Request::Usage => {
             let usage = service.tenant_usage(tenant).unwrap_or_default();
+            let budget = admission.budget(tenant, Instant::now());
             Response::Usage(WireUsage {
                 mvp_jobs: usage.mvp_jobs,
                 mvp_reads: usage.mvp.reads(),
@@ -410,6 +429,8 @@ fn dispatch(
                 ap_symbols: usage.ap_symbols,
                 ap_energy: usage.ap_energy,
                 ap_busy: usage.ap_busy,
+                quota_remaining: budget.and_then(|b| b.quota_remaining),
+                rate: budget.and_then(|b| b.rate.map(|(tokens, burst)| WireRate { tokens, burst })),
             })
         }
         Request::Stats => Response::Stats(WireStats {
@@ -419,6 +440,9 @@ fn dispatch(
             queue_depth: service.pending() as u64,
             queue_capacity: service.config().queue_depth as u64,
             sessions: service.session_count() as u64,
+            shards: service.shard_count() as u64,
+            replicas: service.replica_count() as u64,
+            unavailable_shards: service.unavailable_shards() as u64,
             tenants: service
                 .usage_snapshot()
                 .into_iter()

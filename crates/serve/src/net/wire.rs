@@ -118,6 +118,9 @@ pub enum ErrorCode {
     Engine,
     /// Every engine has been retired; MVP jobs cannot be placed.
     NoHealthyEngine,
+    /// Every replica of one shard is dead; sub-queries touching its
+    /// records cannot fail over anywhere (other shards keep serving).
+    ShardUnavailable,
     /// An internal server failure (never the client's fault).
     Internal,
 }
@@ -141,6 +144,7 @@ impl ErrorCode {
             ErrorCode::Compile => 33,
             ErrorCode::Engine => 34,
             ErrorCode::NoHealthyEngine => 35,
+            ErrorCode::ShardUnavailable => 36,
             ErrorCode::Internal => 99,
         }
     }
@@ -164,6 +168,7 @@ impl ErrorCode {
             33 => ErrorCode::Compile,
             34 => ErrorCode::Engine,
             35 => ErrorCode::NoHealthyEngine,
+            36 => ErrorCode::ShardUnavailable,
             _ => ErrorCode::Internal,
         }
     }
@@ -178,6 +183,7 @@ impl ErrorCode {
             ServeError::Compile { .. } => ErrorCode::Compile,
             ServeError::Mvp(_) | ServeError::Ap(_) => ErrorCode::Engine,
             ServeError::NoHealthyEngine => ErrorCode::NoHealthyEngine,
+            ServeError::ShardUnavailable { .. } => ErrorCode::ShardUnavailable,
             ServeError::RateLimited { .. } => ErrorCode::RateLimited,
             ServeError::QuotaExceeded { .. } => ErrorCode::QuotaExceeded,
             ServeError::Unauthenticated => ErrorCode::Unauthenticated,
@@ -659,6 +665,25 @@ pub struct WireUsage {
     pub ap_energy: Joules,
     /// AP pipeline latency billed.
     pub ap_busy: Seconds,
+    /// Jobs the tenant may still admit before its configured quota
+    /// refuses with [`ErrorCode::QuotaExceeded`]; `None` when the
+    /// tenant is not quota-limited.
+    pub quota_remaining: Option<u64>,
+    /// The tenant's rate-limit headroom; `None` when the tenant is not
+    /// rate-limited.
+    pub rate: Option<WireRate>,
+}
+
+/// A rate-limited tenant's token-bucket headroom, as reported by the
+/// `Usage` verb.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireRate {
+    /// Tokens currently available (jobs admissible right now without a
+    /// [`ErrorCode::RateLimited`] refusal).
+    pub tokens: f64,
+    /// The bucket's capacity — the largest instantaneous burst the
+    /// tenant can ever spend.
+    pub burst: u32,
 }
 
 /// One tenant's row in a [`WireStats`] report.
@@ -689,6 +714,13 @@ pub struct WireStats {
     pub queue_capacity: u64,
     /// Open AP sessions.
     pub sessions: u64,
+    /// Shards in the placement catalog (0 when unsharded).
+    pub shards: u64,
+    /// Replicas per shard (0 when unsharded).
+    pub replicas: u64,
+    /// Shards whose whole replica set is dead — sub-queries touching
+    /// them fail with [`ErrorCode::ShardUnavailable`].
+    pub unavailable_shards: u64,
     /// Per-tenant usage rows, sorted by tenant id.
     pub tenants: Vec<TenantStat>,
 }
@@ -783,6 +815,17 @@ impl Response {
                 w.u64(usage.ap_symbols);
                 w.f64(usage.ap_energy.as_joules());
                 w.f64(usage.ap_busy.as_seconds());
+                // `u64::MAX` is the no-quota sentinel: a real limit of
+                // u64::MAX admits jobs faster than anyone can count.
+                w.u64(usage.quota_remaining.unwrap_or(u64::MAX));
+                match usage.rate {
+                    Some(rate) => {
+                        w.u8(1);
+                        w.f64(rate.tokens);
+                        w.u32(rate.burst);
+                    }
+                    None => w.u8(0),
+                }
                 w.buf
             }
             Response::Stats(stats) => {
@@ -793,6 +836,9 @@ impl Response {
                 w.u64(stats.queue_depth);
                 w.u64(stats.queue_capacity);
                 w.u64(stats.sessions);
+                w.u64(stats.shards);
+                w.u64(stats.replicas);
+                w.u64(stats.unavailable_shards);
                 w.u32(stats.tenants.len() as u32);
                 for row in &stats.tenants {
                     w.u64(row.tenant);
@@ -854,19 +900,33 @@ impl Response {
                 Response::ApFinished(crate::ApMatches { accepted, matches, symbols, report })
             }
             OP_AP_CLOSED => Response::ApClosed,
-            OP_USAGE_REPORT => Response::Usage(WireUsage {
-                mvp_jobs: r.u64()?,
-                mvp_reads: r.u64()?,
-                mvp_scouting_ops: r.u64()?,
-                mvp_programs: r.u64()?,
-                mvp_corrected_errors: r.u64()?,
-                mvp_energy: Joules::new(r.f64()?),
-                mvp_busy: Seconds::new(r.f64()?),
-                ap_jobs: r.u64()?,
-                ap_symbols: r.u64()?,
-                ap_energy: Joules::new(r.f64()?),
-                ap_busy: Seconds::new(r.f64()?),
-            }),
+            OP_USAGE_REPORT => {
+                let mut usage = WireUsage {
+                    mvp_jobs: r.u64()?,
+                    mvp_reads: r.u64()?,
+                    mvp_scouting_ops: r.u64()?,
+                    mvp_programs: r.u64()?,
+                    mvp_corrected_errors: r.u64()?,
+                    mvp_energy: Joules::new(r.f64()?),
+                    mvp_busy: Seconds::new(r.f64()?),
+                    ap_jobs: r.u64()?,
+                    ap_symbols: r.u64()?,
+                    ap_energy: Joules::new(r.f64()?),
+                    ap_busy: Seconds::new(r.f64()?),
+                    quota_remaining: None,
+                    rate: None,
+                };
+                usage.quota_remaining = match r.u64()? {
+                    u64::MAX => None,
+                    limit => Some(limit),
+                };
+                usage.rate = match r.u8()? {
+                    0 => None,
+                    1 => Some(WireRate { tokens: r.f64()?, burst: r.u32()? }),
+                    _ => return Err(FrameError::BadPayload("boolean out of range")),
+                };
+                Response::Usage(usage)
+            }
             OP_STATS_REPORT => {
                 let workers = r.u64()?;
                 let live_engines = r.u64()?;
@@ -874,6 +934,9 @@ impl Response {
                 let queue_depth = r.u64()?;
                 let queue_capacity = r.u64()?;
                 let sessions = r.u64()?;
+                let shards = r.u64()?;
+                let replicas = r.u64()?;
+                let unavailable_shards = r.u64()?;
                 let n = r.count(32)?;
                 let tenants = (0..n)
                     .map(|_| {
@@ -892,6 +955,9 @@ impl Response {
                     queue_depth,
                     queue_capacity,
                     sessions,
+                    shards,
+                    replicas,
+                    unavailable_shards,
                     tenants,
                 })
             }
@@ -1071,6 +1137,23 @@ mod tests {
             ap_symbols: 9,
             ap_energy: Joules::from_femtojoules(10.0),
             ap_busy: Seconds::from_nanoseconds(11.0),
+            quota_remaining: Some(12),
+            rate: Some(WireRate { tokens: 2.5, burst: 8 }),
+        }));
+        roundtrip_response(Response::Usage(WireUsage {
+            mvp_jobs: 0,
+            mvp_reads: 0,
+            mvp_scouting_ops: 0,
+            mvp_programs: 0,
+            mvp_corrected_errors: 0,
+            mvp_energy: Joules::from_femtojoules(0.0),
+            mvp_busy: Seconds::from_nanoseconds(0.0),
+            ap_jobs: 0,
+            ap_symbols: 0,
+            ap_energy: Joules::from_femtojoules(0.0),
+            ap_busy: Seconds::from_nanoseconds(0.0),
+            quota_remaining: None,
+            rate: None,
         }));
         roundtrip_response(Response::Stats(WireStats {
             workers: 4,
@@ -1079,6 +1162,9 @@ mod tests {
             queue_depth: 2,
             queue_capacity: 64,
             sessions: 5,
+            shards: 8,
+            replicas: 2,
+            unavailable_shards: 1,
             tenants: vec![TenantStat {
                 tenant: 7,
                 jobs: 12,
@@ -1148,6 +1234,7 @@ mod tests {
             ErrorCode::Compile,
             ErrorCode::Engine,
             ErrorCode::NoHealthyEngine,
+            ErrorCode::ShardUnavailable,
             ErrorCode::Internal,
         ] {
             assert_eq!(ErrorCode::from_u16(code.as_u16()), code);

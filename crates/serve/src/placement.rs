@@ -1,0 +1,196 @@
+//! The placement catalog: which workers replicate which shard.
+//!
+//! The paper's "2 GB crossbar = millions of subarrays" framing assumes
+//! data spread over many engines. [`ShardMap`](memcim_mvp::ShardMap)
+//! (mvp layer) decides *which records* each shard owns; this module
+//! decides *which workers* own each shard. Every shard is replicated
+//! `R` ways across **distinct** workers, so retiring one engine
+//! (ECC/spare exhaustion, fault injection) re-routes its shards to the
+//! surviving replicas instead of losing the records it held. Only when
+//! every replica of a shard is dead do jobs touching that shard fail —
+//! with the typed
+//! [`ServeError::ShardUnavailable`]
+//! — while the other shards keep serving.
+//!
+//! The catalog is deliberately small and lock-free on the read path: a
+//! static round-robin assignment computed at startup plus one atomic
+//! dead flag per worker. Death is monotone (a retired engine never
+//! comes back), which is what bounds failover: each re-route follows a
+//! strictly shrinking live set.
+
+use crate::ServeError;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Sharding/replication geometry for a [`Service`](crate::Service).
+///
+/// `shards` record partitions, each replicated on `replicas` distinct
+/// workers. Validated against the worker count when the service starts:
+/// `1 ≤ replicas ≤ workers` and `shards ≥ 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlacementConfig {
+    /// Number of shards the record space is partitioned into.
+    pub shards: usize,
+    /// Replicas per shard, each on a distinct worker.
+    pub replicas: usize,
+}
+
+impl PlacementConfig {
+    /// A placement of `shards` shards replicated `replicas` ways.
+    pub fn new(shards: usize, replicas: usize) -> Self {
+        Self { shards, replicas }
+    }
+}
+
+/// The live placement table: replica assignments plus per-worker health.
+///
+/// Replica `r` of shard `s` lives on worker `(s + r) mod workers` — a
+/// round-robin diagonal that puts every replica of a shard on a
+/// distinct worker and spreads each worker's shard load evenly.
+#[derive(Debug)]
+pub struct Catalog {
+    /// `assignments[shard]` = the workers holding that shard, in
+    /// preference order.
+    assignments: Vec<Vec<usize>>,
+    /// One monotone flag per worker: `true` once its engine retired.
+    dead: Vec<AtomicBool>,
+    replicas: usize,
+}
+
+impl Catalog {
+    /// Builds the assignment table for `workers` workers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Internal`] for degenerate geometry: zero
+    /// shards, zero replicas, or more replicas than workers (replicas
+    /// must land on distinct workers).
+    pub(crate) fn new(config: PlacementConfig, workers: usize) -> Result<Self, ServeError> {
+        if config.shards == 0 {
+            return Err(ServeError::Internal {
+                message: "placement needs at least 1 shard".into(),
+            });
+        }
+        if config.replicas == 0 {
+            return Err(ServeError::Internal {
+                message: "placement needs at least 1 replica per shard".into(),
+            });
+        }
+        if config.replicas > workers {
+            return Err(ServeError::Internal {
+                message: format!(
+                    "{} replicas cannot land on distinct workers in a {workers}-worker pool",
+                    config.replicas
+                ),
+            });
+        }
+        let assignments = (0..config.shards)
+            .map(|s| (0..config.replicas).map(|r| (s + r) % workers).collect())
+            .collect();
+        Ok(Self {
+            assignments,
+            dead: (0..workers).map(|_| AtomicBool::new(false)).collect(),
+            replicas: config.replicas,
+        })
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Configured replicas per shard.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// The workers holding `shard`, in preference order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn replicas_of(&self, shard: usize) -> &[usize] {
+        &self.assignments[shard]
+    }
+
+    /// Marks a worker's engine as retired. Monotone and idempotent.
+    pub(crate) fn mark_dead(&self, worker: usize) {
+        self.dead[worker].store(true, Ordering::SeqCst);
+    }
+
+    /// `true` while the worker's engine has not been retired.
+    pub fn is_live(&self, worker: usize) -> bool {
+        !self.dead[worker].load(Ordering::SeqCst)
+    }
+
+    /// Live replicas of `shard` right now.
+    pub fn live_replicas(&self, shard: usize) -> usize {
+        self.assignments[shard].iter().filter(|&&w| self.is_live(w)).count()
+    }
+
+    /// Shards whose entire replica set is dead.
+    pub fn unavailable_shards(&self) -> usize {
+        self.assignments
+            .iter()
+            .filter(|replicas| replicas.iter().all(|&w| !self.is_live(w)))
+            .count()
+    }
+
+    /// Picks the worker for attempt number `attempt` of a sub-query on
+    /// `shard`: the first live replica, starting from the replica the
+    /// attempt count points at so retries rotate through the set rather
+    /// than hammering one survivor. `None` when every replica is dead.
+    pub(crate) fn route(&self, shard: usize, attempt: u32) -> Option<usize> {
+        let replicas = &self.assignments[shard];
+        let n = replicas.len();
+        (0..n).map(|i| replicas[(attempt as usize + i) % n]).find(|&w| self.is_live(w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replicas_land_on_distinct_workers() {
+        let catalog = Catalog::new(PlacementConfig::new(6, 3), 4).expect("valid");
+        for shard in 0..catalog.shards() {
+            let mut workers: Vec<usize> = catalog.replicas_of(shard).to_vec();
+            workers.sort_unstable();
+            workers.dedup();
+            assert_eq!(workers.len(), 3, "shard {shard} replicas are distinct");
+        }
+        // The diagonal spreads load: every worker holds some shard.
+        for w in 0..4 {
+            assert!(
+                (0..catalog.shards()).any(|s| catalog.replicas_of(s).contains(&w)),
+                "worker {w} holds at least one replica"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_geometry_is_refused() {
+        assert!(Catalog::new(PlacementConfig::new(0, 1), 4).is_err());
+        assert!(Catalog::new(PlacementConfig::new(4, 0), 4).is_err());
+        assert!(Catalog::new(PlacementConfig::new(4, 5), 4).is_err());
+        assert!(Catalog::new(PlacementConfig::new(4, 4), 4).is_ok());
+    }
+
+    #[test]
+    fn routing_follows_the_shrinking_live_set() {
+        let catalog = Catalog::new(PlacementConfig::new(4, 2), 4).expect("valid");
+        // Shard 1 lives on workers 1 and 2.
+        assert_eq!(catalog.replicas_of(1), &[1, 2]);
+        assert_eq!(catalog.route(1, 0), Some(1));
+        assert_eq!(catalog.route(1, 1), Some(2), "retries rotate to the next replica");
+        catalog.mark_dead(1);
+        assert_eq!(catalog.route(1, 0), Some(2), "dead replicas are skipped");
+        assert_eq!(catalog.live_replicas(1), 1);
+        assert_eq!(catalog.unavailable_shards(), 0);
+        catalog.mark_dead(2);
+        assert_eq!(catalog.route(1, 0), None, "an exhausted replica set routes nowhere");
+        assert_eq!(catalog.unavailable_shards(), 1, "only shard 1 lost both replicas");
+        // Shard 0 (workers 0 and 1) still routes to worker 0.
+        assert_eq!(catalog.route(0, 7), Some(0));
+    }
+}

@@ -1,9 +1,11 @@
 //! The service front door: configuration, submission, worker pool,
 //! per-tenant accounting, shutdown.
 
-use crate::coalesce::{coalesce, Envelope, Unit};
-use crate::job::{ticket_pair, Responder};
-use crate::queue::{BoundedQueue, PushRefused};
+use crate::coalesce::{coalesce, Envelope, ShardRoute, Unit};
+use crate::job::{ticket_pair, Responder, ShardedTicket};
+use crate::placement::{Catalog, PlacementConfig};
+use crate::queue::PushRefused;
+use crate::router::WorkRouter;
 use crate::session::{ApSession, SessionTable};
 use crate::sync;
 use crate::{
@@ -11,10 +13,10 @@ use crate::{
 };
 use memcim_ap::{ApBackend, ApReport};
 use memcim_crossbar::{BankedCrossbar, CrossbarBackend, EccCrossbar, HammingCode, OpLedger};
-use memcim_mvp::{BatchRequest, MvpError, MvpSimulator};
+use memcim_mvp::{BatchRequest, Instruction, MvpError, MvpSimulator};
 use memcim_units::{Joules, Seconds};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -61,6 +63,11 @@ pub struct ServeConfig {
     /// campaigns and heterogeneous pools. `None` builds from the
     /// geometry fields above.
     pub engine_factory: Option<EngineFactory>,
+    /// Shard/replica geometry for scatter-gather submissions
+    /// ([`Service::submit_sharded`]). `None` leaves the service
+    /// unsharded: sharded submissions are refused, ordinary jobs are
+    /// unaffected.
+    pub placement: Option<PlacementConfig>,
 }
 
 impl std::fmt::Debug for ServeConfig {
@@ -77,6 +84,7 @@ impl std::fmt::Debug for ServeConfig {
             .field("mvp_fault_threshold", &self.mvp_fault_threshold)
             .field("ap_backend", &self.ap_backend)
             .field("engine_factory", &self.engine_factory.as_ref().map(|_| "<custom>"))
+            .field("placement", &self.placement)
             .finish()
     }
 }
@@ -95,6 +103,7 @@ impl Default for ServeConfig {
             mvp_fault_threshold: 1,
             ap_backend: ApBackend::rram(),
             engine_factory: None,
+            placement: None,
         }
     }
 }
@@ -163,6 +172,16 @@ impl ServeConfig {
         factory: impl Fn(usize) -> BoxedBackend + Send + Sync + 'static,
     ) -> Self {
         self.engine_factory = Some(Arc::new(factory));
+        self
+    }
+
+    /// Partitions the record space into `shards` shards, each
+    /// replicated on `replicas` distinct workers, enabling
+    /// [`Service::submit_sharded`]. Validated at start:
+    /// `1 ≤ replicas ≤ workers` and `shards ≥ 1`.
+    #[must_use]
+    pub fn with_placement(mut self, shards: usize, replicas: usize) -> Self {
+        self.placement = Some(PlacementConfig::new(shards, replicas));
         self
     }
 
@@ -255,7 +274,7 @@ impl TenantUsage {
 
 #[derive(Debug)]
 struct Shared {
-    queue: BoundedQueue<Envelope>,
+    queue: WorkRouter<Envelope>,
     sessions: SessionTable,
     tenants: std::sync::Mutex<HashMap<TenantId, TenantUsage>>,
     config: ServeConfig,
@@ -263,6 +282,14 @@ struct Shared {
     /// retires its engine on a fault-fatal error; at zero, MVP jobs
     /// fail with [`ServeError::NoHealthyEngine`] instead of requeueing.
     live_engines: AtomicUsize,
+    /// The placement catalog, present when the service was configured
+    /// with [`ServeConfig::with_placement`]. Retirement marks the
+    /// worker dead here so routed jobs fail over to surviving replicas.
+    catalog: Option<Catalog>,
+    /// Drain mode: new MVP submissions and session opens are refused
+    /// with [`ServeError::ShuttingDown`] while in-flight tickets and
+    /// open AP sessions finish.
+    draining: AtomicBool,
 }
 
 impl Shared {
@@ -347,12 +374,18 @@ impl Service {
         if config.mvp_rows == 0 || config.mvp_banks == 0 || config.mvp_bank_cols == 0 {
             return Err(invalid("MVP geometry must be non-zero"));
         }
+        let catalog = match config.placement {
+            Some(placement) => Some(Catalog::new(placement, config.workers)?),
+            None => None,
+        };
         let shared = Arc::new(Shared {
-            queue: BoundedQueue::new(config.queue_depth),
+            queue: WorkRouter::new(config.queue_depth, config.workers),
             sessions: SessionTable::default(),
             tenants: std::sync::Mutex::new(HashMap::new()),
             live_engines: AtomicUsize::new(config.workers),
             config: config.clone(),
+            catalog,
+            draining: AtomicBool::new(false),
         });
         let mut workers = Vec::with_capacity(config.workers);
         for i in 0..config.workers {
@@ -406,17 +439,49 @@ impl Service {
         self.worker_count() - self.live_engines()
     }
 
+    /// The placement catalog, when the service was configured with
+    /// [`ServeConfig::with_placement`].
+    pub fn placement(&self) -> Option<&Catalog> {
+        self.shared.catalog.as_ref()
+    }
+
+    /// Shards in the placement catalog (0 when unsharded).
+    pub fn shard_count(&self) -> usize {
+        self.shared.catalog.as_ref().map_or(0, Catalog::shards)
+    }
+
+    /// Replicas per shard (0 when unsharded).
+    pub fn replica_count(&self) -> usize {
+        self.shared.catalog.as_ref().map_or(0, Catalog::replicas)
+    }
+
+    /// Shards whose entire replica set is dead (0 when unsharded).
+    pub fn unavailable_shards(&self) -> usize {
+        self.shared.catalog.as_ref().map_or(0, Catalog::unavailable_shards)
+    }
+
+    /// `true` while `job` must be refused in drain mode: new MVP work
+    /// is turned away, streaming jobs pass so open sessions can finish.
+    fn drain_refuses(&self, job: &Job) -> bool {
+        self.is_draining() && matches!(job, Job::MvpProgram(_) | Job::MvpBatch(_))
+    }
+
     /// Submits a job for `tenant`, blocking while the queue is full —
     /// the backpressure path.
     ///
     /// # Errors
     ///
-    /// [`ServeError::ShuttingDown`] once the service is closing.
+    /// [`ServeError::ShuttingDown`] once the service is closing, or
+    /// when it is [draining](Self::begin_drain) and `job` is new MVP
+    /// work (streaming jobs for open sessions still pass).
     pub fn submit(&self, tenant: TenantId, job: Job) -> Result<Ticket, ServeError> {
+        if self.drain_refuses(&job) {
+            return Err(ServeError::ShuttingDown);
+        }
         let (ticket, responder) = ticket_pair();
         self.shared
             .queue
-            .push(Envelope { tenant, job, responder })
+            .push(Envelope { tenant, job, route: None, responder })
             .map_err(|_| ServeError::ShuttingDown)?;
         Ok(ticket)
     }
@@ -426,10 +491,14 @@ impl Service {
     /// # Errors
     ///
     /// [`ServeError::QueueFull`] when the queue is at capacity,
-    /// [`ServeError::ShuttingDown`] once the service is closing.
+    /// [`ServeError::ShuttingDown`] once the service is closing or
+    /// [draining](Self::begin_drain) (for new MVP work).
     pub fn try_submit(&self, tenant: TenantId, job: Job) -> Result<Ticket, ServeError> {
+        if self.drain_refuses(&job) {
+            return Err(ServeError::ShuttingDown);
+        }
         let (ticket, responder) = ticket_pair();
-        match self.shared.queue.try_push(Envelope { tenant, job, responder }) {
+        match self.shared.queue.try_push(Envelope { tenant, job, route: None, responder }) {
             Ok(()) => Ok(ticket),
             Err(PushRefused::Full(_)) => {
                 Err(ServeError::QueueFull { depth: self.shared.config.queue_depth })
@@ -438,19 +507,108 @@ impl Service {
         }
     }
 
+    /// Scatter-gather submission: one shard-local program per entry of
+    /// `subqueries`, each delivered to a live replica of its shard (the
+    /// catalog picks the worker). The returned [`ShardedTicket`]
+    /// gathers the partials and merges their ledgers with
+    /// [`OpLedger::merge_parallel`] semantics. A shard whose replicas
+    /// are *all* dead fails its sub-query immediately with
+    /// [`ServeError::ShardUnavailable`] — the other shards proceed, so
+    /// the gather reports the failure while healthy shards keep the
+    /// engines busy.
+    ///
+    /// Blocks on queue backpressure like [`submit`](Self::submit).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Internal`] when the service has no placement
+    /// configured, [`ServeError::Mvp`] (`BadInput`) for a shard index
+    /// outside the catalog or an empty scatter, and
+    /// [`ServeError::ShuttingDown`] once the service is closing or
+    /// draining.
+    pub fn submit_sharded(
+        &self,
+        tenant: TenantId,
+        subqueries: Vec<(usize, Vec<Instruction>)>,
+    ) -> Result<ShardedTicket, ServeError> {
+        let Some(catalog) = &self.shared.catalog else {
+            return Err(ServeError::Internal {
+                message: "sharded submission on a service with no placement configured".into(),
+            });
+        };
+        if self.is_draining() {
+            return Err(ServeError::ShuttingDown);
+        }
+        if subqueries.is_empty() {
+            return Err(ServeError::Mvp(MvpError::BadInput {
+                reason: "a scatter needs at least one sub-query".into(),
+            }));
+        }
+        // All-or-nothing validation before anything is queued.
+        for &(shard, _) in &subqueries {
+            if shard >= catalog.shards() {
+                return Err(ServeError::Mvp(MvpError::BadInput {
+                    reason: format!("shard {shard} outside the {}-shard catalog", catalog.shards()),
+                }));
+            }
+        }
+        let mut parts = Vec::with_capacity(subqueries.len());
+        for (shard, program) in subqueries {
+            let (ticket, responder) = ticket_pair();
+            parts.push((shard, ticket));
+            match catalog.route(shard, 0) {
+                // Fail fast: the dead shard resolves its own ticket
+                // while the rest of the scatter proceeds.
+                None => responder.fulfil(Err(ServeError::ShardUnavailable { shard })),
+                Some(worker) => {
+                    let envelope = Envelope {
+                        tenant,
+                        job: Job::MvpProgram(program),
+                        route: Some(ShardRoute { shard, attempts: 0 }),
+                        responder,
+                    };
+                    if let Err(envelope) = self.shared.queue.push_to(worker, envelope) {
+                        envelope.responder.fulfil(Err(ServeError::ShuttingDown));
+                    }
+                }
+            }
+        }
+        Ok(ShardedTicket::new(parts))
+    }
+
+    /// Enters drain mode: new MVP submissions, sharded scatters and
+    /// session opens are refused with [`ServeError::ShuttingDown`],
+    /// while jobs already queued execute and open AP sessions keep
+    /// streaming to completion. Irreversible; follow with
+    /// [`shutdown`](Self::shutdown) once clients have settled.
+    pub fn begin_drain(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// `true` once [`begin_drain`](Self::begin_drain) was called.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
     /// Compiles `patterns` into a streaming AP session for `tenant`
     /// (synchronously — compilation is a configuration-time cost, not a
     /// queued job). Feed it with [`Job::ApFeed`] / [`Job::ApFinish`].
     ///
     /// # Errors
     ///
-    /// [`ServeError::Compile`] for unparsable patterns and
-    /// [`ServeError::Ap`] when the automaton cannot be mapped.
+    /// [`ServeError::Compile`] for unparsable patterns,
+    /// [`ServeError::Ap`] when the automaton cannot be mapped, and
+    /// [`ServeError::ShuttingDown`] while
+    /// [draining](Self::begin_drain) (open sessions finish; new ones
+    /// are refused).
     pub fn open_session(
         &self,
         tenant: TenantId,
         patterns: &[&str],
     ) -> Result<SessionId, ServeError> {
+        if self.is_draining() {
+            return Err(ServeError::ShuttingDown);
+        }
         self.shared.sessions.open(tenant, patterns, &self.shared.config.ap_backend)
     }
 
@@ -523,9 +681,9 @@ fn worker_loop(shared: &Shared, worker: usize) {
     let config = &shared.config;
     let mut engine: Option<Engine> = Some(MvpSimulator::with_backend(config.build_backend(worker)));
     let mut drained = Vec::with_capacity(config.max_burst);
-    while shared.queue.pop_burst(config.max_burst, &mut drained) {
+    while shared.queue.pop_burst(worker, config.max_burst, &mut drained) {
         for unit in coalesce(drained.drain(..)) {
-            execute_unit(unit, &mut engine, shared);
+            execute_unit(unit, &mut engine, shared, worker);
         }
     }
 }
@@ -536,10 +694,15 @@ fn is_engine_fatal(error: &MvpError) -> bool {
     matches!(error, MvpError::Crossbar(e) if e.is_fault_fatal())
 }
 
-/// Drops the worker's engine from the pool (idempotent per worker).
-fn retire_engine(engine: &mut Option<Engine>, shared: &Shared) {
+/// Drops the worker's engine from the pool (idempotent per worker) and
+/// marks the worker dead in the placement catalog, so routed jobs fail
+/// over to surviving replicas instead of landing here again.
+fn retire_engine(engine: &mut Option<Engine>, shared: &Shared, worker: usize) {
     if engine.take().is_some() {
         shared.live_engines.fetch_sub(1, Ordering::SeqCst);
+        if let Some(catalog) = &shared.catalog {
+            catalog.mark_dead(worker);
+        }
     }
 }
 
@@ -551,7 +714,7 @@ fn divert(tenant: TenantId, job: Job, responder: Responder, shared: &Shared) {
         responder.fulfil(Err(ServeError::NoHealthyEngine));
         return;
     }
-    if let Err(envelope) = shared.queue.requeue(Envelope { tenant, job, responder }) {
+    if let Err(envelope) = shared.queue.requeue(Envelope { tenant, job, route: None, responder }) {
         // The queue closed while this job was in flight: same outcome
         // as any job still queued at shutdown.
         envelope.responder.fulfil(Err(ServeError::ShuttingDown));
@@ -564,30 +727,97 @@ fn divert(tenant: TenantId, job: Job, responder: Responder, shared: &Shared) {
     std::thread::sleep(std::time::Duration::from_millis(1));
 }
 
-fn execute_unit(unit: Unit, engine: &mut Option<Engine>, shared: &Shared) {
+/// Fails over one sharded sub-query whose assigned engine is gone:
+/// re-routed through the catalog onto the next live replica with
+/// bounded exponential backoff, or failed with the typed
+/// [`ServeError::ShardUnavailable`] once every replica of its shard is
+/// dead — a ticket is never stranded and never bounces forever.
+fn divert_routed(
+    tenant: TenantId,
+    program: Vec<Instruction>,
+    route: ShardRoute,
+    responder: Responder,
+    shared: &Shared,
+) {
+    let Some(catalog) = &shared.catalog else {
+        responder.fulfil(Err(ServeError::Internal {
+            message: "a routed job reached a service with no catalog".into(),
+        }));
+        return;
+    };
+    let attempts = route.attempts.saturating_add(1);
+    // Each re-route follows an engine death observed after the previous
+    // placement decision, and death is monotone, so attempts cannot
+    // exceed the worker count in practice. The hard cap is a backstop
+    // that keeps a logic bug from looping a ticket forever.
+    let max_attempts = (shared.config.workers as u32).saturating_mul(2).saturating_add(8);
+    if attempts > max_attempts {
+        responder.fulfil(Err(ServeError::ShardUnavailable { shard: route.shard }));
+        return;
+    }
+    match catalog.route(route.shard, attempts) {
+        None => responder.fulfil(Err(ServeError::ShardUnavailable { shard: route.shard })),
+        Some(worker) => {
+            let envelope = Envelope {
+                tenant,
+                job: Job::MvpProgram(program),
+                route: Some(ShardRoute { shard: route.shard, attempts }),
+                responder,
+            };
+            if let Err(envelope) = shared.queue.requeue_to(worker, envelope) {
+                envelope.responder.fulfil(Err(ServeError::ShuttingDown));
+            }
+        }
+    }
+    // Bounded backoff, growing with the attempt count: this thread has
+    // no engine (only AP work can still reach it), so sleeping here
+    // costs survivors nothing while spacing out repeated failovers.
+    let backoff = 1u64 << route.attempts.min(3);
+    std::thread::sleep(std::time::Duration::from_millis(backoff));
+}
+
+/// Dispatches a diverted single program through the route-aware path.
+fn divert_program(
+    tenant: TenantId,
+    program: Vec<Instruction>,
+    route: Option<ShardRoute>,
+    responder: Responder,
+    shared: &Shared,
+) {
+    match route {
+        Some(route) => divert_routed(tenant, program, route, responder, shared),
+        None => divert(tenant, Job::MvpProgram(program), responder, shared),
+    }
+}
+
+fn execute_unit(unit: Unit, engine: &mut Option<Engine>, shared: &Shared, worker: usize) {
     match unit {
-        Unit::MvpBurst { tenant, programs } => {
+        Unit::MvpBurst { tenant, shard: _, programs } => {
             let Some(mvp) = engine.as_mut() else {
-                for (program, responder) in programs {
-                    divert(tenant, Job::MvpProgram(program), responder, shared);
+                // This worker's engine is gone but its mailbox still
+                // receives routed jobs that raced the retirement: fail
+                // each over through the catalog (or requeue unrouted
+                // jobs onto the shared lane).
+                for (program, route, responder) in programs {
+                    divert_program(tenant, program, route, responder, shared);
                 }
                 return;
             };
             let mut batch = BatchRequest::new();
-            let mut responders = Vec::with_capacity(programs.len());
-            for (program, responder) in programs {
+            let mut waiters = Vec::with_capacity(programs.len());
+            for (program, route, responder) in programs {
                 batch.push(program);
-                responders.push(responder);
+                waiters.push((route, responder));
             }
             match mvp.run_batch(&batch) {
                 Ok(report) => {
                     let burst = BurstReport {
-                        jobs: responders.len(),
+                        jobs: waiters.len(),
                         programs: batch.len(),
                         ledger: report.ledger,
                     };
-                    shared.account_mvp(tenant, &report.ledger, responders.len() as u64);
-                    for (responder, outputs) in responders.into_iter().zip(report.outputs) {
+                    shared.account_mvp(tenant, &report.ledger, waiters.len() as u64);
+                    for ((_route, responder), outputs) in waiters.into_iter().zip(report.outputs) {
                         responder.fulfil(Ok(JobOutput::Mvp(MvpOutput {
                             outputs: vec![outputs],
                             burst,
@@ -596,33 +826,31 @@ fn execute_unit(unit: Unit, engine: &mut Option<Engine>, shared: &Shared) {
                 }
                 // The substrate died mid-burst: retire this engine from
                 // the pool and requeue every job of the burst (none was
-                // fulfilled) onto the survivors.
+                // fulfilled) onto the survivors — routed jobs through
+                // the catalog, unrouted ones onto the shared lane.
                 Err(e) if is_engine_fatal(&e) => {
-                    retire_engine(engine, shared);
-                    for (program, responder) in batch.programs().iter().cloned().zip(responders) {
-                        divert(tenant, Job::MvpProgram(program), responder, shared);
+                    retire_engine(engine, shared, worker);
+                    for (program, (route, responder)) in
+                        batch.programs().iter().cloned().zip(waiters)
+                    {
+                        divert_program(tenant, program, route, responder, shared);
                     }
                 }
                 // One bad program poisons a coalesced run (run_batch
                 // stops at the first failure), so isolate: re-run every
                 // job alone and report its own outcome.
                 Err(_) => {
-                    for (program, responder) in batch.programs().iter().cloned().zip(responders) {
-                        run_solo(
-                            tenant,
-                            BatchRequest::new().with_program(program),
-                            1,
-                            responder,
-                            engine,
-                            shared,
-                        );
+                    for (program, (route, responder)) in
+                        batch.programs().iter().cloned().zip(waiters)
+                    {
+                        run_solo_program(tenant, program, route, responder, engine, shared, worker);
                     }
                 }
             }
         }
         Unit::MvpSolo { tenant, batch, responder } => {
             let jobs = 1;
-            run_solo(tenant, batch, jobs, responder, engine, shared);
+            run_solo(tenant, batch, jobs, responder, engine, shared, worker);
         }
         Unit::ApFeed { tenant, session, chunk, responder } => {
             match shared.sessions.checkout(session, tenant) {
@@ -669,6 +897,7 @@ fn run_solo(
     responder: Responder,
     engine: &mut Option<Engine>,
     shared: &Shared,
+    worker: usize,
 ) {
     let Some(mvp) = engine.as_mut() else {
         divert(tenant, Job::MvpBatch(batch), responder, shared);
@@ -682,8 +911,39 @@ fn run_solo(
             responder.fulfil(Ok(JobOutput::Mvp(MvpOutput { outputs: report.outputs, burst })));
         }
         Err(e) if is_engine_fatal(&e) => {
-            retire_engine(engine, shared);
+            retire_engine(engine, shared, worker);
             divert(tenant, Job::MvpBatch(batch), responder, shared);
+        }
+        Err(e) => responder.fulfil(Err(e.into())),
+    }
+}
+
+/// Runs one program alone, keeping its shard route intact so a fatal
+/// engine error mid-run still fails over through the catalog.
+fn run_solo_program(
+    tenant: TenantId,
+    program: Vec<Instruction>,
+    route: Option<ShardRoute>,
+    responder: Responder,
+    engine: &mut Option<Engine>,
+    shared: &Shared,
+    worker: usize,
+) {
+    let Some(mvp) = engine.as_mut() else {
+        divert_program(tenant, program, route, responder, shared);
+        return;
+    };
+    let batch = BatchRequest::new().with_program(program);
+    match mvp.run_batch(&batch) {
+        Ok(report) => {
+            let burst = BurstReport { jobs: 1, programs: batch.len(), ledger: report.ledger };
+            shared.account_mvp(tenant, &report.ledger, 1);
+            responder.fulfil(Ok(JobOutput::Mvp(MvpOutput { outputs: report.outputs, burst })));
+        }
+        Err(e) if is_engine_fatal(&e) => {
+            retire_engine(engine, shared, worker);
+            let program = batch.programs()[0].clone();
+            divert_program(tenant, program, route, responder, shared);
         }
         Err(e) => responder.fulfil(Err(e.into())),
     }

@@ -156,6 +156,193 @@ fn many_tenants_mixed_jobs_no_deadlock_clean_shutdown() {
     // hanging is the no-deadlock claim.
 }
 
+mod chaos {
+    //! A seeded chaos schedule over the replicated placement: kill K
+    //! replicas at random instants under multi-tenant scatter-gather
+    //! load. Every ticket must resolve, every answer must be
+    //! bit-identical to the single-engine reference, and the books must
+    //! reconcile — billed ≡ completed.
+
+    use memcim::serve::{BoxedBackend, ServeConfig, Service};
+    use memcim_bits::BitVec;
+    use memcim_crossbar::{
+        BankedCrossbar, CrossbarBackend, CrossbarError, OpLedger, RemapEntry, ScoutingKind,
+    };
+    use memcim_mvp::workloads::bitmap::BitmapTable;
+    use memcim_mvp::ShardMap;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    const WORKERS: usize = 4;
+    const SHARDS: usize = 4;
+    const REPLICAS: usize = 2;
+    const KILLS: usize = 2;
+    const RECORDS: usize = 500;
+    const ROWS: usize = 16;
+    const BANKS: usize = 4;
+    const BANK_COLS: usize = 64;
+    const WIDTH: usize = BANKS * BANK_COLS;
+    const WAVES: usize = 24;
+    const TENANTS: u64 = 5;
+    const SEED: u64 = 2018;
+
+    /// A substrate that fails every operation once its worker's shared
+    /// kill switch flips.
+    struct Killable {
+        inner: BankedCrossbar,
+        switches: Arc<Vec<AtomicBool>>,
+        worker: usize,
+    }
+
+    impl Killable {
+        fn check(&self) -> Result<(), CrossbarError> {
+            if self.switches[self.worker].load(Ordering::SeqCst) {
+                Err(CrossbarError::ExhaustedSpares { row: 0, spares: 0 })
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    impl CrossbarBackend for Killable {
+        fn rows(&self) -> usize {
+            self.inner.rows()
+        }
+        fn cols(&self) -> usize {
+            self.inner.cols()
+        }
+        fn program_row(&mut self, row: usize, values: &BitVec) -> Result<u64, CrossbarError> {
+            self.check()?;
+            self.inner.program_row(row, values)
+        }
+        fn read_row(&mut self, row: usize) -> Result<BitVec, CrossbarError> {
+            self.check()?;
+            self.inner.read_row(row)
+        }
+        fn scouting(
+            &mut self,
+            kind: ScoutingKind,
+            rows: &[usize],
+        ) -> Result<BitVec, CrossbarError> {
+            self.check()?;
+            self.inner.scouting(kind, rows)
+        }
+        fn scouting_write(
+            &mut self,
+            kind: ScoutingKind,
+            rows: &[usize],
+            dest: usize,
+        ) -> Result<BitVec, CrossbarError> {
+            self.check()?;
+            self.inner.scouting_write(kind, rows, dest)
+        }
+        fn ledger_parts(&self) -> Vec<OpLedger> {
+            self.inner.ledger_parts()
+        }
+        fn remap_table(&self) -> Vec<RemapEntry> {
+            self.inner.remap_table()
+        }
+    }
+
+    #[test]
+    fn seeded_replica_kills_under_load_lose_nothing_and_reconcile() {
+        let mut rng = SmallRng::seed_from_u64(SEED);
+        // With replica sets {s, (s+1) % 4}, killing two *non-adjacent*
+        // workers leaves every shard exactly one live replica — the
+        // schedule draws which pair and when, the invariants never
+        // change.
+        let pair = if rng.gen_range(0..2u32) == 0 { [0usize, 2] } else { [1, 3] };
+        let mut kill_at: Vec<usize> = (0..KILLS).map(|_| rng.gen_range(2..WAVES - 2)).collect();
+        kill_at.sort_unstable();
+
+        let mut table_rng = SmallRng::seed_from_u64(SEED ^ 0x5eed);
+        let col1: Vec<u8> = (0..RECORDS).map(|_| table_rng.gen_range(0..8)).collect();
+        let col2: Vec<u8> = (0..RECORDS).map(|_| table_rng.gen_range(0..8)).collect();
+        let table = BitmapTable::new(col1, col2, 8);
+        let map = ShardMap::new(RECORDS, SHARDS).expect("valid geometry");
+
+        let switches: Arc<Vec<AtomicBool>> =
+            Arc::new((0..WORKERS).map(|_| AtomicBool::new(false)).collect());
+        let factory_switches = Arc::clone(&switches);
+        let config = ServeConfig::default()
+            .with_workers(WORKERS)
+            .with_queue_depth(64)
+            .with_max_burst(4)
+            .with_mvp_geometry(ROWS, BANKS, BANK_COLS)
+            .with_placement(SHARDS, REPLICAS)
+            .with_engine_factory(move |worker| -> BoxedBackend {
+                Box::new(Killable {
+                    inner: BankedCrossbar::rram(ROWS, BANKS, BANK_COLS),
+                    switches: Arc::clone(&factory_switches),
+                    worker,
+                })
+            });
+        let service = Service::start(config);
+
+        let queries: [(&[u8], &[u8]); 3] =
+            [(&[1, 3], &[0, 2, 5]), (&[7], &[7]), (&[0, 4, 6], &[1, 3])];
+        let mut killed = 0usize;
+        let mut completed = 0u64;
+        for wave in 0..WAVES {
+            while killed < KILLS && kill_at[killed] == wave {
+                switches[pair[killed]].store(true, Ordering::SeqCst);
+                killed += 1;
+            }
+            let query = queries[wave % queries.len()];
+            // Multi-tenant load: every tenant scatters the same query
+            // concurrently; the per-tenant ledgers must stay separate.
+            let tickets: Vec<_> = (0..TENANTS)
+                .map(|tenant| {
+                    let subqueries: Vec<_> = map
+                        .ranges()
+                        .enumerate()
+                        .map(|(shard, range)| {
+                            (
+                                shard,
+                                table
+                                    .shard_query_plan(query.0, query.1, range, WIDTH)
+                                    .expect("plan compiles"),
+                            )
+                        })
+                        .collect();
+                    service.submit_sharded(tenant, subqueries).expect("accepts while running")
+                })
+                .collect();
+            let reference = table.query_reference(query.0, query.1);
+            for ticket in tickets {
+                let out = ticket.wait().expect("every ticket resolves");
+                let partials: Vec<BitVec> = out
+                    .partials
+                    .iter()
+                    .map(|p| p.outputs.first().cloned().expect("plan ends in a Read"))
+                    .collect();
+                let stitched = map.stitch(&partials).expect("aligned");
+                assert_eq!(stitched, reference, "wave {wave}: differential identity");
+                completed += SHARDS as u64;
+            }
+        }
+        assert_eq!(killed, KILLS, "the schedule fired every kill");
+        assert_eq!(service.retired_engines(), KILLS, "exactly the killed engines retired");
+        assert_eq!(service.unavailable_shards(), 0, "every shard kept a live replica");
+
+        // The books reconcile: billed ≡ completed, split evenly across
+        // the tenants (every tenant ran the same schedule).
+        let usage = service.shutdown();
+        let billed: u64 = usage.iter().map(|(_, u)| u.mvp_jobs).sum();
+        assert_eq!(billed, completed, "billed exactly the completed sub-queries");
+        for (tenant, u) in &usage {
+            assert_eq!(
+                u.mvp_jobs,
+                completed / TENANTS,
+                "tenant {tenant} billed for its own scatters only"
+            );
+            assert!(u.mvp.energy().as_joules() > 0.0, "tenant {tenant} paid real joules");
+        }
+    }
+}
+
 #[test]
 fn shutdown_under_load_never_strands_a_ticket() {
     let service = Service::start(config().with_workers(2));
