@@ -169,6 +169,93 @@ impl HomogeneousAutomaton {
         self
     }
 
+    /// Returns a copy that only reports through the accept states the
+    /// predicate keeps (keyed by state index; non-accept states are
+    /// unaffected). DPI deployments toggle rules off far more often
+    /// than they recompile, so specializing a compiled corpus is a
+    /// flag-clearing pass — and [`strip`](Self::strip) then removes the
+    /// states that served only the disabled rules. Map a pattern-level
+    /// enable set through the owner map of
+    /// [`PatternSet::to_homogeneous`](crate::PatternSet::to_homogeneous)
+    /// to obtain the predicate. ε-acceptance is left unchanged (empty
+    /// input attribution is a pattern-set concern).
+    #[must_use]
+    pub fn retain_accepts(mut self, keep: impl Fn(usize) -> bool) -> Self {
+        for (i, s) in self.states.iter_mut().enumerate() {
+            if s.accept && !keep(i) {
+                s.accept = false;
+            }
+        }
+        self
+    }
+
+    /// Removes states that cannot affect any run: states unreachable
+    /// from every start state (forward reachability over the edge
+    /// relation) and states from which no accept state can be reached
+    /// (backward liveness). Each removed state is one STE column and
+    /// one routing-matrix row/column an AP no longer has to provision.
+    ///
+    /// Returns the stripped automaton plus an old-state → new-state
+    /// remap (`None` for removed states) so owner maps keyed by state
+    /// index — e.g. a [`PatternSet`](crate::PatternSet)'s accepting-state
+    /// attribution — can follow the renumbering. The stripped automaton
+    /// is run-equivalent: identical acceptance and accept positions on
+    /// every input (property-tested below).
+    pub fn strip(&self) -> (Self, Vec<Option<usize>>) {
+        let n = self.states.len();
+        // Forward: states some input can activate.
+        let mut reachable = vec![false; n];
+        let mut stack: Vec<usize> =
+            (0..n).filter(|&s| self.states[s].start != StartKind::None).collect();
+        for &s in &stack {
+            reachable[s] = true;
+        }
+        while let Some(s) = stack.pop() {
+            for &q in &self.edges[s] {
+                if !reachable[q] {
+                    reachable[q] = true;
+                    stack.push(q);
+                }
+            }
+        }
+        // Backward: states that can still reach a report.
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for p in 0..n {
+            for &q in &self.edges[p] {
+                preds[q].push(p);
+            }
+        }
+        let mut live = vec![false; n];
+        let mut stack: Vec<usize> = (0..n).filter(|&s| self.states[s].accept).collect();
+        for &s in &stack {
+            live[s] = true;
+        }
+        while let Some(s) = stack.pop() {
+            for &p in &preds[s] {
+                if !live[p] {
+                    live[p] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        // Rebuild the kept subgraph with compacted indices.
+        let mut remap = vec![None; n];
+        let mut states = Vec::new();
+        for s in 0..n {
+            if reachable[s] && live[s] {
+                remap[s] = Some(states.len());
+                states.push(self.states[s].clone());
+            }
+        }
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); states.len()];
+        for p in 0..n {
+            if let Some(np) = remap[p] {
+                edges[np] = self.edges[p].iter().filter_map(|&q| remap[q]).collect();
+            }
+        }
+        (Self { states, edges, accepts_empty: self.accepts_empty }, remap)
+    }
+
     /// Projects the automaton onto the paper's Fig. 6 matrices.
     pub fn to_matrices(&self) -> ApMatrices {
         let n = self.states.len();
@@ -375,6 +462,75 @@ mod tests {
     }
 
     #[test]
+    fn strip_is_identity_on_a_fully_live_automaton() {
+        let h = HomogeneousAutomaton::from_nfa(&paper_nfa());
+        let (stripped, remap) = h.strip();
+        assert_eq!(stripped, h);
+        assert_eq!(remap, vec![Some(0), Some(1), Some(2)]);
+    }
+
+    #[test]
+    fn strip_removes_dead_branches_and_stays_run_equivalent() {
+        // A reachable z-loop that can never accept: dead weight on an AP.
+        let mut nfa = Nfa::new();
+        let s0 = nfa.add_state();
+        let ok = nfa.add_state();
+        let trap = nfa.add_state();
+        nfa.add_start(s0);
+        nfa.set_accept(ok, true);
+        nfa.add_transition(s0, SymbolClass::of(b'a'), ok);
+        nfa.add_transition(s0, SymbolClass::of(b'z'), trap);
+        nfa.add_transition(trap, SymbolClass::of(b'z'), trap);
+        let h = HomogeneousAutomaton::from_nfa(&nfa);
+        let (stripped, remap) = h.strip();
+        assert!(stripped.state_count() < h.state_count(), "the trap is removed");
+        assert!(stripped.transition_count() < h.transition_count());
+        // Kept states preserve class, accept and start flags.
+        for (old, new) in remap.iter().enumerate() {
+            if let Some(new) = *new {
+                assert_eq!(h.class(old), stripped.class(new));
+                assert_eq!(h.is_accept(old), stripped.is_accept(new));
+                assert_eq!(h.start_kind(old), stripped.start_kind(new));
+            }
+        }
+        for input in [&b""[..], b"a", b"z", b"zz", b"za", b"az"] {
+            assert_eq!(stripped.run(input), h.run(input), "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn retain_accepts_then_strip_drops_a_disabled_branch() {
+        // Two patterns sharing a head; disabling one leaves its tail
+        // dead, and strip removes it.
+        let nfa = Regex::parse("(ax+|by+)").expect("parses").compile();
+        let h = HomogeneousAutomaton::from_nfa(&nfa);
+        // Keep only accepts reached on 'x' (the a-branch).
+        let specialized = h.clone().retain_accepts(|s| h.class(s).contains(b'x'));
+        let (stripped, _remap) = specialized.clone().strip();
+        assert!(stripped.state_count() < h.state_count(), "the y-tail is dead weight");
+        assert!(stripped.run(b"axx").accepted);
+        assert!(!stripped.run(b"byy").accepted, "disabled branch no longer reports");
+        for input in [&b"ax"[..], b"byy", b"a", b"", b"xy"] {
+            assert_eq!(stripped.run(input), specialized.run(input), "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn strip_of_an_acceptless_automaton_is_empty_and_still_runs() {
+        let mut nfa = Nfa::new();
+        let s0 = nfa.add_state();
+        let s1 = nfa.add_state();
+        nfa.add_start(s0);
+        nfa.add_transition(s0, SymbolClass::of(b'a'), s1);
+        let h = HomogeneousAutomaton::from_nfa(&nfa);
+        let (stripped, remap) = h.strip();
+        assert_eq!(stripped.state_count(), 0);
+        assert!(remap.iter().all(Option::is_none));
+        assert_eq!(stripped.run(b"aaa"), h.run(b"aaa"));
+        assert_eq!(stripped.run(b""), h.run(b""));
+    }
+
+    #[test]
     fn empty_input_follows_epsilon_acceptance() {
         let star = Regex::parse("a*").expect("parses").compile();
         let h = HomogeneousAutomaton::from_nfa(&star);
@@ -413,6 +569,35 @@ mod proptests {
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(96))]
+        /// `strip()` never changes a run: acceptance and accept
+        /// positions are identical before and after, for both anchored
+        /// and all-input start semantics.
+        #[test]
+        fn strip_preserves_runs(
+            pattern in pattern_strategy(),
+            inputs in proptest::collection::vec(
+                proptest::collection::vec(b'a'..=b'd', 0..12), 1..6),
+        ) {
+            let nfa = Regex::parse(&pattern).expect("generated pattern").compile();
+            let anchored = HomogeneousAutomaton::from_nfa(&nfa);
+            let scanning = anchored.clone().with_start_kind(StartKind::AllInput);
+            for h in [anchored, scanning] {
+                let (stripped, remap) = h.strip();
+                prop_assert!(stripped.state_count() <= h.state_count());
+                prop_assert_eq!(
+                    remap.iter().filter(|r| r.is_some()).count(),
+                    stripped.state_count()
+                );
+                for input in &inputs {
+                    prop_assert_eq!(
+                        stripped.run(input),
+                        h.run(input),
+                        "pattern {} input {:?}", pattern, input
+                    );
+                }
+            }
+        }
+
         /// Homogeneous conversion preserves the language (differential
         /// test against the set-based NFA interpreter).
         #[test]

@@ -258,6 +258,27 @@ mod tests {
     }
 
     #[test]
+    fn disabling_rules_makes_their_states_strippable() {
+        // The compiler emits trim machines, so the full corpus strips to
+        // itself; disabling a rule subset leaves dead tails that strip
+        // removes while staying run-equivalent on the subset machine.
+        let mut rng = SmallRng::seed_from_u64(2018);
+        let texts = rules::synthetic_rules(&mut rng, 16);
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        let set = PatternSet::compile(&refs).expect("compiles");
+        let (h, owner) = set.to_homogeneous();
+        assert_eq!(h.clone().strip().0.state_count(), h.state_count(), "full corpus is trim");
+        let subset = h.retain_accepts(|s| owner.get(&s).is_none_or(|&pattern| pattern % 2 == 0));
+        let (stripped, _remap) = subset.clone().strip();
+        assert!(
+            stripped.state_count() < subset.state_count(),
+            "disabled rules' exclusive states fall out"
+        );
+        let traffic = rules::synthetic_traffic(&mut rng, set.patterns(), 3000, 12);
+        assert_eq!(stripped.run(&traffic), subset.run(&traffic));
+    }
+
+    #[test]
     fn genome_and_plant() {
         let mut rng = SmallRng::seed_from_u64(1);
         let mut g = dna::random_genome(&mut rng, 1000);

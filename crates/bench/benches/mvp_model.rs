@@ -28,7 +28,7 @@ fn bench_mvp(c: &mut Criterion) {
     let n = 4096;
     let col1: Vec<u8> = (0..n).map(|_| rng.gen_range(0..16)).collect();
     let col2: Vec<u8> = (0..n).map(|_| rng.gen_range(0..16)).collect();
-    let table = BitmapTable::new(col1, col2, 16);
+    let table = BitmapTable::new(col1, col2, 16).expect("well-formed columns");
     group.bench_function("bitmap_query_mvp", |b| {
         let mut mvp = MvpSimulator::new(24, n);
         b.iter(|| black_box(table.query_mvp(&mut mvp, &[1, 3, 5], &[2, 4]).expect("query")))
@@ -37,9 +37,9 @@ fn bench_mvp(c: &mut Criterion) {
         b.iter(|| black_box(table.query_reference(&[1, 3, 5], &[2, 4])))
     });
 
-    let mut g = Graph::new(256);
+    let mut g = Graph::new(256).expect("nonempty graph");
     for _ in 0..2048 {
-        g.add_edge(rng.gen_range(0..256), rng.gen_range(0..256));
+        g.add_edge(rng.gen_range(0..256), rng.gen_range(0..256)).expect("in range");
     }
     group.bench_function("bfs_mvp", |b| {
         let mut mvp = MvpSimulator::new(16, 256);

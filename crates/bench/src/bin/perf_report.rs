@@ -51,6 +51,7 @@ const REQUIRED_CONFIGS: &[&str] = &[
     "serve_bitmap_qps_8w",
     "serve_shard_qps",
     "serve_net_qps",
+    "verify_overhead",
     "yield_report",
 ];
 
@@ -152,7 +153,7 @@ fn run_workloads(quick: bool) -> Vec<ConfigResult> {
     let mut wrng = SmallRng::seed_from_u64(SEED);
     let col1: Vec<u8> = (0..records).map(|_| wrng.gen_range(0..16)).collect();
     let col2: Vec<u8> = (0..records).map(|_| wrng.gen_range(0..8)).collect();
-    let table = BitmapTable::new(col1, col2, 16);
+    let table = BitmapTable::new(col1, col2, 16).expect("well-formed columns");
     let mut mvp = MvpSimulator::new(32, records);
     results.push(measure("mvp_bitmap_query", "record", records as u64, budget, || {
         std::hint::black_box(table.query_mvp(&mut mvp, &[1, 4, 9], &[0, 3]).expect("query runs"));
@@ -197,7 +198,7 @@ fn run_workloads(quick: bool) -> Vec<ConfigResult> {
     let mut srng = SmallRng::seed_from_u64(SEED);
     let serve_col1: Vec<u8> = (0..serve_records).map(|_| srng.gen_range(0..16)).collect();
     let serve_col2: Vec<u8> = (0..serve_records).map(|_| srng.gen_range(0..8)).collect();
-    let serve_table = BitmapTable::new(serve_col1, serve_col2, 16);
+    let serve_table = BitmapTable::new(serve_col1, serve_col2, 16).expect("well-formed columns");
     let serve_plans: Vec<Vec<memcim_mvp::Instruction>> =
         queries.iter().map(|(s1, s2)| serve_table.query_plan(s1, s2)).collect();
     let jobs_per_iter = 32usize;
@@ -321,6 +322,34 @@ fn run_workloads(quick: bool) -> Vec<ConfigResult> {
             }
         }));
         server.shutdown();
+    }
+
+    // --- Admission-time verification overhead ---------------------------
+    // The static pass the serve layer runs on every submitted program
+    // before it may queue: one abstract-interpretation walk
+    // (`verify_program`) plus the static cost bound, on the same four
+    // bitmap query plans the QPS configs serve on the same banked
+    // geometry. ns/unit is the per-program admission tax; set it
+    // against `serve_net_qps`'s round trip to see what gating costs.
+    {
+        let rows = 32usize;
+        let model = memcim_verify::CostModel::banked(rows, 64, serve_records / 64);
+        results.push(measure(
+            "verify_overhead",
+            "program",
+            serve_plans.len() as u64,
+            budget,
+            || {
+                for plan in &serve_plans {
+                    let diagnostics = memcim_verify::verify_program(plan, rows, serve_records);
+                    assert!(
+                        memcim_verify::first_error(&diagnostics).is_none(),
+                        "the served plans are valid"
+                    );
+                    std::hint::black_box(model.bound(plan));
+                }
+            },
+        ));
     }
 
     // --- Fault-tolerance yield harness ---------------------------------

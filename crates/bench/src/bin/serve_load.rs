@@ -193,7 +193,8 @@ fn main() {
     let mut rng = SmallRng::seed_from_u64(SEED);
     let col1: Vec<u8> = (0..records).map(|_| rng.gen_range(0..16)).collect();
     let col2: Vec<u8> = (0..records).map(|_| rng.gen_range(0..8)).collect();
-    let table = memcim_mvp::workloads::bitmap::BitmapTable::new(col1, col2, 16);
+    let table = memcim_mvp::workloads::bitmap::BitmapTable::new(col1, col2, 16)
+        .expect("well-formed columns");
     let queries: [(&[u8], &[u8]); 4] =
         [(&[1, 4, 9], &[0, 3]), (&[2, 5], &[1, 6]), (&[11], &[2, 4, 7]), (&[0, 8, 14], &[5])];
     let plans: Vec<Vec<Instruction>> =

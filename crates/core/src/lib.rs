@@ -18,6 +18,7 @@
 //! | [`memcim_automata`] | regex → NFA → homogeneous automata |
 //! | [`memcim_ap`] | generic AP model + RRAM/SRAM/SDRAM backends |
 //! | [`memcim_mvp`] | MVP simulator + Fig. 4 architecture model |
+//! | [`memcim_verify`] | static program/automaton analysis: abstract interpreter, cost bounds, reachability/liveness |
 //! | [`memcim_serve`] | concurrent multi-tenant query service over the banked engines, plus its framed-TCP network front door (`memcim_serve::net`) |
 //!
 //! ## Quick start
@@ -61,6 +62,7 @@ pub use memcim_mvp as mvp;
 pub use memcim_serve as serve;
 pub use memcim_spice as spice;
 pub use memcim_units as units;
+pub use memcim_verify as verify;
 
 mod accelerator;
 
@@ -90,6 +92,10 @@ pub mod prelude {
     pub use memcim_spice::{Circuit, Edge, Integration, SolverKind, Transient, Waveform};
     pub use memcim_units::{
         Amps, Farads, Hertz, Joules, Ohms, Seconds, Siemens, SquareMicrometers, Volts, Watts,
+    };
+    pub use memcim_verify::{
+        first_error, verify_program, AutomatonReport, Code, CostBound, CostModel, Diagnostic,
+        Severity,
     };
 
     pub use crate::{RegexAccelerator, ScanOutcome};

@@ -38,23 +38,34 @@ const WORK_ROWS: usize = 8;
 ///
 /// # Errors
 ///
-/// Propagates [`MvpError`] from program execution (e.g. a simulator
+/// Returns [`MvpError::BadInput`] if the plane counts or widths
+/// disagree, `a` is empty, or the simulator has fewer than 8 rows, and
+/// propagates [`MvpError`] from program execution (e.g. a simulator
 /// narrower than the planes).
-///
-/// # Panics
-///
-/// Panics if the plane counts or widths disagree, if `a` is empty, or if
-/// the simulator has fewer than 8 rows.
 pub fn add_bit_planes(
     mvp: &mut MvpSimulator,
     a: &[BitVec],
     b: &[BitVec],
 ) -> Result<Vec<BitVec>, MvpError> {
-    assert!(!a.is_empty(), "need at least one bit plane");
-    assert_eq!(a.len(), b.len(), "operand plane counts must match");
+    if a.is_empty() {
+        return Err(MvpError::BadInput { reason: "need at least one bit plane".into() });
+    }
+    if a.len() != b.len() {
+        return Err(MvpError::BadInput {
+            reason: format!("operand plane counts must match: {} vs {}", a.len(), b.len()),
+        });
+    }
     let width = a[0].len();
-    assert!(a.iter().chain(b).all(|p| p.len() == width), "all planes must share one width");
-    assert!(mvp.rows() >= WORK_ROWS, "adder needs at least 8 rows");
+    if !a.iter().chain(b).all(|p| p.len() == width) {
+        return Err(MvpError::BadInput {
+            reason: format!("all planes must share one width ({width} columns)"),
+        });
+    }
+    if mvp.rows() < WORK_ROWS {
+        return Err(MvpError::BadInput {
+            reason: format!("adder needs at least {WORK_ROWS} rows, simulator has {}", mvp.rows()),
+        });
+    }
 
     // Row roles.
     const RA: usize = 0; // aᵢ
@@ -92,32 +103,48 @@ pub fn add_bit_planes(
 
 /// Encodes a slice of integers as `w` bit planes (LSB first).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `w == 0`, `w > 64`, or any value needs more than `w` bits.
-pub fn to_bit_planes(values: &[u64], w: usize) -> Vec<BitVec> {
-    assert!((1..=64).contains(&w), "plane count must be in 1..=64");
-    assert!(values.iter().all(|&v| w == 64 || v < (1u64 << w)), "value exceeds {w} bits");
-    (0..w).map(|bit| values.iter().map(|&v| v >> bit & 1 == 1).collect()).collect()
+/// Returns [`MvpError::BadInput`] if `w == 0`, `w > 64`, or any value
+/// needs more than `w` bits.
+pub fn to_bit_planes(values: &[u64], w: usize) -> Result<Vec<BitVec>, MvpError> {
+    if !(1..=64).contains(&w) {
+        return Err(MvpError::BadInput {
+            reason: format!("plane count must be in 1..=64, got {w}"),
+        });
+    }
+    if let Some(&v) = values.iter().find(|&&v| w < 64 && v >= (1u64 << w)) {
+        return Err(MvpError::BadInput { reason: format!("value {v} exceeds {w} bits") });
+    }
+    Ok((0..w).map(|bit| values.iter().map(|&v| v >> bit & 1 == 1).collect()).collect())
 }
 
 /// Decodes bit planes (LSB first) back into integers.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the planes disagree in width or exceed 64.
-pub fn from_bit_planes(planes: &[BitVec]) -> Vec<u64> {
-    assert!(planes.len() <= 64, "at most 64 planes");
+/// Returns [`MvpError::BadInput`] if the planes disagree in width or
+/// exceed 64.
+pub fn from_bit_planes(planes: &[BitVec]) -> Result<Vec<u64>, MvpError> {
+    if planes.len() > 64 {
+        return Err(MvpError::BadInput {
+            reason: format!("at most 64 planes, got {}", planes.len()),
+        });
+    }
     let Some(first) = planes.first() else {
-        return Vec::new();
+        return Ok(Vec::new());
     };
     let width = first.len();
-    assert!(planes.iter().all(|p| p.len() == width), "plane widths must match");
-    (0..width)
+    if !planes.iter().all(|p| p.len() == width) {
+        return Err(MvpError::BadInput {
+            reason: format!("plane widths must match ({width} columns)"),
+        });
+    }
+    Ok((0..width)
         .map(|lane| {
             planes.iter().enumerate().map(|(bit, plane)| u64::from(plane.get(lane)) << bit).sum()
         })
-        .collect()
+        .collect())
 }
 
 /// Convenience: adds two integer vectors end to end (encode, in-memory
@@ -125,21 +152,22 @@ pub fn from_bit_planes(planes: &[BitVec]) -> Vec<u64> {
 ///
 /// # Errors
 ///
-/// Propagates [`MvpError`] from the in-memory execution.
-///
-/// # Panics
-///
-/// Panics on mismatched lengths or values exceeding `w` bits (see
-/// [`to_bit_planes`]).
+/// Returns [`MvpError::BadInput`] on mismatched lengths or values
+/// exceeding `w` bits (see [`to_bit_planes`]) and propagates
+/// [`MvpError`] from the in-memory execution.
 pub fn add_vectors(
     mvp: &mut MvpSimulator,
     a: &[u64],
     b: &[u64],
     w: usize,
 ) -> Result<Vec<u64>, MvpError> {
-    assert_eq!(a.len(), b.len(), "vector lengths must match");
-    let planes = add_bit_planes(mvp, &to_bit_planes(a, w), &to_bit_planes(b, w))?;
-    Ok(from_bit_planes(&planes))
+    if a.len() != b.len() {
+        return Err(MvpError::BadInput {
+            reason: format!("vector lengths must match: {} vs {}", a.len(), b.len()),
+        });
+    }
+    let planes = add_bit_planes(mvp, &to_bit_planes(a, w)?, &to_bit_planes(b, w)?)?;
+    from_bit_planes(&planes)
 }
 
 #[cfg(test)]
@@ -149,9 +177,9 @@ mod tests {
     #[test]
     fn plane_encoding_round_trips() {
         let values = [0u64, 1, 5, 255, 128, 77];
-        let planes = to_bit_planes(&values, 8);
+        let planes = to_bit_planes(&values, 8).expect("encodes");
         assert_eq!(planes.len(), 8);
-        assert_eq!(from_bit_planes(&planes), values);
+        assert_eq!(from_bit_planes(&planes).expect("decodes"), values);
     }
 
     #[test]
@@ -192,18 +220,34 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "plane counts must match")]
-    fn mismatched_planes_panic() {
+    fn mismatched_planes_are_rejected_as_errors() {
         let mut mvp = MvpSimulator::new(8, 4);
-        let a = to_bit_planes(&[1, 2, 3, 4], 4);
-        let b = to_bit_planes(&[1, 2, 3, 4], 5);
-        let _ = add_bit_planes(&mut mvp, &a, &b);
+        let a = to_bit_planes(&[1, 2, 3, 4], 4).expect("encodes");
+        let b = to_bit_planes(&[1, 2, 3, 4], 5).expect("encodes");
+        match add_bit_planes(&mut mvp, &a, &b) {
+            Err(MvpError::BadInput { reason }) => {
+                assert!(reason.contains("plane counts must match"), "got: {reason}");
+            }
+            other => panic!("expected BadInput, got {other:?}"),
+        }
+        assert!(matches!(add_bit_planes(&mut mvp, &[], &[]), Err(MvpError::BadInput { .. })));
+        assert!(matches!(add_vectors(&mut mvp, &[1], &[1, 2], 4), Err(MvpError::BadInput { .. })));
+        let mut small = MvpSimulator::new(4, 4);
+        assert!(matches!(add_vectors(&mut small, &[1], &[2], 4), Err(MvpError::BadInput { .. })));
     }
 
     #[test]
-    #[should_panic(expected = "exceeds 3 bits")]
     fn overflowing_values_are_rejected_at_encode() {
-        let _ = to_bit_planes(&[9], 3);
+        match to_bit_planes(&[9], 3) {
+            Err(MvpError::BadInput { reason }) => {
+                assert!(reason.contains("exceeds 3 bits"), "got: {reason}");
+            }
+            other => panic!("expected BadInput, got {other:?}"),
+        }
+        assert!(matches!(to_bit_planes(&[1], 0), Err(MvpError::BadInput { .. })));
+        assert!(matches!(to_bit_planes(&[1], 65), Err(MvpError::BadInput { .. })));
+        let uneven = [memcim_bits::BitVec::new(4), memcim_bits::BitVec::new(5)];
+        assert!(matches!(from_bit_planes(&uneven), Err(MvpError::BadInput { .. })));
     }
 }
 

@@ -38,18 +38,25 @@ pub mod bitmap {
     impl BitmapTable {
         /// Builds a table from two categorical columns.
         ///
-        /// # Panics
+        /// # Errors
         ///
-        /// Panics if the columns differ in length, are empty, or contain
-        /// values ≥ `cardinality`.
-        pub fn new(col1: Vec<u8>, col2: Vec<u8>, cardinality: usize) -> Self {
-            assert_eq!(col1.len(), col2.len(), "columns must align");
-            assert!(!col1.is_empty(), "table must not be empty");
-            assert!(
-                col1.iter().chain(&col2).all(|&v| (v as usize) < cardinality),
-                "values must be below the cardinality"
-            );
-            Self { rows: col1.len(), col1, col2, cardinality }
+        /// Returns [`MvpError::BadInput`] if the columns differ in
+        /// length, are empty, or contain values ≥ `cardinality`.
+        pub fn new(col1: Vec<u8>, col2: Vec<u8>, cardinality: usize) -> Result<Self, MvpError> {
+            if col1.len() != col2.len() {
+                return Err(MvpError::BadInput {
+                    reason: format!("columns must align: {} vs {} records", col1.len(), col2.len()),
+                });
+            }
+            if col1.is_empty() {
+                return Err(MvpError::BadInput { reason: "table must not be empty".into() });
+            }
+            if let Some(&v) = col1.iter().chain(&col2).find(|&&v| (v as usize) >= cardinality) {
+                return Err(MvpError::BadInput {
+                    reason: format!("value {v} is not below the cardinality {cardinality}"),
+                });
+            }
+            Ok(Self { rows: col1.len(), col1, col2, cardinality })
         }
 
         /// Number of records.
@@ -401,22 +408,32 @@ pub mod bfs {
     impl Graph {
         /// Creates an edgeless graph on `n` vertices.
         ///
-        /// # Panics
+        /// # Errors
         ///
-        /// Panics if `n` is zero.
-        pub fn new(n: usize) -> Self {
-            assert!(n > 0, "graph needs at least one vertex");
-            Self { n, adjacency: vec![BitVec::new(n); n] }
+        /// Returns [`MvpError::BadInput`] if `n` is zero.
+        pub fn new(n: usize) -> Result<Self, MvpError> {
+            if n == 0 {
+                return Err(MvpError::BadInput {
+                    reason: "graph needs at least one vertex".into(),
+                });
+            }
+            Ok(Self { n, adjacency: vec![BitVec::new(n); n] })
         }
 
         /// Adds a directed edge.
         ///
-        /// # Panics
+        /// # Errors
         ///
-        /// Panics if either endpoint is out of range.
-        pub fn add_edge(&mut self, from: usize, to: usize) {
-            assert!(from < self.n && to < self.n, "edge endpoint out of range");
+        /// Returns [`MvpError::BadInput`] if either endpoint is out of
+        /// range.
+        pub fn add_edge(&mut self, from: usize, to: usize) -> Result<(), MvpError> {
+            if from >= self.n || to >= self.n {
+                return Err(MvpError::BadInput {
+                    reason: format!("edge {from} → {to} escapes the {}-vertex graph", self.n),
+                });
+            }
             self.adjacency[from].set(to, true);
+            Ok(())
         }
 
         /// Vertex count.
@@ -529,7 +546,7 @@ mod tests {
         let n = 512;
         let col1: Vec<u8> = (0..n).map(|_| rng.gen_range(0..8)).collect();
         let col2: Vec<u8> = (0..n).map(|_| rng.gen_range(0..8)).collect();
-        let table = bitmap::BitmapTable::new(col1, col2, 8);
+        let table = bitmap::BitmapTable::new(col1, col2, 8).expect("well-formed");
         let mut mvp = MvpSimulator::new(24, n);
         for (s1, s2) in [(&[1u8, 3][..], &[0u8, 2, 5][..]), (&[7], &[7]), (&[0, 1, 2], &[3])] {
             let fast = table.query_mvp(&mut mvp, s1, s2).expect("mvp query");
@@ -545,7 +562,7 @@ mod tests {
         let n = 384;
         let col1: Vec<u8> = (0..n).map(|_| rng.gen_range(0..8)).collect();
         let col2: Vec<u8> = (0..n).map(|_| rng.gen_range(0..8)).collect();
-        let table = bitmap::BitmapTable::new(col1, col2, 8);
+        let table = bitmap::BitmapTable::new(col1, col2, 8).expect("well-formed");
         // Three banks, non-power-of-two bank width.
         let mut banked = MvpSimulator::banked(24, 3, 128);
         let fast = table.query_mvp(&mut banked, &[1, 3], &[0, 2]).expect("banked query");
@@ -558,7 +575,7 @@ mod tests {
         let n = 500; // deliberately not a multiple of the shard counts
         let col1: Vec<u8> = (0..n).map(|_| rng.gen_range(0..8)).collect();
         let col2: Vec<u8> = (0..n).map(|_| rng.gen_range(0..8)).collect();
-        let table = bitmap::BitmapTable::new(col1, col2, 8);
+        let table = bitmap::BitmapTable::new(col1, col2, 8).expect("well-formed");
         let width = 512; // engine width exceeds every shard's record count
         for shards in [1usize, 2, 3, 4] {
             let map = crate::ShardMap::new(n, shards).expect("valid geometry");
@@ -579,7 +596,8 @@ mod tests {
 
     #[test]
     fn shard_query_plan_validates_geometry() {
-        let table = bitmap::BitmapTable::new(vec![0, 1, 2, 3], vec![0, 1, 2, 3], 4);
+        let table =
+            bitmap::BitmapTable::new(vec![0, 1, 2, 3], vec![0, 1, 2, 3], 4).expect("well-formed");
         assert!(matches!(
             table.shard_query_plan(&[1], &[2], 2..6, 64),
             Err(MvpError::BadInput { .. })
@@ -667,9 +685,9 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(37);
         for trial in 0..5 {
             let n = 64;
-            let mut g = bfs::Graph::new(n);
+            let mut g = bfs::Graph::new(n).expect("nonempty");
             for _ in 0..300 {
-                g.add_edge(rng.gen_range(0..n), rng.gen_range(0..n));
+                g.add_edge(rng.gen_range(0..n), rng.gen_range(0..n)).expect("in range");
             }
             let mut mvp = MvpSimulator::new(16, n);
             let fast = g.bfs_mvp(&mut mvp, 0, 8).expect("mvp bfs");
@@ -680,9 +698,9 @@ mod tests {
 
     #[test]
     fn bfs_on_a_path_visits_levels_in_order() {
-        let mut g = bfs::Graph::new(5);
+        let mut g = bfs::Graph::new(5).expect("nonempty");
         for i in 0..4 {
-            g.add_edge(i, i + 1);
+            g.add_edge(i, i + 1).expect("in range");
         }
         let mut mvp = MvpSimulator::new(8, 5);
         // A path frontier has single vertices: exercises the chunk == 1
@@ -693,15 +711,29 @@ mod tests {
 
     #[test]
     fn bfs_rejects_bad_arguments_as_errors() {
-        let g = bfs::Graph::new(4);
+        let g = bfs::Graph::new(4).expect("nonempty");
         let mut mvp = MvpSimulator::new(8, 4);
         assert!(matches!(g.bfs_mvp(&mut mvp, 9, 4), Err(MvpError::BadInput { .. })));
         assert!(matches!(g.bfs_mvp(&mut mvp, 0, 1), Err(MvpError::BadInput { .. })));
     }
 
     #[test]
-    #[should_panic(expected = "columns must align")]
-    fn bitmap_table_validates_columns() {
-        let _ = bitmap::BitmapTable::new(vec![0, 1], vec![0], 4);
+    fn bitmap_table_validates_its_inputs_as_errors() {
+        assert!(matches!(
+            bitmap::BitmapTable::new(vec![0, 1], vec![0], 4),
+            Err(MvpError::BadInput { .. })
+        ));
+        assert!(matches!(
+            bitmap::BitmapTable::new(vec![], vec![], 4),
+            Err(MvpError::BadInput { .. })
+        ));
+        assert!(matches!(
+            bitmap::BitmapTable::new(vec![5], vec![0], 4),
+            Err(MvpError::BadInput { .. })
+        ));
+        // Degenerate graphs and edges are errors too, not aborts.
+        assert!(matches!(bfs::Graph::new(0), Err(MvpError::BadInput { .. })));
+        let mut g = bfs::Graph::new(2).expect("nonempty");
+        assert!(matches!(g.add_edge(0, 2), Err(MvpError::BadInput { .. })));
     }
 }

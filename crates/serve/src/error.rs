@@ -4,6 +4,7 @@ use crate::{SessionId, TenantId};
 use core::fmt;
 use memcim_ap::ApError;
 use memcim_mvp::MvpError;
+use memcim_units::Joules;
 
 /// Errors produced while submitting to or executing on the service.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,6 +34,32 @@ pub enum ServeError {
     Compile {
         /// The parse/mapping error message.
         message: String,
+    },
+    /// Static verification refused the program at admission: the
+    /// engine of this geometry would provably reject it at runtime.
+    /// Nothing was queued and nothing was billed — fix the program
+    /// (the diagnostic pinpoints the instruction) and resubmit.
+    InvalidProgram {
+        /// The stable diagnostic code (e.g. `E-ROW-RANGE`); see
+        /// `memcim_verify::Code`.
+        code: String,
+        /// Index of the offending instruction within the program.
+        index: usize,
+        /// Human-readable detail from the verifier.
+        message: String,
+    },
+    /// Admission control refused the submission: the program's *static*
+    /// energy bound exceeds the tenant's configured per-submission
+    /// budget. Nothing was queued and nothing was billed — the bound is
+    /// computed before execution, so an over-budget program costs the
+    /// service nothing.
+    CostBoundExceeded {
+        /// The tenant whose budget the bound exceeds.
+        tenant: TenantId,
+        /// The submission's static energy bound.
+        bound: Joules,
+        /// The tenant's configured per-submission energy budget.
+        budget: Joules,
     },
     /// An MVP job failed on the engine.
     Mvp(MvpError),
@@ -90,6 +117,17 @@ impl fmt::Display for ServeError {
                 write!(f, "session {session} is busy on another worker")
             }
             ServeError::Compile { message } => write!(f, "pattern compilation failed: {message}"),
+            ServeError::InvalidProgram { code, index, message } => {
+                write!(f, "invalid program at instruction {index} [{code}]: {message}")
+            }
+            ServeError::CostBoundExceeded { tenant, bound, budget } => {
+                write!(
+                    f,
+                    "static energy bound {:.3e} J exceeds tenant {tenant}'s per-submission budget of {:.3e} J",
+                    bound.as_joules(),
+                    budget.as_joules()
+                )
+            }
             ServeError::Mvp(e) => write!(f, "MVP job failed: {e}"),
             ServeError::NoHealthyEngine => {
                 write!(f, "every worker engine has been retired; no healthy MVP engine remains")
@@ -151,6 +189,21 @@ mod tests {
         let internal = ServeError::Internal { message: "spawn failed".into() };
         assert!(internal.to_string().contains("spawn failed"));
         assert!(ServeError::ShardUnavailable { shard: 2 }.to_string().contains("shard 2"));
+        let invalid = ServeError::InvalidProgram {
+            code: "E-ROW-RANGE".into(),
+            index: 4,
+            message: "row 99 outside the 8-row array".into(),
+        };
+        let rendered = invalid.to_string();
+        assert!(rendered.contains("instruction 4"), "{rendered}");
+        assert!(rendered.contains("E-ROW-RANGE"), "{rendered}");
+        assert!(rendered.contains("row 99"), "{rendered}");
+        let cost = ServeError::CostBoundExceeded {
+            tenant: 6,
+            bound: Joules::new(2e-9),
+            budget: Joules::new(1e-9),
+        };
+        assert!(cost.to_string().contains("tenant 6"), "{cost}");
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! deterministic under test.
 
 use crate::{ServeError, TenantId};
+use memcim_units::Joules;
 use std::collections::HashMap;
 use std::sync::Mutex;
 use std::time::Instant;
@@ -102,13 +103,14 @@ pub struct TenantPolicy {
     token: String,
     quota: Option<u64>,
     rate: Option<RateLimit>,
+    energy_budget: Option<Joules>,
 }
 
 impl TenantPolicy {
-    /// A policy with the given authentication token, no quota and no
-    /// rate limit.
+    /// A policy with the given authentication token, no quota, no rate
+    /// limit and no energy budget.
     pub fn new(token: impl Into<String>) -> Self {
-        Self { token: token.into(), quota: None, rate: None }
+        Self { token: token.into(), quota: None, rate: None, energy_budget: None }
     }
 
     /// Caps the tenant's lifetime job count at `max_jobs`.
@@ -123,6 +125,18 @@ impl TenantPolicy {
     #[must_use]
     pub fn with_rate(mut self, burst: u32, jobs_per_sec: f64) -> Self {
         self.rate = Some(RateLimit { burst, jobs_per_sec });
+        self
+    }
+
+    /// Caps the *static energy bound* of any single submission at
+    /// `budget` joules: a `Submit` whose programs' verified cost bound
+    /// (`memcim_verify::CostModel`) exceeds it is refused with a typed
+    /// quota frame *before* it is queued or billed. The bound
+    /// over-approximates actual cost, so an admitted submission never
+    /// executes above the budget.
+    #[must_use]
+    pub fn with_energy_budget(mut self, budget: Joules) -> Self {
+        self.energy_budget = Some(budget);
         self
     }
 
@@ -197,6 +211,14 @@ impl AdmissionControl {
         }
         gate.admitted += u64::from(jobs);
         Ok(())
+    }
+
+    /// The tenant's per-submission static energy budget, if one is
+    /// configured (`None` also for unregistered tenants). The server
+    /// checks each `Submit`'s verified cost bound against this before
+    /// admitting it.
+    pub fn energy_budget(&self, tenant: TenantId) -> Option<Joules> {
+        crate::sync::lock(&self.gates).get(&tenant).and_then(|gate| gate.policy.energy_budget)
     }
 
     /// The tenant's remaining admission headroom at time `now`: quota
@@ -332,6 +354,17 @@ mod tests {
         let budget = gate.budget(3, t0).expect("registered");
         assert_eq!(budget, TenantBudget { quota_remaining: None, rate: None });
         assert_eq!(gate.budget(99, t0), None);
+    }
+
+    #[test]
+    fn energy_budget_is_reported_for_configured_tenants_only() {
+        let gate = AdmissionControl::new([
+            (1, TenantPolicy::new("a").with_energy_budget(Joules::new(1e-9))),
+            (2, TenantPolicy::new("b")),
+        ]);
+        assert_eq!(gate.energy_budget(1), Some(Joules::new(1e-9)));
+        assert_eq!(gate.energy_budget(2), None);
+        assert_eq!(gate.energy_budget(99), None);
     }
 
     #[test]

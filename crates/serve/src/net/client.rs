@@ -11,7 +11,7 @@
 //! flight yet, so a retry cannot double anything.
 
 use super::wire::{
-    read_frame, write_frame, ErrorCode, FrameError, FrameReadError, Request, Response,
+    read_frame, write_frame, EncodeError, ErrorCode, FrameError, FrameReadError, Request, Response,
     WireMvpResult, WireStats, WireUsage, MAX_FRAME_DEFAULT,
 };
 use crate::{ApMatches, SessionId, TenantId};
@@ -28,6 +28,9 @@ pub enum ClientError {
     /// The transport failed: socket error, connection cut, or an
     /// oversized frame from the server.
     Transport(FrameReadError),
+    /// The request could not be encoded — a field's length or index
+    /// does not fit the wire format. Nothing was sent.
+    Encode(EncodeError),
     /// The server's response body did not decode.
     Frame(FrameError),
     /// The server answered with a typed error frame.
@@ -49,6 +52,7 @@ impl fmt::Display for ClientError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ClientError::Transport(e) => write!(f, "transport failed: {e}"),
+            ClientError::Encode(e) => write!(f, "unencodable request: {e}"),
             ClientError::Frame(e) => write!(f, "undecodable response: {e}"),
             ClientError::Server { code, message } => write!(f, "server error ({code}): {message}"),
             ClientError::Unexpected { got } => write!(f, "unexpected response kind: {got}"),
@@ -61,6 +65,12 @@ impl std::error::Error for ClientError {}
 impl From<std::io::Error> for ClientError {
     fn from(e: std::io::Error) -> Self {
         ClientError::Transport(FrameReadError::Io(e))
+    }
+}
+
+impl From<EncodeError> for ClientError {
+    fn from(e: EncodeError) -> Self {
+        ClientError::Encode(e)
     }
 }
 
@@ -220,7 +230,7 @@ impl NetClient {
     ///
     /// [`ClientError`] — see each variant.
     pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
-        write_frame(&mut self.stream, &request.encode())?;
+        write_frame(&mut self.stream, &request.encode()?)?;
         let body = read_frame(&mut self.stream, self.max_frame).map_err(ClientError::Transport)?;
         match Response::decode(&body).map_err(ClientError::Frame)? {
             Response::Error { code, message } => Err(ClientError::Server { code, message }),

@@ -7,9 +7,17 @@
 //! verb is the contract this module exists for:
 //!
 //! 1. **auth** — the connection must have sent `Hello`;
-//! 2. **quota**, then **rate** — [`AdmissionControl::admit`];
-//! 3. only then `Service::try_submit`, whose `QueueFull` comes back as
+//! 2. **verify** — every `Submit` program is statically verified
+//!    against the engine geometry ([`ServeConfig::verify_program`]);
+//!    a provably-invalid program is refused with a typed
+//!    [`ErrorCode::InvalidProgram`] frame, and a tenant with an energy
+//!    budget has the submission's static cost bound checked — both
+//!    *before* anything is billed or queued;
+//! 3. **quota**, then **rate** — [`AdmissionControl::admit`];
+//! 4. only then `Service::try_submit`, whose `QueueFull` comes back as
 //!    a typed [`ErrorCode::OverCapacity`] frame.
+//!
+//! [`ServeConfig::verify_program`]: crate::ServeConfig::verify_program
 //!
 //! Nothing in this path blocks on the bounded queue, so a greedy client
 //! saturating the service stalls neither the accept loop nor another
@@ -248,7 +256,7 @@ fn accept_loop(
                 code: ErrorCode::OverCapacity,
                 message: format!("connection limit ({}) reached", config.max_connections),
             };
-            let _ = write_frame(&mut stream, &refusal.encode());
+            let _ = write_frame(&mut stream, &encoded_or_internal(&refusal));
             continue;
         }
         let id = next_id;
@@ -297,7 +305,7 @@ fn handle_connection(
                     code: ErrorCode::FrameTooLarge,
                     message: format!("frame body of {declared} bytes exceeds the {max}-byte cap"),
                 };
-                let _ = write_frame(stream, &refusal.encode());
+                let _ = write_frame(stream, &encoded_or_internal(&refusal));
                 return;
             }
             Err(FrameReadError::Truncated) | Err(FrameReadError::Io(_)) => return,
@@ -307,10 +315,25 @@ fn handle_connection(
             Err(e) => Response::Error { code: e.error_code(), message: e.to_string() },
             Ok(request) => dispatch(request, &mut authenticated, service, admission),
         };
-        if write_frame(stream, &response.encode()).is_err() {
+        if write_frame(stream, &encoded_or_internal(&response)).is_err() {
             return;
         }
     }
+}
+
+/// Encodes a response, downgrading an unencodable one (a field too
+/// large for the wire format — not the client's fault) to a typed
+/// `Internal` error frame so the connection stays framed.
+fn encoded_or_internal(response: &Response) -> Vec<u8> {
+    response.encode().unwrap_or_else(|e| {
+        let fallback = Response::Error {
+            code: ErrorCode::Internal,
+            message: format!("unencodable response: {e}"),
+        };
+        // An error frame's only variable field is its short message;
+        // this encode cannot overflow a u32 length.
+        fallback.encode().unwrap_or_default()
+    })
 }
 
 /// Applies the admission order (auth → quota → rate) and maps one verb
@@ -344,6 +367,16 @@ fn dispatch(
     match request {
         Request::Hello { .. } => unreachable!("handled above"),
         Request::Submit { programs } => {
+            // Static verification precedes admission: a refused program
+            // charges neither quota nor rate tokens and never queues.
+            for program in &programs {
+                if let Err(e) = service.config().verify_program(program) {
+                    return error_frame(&e);
+                }
+            }
+            if let Err(e) = check_energy_budget(tenant, &programs, service, admission) {
+                return error_frame(&e);
+            }
             let jobs = programs.len() as u32;
             if let Err(e) = admission.admit(tenant, jobs, Instant::now()) {
                 return error_frame(&e);
@@ -455,6 +488,34 @@ fn dispatch(
                 .collect(),
         }),
     }
+}
+
+/// Checks a submission's *static* energy bound against the tenant's
+/// configured per-submission budget, when it carries one. The bound is
+/// computed from the programs alone ([`memcim_verify::CostModel`]) and
+/// over-approximates actual cost, so an admitted submission never
+/// executes above the budget — and a refused one cost the engines
+/// nothing.
+fn check_energy_budget(
+    tenant: TenantId,
+    programs: &[Vec<memcim_mvp::Instruction>],
+    service: &Service,
+    admission: &AdmissionControl,
+) -> Result<(), ServeError> {
+    let Some(budget) = admission.energy_budget(tenant) else {
+        return Ok(());
+    };
+    let config = service.config();
+    let model =
+        memcim_verify::CostModel::banked(config.mvp_rows, config.mvp_banks, config.mvp_bank_cols);
+    let bound = programs
+        .iter()
+        .map(|p| model.bound(p).energy)
+        .fold(memcim_units::Joules::ZERO, |a, b| a + b);
+    if bound.as_joules() > budget.as_joules() {
+        return Err(ServeError::CostBoundExceeded { tenant, bound, budget });
+    }
+    Ok(())
 }
 
 /// The non-blocking submit path: a full queue is a typed refusal

@@ -19,7 +19,9 @@
 //! its IEEE-754 bit pattern. Variable-length fields carry a `u32` count
 //! first; every count is validated against the bytes actually remaining
 //! in the frame before anything is allocated, so a forged count of four
-//! billion costs the decoder nothing.
+//! billion costs the decoder nothing. The encoder is checked the same
+//! way: a length or index that does not fit the wire format's 32-bit
+//! fields is a typed [`EncodeError`], never a silent truncation.
 //!
 //! # Verbs
 //!
@@ -121,6 +123,11 @@ pub enum ErrorCode {
     /// Every replica of one shard is dead; sub-queries touching its
     /// records cannot fail over anywhere (other shards keep serving).
     ShardUnavailable,
+    /// Static verification refused a submitted program *before*
+    /// admission: the engine would provably reject it at runtime. The
+    /// message carries the diagnostic (stable code, instruction index);
+    /// nothing was billed and nothing was queued.
+    InvalidProgram,
     /// An internal server failure (never the client's fault).
     Internal,
 }
@@ -145,6 +152,7 @@ impl ErrorCode {
             ErrorCode::Engine => 34,
             ErrorCode::NoHealthyEngine => 35,
             ErrorCode::ShardUnavailable => 36,
+            ErrorCode::InvalidProgram => 37,
             ErrorCode::Internal => 99,
         }
     }
@@ -169,6 +177,7 @@ impl ErrorCode {
             34 => ErrorCode::Engine,
             35 => ErrorCode::NoHealthyEngine,
             36 => ErrorCode::ShardUnavailable,
+            37 => ErrorCode::InvalidProgram,
             _ => ErrorCode::Internal,
         }
     }
@@ -184,7 +193,11 @@ impl ErrorCode {
             ServeError::Mvp(_) | ServeError::Ap(_) => ErrorCode::Engine,
             ServeError::NoHealthyEngine => ErrorCode::NoHealthyEngine,
             ServeError::ShardUnavailable { .. } => ErrorCode::ShardUnavailable,
+            ServeError::InvalidProgram { .. } => ErrorCode::InvalidProgram,
             ServeError::RateLimited { .. } => ErrorCode::RateLimited,
+            // A cost-bound refusal is a quota-class answer: the tenant's
+            // budget, not the program's validity, is what ran out.
+            ServeError::CostBoundExceeded { .. } => ErrorCode::QuotaExceeded,
             ServeError::QuotaExceeded { .. } => ErrorCode::QuotaExceeded,
             ServeError::Unauthenticated => ErrorCode::Unauthenticated,
             ServeError::BadCredentials => ErrorCode::BadCredentials,
@@ -242,6 +255,31 @@ impl FrameError {
         }
     }
 }
+
+/// A value that cannot be encoded into a frame: the wire format carries
+/// lengths, counts and row indices as `u32`, and this field's value
+/// does not fit. Refusing with a typed error beats the silent `as u32`
+/// truncation it replaces, which would have framed a *different*
+/// payload than the caller asked for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncodeError {
+    /// Which field overflowed.
+    pub field: &'static str,
+    /// The value that did not fit.
+    pub value: usize,
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot encode frame: {} of {} exceeds the wire format's 32-bit fields",
+            self.field, self.value
+        )
+    }
+}
+
+impl std::error::Error for EncodeError {}
 
 // --- Cursor-style reader/writer ---------------------------------------
 
@@ -375,57 +413,74 @@ impl Writer {
         self.u64(v.to_bits());
     }
 
-    fn bytes(&mut self, v: &[u8]) {
-        self.u32(v.len() as u32);
+    /// Writes a `usize` into one of the protocol's `u32` fields
+    /// (a length prefix, an element count, a row index), checked: a
+    /// value that does not fit is a typed [`EncodeError`], not a
+    /// truncated frame.
+    fn u32_of(&mut self, field: &'static str, value: usize) -> Result<(), EncodeError> {
+        match u32::try_from(value) {
+            Ok(v) => {
+                self.u32(v);
+                Ok(())
+            }
+            Err(_) => Err(EncodeError { field, value }),
+        }
+    }
+
+    fn bytes(&mut self, field: &'static str, v: &[u8]) -> Result<(), EncodeError> {
+        self.u32_of(field, v.len())?;
         self.buf.extend_from_slice(v);
+        Ok(())
     }
 
-    fn string(&mut self, v: &str) {
-        self.bytes(v.as_bytes());
+    fn string(&mut self, field: &'static str, v: &str) -> Result<(), EncodeError> {
+        self.bytes(field, v.as_bytes())
     }
 
-    fn bitvec(&mut self, v: &BitVec) {
-        self.u32(v.len() as u32);
+    fn bitvec(&mut self, field: &'static str, v: &BitVec) -> Result<(), EncodeError> {
+        self.u32_of(field, v.len())?;
         for &word in v.as_words() {
             self.u64(word);
         }
+        Ok(())
     }
 }
 
-fn encode_instruction(w: &mut Writer, instruction: &Instruction) {
+fn encode_instruction(w: &mut Writer, instruction: &Instruction) -> Result<(), EncodeError> {
     match instruction {
         Instruction::Store { row, data } => {
             w.u8(0);
-            w.u32(*row as u32);
-            w.bitvec(data);
+            w.u32_of("store row", *row)?;
+            w.bitvec("store data", data)?;
         }
         Instruction::Or { srcs, dst } => {
             w.u8(1);
-            w.u32(srcs.len() as u32);
+            w.u32_of("OR source count", srcs.len())?;
             for &s in srcs {
-                w.u32(s as u32);
+                w.u32_of("OR source row", s)?;
             }
-            w.u32(*dst as u32);
+            w.u32_of("OR destination row", *dst)?;
         }
         Instruction::And { srcs, dst } => {
             w.u8(2);
-            w.u32(srcs.len() as u32);
+            w.u32_of("AND source count", srcs.len())?;
             for &s in srcs {
-                w.u32(s as u32);
+                w.u32_of("AND source row", s)?;
             }
-            w.u32(*dst as u32);
+            w.u32_of("AND destination row", *dst)?;
         }
         Instruction::Xor { a, b, dst } => {
             w.u8(3);
-            w.u32(*a as u32);
-            w.u32(*b as u32);
-            w.u32(*dst as u32);
+            w.u32_of("XOR operand row", *a)?;
+            w.u32_of("XOR operand row", *b)?;
+            w.u32_of("XOR destination row", *dst)?;
         }
         Instruction::Read { row } => {
             w.u8(4);
-            w.u32(*row as u32);
+            w.u32_of("read row", *row)?;
         }
     }
+    Ok(())
 }
 
 fn decode_instruction(r: &mut Reader<'_>) -> Result<Instruction, FrameError> {
@@ -521,37 +576,42 @@ pub enum Request {
 
 impl Request {
     /// Encodes the verb into a frame body (opcode + payload).
-    pub fn encode(&self) -> Vec<u8> {
-        match self {
+    ///
+    /// # Errors
+    ///
+    /// [`EncodeError`] when a field's length or index does not fit the
+    /// wire format's 32-bit fields; nothing is silently truncated.
+    pub fn encode(&self) -> Result<Vec<u8>, EncodeError> {
+        let body = match self {
             Request::Hello { tenant, token } => {
                 let mut w = Writer::new(OP_HELLO);
                 w.u64(*tenant);
-                w.string(token);
+                w.string("token", token)?;
                 w.buf
             }
             Request::Submit { programs } => {
                 let mut w = Writer::new(OP_SUBMIT);
-                w.u32(programs.len() as u32);
+                w.u32_of("program count", programs.len())?;
                 for program in programs {
-                    w.u32(program.len() as u32);
+                    w.u32_of("instruction count", program.len())?;
                     for instruction in program {
-                        encode_instruction(&mut w, instruction);
+                        encode_instruction(&mut w, instruction)?;
                     }
                 }
                 w.buf
             }
             Request::ApOpen { patterns } => {
                 let mut w = Writer::new(OP_AP_OPEN);
-                w.u32(patterns.len() as u32);
+                w.u32_of("pattern count", patterns.len())?;
                 for pattern in patterns {
-                    w.string(pattern);
+                    w.string("pattern", pattern)?;
                 }
                 w.buf
             }
             Request::ApFeed { session, chunk } => {
                 let mut w = Writer::new(OP_AP_FEED);
                 w.u64(*session);
-                w.bytes(chunk);
+                w.bytes("chunk", chunk)?;
                 w.buf
             }
             Request::ApFinish { session } => {
@@ -566,7 +626,8 @@ impl Request {
             }
             Request::Usage => Writer::new(OP_USAGE).buf,
             Request::Stats => Writer::new(OP_STATS).buf,
-        }
+        };
+        Ok(body)
     }
 
     /// Decodes a frame body into a request verb.
@@ -761,8 +822,12 @@ pub enum Response {
 
 impl Response {
     /// Encodes the verb into a frame body (opcode + payload).
-    pub fn encode(&self) -> Vec<u8> {
-        match self {
+    ///
+    /// # Errors
+    ///
+    /// [`EncodeError`] exactly as [`Request::encode`].
+    pub fn encode(&self) -> Result<Vec<u8>, EncodeError> {
+        let body = match self {
             Response::HelloOk => Writer::new(OP_HELLO_OK).buf,
             Response::Mvp(result) => {
                 let mut w = Writer::new(OP_MVP_RESULT);
@@ -770,11 +835,11 @@ impl Response {
                 w.u64(result.programs);
                 w.f64(result.energy.as_joules());
                 w.f64(result.busy.as_seconds());
-                w.u32(result.outputs.len() as u32);
+                w.u32_of("output count", result.outputs.len())?;
                 for reads in &result.outputs {
-                    w.u32(reads.len() as u32);
+                    w.u32_of("read count", reads.len())?;
                     for read in reads {
-                        w.bitvec(read);
+                        w.bitvec("read output", read)?;
                     }
                 }
                 w.buf
@@ -794,7 +859,7 @@ impl Response {
                 w.u8(u8::from(run.accepted));
                 w.u64(run.symbols);
                 encode_ap_report(&mut w, &run.report);
-                w.u32(run.matches.len() as u32);
+                w.u32_of("match count", run.matches.len())?;
                 for &(pos, pattern) in &run.matches {
                     w.u64(pos as u64);
                     w.u64(pattern as u64);
@@ -839,7 +904,7 @@ impl Response {
                 w.u64(stats.shards);
                 w.u64(stats.replicas);
                 w.u64(stats.unavailable_shards);
-                w.u32(stats.tenants.len() as u32);
+                w.u32_of("tenant count", stats.tenants.len())?;
                 for row in &stats.tenants {
                     w.u64(row.tenant);
                     w.u64(row.jobs);
@@ -851,10 +916,11 @@ impl Response {
             Response::Error { code, message } => {
                 let mut w = Writer::new(OP_ERROR);
                 w.u16(code.as_u16());
-                w.string(message);
+                w.string("error message", message)?;
                 w.buf
             }
-        }
+        };
+        Ok(body)
     }
 
     /// Decodes a frame body into a response verb.
@@ -1054,9 +1120,18 @@ pub fn read_frame(stream: &mut impl Read, max: usize) -> Result<Vec<u8>, FrameRe
 ///
 /// # Errors
 ///
-/// Propagates the socket error.
+/// Propagates the socket error. A body whose length does not fit the
+/// `u32` prefix is an `InvalidInput` error (carrying an [`EncodeError`]
+/// as its source) with nothing written — truncating the prefix would
+/// desynchronize the stream for good.
 pub fn write_frame(stream: &mut impl Write, body: &[u8]) -> std::io::Result<()> {
-    stream.write_all(&(body.len() as u32).to_be_bytes())?;
+    let len = u32::try_from(body.len()).map_err(|_| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            EncodeError { field: "frame body", value: body.len() },
+        )
+    })?;
+    stream.write_all(&len.to_be_bytes())?;
     stream.write_all(body)?;
     stream.flush()
 }
@@ -1066,12 +1141,12 @@ mod tests {
     use super::*;
 
     fn roundtrip_request(request: Request) {
-        let body = request.encode();
+        let body = request.encode().expect("encodes");
         assert_eq!(Request::decode(&body).expect("decodes"), request);
     }
 
     fn roundtrip_response(response: Response) {
-        let body = response.encode();
+        let body = response.encode().expect("encodes");
         assert_eq!(Response::decode(&body).expect("decodes"), response);
     }
 
@@ -1199,11 +1274,33 @@ mod tests {
     }
 
     #[test]
+    fn oversized_fields_are_typed_encode_errors_not_truncations() {
+        // A row index beyond u32: the old `as u32` cast would have
+        // framed row 3 instead; the checked encoder refuses.
+        let request =
+            Request::Submit { programs: vec![vec![Instruction::Read { row: (1 << 32) + 3 }]] };
+        let err = request.encode().expect_err("does not fit the wire format");
+        assert_eq!(err, EncodeError { field: "read row", value: (1 << 32) + 3 });
+        assert!(err.to_string().contains("read row"), "{err}");
+
+        // The same guard at the writer level, for length prefixes.
+        let mut w = Writer::new(OP_SUBMIT);
+        assert_eq!(
+            w.u32_of("program count", usize::MAX),
+            Err(EncodeError { field: "program count", value: usize::MAX })
+        );
+        // In-range values still encode untouched.
+        let mut w = Writer::new(OP_SUBMIT);
+        w.u32_of("program count", 7).expect("fits");
+        assert_eq!(w.buf, vec![OP_SUBMIT, 0, 0, 0, 7]);
+    }
+
+    #[test]
     fn trailing_and_truncated_bodies_are_typed_errors() {
-        let mut body = Request::Usage.encode();
+        let mut body = Request::Usage.encode().expect("encodes");
         body.push(0xAB);
         assert_eq!(Request::decode(&body), Err(FrameError::Trailing { extra: 1 }));
-        let body = Request::Hello { tenant: 1, token: "t".into() }.encode();
+        let body = Request::Hello { tenant: 1, token: "t".into() }.encode().expect("encodes");
         // Cut mid-u64: a plain truncation.
         assert_eq!(Request::decode(&body[..5]), Err(FrameError::Truncated));
         // Cut the token's last byte: the count guard catches it.
@@ -1235,6 +1332,7 @@ mod tests {
             ErrorCode::Engine,
             ErrorCode::NoHealthyEngine,
             ErrorCode::ShardUnavailable,
+            ErrorCode::InvalidProgram,
             ErrorCode::Internal,
         ] {
             assert_eq!(ErrorCode::from_u16(code.as_u16()), code);

@@ -57,6 +57,13 @@ pub struct ServeConfig {
     pub mvp_spare_rows: usize,
     /// Stuck-cell count at which a row is retired onto a spare.
     pub mvp_fault_threshold: usize,
+    /// Statically verify every MVP program at submission against the
+    /// engine geometry (`memcim_verify::verify_program`), refusing
+    /// provably-invalid programs with [`ServeError::InvalidProgram`]
+    /// *before* they are queued or billed. On by default; turn off to
+    /// let bad programs reach the engines and fail there (e.g. to
+    /// exercise runtime error isolation).
+    pub verify_programs: bool,
     /// Hardware backend for AP sessions.
     pub ap_backend: ApBackend,
     /// Overrides engine construction per worker index — fault-injection
@@ -82,6 +89,7 @@ impl std::fmt::Debug for ServeConfig {
             .field("mvp_ecc", &self.mvp_ecc)
             .field("mvp_spare_rows", &self.mvp_spare_rows)
             .field("mvp_fault_threshold", &self.mvp_fault_threshold)
+            .field("verify_programs", &self.verify_programs)
             .field("ap_backend", &self.ap_backend)
             .field("engine_factory", &self.engine_factory.as_ref().map(|_| "<custom>"))
             .field("placement", &self.placement)
@@ -101,6 +109,7 @@ impl Default for ServeConfig {
             mvp_ecc: false,
             mvp_spare_rows: 0,
             mvp_fault_threshold: 1,
+            verify_programs: true,
             ap_backend: ApBackend::rram(),
             engine_factory: None,
             placement: None,
@@ -185,9 +194,58 @@ impl ServeConfig {
         self
     }
 
+    /// Enables or disables static program verification at submission
+    /// (see the [`verify_programs`](Self::verify_programs) field).
+    #[must_use]
+    pub fn with_program_verification(mut self, verify: bool) -> Self {
+        self.verify_programs = verify;
+        self
+    }
+
     /// The logical vector width every MVP job must match.
     pub fn mvp_width(&self) -> usize {
         self.mvp_banks * self.mvp_bank_cols
+    }
+
+    /// Statically verifies one MVP program against this configuration's
+    /// engine geometry, converting the first Error-severity diagnostic
+    /// into the typed refusal the admission gate answers with. A no-op
+    /// when [`verify_programs`](Self::verify_programs) is off.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidProgram`] carrying the diagnostic's stable
+    /// code, instruction index and message.
+    pub fn verify_program(&self, program: &[Instruction]) -> Result<(), ServeError> {
+        if !self.verify_programs {
+            return Ok(());
+        }
+        let diagnostics = memcim_verify::verify_program(program, self.mvp_rows, self.mvp_width());
+        match memcim_verify::first_error(&diagnostics) {
+            Some(d) => Err(ServeError::InvalidProgram {
+                code: d.code.as_str().to_string(),
+                index: d.index,
+                message: d.message.clone(),
+            }),
+            None => Ok(()),
+        }
+    }
+
+    /// [`verify_program`](Self::verify_program) applied to every MVP
+    /// program a job carries (streaming AP jobs pass untouched).
+    ///
+    /// # Errors
+    ///
+    /// The first [`ServeError::InvalidProgram`] among the job's
+    /// programs.
+    fn verify_job(&self, job: &Job) -> Result<(), ServeError> {
+        match job {
+            Job::MvpProgram(program) => self.verify_program(program),
+            Job::MvpBatch(batch) => {
+                batch.programs().iter().try_for_each(|program| self.verify_program(program))
+            }
+            _ => Ok(()),
+        }
     }
 
     /// Builds one worker's substrate per the configuration (or the
@@ -473,11 +531,14 @@ impl Service {
     ///
     /// [`ServeError::ShuttingDown`] once the service is closing, or
     /// when it is [draining](Self::begin_drain) and `job` is new MVP
-    /// work (streaming jobs for open sessions still pass).
+    /// work (streaming jobs for open sessions still pass);
+    /// [`ServeError::InvalidProgram`] when static verification refuses
+    /// an MVP program (nothing is queued or billed).
     pub fn submit(&self, tenant: TenantId, job: Job) -> Result<Ticket, ServeError> {
         if self.drain_refuses(&job) {
             return Err(ServeError::ShuttingDown);
         }
+        self.shared.config.verify_job(&job)?;
         let (ticket, responder) = ticket_pair();
         self.shared
             .queue
@@ -492,11 +553,14 @@ impl Service {
     ///
     /// [`ServeError::QueueFull`] when the queue is at capacity,
     /// [`ServeError::ShuttingDown`] once the service is closing or
-    /// [draining](Self::begin_drain) (for new MVP work).
+    /// [draining](Self::begin_drain) (for new MVP work), and
+    /// [`ServeError::InvalidProgram`] when static verification refuses
+    /// an MVP program (nothing is queued or billed).
     pub fn try_submit(&self, tenant: TenantId, job: Job) -> Result<Ticket, ServeError> {
         if self.drain_refuses(&job) {
             return Err(ServeError::ShuttingDown);
         }
+        self.shared.config.verify_job(&job)?;
         let (ticket, responder) = ticket_pair();
         match self.shared.queue.try_push(Envelope { tenant, job, route: None, responder }) {
             Ok(()) => Ok(ticket),
@@ -523,7 +587,9 @@ impl Service {
     ///
     /// [`ServeError::Internal`] when the service has no placement
     /// configured, [`ServeError::Mvp`] (`BadInput`) for a shard index
-    /// outside the catalog or an empty scatter, and
+    /// outside the catalog or an empty scatter,
+    /// [`ServeError::InvalidProgram`] when static verification refuses
+    /// any sub-program (all-or-nothing: nothing is queued), and
     /// [`ServeError::ShuttingDown`] once the service is closing or
     /// draining.
     pub fn submit_sharded(
@@ -545,12 +611,13 @@ impl Service {
             }));
         }
         // All-or-nothing validation before anything is queued.
-        for &(shard, _) in &subqueries {
-            if shard >= catalog.shards() {
+        for (shard, program) in &subqueries {
+            if *shard >= catalog.shards() {
                 return Err(ServeError::Mvp(MvpError::BadInput {
                     reason: format!("shard {shard} outside the {}-shard catalog", catalog.shards()),
                 }));
             }
+            self.shared.config.verify_program(program)?;
         }
         let mut parts = Vec::with_capacity(subqueries.len());
         for (shard, program) in subqueries {

@@ -58,7 +58,15 @@ impl SessionTable {
         let set = PatternSet::compile(patterns)
             .map_err(|e| ServeError::Compile { message: e.to_string() })?;
         let (homog, owner_of_state) = set.to_homogeneous();
-        let homog = homog.with_start_kind(StartKind::AllInput);
+        // Strip unreachable/dead STEs before compiling onto the AP —
+        // fewer columns per symbol cycle — and remap the pattern
+        // attribution through the renumbering (run-equivalence of the
+        // strip is property-tested in memcim-automata).
+        let (homog, remap) = homog.with_start_kind(StartKind::AllInput).strip();
+        let owner_of_state: HashMap<usize, usize> = owner_of_state
+            .into_iter()
+            .filter_map(|(state, pattern)| remap[state].map(|new| (new, pattern)))
+            .collect();
         let processor = match AutomataProcessor::compile(
             &homog,
             backend.clone(),

@@ -84,13 +84,14 @@ fn mutated_valid_frames_never_kill_the_server() {
                 memcim_mvp::Instruction::Read { row: 2 },
             ]],
         }
-        .encode(),
-        Request::ApOpen { patterns: vec!["ab+c".into()] }.encode(),
-        Request::ApFeed { session: 0, chunk: b"abbbc".to_vec() }.encode(),
-        Request::ApFinish { session: 0 }.encode(),
-        Request::ApClose { session: 9 }.encode(),
-        Request::Usage.encode(),
-        Request::Stats.encode(),
+        .encode()
+        .expect("encodes"),
+        Request::ApOpen { patterns: vec!["ab+c".into()] }.encode().expect("encodes"),
+        Request::ApFeed { session: 0, chunk: b"abbbc".to_vec() }.encode().expect("encodes"),
+        Request::ApFinish { session: 0 }.encode().expect("encodes"),
+        Request::ApClose { session: 9 }.encode().expect("encodes"),
+        Request::Usage.encode().expect("encodes"),
+        Request::Stats.encode().expect("encodes"),
     ];
     for round in 0..300 {
         let mut body = corpus[round % corpus.len()].clone();

@@ -211,16 +211,17 @@ fn idempotent_usage_survives_a_cut_connection() {
         // Connection 1: accept the hello, then cut mid-request.
         let (mut first, _) = listener.accept().expect("accepts");
         let _hello = read_frame(&mut first, MAX_FRAME_DEFAULT).expect("hello frame");
-        write_frame(&mut first, &Response::HelloOk.encode()).expect("answers");
+        write_frame(&mut first, &Response::HelloOk.encode().expect("encodes")).expect("answers");
         let _usage_request = read_frame(&mut first, MAX_FRAME_DEFAULT);
         drop(first);
         // Connection 2: the client's reconnect — it must replay the
         // hello before reissuing the usage request.
         let (mut second, _) = listener.accept().expect("reconnect arrives");
         let _hello = read_frame(&mut second, MAX_FRAME_DEFAULT).expect("replayed hello");
-        write_frame(&mut second, &Response::HelloOk.encode()).expect("answers");
+        write_frame(&mut second, &Response::HelloOk.encode().expect("encodes")).expect("answers");
         let _usage_request = read_frame(&mut second, MAX_FRAME_DEFAULT).expect("reissued usage");
-        write_frame(&mut second, &Response::Usage(answered_usage).encode()).expect("answers");
+        write_frame(&mut second, &Response::Usage(answered_usage).encode().expect("encodes"))
+            .expect("answers");
     });
 
     let mut client = NetClient::connect(addr)

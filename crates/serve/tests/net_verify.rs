@@ -1,0 +1,91 @@
+//! Admission-time static verification over real loopback TCP: a
+//! provably-invalid program is refused with a typed `InvalidProgram`
+//! frame *before* the bounded queue — nothing queued, nothing billed —
+//! while valid traffic on the same connection keeps serving; and a
+//! tenant with a static energy budget has over-budget submissions
+//! refused the same way.
+
+use memcim_bits::BitVec;
+use memcim_mvp::Instruction;
+use memcim_serve::net::{ErrorCode, NetClient, NetConfig, NetServer, TenantPolicy};
+use memcim_serve::{ServeConfig, Service};
+use memcim_units::Joules;
+use std::sync::Arc;
+
+const TOKEN: &str = "verify-token";
+
+fn start_server(net: NetConfig) -> (Arc<Service>, NetServer) {
+    let serve = ServeConfig::default().with_workers(2).with_mvp_geometry(8, 2, 32);
+    let service = Arc::new(Service::try_start(serve).expect("service starts"));
+    let server = NetServer::start(Arc::clone(&service), net).expect("server starts");
+    (service, server)
+}
+
+/// A geometry-valid store-and-read program for the 8×64 test engines.
+fn valid_program(width: usize) -> Vec<Instruction> {
+    vec![
+        Instruction::Store { row: 0, data: BitVec::from_indices(width, &[3, 7]) },
+        Instruction::Read { row: 0 },
+    ]
+}
+
+#[test]
+fn invalid_programs_are_refused_with_a_typed_frame_before_the_queue() {
+    let (service, server) =
+        start_server(NetConfig::default().with_tenant(1, TenantPolicy::new(TOKEN).with_quota(10)));
+    let width = service.config().mvp_width();
+    let mut client = NetClient::connect(server.local_addr()).expect("connects");
+    client.hello(1, TOKEN).expect("auth");
+
+    // A program the verifier provably rejects: row 999 on an 8-row
+    // engine. The refusal is a typed frame, not a dropped connection.
+    let refused = client
+        .submit_mvp(&[vec![Instruction::Read { row: 999 }]])
+        .expect_err("refused at admission");
+    assert_eq!(refused.server_code(), Some(ErrorCode::InvalidProgram));
+    let rendered = refused.to_string();
+    assert!(rendered.contains("E-ROW-RANGE"), "diagnostic code travels: {rendered}");
+    assert!(rendered.contains("instruction 0"), "instruction index travels: {rendered}");
+
+    // Nothing reached the bounded queue and nothing was billed: the
+    // queue is empty, the job counter untouched, the quota uncharged.
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.queue_depth, 0, "the refused program never queued");
+    let usage = client.usage().expect("usage");
+    assert_eq!(usage.mvp_jobs, 0, "a refused program is not billed");
+    assert_eq!(usage.quota_remaining, Some(10), "the refusal charged no quota");
+
+    // The same connection keeps serving valid traffic.
+    let result = client.submit_mvp(&[valid_program(width)]).expect("valid program serves");
+    assert_eq!(result.outputs[0][0].ones().collect::<Vec<_>>(), vec![3, 7]);
+    let usage = client.usage().expect("usage");
+    assert_eq!(usage.mvp_jobs, 1);
+    assert_eq!(usage.quota_remaining, Some(9));
+    server.shutdown();
+}
+
+#[test]
+fn over_budget_submissions_are_refused_by_their_static_cost_bound() {
+    // ~1.3e-10 J static bound per store-and-read program on the 8×64
+    // engine: one fits under a 1 nJ budget, thirty provably do not.
+    let (service, server) = start_server(
+        NetConfig::default()
+            .with_tenant(3, TenantPolicy::new(TOKEN).with_energy_budget(Joules::new(1e-9))),
+    );
+    let width = service.config().mvp_width();
+    let mut client = NetClient::connect(server.local_addr()).expect("connects");
+    client.hello(3, TOKEN).expect("auth");
+
+    client.submit_mvp(&[valid_program(width)]).expect("one program fits the budget");
+
+    let batch: Vec<_> = (0..30).map(|_| valid_program(width)).collect();
+    let refused = client.submit_mvp(&batch).expect_err("thirty programs exceed the bound");
+    assert_eq!(refused.server_code(), Some(ErrorCode::QuotaExceeded));
+    assert!(refused.to_string().contains("static energy bound"), "{refused}");
+
+    // The refusal billed nothing; the connection keeps serving.
+    let usage = client.usage().expect("usage");
+    assert_eq!(usage.mvp_jobs, 1, "only the in-budget submission was billed");
+    client.submit_mvp(&[valid_program(width)]).expect("still serving after the refusal");
+    server.shutdown();
+}

@@ -71,7 +71,10 @@ fn tenant_accounting_is_complete_and_visible_before_tickets_resolve() {
 
 #[test]
 fn a_bad_job_does_not_poison_its_burst_neighbours() {
-    let config = two_worker_config().with_workers(1);
+    // Verification off: this test is about *runtime* error isolation,
+    // so the bad program must reach the engine instead of being
+    // refused at submission.
+    let config = two_worker_config().with_workers(1).with_program_verification(false);
     let width = config.mvp_width();
     let service = Service::start(config);
     // Same tenant, same burst window: good, bad, good. Whether or not
@@ -83,6 +86,40 @@ fn a_bad_job_does_not_poison_its_burst_neighbours() {
     assert!(matches!(bad.wait(), Err(ServeError::Mvp(_))));
     let out = good2.wait().expect("unaffected").into_mvp().expect("mvp");
     assert_eq!(out.outputs.len(), 1);
+    service.shutdown();
+}
+
+#[test]
+fn invalid_programs_are_refused_at_submission_not_execution() {
+    let config = two_worker_config();
+    let width = config.mvp_width();
+    let service = Service::start(config);
+    // The default config verifies: a provably-bad program never queues.
+    let err = service
+        .submit(7, Job::MvpProgram(vec![Instruction::Read { row: 999 }]))
+        .expect_err("refused before the queue");
+    match &err {
+        ServeError::InvalidProgram { code, index, .. } => {
+            assert_eq!(code, "E-ROW-RANGE");
+            assert_eq!(*index, 0);
+        }
+        other => panic!("expected InvalidProgram, got {other:?}"),
+    }
+    // A batch is all-or-nothing: one bad program refuses the whole
+    // submission, and `try_submit` takes the same gate.
+    let batch = BatchRequest::new()
+        .with_program(query_program(width, 1))
+        .with_program(vec![Instruction::Xor { a: 2, b: 2, dst: 3 }]);
+    assert!(matches!(
+        service.try_submit(7, Job::MvpBatch(batch)),
+        Err(ServeError::InvalidProgram { .. })
+    ));
+    // Nothing was queued and nothing was billed.
+    assert_eq!(service.pending(), 0);
+    assert!(service.tenant_usage(7).is_none(), "a refused program must not be billed");
+    // The same connection of work keeps serving valid programs.
+    let ok = service.submit(7, Job::MvpProgram(query_program(width, 2))).expect("valid program");
+    assert!(ok.wait().is_ok());
     service.shutdown();
 }
 

@@ -120,7 +120,7 @@ fn table(records: usize) -> BitmapTable {
     let mut rng = SmallRng::seed_from_u64(2018);
     let col1: Vec<u8> = (0..records).map(|_| rng.gen_range(0..8)).collect();
     let col2: Vec<u8> = (0..records).map(|_| rng.gen_range(0..8)).collect();
-    BitmapTable::new(col1, col2, 8)
+    BitmapTable::new(col1, col2, 8).expect("well-formed columns")
 }
 
 const QUERIES: [(&[u8], &[u8]); 3] = [(&[1, 3], &[0, 2, 5]), (&[7], &[7]), (&[0, 4, 6], &[1, 3])];

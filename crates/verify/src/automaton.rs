@@ -1,0 +1,162 @@
+//! Reachability and liveness analysis of homogeneous automata.
+//!
+//! An STE that can never become active (unreachable from every start
+//! state) or can never contribute to a report (no path to an accept
+//! state) occupies an AP column and routing-matrix rows for nothing.
+//! [`AutomatonReport`] finds both sets through the automaton's public
+//! graph view; the rewriting pass that actually removes them is
+//! [`HomogeneousAutomaton::strip`], and the two agree by construction
+//! (`strip` drops exactly [`AutomatonReport::removable`] states).
+
+use memcim_automata::{HomogeneousAutomaton, StartKind};
+
+/// The result of analyzing one [`HomogeneousAutomaton`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AutomatonReport {
+    reachable: Vec<bool>,
+    live: Vec<bool>,
+}
+
+impl AutomatonReport {
+    /// Runs forward reachability (from start states) and backward
+    /// liveness (to accept states) over the automaton's edge relation.
+    pub fn analyze(h: &HomogeneousAutomaton) -> Self {
+        let n = h.state_count();
+        // Forward: states reachable from some start state (start states
+        // themselves are reachable by the empty path).
+        let mut reachable = vec![false; n];
+        let mut stack: Vec<usize> =
+            (0..n).filter(|&s| h.start_kind(s) != StartKind::None).collect();
+        for &s in &stack {
+            reachable[s] = true;
+        }
+        while let Some(s) = stack.pop() {
+            for &q in h.successors(s) {
+                if !reachable[q] {
+                    reachable[q] = true;
+                    stack.push(q);
+                }
+            }
+        }
+        // Backward: states from which an accept state is reachable
+        // (accept states are live by the empty path).
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for p in 0..n {
+            for &q in h.successors(p) {
+                preds[q].push(p);
+            }
+        }
+        let mut live = vec![false; n];
+        let mut stack: Vec<usize> = (0..n).filter(|&s| h.is_accept(s)).collect();
+        for &s in &stack {
+            live[s] = true;
+        }
+        while let Some(s) = stack.pop() {
+            for &p in &preds[s] {
+                if !live[p] {
+                    live[p] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        Self { reachable, live }
+    }
+
+    /// Number of states analyzed.
+    pub fn state_count(&self) -> usize {
+        self.reachable.len()
+    }
+
+    /// Whether a state can become active on some input.
+    pub fn is_reachable(&self, state: usize) -> bool {
+        self.reachable[state]
+    }
+
+    /// Whether a state can contribute to some future report event.
+    pub fn is_live(&self, state: usize) -> bool {
+        self.live[state]
+    }
+
+    /// Whether [`HomogeneousAutomaton::strip`] keeps this state.
+    pub fn keeps(&self, state: usize) -> bool {
+        self.reachable[state] && self.live[state]
+    }
+
+    /// States no input can ever activate.
+    pub fn unreachable(&self) -> Vec<usize> {
+        (0..self.state_count()).filter(|&s| !self.reachable[s]).collect()
+    }
+
+    /// Reachable states that can never reach an accept state.
+    pub fn dead(&self) -> Vec<usize> {
+        (0..self.state_count()).filter(|&s| self.reachable[s] && !self.live[s]).collect()
+    }
+
+    /// How many STEs stripping would remove.
+    pub fn removable(&self) -> usize {
+        (0..self.state_count()).filter(|&s| !self.keeps(s)).count()
+    }
+
+    /// `true` when every state is both reachable and live.
+    pub fn is_minimal(&self) -> bool {
+        self.removable() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memcim_automata::Regex;
+
+    fn homog(pattern: &str) -> HomogeneousAutomaton {
+        HomogeneousAutomaton::from_nfa(&Regex::parse(pattern).expect("parses").compile())
+    }
+
+    #[test]
+    fn a_linear_pattern_is_already_minimal() {
+        let h = homog("abc");
+        let report = AutomatonReport::analyze(&h);
+        assert!(report.is_minimal());
+        assert!(report.unreachable().is_empty());
+        assert!(report.dead().is_empty());
+    }
+
+    #[test]
+    fn analysis_agrees_with_strip() {
+        for pattern in ["a(b|c)*d", "(ab)+c", "a.b", "[abc]*x"] {
+            let h = homog(pattern);
+            let report = AutomatonReport::analyze(&h);
+            let (stripped, remap) = h.strip();
+            assert_eq!(
+                h.state_count() - stripped.state_count(),
+                report.removable(),
+                "pattern {pattern}"
+            );
+            for (s, mapped) in remap.iter().enumerate() {
+                assert_eq!(mapped.is_some(), report.keeps(s), "pattern {pattern} state {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn dead_states_are_found() {
+        // `a(b|c)` where the automaton also carries a branch that never
+        // accepts is hard to build from a regex (the compiler is tight),
+        // so synthesize one: states on a path that leaves the accept
+        // cone are dead.
+        use memcim_automata::{Nfa, SymbolClass};
+        let mut nfa = Nfa::new();
+        let s0 = nfa.add_state();
+        let ok = nfa.add_state();
+        let dead_end = nfa.add_state();
+        nfa.add_start(s0);
+        nfa.set_accept(ok, true);
+        nfa.add_transition(s0, SymbolClass::of(b'a'), ok);
+        nfa.add_transition(s0, SymbolClass::of(b'z'), dead_end);
+        nfa.add_transition(dead_end, SymbolClass::of(b'z'), dead_end);
+        let h = HomogeneousAutomaton::from_nfa(&nfa);
+        let report = AutomatonReport::analyze(&h);
+        assert!(!report.is_minimal());
+        assert!(!report.dead().is_empty(), "the z-loop is reachable but never accepts");
+    }
+}

@@ -18,7 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     let records = 16_384;
     let col_region: Vec<u8> = (0..records).map(|_| rng.gen_range(0..16)).collect();
     let col_status: Vec<u8> = (0..records).map(|_| rng.gen_range(0..8)).collect();
-    let table = BitmapTable::new(col_region, col_status, 16);
+    let table = BitmapTable::new(col_region, col_status, 16)?;
     let mut mvp = MvpSimulator::new(32, records);
     // SELECT * WHERE region IN (1, 4, 9) AND status IN (0, 3)
     let fast = table.query_mvp(&mut mvp, &[1, 4, 9], &[0, 3])?;
@@ -62,9 +62,9 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
 
     // --- BFS frontier expansion -----------------------------------------
     let n = 512;
-    let mut g = Graph::new(n);
+    let mut g = Graph::new(n)?;
     for _ in 0..n * 8 {
-        g.add_edge(rng.gen_range(0..n), rng.gen_range(0..n));
+        g.add_edge(rng.gen_range(0..n), rng.gen_range(0..n))?;
     }
     let mut mvp_g = MvpSimulator::new(16, n);
     let fast_levels = g.bfs_mvp(&mut mvp_g, 0, 8)?;

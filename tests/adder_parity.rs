@@ -24,9 +24,9 @@ fn wide_random_vectors_add_exactly() {
 #[test]
 fn plane_codecs_are_inverse() {
     let values: Vec<u64> = (0..100).map(|i| i * 37 % 4096).collect();
-    let planes = to_bit_planes(&values, 12);
-    assert_eq!(from_bit_planes(&planes), values);
-    assert!(from_bit_planes(&[]).is_empty());
+    let planes = to_bit_planes(&values, 12).expect("encodes");
+    assert_eq!(from_bit_planes(&planes).expect("decodes"), values);
+    assert!(from_bit_planes(&[]).expect("empty is fine").is_empty());
 }
 
 #[test]
@@ -67,13 +67,13 @@ fn bit_plane_interface_exposes_the_carry_plane() {
     let mut mvp = MvpSimulator::new(8, 2);
     let planes = add_bit_planes(
         &mut mvp,
-        &to_bit_planes(&[0b11, 0b01], 2),
-        &to_bit_planes(&[0b01, 0b01], 2),
+        &to_bit_planes(&[0b11, 0b01], 2).expect("encodes"),
+        &to_bit_planes(&[0b01, 0b01], 2).expect("encodes"),
     )
     .expect("adds");
     // w + 1 planes: 2 sum bits plus carry-out.
     assert_eq!(planes.len(), 3);
-    assert_eq!(from_bit_planes(&planes), vec![0b100, 0b010]);
+    assert_eq!(from_bit_planes(&planes).expect("decodes"), vec![0b100, 0b010]);
     assert!(planes[2].get(0), "lane 0 carries out");
     assert!(!planes[2].get(1), "lane 1 does not");
 }

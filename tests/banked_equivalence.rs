@@ -94,7 +94,7 @@ fn bitmap_queries_are_bank_invariant() {
     let mut rng = SmallRng::seed_from_u64(41);
     let col1: Vec<u8> = (0..WIDTH).map(|_| rng.gen_range(0..10)).collect();
     let col2: Vec<u8> = (0..WIDTH).map(|_| rng.gen_range(0..10)).collect();
-    let table = BitmapTable::new(col1, col2, 10);
+    let table = BitmapTable::new(col1, col2, 10).expect("well-formed columns");
     let queries: &[(&[u8], &[u8])] = &[(&[1, 3], &[0, 2, 5]), (&[7], &[7]), (&[0, 1, 2], &[3])];
     for &(s1, s2) in queries {
         let reference = table.query_reference(s1, s2);
@@ -136,9 +136,9 @@ fn kmer_search_is_bank_invariant() {
 fn bfs_levels_are_bank_invariant() {
     let mut rng = SmallRng::seed_from_u64(43);
     // 960 vertices so the adjacency rows match every bank split.
-    let mut g = Graph::new(WIDTH);
+    let mut g = Graph::new(WIDTH).expect("nonempty graph");
     for _ in 0..6 * WIDTH {
-        g.add_edge(rng.gen_range(0..WIDTH), rng.gen_range(0..WIDTH));
+        g.add_edge(rng.gen_range(0..WIDTH), rng.gen_range(0..WIDTH)).expect("in range");
     }
     let reference = g.bfs_reference(0);
     let mut mono = MvpSimulator::new(16, WIDTH);
@@ -155,7 +155,7 @@ fn banked_cost_model_sums_energy_and_keeps_wall_clock() {
     let mut rng = SmallRng::seed_from_u64(44);
     let col1: Vec<u8> = (0..WIDTH).map(|_| rng.gen_range(0..8)).collect();
     let col2: Vec<u8> = (0..WIDTH).map(|_| rng.gen_range(0..8)).collect();
-    let table = BitmapTable::new(col1, col2, 8);
+    let table = BitmapTable::new(col1, col2, 8).expect("well-formed columns");
     let mut mono = MvpSimulator::new(32, WIDTH);
     let mut banked = MvpSimulator::banked(32, 64, 15);
     table.query_mvp(&mut mono, &[1, 2], &[3, 4]).expect("mono");

@@ -260,7 +260,7 @@ mod chaos {
         let mut table_rng = SmallRng::seed_from_u64(SEED ^ 0x5eed);
         let col1: Vec<u8> = (0..RECORDS).map(|_| table_rng.gen_range(0..8)).collect();
         let col2: Vec<u8> = (0..RECORDS).map(|_| table_rng.gen_range(0..8)).collect();
-        let table = BitmapTable::new(col1, col2, 8);
+        let table = BitmapTable::new(col1, col2, 8).expect("well-formed columns");
         let map = ShardMap::new(RECORDS, SHARDS).expect("valid geometry");
 
         let switches: Arc<Vec<AtomicBool>> =

@@ -14,7 +14,7 @@ fn bitmap_queries_randomized_parity() {
     let n = 8192;
     let col1: Vec<u8> = (0..n).map(|_| rng.gen_range(0..12)).collect();
     let col2: Vec<u8> = (0..n).map(|_| rng.gen_range(0..12)).collect();
-    let table = BitmapTable::new(col1, col2, 12);
+    let table = BitmapTable::new(col1, col2, 12).expect("well-formed columns");
     let mut mvp = MvpSimulator::new(32, n);
     for _ in 0..12 {
         let k1 = rng.gen_range(1..5);
@@ -52,25 +52,25 @@ fn kmer_scan_finds_exactly_the_planted_and_random_hits() {
 #[test]
 fn bfs_parity_on_structured_graphs() {
     // Star, ring, two components, dense random.
-    let mut star = Graph::new(65);
+    let mut star = Graph::new(65).expect("nonempty graph");
     for v in 1..65 {
-        star.add_edge(0, v);
+        star.add_edge(0, v).expect("in range");
     }
-    let mut ring = Graph::new(50);
+    let mut ring = Graph::new(50).expect("nonempty graph");
     for v in 0..50 {
-        ring.add_edge(v, (v + 1) % 50);
+        ring.add_edge(v, (v + 1) % 50).expect("in range");
     }
-    let mut split = Graph::new(40);
+    let mut split = Graph::new(40).expect("nonempty graph");
     for v in 0..19 {
-        split.add_edge(v, v + 1);
+        split.add_edge(v, v + 1).expect("in range");
     }
     for v in 20..39 {
-        split.add_edge(v, v + 1);
+        split.add_edge(v, v + 1).expect("in range");
     }
     let mut rng = SmallRng::seed_from_u64(3);
-    let mut dense = Graph::new(128);
+    let mut dense = Graph::new(128).expect("nonempty graph");
     for _ in 0..3000 {
-        dense.add_edge(rng.gen_range(0..128), rng.gen_range(0..128));
+        dense.add_edge(rng.gen_range(0..128), rng.gen_range(0..128)).expect("in range");
     }
     for (name, g, n) in
         [("star", star, 65), ("ring", ring, 50), ("split", split, 40), ("dense", dense, 128)]
@@ -79,8 +79,8 @@ fn bfs_parity_on_structured_graphs() {
         assert_eq!(g.bfs_mvp(&mut mvp, 0, 8).expect("mvp bfs"), g.bfs_reference(0), "{name}");
     }
     // Unreachable component stays at usize::MAX.
-    let mut g2 = Graph::new(10);
-    g2.add_edge(0, 1);
+    let mut g2 = Graph::new(10).expect("nonempty graph");
+    g2.add_edge(0, 1).expect("in range");
     let mut mvp = MvpSimulator::new(8, 10);
     let levels = g2.bfs_mvp(&mut mvp, 0, 4).expect("bfs");
     assert_eq!(levels[1], 1);
@@ -92,7 +92,7 @@ fn mvp_energy_scales_with_work() {
     let mut rng = SmallRng::seed_from_u64(4);
     let n = 4096;
     let col: Vec<u8> = (0..n).map(|_| rng.gen_range(0..8)).collect();
-    let table = BitmapTable::new(col.clone(), col, 8);
+    let table = BitmapTable::new(col.clone(), col, 8).expect("well-formed columns");
     let mut small = MvpSimulator::new(32, n);
     let mut big = MvpSimulator::new(32, n);
     table.query_mvp(&mut small, &[1], &[2]).expect("small");

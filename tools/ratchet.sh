@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Source-invariant ratchet for the serve layer: the number of
+# `.unwrap(` / `.expect(` calls in non-test code under crates/serve/src
+# may never go up. CI runs this against the committed baseline
+# (tools/ratchet_baseline.txt); a PR that adds a panic path fails, a PR
+# that removes one should tighten the baseline with `--update`.
+#
+# "Non-test" means everything before the first `#[cfg(test)]` in each
+# file — the workspace's idiom keeps test modules at the bottom.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE_FILE=tools/ratchet_baseline.txt
+
+count_panics() {
+    local total=0 n f
+    while IFS= read -r f; do
+        n=$(awk '/#\[cfg\(test\)\]/ { exit } { print }' "$f" \
+            | grep -o -E '\.(unwrap|expect)\(' | wc -l)
+        total=$((total + n))
+    done < <(find crates/serve/src -name '*.rs' | sort)
+    echo "$total"
+}
+
+current=$(count_panics)
+
+if [[ "${1:-}" == "--update" ]]; then
+    echo "$current" > "$BASELINE_FILE"
+    echo "ratchet baseline set to $current"
+    exit 0
+fi
+
+if [[ ! -f "$BASELINE_FILE" ]]; then
+    echo "missing $BASELINE_FILE — run tools/ratchet.sh --update once" >&2
+    exit 1
+fi
+
+baseline=$(cat "$BASELINE_FILE")
+echo "serve-layer unwrap()/expect() in non-test code: $current (baseline $baseline)"
+
+if (( current > baseline )); then
+    echo "RATCHET VIOLATION: $((current - baseline)) new panic path(s) in" \
+        "crates/serve/src — return a typed ServeError instead, or (only" \
+        "for a provably unreachable case) justify and re-baseline with" \
+        "tools/ratchet.sh --update" >&2
+    exit 1
+fi
+
+if (( current < baseline )); then
+    echo "ratchet can tighten: commit the new floor with tools/ratchet.sh --update"
+fi
