@@ -46,6 +46,7 @@ const REQUIRED_CONFIGS: &[&str] = &[
     "bitline_lumped_SRAM-AP",
     "mvp_bitmap_query",
     "mvp_bitmap_query_banked",
+    "correlation_detect",
     "serve_bitmap_qps_1w",
     "serve_bitmap_qps_4w",
     "serve_bitmap_qps_8w",
@@ -180,6 +181,50 @@ fn run_workloads(quick: bool) -> Vec<ConfigResult> {
             std::hint::black_box(banked.run_batch(&batch).expect("batch runs"));
         },
     ));
+
+    // --- Streaming correlation detection --------------------------------
+    // N event streams × T steps through the in-memory popcount/mask
+    // kernel (arXiv:1706.00511 as an MVP workload) on a banked engine,
+    // one 256-step window at a time; each unit is one event
+    // stream-slot. The timed path is pinned bit-for-bit against the
+    // software reference every iteration, so the number reports the
+    // *correct* kernel, not a drifted one.
+    {
+        use memcim_mvp::correlation::{
+            correlation_reference, rows_needed, CorrelationAccumulator, CorrelationConfig,
+            EventStreams,
+        };
+        let steps = if quick { 256 } else { 768 };
+        let cfg = CorrelationConfig {
+            streams: 24,
+            steps,
+            rate: 0.25,
+            strength: 0.95,
+            groups: vec![vec![2, 7, 11, 19, 22], vec![4, 5, 9, 16, 21]],
+        };
+        let events = EventStreams::synthesize(&cfg, SEED).expect("corpus synthesizes");
+        let reference = correlation_reference(events.data()).expect("well-formed corpus");
+        let window = 256usize;
+        let mut engine = MvpSimulator::banked(rows_needed(cfg.streams), 4, window / 4);
+        results.push(measure(
+            "correlation_detect",
+            "event",
+            (cfg.streams * steps) as u64,
+            budget,
+            || {
+                let mut acc = CorrelationAccumulator::new(cfg.streams).expect("enough streams");
+                let mut lo = 0;
+                while lo < steps {
+                    let hi = (lo + window).min(steps);
+                    let slice = events.window(lo..hi).expect("range in corpus");
+                    acc.feed_mvp(&mut engine, &slice).expect("engine fits the streams");
+                    lo = hi;
+                }
+                assert_eq!(acc.scores(), reference, "timed path ≡ software reference");
+                std::hint::black_box(acc.detect(cfg.threshold().expect("well-posed")));
+            },
+        ));
+    }
 
     // --- Serving layer: multi-tenant bitmap QPS vs worker count --------
     // The same four bitmap query plans, served through `memcim-serve`:

@@ -1,0 +1,712 @@
+//! Streaming temporal correlation detection (Sebastian et al.,
+//! arXiv:1706.00511) as an MVP workload.
+//!
+//! N binary event streams are mapped onto crossbar rows one time window
+//! at a time. For every window the MVP accumulates, *in memory*, each
+//! stream's correlation statistic
+//!
+//! ```text
+//! score(i) = Σ_t  x_i(t) · A(t)        A(t) = Σ_j x_j(t)
+//! ```
+//!
+//! — the number of co-activations of stream `i` with the whole
+//! ensemble, the momentum the phase-change devices of the paper
+//! integrate physically. The column-parallel part is pure scouting
+//! logic: the instantaneous activity count `A(t)` is built as
+//! ⌈log₂(N+1)⌉ bit planes by a ripple-carry population count across the
+//! stream rows (XOR/AND steps, one stream at a time), then each
+//! stream's contribution is masked out with one scouting `AND` per
+//! plane and read back, so the host only pops counters — it never sees
+//! the raw time series twice.
+//!
+//! Correlated streams co-activate more often than independence allows,
+//! so their scores exceed the uncorrelated expectation; thresholding
+//! against that baseline recovers the correlated subset. The exact
+//! software reference ([`correlation_reference`]) computes the same
+//! statistic scalar-wise, so every backend — monolithic, banked,
+//! sharded — can be pinned bit for bit on seeded synthetic data with
+//! planted correlated groups ([`EventStreams::synthesize`]).
+//!
+//! Sharding partitions the *streams* ([`ShardMap`](crate::ShardMap)):
+//! every shard replays the full window to rebuild the global activity
+//! planes (the statistic couples all streams), but masks and reads only
+//! its own stream range, so per-shard score deltas concatenate to the
+//! unsharded answer exactly.
+
+use crate::{Instruction, MvpError, MvpSimulator};
+use memcim_bits::BitVec;
+use memcim_crossbar::CrossbarBackend;
+use std::ops::Range;
+
+/// Fewest streams that make a correlation question well-posed.
+pub const MIN_STREAMS: usize = 2;
+
+/// Bit planes needed to hold an activity count in `0..=streams`.
+pub fn planes_for(streams: usize) -> usize {
+    (usize::BITS - streams.leading_zeros()) as usize
+}
+
+/// Crossbar rows a correlation feed program needs: one stream-staging
+/// row, two ping-pong banks of activity planes, two carry rows and one
+/// mask destination.
+pub fn rows_needed(streams: usize) -> usize {
+    4 + 2 * planes_for(streams)
+}
+
+/// Parameters of a synthetic event corpus with planted correlated
+/// groups.
+///
+/// Uncorrelated streams fire i.i.d. Bernoulli(`rate`) per time step.
+/// Each planted group shares a hidden Bernoulli(`rate`) process; a
+/// member copies it with probability `strength` and otherwise fires an
+/// independent Bernoulli(`rate`) — so every stream has the *same
+/// marginal rate* and only temporal correlation separates members from
+/// the background.
+#[derive(Debug, Clone)]
+pub struct CorrelationConfig {
+    /// Total number of event streams.
+    pub streams: usize,
+    /// Total time steps to synthesize.
+    pub steps: usize,
+    /// Marginal event rate `p` of every stream, in `(0, 1)`.
+    pub rate: f64,
+    /// Correlation strength `c` of planted groups, in `[0, 1]`.
+    pub strength: f64,
+    /// Planted groups as disjoint sets of stream indices (each ≥ 2).
+    pub groups: Vec<Vec<usize>>,
+}
+
+impl CorrelationConfig {
+    fn validate(&self) -> Result<(), MvpError> {
+        if self.streams < MIN_STREAMS {
+            return Err(MvpError::BadInput {
+                reason: format!("correlation needs at least {MIN_STREAMS} streams"),
+            });
+        }
+        if self.steps == 0 {
+            return Err(MvpError::BadInput { reason: "corpus needs at least one step".into() });
+        }
+        if !(self.rate > 0.0 && self.rate < 1.0) {
+            return Err(MvpError::BadInput {
+                reason: format!("rate must lie in (0, 1), got {}", self.rate),
+            });
+        }
+        if !(0.0..=1.0).contains(&self.strength) {
+            return Err(MvpError::BadInput {
+                reason: format!("strength must lie in [0, 1], got {}", self.strength),
+            });
+        }
+        let mut member = vec![false; self.streams];
+        for group in &self.groups {
+            if group.len() < 2 {
+                return Err(MvpError::BadInput {
+                    reason: "a correlated group needs at least two members".into(),
+                });
+            }
+            for &i in group {
+                if i >= self.streams {
+                    return Err(MvpError::BadInput {
+                        reason: format!("group member {i} escapes the {} streams", self.streams),
+                    });
+                }
+                if std::mem::replace(&mut member[i], true) {
+                    return Err(MvpError::BadInput {
+                        reason: format!("stream {i} appears in two groups"),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Expected score of an *uncorrelated* stream over the full corpus:
+    /// `T·p·(1 + (N−1)·p)`.
+    pub fn baseline(&self) -> f64 {
+        let (t, n, p) = (self.steps as f64, self.streams as f64, self.rate);
+        t * p * (1.0 + (n - 1.0) * p)
+    }
+
+    /// Expected score *excess* of a member of a planted group of `m`
+    /// streams: `(m−1)·T·c²·p·(1−p)` above [`baseline`](Self::baseline).
+    pub fn excess(&self, m: usize) -> f64 {
+        let (t, p, c) = (self.steps as f64, self.rate, self.strength);
+        (m as f64 - 1.0) * t * c * c * p * (1.0 - p)
+    }
+
+    /// The detection threshold halfway between the uncorrelated
+    /// baseline and the weakest planted member's expectation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MvpError::BadInput`] when the configuration is
+    /// malformed or plants no group to threshold against.
+    pub fn threshold(&self) -> Result<u64, MvpError> {
+        self.validate()?;
+        let smallest = self
+            .groups
+            .iter()
+            .map(Vec::len)
+            .min()
+            .ok_or_else(|| MvpError::BadInput { reason: "no planted group".into() })?;
+        Ok((self.baseline() + self.excess(smallest) / 2.0).round() as u64)
+    }
+}
+
+/// A deterministic splitmix64 generator — the corpus must reproduce
+/// bit-identically from a seed on every substrate and host.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+/// A seeded synthetic event corpus: per-stream activity bitmaps over
+/// time, with the planted groups remembered for test introspection.
+#[derive(Debug, Clone)]
+pub struct EventStreams {
+    data: Vec<BitVec>,
+    steps: usize,
+    groups: Vec<Vec<usize>>,
+}
+
+impl EventStreams {
+    /// Draws a corpus from `cfg` with the generative model described on
+    /// [`CorrelationConfig`]. The same `(cfg, seed)` pair always yields
+    /// the same bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MvpError::BadInput`] for a malformed configuration.
+    pub fn synthesize(cfg: &CorrelationConfig, seed: u64) -> Result<Self, MvpError> {
+        cfg.validate()?;
+        let mut group_of = vec![usize::MAX; cfg.streams];
+        for (g, group) in cfg.groups.iter().enumerate() {
+            for &i in group {
+                group_of[i] = g;
+            }
+        }
+        let mut rng = SplitMix64(seed);
+        let mut data = vec![BitVec::new(cfg.steps); cfg.streams];
+        let mut hidden = vec![false; cfg.groups.len()];
+        for t in 0..cfg.steps {
+            for z in &mut hidden {
+                *z = rng.chance(cfg.rate);
+            }
+            for i in 0..cfg.streams {
+                let copies = rng.chance(cfg.strength);
+                let background = rng.chance(cfg.rate);
+                let fires = match group_of[i] {
+                    usize::MAX => background,
+                    g if copies => hidden[g],
+                    _ => background,
+                };
+                if fires {
+                    data[i].set(t, true);
+                }
+            }
+        }
+        Ok(Self { data, steps: cfg.steps, groups: cfg.groups.clone() })
+    }
+
+    /// Number of streams.
+    pub fn streams(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Total time steps.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// The full per-stream activity bitmaps.
+    pub fn data(&self) -> &[BitVec] {
+        &self.data
+    }
+
+    /// The planted groups.
+    pub fn groups(&self) -> &[Vec<usize>] {
+        &self.groups
+    }
+
+    /// The time slice `range` of every stream — one feedable window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MvpError::BadInput`] for an empty or escaping range.
+    pub fn window(&self, range: Range<usize>) -> Result<Vec<BitVec>, MvpError> {
+        if range.start >= range.end || range.end > self.steps {
+            return Err(MvpError::BadInput {
+                reason: format!(
+                    "window {}..{} escapes the {}-step corpus",
+                    range.start, range.end, self.steps
+                ),
+            });
+        }
+        let len = range.len();
+        Ok(self
+            .data
+            .iter()
+            .map(|stream| {
+                let mut out = BitVec::new(len);
+                stream.extract_range_into(range.start, len, &mut out);
+                out
+            })
+            .collect())
+    }
+
+    /// The expected correlated set: one bit per stream, set for every
+    /// planted group member.
+    pub fn planted(&self) -> BitVec {
+        let mut out = BitVec::new(self.streams());
+        for group in &self.groups {
+            for &i in group {
+                out.set(i, true);
+            }
+        }
+        out
+    }
+}
+
+/// Exact software reference: the per-stream correlation scores
+/// `score(i) = Σ_t x_i(t)·A(t)` over the given activity bitmaps.
+///
+/// # Errors
+///
+/// Returns [`MvpError::BadInput`] for fewer than [`MIN_STREAMS`]
+/// streams or streams of unequal length.
+pub fn correlation_reference(data: &[BitVec]) -> Result<Vec<u64>, MvpError> {
+    if data.len() < MIN_STREAMS {
+        return Err(MvpError::BadInput {
+            reason: format!("correlation needs at least {MIN_STREAMS} streams"),
+        });
+    }
+    let steps = data[0].len();
+    if data.iter().any(|s| s.len() != steps) {
+        return Err(MvpError::BadInput { reason: "streams must cover the same steps".into() });
+    }
+    let mut scores = vec![0u64; data.len()];
+    for t in 0..steps {
+        let active = data.iter().filter(|s| s.get(t)).count() as u64;
+        for (score, stream) in scores.iter_mut().zip(data) {
+            if stream.get(t) {
+                *score += active;
+            }
+        }
+    }
+    Ok(scores)
+}
+
+/// The streaming detector state: per-stream scores accumulated window
+/// by window, plus the events-processed counter the serve layer bills
+/// from.
+///
+/// Windows partition time and `A(t)` depends only on its own column, so
+/// feeding a corpus in any chunking yields the same final scores as one
+/// shot — the property the serve layer's chunked-feed tests pin.
+#[derive(Debug, Clone)]
+pub struct CorrelationAccumulator {
+    streams: usize,
+    planes: usize,
+    scores: Vec<u64>,
+    events: u64,
+}
+
+impl CorrelationAccumulator {
+    /// A fresh accumulator over `streams` event streams.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MvpError::BadInput`] for fewer than [`MIN_STREAMS`].
+    pub fn new(streams: usize) -> Result<Self, MvpError> {
+        if streams < MIN_STREAMS {
+            return Err(MvpError::BadInput {
+                reason: format!("correlation needs at least {MIN_STREAMS} streams"),
+            });
+        }
+        Ok(Self { streams, planes: planes_for(streams), scores: vec![0; streams], events: 0 })
+    }
+
+    /// Number of streams.
+    pub fn streams(&self) -> usize {
+        self.streams
+    }
+
+    /// Activity bit planes per window (⌈log₂(streams+1)⌉).
+    pub fn planes(&self) -> usize {
+        self.planes
+    }
+
+    /// The scores accumulated so far.
+    pub fn scores(&self) -> &[u64] {
+        &self.scores
+    }
+
+    /// Stream-slots processed so far (`streams × window width`, summed
+    /// over fed windows) — the billing unit.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Forgets all accumulated state (scores and events).
+    pub fn reset(&mut self) {
+        self.scores.fill(0);
+        self.events = 0;
+    }
+
+    /// The monolithic feed program for one window: population-count
+    /// phase over all streams, then mask-and-read phase for all
+    /// streams. Equivalent to
+    /// [`shard_feed_plan`](Self::shard_feed_plan) over the full range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MvpError::BadInput`] for a malformed window or one
+    /// that does not fit `width` columns.
+    pub fn feed_plan(&self, window: &[BitVec], width: usize) -> Result<Vec<Instruction>, MvpError> {
+        self.shard_feed_plan(window, 0..self.streams, width)
+    }
+
+    /// The shard-local feed program: rebuilds the *global* activity
+    /// planes from the full window, but masks and reads only the
+    /// streams in `range`. Applying every shard of a
+    /// [`ShardMap`](crate::ShardMap) over the streams reproduces the
+    /// monolithic scores exactly.
+    ///
+    /// The program uses [`rows_needed`]`(streams)` rows and emits
+    /// `range.len() × planes` `Read`s, in `(stream, plane)` order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MvpError::BadInput`] when the window is empty, ragged,
+    /// wider than `width`, or `range` escapes the streams.
+    pub fn shard_feed_plan(
+        &self,
+        window: &[BitVec],
+        range: Range<usize>,
+        width: usize,
+    ) -> Result<Vec<Instruction>, MvpError> {
+        let w = self.check_window(window, width)?;
+        if range.start >= range.end || range.end > self.streams {
+            return Err(MvpError::BadInput {
+                reason: format!(
+                    "scored range {}..{} escapes the {} streams",
+                    range.start, range.end, self.streams
+                ),
+            });
+        }
+        let planes = self.planes;
+        let acc = |bank: usize, b: usize| 1 + bank * planes + b;
+        let r_x = 0;
+        let carries = [1 + 2 * planes, 2 + 2 * planes];
+        let r_mask = 3 + 2 * planes;
+        let mut program = Vec::new();
+        // Phase 1: ripple-carry popcount of stream activity into
+        // ping-pong plane banks, one stream row at a time.
+        for b in 0..planes {
+            program.push(Instruction::Store { row: acc(0, b), data: BitVec::new(width) });
+        }
+        let mut cur = 0;
+        for stream in window {
+            program.push(Instruction::Store {
+                row: r_x,
+                data: crate::sharded::slice_to_width(stream, 0..w, width)?,
+            });
+            let mut carry = r_x;
+            for b in 0..planes {
+                program.push(Instruction::Xor { a: acc(cur, b), b: carry, dst: acc(1 - cur, b) });
+                program
+                    .push(Instruction::And { srcs: vec![acc(cur, b), carry], dst: carries[b % 2] });
+                carry = carries[b % 2];
+            }
+            cur = 1 - cur;
+        }
+        // Phase 2: mask each scored stream against every activity plane
+        // and read the co-activation columns back.
+        for i in range {
+            program.push(Instruction::Store {
+                row: r_x,
+                data: crate::sharded::slice_to_width(&window[i], 0..w, width)?,
+            });
+            for b in 0..planes {
+                program.push(Instruction::And { srcs: vec![r_x, acc(cur, b)], dst: r_mask });
+                program.push(Instruction::Read { row: r_mask });
+            }
+        }
+        Ok(program)
+    }
+
+    /// Folds the `Read` outputs of a feed program for stream `range`
+    /// into the scores: `Δscore(i) = Σ_b 2^b · popcount(outputs[i][b])`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MvpError::BadInput`] when `range` escapes the streams
+    /// or the output count is not `range.len() × planes`.
+    pub fn apply_reads(&mut self, range: Range<usize>, outputs: &[BitVec]) -> Result<(), MvpError> {
+        if range.start >= range.end || range.end > self.streams {
+            return Err(MvpError::BadInput {
+                reason: format!(
+                    "scored range {}..{} escapes the {} streams",
+                    range.start, range.end, self.streams
+                ),
+            });
+        }
+        if outputs.len() != range.len() * self.planes {
+            return Err(MvpError::BadInput {
+                reason: format!(
+                    "{} outputs do not cover {} streams × {} planes",
+                    outputs.len(),
+                    range.len(),
+                    self.planes
+                ),
+            });
+        }
+        for (k, i) in range.enumerate() {
+            for b in 0..self.planes {
+                self.scores[i] += (1u64 << b) * outputs[k * self.planes + b].count_ones() as u64;
+            }
+        }
+        Ok(())
+    }
+
+    /// Records a fed window of `window_width` steps in the billing
+    /// counter (`streams × width` stream-slots). Call once per window,
+    /// after every shard's reads were applied.
+    pub fn note_window(&mut self, window_width: usize) {
+        self.events += (self.streams * window_width) as u64;
+    }
+
+    /// Convenience: plans, executes and applies one window on the given
+    /// simulator (monolithic or banked), updating scores and events.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MvpError::BadInput`] when the engine is too small for
+    /// the stream count and propagates execution errors.
+    pub fn feed_mvp<B: CrossbarBackend>(
+        &mut self,
+        mvp: &mut MvpSimulator<B>,
+        window: &[BitVec],
+    ) -> Result<(), MvpError> {
+        if mvp.rows() < rows_needed(self.streams) {
+            return Err(MvpError::BadInput {
+                reason: format!(
+                    "{} streams need {} rows, engine has {}",
+                    self.streams,
+                    rows_needed(self.streams),
+                    mvp.rows()
+                ),
+            });
+        }
+        let w = self.check_window(window, mvp.width())?;
+        let outputs = mvp.run_program(&self.feed_plan(window, mvp.width())?)?;
+        self.apply_reads(0..self.streams, &outputs)?;
+        self.note_window(w);
+        Ok(())
+    }
+
+    /// The streams whose accumulated score strictly exceeds
+    /// `threshold`, as one bit per stream.
+    pub fn detect(&self, threshold: u64) -> BitVec {
+        let mut out = BitVec::new(self.streams);
+        for (i, &score) in self.scores.iter().enumerate() {
+            if score > threshold {
+                out.set(i, true);
+            }
+        }
+        out
+    }
+
+    fn check_window(&self, window: &[BitVec], width: usize) -> Result<usize, MvpError> {
+        if window.len() != self.streams {
+            return Err(MvpError::BadInput {
+                reason: format!(
+                    "window carries {} streams, session expects {}",
+                    window.len(),
+                    self.streams
+                ),
+            });
+        }
+        let w = window[0].len();
+        if w == 0 {
+            return Err(MvpError::BadInput {
+                reason: "window must cover at least one step".into(),
+            });
+        }
+        if window.iter().any(|s| s.len() != w) {
+            return Err(MvpError::BadInput {
+                reason: "every stream must cover the same window steps".into(),
+            });
+        }
+        if w > width {
+            return Err(MvpError::BadInput {
+                reason: format!("{w}-step window does not fit a {width}-column engine"),
+            });
+        }
+        Ok(w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ShardMap;
+
+    fn corpus() -> (CorrelationConfig, EventStreams) {
+        let cfg = CorrelationConfig {
+            streams: 24,
+            steps: 768,
+            rate: 0.25,
+            strength: 0.95,
+            groups: vec![vec![2, 7, 11, 19, 22], vec![4, 5, 9, 16, 21]],
+        };
+        let streams = EventStreams::synthesize(&cfg, 2018).expect("well-formed");
+        (cfg, streams)
+    }
+
+    #[test]
+    fn accumulator_matches_reference_monolithic_and_banked() {
+        let (_, streams) = corpus();
+        let expected = correlation_reference(streams.data()).expect("reference");
+        let mut mono = MvpSimulator::new(rows_needed(24), 128);
+        let mut banked = MvpSimulator::banked(rows_needed(24), 4, 32);
+        let mut acc_m = CorrelationAccumulator::new(24).expect("streams");
+        let mut acc_b = CorrelationAccumulator::new(24).expect("streams");
+        for start in (0..streams.steps()).step_by(128) {
+            let window = streams.window(start..(start + 128).min(streams.steps())).expect("slice");
+            acc_m.feed_mvp(&mut mono, &window).expect("mono feed");
+            acc_b.feed_mvp(&mut banked, &window).expect("banked feed");
+        }
+        assert_eq!(acc_m.scores(), &expected[..]);
+        assert_eq!(acc_b.scores(), &expected[..]);
+        assert_eq!(acc_m.events(), (24 * 768) as u64);
+        assert!(mono.ledger().scouting_ops() > 0, "work ran in memory");
+    }
+
+    #[test]
+    fn chunked_feeds_equal_one_shot() {
+        let (_, streams) = corpus();
+        let mut one_shot = CorrelationAccumulator::new(24).expect("streams");
+        let mut engine = MvpSimulator::new(rows_needed(24), 768);
+        one_shot.feed_mvp(&mut engine, streams.data()).expect("one shot");
+        let mut chunked = CorrelationAccumulator::new(24).expect("streams");
+        let mut engine2 = MvpSimulator::new(rows_needed(24), 768);
+        for bounds in [[0usize, 17, 64, 768], [0, 300, 500, 768]] {
+            chunked.reset();
+            for pair in bounds.windows(2) {
+                let window = streams.window(pair[0]..pair[1]).expect("slice");
+                chunked.feed_mvp(&mut engine2, &window).expect("chunk feed");
+            }
+            assert_eq!(chunked.scores(), one_shot.scores());
+        }
+    }
+
+    #[test]
+    fn sharded_plans_concatenate_to_the_monolithic_scores() {
+        let (_, streams) = corpus();
+        let expected = correlation_reference(streams.data()).expect("reference");
+        let window = streams.window(0..streams.steps()).expect("full window");
+        for shards in [1usize, 2, 3, 4] {
+            let map = ShardMap::new(24, shards).expect("geometry");
+            let mut acc = CorrelationAccumulator::new(24).expect("streams");
+            for range in map.ranges() {
+                let plan = acc.shard_feed_plan(&window, range.clone(), 800).expect("plan");
+                let mut engine = MvpSimulator::new(rows_needed(24), 800);
+                let outputs = engine.run_program(&plan).expect("shard runs");
+                acc.apply_reads(range, &outputs).expect("apply");
+            }
+            acc.note_window(streams.steps());
+            assert_eq!(acc.scores(), &expected[..], "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn planted_groups_are_recovered_and_nothing_else() {
+        let (cfg, streams) = corpus();
+        let threshold = cfg.threshold().expect("groups planted");
+        let mut acc = CorrelationAccumulator::new(24).expect("streams");
+        let mut engine = MvpSimulator::banked(rows_needed(24), 4, 192);
+        acc.feed_mvp(&mut engine, streams.data()).expect("feed");
+        assert_eq!(acc.detect(threshold), streams.planted());
+    }
+
+    #[test]
+    fn synthesis_is_deterministic_and_marginal_rates_hold() {
+        let (cfg, streams) = corpus();
+        let again = EventStreams::synthesize(&cfg, 2018).expect("well-formed");
+        assert_eq!(streams.data(), again.data());
+        let other_seed = EventStreams::synthesize(&cfg, 2019).expect("well-formed");
+        assert_ne!(streams.data(), other_seed.data());
+        // Every stream — member or not — fires near the marginal rate.
+        for (i, stream) in streams.data().iter().enumerate() {
+            let rate = stream.count_ones() as f64 / cfg.steps as f64;
+            assert!((rate - cfg.rate).abs() < 0.12, "stream {i} fires at {rate}");
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_are_errors_not_aborts() {
+        let cfg = CorrelationConfig {
+            streams: 8,
+            steps: 16,
+            rate: 0.3,
+            strength: 0.9,
+            groups: vec![vec![1, 2]],
+        };
+        for bad in [
+            CorrelationConfig { streams: 1, ..cfg.clone() },
+            CorrelationConfig { steps: 0, ..cfg.clone() },
+            CorrelationConfig { rate: 1.5, ..cfg.clone() },
+            CorrelationConfig { strength: -0.1, ..cfg.clone() },
+            CorrelationConfig { groups: vec![vec![3]], ..cfg.clone() },
+            CorrelationConfig { groups: vec![vec![1, 99]], ..cfg.clone() },
+            CorrelationConfig { groups: vec![vec![1, 2], vec![2, 3]], ..cfg.clone() },
+        ] {
+            assert!(matches!(EventStreams::synthesize(&bad, 1), Err(MvpError::BadInput { .. })));
+        }
+        let streams = EventStreams::synthesize(&cfg, 1).expect("well-formed");
+        assert!(matches!(streams.window(4..4), Err(MvpError::BadInput { .. })));
+        assert!(matches!(streams.window(10..20), Err(MvpError::BadInput { .. })));
+        assert!(matches!(CorrelationAccumulator::new(1), Err(MvpError::BadInput { .. })));
+        let mut acc = CorrelationAccumulator::new(8).expect("streams");
+        let window = streams.window(0..16).expect("slice");
+        assert!(matches!(acc.feed_plan(&window[..4], 64), Err(MvpError::BadInput { .. })));
+        assert!(matches!(acc.feed_plan(&window, 8), Err(MvpError::BadInput { .. })));
+        #[allow(clippy::reversed_empty_ranges)] // deliberately malformed: must be refused
+        let backwards = 5..3;
+        assert!(matches!(
+            acc.shard_feed_plan(&window, backwards, 64),
+            Err(MvpError::BadInput { .. })
+        ));
+        assert!(matches!(acc.apply_reads(0..8, &[]), Err(MvpError::BadInput { .. })));
+        let mut tiny = MvpSimulator::new(4, 64);
+        assert!(matches!(acc.feed_mvp(&mut tiny, &window), Err(MvpError::BadInput { .. })));
+        assert!(matches!(correlation_reference(&window[..1]), Err(MvpError::BadInput { .. })));
+    }
+
+    #[test]
+    fn geometry_helpers_are_consistent() {
+        assert_eq!(planes_for(2), 2);
+        assert_eq!(planes_for(3), 2);
+        assert_eq!(planes_for(4), 3);
+        assert_eq!(planes_for(24), 5);
+        assert_eq!(planes_for(255), 8);
+        assert_eq!(rows_needed(24), 14);
+        // The plan never escapes its declared row budget.
+        let acc = CorrelationAccumulator::new(24).expect("streams");
+        let window = vec![BitVec::new(32); 24];
+        let plan = acc.feed_plan(&window, 64).expect("plan");
+        let top = plan.iter().flat_map(Instruction::touched_rows).max().expect("nonempty");
+        assert!(top < rows_needed(24), "row {top} escapes {}", rows_needed(24));
+    }
+}

@@ -64,6 +64,7 @@
 mod arch;
 pub mod arith;
 mod batch;
+pub mod correlation;
 mod error;
 mod isa;
 pub mod sharded;

@@ -30,6 +30,13 @@ pub enum ServeError {
         /// The contended session id.
         session: SessionId,
     },
+    /// The session exists and belongs to the tenant, but holds state of
+    /// a different streaming workload (e.g. an AP feed aimed at a
+    /// correlation session). The session is left untouched.
+    WrongSessionKind {
+        /// The mismatched session id.
+        session: SessionId,
+    },
     /// Pattern compilation failed while opening an AP session.
     Compile {
         /// The parse/mapping error message.
@@ -115,6 +122,9 @@ impl fmt::Display for ServeError {
             ServeError::UnknownSession { session } => write!(f, "unknown session {session}"),
             ServeError::SessionBusy { session } => {
                 write!(f, "session {session} is busy on another worker")
+            }
+            ServeError::WrongSessionKind { session } => {
+                write!(f, "session {session} holds a different streaming workload's state")
             }
             ServeError::Compile { message } => write!(f, "pattern compilation failed: {message}"),
             ServeError::InvalidProgram { code, index, message } => {

@@ -5,6 +5,7 @@ use memcim_ap::ApReport;
 use memcim_bits::BitVec;
 use memcim_crossbar::OpLedger;
 use memcim_mvp::{BatchRequest, Instruction};
+use memcim_units::{Joules, Seconds};
 use std::sync::{Arc, Condvar, Mutex};
 
 /// Identifies a paying client of the service; all accounting is keyed
@@ -82,6 +83,36 @@ pub struct ApMatches {
     pub symbols: u64,
     /// Cost summary for the whole stream.
     pub report: ApReport,
+}
+
+/// The cumulative state of a correlation session after a feed
+/// (`Service::corr_feed`): how much the session's stream has absorbed
+/// and cost so far, mirroring the cumulative [`ApReport`] of an AP feed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorrFeedReport {
+    /// Stream-slots (streams × window steps) absorbed since the last
+    /// finish — the billing unit of the session watermark.
+    pub events: u64,
+    /// Engine energy the session's feed programs have cost so far.
+    pub energy: Joules,
+    /// Engine busy time the session's feed programs have cost so far.
+    pub busy: Seconds,
+}
+
+/// The result of finishing a correlation session's stream
+/// (`Service::corr_finish`): the detected correlated set and the
+/// evidence behind it. The session stays open for the next stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorrOutcome {
+    /// Bit `i` set when stream `i`'s co-activation score exceeded the
+    /// session threshold.
+    pub correlated: BitVec,
+    /// The per-stream co-activation scores the detection thresholded.
+    pub scores: Vec<u64>,
+    /// Stream-slots absorbed over the finished stream.
+    pub events: u64,
+    /// The threshold the session was opened with.
+    pub threshold: u64,
 }
 
 /// The result of a completed [`Job`].

@@ -17,6 +17,16 @@
 //!   pre-assembled [`BatchRequest`](memcim_mvp::BatchRequest)s, plus
 //!   streaming AP chunks against sessions opened with
 //!   [`Service::open_session`].
+//! * **Streaming correlation sessions** — the temporal-correlation
+//!   workload (`memcim_mvp::correlation`, after arXiv:1706.00511) runs
+//!   as a long-lived job: [`Service::open_corr_session`] →
+//!   [`Service::corr_feed`] event-batch windows (executed on the
+//!   engines, sharded when placement is configured, applied only when
+//!   every shard succeeded) → [`Service::corr_finish`] for the
+//!   correlated-set report, billed incrementally through a session
+//!   watermark. AP and correlation sessions share one table; a verb
+//!   against the wrong kind is refused typed
+//!   ([`ServeError::WrongSessionKind`]).
 //! * **Coalescing** — single-program MVP jobs of one tenant that land in
 //!   the same scheduling burst execute as one `BatchRequest` (one ledger
 //!   delta, accounted once); see [`BurstReport`].
@@ -130,8 +140,8 @@ mod sync;
 
 pub use error::ServeError;
 pub use job::{
-    ApMatches, BurstReport, Job, JobOutput, MvpOutput, SessionId, ShardPartial, ShardedOutput,
-    ShardedTicket, TenantId, Ticket,
+    ApMatches, BurstReport, CorrFeedReport, CorrOutcome, Job, JobOutput, MvpOutput, SessionId,
+    ShardPartial, ShardedOutput, ShardedTicket, TenantId, Ticket,
 };
 pub use placement::{Catalog, PlacementConfig};
 pub use queue::{BoundedQueue, PushRefused};

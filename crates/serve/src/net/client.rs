@@ -17,6 +17,7 @@ use super::wire::{
 use crate::{ApMatches, SessionId, TenantId};
 use core::fmt;
 use memcim_ap::ApReport;
+use memcim_bits::BitVec;
 use memcim_mvp::Instruction;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -311,7 +312,7 @@ impl NetClient {
         }
     }
 
-    /// Drops a session.
+    /// Drops a session — any streaming workload kind.
     ///
     /// # Errors
     ///
@@ -319,6 +320,53 @@ impl NetClient {
     pub fn ap_close(&mut self, session: SessionId) -> Result<(), ClientError> {
         match self.request(&Request::ApClose { session })? {
             Response::ApClosed => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Opens a streaming temporal-correlation session over `streams`
+    /// event streams, thresholding at `threshold`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] carrying the admission refusal or the
+    /// geometry rejection ([`ErrorCode::Engine`]).
+    pub fn corr_open(&mut self, streams: usize, threshold: u64) -> Result<SessionId, ClientError> {
+        match self.request(&Request::CorrOpen { streams, threshold })? {
+            Response::CorrOpened { session } => Ok(session),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Streams one time window (one activity bit vector per stream)
+    /// through a correlation session; the report is cumulative for the
+    /// stream so far.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with [`ErrorCode::UnknownSession`] /
+    /// [`ErrorCode::WrongSessionKind`] for session mishaps, or the
+    /// engine failure.
+    pub fn corr_feed(
+        &mut self,
+        session: SessionId,
+        window: &[BitVec],
+    ) -> Result<crate::CorrFeedReport, ClientError> {
+        match self.request(&Request::CorrFeed { session, window: window.to_vec() })? {
+            Response::CorrFed(report) => Ok(report),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Ends the correlation session's stream and collects the
+    /// correlated set; the session resets and stays open.
+    ///
+    /// # Errors
+    ///
+    /// As [`NetClient::corr_feed`].
+    pub fn corr_finish(&mut self, session: SessionId) -> Result<crate::CorrOutcome, ClientError> {
+        match self.request(&Request::CorrFinish { session })? {
+            Response::CorrReport(outcome) => Ok(outcome),
             other => Err(unexpected(&other)),
         }
     }
@@ -425,6 +473,9 @@ fn unexpected(response: &Response) -> ClientError {
         Response::ApClosed => "ApClosed",
         Response::Usage(_) => "Usage",
         Response::Stats(_) => "Stats",
+        Response::CorrOpened { .. } => "CorrOpened",
+        Response::CorrFed(_) => "CorrFed",
+        Response::CorrReport(_) => "CorrReport",
         Response::Error { .. } => "Error",
     };
     ClientError::Unexpected { got }

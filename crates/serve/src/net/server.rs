@@ -443,10 +443,45 @@ fn dispatch(
             }
         }
         // Closing a session frees resources: never admission-charged.
+        // Kind-agnostic: it drops correlation sessions too.
         Request::ApClose { session } => match service.close_session(tenant, session) {
             Ok(()) => Response::ApClosed,
             Err(e) => error_frame(&e),
         },
+        Request::CorrOpen { streams, threshold } => {
+            // Opening allocates server-side session state; it is
+            // admission-charged like a job, and a refusal charges
+            // neither quota nor rate tokens (the gate only debits on
+            // success) — nothing is opened.
+            if let Err(e) = admission.admit(tenant, 1, Instant::now()) {
+                return error_frame(&e);
+            }
+            match service.open_corr_session(tenant, streams, threshold) {
+                Ok(session) => Response::CorrOpened { session },
+                Err(e) => error_frame(&e),
+            }
+        }
+        Request::CorrFeed { session, window } => {
+            if let Err(e) = admission.admit(tenant, 1, Instant::now()) {
+                return error_frame(&e);
+            }
+            // Unlike `Submit`, a feed of an open streaming session may
+            // briefly block on queue backpressure (as AP feeds do on a
+            // saturated pool); only this connection's handler waits.
+            match service.corr_feed(tenant, session, &window) {
+                Ok(report) => Response::CorrFed(report),
+                Err(e) => error_frame(&e),
+            }
+        }
+        Request::CorrFinish { session } => {
+            if let Err(e) = admission.admit(tenant, 1, Instant::now()) {
+                return error_frame(&e);
+            }
+            match service.corr_finish(tenant, session) {
+                Ok(outcome) => Response::CorrReport(outcome),
+                Err(e) => error_frame(&e),
+            }
+        }
         Request::Usage => {
             let usage = service.tenant_usage(tenant).unwrap_or_default();
             let budget = admission.budget(tenant, Instant::now());
@@ -462,6 +497,8 @@ fn dispatch(
                 ap_symbols: usage.ap_symbols,
                 ap_energy: usage.ap_energy,
                 ap_busy: usage.ap_busy,
+                corr_jobs: usage.corr_jobs,
+                corr_events: usage.corr_events,
                 quota_remaining: budget.and_then(|b| b.quota_remaining),
                 rate: budget.and_then(|b| b.rate.map(|(tokens, burst)| WireRate { tokens, burst })),
             })

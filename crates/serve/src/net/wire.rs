@@ -35,8 +35,15 @@
 //! | `0x06` | → | [`Request::ApClose`] — drop the session |
 //! | `0x07` | → | [`Request::Usage`] — the tenant's accumulated bill |
 //! | `0x08` | → | [`Request::Stats`] — service-wide health and load |
-//! | `0x81`–`0x88` | ← | the matching success responses |
+//! | `0x09` | → | [`Request::CorrOpen`] — open a correlation session |
+//! | `0x0A` | → | [`Request::CorrFeed`] — stream one event window |
+//! | `0x0B` | → | [`Request::CorrFinish`] — collect the correlated set |
+//! | `0x81`–`0x8B` | ← | the matching success responses |
 //! | `0xEE` | ← | [`Response::Error`] with an [`ErrorCode`] |
+//!
+//! Correlation sessions are closed with the kind-agnostic `ApClose`
+//! verb (`0x06`): the session table does not care which workload's
+//! state it drops.
 //!
 //! Each connection is a synchronous request/response stream: the server
 //! answers every request frame with exactly one response frame, in
@@ -71,6 +78,9 @@ const OP_AP_FINISH: u8 = 0x05;
 const OP_AP_CLOSE: u8 = 0x06;
 const OP_USAGE: u8 = 0x07;
 const OP_STATS: u8 = 0x08;
+const OP_CORR_OPEN: u8 = 0x09;
+const OP_CORR_FEED: u8 = 0x0A;
+const OP_CORR_FINISH: u8 = 0x0B;
 
 const OP_HELLO_OK: u8 = 0x81;
 const OP_MVP_RESULT: u8 = 0x82;
@@ -80,6 +90,9 @@ const OP_AP_MATCHES: u8 = 0x85;
 const OP_AP_CLOSED: u8 = 0x86;
 const OP_USAGE_REPORT: u8 = 0x87;
 const OP_STATS_REPORT: u8 = 0x88;
+const OP_CORR_OPENED: u8 = 0x89;
+const OP_CORR_FEED_OK: u8 = 0x8A;
+const OP_CORR_REPORT: u8 = 0x8B;
 const OP_ERROR: u8 = 0xEE;
 
 // --- Error taxonomy ---------------------------------------------------
@@ -114,6 +127,9 @@ pub enum ErrorCode {
     UnknownSession,
     /// The session is busy on another in-flight job.
     SessionBusy,
+    /// The session exists but holds a different streaming workload's
+    /// state (e.g. an `ApFeed` aimed at a correlation session).
+    WrongSessionKind,
     /// Pattern compilation failed in `ApOpen`.
     Compile,
     /// The job reached an engine and failed there.
@@ -153,6 +169,7 @@ impl ErrorCode {
             ErrorCode::NoHealthyEngine => 35,
             ErrorCode::ShardUnavailable => 36,
             ErrorCode::InvalidProgram => 37,
+            ErrorCode::WrongSessionKind => 38,
             ErrorCode::Internal => 99,
         }
     }
@@ -178,6 +195,7 @@ impl ErrorCode {
             35 => ErrorCode::NoHealthyEngine,
             36 => ErrorCode::ShardUnavailable,
             37 => ErrorCode::InvalidProgram,
+            38 => ErrorCode::WrongSessionKind,
             _ => ErrorCode::Internal,
         }
     }
@@ -189,6 +207,7 @@ impl ErrorCode {
             ServeError::ShuttingDown => ErrorCode::ShuttingDown,
             ServeError::UnknownSession { .. } => ErrorCode::UnknownSession,
             ServeError::SessionBusy { .. } => ErrorCode::SessionBusy,
+            ServeError::WrongSessionKind { .. } => ErrorCode::WrongSessionKind,
             ServeError::Compile { .. } => ErrorCode::Compile,
             ServeError::Mvp(_) | ServeError::Ap(_) => ErrorCode::Engine,
             ServeError::NoHealthyEngine => ErrorCode::NoHealthyEngine,
@@ -563,7 +582,7 @@ pub enum Request {
         /// The session to finish.
         session: SessionId,
     },
-    /// Drops a session.
+    /// Drops a session — any streaming workload kind, not only AP.
     ApClose {
         /// The session to close.
         session: SessionId,
@@ -572,6 +591,28 @@ pub enum Request {
     Usage,
     /// Requests service-wide health and load counters.
     Stats,
+    /// Opens a streaming temporal-correlation session.
+    CorrOpen {
+        /// Event streams the session tracks.
+        streams: usize,
+        /// Co-activation score above which a stream is reported
+        /// correlated.
+        threshold: u64,
+    },
+    /// Streams one time window — one activity bit vector per stream,
+    /// all the same width — through an open correlation session.
+    CorrFeed {
+        /// The session to feed.
+        session: SessionId,
+        /// Per-stream activity over the window's steps.
+        window: Vec<BitVec>,
+    },
+    /// Ends a correlation session's stream and collects the correlated
+    /// set; the session resets and stays open for the next stream.
+    CorrFinish {
+        /// The session to finish.
+        session: SessionId,
+    },
 }
 
 impl Request {
@@ -626,6 +667,26 @@ impl Request {
             }
             Request::Usage => Writer::new(OP_USAGE).buf,
             Request::Stats => Writer::new(OP_STATS).buf,
+            Request::CorrOpen { streams, threshold } => {
+                let mut w = Writer::new(OP_CORR_OPEN);
+                w.u32_of("stream count", *streams)?;
+                w.u64(*threshold);
+                w.buf
+            }
+            Request::CorrFeed { session, window } => {
+                let mut w = Writer::new(OP_CORR_FEED);
+                w.u64(*session);
+                w.u32_of("window stream count", window.len())?;
+                for stream in window {
+                    w.bitvec("window stream", stream)?;
+                }
+                w.buf
+            }
+            Request::CorrFinish { session } => {
+                let mut w = Writer::new(OP_CORR_FINISH);
+                w.u64(*session);
+                w.buf
+            }
         };
         Ok(body)
     }
@@ -670,6 +731,14 @@ impl Request {
             OP_AP_CLOSE => Request::ApClose { session: r.u64()? },
             OP_USAGE => Request::Usage,
             OP_STATS => Request::Stats,
+            OP_CORR_OPEN => Request::CorrOpen { streams: r.u32()? as usize, threshold: r.u64()? },
+            OP_CORR_FEED => {
+                let session = r.u64()?;
+                let n = r.count(4)?;
+                let window = (0..n).map(|_| r.bitvec()).collect::<Result<Vec<_>, _>>()?;
+                Request::CorrFeed { session, window }
+            }
+            OP_CORR_FINISH => Request::CorrFinish { session: r.u64()? },
             other => return Err(FrameError::UnknownOpcode(other)),
         };
         r.finish()?;
@@ -726,6 +795,11 @@ pub struct WireUsage {
     pub ap_energy: Joules,
     /// AP pipeline latency billed.
     pub ap_busy: Seconds,
+    /// Correlation jobs (feeds and finishes) completed.
+    pub corr_jobs: u64,
+    /// Event stream-slots billed through correlation session
+    /// watermarks (the engine work itself lands on the MVP ledger).
+    pub corr_events: u64,
     /// Jobs the tenant may still admit before its configured quota
     /// refuses with [`ErrorCode::QuotaExceeded`]; `None` when the
     /// tenant is not quota-limited.
@@ -810,6 +884,17 @@ pub enum Response {
     Usage(WireUsage),
     /// Service-wide health and load.
     Stats(WireStats),
+    /// A `CorrOpen` registered; the session is ready to feed.
+    CorrOpened {
+        /// The new session's id.
+        session: SessionId,
+    },
+    /// A `CorrFeed` ran; the report is cumulative for the stream so
+    /// far.
+    CorrFed(crate::CorrFeedReport),
+    /// A `CorrFinish` ran: the thresholded correlated set with its
+    /// evidence.
+    CorrReport(crate::CorrOutcome),
     /// The request failed; `code` is machine-readable, `message` is for
     /// the operator's log.
     Error {
@@ -880,6 +965,8 @@ impl Response {
                 w.u64(usage.ap_symbols);
                 w.f64(usage.ap_energy.as_joules());
                 w.f64(usage.ap_busy.as_seconds());
+                w.u64(usage.corr_jobs);
+                w.u64(usage.corr_events);
                 // `u64::MAX` is the no-quota sentinel: a real limit of
                 // u64::MAX admits jobs faster than anyone can count.
                 w.u64(usage.quota_remaining.unwrap_or(u64::MAX));
@@ -911,6 +998,29 @@ impl Response {
                     w.f64(row.energy.as_joules());
                     w.f64(row.busy.as_seconds());
                 }
+                w.buf
+            }
+            Response::CorrOpened { session } => {
+                let mut w = Writer::new(OP_CORR_OPENED);
+                w.u64(*session);
+                w.buf
+            }
+            Response::CorrFed(report) => {
+                let mut w = Writer::new(OP_CORR_FEED_OK);
+                w.u64(report.events);
+                w.f64(report.energy.as_joules());
+                w.f64(report.busy.as_seconds());
+                w.buf
+            }
+            Response::CorrReport(outcome) => {
+                let mut w = Writer::new(OP_CORR_REPORT);
+                w.bitvec("correlated set", &outcome.correlated)?;
+                w.u32_of("score count", outcome.scores.len())?;
+                for &score in &outcome.scores {
+                    w.u64(score);
+                }
+                w.u64(outcome.events);
+                w.u64(outcome.threshold);
                 w.buf
             }
             Response::Error { code, message } => {
@@ -979,6 +1089,8 @@ impl Response {
                     ap_symbols: r.u64()?,
                     ap_energy: Joules::new(r.f64()?),
                     ap_busy: Seconds::new(r.f64()?),
+                    corr_jobs: r.u64()?,
+                    corr_events: r.u64()?,
                     quota_remaining: None,
                     rate: None,
                 };
@@ -1026,6 +1138,20 @@ impl Response {
                     unavailable_shards,
                     tenants,
                 })
+            }
+            OP_CORR_OPENED => Response::CorrOpened { session: r.u64()? },
+            OP_CORR_FEED_OK => Response::CorrFed(crate::CorrFeedReport {
+                events: r.u64()?,
+                energy: Joules::new(r.f64()?),
+                busy: Seconds::new(r.f64()?),
+            }),
+            OP_CORR_REPORT => {
+                let correlated = r.bitvec()?;
+                let n = r.count(8)?;
+                let scores = (0..n).map(|_| r.u64()).collect::<Result<Vec<_>, _>>()?;
+                let events = r.u64()?;
+                let threshold = r.u64()?;
+                Response::CorrReport(crate::CorrOutcome { correlated, scores, events, threshold })
             }
             OP_ERROR => {
                 Response::Error { code: ErrorCode::from_u16(r.u16()?), message: r.string()? }
@@ -1171,6 +1297,12 @@ mod tests {
         roundtrip_request(Request::ApClose { session: 9 });
         roundtrip_request(Request::Usage);
         roundtrip_request(Request::Stats);
+        roundtrip_request(Request::CorrOpen { streams: 24, threshold: 1556 });
+        roundtrip_request(Request::CorrFeed {
+            session: 4,
+            window: vec![BitVec::from_indices(130, &[0, 64, 129]), BitVec::new(130)],
+        });
+        roundtrip_request(Request::CorrFinish { session: 4 });
     }
 
     #[test]
@@ -1212,6 +1344,8 @@ mod tests {
             ap_symbols: 9,
             ap_energy: Joules::from_femtojoules(10.0),
             ap_busy: Seconds::from_nanoseconds(11.0),
+            corr_jobs: 12,
+            corr_events: 3072,
             quota_remaining: Some(12),
             rate: Some(WireRate { tokens: 2.5, burst: 8 }),
         }));
@@ -1227,6 +1361,8 @@ mod tests {
             ap_symbols: 0,
             ap_energy: Joules::from_femtojoules(0.0),
             ap_busy: Seconds::from_nanoseconds(0.0),
+            corr_jobs: 0,
+            corr_events: 0,
             quota_remaining: None,
             rate: None,
         }));
@@ -1246,6 +1382,18 @@ mod tests {
                 energy: Joules::from_femtojoules(1.0),
                 busy: Seconds::from_nanoseconds(2.0),
             }],
+        }));
+        roundtrip_response(Response::CorrOpened { session: 11 });
+        roundtrip_response(Response::CorrFed(crate::CorrFeedReport {
+            events: 3072,
+            energy: Joules::from_femtojoules(8.5),
+            busy: Seconds::from_nanoseconds(3.25),
+        }));
+        roundtrip_response(Response::CorrReport(crate::CorrOutcome {
+            correlated: BitVec::from_indices(24, &[2, 7, 11]),
+            scores: vec![700, 701, 1654, 699],
+            events: 18432,
+            threshold: 1556,
         }));
         roundtrip_response(Response::Error {
             code: ErrorCode::RateLimited,
@@ -1333,6 +1481,7 @@ mod tests {
             ErrorCode::NoHealthyEngine,
             ErrorCode::ShardUnavailable,
             ErrorCode::InvalidProgram,
+            ErrorCode::WrongSessionKind,
             ErrorCode::Internal,
         ] {
             assert_eq!(ErrorCode::from_u16(code.as_u16()), code);

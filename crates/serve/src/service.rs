@@ -6,14 +6,16 @@ use crate::job::{ticket_pair, Responder, ShardedTicket};
 use crate::placement::{Catalog, PlacementConfig};
 use crate::queue::PushRefused;
 use crate::router::WorkRouter;
-use crate::session::{ApSession, SessionTable};
+use crate::session::{ApSession, CorrSession, SessionTable, StreamSession};
 use crate::sync;
 use crate::{
-    ApMatches, BurstReport, Job, JobOutput, MvpOutput, ServeError, SessionId, TenantId, Ticket,
+    ApMatches, BurstReport, CorrFeedReport, CorrOutcome, Job, JobOutput, MvpOutput, ServeError,
+    SessionId, TenantId, Ticket,
 };
 use memcim_ap::{ApBackend, ApReport};
+use memcim_bits::BitVec;
 use memcim_crossbar::{BankedCrossbar, CrossbarBackend, EccCrossbar, HammingCode, OpLedger};
-use memcim_mvp::{BatchRequest, Instruction, MvpError, MvpSimulator};
+use memcim_mvp::{correlation, BatchRequest, Instruction, MvpError, MvpSimulator, ShardMap};
 use memcim_units::{Joules, Seconds};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -311,12 +313,19 @@ pub struct TenantUsage {
     pub ap_busy: Seconds,
     /// AP jobs (feeds and finishes) completed.
     pub ap_jobs: u64,
+    /// Stream-slots (streams × window steps) absorbed by the tenant's
+    /// correlation sessions, billed through the session watermark so
+    /// each event is billed exactly once. The engine work of the feeds
+    /// is billed on the MVP ledger above.
+    pub corr_events: u64,
+    /// Correlation jobs (feeds and finishes) completed.
+    pub corr_jobs: u64,
 }
 
 impl TenantUsage {
-    /// Jobs completed across both engine kinds.
+    /// Jobs completed across every engine kind.
     pub fn jobs(&self) -> u64 {
-        self.mvp_jobs + self.ap_jobs
+        self.mvp_jobs + self.ap_jobs + self.corr_jobs
     }
 
     /// Total dynamic energy billed to the tenant.
@@ -367,6 +376,13 @@ impl Shared {
         usage.ap_energy += energy;
         usage.ap_busy += busy;
         usage.ap_jobs += 1;
+    }
+
+    fn account_corr(&self, tenant: TenantId, events: u64) {
+        let mut map = sync::lock(&self.tenants);
+        let usage = map.entry(tenant).or_default();
+        usage.corr_events += events;
+        usage.corr_jobs += 1;
     }
 }
 
@@ -619,6 +635,20 @@ impl Service {
             }
             self.shared.config.verify_program(program)?;
         }
+        Ok(self.scatter_routed(tenant, subqueries, catalog))
+    }
+
+    /// Fans validated shard-local programs out to one live replica per
+    /// shard — the enqueue half of a scatter, shared by external
+    /// scatters ([`submit_sharded`](Self::submit_sharded)) and the
+    /// internal feeds of streaming correlation sessions (which must
+    /// keep passing while the service drains).
+    fn scatter_routed(
+        &self,
+        tenant: TenantId,
+        subqueries: Vec<(usize, Vec<Instruction>)>,
+        catalog: &Catalog,
+    ) -> ShardedTicket {
         let mut parts = Vec::with_capacity(subqueries.len());
         for (shard, program) in subqueries {
             let (ticket, responder) = ticket_pair();
@@ -640,7 +670,24 @@ impl Service {
                 }
             }
         }
-        Ok(ShardedTicket::new(parts))
+        ShardedTicket::new(parts)
+    }
+
+    /// Enqueues one engine sub-program of an open streaming session on
+    /// the shared (unrouted) lane, bypassing the drain gate: feeds of
+    /// open sessions keep passing while the service drains, exactly
+    /// like AP feed jobs.
+    fn push_streaming_program(
+        &self,
+        tenant: TenantId,
+        program: Vec<Instruction>,
+    ) -> Result<Ticket, ServeError> {
+        let (ticket, responder) = ticket_pair();
+        self.shared
+            .queue
+            .push(Envelope { tenant, job: Job::MvpProgram(program), route: None, responder })
+            .map_err(|_| ServeError::ShuttingDown)?;
+        Ok(ticket)
     }
 
     /// Enters drain mode: new MVP submissions, sharded scatters and
@@ -676,7 +723,7 @@ impl Service {
         if self.is_draining() {
             return Err(ServeError::ShuttingDown);
         }
-        self.shared.sessions.open(tenant, patterns, &self.shared.config.ap_backend)
+        self.shared.sessions.open_ap(tenant, patterns, &self.shared.config.ap_backend)
     }
 
     /// Drops one of `tenant`'s sessions. An in-flight job on it still
@@ -691,7 +738,188 @@ impl Service {
         self.shared.sessions.close(session, tenant)
     }
 
-    /// Open AP sessions.
+    /// Opens a streaming temporal-correlation session for `tenant` over
+    /// `streams` event streams, detecting co-activation scores above
+    /// `threshold`. Feed it windows with [`corr_feed`](Self::corr_feed)
+    /// and collect the correlated set with
+    /// [`corr_finish`](Self::corr_finish); close it like any session
+    /// with [`close_session`](Self::close_session).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Mvp`] (`BadInput`) when the stream count is below
+    /// the workload minimum, needs more crossbar rows than the worker
+    /// engines have, or (on a sharded service) is smaller than the
+    /// shard count; [`ServeError::ShuttingDown`] while
+    /// [draining](Self::begin_drain).
+    pub fn open_corr_session(
+        &self,
+        tenant: TenantId,
+        streams: usize,
+        threshold: u64,
+    ) -> Result<SessionId, ServeError> {
+        if self.is_draining() {
+            return Err(ServeError::ShuttingDown);
+        }
+        // Geometry gates beyond the accumulator's own validation (which
+        // runs in `open_corr` and owns the below-minimum diagnostic).
+        if streams >= correlation::MIN_STREAMS {
+            let rows = correlation::rows_needed(streams);
+            if rows > self.shared.config.mvp_rows {
+                return Err(ServeError::Mvp(MvpError::BadInput {
+                    reason: format!(
+                        "{streams} streams need {rows} crossbar rows, engines have {}",
+                        self.shared.config.mvp_rows
+                    ),
+                }));
+            }
+            if let Some(catalog) = &self.shared.catalog {
+                if streams < catalog.shards() {
+                    return Err(ServeError::Mvp(MvpError::BadInput {
+                        reason: format!(
+                            "{streams} streams cannot be partitioned over {} shards",
+                            catalog.shards()
+                        ),
+                    }));
+                }
+            }
+        }
+        self.shared.sessions.open_corr(tenant, streams, threshold)
+    }
+
+    /// Streams one time window (one [`BitVec`] of activity per stream,
+    /// all the same width) through an open correlation session. The
+    /// feed plans the window into crossbar programs — one per shard on
+    /// a sharded service, scattered through the placement catalog with
+    /// the usual kill-a-replica failover — waits for every engine
+    /// answer, folds the co-activation reads into the session's scores,
+    /// and bills the absorbed stream-slots through the session's
+    /// watermark (the engine work is billed on the tenant's MVP
+    /// ledger by the workers that executed it). Returns the session's
+    /// *cumulative* report. Windows of one session must be serialized
+    /// by the client: a concurrent feed sees
+    /// [`ServeError::SessionBusy`].
+    ///
+    /// Like AP feeds, correlation feeds keep passing while the service
+    /// [drains](Self::begin_drain), so open sessions can finish.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSession`] / [`ServeError::SessionBusy`] /
+    /// [`ServeError::WrongSessionKind`] for session mishaps,
+    /// [`ServeError::Mvp`] (`BadInput`) for a malformed window,
+    /// [`ServeError::InvalidProgram`] when static verification refuses
+    /// a generated plan, [`ServeError::ShardUnavailable`] when a
+    /// shard's whole replica set is dead, and
+    /// [`ServeError::ShuttingDown`] when the service closes mid-feed.
+    /// On any error the window leaves no trace: scores are only applied
+    /// once every engine answer arrived, so the client may retry the
+    /// same window.
+    pub fn corr_feed(
+        &self,
+        tenant: TenantId,
+        session: SessionId,
+        window: &[BitVec],
+    ) -> Result<CorrFeedReport, ServeError> {
+        let mut state = self.shared.sessions.checkout_corr(session, tenant)?;
+        let fed = self.feed_checked_out(tenant, &mut state, window);
+        let report = CorrFeedReport {
+            events: state.accumulator.events(),
+            energy: state.energy,
+            busy: state.busy,
+        };
+        self.shared.sessions.put_back(session, StreamSession::Corr(state));
+        fed.map(|()| report)
+    }
+
+    /// The engine round-trip of one correlation feed, with the session
+    /// checked out. Scores are mutated only after *every* engine answer
+    /// arrived, so an error leaves the accumulator untouched.
+    fn feed_checked_out(
+        &self,
+        tenant: TenantId,
+        state: &mut CorrSession,
+        window: &[BitVec],
+    ) -> Result<(), ServeError> {
+        let config = &self.shared.config;
+        let width = config.mvp_width();
+        let streams = state.accumulator.streams();
+        let (ledger, slices) = match &self.shared.catalog {
+            None => {
+                let plan = state.accumulator.feed_plan(window, width)?;
+                config.verify_program(&plan)?;
+                let output =
+                    self.push_streaming_program(tenant, plan)?.wait()?.into_mvp().ok_or_else(
+                        || ServeError::Internal {
+                            message: "a correlation feed resolved to a non-MVP output".into(),
+                        },
+                    )?;
+                let outputs = output.outputs.into_iter().next().unwrap_or_default();
+                (output.burst.ledger, vec![(0..streams, outputs)])
+            }
+            Some(catalog) => {
+                let map = ShardMap::new(streams, catalog.shards())?;
+                let mut subqueries = Vec::with_capacity(map.shards());
+                for shard in 0..map.shards() {
+                    let plan =
+                        state.accumulator.shard_feed_plan(window, map.range(shard), width)?;
+                    config.verify_program(&plan)?;
+                    subqueries.push((shard, plan));
+                }
+                let gathered = self.scatter_routed(tenant, subqueries, catalog).wait()?;
+                let slices = gathered
+                    .partials
+                    .into_iter()
+                    .map(|partial| (map.range(partial.shard), partial.outputs))
+                    .collect();
+                (gathered.ledger, slices)
+            }
+        };
+        for (range, outputs) in slices {
+            state.accumulator.apply_reads(range, &outputs)?;
+        }
+        state.energy += ledger.energy();
+        state.busy += ledger.busy_time();
+        state.accumulator.note_window(window.first().map_or(0, memcim_bits::BitVec::len));
+        let events = state.take_unaccounted_events();
+        self.shared.account_corr(tenant, events);
+        Ok(())
+    }
+
+    /// Ends a correlation session's current stream: thresholds the
+    /// accumulated scores into the correlated set and resets the
+    /// session (scores, event counter, billing watermark and cost
+    /// tallies) for the next stream — the session stays open, mirroring
+    /// [`Job::ApFinish`]. The finish itself is billed as one
+    /// correlation job; its events were already billed feed by feed.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownSession`] / [`ServeError::SessionBusy`] /
+    /// [`ServeError::WrongSessionKind`], as for
+    /// [`corr_feed`](Self::corr_feed).
+    pub fn corr_finish(
+        &self,
+        tenant: TenantId,
+        session: SessionId,
+    ) -> Result<CorrOutcome, ServeError> {
+        let mut state = self.shared.sessions.checkout_corr(session, tenant)?;
+        let outcome = CorrOutcome {
+            correlated: state.accumulator.detect(state.threshold),
+            scores: state.accumulator.scores().to_vec(),
+            events: state.accumulator.events(),
+            threshold: state.threshold,
+        };
+        state.accumulator.reset();
+        state.reset_accounting();
+        state.energy = Joules::ZERO;
+        state.busy = Seconds::ZERO;
+        self.shared.account_corr(tenant, 0);
+        self.shared.sessions.put_back(session, StreamSession::Corr(state));
+        Ok(outcome)
+    }
+
+    /// Open streaming sessions, of any workload kind.
     pub fn session_count(&self) -> usize {
         self.shared.sessions.len()
     }
@@ -920,19 +1148,19 @@ fn execute_unit(unit: Unit, engine: &mut Option<Engine>, shared: &Shared, worker
             run_solo(tenant, batch, jobs, responder, engine, shared, worker);
         }
         Unit::ApFeed { tenant, session, chunk, responder } => {
-            match shared.sessions.checkout(session, tenant) {
+            match shared.sessions.checkout_ap(session, tenant) {
                 Ok(mut state) => {
                     let cumulative = state.processor.feed(&chunk);
                     let (symbols, energy, busy) = state.take_unaccounted(cumulative);
                     shared.account_ap(tenant, symbols, energy, busy);
-                    shared.sessions.put_back(session, state);
+                    shared.sessions.put_back(session, StreamSession::Ap(state));
                     responder.fulfil(Ok(JobOutput::ApFeed(cumulative)));
                 }
                 Err(e) => responder.fulfil(Err(e)),
             }
         }
         Unit::ApFinish { tenant, session, responder } => {
-            match shared.sessions.checkout(session, tenant) {
+            match shared.sessions.checkout_ap(session, tenant) {
                 Ok(mut state) => {
                     let run = state.processor.finish();
                     let (symbols, energy, busy) = state.take_unaccounted(run.report);
@@ -943,7 +1171,7 @@ fn execute_unit(unit: Unit, engine: &mut Option<Engine>, shared: &Shared, worker
                         .iter()
                         .filter_map(|&(pos, s)| state.owner_of_state.get(&s).map(|&p| (pos, p)))
                         .collect();
-                    shared.sessions.put_back(session, state);
+                    shared.sessions.put_back(session, StreamSession::Ap(state));
                     responder.fulfil(Ok(JobOutput::ApFinish(ApMatches {
                         accepted: run.accepted,
                         matches,

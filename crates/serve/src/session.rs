@@ -1,20 +1,25 @@
-//! The AP streaming session table.
+//! The streaming session table, shared by every long-lived workload.
 //!
-//! A session is a compiled [`AutomataProcessor`] plus the state→pattern
-//! ownership map, held per tenant. Workers *check a session out* of the
-//! table to run a feed/finish job against it, then put it back; the
+//! A session is per-tenant server-side streaming state: a compiled
+//! [`AutomataProcessor`] plus its state→pattern ownership map for AP
+//! regex sessions, or a [`CorrelationAccumulator`] plus detection
+//! threshold for correlation sessions. Workers *check a session out* of
+//! the table to run a feed/finish job against it, then put it back; the
 //! checkout marker keeps two workers from racing on one session's
-//! stream state without serializing unrelated sessions.
+//! stream state without serializing unrelated sessions. Checkout,
+//! tenant isolation and close semantics are workload-agnostic — only
+//! the state inside the [`StreamSession`] differs.
 
 use crate::{sync, ServeError, SessionId, TenantId};
 use memcim_ap::{ApBackend, ApError, AutomataProcessor, RoutingKind};
 use memcim_automata::{PatternSet, StartKind};
+use memcim_mvp::correlation::CorrelationAccumulator;
 use std::collections::HashMap;
 use std::sync::Mutex;
 
-/// A checked-out session: the processor, its event-attribution map and
-/// the accounting watermark (feed reports are cumulative; the watermark
-/// marks how much has already been billed to the tenant).
+/// A checked-out AP session: the processor, its event-attribution map
+/// and the accounting watermark (feed reports are cumulative; the
+/// watermark marks how much has already been billed to the tenant).
 #[derive(Debug)]
 pub(crate) struct ApSession {
     pub(crate) tenant: TenantId,
@@ -25,9 +30,61 @@ pub(crate) struct ApSession {
     pub(crate) accounted_latency: memcim_units::Seconds,
 }
 
+/// A checked-out correlation session: the streaming detector state and
+/// its billing watermark. The engine work of each feed is billed on the
+/// MVP ledger path by the workers that execute it; the watermark bills
+/// the *stream events* the session has absorbed, mirroring the AP
+/// symbol watermark.
+#[derive(Debug)]
+pub(crate) struct CorrSession {
+    pub(crate) tenant: TenantId,
+    pub(crate) accumulator: CorrelationAccumulator,
+    pub(crate) threshold: u64,
+    /// Cumulative engine cost of the session's feeds, for the
+    /// cumulative feed reports.
+    pub(crate) energy: memcim_units::Joules,
+    pub(crate) busy: memcim_units::Seconds,
+    accounted_events: u64,
+}
+
+impl CorrSession {
+    /// Advances the billing watermark to the accumulator's cumulative
+    /// event count and returns the not-yet-billed delta.
+    pub(crate) fn take_unaccounted_events(&mut self) -> u64 {
+        let cumulative = self.accumulator.events();
+        let delta = cumulative.saturating_sub(self.accounted_events);
+        self.accounted_events = cumulative;
+        delta
+    }
+
+    /// Resets the watermark alongside the accumulator (finish reports
+    /// the stream and starts the next one from zero).
+    pub(crate) fn reset_accounting(&mut self) {
+        self.accounted_events = 0;
+    }
+}
+
+/// One streaming session of any workload kind.
+#[derive(Debug)]
+pub(crate) enum StreamSession {
+    /// An AP regex-scan session.
+    Ap(Box<ApSession>),
+    /// A temporal-correlation detection session.
+    Corr(Box<CorrSession>),
+}
+
+impl StreamSession {
+    fn tenant(&self) -> TenantId {
+        match self {
+            StreamSession::Ap(s) => s.tenant,
+            StreamSession::Corr(s) => s.tenant,
+        }
+    }
+}
+
 #[derive(Debug)]
 enum Entry {
-    Idle(Box<ApSession>),
+    Idle(StreamSession),
     /// Checked out by a worker; the owner is retained so tenant checks
     /// work while the state is away.
     CheckedOut(TenantId),
@@ -48,8 +105,8 @@ struct Inner {
 impl SessionTable {
     /// Compiles `patterns` onto `backend` (hierarchical routing with a
     /// dense fallback, unanchored scanning semantics) and registers the
-    /// session for `tenant`.
-    pub(crate) fn open(
+    /// AP session for `tenant`.
+    pub(crate) fn open_ap(
         &self,
         tenant: TenantId,
         patterns: &[&str],
@@ -78,21 +135,45 @@ impl SessionTable {
             }
             Err(e) => return Err(e.into()),
         };
+        Ok(self.insert(StreamSession::Ap(Box::new(ApSession {
+            tenant,
+            processor,
+            owner_of_state,
+            accounted_cycles: 0,
+            accounted_energy: memcim_units::Joules::ZERO,
+            accounted_latency: memcim_units::Seconds::ZERO,
+        }))))
+    }
+
+    /// Registers a correlation-detection session over `streams` event
+    /// streams for `tenant`, thresholding at `threshold`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Mvp`] for a stream count no accumulator accepts.
+    pub(crate) fn open_corr(
+        &self,
+        tenant: TenantId,
+        streams: usize,
+        threshold: u64,
+    ) -> Result<SessionId, ServeError> {
+        let accumulator = CorrelationAccumulator::new(streams)?;
+        Ok(self.insert(StreamSession::Corr(Box::new(CorrSession {
+            tenant,
+            accumulator,
+            threshold,
+            energy: memcim_units::Joules::ZERO,
+            busy: memcim_units::Seconds::ZERO,
+            accounted_events: 0,
+        }))))
+    }
+
+    fn insert(&self, session: StreamSession) -> SessionId {
         let mut inner = sync::lock(&self.inner);
         let id = inner.next_id;
         inner.next_id += 1;
-        inner.sessions.insert(
-            id,
-            Entry::Idle(Box::new(ApSession {
-                tenant,
-                processor,
-                owner_of_state,
-                accounted_cycles: 0,
-                accounted_energy: memcim_units::Joules::ZERO,
-                accounted_latency: memcim_units::Seconds::ZERO,
-            })),
-        );
-        Ok(id)
+        inner.sessions.insert(id, Entry::Idle(session));
+        id
     }
 
     /// Takes exclusive ownership of a session for one of `tenant`'s
@@ -106,13 +187,13 @@ impl SessionTable {
         &self,
         id: SessionId,
         tenant: TenantId,
-    ) -> Result<Box<ApSession>, ServeError> {
+    ) -> Result<StreamSession, ServeError> {
         let mut inner = sync::lock(&self.inner);
         let Some(entry) = inner.sessions.get_mut(&id) else {
             return Err(ServeError::UnknownSession { session: id });
         };
         match std::mem::replace(entry, Entry::CheckedOut(tenant)) {
-            Entry::Idle(session) if session.tenant == tenant => Ok(session),
+            Entry::Idle(session) if session.tenant() == tenant => Ok(session),
             Entry::Idle(session) => {
                 // Wrong owner: undo the takeover.
                 *entry = Entry::Idle(session);
@@ -129,24 +210,56 @@ impl SessionTable {
         }
     }
 
+    /// [`checkout`](Self::checkout), demanding an AP session. A session
+    /// of another workload kind is put straight back and reported as
+    /// [`ServeError::WrongSessionKind`].
+    pub(crate) fn checkout_ap(
+        &self,
+        id: SessionId,
+        tenant: TenantId,
+    ) -> Result<Box<ApSession>, ServeError> {
+        match self.checkout(id, tenant)? {
+            StreamSession::Ap(session) => Ok(session),
+            other => {
+                self.put_back(id, other);
+                Err(ServeError::WrongSessionKind { session: id })
+            }
+        }
+    }
+
+    /// [`checkout`](Self::checkout), demanding a correlation session.
+    pub(crate) fn checkout_corr(
+        &self,
+        id: SessionId,
+        tenant: TenantId,
+    ) -> Result<Box<CorrSession>, ServeError> {
+        match self.checkout(id, tenant)? {
+            StreamSession::Corr(session) => Ok(session),
+            other => {
+                self.put_back(id, other);
+                Err(ServeError::WrongSessionKind { session: id })
+            }
+        }
+    }
+
     /// Returns a checked-out session to the table. If the session was
     /// closed while checked out, the state is dropped.
-    pub(crate) fn put_back(&self, id: SessionId, session: Box<ApSession>) {
+    pub(crate) fn put_back(&self, id: SessionId, session: StreamSession) {
         let mut inner = sync::lock(&self.inner);
         if let Some(entry) = inner.sessions.get_mut(&id) {
             *entry = Entry::Idle(session);
         }
     }
 
-    /// Drops one of `tenant`'s sessions. A checked-out session is
-    /// removed from the table immediately; its in-flight job still
-    /// completes. Another tenant's session reports
+    /// Drops one of `tenant`'s sessions — any workload kind. A
+    /// checked-out session is removed from the table immediately; its
+    /// in-flight job still completes. Another tenant's session reports
     /// [`ServeError::UnknownSession`] and is left untouched.
     pub(crate) fn close(&self, id: SessionId, tenant: TenantId) -> Result<(), ServeError> {
         let mut inner = sync::lock(&self.inner);
         let owner = match inner.sessions.get(&id) {
             None => return Err(ServeError::UnknownSession { session: id }),
-            Some(Entry::Idle(session)) => session.tenant,
+            Some(Entry::Idle(session)) => session.tenant(),
             Some(Entry::CheckedOut(owner)) => *owner,
         };
         if owner != tenant {
@@ -169,19 +282,19 @@ mod tests {
     #[test]
     fn checkout_is_exclusive_and_put_back_releases() {
         let table = SessionTable::default();
-        let id = table.open(1, &["abc"], &ApBackend::rram()).expect("compiles");
-        let session = table.checkout(id, 1).expect("idle");
+        let id = table.open_ap(1, &["abc"], &ApBackend::rram()).expect("compiles");
+        let session = table.checkout_ap(id, 1).expect("idle");
         assert_eq!(session.tenant, 1);
         assert!(matches!(table.checkout(id, 1), Err(ServeError::SessionBusy { .. })));
-        table.put_back(id, session);
-        let again = table.checkout(id, 1).expect("released");
-        table.put_back(id, again);
+        table.put_back(id, StreamSession::Ap(session));
+        let again = table.checkout_ap(id, 1).expect("released");
+        table.put_back(id, StreamSession::Ap(again));
     }
 
     #[test]
     fn foreign_tenants_see_neither_sessions_nor_their_busy_state() {
         let table = SessionTable::default();
-        let id = table.open(1, &["abc"], &ApBackend::rram()).expect("compiles");
+        let id = table.open_ap(1, &["abc"], &ApBackend::rram()).expect("compiles");
         // Idle: a foreign tenant cannot check it out…
         assert!(matches!(table.checkout(id, 2), Err(ServeError::UnknownSession { .. })));
         // …or close it…
@@ -199,7 +312,7 @@ mod tests {
     fn unknown_and_closed_sessions_are_rejected() {
         let table = SessionTable::default();
         assert!(matches!(table.checkout(9, 1), Err(ServeError::UnknownSession { session: 9 })));
-        let id = table.open(2, &["x+"], &ApBackend::rram()).expect("compiles");
+        let id = table.open_ap(2, &["x+"], &ApBackend::rram()).expect("compiles");
         table.close(id, 2).expect("open");
         assert!(matches!(table.close(id, 2), Err(ServeError::UnknownSession { .. })));
         assert_eq!(table.len(), 0);
@@ -208,17 +321,51 @@ mod tests {
     #[test]
     fn bad_patterns_surface_as_compile_errors() {
         let table = SessionTable::default();
-        let err = table.open(3, &["a(b"], &ApBackend::rram()).expect_err("unbalanced");
+        let err = table.open_ap(3, &["a(b"], &ApBackend::rram()).expect_err("unbalanced");
         assert!(matches!(err, ServeError::Compile { .. }));
     }
 
     #[test]
     fn closing_a_checked_out_session_drops_it_on_put_back() {
         let table = SessionTable::default();
-        let id = table.open(4, &["ab"], &ApBackend::rram()).expect("compiles");
+        let id = table.open_ap(4, &["ab"], &ApBackend::rram()).expect("compiles");
         let session = table.checkout(id, 4).expect("idle");
         table.close(id, 4).expect("removes");
         table.put_back(id, session);
         assert!(matches!(table.checkout(id, 4), Err(ServeError::UnknownSession { .. })));
+    }
+
+    #[test]
+    fn session_kinds_share_the_table_but_not_their_state() {
+        let table = SessionTable::default();
+        let ap = table.open_ap(1, &["ab"], &ApBackend::rram()).expect("compiles");
+        let corr = table.open_corr(1, 8, 100).expect("well-formed");
+        assert_eq!(table.len(), 2);
+        // A kind mismatch is a typed error and puts the session back.
+        assert!(matches!(table.checkout_corr(ap, 1), Err(ServeError::WrongSessionKind { .. })));
+        assert!(matches!(table.checkout_ap(corr, 1), Err(ServeError::WrongSessionKind { .. })));
+        let session = table.checkout_corr(corr, 1).expect("still idle after the mismatch");
+        assert_eq!(session.accumulator.streams(), 8);
+        table.put_back(corr, StreamSession::Corr(session));
+        // Close is kind-agnostic.
+        table.close(ap, 1).expect("closes ap");
+        table.close(corr, 1).expect("closes corr");
+        assert_eq!(table.len(), 0);
+    }
+
+    #[test]
+    fn corr_watermark_bills_each_event_exactly_once() {
+        let table = SessionTable::default();
+        let id = table.open_corr(5, 4, 10).expect("well-formed");
+        let mut session = table.checkout_corr(id, 5).expect("idle");
+        session.accumulator.note_window(16);
+        assert_eq!(session.take_unaccounted_events(), 64);
+        assert_eq!(session.take_unaccounted_events(), 0, "watermark advanced");
+        session.accumulator.note_window(4);
+        assert_eq!(session.take_unaccounted_events(), 16);
+        session.accumulator.reset();
+        session.reset_accounting();
+        assert_eq!(session.take_unaccounted_events(), 0);
+        table.put_back(id, StreamSession::Corr(session));
     }
 }

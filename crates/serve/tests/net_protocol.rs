@@ -90,6 +90,18 @@ fn mutated_valid_frames_never_kill_the_server() {
         Request::ApFeed { session: 0, chunk: b"abbbc".to_vec() }.encode().expect("encodes"),
         Request::ApFinish { session: 0 }.encode().expect("encodes"),
         Request::ApClose { session: 9 }.encode().expect("encodes"),
+        Request::CorrOpen { streams: 3, threshold: 17 }.encode().expect("encodes"),
+        Request::CorrFeed {
+            session: 0,
+            window: vec![
+                memcim_bits::BitVec::from_indices(48, &[0, 7, 31, 47]),
+                memcim_bits::BitVec::new(48),
+                memcim_bits::BitVec::from_indices(48, &[7]),
+            ],
+        }
+        .encode()
+        .expect("encodes"),
+        Request::CorrFinish { session: 0 }.encode().expect("encodes"),
         Request::Usage.encode().expect("encodes"),
         Request::Stats.encode().expect("encodes"),
     ];
@@ -171,6 +183,64 @@ fn truncated_streams_are_dropped_quietly() {
     let mut client = NetClient::connect(server.local_addr()).expect("connects");
     client.hello(1, TOKEN).expect("server unscathed");
     assert_eq!(client.stats().expect("stats").live_engines, 2);
+    server.shutdown();
+}
+
+/// Admission refusals of correlation opens consume nothing: a
+/// quota-refused or rate-refused `CorrOpen` is a typed error frame that
+/// opens no session and leaves the tenant's remaining tokens intact —
+/// the gate only debits on success.
+#[test]
+fn refused_correlation_opens_charge_nothing() {
+    let service = Arc::new(
+        Service::try_start(ServeConfig::default().with_workers(2).with_mvp_geometry(8, 2, 32))
+            .expect("service starts"),
+    );
+    let server = NetServer::start(
+        Arc::clone(&service),
+        NetConfig::default()
+            .with_tenant(3, TenantPolicy::new("corr-quota").with_quota(2))
+            // Rate 0: the bucket never refills, so refusals are
+            // deterministic.
+            .with_tenant(4, TenantPolicy::new("corr-rate").with_rate(1, 0.0)),
+    )
+    .expect("server starts");
+    let addr = server.local_addr();
+
+    // Quota tenant: an open and a feed spend the two-job quota, the
+    // next open is refused — typed, sessionless, uncharged (3 streams
+    // fit the 8-row engines).
+    let mut quota_client = NetClient::connect(addr).expect("connects");
+    quota_client.hello(3, "corr-quota").expect("auth");
+    let first = quota_client.corr_open(3, 17).expect("1/2");
+    let report = quota_client
+        .corr_feed(first, &vec![memcim_bits::BitVec::from_indices(8, &[1]); 3])
+        .expect("2/2");
+    assert_eq!(report.events, 24, "3 streams × 8 steps");
+    let refused = quota_client.corr_open(3, 17).expect_err("3/2 over quota");
+    assert_eq!(refused.server_code(), Some(ErrorCode::QuotaExceeded));
+    assert_eq!(service.session_count(), 1, "the refusal opened nothing");
+    let usage = quota_client.usage().expect("usage");
+    assert_eq!(usage.corr_jobs, 1, "the completed feed is the only billed job");
+    assert_eq!(usage.corr_events, 24);
+    assert_eq!(usage.quota_remaining, Some(0), "the refusal debited nothing — 0, not wrapped");
+
+    // The refusal poisoned nothing: closing is admission-free and the
+    // connection keeps serving.
+    quota_client.ap_close(first).expect("closes the correlation session");
+    assert_eq!(service.session_count(), 0);
+
+    // Rate tenant: a one-token bucket that never refills — the second
+    // open is refused and the bucket stays at zero, not negative.
+    let mut rate_client = NetClient::connect(addr).expect("connects");
+    rate_client.hello(4, "corr-rate").expect("auth");
+    rate_client.corr_open(3, 17).expect("burst 1/1");
+    let limited = rate_client.corr_open(3, 17).expect_err("bucket dry");
+    assert_eq!(limited.server_code(), Some(ErrorCode::RateLimited));
+    assert_eq!(service.session_count(), 1, "no session leaked from the refusal");
+    let tokens = rate_client.usage().expect("usage").rate.expect("rate-limited").tokens;
+    assert!((0.0..1.0).contains(&tokens), "refusals never drive the bucket negative");
+
     server.shutdown();
 }
 

@@ -203,6 +203,8 @@ fn idempotent_usage_survives_a_cut_connection() {
         ap_symbols: 0,
         ap_energy: Joules::from_femtojoules(0.0),
         ap_busy: Seconds::from_nanoseconds(0.0),
+        corr_jobs: 8,
+        corr_events: 9,
         quota_remaining: Some(7),
         rate: Some(WireRate { tokens: 1.5, burst: 4 }),
     };

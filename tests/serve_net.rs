@@ -159,6 +159,109 @@ fn concurrent_clients_over_loopback_tcp() {
     Arc::try_unwrap(service).expect("server released its handle").shutdown();
 }
 
+/// Long-lived correlation streams over real loopback TCP, sized up
+/// through the replicated sharded substrate: concurrent tenants open
+/// correlation sessions, feed event windows, and recover the planted
+/// correlated set bit-identically to the software reference — while the
+/// session table keeps workload kinds apart with typed refusals and the
+/// watermark bill reconciles over the wire.
+#[test]
+fn correlation_streams_over_loopback_tcp() {
+    use memcim_mvp::correlation::{correlation_reference, CorrelationConfig, EventStreams};
+
+    const STREAMS: usize = 12; // rows_needed(12) = 12 ≤ ROWS
+    const STEPS: usize = 384;
+    const WINDOW: usize = 128; // ≤ WIDTH
+    const CORR_TENANTS: u64 = 4;
+
+    let cfg = CorrelationConfig {
+        streams: STREAMS,
+        steps: STEPS,
+        rate: 0.25,
+        strength: 0.9,
+        groups: vec![vec![1, 4, 8, 10]],
+    };
+    let threshold = cfg.threshold().expect("well-posed corpus");
+    let events = EventStreams::synthesize(&cfg, 2018).expect("synthesizes");
+    let reference = correlation_reference(events.data()).expect("well-formed corpus");
+    let mut expected = BitVec::new(STREAMS);
+    for (i, &score) in reference.iter().enumerate() {
+        expected.set(i, score > threshold);
+    }
+
+    let service = Arc::new(
+        Service::try_start(
+            ServeConfig::default()
+                .with_workers(4)
+                .with_queue_depth(32)
+                .with_max_burst(8)
+                .with_mvp_geometry(ROWS, BANKS, BANK_COLS)
+                .with_placement(4, 2),
+        )
+        .expect("service starts"),
+    );
+    let mut net = NetConfig::default();
+    for tenant in 0..CORR_TENANTS {
+        net = net.with_tenant(tenant, TenantPolicy::new(token(tenant)));
+    }
+    let server = NetServer::start(Arc::clone(&service), net).expect("server starts");
+    let addr = server.local_addr();
+
+    std::thread::scope(|scope| {
+        for tenant in 0..CORR_TENANTS {
+            let events = &events;
+            let reference = &reference;
+            let expected = &expected;
+            scope.spawn(move || {
+                let mut client = NetClient::connect(addr).expect("connects");
+                client.hello(tenant, &token(tenant)).expect("authenticates");
+                let session = client.corr_open(STREAMS, threshold).expect("opens");
+                for w in 0..STEPS / WINDOW {
+                    let window = events.window(w * WINDOW..(w + 1) * WINDOW).expect("in corpus");
+                    let report = client.corr_feed(session, &window).expect("feeds");
+                    assert_eq!(
+                        report.events,
+                        (STREAMS * (w + 1) * WINDOW) as u64,
+                        "tenant {tenant}: cumulative stream-slots"
+                    );
+                    assert!(report.energy.as_joules() > 0.0, "real joules over the wire");
+                }
+                let outcome = client.corr_finish(session).expect("finishes");
+                assert_eq!(&outcome.scores, reference, "tenant {tenant}: scores ≡ reference");
+                assert_eq!(&outcome.correlated, expected, "tenant {tenant}: planted recovered");
+                assert_eq!(outcome.threshold, threshold);
+                client.ap_close(session).expect("the kind-agnostic close drops it");
+
+                let usage = client.usage().expect("the bill over the wire");
+                assert_eq!(usage.corr_events, (STREAMS * STEPS) as u64, "tenant {tenant}");
+                assert_eq!(usage.corr_jobs, (STEPS / WINDOW) as u64 + 1, "feeds + finish");
+            });
+        }
+    });
+
+    // Workload kinds never bleed into each other: an AP verb against a
+    // correlation session (and vice versa) is a typed refusal that
+    // leaves both sessions serving.
+    let mut client = NetClient::connect(addr).expect("connects");
+    client.hello(0, &token(0)).expect("authenticates");
+    let corr = client.corr_open(STREAMS, threshold).expect("opens");
+    let ap = client.ap_open(&AP_PATTERNS).expect("patterns compile");
+    let crossed = client.ap_feed(corr, b"abbc").expect_err("AP feed into a correlation session");
+    assert_eq!(crossed.server_code(), Some(ErrorCode::WrongSessionKind));
+    let window = events.window(0..WINDOW).expect("in corpus");
+    let crossed = client.corr_feed(ap, &window).expect_err("correlation feed into an AP session");
+    assert_eq!(crossed.server_code(), Some(ErrorCode::WrongSessionKind));
+    client.ap_feed(ap, b"abbc").expect("the AP session still serves");
+    client.corr_feed(corr, &window).expect("the correlation session still serves");
+    client.ap_close(ap).expect("closes");
+    client.ap_close(corr).expect("closes");
+    assert_eq!(service.session_count(), 0, "all sessions closed");
+
+    server.shutdown();
+    drop(client);
+    Arc::try_unwrap(service).expect("server released its handle").shutdown();
+}
+
 /// Quota and rate refusals are typed error frames, charged nothing, and
 /// provably never reach the bounded queue (the bill stays flat).
 #[test]

@@ -246,6 +246,123 @@ mod chaos {
         }
     }
 
+    /// The correlation-session wave of the chaos schedule: every tenant
+    /// holds a long-lived correlation stream over the replicated
+    /// placement while replicas die mid-stream. Every surviving answer
+    /// must be bit-identical to the software reference, a failed feed
+    /// must leave the session's state and bill untouched, and
+    /// `ShardUnavailable` may only surface once a shard's *whole*
+    /// replica set is dead.
+    #[test]
+    fn seeded_replica_kills_mid_correlation_stream_stay_bit_identical() {
+        use memcim::serve::ServeError;
+        use memcim_mvp::correlation::{correlation_reference, CorrelationConfig, EventStreams};
+
+        const STREAMS: usize = 12; // rows_needed(12) = 12 ≤ ROWS
+        const STEPS: usize = 768;
+        const WINDOW: usize = 128; // ≤ WIDTH, six windows per stream
+
+        let mut rng = SmallRng::seed_from_u64(SEED ^ 0xC0FF);
+        let pair = if rng.gen_range(0..2u32) == 0 { [0usize, 2] } else { [1, 3] };
+        let windows = STEPS / WINDOW;
+        let mut kill_at: Vec<usize> = (0..KILLS).map(|_| rng.gen_range(1..windows - 1)).collect();
+        kill_at.sort_unstable();
+
+        let cfg = CorrelationConfig {
+            streams: STREAMS,
+            steps: STEPS,
+            rate: 0.25,
+            strength: 0.9,
+            groups: vec![vec![1, 4, 8, 10]],
+        };
+        let threshold = cfg.threshold().expect("well-posed corpus");
+        let events = EventStreams::synthesize(&cfg, SEED).expect("synthesizes");
+        let reference = correlation_reference(events.data()).expect("well-formed corpus");
+        let mut expected = BitVec::new(STREAMS);
+        for (i, &score) in reference.iter().enumerate() {
+            expected.set(i, score > threshold);
+        }
+
+        let switches: Arc<Vec<AtomicBool>> =
+            Arc::new((0..WORKERS).map(|_| AtomicBool::new(false)).collect());
+        let factory_switches = Arc::clone(&switches);
+        let service = Service::start(
+            ServeConfig::default()
+                .with_workers(WORKERS)
+                .with_queue_depth(64)
+                .with_max_burst(4)
+                .with_mvp_geometry(ROWS, BANKS, BANK_COLS)
+                .with_placement(SHARDS, REPLICAS)
+                .with_engine_factory(move |worker| -> BoxedBackend {
+                    Box::new(Killable {
+                        inner: BankedCrossbar::rram(ROWS, BANKS, BANK_COLS),
+                        switches: Arc::clone(&factory_switches),
+                        worker,
+                    })
+                }),
+        );
+
+        let sessions: Vec<_> = (0..TENANTS)
+            .map(|tenant| service.open_corr_session(tenant, STREAMS, threshold).expect("opens"))
+            .collect();
+        let mut killed = 0usize;
+        for w in 0..windows {
+            while killed < KILLS && kill_at[killed] == w {
+                switches[pair[killed]].store(true, Ordering::SeqCst);
+                killed += 1;
+            }
+            let window = events.window(w * WINDOW..(w + 1) * WINDOW).expect("in corpus");
+            for (tenant, &session) in sessions.iter().enumerate() {
+                let report = service
+                    .corr_feed(tenant as u64, session, &window)
+                    .expect("one replica per shard survives every kill");
+                assert_eq!(
+                    report.events,
+                    (STREAMS * (w + 1) * WINDOW) as u64,
+                    "tenant {tenant}: cumulative stream-slots"
+                );
+            }
+        }
+        assert_eq!(killed, KILLS, "the schedule fired every kill");
+        assert_eq!(service.unavailable_shards(), 0, "every shard kept a live replica");
+
+        // Tenants 1.. finish now: their answers must be bit-identical
+        // to the reference despite the mid-stream kills.
+        for (tenant, &session) in sessions.iter().enumerate().skip(1) {
+            let outcome = service.corr_finish(tenant as u64, session).expect("finishes");
+            assert_eq!(outcome.scores, reference, "tenant {tenant}: scores ≡ reference");
+            assert_eq!(outcome.correlated, expected, "tenant {tenant}: detection ≡ reference");
+        }
+
+        // Coda: kill the last live replica of shard 0. Tenant 0's next
+        // feed must fail typed with ShardUnavailable — and leave the
+        // accumulated state untouched, so the finish still answers
+        // bit-identically for everything that was fed.
+        switches[pair[0] ^ 1].store(true, Ordering::SeqCst);
+        let probe = events.window(0..WINDOW).expect("in corpus");
+        match service.corr_feed(0, sessions[0], &probe) {
+            Err(ServeError::ShardUnavailable { .. }) => {}
+            other => panic!("expected ShardUnavailable for a dead replica set, got {other:?}"),
+        }
+        let outcome = service.corr_finish(0, sessions[0]).expect("finishes");
+        assert_eq!(outcome.scores, reference, "the failed feed corrupted nothing");
+        assert_eq!(outcome.correlated, expected);
+
+        // The books: every tenant billed exactly its completed
+        // stream-slots — the refused probe billed nothing.
+        let usage = service.shutdown();
+        assert_eq!(usage.len(), TENANTS as usize);
+        for (tenant, u) in &usage {
+            assert_eq!(
+                u.corr_events,
+                (STREAMS * STEPS) as u64,
+                "tenant {tenant} billed exactly the completed slots"
+            );
+            assert_eq!(u.corr_jobs, windows as u64 + 1, "tenant {tenant}: feeds + finish");
+            assert!(u.mvp.energy().as_joules() > 0.0, "tenant {tenant} paid real joules");
+        }
+    }
+
     #[test]
     fn seeded_replica_kills_under_load_lose_nothing_and_reconcile() {
         let mut rng = SmallRng::seed_from_u64(SEED);
