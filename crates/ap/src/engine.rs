@@ -61,10 +61,19 @@ pub struct ApRun {
 /// See the [crate-level example](crate).
 #[derive(Debug, Clone)]
 pub struct AutomataProcessor {
-    matrices: ApMatrices,
-    routing: Routing,
-    backend: ApBackend,
-    costs: ApCosts,
+    pub(crate) matrices: ApMatrices,
+    pub(crate) routing: Routing,
+    pub(crate) backend: ApBackend,
+    pub(crate) costs: ApCosts,
+    /// `ste_ones[b]` = number of STE columns that discharge on symbol
+    /// `b` — the per-symbol STE energy is a table lookup instead of a
+    /// popcount over the row.
+    pub(crate) ste_ones: Vec<u32>,
+    /// Whether an all-zero active vector can come back to life after
+    /// position 0 (i.e. the automaton has `all_input` states). When
+    /// false, a dead stream is charged STE discharge per symbol but
+    /// skips routing, follow and accept work entirely.
+    pub(crate) revivable: bool,
     /// Current active vector `a` (stream state).
     active: BitVec,
     /// Double buffer for the follow vector `f`; swapped with `active`
@@ -103,11 +112,15 @@ impl AutomataProcessor {
         let routing = Routing::compile(&matrices.r, routing)?;
         let costs = backend.costs(n, routing.resources().config_bits);
         let scratch = routing.scratch();
+        let ste_ones = (0..256).map(|b| matrices.v.row(b).count_ones() as u32).collect();
+        let revivable = matrices.all_input.any();
         Ok(Self {
             matrices,
             routing,
             backend,
             costs,
+            ste_ones,
+            revivable,
             active: BitVec::new(n),
             follow: BitVec::new(n),
             scratch,
@@ -183,6 +196,11 @@ impl AutomataProcessor {
     /// [`finish`](Self::finish) yields exactly the [`ApRun`] of a
     /// one-shot [`run`](Self::run) over the concatenation.
     ///
+    /// A *dead* stream — empty active vector past position 0 on an
+    /// automaton with no `all_input` revival states — degrades to a
+    /// per-symbol energy table lookup rather than a full pipeline
+    /// cycle, with a report identical to the full loop's.
+    ///
     /// # Examples
     ///
     /// ```
@@ -206,41 +224,84 @@ impl AutomataProcessor {
     pub fn feed(&mut self, chunk: &[u8]) -> ApReport {
         let ste_energy = self.costs.ste_energy_per_column.as_joules();
         let routing_energy = self.costs.routing_energy_per_column.as_joules();
-        for &byte in chunk {
+        // Hot scalars live in locals for the duration of the chunk —
+        // accumulating through `self` would force a reload/store per
+        // symbol around every `&mut self`-field call.
+        let ste_ones = &self.ste_ones;
+        let v = &self.matrices.v;
+        let ai_words = self.matrices.all_input.as_words();
+        let acc_words = self.matrices.accept.as_words();
+        let revivable = self.revivable;
+        let mut energy = self.energy;
+        let mut pos = self.pos;
+        let mut last_accepting = self.last_accepting;
+        // Tracked across cycles so the steady state never re-scans the
+        // active vector: the fused pass below recomputes it for free.
+        let mut active_any = self.active.any();
+        for (i, &byte) in chunk.iter().enumerate() {
+            // Dead stream: past position 0 with no active states and no
+            // `all_input` revival, the active vector stays empty for the
+            // rest of the stream. The STE array still discharges on
+            // every symbol (the energy model is unchanged — a table
+            // lookup per byte), but routing, follow and the accept scan
+            // are skipped wholesale.
+            if !active_any && !revivable && pos > 0 {
+                for &b in &chunk[i..] {
+                    energy += ste_ones[b as usize] as f64 * ste_energy;
+                }
+                pos += (chunk.len() - i) as u64;
+                last_accepting = false;
+                break;
+            }
+
             // Step 1 — input symbol processing (Equation 1): one STE-array
             // evaluate. Discharge-proportional energy: columns whose bit
-            // line falls are the ones that match the symbol.
-            let s = self.matrices.v.row(byte as usize);
-            self.energy += s.count_ones() as f64 * ste_energy;
+            // line falls are the ones that match the symbol, precounted
+            // per symbol at compile time.
+            energy += ste_ones[byte as usize] as f64 * ste_energy;
 
             // Step 2 — active state processing (Equations 2 and 3), into
-            // the reused follow buffer.
-            self.routing.follow_into(&self.active, &mut self.follow, &mut self.scratch);
-            self.energy += self.follow.count_ones() as f64 * routing_energy;
-            if self.pos == 0 {
+            // the reused follow buffer. An empty active vector routes to
+            // an empty follow vector with zero discharge, so the fabric
+            // walk is skipped outright.
+            if active_any {
+                self.routing.follow_into(&self.active, &mut self.follow, &mut self.scratch);
+                energy += self.follow.count_ones() as f64 * routing_energy;
+            } else {
+                self.follow.clear();
+            }
+            if pos == 0 {
                 self.follow.or_assign(&self.matrices.start_of_input);
             }
-            self.follow.or_assign(&self.matrices.all_input);
-            self.follow.and_assign(s);
-            std::mem::swap(&mut self.active, &mut self.follow);
 
-            // Step 3 — output identification (Equation 4): a word-AND
-            // with the accept mask, iterating ones only in live words.
-            self.last_accepting = false;
-            let pos = self.pos as usize;
-            for (wi, (&aw, &cw)) in
-                self.active.as_words().iter().zip(self.matrices.accept.as_words()).enumerate()
-            {
-                let mut live = aw & cw;
+            // Steps 2b and 3, fused into a single word pass:
+            // `f = (f | all_input) & s` (Equation 3), its emptiness for
+            // the next cycle's skip decisions, and output identification
+            // (Equation 4) — a word-AND with the accept mask, iterating
+            // ones only in live words.
+            last_accepting = false;
+            let s_words = v.row(byte as usize).as_words();
+            let mut any = 0u64;
+            let f_words = self.follow.as_words_mut();
+            for wi in 0..f_words.len() {
+                let w = (f_words[wi] | ai_words[wi]) & s_words[wi];
+                f_words[wi] = w;
+                any |= w;
+                let mut live = w & acc_words[wi];
                 while live != 0 {
                     let state = wi * 64 + live.trailing_zeros() as usize;
-                    self.accept_events.push((pos, state));
-                    self.last_accepting = true;
+                    self.accept_events.push((pos as usize, state));
+                    last_accepting = true;
                     live &= live - 1;
                 }
             }
-            self.pos += 1;
+            std::mem::swap(&mut self.active, &mut self.follow);
+            active_any = any != 0;
+            pos += 1;
         }
+        self.energy = energy;
+        self.pos = pos;
+        self.last_accepting = last_accepting;
         self.stream_report()
     }
 
@@ -316,6 +377,46 @@ mod tests {
         // finish() resets: an immediately finished empty stream is the
         // empty-input run.
         assert_eq!(ap.finish(), ap.run(b""));
+    }
+
+    #[test]
+    fn dead_stream_early_out_matches_full_pipeline() {
+        // Anchored pattern: no `all_input` states, so once the active
+        // vector empties past position 0 the stream is dead for good
+        // and the bulk early-out engages.
+        let h = homog("abc");
+        for kind in
+            [RoutingKind::Dense, RoutingKind::Hierarchical { block: 4, max_global: 1 << 16 }]
+        {
+            let mut ap = AutomataProcessor::compile(&h, ApBackend::rram(), kind).expect("maps");
+            // Accepts at position 2, dead from position 3 onward.
+            let input = b"abcxyzabcabc";
+            let expected = ap.run(input);
+            assert!(!expected.accepted, "death is permanent without all_input");
+            let positions: Vec<usize> = expected.accept_events.iter().map(|&(p, _)| p).collect();
+            assert_eq!(positions, vec![2], "the pre-death event survives");
+
+            // Chunked across the death boundary, empty chunks included.
+            ap.reset();
+            ap.feed(b"abcx");
+            ap.feed(&[]);
+            let mid = ap.feed(b"yzabc");
+            let idle = ap.feed(&[]);
+            assert_eq!(idle, mid, "feed(&[]) is a no-op on a dead stream");
+            let cumulative = ap.feed(b"abc");
+            assert!(
+                cumulative.energy.as_joules() > mid.energy.as_joules(),
+                "dead symbols still pay STE discharge"
+            );
+            assert_eq!(ap.finish(), expected, "dead-stream-then-finish ≡ one-shot");
+
+            // Symbol-at-a-time feeding (the dead check runs per call).
+            ap.reset();
+            for &b in input.iter() {
+                ap.feed(std::slice::from_ref(&b));
+            }
+            assert_eq!(ap.finish(), expected, "per-symbol ≡ one-shot");
+        }
     }
 
     #[test]
@@ -448,9 +549,13 @@ mod proptests {
         }
 
         /// Feeding any chunking of an input equals the one-shot run —
-        /// events, acceptance and cost report alike — on both fabrics,
-        /// with state correctly carried across chunk boundaries and
-        /// across consecutive streams on one processor.
+        /// events, acceptance and cost report alike — on both fabrics
+        /// and both start kinds, with state correctly carried across
+        /// chunk boundaries and across consecutive streams on one
+        /// processor. The anchored (`StartOfInput`) variant drives the
+        /// dead-stream early-out: most random inputs kill an anchored
+        /// automaton mid-stream, so the bulk path must report exactly
+        /// like the full pipeline across arbitrary cut points.
         #[test]
         fn chunked_feed_equals_one_shot_run(
             pattern in pattern_strategy(),
@@ -458,26 +563,31 @@ mod proptests {
             cuts in proptest::collection::vec(0usize..24, 0..5),
         ) {
             let nfa = Regex::parse(&pattern).expect("generated").compile();
-            let h = HomogeneousAutomaton::from_nfa(&nfa)
-                .with_start_kind(memcim_automata::StartKind::AllInput);
-            if h.state_count() == 0 {
+            let base = HomogeneousAutomaton::from_nfa(&nfa);
+            if base.state_count() == 0 {
                 return Ok(());
             }
             let mut bounds: Vec<usize> = cuts.iter().map(|&c| c % (input.len() + 1)).collect();
             bounds.push(0);
             bounds.push(input.len());
             bounds.sort_unstable();
-            for kind in [RoutingKind::Dense, RoutingKind::Hierarchical { block: 8, max_global: 1 << 16 }] {
-                let mut ap = AutomataProcessor::compile(&h, ApBackend::rram(), kind)
-                    .expect("maps");
-                let expected = ap.run(&input);
-                for window in bounds.windows(2) {
-                    ap.feed(&input[window[0]..window[1]]);
+            for start in [
+                memcim_automata::StartKind::StartOfInput,
+                memcim_automata::StartKind::AllInput,
+            ] {
+                let h = base.clone().with_start_kind(start);
+                for kind in [RoutingKind::Dense, RoutingKind::Hierarchical { block: 8, max_global: 1 << 16 }] {
+                    let mut ap = AutomataProcessor::compile(&h, ApBackend::rram(), kind)
+                        .expect("maps");
+                    let expected = ap.run(&input);
+                    for window in bounds.windows(2) {
+                        ap.feed(&input[window[0]..window[1]]);
+                    }
+                    let streamed = ap.finish();
+                    prop_assert_eq!(&streamed, &expected,
+                        "pattern {} input {:?} cuts {:?} start {:?}", pattern.clone(),
+                        input.clone(), bounds.clone(), start);
                 }
-                let streamed = ap.finish();
-                prop_assert_eq!(&streamed, &expected,
-                    "pattern {} input {:?} cuts {:?}", pattern.clone(), input.clone(),
-                    bounds.clone());
             }
         }
     }

@@ -22,6 +22,14 @@ pub enum ApError {
     },
     /// The automaton has no states (nothing to map).
     EmptyAutomaton,
+    /// A multi-stream operation addressed a stream lane that does not
+    /// exist on the processor.
+    UnknownStream {
+        /// Lane index requested.
+        stream: usize,
+        /// Lanes available.
+        streams: usize,
+    },
 }
 
 impl fmt::Display for ApError {
@@ -37,6 +45,9 @@ impl fmt::Display for ApError {
                 )
             }
             ApError::EmptyAutomaton => write!(f, "cannot map an automaton with no states"),
+            ApError::UnknownStream { stream, streams } => {
+                write!(f, "stream {stream} out of range: processor has {streams} lanes")
+            }
         }
     }
 }

@@ -47,9 +47,11 @@
 mod backend;
 mod engine;
 mod error;
+mod multi;
 mod routing;
 
 pub use backend::{ApBackend, ApCosts};
 pub use engine::{ApReport, ApRun, AutomataProcessor};
 pub use error::ApError;
+pub use multi::MultiStreamProcessor;
 pub use routing::{FollowScratch, Routing, RoutingKind, RoutingResources};

@@ -1,0 +1,627 @@
+//! Multi-stream AP execution: N independent input streams through one
+//! compiled automaton.
+//!
+//! The Micron AP and the Cache Automaton both amortize one compiled
+//! automaton across many concurrent inputs — the configuration cost is
+//! paid once and the symbol pipeline is kept saturated. The
+//! [`MultiStreamProcessor`] models that: a single `ApMatrices`/
+//! [`Routing`] pair (and one follow scratch) shared by every stream,
+//! with per-stream *lanes* holding only the stream state — active and
+//! follow vectors, position, report events and accumulated energy.
+//!
+//! Per lane, the symbol step is **bit-for-bit identical** to
+//! [`AutomataProcessor::feed`] — same accept events, same acceptance,
+//! same `f64` energy accumulation order — property-tested in this
+//! module. What the batch interface buys is throughput: the whole batch
+//! runs inside one monomorphized kernel whose hot scalars stay in
+//! registers and whose shared tables stay cache-resident across lanes,
+//! instead of re-entering the public streaming API per stream and per
+//! chunk.
+
+use crate::engine::{ApReport, ApRun};
+use crate::routing::FollowScratch;
+use crate::{ApBackend, ApCosts, ApError, AutomataProcessor, Routing, RoutingKind};
+use memcim_automata::{ApMatrices, HomogeneousAutomaton};
+use memcim_bits::BitVec;
+use memcim_units::Joules;
+
+/// One stream's private state.
+#[derive(Debug, Clone)]
+struct Lane {
+    active: BitVec,
+    follow: BitVec,
+    pos: u64,
+    accept_events: Vec<(usize, usize)>,
+    energy: f64,
+    last_accepting: bool,
+}
+
+impl Lane {
+    fn new(n: usize) -> Self {
+        Self {
+            active: BitVec::new(n),
+            follow: BitVec::new(n),
+            pos: 0,
+            accept_events: Vec::new(),
+            energy: 0.0,
+            last_accepting: false,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.active.clear();
+        self.pos = 0;
+        self.accept_events.clear();
+        self.energy = 0.0;
+        self.last_accepting = false;
+    }
+}
+
+/// N independent input streams driven through one compiled automaton.
+///
+/// Obtain one from [`compile`](Self::compile) or instantiate it from an
+/// already-compiled single-stream template with
+/// [`AutomataProcessor::multi_stream`]. Streams are addressed by lane
+/// index `0..streams()`; each lane is an independent stream with the
+/// exact semantics of a dedicated [`AutomataProcessor`].
+///
+/// # Examples
+///
+/// ```
+/// use memcim_ap::{ApBackend, MultiStreamProcessor, RoutingKind};
+/// use memcim_automata::{HomogeneousAutomaton, Regex, StartKind};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let homog = HomogeneousAutomaton::from_nfa(&Regex::parse("ab")?.compile())
+///     .with_start_kind(StartKind::AllInput);
+/// let mut multi =
+///     MultiStreamProcessor::compile(&homog, ApBackend::rram(), RoutingKind::Dense, 2)?;
+/// let reports = multi.feed_many(&[&b"xxab"[..], b"abab"]);
+/// assert_eq!(reports[0].cycles, 4);
+/// let runs = multi.finish_all();
+/// assert_eq!(runs[0].accept_events, vec![(3, runs[0].accept_events[0].1)]);
+/// assert_eq!(runs[1].accept_events.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiStreamProcessor {
+    matrices: ApMatrices,
+    routing: Routing,
+    backend: ApBackend,
+    costs: ApCosts,
+    ste_ones: Vec<u32>,
+    revivable: bool,
+    /// One scratch serves every lane: `follow_into` leaves no state
+    /// behind in it, so lanes can share it without cross-talk.
+    scratch: FollowScratch,
+    lanes: Vec<Lane>,
+    /// Monotonic lifetime totals across all lanes — never reset by
+    /// per-lane [`finish`](Self::finish), so a billing layer can take
+    /// watermark deltas without tracking individual stream lifecycles.
+    total_cycles: u64,
+    total_energy: f64,
+}
+
+/// The shared per-symbol kernel: one lane, one chunk, everything hot in
+/// locals. Semantically identical to [`AutomataProcessor::feed`].
+#[allow(clippy::too_many_arguments)]
+fn feed_lane(
+    lane: &mut Lane,
+    chunk: &[u8],
+    matrices: &ApMatrices,
+    routing: &Routing,
+    scratch: &mut FollowScratch,
+    ste_ones: &[u32],
+    revivable: bool,
+    ste_energy: f64,
+    routing_energy: f64,
+) {
+    let v = &matrices.v;
+    let ai_words = matrices.all_input.as_words();
+    let acc_words = matrices.accept.as_words();
+    let mut energy = lane.energy;
+    let mut pos = lane.pos;
+    let mut last_accepting = lane.last_accepting;
+    let mut active_any = lane.active.any();
+    for (i, &byte) in chunk.iter().enumerate() {
+        // Dead stream: bulk-charge STE discharge and stop cycling (see
+        // `AutomataProcessor::feed`).
+        if !active_any && !revivable && pos > 0 {
+            for &b in &chunk[i..] {
+                energy += ste_ones[b as usize] as f64 * ste_energy;
+            }
+            pos += (chunk.len() - i) as u64;
+            last_accepting = false;
+            break;
+        }
+
+        energy += ste_ones[byte as usize] as f64 * ste_energy;
+        if active_any {
+            routing.follow_into(&lane.active, &mut lane.follow, scratch);
+            energy += lane.follow.count_ones() as f64 * routing_energy;
+        } else {
+            lane.follow.clear();
+        }
+        if pos == 0 {
+            lane.follow.or_assign(&matrices.start_of_input);
+        }
+
+        last_accepting = false;
+        let s_words = v.row(byte as usize).as_words();
+        let mut any = 0u64;
+        let f_words = lane.follow.as_words_mut();
+        for wi in 0..f_words.len() {
+            let w = (f_words[wi] | ai_words[wi]) & s_words[wi];
+            f_words[wi] = w;
+            any |= w;
+            let mut live = w & acc_words[wi];
+            while live != 0 {
+                let state = wi * 64 + live.trailing_zeros() as usize;
+                lane.accept_events.push((pos as usize, state));
+                last_accepting = true;
+                live &= live - 1;
+            }
+        }
+        std::mem::swap(&mut lane.active, &mut lane.follow);
+        active_any = any != 0;
+        pos += 1;
+    }
+    lane.energy = energy;
+    lane.pos = pos;
+    lane.last_accepting = last_accepting;
+}
+
+impl MultiStreamProcessor {
+    /// Maps an automaton onto a backend with `streams` independent
+    /// stream lanes.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of [`AutomataProcessor::compile`].
+    pub fn compile(
+        automaton: &HomogeneousAutomaton,
+        backend: ApBackend,
+        routing: RoutingKind,
+        streams: usize,
+    ) -> Result<Self, ApError> {
+        Ok(AutomataProcessor::compile(automaton, backend, routing)?.multi_stream(streams))
+    }
+
+    pub(crate) fn from_processor(ap: &AutomataProcessor, streams: usize) -> Self {
+        let n = ap.matrices.state_count();
+        Self {
+            matrices: ap.matrices.clone(),
+            routing: ap.routing.clone(),
+            backend: ap.backend.clone(),
+            costs: ap.costs,
+            ste_ones: ap.ste_ones.clone(),
+            revivable: ap.revivable,
+            scratch: ap.routing.scratch(),
+            lanes: (0..streams.max(1)).map(|_| Lane::new(n)).collect(),
+            total_cycles: 0,
+            total_energy: 0.0,
+        }
+    }
+
+    /// Number of stream lanes.
+    pub fn streams(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Number of STEs occupied (shared by every lane).
+    pub fn state_count(&self) -> usize {
+        self.matrices.state_count()
+    }
+
+    /// The backend in use.
+    pub fn backend(&self) -> &ApBackend {
+        &self.backend
+    }
+
+    /// The derived per-cycle cost model (shared by every lane).
+    pub fn costs(&self) -> &ApCosts {
+        &self.costs
+    }
+
+    /// Routing fabric resource usage — one fabric, however many lanes.
+    pub fn routing_resources(&self) -> crate::RoutingResources {
+        self.routing.resources()
+    }
+
+    /// One-time cost of programming the STE array and routing switches.
+    /// Paid once for the whole processor: this is the multi-stream
+    /// amortization of configuration.
+    pub fn configuration_cost(&self) -> ApReport {
+        let ste_bits = self.matrices.v.count_ones();
+        let routing_bits = self.matrices.r.count_ones();
+        let bits = (ste_bits + routing_bits) as f64;
+        let rows = 256 + self.routing.resources().config_bits / self.state_count().max(1);
+        ApReport {
+            cycles: rows as u64,
+            latency: self.costs.config_latency_per_row * rows as f64,
+            energy: Joules::new(self.costs.config_energy_per_bit.as_joules() * bits),
+        }
+    }
+
+    /// Grows the processor to at least `streams` lanes (new lanes start
+    /// as fresh streams). Never shrinks — lane indices stay stable.
+    pub fn ensure_streams(&mut self, streams: usize) {
+        let n = self.matrices.state_count();
+        while self.lanes.len() < streams {
+            self.lanes.push(Lane::new(n));
+        }
+    }
+
+    /// Streams one chunk through lane `stream`, continuing from that
+    /// stream's current position. Returns the lane's cumulative cost
+    /// report, exactly as [`AutomataProcessor::feed`] would.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApError::UnknownStream`] for an out-of-range lane.
+    pub fn feed(&mut self, stream: usize, chunk: &[u8]) -> Result<ApReport, ApError> {
+        let streams = self.lanes.len();
+        let lane = self.lanes.get_mut(stream).ok_or(ApError::UnknownStream { stream, streams })?;
+        let (e0, p0) = (lane.energy, lane.pos);
+        feed_lane(
+            lane,
+            chunk,
+            &self.matrices,
+            &self.routing,
+            &mut self.scratch,
+            &self.ste_ones,
+            self.revivable,
+            self.costs.ste_energy_per_column.as_joules(),
+            self.costs.routing_energy_per_column.as_joules(),
+        );
+        self.total_cycles += lane.pos - p0;
+        self.total_energy += lane.energy - e0;
+        Ok(Self::lane_report(&self.costs, &self.lanes[stream]))
+    }
+
+    /// Feeds `chunks[i]` to lane `i` — the batch interface. Lanes are
+    /// grown on demand to `chunks.len()`, and the whole batch runs
+    /// through one shared kernel. Returns each lane's cumulative
+    /// report, in lane order.
+    pub fn feed_many<C: AsRef<[u8]>>(&mut self, chunks: &[C]) -> Vec<ApReport> {
+        self.ensure_streams(chunks.len());
+        let ste_energy = self.costs.ste_energy_per_column.as_joules();
+        let routing_energy = self.costs.routing_energy_per_column.as_joules();
+        let mut reports = Vec::with_capacity(chunks.len());
+        for (lane, chunk) in self.lanes.iter_mut().zip(chunks) {
+            let (e0, p0) = (lane.energy, lane.pos);
+            feed_lane(
+                lane,
+                chunk.as_ref(),
+                &self.matrices,
+                &self.routing,
+                &mut self.scratch,
+                &self.ste_ones,
+                self.revivable,
+                ste_energy,
+                routing_energy,
+            );
+            self.total_cycles += lane.pos - p0;
+            self.total_energy += lane.energy - e0;
+            reports.push(Self::lane_report(&self.costs, lane));
+        }
+        reports
+    }
+
+    /// The cumulative cost report of one lane's stream so far.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApError::UnknownStream`] for an out-of-range lane.
+    pub fn report(&self, stream: usize) -> Result<ApReport, ApError> {
+        let lane = self
+            .lanes
+            .get(stream)
+            .ok_or(ApError::UnknownStream { stream, streams: self.lanes.len() })?;
+        Ok(Self::lane_report(&self.costs, lane))
+    }
+
+    /// Ends lane `stream`'s current stream: returns its cumulative
+    /// [`ApRun`] and resets the lane for its next stream. Other lanes
+    /// are untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApError::UnknownStream`] for an out-of-range lane.
+    pub fn finish(&mut self, stream: usize) -> Result<ApRun, ApError> {
+        let streams = self.lanes.len();
+        let costs = &self.costs;
+        let lane = self.lanes.get_mut(stream).ok_or(ApError::UnknownStream { stream, streams })?;
+        let run = ApRun {
+            accepted: if lane.pos == 0 { self.matrices.accepts_empty } else { lane.last_accepting },
+            accept_events: std::mem::take(&mut lane.accept_events),
+            symbols: lane.pos,
+            report: Self::lane_report(costs, lane),
+        };
+        lane.reset();
+        Ok(run)
+    }
+
+    /// Ends every lane's stream, returning the runs in lane order.
+    pub fn finish_all(&mut self) -> Vec<ApRun> {
+        (0..self.lanes.len()).map(|l| self.finish(l).expect("lane index in range")).collect()
+    }
+
+    /// Monotonic lifetime totals over all lanes: cycles executed and
+    /// energy dissipated since construction, never reset by
+    /// [`finish`](Self::finish). Billing layers take watermark deltas
+    /// of this instead of chasing per-stream cumulative reports.
+    pub fn billing_report(&self) -> ApReport {
+        ApReport {
+            cycles: self.total_cycles,
+            latency: self.costs.cycle_latency * self.total_cycles as f64,
+            energy: Joules::new(self.total_energy),
+        }
+    }
+
+    fn lane_report(costs: &ApCosts, lane: &Lane) -> ApReport {
+        ApReport {
+            cycles: lane.pos,
+            latency: costs.cycle_latency * lane.pos as f64,
+            energy: Joules::new(lane.energy),
+        }
+    }
+}
+
+impl AutomataProcessor {
+    /// Instantiates a multi-stream processor from this compiled
+    /// automaton: the matrices, routing fabric and cost model are
+    /// shared by `streams` fresh lanes. The template keeps its own
+    /// streaming state; the new processor starts clean.
+    pub fn multi_stream(&self, streams: usize) -> MultiStreamProcessor {
+        MultiStreamProcessor::from_processor(self, streams)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memcim_automata::{Regex, StartKind};
+
+    fn homog(pattern: &str) -> HomogeneousAutomaton {
+        HomogeneousAutomaton::from_nfa(&Regex::parse(pattern).expect("parses").compile())
+    }
+
+    #[test]
+    fn lanes_are_independent_streams() {
+        let h = homog("ab").with_start_kind(StartKind::AllInput);
+        let mut multi = MultiStreamProcessor::compile(&h, ApBackend::rram(), RoutingKind::Dense, 3)
+            .expect("maps");
+        let mut single =
+            AutomataProcessor::compile(&h, ApBackend::rram(), RoutingKind::Dense).expect("maps");
+        let inputs: [&[u8]; 3] = [b"xxabxx", b"ababab", b"nomatch"];
+        let reports = multi.feed_many(&inputs);
+        for (l, input) in inputs.iter().enumerate() {
+            single.reset();
+            let expected = single.feed(input);
+            assert_eq!(reports[l], expected, "lane {l} cumulative report");
+            assert_eq!(multi.finish(l).expect("lane exists"), single.finish(), "lane {l} run");
+        }
+    }
+
+    #[test]
+    fn chunked_lane_feeds_interleave() {
+        let h = homog("abc").with_start_kind(StartKind::AllInput);
+        let mut multi = MultiStreamProcessor::compile(&h, ApBackend::rram(), RoutingKind::Dense, 2)
+            .expect("maps");
+        let mut single =
+            AutomataProcessor::compile(&h, ApBackend::rram(), RoutingKind::Dense).expect("maps");
+        // Interleaved chunk feeds: lane state carries across batches.
+        multi.feed_many(&[&b"ab"[..], b"a"]);
+        multi.feed_many(&[&b"c"[..], b"bc"]);
+        let runs = multi.finish_all();
+        assert_eq!(runs[0], single.run(b"abc"));
+        assert_eq!(runs[1], single.run(b"abc"));
+    }
+
+    #[test]
+    fn unknown_stream_is_a_typed_error() {
+        let h = homog("a");
+        let mut multi = MultiStreamProcessor::compile(&h, ApBackend::rram(), RoutingKind::Dense, 2)
+            .expect("maps");
+        assert!(matches!(
+            multi.feed(5, b"a"),
+            Err(ApError::UnknownStream { stream: 5, streams: 2 })
+        ));
+        assert!(matches!(multi.finish(2), Err(ApError::UnknownStream { .. })));
+        assert!(multi.report(1).is_ok());
+    }
+
+    #[test]
+    fn ensure_streams_grows_and_feed_many_autovivifies() {
+        let h = homog("a");
+        let mut multi = MultiStreamProcessor::compile(&h, ApBackend::rram(), RoutingKind::Dense, 1)
+            .expect("maps");
+        assert_eq!(multi.streams(), 1);
+        let reports = multi.feed_many(&[&b"a"[..], b"aa", b"aaa"]);
+        assert_eq!(multi.streams(), 3);
+        assert_eq!(reports.len(), 3);
+        assert_eq!(reports[2].cycles, 3);
+        multi.ensure_streams(2);
+        assert_eq!(multi.streams(), 3, "never shrinks");
+    }
+
+    #[test]
+    fn billing_totals_are_monotonic_across_finish() {
+        let h = homog("ab").with_start_kind(StartKind::AllInput);
+        let mut multi = MultiStreamProcessor::compile(&h, ApBackend::rram(), RoutingKind::Dense, 2)
+            .expect("maps");
+        multi.feed_many(&[&b"abab"[..], b"xxxx"]);
+        let before = multi.billing_report();
+        assert_eq!(before.cycles, 8);
+        multi.finish_all();
+        let after = multi.billing_report();
+        assert_eq!(after, before, "finish does not reset billing totals");
+        multi.feed(0, b"ab").expect("lane 0");
+        assert_eq!(multi.billing_report().cycles, 10);
+        assert!(multi.billing_report().energy.as_joules() > after.energy.as_joules());
+    }
+
+    #[test]
+    fn configuration_cost_matches_single_stream_template() {
+        let h = homog("(a|b)+c");
+        let ap =
+            AutomataProcessor::compile(&h, ApBackend::rram(), RoutingKind::Dense).expect("maps");
+        let multi = ap.multi_stream(8);
+        assert_eq!(multi.configuration_cost(), ap.configuration_cost());
+        assert_eq!(multi.state_count(), ap.state_count());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use memcim_automata::Regex;
+    use proptest::prelude::*;
+
+    fn pattern_strategy() -> impl Strategy<Value = String> {
+        let leaf = prop_oneof![
+            Just("a".to_string()),
+            Just("b".to_string()),
+            Just("[ab]".to_string()),
+            Just(".".to_string()),
+        ];
+        leaf.prop_recursive(3, 12, 2, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("{a}{b}")),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a}|{b})")),
+                inner.prop_map(|a| format!("({a})*")),
+            ]
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        /// Multi-stream execution is bit-identical to N sequential
+        /// single-stream runs: accept events, acceptance, per-stream
+        /// cumulative reports and exact `f64` energy sums — across both
+        /// fabrics, both start kinds, and arbitrary per-lane chunkings
+        /// interleaved between lanes.
+        #[test]
+        fn multi_stream_equals_sequential_single_streams(
+            pattern in pattern_strategy(),
+            inputs in proptest::collection::vec(
+                proptest::collection::vec(b'a'..=b'c', 0..16),
+                1..6,
+            ),
+            cuts in proptest::collection::vec(0usize..16, 0..4),
+            start_anchored in any::<bool>(),
+        ) {
+            let nfa = Regex::parse(&pattern).expect("generated").compile();
+            let base = HomogeneousAutomaton::from_nfa(&nfa);
+            if base.state_count() == 0 {
+                return Ok(());
+            }
+            let start = if start_anchored {
+                memcim_automata::StartKind::StartOfInput
+            } else {
+                memcim_automata::StartKind::AllInput
+            };
+            let h = base.with_start_kind(start);
+            for kind in [
+                RoutingKind::Dense,
+                RoutingKind::Hierarchical { block: 8, max_global: 1 << 16 },
+                RoutingKind::Hierarchical { block: 64, max_global: 1 << 16 },
+            ] {
+                let mut single = AutomataProcessor::compile(&h, ApBackend::rram(), kind)
+                    .expect("maps");
+                let mut multi = MultiStreamProcessor::compile(
+                    &h, ApBackend::rram(), kind, inputs.len(),
+                ).expect("maps");
+
+                // Derive a per-lane chunking from the shared cut points,
+                // offset per lane so lanes split differently.
+                let rounds = cuts.len() + 1;
+                let chunkings: Vec<Vec<&[u8]>> = inputs
+                    .iter()
+                    .enumerate()
+                    .map(|(l, input)| {
+                        let mut b: Vec<usize> =
+                            cuts.iter().map(|&c| (c + l) % (input.len() + 1)).collect();
+                        b.push(input.len());
+                        b.sort_unstable();
+                        let mut chunks: Vec<&[u8]> = Vec::new();
+                        let mut prev = 0usize;
+                        for &c in &b {
+                            chunks.push(&input[prev..c]);
+                            prev = c;
+                        }
+                        chunks.resize(rounds, &[]);
+                        chunks
+                    })
+                    .collect();
+
+                // Genuinely interleaved: round r sends every lane its
+                // r-th chunk before any lane sees round r+1.
+                for r in 0..rounds {
+                    for (l, chunks) in chunkings.iter().enumerate() {
+                        multi.feed(l, chunks[r]).expect("lane exists");
+                    }
+                }
+
+                // Single-stream reference per lane, fed the same
+                // chunking on a dedicated processor.
+                let mut expected_energy_sum = 0.0f64;
+                for (l, chunks) in chunkings.iter().enumerate() {
+                    single.reset();
+                    for chunk in chunks {
+                        single.feed(chunk);
+                    }
+                    let expected = single.finish();
+                    expected_energy_sum += expected.report.energy.as_joules();
+                    let report = multi.report(l).expect("lane exists");
+                    prop_assert_eq!(&report, &expected.report,
+                        "pattern {} lane {} kind {:?} start {:?} cumulative report",
+                        pattern.clone(), l, kind, start);
+                    let run = multi.finish(l).expect("lane exists");
+                    prop_assert_eq!(&run, &expected,
+                        "pattern {} lane {} kind {:?} start {:?}",
+                        pattern.clone(), l, kind, start);
+                }
+                // Lifetime energy equals the exact sum of lane deltas.
+                let billing = multi.billing_report();
+                prop_assert!(
+                    (billing.energy.as_joules() - expected_energy_sum).abs()
+                        <= expected_energy_sum.abs() * 1e-12 + f64::MIN_POSITIVE,
+                    "billing energy {} vs sum {}",
+                    billing.energy.as_joules(), expected_energy_sum,
+                );
+            }
+        }
+
+        /// `feed_many` batches equal the same feeds issued lane by lane.
+        #[test]
+        fn feed_many_equals_per_lane_feeds(
+            pattern in pattern_strategy(),
+            inputs in proptest::collection::vec(
+                proptest::collection::vec(b'a'..=b'c', 0..12),
+                1..5,
+            ),
+        ) {
+            let nfa = Regex::parse(&pattern).expect("generated").compile();
+            let base = HomogeneousAutomaton::from_nfa(&nfa)
+                .with_start_kind(memcim_automata::StartKind::AllInput);
+            if base.state_count() == 0 {
+                return Ok(());
+            }
+            let kind = RoutingKind::Hierarchical { block: 64, max_global: 1 << 16 };
+            let mut batched = MultiStreamProcessor::compile(
+                &base, ApBackend::rram(), kind, inputs.len(),
+            ).expect("maps");
+            let mut lane_by_lane = batched.clone();
+            let batch_reports = batched.feed_many(&inputs);
+            for (l, input) in inputs.iter().enumerate() {
+                let report = lane_by_lane.feed(l, input).expect("lane exists");
+                prop_assert_eq!(&batch_reports[l], &report);
+            }
+            prop_assert_eq!(batched.finish_all(), lane_by_lane.finish_all());
+            prop_assert_eq!(batched.billing_report(), lane_by_lane.billing_report());
+        }
+    }
+}

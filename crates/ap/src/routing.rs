@@ -62,6 +62,12 @@ struct Hierarchical {
     /// indices), zero-padded to `block × block` so one scratch pair
     /// serves every block including a short final one.
     local: Vec<BitMatrix>,
+    /// Compiled skip list: only blocks that own at least one local
+    /// switch appear, each carrying word-level occupancy masks so the
+    /// follow kernel decides from `active.as_words()` alone — without
+    /// extracting the block slice — whether the block product can be
+    /// skipped this cycle.
+    live_blocks: Vec<LiveBlock>,
     /// Cross-block wires, compiled to a CSR grouped by source *word* of
     /// the active vector: each entry carries the OR-mask of its source
     /// bits, so a single `AND` decides in O(1) whether any of the
@@ -70,6 +76,28 @@ struct Hierarchical {
     /// Flat `(bit-in-source-word, dest state)` list indexed by
     /// [`WireWord::start`]`..`[`WireWord::end`].
     wire_dests: Vec<(u32, u32)>,
+}
+
+/// Skip-list entry for one block with local switches (see
+/// [`Hierarchical`]): the block's span inside the active vector plus
+/// the masks that select its bits from the first and last overlapping
+/// words.
+#[derive(Debug, Clone, Copy)]
+struct LiveBlock {
+    /// Index into `Hierarchical::local`.
+    index: usize,
+    /// First state of the block (`index * block`).
+    base: usize,
+    /// True (unpadded) block length.
+    len: usize,
+    /// First and last word of `active.as_words()` the block overlaps.
+    word_start: usize,
+    word_end: usize,
+    /// Mask of the block's bits within `word_start` (when the block
+    /// fits one word this already includes the tail cut).
+    first_mask: u64,
+    /// Mask of the block's bits within `word_end`.
+    last_mask: u64,
 }
 
 /// One source word's worth of global wires (see [`Hierarchical`]).
@@ -120,16 +148,44 @@ impl Routing {
                 // product); the hardware accounting below still charges
                 // only the true switch-cell counts.
                 let mut local = vec![BitMatrix::new(block, block); blocks];
+                let mut has_local = vec![false; blocks];
                 let mut wires = Vec::new();
                 for p in 0..n {
                     for q in r.row(p).ones() {
                         let (bp, bq) = (p / block, q / block);
                         if bp == bq {
                             local[bp].set(p % block, q % block, true);
+                            has_local[bp] = true;
                         } else {
                             wires.push((p, q));
                         }
                     }
+                }
+                // Skip list: blocks with no local switches vanish from
+                // the follow loop at compile time; the rest carry the
+                // word masks that gate their per-cycle occupancy check.
+                let mut live_blocks = Vec::new();
+                for (index, _) in has_local.iter().enumerate().filter(|&(_, live)| *live) {
+                    let base = index * block;
+                    let len = block.min(n - base);
+                    let (word_start, word_end) = (base / 64, (base + len - 1) / 64);
+                    let off = base % 64;
+                    let first_mask = if word_start == word_end && off + len < 64 {
+                        ((1u64 << len) - 1) << off
+                    } else {
+                        !0u64 << off
+                    };
+                    let end_bits = (base + len - 1) % 64 + 1;
+                    let last_mask = if end_bits == 64 { !0 } else { (1u64 << end_bits) - 1 };
+                    live_blocks.push(LiveBlock {
+                        index,
+                        base,
+                        len,
+                        word_start,
+                        word_end,
+                        first_mask,
+                        last_mask,
+                    });
                 }
                 if wires.len() > max_global {
                     return Err(ApError::RoutingInfeasible {
@@ -171,7 +227,13 @@ impl Routing {
                     kind,
                     n,
                     dense: r.clone(),
-                    hierarchical: Some(Hierarchical { block, local, wire_words, wire_dests }),
+                    hierarchical: Some(Hierarchical {
+                        block,
+                        local,
+                        live_blocks,
+                        wire_words,
+                        wire_dests,
+                    }),
                     resources,
                 })
             }
@@ -220,13 +282,16 @@ impl Routing {
     /// Allocation-free form of [`follow`](Self::follow): overwrites
     /// `out` with `a·R`, reusing `scratch` for the block-local slices.
     ///
-    /// The hierarchical path is word-parallel end to end: block-local
-    /// active slices are extracted by shift/mask
-    /// ([`BitVec::extract_range_into`]), inactive blocks are skipped
-    /// after an O(words) emptiness check, block products land back in
+    /// The hierarchical path is word-parallel end to end and driven by
+    /// the compiled skip list: blocks with no local switches were
+    /// dropped at compile time, the remaining blocks are occupancy-
+    /// tested straight against `active.as_words()` through per-block
+    /// word masks (an inactive block costs one or two masked loads —
+    /// no slice extraction), live blocks are extracted by shift/mask
+    /// ([`BitVec::extract_range_into`]) and their products land back in
     /// `out` via [`BitVec::or_shifted`], and global wires are walked
-    /// through the per-source-word CSR so words with no active sources
-    /// cost a single `AND`.
+    /// through the per-source-word CSR so a silent source word costs a
+    /// single `AND`.
     ///
     /// # Panics
     ///
@@ -244,19 +309,62 @@ impl Routing {
                     "scratch built for a different routing fabric"
                 );
                 out.clear();
-                // Local switches, block by block.
-                for (b, m) in h.local.iter().enumerate() {
-                    let base = b * h.block;
-                    let len = h.block.min(self.n - base);
-                    active.extract_range_into(base, len, &mut scratch.local_a);
-                    if !scratch.local_a.any() {
+                let words = active.as_words();
+                let aligned = h.block % 64 == 0;
+                // Local switches: only blocks on the compiled skip
+                // list, and of those only blocks whose masked active
+                // words are occupied this cycle.
+                for lb in &h.live_blocks {
+                    let mut live = words[lb.word_start] & lb.first_mask;
+                    if lb.word_end > lb.word_start {
+                        live |= words[lb.word_end] & lb.last_mask;
+                        for &w in &words[lb.word_start + 1..lb.word_end] {
+                            live |= w;
+                        }
+                    }
+                    if live == 0 {
                         continue;
                     }
-                    m.vector_product_into(&scratch.local_a, &mut scratch.local_f);
-                    out.or_shifted(&scratch.local_f, base);
+                    if aligned {
+                        // Word-aligned blocks (the bench and serve
+                        // configurations) need no slice extraction:
+                        // iterate the masked active bits in place and
+                        // OR each local row's words straight into the
+                        // block's span of `out`. Rows of a short final
+                        // block are zero past its true length, so the
+                        // zip's span clamp is lossless.
+                        let span = lb.word_end - lb.word_start + 1;
+                        let out_words = out.as_words_mut();
+                        let m = &h.local[lb.index];
+                        for (off, &word) in words[lb.word_start..=lb.word_end].iter().enumerate() {
+                            let wi = lb.word_start + off;
+                            let mut lw = word;
+                            if wi == lb.word_start {
+                                lw &= lb.first_mask;
+                            }
+                            if wi == lb.word_end && lb.word_end > lb.word_start {
+                                lw &= lb.last_mask;
+                            }
+                            while lw != 0 {
+                                let local_state =
+                                    (wi - lb.word_start) * 64 + lw.trailing_zeros() as usize;
+                                let row = m.row(local_state).as_words();
+                                for (ow, &rw) in
+                                    out_words[lb.word_start..][..span].iter_mut().zip(row)
+                                {
+                                    *ow |= rw;
+                                }
+                                lw &= lw - 1;
+                            }
+                        }
+                    } else {
+                        active.extract_range_into(lb.base, lb.len, &mut scratch.local_a);
+                        h.local[lb.index]
+                            .vector_product_into(&scratch.local_a, &mut scratch.local_f);
+                        out.or_shifted(&scratch.local_f, lb.base);
+                    }
                 }
                 // Global wires, word by source word.
-                let words = active.as_words();
                 for entry in &h.wire_words {
                     let live = words[entry.word] & entry.mask;
                     if live == 0 {
@@ -324,6 +432,33 @@ mod tests {
     }
 
     #[test]
+    fn aligned_block_fast_path_matches_dense() {
+        // 187 states mirrors the bench workload shape: word-aligned
+        // blocks (64 and 256) with a short final block, scattered local
+        // edges and cross-block wires.
+        let n = 187;
+        let mut m = BitMatrix::new(n, n);
+        for i in 0..n {
+            m.set(i, (i + 1) % n, true);
+            m.set(i, (i * 7 + 3) % n, true);
+        }
+        let dense = Routing::compile(&m, RoutingKind::Dense).expect("dense");
+        for block in [64, 256] {
+            let hier =
+                Routing::compile(&m, RoutingKind::Hierarchical { block, max_global: 1 << 16 })
+                    .expect("hier");
+            let mut out = BitVec::new(n);
+            let mut scratch = hier.scratch();
+            for seed in 0..32 {
+                let idx: Vec<usize> = (0..n).filter(|i| (i * 31 + seed) % 13 == 0).collect();
+                let a = BitVec::from_indices(n, &idx);
+                hier.follow_into(&a, &mut out, &mut scratch);
+                assert_eq!(out, dense.follow(&a), "block {block} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
     fn global_wire_budget_is_enforced() {
         // Bipartite all-cross edges blow the budget.
         let n = 64;
@@ -362,7 +497,7 @@ mod proptests {
             n in 2usize..80,
             edges in proptest::collection::vec((0usize..80, 0usize..80), 0..120),
             actives in proptest::collection::vec(0usize..80, 0..20),
-            block in 2usize..40,
+            block in prop_oneof![2usize..40, Just(64usize), Just(128usize)],
         ) {
             let mut m = BitMatrix::new(n, n);
             for (p, q) in edges {
@@ -390,7 +525,7 @@ mod proptests {
                 proptest::collection::vec(0usize..80, 0..20),
                 1..4,
             ),
-            block in 2usize..40,
+            block in prop_oneof![2usize..40, Just(64usize), Just(128usize)],
         ) {
             let mut m = BitMatrix::new(n, n);
             for (p, q) in edges {

@@ -41,6 +41,7 @@ const REQUIRED_CONFIGS: &[&str] = &[
     "engine_dense_RRAM-AP",
     "engine_dense_SRAM-AP",
     "engine_hierarchical_RRAM-AP",
+    "ap_multistream",
     "software_bitparallel",
     "bitline_lumped_RRAM-AP",
     "bitline_lumped_SRAM-AP",
@@ -52,6 +53,7 @@ const REQUIRED_CONFIGS: &[&str] = &[
     "serve_bitmap_qps_8w",
     "serve_shard_qps",
     "serve_net_qps",
+    "serve_cache_hit",
     "verify_overhead",
     "yield_report",
 ];
@@ -130,6 +132,33 @@ fn run_workloads(quick: bool) -> Vec<ConfigResult> {
     results.push(measure("engine_hierarchical_RRAM-AP", "symbol", symbols, budget, || {
         std::hint::black_box(hier.run(&traffic));
     }));
+
+    // --- Multi-stream AP: 8 lanes through one compiled automaton -------
+    // The same hierarchical automaton, but the traffic is sliced into 8
+    // independent streams driven in lockstep by a MultiStreamProcessor:
+    // each pass fetches the symbol-indexed STE rows once per *symbol
+    // column*, not once per stream, so ns/symbol should land below the
+    // single-stream `engine_hierarchical_RRAM-AP` number above. The
+    // lanes are fed chunk-by-chunk (as the serve layer does) and
+    // finished each iteration, so lane state never leaks across timed
+    // passes.
+    {
+        let streams = 8usize;
+        let lane_len = traffic.len() / streams;
+        let lanes: Vec<&[u8]> =
+            (0..streams).map(|i| &traffic[i * lane_len..(i + 1) * lane_len]).collect();
+        let mut msp = hier.multi_stream(streams);
+        results.push(measure(
+            "ap_multistream",
+            "symbol",
+            (lane_len * streams) as u64,
+            budget,
+            || {
+                std::hint::black_box(msp.feed_many(&lanes));
+                std::hint::black_box(msp.finish_all());
+            },
+        ));
+    }
     let matrices = scanning.to_matrices();
     results.push(measure("software_bitparallel", "symbol", symbols, budget, || {
         std::hint::black_box(matrices.run(&traffic));
@@ -369,6 +398,70 @@ fn run_workloads(quick: bool) -> Vec<ConfigResult> {
         server.shutdown();
     }
 
+    // --- Serve-layer compile cache: warm vs cold session opens ----------
+    // Every unit is one full `ApOpen` round trip over loopback TCP. The
+    // `serve_cache_hit` config reopens one pattern set, so after the
+    // priming open every compile is served from the tenant-keyed LRU
+    // (a map lookup plus a template stamp); `serve_cache_cold` cycles
+    // through more distinct pattern sets than the cache holds, so every
+    // open really compiles and places routing. The gap between the two
+    // numbers is what the cache saves per submission. Counters are
+    // reconciled against the wire `Stats` verb after the timed runs —
+    // the hit path must actually be the hit path.
+    {
+        let service = std::sync::Arc::new(
+            Service::try_start(ServeConfig::default().with_workers(1)).expect("service starts"),
+        );
+        let server = memcim_serve::net::NetServer::start(
+            std::sync::Arc::clone(&service),
+            memcim_serve::net::NetConfig::default()
+                .with_tenant(1, memcim_serve::net::TenantPolicy::new("perf-report-token")),
+        )
+        .expect("server starts");
+        let mut client =
+            memcim_serve::net::NetClient::connect(server.local_addr()).expect("client connects");
+        client.hello(1, "perf-report-token").expect("tenant is provisioned");
+
+        let opens_per_iter = 8usize;
+        let warm_patterns = ["GET /[a-z]+", "ab+c"];
+        let session = client.ap_open(&warm_patterns).expect("priming open");
+        client.ap_close(session).expect("closes");
+        results.push(measure("serve_cache_hit", "open", opens_per_iter as u64, budget, || {
+            for _ in 0..opens_per_iter {
+                let session = client.ap_open(&warm_patterns).expect("warm open");
+                client.ap_close(session).expect("closes");
+            }
+        }));
+        let hits_after_warm = service.ap_cache_hits();
+        assert!(hits_after_warm > 0, "the warm path hit the compile cache");
+
+        // More distinct pattern sets than the cache holds (capacity 32),
+        // cycled round-robin: every open misses and compiles.
+        let cold_texts: Vec<[String; 2]> =
+            (0..48).map(|i| [format!("cold{i}x[a-z]+"), format!("ab+c{i}")]).collect();
+        let mut next_cold = 0usize;
+        results.push(measure("serve_cache_cold", "open", opens_per_iter as u64, budget, || {
+            for _ in 0..opens_per_iter {
+                let set = &cold_texts[next_cold % cold_texts.len()];
+                next_cold += 1;
+                let refs: Vec<&str> = set.iter().map(String::as_str).collect();
+                let session = client.ap_open(&refs).expect("cold open");
+                client.ap_close(session).expect("closes");
+            }
+        }));
+        assert_eq!(service.ap_cache_hits(), hits_after_warm, "the cold path never hit the cache");
+
+        // The wire counters are the in-process counters.
+        let stats = client.stats().expect("stats");
+        assert_eq!(stats.ap_cache_hits, service.ap_cache_hits(), "hits reconcile over the wire");
+        assert_eq!(
+            stats.ap_cache_misses,
+            service.ap_cache_misses(),
+            "misses reconcile over the wire"
+        );
+        server.shutdown();
+    }
+
     // --- Admission-time verification overhead ---------------------------
     // The static pass the serve layer runs on every submitted program
     // before it may queue: one abstract-interpretation walk
@@ -566,4 +659,78 @@ fn main() {
     check_report(&report).expect("generated report must validate");
     std::fs::write(&out_path, &report).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     println!("wrote {out_path}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One fake result per required config, with sane positive numbers.
+    fn complete_results() -> Vec<ConfigResult> {
+        REQUIRED_CONFIGS
+            .iter()
+            .map(|name| ConfigResult {
+                name,
+                unit: "unit",
+                units_per_iter: 100,
+                iters: 10,
+                wall: Duration::from_millis(5),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn a_complete_report_validates() {
+        let report = render_report(&complete_results(), true, None);
+        check_report(&report).expect("all required configs present");
+    }
+
+    #[test]
+    fn a_missing_required_config_fails_loudly_by_name() {
+        // Every required config must be individually load-bearing: drop
+        // each one in turn and the validator must name exactly it.
+        for victim in REQUIRED_CONFIGS {
+            let results: Vec<ConfigResult> =
+                complete_results().into_iter().filter(|r| r.name != *victim).collect();
+            let report = render_report(&results, true, None);
+            let err = check_report(&report).expect_err("a required config is missing");
+            assert!(err.contains(victim), "error {err:?} names the missing config {victim:?}");
+        }
+    }
+
+    #[test]
+    fn the_new_pr10_configs_are_required() {
+        for name in ["ap_multistream", "serve_cache_hit"] {
+            assert!(REQUIRED_CONFIGS.contains(&name), "{name} must be in the --check contract");
+        }
+    }
+
+    #[test]
+    fn non_positive_or_missing_numbers_are_refused() {
+        // A syntactically valid report whose first config claims a zero
+        // per-unit time (all complete_results timings render alike).
+        let report = render_report(&complete_results(), true, None);
+        let zeroed = report.replacen("\"ns_per_unit\": 5000.000", "\"ns_per_unit\": 0.000", 1);
+        assert_ne!(zeroed, report, "the corruption took");
+        let err = check_report(&zeroed).expect_err("zero timings are invalid");
+        assert!(err.contains("not positive"), "{err}");
+
+        let err = check_report("{\"schema\": \"memcim-perf-report/v1\"}")
+            .expect_err("a report without configs is invalid");
+        assert!(err.contains("configs"), "{err}");
+
+        let err = check_report("{\"schema\": \"something-else\"}")
+            .expect_err("a foreign schema tag is invalid");
+        assert!(err.contains("schema"), "{err}");
+    }
+
+    #[test]
+    fn baselines_nest_exactly_one_level() {
+        let inner = render_report(&complete_results(), true, None);
+        let outer = render_report(&complete_results(), true, Some(&inner));
+        check_report(&outer).expect("a report with a baseline validates");
+        let stripped = strip_nested_baseline(&outer);
+        assert!(!stripped.contains("baseline"), "the nested baseline is dropped");
+        check_report(&stripped).expect("the stripped report still validates");
+    }
 }

@@ -9,10 +9,15 @@
 //!
 //! ```text
 //! serve_load [--quick] [--clients N] [--workers W] [--queue-depth Q]
-//!            [--duration-ms MS] [--kill-rate K]
+//!            [--duration-ms MS] [--kill-rate K] [--streams S]
 //! ```
 //!
 //! * `--quick` shrinks the run for CI smoke (4 clients, 150 ms).
+//! * `--streams S` switches the workload from MVP queries to
+//!   multi-stream AP sessions: each client opens one session and every
+//!   request is an `ApFeedMany` driving S lanes through the shared
+//!   automaton (with a periodic `ApFinishMany` so lane state stays
+//!   bounded) — the overload instrument for the multi-stream wire path.
 //! * `--kill-rate K` retires worker engines at ~K kills/second
 //!   (seeded schedule, at least one engine always survives): a chaos
 //!   mode proving the retire-and-divert path stays invisible to
@@ -53,6 +58,8 @@ struct Args {
     duration: Duration,
     /// Engine kills per second; zero disables the chaos schedule.
     kill_rate: f64,
+    /// AP lanes per request; zero keeps the MVP query workload.
+    streams: usize,
 }
 
 fn parse_args() -> Args {
@@ -63,6 +70,7 @@ fn parse_args() -> Args {
         queue_depth: 8,
         duration: Duration::from_millis(2000),
         kill_rate: 0.0,
+        streams: 0,
     };
     let mut it = argv.iter();
     let number = |it: &mut std::slice::Iter<'_, String>, flag: &str| -> u64 {
@@ -83,6 +91,7 @@ fn parse_args() -> Args {
             "--duration-ms" => {
                 args.duration = Duration::from_millis(number(&mut it, "--duration-ms"))
             }
+            "--streams" => args.streams = number(&mut it, "--streams") as usize,
             "--kill-rate" => {
                 args.kill_rate = it
                     .next()
@@ -94,7 +103,7 @@ fn parse_args() -> Args {
                 eprintln!("unknown argument {other:?}");
                 eprintln!(
                     "usage: serve_load [--quick] [--clients N] [--workers W] \
-                     [--queue-depth Q] [--duration-ms MS] [--kill-rate K]"
+                     [--queue-depth Q] [--duration-ms MS] [--kill-rate K] [--streams S]"
                 );
                 std::process::exit(2);
             }
@@ -102,6 +111,11 @@ fn parse_args() -> Args {
     }
     assert!(args.clients > 0, "--clients must be positive");
     assert!(args.kill_rate >= 0.0 && args.kill_rate.is_finite(), "--kill-rate must be finite");
+    assert!(args.streams <= 64, "--streams is capped at the wire protocol's 64 lanes");
+    assert!(
+        args.streams == 0 || args.kill_rate == 0.0,
+        "--streams and --kill-rate are separate instruments (AP sessions live on one worker)"
+    );
     args
 }
 
@@ -265,12 +279,50 @@ fn main() {
         let handles: Vec<_> = (0..args.clients)
             .map(|i| {
                 let plans = &plans;
+                let streams = args.streams;
                 scope.spawn(move || {
                     let tenant = i as u64;
                     let mut client = NetClient::connect(addr).expect("client connects");
                     client.hello(tenant, &token(tenant)).expect("tenant is provisioned");
                     let mut report = ClientReport { latencies_ns: Vec::new(), over_capacity: 0 };
                     let mut next = i; // stagger plan rotation across clients
+                    if streams > 0 {
+                        // Multi-stream AP workload: one session per
+                        // client, every request one ApFeedMany over
+                        // `streams` lanes; a finish every 32 feeds
+                        // bounds per-lane state without dominating.
+                        let session =
+                            client.ap_open(&["GET /[a-z]+", "ab+c"]).expect("session opens");
+                        let mut lane_rng = SmallRng::seed_from_u64(SEED ^ i as u64);
+                        let chunks: Vec<Vec<u8>> = (0..streams)
+                            .map(|_| {
+                                (0..64)
+                                    .map(|_| {
+                                        const ALPHABET: &[u8] = b"GET /abcindex ";
+                                        ALPHABET[lane_rng.gen_range(0..ALPHABET.len())]
+                                    })
+                                    .collect()
+                            })
+                            .collect();
+                        while Instant::now() < deadline {
+                            next += 1;
+                            let sent = Instant::now();
+                            match client.ap_feed_many(session, &chunks) {
+                                Ok(reports) => {
+                                    assert_eq!(reports.len(), streams);
+                                    report.latencies_ns.push(sent.elapsed().as_nanos() as u64);
+                                }
+                                Err(ClientError::Server {
+                                    code: ErrorCode::OverCapacity, ..
+                                }) => report.over_capacity += 1,
+                                Err(e) => panic!("client {i}: unexpected failure: {e}"),
+                            }
+                            if next % 32 == 0 {
+                                client.ap_finish_many(session).expect("lanes finish");
+                            }
+                        }
+                        return report;
+                    }
                     while Instant::now() < deadline {
                         let plan = plans[next % plans.len()].clone();
                         next += 1;

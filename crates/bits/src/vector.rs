@@ -213,7 +213,15 @@ impl BitVec {
         &self.words
     }
 
-    pub(crate) fn as_words_mut(&mut self) -> &mut [u64] {
+    /// Mutable access to the underlying words — the low-level escape
+    /// hatch for fused word-parallel kernels (the AP symbol loop ORs
+    /// routed follow words in place through this).
+    ///
+    /// Invariant: bits at and above `len()` must stay zero; `any()`,
+    /// `count_ones()` and equality rely on a clean tail. Writers that
+    /// only OR/AND words derived from equal-length `BitVec`s preserve
+    /// the invariant automatically.
+    pub fn as_words_mut(&mut self) -> &mut [u64] {
         &mut self.words
     }
 

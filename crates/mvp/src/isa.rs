@@ -9,7 +9,7 @@ use memcim_bits::BitVec;
 /// Row indices address crossbar rows; wide bitwise operations execute
 /// column-parallel via scouting logic, so `And`/`Or` take any number of
 /// distinct source rows (≥ 2) while `Xor` is a two-row window sense.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Instruction {
     /// Loads a bit vector into a row (host → memory transfer plus
     /// programming cost).

@@ -45,6 +45,24 @@ pub enum Job {
         /// The session to finish.
         session: SessionId,
     },
+    /// Streams one chunk into **each** stream lane of an AP session in
+    /// a single job: `chunks[i]` goes to lane `i`. Lanes are
+    /// independent streams through one compiled automaton; the session
+    /// grows lanes on demand to `chunks.len()`. Like [`Job::ApFeed`],
+    /// jobs of one session must be serialized by the client.
+    ApFeedMany {
+        /// The session opened via `Service::open_session`.
+        session: SessionId,
+        /// `chunks[i]` is appended to stream lane `i`.
+        chunks: Vec<Vec<u8>>,
+    },
+    /// Ends the current stream of **every** lane of an AP session,
+    /// collecting per-lane matches; the session stays open with all its
+    /// lanes reset for the next streams.
+    ApFinishMany {
+        /// The session to finish.
+        session: SessionId,
+    },
 }
 
 /// What one coalesced MVP burst cost; shared by every job that rode in
@@ -126,6 +144,12 @@ pub enum JobOutput {
     ApFeed(ApReport),
     /// Result of [`Job::ApFinish`].
     ApFinish(ApMatches),
+    /// Result of [`Job::ApFeedMany`]: the *cumulative* per-lane cost
+    /// reports, `reports[i]` for lane `i`.
+    ApFeedMany(Vec<ApReport>),
+    /// Result of [`Job::ApFinishMany`]: per-lane stream results,
+    /// `matches[i]` for lane `i`.
+    ApFinishMany(Vec<ApMatches>),
 }
 
 impl JobOutput {
@@ -149,6 +173,23 @@ impl JobOutput {
     pub fn into_ap_finish(self) -> Option<ApMatches> {
         match self {
             JobOutput::ApFinish(run) => Some(run),
+            _ => None,
+        }
+    }
+
+    /// The per-lane feed reports, if this was an [`Job::ApFeedMany`].
+    pub fn into_ap_feed_many(self) -> Option<Vec<ApReport>> {
+        match self {
+            JobOutput::ApFeedMany(reports) => Some(reports),
+            _ => None,
+        }
+    }
+
+    /// The per-lane stream results, if this was an
+    /// [`Job::ApFinishMany`].
+    pub fn into_ap_finish_many(self) -> Option<Vec<ApMatches>> {
+        match self {
+            JobOutput::ApFinishMany(runs) => Some(runs),
             _ => None,
         }
     }

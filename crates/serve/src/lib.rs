@@ -146,6 +146,7 @@ pub use job::{
 pub use placement::{Catalog, PlacementConfig};
 pub use queue::{BoundedQueue, PushRefused};
 pub use service::{BoxedBackend, EngineFactory, ServeConfig, Service, TenantUsage};
+pub use session::ApOpenInfo;
 
 #[cfg(test)]
 mod tests {

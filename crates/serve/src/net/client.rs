@@ -279,9 +279,26 @@ impl NetClient {
     /// [`ClientError::Server`] with [`ErrorCode::Compile`] for
     /// unparsable patterns.
     pub fn ap_open(&mut self, patterns: &[&str]) -> Result<SessionId, ClientError> {
+        self.ap_open_info(patterns).map(|(session, _)| session)
+    }
+
+    /// Compiles `patterns` into a streaming session, also reporting the
+    /// server's compile disposition: whether hierarchical routing fell
+    /// back to a dense matrix, and whether the compiled automaton came
+    /// from the server's compile cache.
+    ///
+    /// # Errors
+    ///
+    /// As [`NetClient::ap_open`].
+    pub fn ap_open_info(
+        &mut self,
+        patterns: &[&str],
+    ) -> Result<(SessionId, crate::ApOpenInfo), ClientError> {
         let patterns = patterns.iter().map(|p| p.to_string()).collect();
         match self.request(&Request::ApOpen { patterns })? {
-            Response::ApOpened { session } => Ok(session),
+            Response::ApOpened { session, routing_fallback, cache_hit } => {
+                Ok((session, crate::ApOpenInfo { routing_fallback, cache_hit }))
+            }
             other => Err(unexpected(&other)),
         }
     }
@@ -308,6 +325,37 @@ impl NetClient {
     pub fn ap_finish(&mut self, session: SessionId) -> Result<ApMatches, ClientError> {
         match self.request(&Request::ApFinish { session })? {
             Response::ApFinished(run) => Ok(run),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Streams one chunk into **each** lane of a multi-stream session:
+    /// `chunks[i]` feeds lane `i`, lanes growing on demand. Returns one
+    /// cumulative report per lane, in lane order.
+    ///
+    /// # Errors
+    ///
+    /// As [`NetClient::ap_feed`].
+    pub fn ap_feed_many(
+        &mut self,
+        session: SessionId,
+        chunks: &[Vec<u8>],
+    ) -> Result<Vec<ApReport>, ClientError> {
+        match self.request(&Request::ApFeedMany { session, chunks: chunks.to_vec() })? {
+            Response::ApFedMany(reports) => Ok(reports),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Ends every lane's stream and collects per-lane matches, in lane
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// As [`NetClient::ap_feed`].
+    pub fn ap_finish_many(&mut self, session: SessionId) -> Result<Vec<ApMatches>, ClientError> {
+        match self.request(&Request::ApFinishMany { session })? {
+            Response::ApFinishedMany(runs) => Ok(runs),
             other => Err(unexpected(&other)),
         }
     }
@@ -470,6 +518,8 @@ fn unexpected(response: &Response) -> ClientError {
         Response::ApOpened { .. } => "ApOpened",
         Response::ApFed(_) => "ApFed",
         Response::ApFinished(_) => "ApFinished",
+        Response::ApFedMany(_) => "ApFedMany",
+        Response::ApFinishedMany(_) => "ApFinishedMany",
         Response::ApClosed => "ApClosed",
         Response::Usage(_) => "Usage",
         Response::Stats(_) => "Stats",

@@ -369,8 +369,10 @@ fn dispatch(
         Request::Submit { programs } => {
             // Static verification precedes admission: a refused program
             // charges neither quota nor rate tokens and never queues.
+            // Runs through the verify cache, so the submit path's own
+            // check right after is a cache hit, not repeated work.
             for program in &programs {
-                if let Err(e) = service.config().verify_program(program) {
+                if let Err(e) = service.verify_program_cached(tenant, program) {
                     return error_frame(&e);
                 }
             }
@@ -413,8 +415,12 @@ fn dispatch(
                 return error_frame(&e);
             }
             let refs: Vec<&str> = patterns.iter().map(String::as_str).collect();
-            match service.open_session(tenant, &refs) {
-                Ok(session) => Response::ApOpened { session },
+            match service.open_session_info(tenant, &refs) {
+                Ok((session, info)) => Response::ApOpened {
+                    session,
+                    routing_fallback: info.routing_fallback,
+                    cache_hit: info.cache_hit,
+                },
                 Err(e) => error_frame(&e),
             }
         }
@@ -439,6 +445,30 @@ fn dispatch(
                 Ok(output) => match output.into_ap_finish() {
                     Some(run) => Response::ApFinished(run),
                     None => internal("finish job resolved to a non-finish output"),
+                },
+            }
+        }
+        Request::ApFeedMany { session, chunks } => {
+            if let Err(e) = admission.admit(tenant, 1, Instant::now()) {
+                return error_frame(&e);
+            }
+            match submit_and_wait(service, tenant, Job::ApFeedMany { session, chunks }) {
+                Err(e) => error_frame(&e),
+                Ok(output) => match output.into_ap_feed_many() {
+                    Some(reports) => Response::ApFedMany(reports),
+                    None => internal("multi-feed job resolved to a non-feed output"),
+                },
+            }
+        }
+        Request::ApFinishMany { session } => {
+            if let Err(e) = admission.admit(tenant, 1, Instant::now()) {
+                return error_frame(&e);
+            }
+            match submit_and_wait(service, tenant, Job::ApFinishMany { session }) {
+                Err(e) => error_frame(&e),
+                Ok(output) => match output.into_ap_finish_many() {
+                    Some(runs) => Response::ApFinishedMany(runs),
+                    None => internal("multi-finish job resolved to a non-finish output"),
                 },
             }
         }
@@ -513,6 +543,11 @@ fn dispatch(
             shards: service.shard_count() as u64,
             replicas: service.replica_count() as u64,
             unavailable_shards: service.unavailable_shards() as u64,
+            routing_fallbacks: service.routing_fallbacks(),
+            ap_cache_hits: service.ap_cache_hits(),
+            ap_cache_misses: service.ap_cache_misses(),
+            mvp_cache_hits: service.mvp_cache_hits(),
+            mvp_cache_misses: service.mvp_cache_misses(),
             tenants: service
                 .usage_snapshot()
                 .into_iter()

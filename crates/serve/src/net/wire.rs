@@ -38,7 +38,9 @@
 //! | `0x09` | → | [`Request::CorrOpen`] — open a correlation session |
 //! | `0x0A` | → | [`Request::CorrFeed`] — stream one event window |
 //! | `0x0B` | → | [`Request::CorrFinish`] — collect the correlated set |
-//! | `0x81`–`0x8B` | ← | the matching success responses |
+//! | `0x0C` | → | [`Request::ApFeedMany`] — one chunk per stream lane |
+//! | `0x0D` | → | [`Request::ApFinishMany`] — end every lane's stream |
+//! | `0x81`–`0x8D` | ← | the matching success responses |
 //! | `0xEE` | ← | [`Response::Error`] with an [`ErrorCode`] |
 //!
 //! Correlation sessions are closed with the kind-agnostic `ApClose`
@@ -68,6 +70,11 @@ pub const MAX_FRAME_DEFAULT: usize = 1 << 20;
 /// work, so the count is capped independently of the frame size.
 const MAX_PATTERNS: usize = 1024;
 
+/// Upper bound on stream lanes per multi-stream AP request. Like
+/// [`MAX_PATTERNS`], this caps what a hostile frame can make the server
+/// allocate and execute in one job.
+const MAX_STREAMS: usize = 64;
+
 // --- Opcodes ----------------------------------------------------------
 
 const OP_HELLO: u8 = 0x01;
@@ -81,6 +88,8 @@ const OP_STATS: u8 = 0x08;
 const OP_CORR_OPEN: u8 = 0x09;
 const OP_CORR_FEED: u8 = 0x0A;
 const OP_CORR_FINISH: u8 = 0x0B;
+const OP_AP_FEED_MANY: u8 = 0x0C;
+const OP_AP_FINISH_MANY: u8 = 0x0D;
 
 const OP_HELLO_OK: u8 = 0x81;
 const OP_MVP_RESULT: u8 = 0x82;
@@ -93,6 +102,8 @@ const OP_STATS_REPORT: u8 = 0x88;
 const OP_CORR_OPENED: u8 = 0x89;
 const OP_CORR_FEED_OK: u8 = 0x8A;
 const OP_CORR_REPORT: u8 = 0x8B;
+const OP_AP_FED_MANY: u8 = 0x8C;
+const OP_AP_MATCHES_MANY: u8 = 0x8D;
 const OP_ERROR: u8 = 0xEE;
 
 // --- Error taxonomy ---------------------------------------------------
@@ -329,6 +340,14 @@ impl<'a> Reader<'a> {
         Ok(self.take(1)?[0])
     }
 
+    fn bool(&mut self) -> Result<bool, FrameError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(FrameError::BadPayload("boolean out of range")),
+        }
+    }
+
     fn u16(&mut self) -> Result<u16, FrameError> {
         let b = self.take(2)?;
         Ok(u16::from_be_bytes([b[0], b[1]]))
@@ -543,6 +562,29 @@ fn decode_ap_report(r: &mut Reader<'_>) -> Result<ApReport, FrameError> {
     })
 }
 
+fn encode_ap_matches(w: &mut Writer, run: &crate::ApMatches) -> Result<(), EncodeError> {
+    w.u8(u8::from(run.accepted));
+    w.u64(run.symbols);
+    encode_ap_report(w, &run.report);
+    w.u32_of("match count", run.matches.len())?;
+    for &(pos, pattern) in &run.matches {
+        w.u64(pos as u64);
+        w.u64(pattern as u64);
+    }
+    Ok(())
+}
+
+fn decode_ap_matches(r: &mut Reader<'_>) -> Result<crate::ApMatches, FrameError> {
+    let accepted = r.bool()?;
+    let symbols = r.u64()?;
+    let report = decode_ap_report(r)?;
+    let n = r.count(16)?;
+    let matches = (0..n)
+        .map(|_| Ok((r.u64()? as usize, r.u64()? as usize)))
+        .collect::<Result<Vec<_>, FrameError>>()?;
+    Ok(crate::ApMatches { accepted, matches, symbols, report })
+}
+
 // --- Requests ---------------------------------------------------------
 
 /// A client-to-server verb.
@@ -610,6 +652,21 @@ pub enum Request {
     /// Ends a correlation session's stream and collects the correlated
     /// set; the session resets and stays open for the next stream.
     CorrFinish {
+        /// The session to finish.
+        session: SessionId,
+    },
+    /// Streams one chunk into **each** lane of an AP session:
+    /// `chunks[i]` goes to lane `i`, lanes growing on demand (capped at
+    /// 64 per request).
+    ApFeedMany {
+        /// The session to feed.
+        session: SessionId,
+        /// Per-lane input bytes.
+        chunks: Vec<Vec<u8>>,
+    },
+    /// Ends the current stream of every lane of an AP session and
+    /// collects per-lane matches.
+    ApFinishMany {
         /// The session to finish.
         session: SessionId,
     },
@@ -687,6 +744,20 @@ impl Request {
                 w.u64(*session);
                 w.buf
             }
+            Request::ApFeedMany { session, chunks } => {
+                let mut w = Writer::new(OP_AP_FEED_MANY);
+                w.u64(*session);
+                w.u32_of("stream count", chunks.len())?;
+                for chunk in chunks {
+                    w.bytes("chunk", chunk)?;
+                }
+                w.buf
+            }
+            Request::ApFinishMany { session } => {
+                let mut w = Writer::new(OP_AP_FINISH_MANY);
+                w.u64(*session);
+                w.buf
+            }
         };
         Ok(body)
     }
@@ -739,6 +810,16 @@ impl Request {
                 Request::CorrFeed { session, window }
             }
             OP_CORR_FINISH => Request::CorrFinish { session: r.u64()? },
+            OP_AP_FEED_MANY => {
+                let session = r.u64()?;
+                let n = r.count(4)?;
+                if n == 0 || n > MAX_STREAMS {
+                    return Err(FrameError::BadPayload("stream count out of range"));
+                }
+                let chunks = (0..n).map(|_| r.bytes()).collect::<Result<Vec<_>, _>>()?;
+                Request::ApFeedMany { session, chunks }
+            }
+            OP_AP_FINISH_MANY => Request::ApFinishMany { session: r.u64()? },
             other => return Err(FrameError::UnknownOpcode(other)),
         };
         r.finish()?;
@@ -856,6 +937,18 @@ pub struct WireStats {
     /// Shards whose whole replica set is dead — sub-queries touching
     /// them fail with [`ErrorCode::ShardUnavailable`].
     pub unavailable_shards: u64,
+    /// AP session opens whose hierarchical routing fell back to a
+    /// dense matrix.
+    pub routing_fallbacks: u64,
+    /// AP session opens served from the compile cache.
+    pub ap_cache_hits: u64,
+    /// AP session opens that had to compile.
+    pub ap_cache_misses: u64,
+    /// MVP submissions whose static verification was served from the
+    /// verify cache.
+    pub mvp_cache_hits: u64,
+    /// MVP program verifications that actually ran.
+    pub mvp_cache_misses: u64,
     /// Per-tenant usage rows, sorted by tenant id.
     pub tenants: Vec<TenantStat>,
 }
@@ -872,6 +965,12 @@ pub enum Response {
     ApOpened {
         /// The new session's id.
         session: SessionId,
+        /// Hierarchical routing ran out of global wires and the session
+        /// runs on a dense routing matrix (functionally identical,
+        /// costlier per symbol).
+        routing_fallback: bool,
+        /// The compiled automaton came from the server's compile cache.
+        cache_hit: bool,
     },
     /// An `ApFeed` ran; the report is cumulative for the stream so far.
     ApFed(ApReport),
@@ -895,6 +994,10 @@ pub enum Response {
     /// A `CorrFinish` ran: the thresholded correlated set with its
     /// evidence.
     CorrReport(crate::CorrOutcome),
+    /// An `ApFeedMany` ran; per-lane cumulative reports, in lane order.
+    ApFedMany(Vec<ApReport>),
+    /// An `ApFinishMany` ran; per-lane stream results, in lane order.
+    ApFinishedMany(Vec<crate::ApMatches>),
     /// The request failed; `code` is machine-readable, `message` is for
     /// the operator's log.
     Error {
@@ -929,9 +1032,11 @@ impl Response {
                 }
                 w.buf
             }
-            Response::ApOpened { session } => {
+            Response::ApOpened { session, routing_fallback, cache_hit } => {
                 let mut w = Writer::new(OP_AP_OPENED);
                 w.u64(*session);
+                w.u8(u8::from(*routing_fallback));
+                w.u8(u8::from(*cache_hit));
                 w.buf
             }
             Response::ApFed(report) => {
@@ -941,14 +1046,7 @@ impl Response {
             }
             Response::ApFinished(run) => {
                 let mut w = Writer::new(OP_AP_MATCHES);
-                w.u8(u8::from(run.accepted));
-                w.u64(run.symbols);
-                encode_ap_report(&mut w, &run.report);
-                w.u32_of("match count", run.matches.len())?;
-                for &(pos, pattern) in &run.matches {
-                    w.u64(pos as u64);
-                    w.u64(pattern as u64);
-                }
+                encode_ap_matches(&mut w, run)?;
                 w.buf
             }
             Response::ApClosed => Writer::new(OP_AP_CLOSED).buf,
@@ -991,6 +1089,11 @@ impl Response {
                 w.u64(stats.shards);
                 w.u64(stats.replicas);
                 w.u64(stats.unavailable_shards);
+                w.u64(stats.routing_fallbacks);
+                w.u64(stats.ap_cache_hits);
+                w.u64(stats.ap_cache_misses);
+                w.u64(stats.mvp_cache_hits);
+                w.u64(stats.mvp_cache_misses);
                 w.u32_of("tenant count", stats.tenants.len())?;
                 for row in &stats.tenants {
                     w.u64(row.tenant);
@@ -1021,6 +1124,22 @@ impl Response {
                 }
                 w.u64(outcome.events);
                 w.u64(outcome.threshold);
+                w.buf
+            }
+            Response::ApFedMany(reports) => {
+                let mut w = Writer::new(OP_AP_FED_MANY);
+                w.u32_of("lane count", reports.len())?;
+                for report in reports {
+                    encode_ap_report(&mut w, report);
+                }
+                w.buf
+            }
+            Response::ApFinishedMany(runs) => {
+                let mut w = Writer::new(OP_AP_MATCHES_MANY);
+                w.u32_of("lane count", runs.len())?;
+                for run in runs {
+                    encode_ap_matches(&mut w, run)?;
+                }
                 w.buf
             }
             Response::Error { code, message } => {
@@ -1059,22 +1178,13 @@ impl Response {
                 }
                 Response::Mvp(WireMvpResult { outputs, jobs, programs, energy, busy })
             }
-            OP_AP_OPENED => Response::ApOpened { session: r.u64()? },
+            OP_AP_OPENED => Response::ApOpened {
+                session: r.u64()?,
+                routing_fallback: r.bool()?,
+                cache_hit: r.bool()?,
+            },
             OP_AP_FEED_OK => Response::ApFed(decode_ap_report(&mut r)?),
-            OP_AP_MATCHES => {
-                let accepted = match r.u8()? {
-                    0 => false,
-                    1 => true,
-                    _ => return Err(FrameError::BadPayload("boolean out of range")),
-                };
-                let symbols = r.u64()?;
-                let report = decode_ap_report(&mut r)?;
-                let n = r.count(16)?;
-                let matches = (0..n)
-                    .map(|_| Ok((r.u64()? as usize, r.u64()? as usize)))
-                    .collect::<Result<Vec<_>, FrameError>>()?;
-                Response::ApFinished(crate::ApMatches { accepted, matches, symbols, report })
-            }
+            OP_AP_MATCHES => Response::ApFinished(decode_ap_matches(&mut r)?),
             OP_AP_CLOSED => Response::ApClosed,
             OP_USAGE_REPORT => {
                 let mut usage = WireUsage {
@@ -1115,6 +1225,11 @@ impl Response {
                 let shards = r.u64()?;
                 let replicas = r.u64()?;
                 let unavailable_shards = r.u64()?;
+                let routing_fallbacks = r.u64()?;
+                let ap_cache_hits = r.u64()?;
+                let ap_cache_misses = r.u64()?;
+                let mvp_cache_hits = r.u64()?;
+                let mvp_cache_misses = r.u64()?;
                 let n = r.count(32)?;
                 let tenants = (0..n)
                     .map(|_| {
@@ -1136,6 +1251,11 @@ impl Response {
                     shards,
                     replicas,
                     unavailable_shards,
+                    routing_fallbacks,
+                    ap_cache_hits,
+                    ap_cache_misses,
+                    mvp_cache_hits,
+                    mvp_cache_misses,
                     tenants,
                 })
             }
@@ -1152,6 +1272,18 @@ impl Response {
                 let events = r.u64()?;
                 let threshold = r.u64()?;
                 Response::CorrReport(crate::CorrOutcome { correlated, scores, events, threshold })
+            }
+            OP_AP_FED_MANY => {
+                let n = r.count(24)?;
+                let reports =
+                    (0..n).map(|_| decode_ap_report(&mut r)).collect::<Result<Vec<_>, _>>()?;
+                Response::ApFedMany(reports)
+            }
+            OP_AP_MATCHES_MANY => {
+                let n = r.count(33)?;
+                let runs =
+                    (0..n).map(|_| decode_ap_matches(&mut r)).collect::<Result<Vec<_>, _>>()?;
+                Response::ApFinishedMany(runs)
             }
             OP_ERROR => {
                 Response::Error { code: ErrorCode::from_u16(r.u16()?), message: r.string()? }
@@ -1303,6 +1435,11 @@ mod tests {
             window: vec![BitVec::from_indices(130, &[0, 64, 129]), BitVec::new(130)],
         });
         roundtrip_request(Request::CorrFinish { session: 4 });
+        roundtrip_request(Request::ApFeedMany {
+            session: 9,
+            chunks: vec![b"GET /a".to_vec(), Vec::new(), b"POST /b".to_vec()],
+        });
+        roundtrip_request(Request::ApFinishMany { session: 9 });
     }
 
     #[test]
@@ -1315,7 +1452,16 @@ mod tests {
             energy: Joules::from_femtojoules(12.5),
             busy: Seconds::from_nanoseconds(7.25),
         }));
-        roundtrip_response(Response::ApOpened { session: 3 });
+        roundtrip_response(Response::ApOpened {
+            session: 3,
+            routing_fallback: false,
+            cache_hit: false,
+        });
+        roundtrip_response(Response::ApOpened {
+            session: 4,
+            routing_fallback: true,
+            cache_hit: true,
+        });
         roundtrip_response(Response::ApFed(ApReport {
             cycles: 11,
             latency: Seconds::from_nanoseconds(2.0),
@@ -1376,6 +1522,11 @@ mod tests {
             shards: 8,
             replicas: 2,
             unavailable_shards: 1,
+            routing_fallbacks: 2,
+            ap_cache_hits: 13,
+            ap_cache_misses: 4,
+            mvp_cache_hits: 21,
+            mvp_cache_misses: 9,
             tenants: vec![TenantStat {
                 tenant: 7,
                 jobs: 12,
@@ -1395,6 +1546,40 @@ mod tests {
             events: 18432,
             threshold: 1556,
         }));
+        roundtrip_response(Response::ApFedMany(vec![
+            ApReport {
+                cycles: 11,
+                latency: Seconds::from_nanoseconds(2.0),
+                energy: Joules::from_femtojoules(4.0),
+            },
+            ApReport {
+                cycles: 0,
+                latency: Seconds::from_nanoseconds(0.0),
+                energy: Joules::from_femtojoules(0.0),
+            },
+        ]));
+        roundtrip_response(Response::ApFinishedMany(vec![
+            crate::ApMatches {
+                accepted: true,
+                matches: vec![(5, 0)],
+                symbols: 15,
+                report: ApReport {
+                    cycles: 15,
+                    latency: Seconds::from_nanoseconds(3.0),
+                    energy: Joules::from_femtojoules(6.0),
+                },
+            },
+            crate::ApMatches {
+                accepted: false,
+                matches: vec![],
+                symbols: 2,
+                report: ApReport {
+                    cycles: 2,
+                    latency: Seconds::from_nanoseconds(0.5),
+                    energy: Joules::from_femtojoules(1.0),
+                },
+            },
+        ]));
         roundtrip_response(Response::Error {
             code: ErrorCode::RateLimited,
             message: "slow down".into(),
@@ -1410,6 +1595,15 @@ mod tests {
         assert_eq!(
             Request::decode(&body),
             Err(FrameError::BadPayload("element count exceeds frame"))
+        );
+        // An ApFeedMany claiming more lanes than the stream cap.
+        let mut body = vec![OP_AP_FEED_MANY];
+        body.extend_from_slice(&9u64.to_be_bytes());
+        body.extend_from_slice(&(MAX_STREAMS as u32 + 1).to_be_bytes());
+        body.extend_from_slice(&[0; 4 * (MAX_STREAMS + 1)]);
+        assert_eq!(
+            Request::decode(&body),
+            Err(FrameError::BadPayload("stream count out of range"))
         );
         // A bit vector claiming 2^31 bits in a tiny frame.
         let mut body = vec![OP_SUBMIT];

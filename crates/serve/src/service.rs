@@ -6,19 +6,19 @@ use crate::job::{ticket_pair, Responder, ShardedTicket};
 use crate::placement::{Catalog, PlacementConfig};
 use crate::queue::PushRefused;
 use crate::router::WorkRouter;
-use crate::session::{ApSession, CorrSession, SessionTable, StreamSession};
+use crate::session::{ApOpenInfo, ApSession, CorrSession, SessionTable, StreamSession};
 use crate::sync;
 use crate::{
     ApMatches, BurstReport, CorrFeedReport, CorrOutcome, Job, JobOutput, MvpOutput, ServeError,
     SessionId, TenantId, Ticket,
 };
-use memcim_ap::{ApBackend, ApReport};
+use memcim_ap::ApBackend;
 use memcim_bits::BitVec;
 use memcim_crossbar::{BankedCrossbar, CrossbarBackend, EccCrossbar, HammingCode, OpLedger};
 use memcim_mvp::{correlation, BatchRequest, Instruction, MvpError, MvpSimulator, ShardMap};
 use memcim_units::{Joules, Seconds};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -233,23 +233,6 @@ impl ServeConfig {
         }
     }
 
-    /// [`verify_program`](Self::verify_program) applied to every MVP
-    /// program a job carries (streaming AP jobs pass untouched).
-    ///
-    /// # Errors
-    ///
-    /// The first [`ServeError::InvalidProgram`] among the job's
-    /// programs.
-    fn verify_job(&self, job: &Job) -> Result<(), ServeError> {
-        match job {
-            Job::MvpProgram(program) => self.verify_program(program),
-            Job::MvpBatch(batch) => {
-                batch.programs().iter().try_for_each(|program| self.verify_program(program))
-            }
-            _ => Ok(()),
-        }
-    }
-
     /// Builds one worker's substrate per the configuration (or the
     /// custom factory).
     fn build_backend(&self, worker: usize) -> BoxedBackend {
@@ -357,6 +340,61 @@ struct Shared {
     /// with [`ServeError::ShuttingDown`] while in-flight tickets and
     /// open AP sessions finish.
     draining: AtomicBool,
+    /// Programs static verification has already admitted, so a tenant
+    /// resubmitting the same query plan skips re-verification.
+    verify_cache: std::sync::Mutex<VerifyCache>,
+    /// Submissions whose verification was served from the cache.
+    mvp_cache_hits: AtomicU64,
+    /// Program verifications that actually ran.
+    mvp_cache_misses: AtomicU64,
+}
+
+/// Bounded capacity of the verify cache (admitted programs, service
+/// wide; entries are tenant-keyed so tenants never share admissions).
+const MVP_VERIFY_CACHE_CAPACITY: usize = 64;
+
+/// Bounded LRU of `(tenant, program)` pairs static verification has
+/// admitted. Keyed by a 64-bit program hash for cheap lookup but
+/// confirmed by full program equality before a hit counts — a hash
+/// collision degrades to a miss, never to a false admission.
+#[derive(Debug, Default)]
+struct VerifyCache {
+    entries: HashMap<(TenantId, u64), (u64, Vec<Instruction>)>,
+    clock: u64,
+}
+
+impl VerifyCache {
+    fn hash(program: &[Instruction]) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        program.hash(&mut hasher);
+        hasher.finish()
+    }
+
+    fn contains(&mut self, tenant: TenantId, program: &[Instruction]) -> bool {
+        self.clock += 1;
+        let clock = self.clock;
+        match self.entries.get_mut(&(tenant, Self::hash(program))) {
+            Some((stamp, cached)) if cached == program => {
+                *stamp = clock;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn insert(&mut self, tenant: TenantId, program: &[Instruction]) {
+        let key = (tenant, Self::hash(program));
+        if self.entries.len() >= MVP_VERIFY_CACHE_CAPACITY && !self.entries.contains_key(&key) {
+            if let Some(oldest) =
+                self.entries.iter().min_by_key(|(_, (stamp, _))| *stamp).map(|(k, _)| *k)
+            {
+                self.entries.remove(&oldest);
+            }
+        }
+        self.clock += 1;
+        self.entries.insert(key, (self.clock, program.to_vec()));
+    }
 }
 
 impl Shared {
@@ -383,6 +421,44 @@ impl Shared {
         let usage = map.entry(tenant).or_default();
         usage.corr_events += events;
         usage.corr_jobs += 1;
+    }
+
+    /// [`ServeConfig::verify_program`] through the bounded verify
+    /// cache: a program this tenant already had admitted skips
+    /// re-verification (confirmed by full program equality, so a hit is
+    /// exactly as safe as a fresh run). Only successful verifications
+    /// are cached; with verification disabled nothing is cached or
+    /// counted.
+    fn verify_program_cached(
+        &self,
+        tenant: TenantId,
+        program: &[Instruction],
+    ) -> Result<(), ServeError> {
+        if !self.config.verify_programs {
+            return Ok(());
+        }
+        if sync::lock(&self.verify_cache).contains(tenant, program) {
+            self.mvp_cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+        self.mvp_cache_misses.fetch_add(1, Ordering::Relaxed);
+        self.config.verify_program(program)?;
+        sync::lock(&self.verify_cache).insert(tenant, program);
+        Ok(())
+    }
+
+    /// [`verify_program_cached`](Self::verify_program_cached) applied
+    /// to every MVP program a job carries (streaming AP jobs pass
+    /// untouched).
+    fn verify_job_cached(&self, tenant: TenantId, job: &Job) -> Result<(), ServeError> {
+        match job {
+            Job::MvpProgram(program) => self.verify_program_cached(tenant, program),
+            Job::MvpBatch(batch) => batch
+                .programs()
+                .iter()
+                .try_for_each(|program| self.verify_program_cached(tenant, program)),
+            _ => Ok(()),
+        }
     }
 }
 
@@ -460,6 +536,9 @@ impl Service {
             config: config.clone(),
             catalog,
             draining: AtomicBool::new(false),
+            verify_cache: std::sync::Mutex::new(VerifyCache::default()),
+            mvp_cache_hits: AtomicU64::new(0),
+            mvp_cache_misses: AtomicU64::new(0),
         });
         let mut workers = Vec::with_capacity(config.workers);
         for i in 0..config.workers {
@@ -534,6 +613,56 @@ impl Service {
         self.shared.catalog.as_ref().map_or(0, Catalog::unavailable_shards)
     }
 
+    /// AP session opens whose hierarchical routing fell back to a dense
+    /// matrix (counted per open, including cache hits on a fallback
+    /// template) — the serve-layer mirror of the per-open
+    /// [`ApOpenInfo::routing_fallback`] flag.
+    pub fn routing_fallbacks(&self) -> u64 {
+        self.shared.sessions.routing_fallbacks()
+    }
+
+    /// AP session opens served from the bounded compile cache (no
+    /// pattern compilation or routing placement ran).
+    pub fn ap_cache_hits(&self) -> u64 {
+        self.shared.sessions.ap_cache_hits()
+    }
+
+    /// AP session opens that had to compile.
+    pub fn ap_cache_misses(&self) -> u64 {
+        self.shared.sessions.ap_cache_misses()
+    }
+
+    /// MVP submissions whose static verification was skipped because an
+    /// identical program of the same tenant was already admitted.
+    pub fn mvp_cache_hits(&self) -> u64 {
+        self.shared.mvp_cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// MVP program verifications that actually ran (zero while
+    /// verification is disabled).
+    pub fn mvp_cache_misses(&self) -> u64 {
+        self.shared.mvp_cache_misses.load(Ordering::Relaxed)
+    }
+
+    /// Statically verifies `program` through the tenant-keyed verify
+    /// cache: a program this tenant already had admitted skips
+    /// re-verification (confirmed by full program equality). This is the
+    /// same check `submit` applies — front doors that verify before
+    /// admission (the network server does) call it here so the work is
+    /// shared, not repeated.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidProgram`] for a program the static verifier
+    /// refuses.
+    pub fn verify_program_cached(
+        &self,
+        tenant: TenantId,
+        program: &[Instruction],
+    ) -> Result<(), ServeError> {
+        self.shared.verify_program_cached(tenant, program)
+    }
+
     /// `true` while `job` must be refused in drain mode: new MVP work
     /// is turned away, streaming jobs pass so open sessions can finish.
     fn drain_refuses(&self, job: &Job) -> bool {
@@ -554,7 +683,7 @@ impl Service {
         if self.drain_refuses(&job) {
             return Err(ServeError::ShuttingDown);
         }
-        self.shared.config.verify_job(&job)?;
+        self.shared.verify_job_cached(tenant, &job)?;
         let (ticket, responder) = ticket_pair();
         self.shared
             .queue
@@ -576,7 +705,7 @@ impl Service {
         if self.drain_refuses(&job) {
             return Err(ServeError::ShuttingDown);
         }
-        self.shared.config.verify_job(&job)?;
+        self.shared.verify_job_cached(tenant, &job)?;
         let (ticket, responder) = ticket_pair();
         match self.shared.queue.try_push(Envelope { tenant, job, route: None, responder }) {
             Ok(()) => Ok(ticket),
@@ -633,7 +762,7 @@ impl Service {
                     reason: format!("shard {shard} outside the {}-shard catalog", catalog.shards()),
                 }));
             }
-            self.shared.config.verify_program(program)?;
+            self.shared.verify_program_cached(tenant, program)?;
         }
         Ok(self.scatter_routed(tenant, subqueries, catalog))
     }
@@ -720,6 +849,22 @@ impl Service {
         tenant: TenantId,
         patterns: &[&str],
     ) -> Result<SessionId, ServeError> {
+        self.open_session_info(tenant, patterns).map(|(id, _)| id)
+    }
+
+    /// [`open_session`](Self::open_session), also reporting what the
+    /// open decided: whether the compiled automaton came out of the
+    /// tenant's compile cache, and whether hierarchical routing fell
+    /// back to a dense matrix. Same errors as `open_session`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`open_session`](Self::open_session).
+    pub fn open_session_info(
+        &self,
+        tenant: TenantId,
+        patterns: &[&str],
+    ) -> Result<(SessionId, ApOpenInfo), ServeError> {
         if self.is_draining() {
             return Err(ServeError::ShuttingDown);
         }
@@ -1149,39 +1294,85 @@ fn execute_unit(unit: Unit, engine: &mut Option<Engine>, shared: &Shared, worker
         }
         Unit::ApFeed { tenant, session, chunk, responder } => {
             match shared.sessions.checkout_ap(session, tenant) {
-                Ok(mut state) => {
-                    let cumulative = state.processor.feed(&chunk);
-                    let (symbols, energy, busy) = state.take_unaccounted(cumulative);
-                    shared.account_ap(tenant, symbols, energy, busy);
-                    shared.sessions.put_back(session, StreamSession::Ap(state));
-                    responder.fulfil(Ok(JobOutput::ApFeed(cumulative)));
-                }
+                // Lane 0 is the legacy single-stream path; a session
+                // always has at least one lane.
+                Ok(mut state) => match state.processor.feed(0, &chunk) {
+                    Ok(cumulative) => {
+                        let (symbols, energy, busy) = state.take_unaccounted();
+                        shared.account_ap(tenant, symbols, energy, busy);
+                        shared.sessions.put_back(session, StreamSession::Ap(state));
+                        responder.fulfil(Ok(JobOutput::ApFeed(cumulative)));
+                    }
+                    Err(e) => {
+                        shared.sessions.put_back(session, StreamSession::Ap(state));
+                        responder.fulfil(Err(e.into()));
+                    }
+                },
                 Err(e) => responder.fulfil(Err(e)),
             }
         }
         Unit::ApFinish { tenant, session, responder } => {
             match shared.sessions.checkout_ap(session, tenant) {
+                Ok(mut state) => match state.processor.finish(0) {
+                    Ok(run) => {
+                        let (symbols, energy, busy) = state.take_unaccounted();
+                        shared.account_ap(tenant, symbols, energy, busy);
+                        let matches = ap_matches(&state, &run);
+                        shared.sessions.put_back(session, StreamSession::Ap(state));
+                        responder.fulfil(Ok(JobOutput::ApFinish(matches)));
+                    }
+                    Err(e) => {
+                        shared.sessions.put_back(session, StreamSession::Ap(state));
+                        responder.fulfil(Err(e.into()));
+                    }
+                },
+                Err(e) => responder.fulfil(Err(e)),
+            }
+        }
+        Unit::ApFeedMany { tenant, session, chunks, responder } => {
+            match shared.sessions.checkout_ap(session, tenant) {
                 Ok(mut state) => {
-                    let run = state.processor.finish();
-                    let (symbols, energy, busy) = state.take_unaccounted(run.report);
-                    state.reset_accounting();
+                    // Lanes grow on demand to the chunk count; the whole
+                    // batch runs through one shared kernel and is billed
+                    // as one AP job via the monotonic billing watermark.
+                    let reports = state.processor.feed_many(&chunks);
+                    let (symbols, energy, busy) = state.take_unaccounted();
                     shared.account_ap(tenant, symbols, energy, busy);
-                    let matches = run
-                        .accept_events
-                        .iter()
-                        .filter_map(|&(pos, s)| state.owner_of_state.get(&s).map(|&p| (pos, p)))
-                        .collect();
                     shared.sessions.put_back(session, StreamSession::Ap(state));
-                    responder.fulfil(Ok(JobOutput::ApFinish(ApMatches {
-                        accepted: run.accepted,
-                        matches,
-                        symbols: run.symbols,
-                        report: run.report,
-                    })));
+                    responder.fulfil(Ok(JobOutput::ApFeedMany(reports)));
                 }
                 Err(e) => responder.fulfil(Err(e)),
             }
         }
+        Unit::ApFinishMany { tenant, session, responder } => {
+            match shared.sessions.checkout_ap(session, tenant) {
+                Ok(mut state) => {
+                    let runs = state.processor.finish_all();
+                    let (symbols, energy, busy) = state.take_unaccounted();
+                    shared.account_ap(tenant, symbols, energy, busy);
+                    let results: Vec<ApMatches> =
+                        runs.iter().map(|run| ap_matches(&state, run)).collect();
+                    shared.sessions.put_back(session, StreamSession::Ap(state));
+                    responder.fulfil(Ok(JobOutput::ApFinishMany(results)));
+                }
+                Err(e) => responder.fulfil(Err(e)),
+            }
+        }
+    }
+}
+
+/// Maps a finished run's accept events from state indices to pattern
+/// indices through the session's ownership map.
+fn ap_matches(state: &ApSession, run: &memcim_ap::ApRun) -> ApMatches {
+    ApMatches {
+        accepted: run.accepted,
+        matches: run
+            .accept_events
+            .iter()
+            .filter_map(|&(pos, s)| state.owner_of_state.get(&s).map(|&p| (pos, p)))
+            .collect(),
+        symbols: run.symbols,
+        report: run.report,
     }
 }
 
@@ -1244,25 +1435,23 @@ fn run_solo_program(
     }
 }
 
-/// Hands an [`ApReport`] delta to the session's accounting watermark.
+/// Hands the processor's monotonic billing totals to the session's
+/// accounting watermark.
 impl ApSession {
-    /// The stream cost not yet billed: the cumulative report minus the
-    /// already-accounted watermark; advances the watermark.
-    fn take_unaccounted(&mut self, cumulative: ApReport) -> (u64, Joules, Seconds) {
-        let symbols = cumulative.cycles - self.accounted_cycles;
-        let energy = cumulative.energy - self.accounted_energy;
-        let busy = cumulative.latency - self.accounted_latency;
-        self.accounted_cycles = cumulative.cycles;
-        self.accounted_energy = cumulative.energy;
-        self.accounted_latency = cumulative.latency;
+    /// The cost not yet billed: the processor's lifetime billing totals
+    /// (summed across every lane) minus the already-accounted
+    /// watermark; advances the watermark. Billing totals never rewind
+    /// on finish, so the watermark only moves forward and each symbol
+    /// is billed exactly once no matter how feeds, finishes and lane
+    /// batches interleave.
+    fn take_unaccounted(&mut self) -> (u64, Joules, Seconds) {
+        let billing = self.processor.billing_report();
+        let symbols = billing.cycles - self.accounted_cycles;
+        let energy = billing.energy - self.accounted_energy;
+        let busy = billing.latency - self.accounted_latency;
+        self.accounted_cycles = billing.cycles;
+        self.accounted_energy = billing.energy;
+        self.accounted_latency = billing.latency;
         (symbols, energy, busy)
-    }
-
-    /// A finish resets the processor's stream; reset the watermark with
-    /// it.
-    fn reset_accounting(&mut self) {
-        self.accounted_cycles = 0;
-        self.accounted_energy = Joules::ZERO;
-        self.accounted_latency = Seconds::ZERO;
     }
 }

@@ -11,19 +11,42 @@
 //! the state inside the [`StreamSession`] differs.
 
 use crate::{sync, ServeError, SessionId, TenantId};
-use memcim_ap::{ApBackend, ApError, AutomataProcessor, RoutingKind};
+use memcim_ap::{ApBackend, ApError, AutomataProcessor, MultiStreamProcessor, RoutingKind};
 use memcim_automata::{PatternSet, StartKind};
 use memcim_mvp::correlation::CorrelationAccumulator;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-/// A checked-out AP session: the processor, its event-attribution map
-/// and the accounting watermark (feed reports are cumulative; the
-/// watermark marks how much has already been billed to the tenant).
+/// Bounded capacity of the per-table AP compile cache (templates, not
+/// sessions — a template is one compiled automaton plus its attribution
+/// map, so the bound caps compile-artifact memory, not session count).
+const AP_CACHE_CAPACITY: usize = 32;
+
+/// What opening an AP session learned while compiling (see
+/// [`Service::open_session_info`](crate::Service::open_session_info)),
+/// so callers and the wire protocol can surface it instead of the
+/// session table deciding silently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ApOpenInfo {
+    /// The hierarchical routing fabric ran out of global wires for this
+    /// pattern set and the session runs on a dense routing matrix
+    /// instead. Functionally identical, but per-symbol cost scales with
+    /// the full `N×N` crossbar rather than the two-level hierarchy.
+    pub routing_fallback: bool,
+    /// The compiled automaton came out of the tenant's compile cache;
+    /// no pattern compilation or routing placement ran.
+    pub cache_hit: bool,
+}
+
+/// A checked-out AP session: the multi-stream processor, its
+/// event-attribution map and the accounting watermark. The processor's
+/// billing totals are monotonic across `finish`, so the watermark never
+/// rewinds; it marks how much has already been billed to the tenant.
 #[derive(Debug)]
 pub(crate) struct ApSession {
     pub(crate) tenant: TenantId,
-    pub(crate) processor: AutomataProcessor,
+    pub(crate) processor: MultiStreamProcessor,
     pub(crate) owner_of_state: HashMap<usize, usize>,
     pub(crate) accounted_cycles: u64,
     pub(crate) accounted_energy: memcim_units::Joules,
@@ -90,10 +113,61 @@ enum Entry {
     CheckedOut(TenantId),
 }
 
-/// Sessions keyed by id; checkout state tracked per entry.
+/// One cached compile artifact: the single-stream template processor
+/// (sessions are stamped off it via [`AutomataProcessor::multi_stream`],
+/// which starts fresh lanes and a zero billing watermark), the pattern
+/// attribution map, and whether routing fell back to dense.
+#[derive(Debug)]
+struct ApTemplate {
+    processor: AutomataProcessor,
+    owner_of_state: HashMap<usize, usize>,
+    routing_fallback: bool,
+}
+
+/// Bounded LRU of compile artifacts keyed by `(tenant, pattern list)`.
+/// The tenant id is part of the key, so one tenant can never be handed
+/// an automaton compiled for another's patterns, and eviction is by
+/// least-recent use across the table.
+#[derive(Debug, Default)]
+struct ApCompileCache {
+    entries: HashMap<(TenantId, Vec<String>), (u64, ApTemplate)>,
+    clock: u64,
+}
+
+impl ApCompileCache {
+    fn get(&mut self, key: &(TenantId, Vec<String>)) -> Option<&ApTemplate> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.entries.get_mut(key).map(|(stamp, template)| {
+            *stamp = clock;
+            &*template
+        })
+    }
+
+    fn insert(&mut self, key: (TenantId, Vec<String>), template: ApTemplate) {
+        if self.entries.len() >= AP_CACHE_CAPACITY && !self.entries.contains_key(&key) {
+            if let Some(oldest) =
+                self.entries.iter().min_by_key(|(_, (stamp, _))| *stamp).map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&oldest);
+            }
+        }
+        self.clock += 1;
+        self.entries.insert(key, (self.clock, template));
+    }
+}
+
+/// Sessions keyed by id; checkout state tracked per entry. Also owns
+/// the AP compile cache and its observability counters — every
+/// open-session decision the table makes silently (cache hit, routing
+/// fallback) is counted here and surfaced through the service.
 #[derive(Debug, Default)]
 pub(crate) struct SessionTable {
     inner: Mutex<Inner>,
+    compile_cache: Mutex<ApCompileCache>,
+    ap_cache_hits: AtomicU64,
+    ap_cache_misses: AtomicU64,
+    routing_fallbacks: AtomicU64,
 }
 
 #[derive(Debug, Default)]
@@ -102,47 +176,98 @@ struct Inner {
     next_id: SessionId,
 }
 
+/// Compiles `patterns` onto `backend` (hierarchical routing with a
+/// dense fallback, unanchored scanning semantics). The fallback is
+/// recorded in the template rather than decided silently.
+fn compile_ap_template(patterns: &[&str], backend: &ApBackend) -> Result<ApTemplate, ServeError> {
+    let set = PatternSet::compile(patterns)
+        .map_err(|e| ServeError::Compile { message: e.to_string() })?;
+    let (homog, owner_of_state) = set.to_homogeneous();
+    // Strip unreachable/dead STEs before compiling onto the AP —
+    // fewer columns per symbol cycle — and remap the pattern
+    // attribution through the renumbering (run-equivalence of the
+    // strip is property-tested in memcim-automata).
+    let (homog, remap) = homog.with_start_kind(StartKind::AllInput).strip();
+    let owner_of_state: HashMap<usize, usize> = owner_of_state
+        .into_iter()
+        .filter_map(|(state, pattern)| remap[state].map(|new| (new, pattern)))
+        .collect();
+    let (processor, routing_fallback) =
+        match AutomataProcessor::compile(&homog, backend.clone(), RoutingKind::cache_automaton()) {
+            Ok(p) => (p, false),
+            Err(ApError::RoutingInfeasible { .. }) => {
+                (AutomataProcessor::compile(&homog, backend.clone(), RoutingKind::Dense)?, true)
+            }
+            Err(e) => return Err(e.into()),
+        };
+    Ok(ApTemplate { processor, owner_of_state, routing_fallback })
+}
+
 impl SessionTable {
-    /// Compiles `patterns` onto `backend` (hierarchical routing with a
-    /// dense fallback, unanchored scanning semantics) and registers the
-    /// AP session for `tenant`.
+    /// Registers an AP session for `tenant` over `patterns`, compiling
+    /// through the bounded LRU compile cache: a repeat open of the same
+    /// pattern set by the same tenant stamps a fresh session off the
+    /// cached template (fresh lanes, zero billing watermark) without
+    /// re-running pattern compilation or routing placement. The
+    /// returned [`ApOpenInfo`] says whether the cache hit and whether
+    /// hierarchical routing fell back to dense.
     pub(crate) fn open_ap(
         &self,
         tenant: TenantId,
         patterns: &[&str],
         backend: &ApBackend,
-    ) -> Result<SessionId, ServeError> {
-        let set = PatternSet::compile(patterns)
-            .map_err(|e| ServeError::Compile { message: e.to_string() })?;
-        let (homog, owner_of_state) = set.to_homogeneous();
-        // Strip unreachable/dead STEs before compiling onto the AP —
-        // fewer columns per symbol cycle — and remap the pattern
-        // attribution through the renumbering (run-equivalence of the
-        // strip is property-tested in memcim-automata).
-        let (homog, remap) = homog.with_start_kind(StartKind::AllInput).strip();
-        let owner_of_state: HashMap<usize, usize> = owner_of_state
-            .into_iter()
-            .filter_map(|(state, pattern)| remap[state].map(|new| (new, pattern)))
-            .collect();
-        let processor = match AutomataProcessor::compile(
-            &homog,
-            backend.clone(),
-            RoutingKind::cache_automaton(),
-        ) {
-            Ok(p) => p,
-            Err(ApError::RoutingInfeasible { .. }) => {
-                AutomataProcessor::compile(&homog, backend.clone(), RoutingKind::Dense)?
-            }
-            Err(e) => return Err(e.into()),
+    ) -> Result<(SessionId, ApOpenInfo), ServeError> {
+        let key = (tenant, patterns.iter().map(|p| p.to_string()).collect::<Vec<String>>());
+        let cached = {
+            let mut cache = sync::lock(&self.compile_cache);
+            cache.get(&key).map(|t| {
+                (t.processor.multi_stream(1), t.owner_of_state.clone(), t.routing_fallback)
+            })
         };
-        Ok(self.insert(StreamSession::Ap(Box::new(ApSession {
+        let (processor, owner_of_state, routing_fallback, cache_hit) = match cached {
+            Some((processor, owner, fallback)) => {
+                self.ap_cache_hits.fetch_add(1, Ordering::Relaxed);
+                (processor, owner, fallback, true)
+            }
+            None => {
+                self.ap_cache_misses.fetch_add(1, Ordering::Relaxed);
+                let template = compile_ap_template(patterns, backend)?;
+                let processor = template.processor.multi_stream(1);
+                let owner = template.owner_of_state.clone();
+                let fallback = template.routing_fallback;
+                sync::lock(&self.compile_cache).insert(key, template);
+                (processor, owner, fallback, false)
+            }
+        };
+        if routing_fallback {
+            self.routing_fallbacks.fetch_add(1, Ordering::Relaxed);
+        }
+        let id = self.insert(StreamSession::Ap(Box::new(ApSession {
             tenant,
             processor,
             owner_of_state,
             accounted_cycles: 0,
             accounted_energy: memcim_units::Joules::ZERO,
             accounted_latency: memcim_units::Seconds::ZERO,
-        }))))
+        })));
+        Ok((id, ApOpenInfo { routing_fallback, cache_hit }))
+    }
+
+    /// Sessions whose hierarchical routing fell back to a dense matrix
+    /// (counted per open, including cache hits on a fallback template).
+    pub(crate) fn routing_fallbacks(&self) -> u64 {
+        self.routing_fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// AP opens served from the compile cache.
+    pub(crate) fn ap_cache_hits(&self) -> u64 {
+        self.ap_cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// AP opens that had to compile (includes opens whose compile
+    /// failed — the attempt still missed).
+    pub(crate) fn ap_cache_misses(&self) -> u64 {
+        self.ap_cache_misses.load(Ordering::Relaxed)
     }
 
     /// Registers a correlation-detection session over `streams` event
@@ -282,7 +407,7 @@ mod tests {
     #[test]
     fn checkout_is_exclusive_and_put_back_releases() {
         let table = SessionTable::default();
-        let id = table.open_ap(1, &["abc"], &ApBackend::rram()).expect("compiles");
+        let (id, _) = table.open_ap(1, &["abc"], &ApBackend::rram()).expect("compiles");
         let session = table.checkout_ap(id, 1).expect("idle");
         assert_eq!(session.tenant, 1);
         assert!(matches!(table.checkout(id, 1), Err(ServeError::SessionBusy { .. })));
@@ -294,7 +419,7 @@ mod tests {
     #[test]
     fn foreign_tenants_see_neither_sessions_nor_their_busy_state() {
         let table = SessionTable::default();
-        let id = table.open_ap(1, &["abc"], &ApBackend::rram()).expect("compiles");
+        let (id, _) = table.open_ap(1, &["abc"], &ApBackend::rram()).expect("compiles");
         // Idle: a foreign tenant cannot check it out…
         assert!(matches!(table.checkout(id, 2), Err(ServeError::UnknownSession { .. })));
         // …or close it…
@@ -312,7 +437,7 @@ mod tests {
     fn unknown_and_closed_sessions_are_rejected() {
         let table = SessionTable::default();
         assert!(matches!(table.checkout(9, 1), Err(ServeError::UnknownSession { session: 9 })));
-        let id = table.open_ap(2, &["x+"], &ApBackend::rram()).expect("compiles");
+        let (id, _) = table.open_ap(2, &["x+"], &ApBackend::rram()).expect("compiles");
         table.close(id, 2).expect("open");
         assert!(matches!(table.close(id, 2), Err(ServeError::UnknownSession { .. })));
         assert_eq!(table.len(), 0);
@@ -328,7 +453,7 @@ mod tests {
     #[test]
     fn closing_a_checked_out_session_drops_it_on_put_back() {
         let table = SessionTable::default();
-        let id = table.open_ap(4, &["ab"], &ApBackend::rram()).expect("compiles");
+        let (id, _) = table.open_ap(4, &["ab"], &ApBackend::rram()).expect("compiles");
         let session = table.checkout(id, 4).expect("idle");
         table.close(id, 4).expect("removes");
         table.put_back(id, session);
@@ -338,7 +463,7 @@ mod tests {
     #[test]
     fn session_kinds_share_the_table_but_not_their_state() {
         let table = SessionTable::default();
-        let ap = table.open_ap(1, &["ab"], &ApBackend::rram()).expect("compiles");
+        let (ap, _) = table.open_ap(1, &["ab"], &ApBackend::rram()).expect("compiles");
         let corr = table.open_corr(1, 8, 100).expect("well-formed");
         assert_eq!(table.len(), 2);
         // A kind mismatch is a typed error and puts the session back.
@@ -351,6 +476,116 @@ mod tests {
         table.close(ap, 1).expect("closes ap");
         table.close(corr, 1).expect("closes corr");
         assert_eq!(table.len(), 0);
+    }
+
+    /// A single pattern whose `+`-looped 40-way alternation wires every
+    /// alternative's tail to every alternative's head — ~1800 global
+    /// wires at block 256, well past the Cache Automaton's 1024.
+    fn routing_infeasible_pattern() -> String {
+        let alts: Vec<String> = (0..40)
+            .map(|i: usize| {
+                format!(
+                    "{}{}{}{}{}",
+                    (b'a' + (i % 26) as u8) as char,
+                    (b'a' + (i / 26) as u8) as char,
+                    (b'0' + (i % 10) as u8) as char,
+                    (b'a' + ((i * 7) % 26) as u8) as char,
+                    (b'a' + ((i * 3) % 26) as u8) as char
+                )
+            })
+            .collect();
+        format!("({})+x", alts.join("|"))
+    }
+
+    #[test]
+    fn routing_fallback_is_observable_not_silent() {
+        let table = SessionTable::default();
+        // A small pattern routes hierarchically: no fallback.
+        let (_, info) = table.open_ap(1, &["abc"], &ApBackend::rram()).expect("compiles");
+        assert!(!info.routing_fallback);
+        assert_eq!(table.routing_fallbacks(), 0);
+        // The wire-hungry pattern exhausts global routing and falls
+        // back to dense — session still opens, but the decision is
+        // reported on the open and counted.
+        let big = routing_infeasible_pattern();
+        let (id, info) = table.open_ap(1, &[big.as_str()], &ApBackend::rram()).expect("dense");
+        assert!(info.routing_fallback, "fallback must be visible on the open report");
+        assert!(!info.cache_hit);
+        assert_eq!(table.routing_fallbacks(), 1);
+        // The session works on the dense matrix.
+        let mut session = table.checkout_ap(id, 1).expect("idle");
+        let report = session.processor.feed(0, b"aa0aax").expect("lane 0");
+        assert_eq!(report.cycles, 6);
+        table.put_back(id, StreamSession::Ap(session));
+        // A cached re-open of the fallback template is still counted
+        // and still flagged.
+        let (_, info) = table.open_ap(1, &[big.as_str()], &ApBackend::rram()).expect("cached");
+        assert!(info.routing_fallback && info.cache_hit);
+        assert_eq!(table.routing_fallbacks(), 2);
+    }
+
+    #[test]
+    fn compile_cache_hits_are_counted_and_tenant_keyed() {
+        let table = SessionTable::default();
+        let backend = ApBackend::rram();
+        let (a, info) = table.open_ap(1, &["ab+c", "xy"], &backend).expect("cold");
+        assert!(!info.cache_hit);
+        assert_eq!((table.ap_cache_hits(), table.ap_cache_misses()), (0, 1));
+        // Same tenant, same patterns: hit.
+        let (b, info) = table.open_ap(1, &["ab+c", "xy"], &backend).expect("warm");
+        assert!(info.cache_hit);
+        assert_eq!((table.ap_cache_hits(), table.ap_cache_misses()), (1, 1));
+        // Another tenant with the identical pattern list must not share
+        // the artifact: the key is (tenant, patterns).
+        let (_, info) = table.open_ap(2, &["ab+c", "xy"], &backend).expect("cold for tenant 2");
+        assert!(!info.cache_hit);
+        assert_eq!((table.ap_cache_hits(), table.ap_cache_misses()), (1, 2));
+        // A different pattern *order* is a different key (alternation
+        // order changes pattern attribution).
+        let (_, info) = table.open_ap(1, &["xy", "ab+c"], &backend).expect("cold");
+        assert!(!info.cache_hit);
+        // Warm and cold sessions are behaviourally identical.
+        let mut cold = table.checkout_ap(a, 1).expect("idle");
+        let mut warm = table.checkout_ap(b, 1).expect("idle");
+        let rc = cold.processor.feed(0, b"zabbbc xy").expect("lane 0");
+        let rw = warm.processor.feed(0, b"zabbbc xy").expect("lane 0");
+        assert_eq!(rc, rw, "cache hit must be bit-identical to a cold compile");
+        let (fc, fw) =
+            (cold.processor.finish(0).expect("lane 0"), warm.processor.finish(0).expect("lane 0"));
+        assert_eq!(fc, fw);
+        assert_eq!(cold.owner_of_state, warm.owner_of_state);
+        table.put_back(a, StreamSession::Ap(cold));
+        table.put_back(b, StreamSession::Ap(warm));
+    }
+
+    #[test]
+    fn compile_cache_is_bounded_and_evicts_least_recently_used() {
+        let table = SessionTable::default();
+        let backend = ApBackend::rram();
+        // Fill the cache to capacity with distinct single-pattern sets.
+        for i in 0..AP_CACHE_CAPACITY {
+            let p = format!("k{i}z");
+            table.open_ap(7, &[p.as_str()], &backend).expect("compiles");
+        }
+        assert_eq!(table.ap_cache_misses(), AP_CACHE_CAPACITY as u64);
+        // Touch the first entry so it is most-recently used…
+        let (_, info) = table.open_ap(7, &["k0z"], &backend).expect("warm");
+        assert!(info.cache_hit);
+        // …then overflow: the loser must be k1z (least recent), not k0z.
+        table.open_ap(7, &["overflow"], &backend).expect("compiles");
+        let (_, info) = table.open_ap(7, &["k0z"], &backend).expect("still cached");
+        assert!(info.cache_hit, "recently-used entry survived the eviction");
+        let (_, info) = table.open_ap(7, &["k1z"], &backend).expect("recompiles");
+        assert!(!info.cache_hit, "least-recently-used entry was evicted");
+    }
+
+    #[test]
+    fn failed_compiles_are_not_cached() {
+        let table = SessionTable::default();
+        assert!(table.open_ap(1, &["a(b"], &ApBackend::rram()).is_err());
+        assert!(table.open_ap(1, &["a(b"], &ApBackend::rram()).is_err());
+        assert_eq!(table.ap_cache_hits(), 0, "an error must never be served as a hit");
+        assert_eq!(table.ap_cache_misses(), 2);
     }
 
     #[test]

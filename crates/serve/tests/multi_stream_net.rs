@@ -1,0 +1,130 @@
+//! Multi-stream AP sessions and the serve-layer compile caches, over
+//! real loopback TCP: `ApFeedMany`/`ApFinishMany` produce exactly what
+//! N sequential single-stream sessions would; a warm `ApOpen` is served
+//! from the compile cache with a bit-identical automaton; and every
+//! in-process counter (cache hits/misses, routing fallbacks) reconciles
+//! with what the `Stats` verb reports on the wire.
+
+use memcim_serve::net::{NetClient, NetConfig, NetServer, TenantPolicy};
+use memcim_serve::{ServeConfig, Service};
+use std::sync::Arc;
+
+const TOKEN: &str = "multi-stream-token";
+
+fn start_server() -> (Arc<Service>, NetServer) {
+    let serve = ServeConfig::default().with_workers(2).with_mvp_geometry(8, 2, 32);
+    let service = Arc::new(Service::try_start(serve).expect("service starts"));
+    let net = NetConfig::default().with_tenant(1, TenantPolicy::new(TOKEN));
+    let server = NetServer::start(Arc::clone(&service), net).expect("server starts");
+    (service, server)
+}
+
+fn connect(server: &NetServer) -> NetClient {
+    let mut client = NetClient::connect(server.local_addr()).expect("connects");
+    client.hello(1, TOKEN).expect("auth");
+    client
+}
+
+#[test]
+fn feed_many_over_the_wire_matches_sequential_single_stream_sessions() {
+    let (_service, server) = start_server();
+    let mut client = connect(&server);
+    let patterns = &["GET /[a-z]+", "ab+c"];
+    let lanes: [&[u8]; 3] = [b"GET /index", b"xabbbc GET /a", b"no match here"];
+
+    // Reference: each lane on its own single-stream session.
+    let mut expected = Vec::new();
+    for lane in &lanes {
+        let session = client.ap_open(patterns).expect("opens");
+        client.ap_feed(session, lane).expect("feeds");
+        expected.push(client.ap_finish(session).expect("finishes"));
+        client.ap_close(session).expect("closes");
+    }
+
+    // One multi-stream session, all lanes in one round trip per verb.
+    let session = client.ap_open(patterns).expect("opens");
+    let chunks: Vec<Vec<u8>> = lanes.iter().map(|l| l.to_vec()).collect();
+    let reports = client.ap_feed_many(session, &chunks).expect("feeds all lanes");
+    assert_eq!(reports.len(), lanes.len(), "one cumulative report per lane");
+    let runs = client.ap_finish_many(session).expect("finishes all lanes");
+    assert_eq!(runs, expected, "lane results are bit-identical to sequential sessions");
+    for (report, run) in reports.iter().zip(&runs) {
+        assert_eq!(*report, run.report, "feed reports are cumulative per lane");
+    }
+
+    // Lanes reset on finish: the session is immediately reusable.
+    let again = client.ap_feed_many(session, &chunks).expect("feeds again");
+    assert_eq!(again, reports, "finish reset every lane");
+    client.ap_close(session).expect("closes");
+
+    // The tenant was billed for every lane's symbols, once.
+    let usage = client.usage().expect("usage");
+    let solo_symbols: u64 = lanes.iter().map(|l| l.len() as u64).sum();
+    assert_eq!(usage.ap_symbols, 3 * solo_symbols, "3 passes over the lanes, each billed");
+}
+
+#[test]
+fn compile_cache_and_fallback_counters_reconcile_over_the_wire() {
+    let (service, server) = start_server();
+    let mut client = connect(&server);
+    let patterns = &["GET /[a-z]+", "ab+c"];
+
+    // Cold open: a compile, observable as a miss with no fallback.
+    let (cold, cold_info) = client.ap_open_info(patterns).expect("cold open");
+    assert!(!cold_info.cache_hit, "first open compiles");
+    assert!(!cold_info.routing_fallback, "small pattern set routes hierarchically");
+
+    // Warm open of the same pattern set: served from the cache.
+    let (warm, warm_info) = client.ap_open_info(patterns).expect("warm open");
+    assert!(warm_info.cache_hit, "second open hits the compile cache");
+
+    // Warm and cold sessions behave bit-identically.
+    let chunk = b"GET /cache abbc";
+    let cold_report = client.ap_feed(cold, chunk).expect("cold feed");
+    let warm_report = client.ap_feed(warm, chunk).expect("warm feed");
+    assert_eq!(cold_report, warm_report, "cached automata match freshly compiled ones");
+    let cold_run = client.ap_finish(cold).expect("cold finish");
+    let warm_run = client.ap_finish(warm).expect("warm finish");
+    assert_eq!(cold_run, warm_run);
+
+    // The wire stats carry the same counters the service holds.
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.ap_cache_hits, 1, "one warm open");
+    assert_eq!(stats.ap_cache_misses, 1, "one cold open");
+    assert_eq!(stats.routing_fallbacks, 0, "no dense fallback for this pattern set");
+    assert_eq!(stats.ap_cache_hits, service.ap_cache_hits());
+    assert_eq!(stats.ap_cache_misses, service.ap_cache_misses());
+    assert_eq!(stats.routing_fallbacks, service.routing_fallbacks());
+}
+
+#[test]
+fn verify_cache_counters_reconcile_over_the_wire() {
+    use memcim_bits::BitVec;
+    use memcim_mvp::Instruction;
+
+    let (service, server) = start_server();
+    let width = service.config().mvp_width();
+    let mut client = connect(&server);
+    let program = vec![
+        Instruction::Store { row: 0, data: BitVec::from_indices(width, &[3, 7]) },
+        Instruction::Read { row: 0 },
+    ];
+
+    // First submission verifies once (at the front door) and every
+    // later check — the submit path's own, and the whole warm repeat —
+    // is a cache hit.
+    client.submit_mvp(std::slice::from_ref(&program)).expect("cold submit");
+    client.submit_mvp(std::slice::from_ref(&program)).expect("warm submit");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.mvp_cache_misses, 1, "one real verification across both submissions");
+    assert_eq!(stats.mvp_cache_hits, 3, "front door + submit path share the cached result");
+    assert_eq!(stats.mvp_cache_hits, service.mvp_cache_hits());
+    assert_eq!(stats.mvp_cache_misses, service.mvp_cache_misses());
+
+    // A cache hit is not a verification bypass: a *different* invalid
+    // program still gets refused at admission.
+    let refused = client.submit_mvp(&[vec![Instruction::Read { row: 999 }]]);
+    assert!(refused.is_err(), "invalid programs are still refused");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.mvp_cache_misses, 2, "the invalid program was really verified");
+}
